@@ -1,0 +1,129 @@
+// Ablation Abl-3: empirical soundness of the technique. The bounds are an
+// analytical result ("not an estimate for which experimental validation is
+// necessary", §5) — this bench closes the loop anyway: across several seeded
+// collections it checks that the *actual* P/R of every improvement lies
+// within the computed bounds at every threshold, and that a genuinely random
+// system lands on the Equations (9)/(10) prediction.
+
+#include <iostream>
+
+#include "bounds/bounds_report.h"
+#include "common/experiment.h"
+#include "common/table.h"
+#include "match/random_prune.h"
+
+namespace {
+
+using namespace smb;
+
+struct Tally {
+  size_t thresholds_checked = 0;
+  size_t violations = 0;
+  double total_width = 0.0;
+  double max_random_error = 0.0;
+};
+
+int ValidateSystem(const bench::Experiment& experiment,
+                   const match::AnswerSet& s2, Tally* tally) {
+  auto input = bounds::InputFromMeasuredCurve(
+      experiment.s1_curve, s2.SizesAt(experiment.thresholds));
+  if (!input.ok()) {
+    std::cerr << "input failed: " << input.status() << "\n";
+    return 1;
+  }
+  auto curve = bounds::ComputeIncrementalBounds(*input);
+  if (!curve.ok()) {
+    std::cerr << "bounds failed: " << curve.status() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < experiment.thresholds.size(); ++i) {
+    eval::ConfusionCounts actual = eval::Evaluate(
+        s2, experiment.collection.truth, experiment.thresholds[i]);
+    double p = eval::Precision(actual);
+    double r = eval::Recall(actual);
+    const auto& b = curve->points[i];
+    ++tally->thresholds_checked;
+    tally->total_width += b.best.precision - b.worst.precision;
+    if (p < b.worst.precision - 1e-9 || p > b.best.precision + 1e-9 ||
+        r < b.worst.recall - 1e-9 || r > b.best.recall + 1e-9) {
+      ++tally->violations;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: empirical validation of the bounds ===\n\n";
+  TextTable table({"seed", "|H|", "|A1|@δmax", "checked", "violations",
+                   "avg P-width", "random-pred error"});
+
+  Tally global;
+  for (uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    bench::ExperimentOptions options;
+    options.seed = seed;
+    options.num_schemas = 150;  // smaller per-seed runs, five seeds
+    auto experiment = bench::BuildExperiment(options);
+    if (!experiment.ok()) {
+      std::cerr << "experiment failed: " << experiment.status() << "\n";
+      return 1;
+    }
+
+    Tally tally;
+    if (ValidateSystem(*experiment, experiment->s2_one, &tally) != 0) return 1;
+    if (ValidateSystem(*experiment, experiment->s2_two, &tally) != 0) return 1;
+
+    // A true random system: keep 50% of every increment, compare its actual
+    // recall with the Eq (9)/(10) prediction at δmax.
+    Rng rng(seed * 7919);
+    std::vector<size_t> s1_sizes =
+        experiment->s1.SizesAt(experiment->thresholds);
+    std::vector<size_t> targets;
+    for (size_t s : s1_sizes) targets.push_back(s / 2);
+    for (size_t i = 1; i < targets.size(); ++i) {
+      targets[i] = std::max(targets[i], targets[i - 1]);
+    }
+    auto random_system = match::RandomPrunePerIncrement(
+        experiment->s1, experiment->thresholds, targets, &rng);
+    if (!random_system.ok()) {
+      std::cerr << "random prune failed: " << random_system.status() << "\n";
+      return 1;
+    }
+    if (ValidateSystem(*experiment, *random_system, &tally) != 0) return 1;
+
+    auto input = bounds::InputFromMeasuredCurve(
+        experiment->s1_curve, random_system->SizesAt(experiment->thresholds));
+    auto curve = bounds::ComputeIncrementalBounds(*input).value();
+    eval::ConfusionCounts actual =
+        eval::Evaluate(*random_system, experiment->collection.truth,
+                       experiment->thresholds.back());
+    double random_error = std::abs(eval::Recall(actual) -
+                                   curve.points.back().random.recall);
+    tally.max_random_error = random_error;
+
+    table.AddRow({std::to_string(seed),
+                  std::to_string(experiment->collection.truth.size()),
+                  std::to_string(experiment->s1.size()),
+                  std::to_string(tally.thresholds_checked),
+                  std::to_string(tally.violations),
+                  FormatDouble(tally.total_width /
+                                   static_cast<double>(
+                                       tally.thresholds_checked),
+                               4),
+                  FormatDouble(random_error, 4)});
+    global.thresholds_checked += tally.thresholds_checked;
+    global.violations += tally.violations;
+    global.total_width += tally.total_width;
+    global.max_random_error =
+        std::max(global.max_random_error, tally.max_random_error);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\ntotals: " << global.thresholds_checked
+            << " (threshold × system) checks, " << global.violations
+            << " bound violations (must be 0)\n";
+  std::cout << "max |actual − predicted| recall for the 50% random system: "
+            << FormatDouble(global.max_random_error, 4) << "\n";
+  return global.violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Ablation Abl-5: collection difficulty. The bounds technique takes S1's
+// effectiveness as given; this bench shows how the synthetic collection's
+// perturbation strength shapes that input curve — and that the bounds stay
+// sound at every difficulty level (the technique itself is
+// difficulty-agnostic).
+
+#include <iostream>
+
+#include "bounds/bounds_report.h"
+#include "common/table.h"
+#include "eval/ir_metrics.h"
+#include "eval/pr_curve.h"
+#include "match/beam_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "synth/generator.h"
+
+int main() {
+  using namespace smb;
+  std::cout << "=== Ablation: collection difficulty (perturbation strength) "
+               "===\n\n";
+
+  static const sim::SynonymTable kSynonyms = sim::SynonymTable::Builtin();
+  match::MatchOptions options;
+  options.delta_threshold = 0.25;
+  options.objective.name.synonyms = &kSynonyms;
+  std::vector<double> thresholds = eval::UniformThresholds(0.25, 0.01);
+
+  TextTable table({"strength", "|H|", "|A1|@δmax", "R1@δmax", "AP(S1)",
+                   "bounds sound?"});
+  for (double strength : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+    Rng rng(314159);  // same seed: only the strength varies
+    synth::SynthOptions sopts;
+    sopts.num_schemas = 120;
+    sopts.plant_perturb.strength = strength;
+    auto collection = synth::GenerateProblem(4, sopts, &rng);
+    if (!collection.ok()) {
+      std::cerr << "collection: " << collection.status() << "\n";
+      return 1;
+    }
+    match::ExhaustiveMatcher s1;
+    auto a1 = s1.Match(collection->query, collection->repository, options);
+    if (!a1.ok()) {
+      std::cerr << "S1: " << a1.status() << "\n";
+      return 1;
+    }
+    auto curve = eval::PrCurve::Measure(*a1, collection->truth, thresholds);
+    if (!curve.ok()) {
+      std::cerr << "curve: " << curve.status() << "\n";
+      return 1;
+    }
+    match::BeamMatcher beam(match::BeamMatcherOptions{6});
+    auto a2 = beam.Match(collection->query, collection->repository, options);
+    if (!a2.ok()) {
+      std::cerr << "S2: " << a2.status() << "\n";
+      return 1;
+    }
+    auto input = bounds::InputFromMeasuredCurve(*curve,
+                                                a2->SizesAt(thresholds));
+    if (!input.ok()) {
+      std::cerr << "input: " << input.status() << "\n";
+      return 1;
+    }
+    auto bounds_curve = bounds::ComputeIncrementalBounds(*input);
+    if (!bounds_curve.ok()) {
+      std::cerr << "bounds: " << bounds_curve.status() << "\n";
+      return 1;
+    }
+    bool sound = true;
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+      eval::ConfusionCounts actual =
+          eval::Evaluate(*a2, collection->truth, thresholds[i]);
+      double p = eval::Precision(actual);
+      double r = eval::Recall(actual);
+      const auto& b = bounds_curve->points[i];
+      if (p < b.worst.precision - 1e-9 || p > b.best.precision + 1e-9 ||
+          r < b.worst.recall - 1e-9 || r > b.best.recall + 1e-9) {
+        sound = false;
+      }
+    }
+    table.AddRow({FormatDouble(strength, 2),
+                  std::to_string(collection->truth.size()),
+                  std::to_string(a1->size()),
+                  FormatDouble(curve->points().back().recall, 3),
+                  FormatDouble(eval::AveragePrecision(*a1, collection->truth),
+                               3),
+                  sound ? "yes" : "VIOLATED"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: heavier perturbation pushes correct answers to "
+               "higher Δ (recall at\nδmax falls, AP falls), but the bounds "
+               "stay sound at every difficulty level.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "common/experiment.h"
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "match/beam_matcher.h"
+#include "match/cluster_matcher.h"
+#include "match/exhaustive_matcher.h"
+
+namespace smb::bench {
+
+std::vector<double> Experiment::RatiosOf(const match::AnswerSet& s2) const {
+  std::vector<double> ratios;
+  ratios.reserve(thresholds.size());
+  for (double delta : thresholds) {
+    size_t a1 = s1.CountAtThreshold(delta);
+    size_t a2 = s2.CountAtThreshold(delta);
+    ratios.push_back(a1 > 0 ? static_cast<double>(a2) /
+                                  static_cast<double>(a1)
+                            : 1.0);
+  }
+  return ratios;
+}
+
+Result<Experiment> BuildExperiment(const ExperimentOptions& options) {
+  Experiment experiment;
+  experiment.options = options;
+
+  Rng rng(options.seed);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = options.num_schemas;
+  sopts.min_schema_elements = options.min_host_elements;
+  sopts.max_schema_elements = options.max_host_elements;
+  SMB_ASSIGN_OR_RETURN(
+      experiment.collection,
+      synth::GenerateProblem(options.query_elements, sopts, &rng));
+
+  static const sim::SynonymTable kSynonyms = sim::SynonymTable::Builtin();
+  experiment.match_options.delta_threshold = options.delta_max;
+  experiment.match_options.objective.name.synonyms = &kSynonyms;
+
+  const schema::Schema& query = experiment.collection.query;
+  const schema::SchemaRepository& repo = experiment.collection.repository;
+
+  match::ExhaustiveMatcher s1;
+  SMB_ASSIGN_OR_RETURN(experiment.s1,
+                       s1.Match(query, repo, experiment.match_options,
+                                &experiment.stats_s1));
+
+  match::ClusterMatcherOptions copts;
+  copts.top_m_clusters = options.cluster_top_m;
+  copts.clustering.num_clusters = options.num_clusters;
+  SMB_ASSIGN_OR_RETURN(match::ClusterMatcher s2_one,
+                       match::ClusterMatcher::Create(repo, copts, &rng));
+  SMB_ASSIGN_OR_RETURN(experiment.s2_one,
+                       s2_one.Match(query, repo, experiment.match_options,
+                                    &experiment.stats_one));
+
+  match::BeamMatcher s2_two(match::BeamMatcherOptions{options.beam_width});
+  SMB_ASSIGN_OR_RETURN(experiment.s2_two,
+                       s2_two.Match(query, repo, experiment.match_options,
+                                    &experiment.stats_two));
+
+  experiment.thresholds =
+      eval::UniformThresholds(options.delta_max, options.threshold_step);
+  SMB_ASSIGN_OR_RETURN(
+      experiment.s1_curve,
+      eval::PrCurve::Measure(experiment.s1, experiment.collection.truth,
+                             experiment.thresholds));
+  return experiment;
+}
+
+void PrintExperimentSummary(const Experiment& experiment, std::ostream& os) {
+  const auto& collection = experiment.collection;
+  os << "collection: " << collection.repository.schema_count()
+     << " schemas, " << collection.repository.total_elements()
+     << " elements, |H| = " << collection.truth.size()
+     << " planted correct mappings, " << collection.near_misses
+     << " near-miss plants (seed " << experiment.options.seed << ")\n";
+  os << "query (" << collection.query.size() << " elements):\n";
+  for (schema::NodeId id : collection.query.PreOrder()) {
+    const auto& node = collection.query.node(id);
+    os << "  " << std::string(static_cast<size_t>(node.depth) * 2, ' ')
+       << node.name << (node.type.empty() ? "" : " :" + node.type) << "\n";
+  }
+  TextTable table({"system", "answers@δmax", "states explored", "pruned"});
+  auto row = [&](const std::string& name, const match::AnswerSet& answers,
+                 const match::MatchStats& stats) {
+    table.AddRow({name, std::to_string(answers.size()),
+                  std::to_string(stats.states_explored),
+                  std::to_string(stats.states_pruned)});
+  };
+  row("S1 exhaustive", experiment.s1, experiment.stats_s1);
+  row("S2-one cluster", experiment.s2_one, experiment.stats_one);
+  row("S2-two beam", experiment.s2_two, experiment.stats_two);
+  table.Print(os);
+  os << "\n";
+}
+
+}  // namespace smb::bench

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/result.h"
+#include "eval/pr_curve.h"
+#include "match/answer_set.h"
+#include "match/matcher.h"
+#include "synth/generator.h"
+
+/// \file experiment.h
+/// \brief The shared experimental setup behind the paper-figure benches.
+///
+/// One synthetic collection (seeded, reproducible), three systems:
+///  * S1       — exhaustive matcher (the original system),
+///  * S2-one   — clustering-based improvement (smooth ratio decline),
+///  * S2-two   — beam-search improvement (aggressive ratio cliff),
+/// plus S1's measured P/R curve on the collection's planted ground truth.
+/// Every figure bench derives its series from this object so the figures
+/// are mutually consistent, like the paper's.
+
+namespace smb::bench {
+
+/// \brief Knobs of the standard experiment.
+struct ExperimentOptions {
+  uint64_t seed = 2006;  ///< ICDE year; any fixed value works
+  size_t num_schemas = 400;
+  size_t query_elements = 4;
+  size_t min_host_elements = 10;
+  size_t max_host_elements = 22;
+  /// δ_max: matchers produce answers up to here (the paper's Figure 10
+  /// x-axis also ends at 0.25).
+  double delta_max = 0.25;
+  /// Threshold sweep step.
+  double threshold_step = 0.01;
+  /// S2-two beam width (narrow => the paper's aggressive ratio cliff).
+  size_t beam_width = 6;
+  /// S2-one: clusters examined per query element / total cluster count
+  /// (generous => the paper's smooth decline).
+  size_t cluster_top_m = 10;
+  size_t num_clusters = 16;
+};
+
+/// \brief Everything the figure benches consume.
+struct Experiment {
+  ExperimentOptions options;
+  synth::SyntheticCollection collection;
+  match::MatchOptions match_options;
+  std::vector<double> thresholds;
+  match::AnswerSet s1;
+  match::AnswerSet s2_one;
+  match::AnswerSet s2_two;
+  match::MatchStats stats_s1;
+  match::MatchStats stats_one;
+  match::MatchStats stats_two;
+  eval::PrCurve s1_curve;
+
+  /// Answer-size ratio Â^δ = |A2^δ|/|A1^δ| at each sweep threshold
+  /// (1 where |A1| = 0).
+  std::vector<double> RatiosOf(const match::AnswerSet& s2) const;
+};
+
+/// \brief Generates the collection, runs all three systems, measures S1.
+Result<Experiment> BuildExperiment(const ExperimentOptions& options = {});
+
+/// \brief Prints collection/system statistics (shared bench preamble).
+void PrintExperimentSummary(const Experiment& experiment, std::ostream& os);
+
+}  // namespace smb::bench

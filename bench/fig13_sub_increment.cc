@@ -1,0 +1,92 @@
+// Reproduces Figure 13: boundaries for interpolation on sub-increment level
+// (§4.2), with the paper's exact numbers: |H| = 100, measured points
+// (50 answers, 30 correct) at δ1 and (70 answers, 36 correct) at δ2; a
+// rebuilt system observes intermediate answer counts between 50 and 70.
+//
+// For each intermediate count the P/R point is confined to a segment whose
+// endpoints are "all new answers incorrect" (worst) and "all new answers
+// correct" (best). The paper highlights δ' with 54 answers.
+
+#include <iostream>
+
+#include "bounds/sub_increment.h"
+#include "common/ascii_chart.h"
+#include "common/table.h"
+
+int main() {
+  using namespace smb;
+  std::cout << "=== Figure 13: sub-increment interpolation boundaries "
+               "(|H| = 100) ===\n\n";
+
+  const bounds::MassPoint at_d1{50.0, 30.0};
+  const bounds::MassPoint at_d2{70.0, 36.0};
+  const double h = 100.0;
+
+  std::cout << "measured points: δ1 -> (R=30/100, P=30/50), δ2 -> "
+               "(R=36/100, P=36/70)\n\n";
+
+  auto sweep = bounds::SubIncrementSweep(at_d1, at_d2, h, 20);
+  if (!sweep.ok()) {
+    std::cerr << "sweep failed: " << sweep.status() << "\n";
+    return 1;
+  }
+
+  TextTable table({"answers a'", "worst (R, P)", "best (R, P)",
+                   "midpoint (R, P)"});
+  std::vector<double> wr, wp, br, bp, mr, mp;
+  for (const auto& point : *sweep) {
+    auto fmt = [](const bounds::PrValue& v) {
+      return "(" + FormatDouble(v.recall, 3) + ", " +
+             FormatDouble(v.precision, 3) + ")";
+    };
+    table.AddRow({FormatDouble(point.answers, 0), fmt(point.worst),
+                  fmt(point.best), fmt(point.midpoint)});
+    wr.push_back(point.worst.recall);
+    wp.push_back(point.worst.precision);
+    br.push_back(point.best.recall);
+    bp.push_back(point.best.precision);
+    mr.push_back(point.midpoint.recall);
+    mp.push_back(point.midpoint.precision);
+  }
+  table.Print(std::cout);
+
+  // The paper's highlighted intermediate threshold: 54 answers.
+  auto highlight = bounds::SubIncrementBoundsAt(at_d1, at_d2, h, 54.0);
+  if (!highlight.ok()) {
+    std::cerr << "highlight failed: " << highlight.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nδ' (54 answers): interpolated point must lie on the line "
+               "between\n  worst (R=" << FormatDouble(highlight->worst.recall, 2)
+            << ", P=" << FormatDouble(highlight->worst.precision, 4)
+            << " = 30/54) and best (R="
+            << FormatDouble(highlight->best.recall, 2)
+            << ", P=" << FormatDouble(highlight->best.precision, 4)
+            << " = 34/54)\n";
+
+  ChartSeries worst{"worst endpoints", '-', wr, wp};
+  ChartSeries best{"best endpoints", '+', br, bp};
+  ChartSeries mid{"midpoints (safest interpolation)", 'o', mr, mp};
+  ChartOptions chart;
+  chart.x_min = 0.28;
+  chart.x_max = 0.40;
+  chart.y_min = 0.45;
+  chart.y_max = 0.70;
+  chart.x_label = "Recall";
+  chart.y_label = "Precision";
+  std::cout << "\n";
+  RenderChart({worst, best, mid}, chart, std::cout);
+
+  std::cout << "\nnote (paper): taking the point halfway between worst and "
+               "best case is NOT\nthe same as linear interpolation between "
+               "δ1 and δ2; near the measured points\nthe segments shorten "
+               "because few answers are of unknown correctness.\n";
+
+  bool exact = std::abs(highlight->worst.precision - 30.0 / 54.0) < 1e-12 &&
+               std::abs(highlight->best.precision - 34.0 / 54.0) < 1e-12 &&
+               std::abs(highlight->worst.recall - 0.30) < 1e-12 &&
+               std::abs(highlight->best.recall - 0.34) < 1e-12;
+  std::cout << "\nexact reproduction of the paper's numbers: "
+            << (exact ? "YES" : "NO") << "\n";
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Perf-1: matcher wall time vs repository size — the paper's efficiency
+// motivation (§1, §2.3: "exhaustive search of schema mappings needs
+// exponential time; efficient techniques restrict the search space").
+// Compares the exhaustive system against its two non-exhaustive
+// improvements on identical collections.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "match/beam_matcher.h"
+#include "match/cluster_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace smb;
+
+struct Setup {
+  synth::SyntheticCollection collection;
+  match::MatchOptions mopts;
+  std::shared_ptr<const cluster::ElementClustering> clustering;
+};
+
+const Setup& GetSetup(size_t num_schemas) {
+  static std::map<size_t, Setup> cache;
+  auto it = cache.find(num_schemas);
+  if (it != cache.end()) return it->second;
+
+  Rng rng(1234 + num_schemas);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = num_schemas;
+  Setup setup;
+  setup.collection = synth::GenerateProblem(4, sopts, &rng).value();
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  setup.mopts.delta_threshold = 0.25;
+  setup.mopts.objective.name.synonyms = &kTable;
+  cluster::ElementClusteringOptions copts;
+  copts.num_clusters = 16;
+  setup.clustering = std::make_shared<cluster::ElementClustering>(
+      cluster::ElementClustering::Build(setup.collection.repository, copts,
+                                        &rng)
+          .value());
+  return cache.emplace(num_schemas, std::move(setup)).first->second;
+}
+
+void BM_ExhaustiveMatcher(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  match::ExhaustiveMatcher matcher;
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = matcher.Match(setup.collection.query,
+                                setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["elements"] =
+      static_cast<double>(setup.collection.repository.total_elements());
+}
+BENCHMARK(BM_ExhaustiveMatcher)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BeamMatcher(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  match::BeamMatcher matcher(match::BeamMatcherOptions{6});
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = matcher.Match(setup.collection.query,
+                                setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_BeamMatcher)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterMatcher(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  match::ClusterMatcherOptions copts;
+  copts.top_m_clusters = 10;
+  match::ClusterMatcher matcher(setup.clustering, copts);
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = matcher.Match(setup.collection.query,
+                                setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_ClusterMatcher)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusteringBuild(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(99);
+    cluster::ElementClusteringOptions copts;
+    copts.num_clusters = 16;
+    auto clustering = cluster::ElementClustering::Build(
+        setup.collection.repository, copts, &rng);
+    benchmark::DoNotOptimize(clustering);
+  }
+}
+BENCHMARK(BM_ClusteringBuild)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

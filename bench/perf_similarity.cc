@@ -1,0 +1,150 @@
+// Perf-2: throughput of the similarity measures that make up the objective
+// function Δ. These dominate matcher run time (they sit in the innermost
+// loop before caching), so their cost motivates both the name-cost cache
+// and the paper's broader efficiency agenda.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "sim/edit_distance.h"
+#include "sim/jaro_winkler.h"
+#include "sim/name_similarity.h"
+#include "sim/ngram.h"
+#include "sim/token_similarity.h"
+#include "synth/vocabulary.h"
+
+namespace {
+
+using namespace smb;
+
+std::vector<std::string> MakeNames(size_t n) {
+  synth::Vocabulary vocab = synth::Vocabulary::ForDomain(
+      synth::Domain::kECommerce);
+  Rng rng(42);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(vocab.RandomElementName(&rng));
+  }
+  return names;
+}
+
+const std::vector<std::string>& Names() {
+  static const std::vector<std::string> kNames = MakeNames(256);
+  return kNames;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  const auto& names = Names();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::LevenshteinSimilarity(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_DamerauLevenshtein(benchmark::State& state) {
+  const auto& names = Names();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::DamerauLevenshteinSimilarity(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_DamerauLevenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  const auto& names = Names();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::JaroWinklerSimilarity(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TrigramDice(benchmark::State& state) {
+  const auto& names = Names();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::NgramDiceSimilarity(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_TrigramDice);
+
+void BM_TokenSimilarity(benchmark::State& state) {
+  const auto& names = Names();
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  sim::TokenSimilarityOptions options;
+  options.synonyms = &kTable;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::TokenNameSimilarity(a, b, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_TokenSimilarity);
+
+void BM_CompositeNameSimilarity(benchmark::State& state) {
+  const auto& names = Names();
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  sim::NameSimilarityOptions options;
+  options.synonyms = &kTable;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::NameSimilarity(a, b, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_CompositeNameSimilarity);
+
+}  // namespace
+
+// The bounds computation itself must be negligible next to matching — the
+// paper's pitch is "quick evaluation of many parameter settings". Scaling
+// in the number of thresholds:
+
+#include "bounds/incremental_bounds.h"
+
+namespace {
+
+void BM_IncrementalBounds(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  bounds::BoundsInput input;
+  double a1 = 0, t1 = 0, a2 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double inc_a1 = 1.0 + rng.UniformDouble() * 50.0;
+    double inc_t1 = rng.UniformDouble() * inc_a1;
+    a1 += inc_a1;
+    t1 += inc_t1;
+    a2 += rng.UniformDouble() * inc_a1;
+    input.thresholds.push_back(static_cast<double>(i + 1));
+    input.s1_answers.push_back(a1);
+    input.s1_correct.push_back(t1);
+    input.s2_answers.push_back(a2);
+  }
+  input.total_correct = t1 + 1.0;
+  for (auto _ : state) {
+    auto curve = bounds::ComputeIncrementalBounds(input);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.counters["thresholds"] = static_cast<double>(n);
+}
+BENCHMARK(BM_IncrementalBounds)->Arg(25)->Arg(250)->Arg(2500);
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Top-N guarantees — the paper's closing point (§5): "for schema matching
+// systems as well as information retrieval systems in general, the top-N is
+// usually the most interesting and for such recall levels, we can give
+// useful, i.e., narrow, effectiveness bounds."
+//
+// Runs a workload of several personal schemas, builds two improvements
+// (beam and per-schema top-k), and prints guaranteed P/R intervals for the
+// improvements' top-N answers, plus rank-based summary metrics.
+//
+// Build & run:  ./build/examples/topn_guarantees
+
+#include <iostream>
+
+#include "bounds/bounds_report.h"
+#include "common/table.h"
+#include "eval/ir_metrics.h"
+#include "eval/workload.h"
+#include "match/beam_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "match/topk_matcher.h"
+#include "synth/generator.h"
+
+using namespace smb;
+
+int main() {
+  // Collection + query.
+  Rng rng(321);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = 200;
+  auto collection = synth::GenerateProblem(4, sopts, &rng);
+  if (!collection.ok()) {
+    std::cerr << "collection: " << collection.status() << "\n";
+    return 1;
+  }
+
+  static const sim::SynonymTable kSynonyms = sim::SynonymTable::Builtin();
+  match::MatchOptions options;
+  options.delta_threshold = 0.25;
+  options.objective.name.synonyms = &kSynonyms;
+
+  match::ExhaustiveMatcher s1;
+  auto a1 = s1.Match(collection->query, collection->repository, options);
+  if (!a1.ok()) {
+    std::cerr << "S1: " << a1.status() << "\n";
+    return 1;
+  }
+
+  struct System {
+    std::string name;
+    match::AnswerSet answers;
+  };
+  std::vector<System> systems;
+  {
+    match::BeamMatcher beam(match::BeamMatcherOptions{6});
+    auto a = beam.Match(collection->query, collection->repository, options);
+    if (!a.ok()) {
+      std::cerr << "beam: " << a.status() << "\n";
+      return 1;
+    }
+    systems.push_back({"beam-6", std::move(a).value()});
+  }
+  {
+    match::TopKMatcher topk(match::TopKMatcherOptions{5, 100000});
+    auto a = topk.Match(collection->query, collection->repository, options);
+    if (!a.ok()) {
+      std::cerr << "topk: " << a.status() << "\n";
+      return 1;
+    }
+    systems.push_back({"topk-5", std::move(a).value()});
+  }
+
+  std::cout << "rank-based summaries (oracle-judged, for reference):\n";
+  TextTable summary({"system", "answers", "AP", "R-precision", "P@10",
+                     "break-even"});
+  auto add_summary = [&](const std::string& name,
+                         const match::AnswerSet& answers) {
+    summary.AddRow(
+        {name, std::to_string(answers.size()),
+         FormatDouble(eval::AveragePrecision(answers, collection->truth), 3),
+         FormatDouble(eval::RPrecision(answers, collection->truth), 3),
+         FormatDouble(eval::PrecisionAtN(answers, collection->truth, 10), 3),
+         FormatDouble(eval::BreakEvenPoint(answers, collection->truth), 3)});
+  };
+  add_summary("S1 exhaustive", *a1);
+  for (const System& system : systems) {
+    add_summary(system.name, system.answers);
+  }
+  summary.Print(std::cout);
+
+  std::cout << "\nguaranteed top-N effectiveness intervals (no judgments of "
+               "the improvements used):\n";
+  for (const System& system : systems) {
+    auto topn = bounds::ComputeTopNBounds(*a1, collection->truth,
+                                          system.answers,
+                                          {5, 10, 25, 50, 100});
+    if (!topn.ok()) {
+      std::cerr << system.name << ": " << topn.status() << "\n";
+      return 1;
+    }
+    std::cout << "\n--- " << system.name << " ---\n";
+    TextTable table({"N", "δ(N)", "P interval", "R interval",
+                     "F1 interval"});
+    for (const auto& entry : *topn) {
+      bounds::F1Bounds f1 = bounds::F1BoundsAt(entry.bounds);
+      table.AddRow(
+          {std::to_string(entry.n), FormatDouble(entry.threshold, 3),
+           "[" + FormatDouble(entry.bounds.worst.precision, 3) + ", " +
+               FormatDouble(entry.bounds.best.precision, 3) + "]",
+           "[" + FormatDouble(entry.bounds.worst.recall, 3) + ", " +
+               FormatDouble(entry.bounds.best.recall, 3) + "]",
+           "[" + FormatDouble(f1.worst, 3) + ", " + FormatDouble(f1.best, 3) +
+               "]"});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nreading: intervals are narrow for small N (where the "
+               "improvements retain\nnearly everything) and widen with N — "
+               "exactly the paper's closing claim.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "bounds/bounds_report.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+Result<BoundsInput> InputFromMeasuredCurve(
+    const eval::PrCurve& s1_curve, const std::vector<size_t>& s2_sizes) {
+  SMB_RETURN_IF_ERROR(s1_curve.Validate());
+  if (s2_sizes.size() != s1_curve.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "S2 has %zu size observations but the S1 curve has %zu points",
+        s2_sizes.size(), s1_curve.size()));
+  }
+  BoundsInput input;
+  input.total_correct = static_cast<double>(s1_curve.total_correct());
+  for (size_t i = 0; i < s1_curve.size(); ++i) {
+    const eval::PrPoint& p = s1_curve.points()[i];
+    input.thresholds.push_back(p.threshold);
+    input.s1_answers.push_back(static_cast<double>(p.answers));
+    input.s1_correct.push_back(static_cast<double>(p.true_positives));
+    input.s2_answers.push_back(static_cast<double>(s2_sizes[i]));
+  }
+  SMB_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+Result<BoundsInput> InputFromPrAndRatios(
+    const std::vector<double>& thresholds,
+    const std::vector<double>& s1_precision,
+    const std::vector<double>& s1_recall,
+    const std::vector<double>& ratios) {
+  const size_t n = thresholds.size();
+  if (s1_precision.size() != n || s1_recall.size() != n ||
+      ratios.size() != n) {
+    return Status::InvalidArgument(
+        "thresholds, precisions, recalls and ratios must have equal length");
+  }
+  BoundsInput input;
+  input.total_correct = 1.0;  // |H|-normalized masses
+  for (size_t i = 0; i < n; ++i) {
+    SMB_ASSIGN_OR_RETURN(MassPoint s1,
+                         MassFromPr(s1_precision[i], s1_recall[i]));
+    if (ratios[i] < 0.0 || ratios[i] > 1.0) {
+      return Status::InvalidArgument(StrFormat(
+          "ratio at index %zu is %g, outside [0, 1]", i, ratios[i]));
+    }
+    input.thresholds.push_back(thresholds[i]);
+    input.s1_answers.push_back(s1.answers);
+    input.s1_correct.push_back(s1.correct);
+    input.s2_answers.push_back(s1.answers * ratios[i]);
+  }
+  SMB_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+Result<BoundsReport> ComputeBoundsReport(const BoundsInput& input) {
+  BoundsReport report;
+  SMB_ASSIGN_OR_RETURN(report.incremental, ComputeIncrementalBounds(input));
+  SMB_ASSIGN_OR_RETURN(report.naive, ComputeNaiveBounds(input));
+  return report;
+}
+
+double GuaranteedRecallAt(const BoundsCurve& curve, double min_precision) {
+  double guaranteed = 0.0;
+  for (const BoundsPoint& p : curve.points) {
+    if (p.worst.precision >= min_precision) {
+      guaranteed = std::max(guaranteed, p.worst.recall);
+    }
+  }
+  return guaranteed;
+}
+
+namespace {
+
+double HarmonicMean(double p, double r) {
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+}  // namespace
+
+F1Bounds F1BoundsAt(const BoundsPoint& point) {
+  F1Bounds f1;
+  f1.worst = HarmonicMean(point.worst.precision, point.worst.recall);
+  f1.best = HarmonicMean(point.best.precision, point.best.recall);
+  f1.random = HarmonicMean(point.random.precision, point.random.recall);
+  return f1;
+}
+
+Result<std::vector<TopNBound>> ComputeTopNBounds(
+    const match::AnswerSet& s1_answers, const eval::GroundTruth& truth,
+    const match::AnswerSet& s2_answers, const std::vector<size_t>& ns) {
+  if (ns.empty()) {
+    return Status::InvalidArgument("no top-N values requested");
+  }
+  if (s2_answers.empty()) {
+    return Status::InvalidArgument("S2 produced no answers");
+  }
+  if (!match::AnswerSet::IsSubsetOf(s2_answers, s1_answers)) {
+    return Status::FailedPrecondition(
+        "S2 answers are not a subset of S1 answers");
+  }
+  // Threshold of S2's N-th ranked answer, per requested N.
+  std::vector<size_t> sorted = ns;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> thresholds;
+  std::vector<std::pair<size_t, double>> n_to_delta;
+  for (size_t n : sorted) {
+    if (n == 0) return Status::InvalidArgument("top-N requires N >= 1");
+    size_t idx = std::min(n, s2_answers.size()) - 1;
+    double delta = s2_answers.mappings()[idx].delta;
+    n_to_delta.emplace_back(n, delta);
+    if (thresholds.empty() || delta > thresholds.back()) {
+      thresholds.push_back(delta);
+    }
+  }
+  SMB_ASSIGN_OR_RETURN(eval::PrCurve curve,
+                       eval::PrCurve::Measure(s1_answers, truth, thresholds));
+  SMB_ASSIGN_OR_RETURN(
+      BoundsInput input,
+      InputFromMeasuredCurve(curve, s2_answers.SizesAt(thresholds)));
+  SMB_ASSIGN_OR_RETURN(BoundsCurve bounds, ComputeIncrementalBounds(input));
+
+  std::vector<TopNBound> out;
+  for (const auto& [n, delta] : n_to_delta) {
+    TopNBound entry;
+    entry.n = n;
+    entry.threshold = delta;
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+      if (thresholds[i] == delta) {
+        entry.bounds = bounds.points[i];
+        break;
+      }
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace smb::bounds

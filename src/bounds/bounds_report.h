@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bounds/incremental_bounds.h"
+#include "common/result.h"
+#include "eval/ground_truth.h"
+#include "eval/pr_curve.h"
+#include "match/answer_set.h"
+
+/// \file bounds_report.h
+/// \brief High-level entry points tying the eval layer to the bounds core.
+///
+/// This is the API a practitioner uses: run S1 and S2 on the large
+/// collection, measure S1's curve on the judged (small) collection, feed
+/// both here, get guaranteed effectiveness bounds for S2 — no judgments on
+/// the large collection needed.
+
+namespace smb::bounds {
+
+/// \brief Builds a BoundsInput from S1's measured curve and S2's observed
+/// answer counts at the same thresholds.
+Result<BoundsInput> InputFromMeasuredCurve(const eval::PrCurve& s1_curve,
+                                           const std::vector<size_t>& s2_sizes);
+
+/// \brief Builds a BoundsInput from literature (P1, R1) values at known
+/// thresholds plus the measured answer size *ratios* Â^δ of the rebuilt
+/// systems (no counts or |H| required — the computation is |H|-normalized:
+/// `a1 = R/P`, `t1 = R`, `h = 1`).
+///
+/// Entries with `r1 == 0` contribute zero mass (their |A| is unknowable
+/// from P/R alone; see §4.1).
+Result<BoundsInput> InputFromPrAndRatios(const std::vector<double>& thresholds,
+                                         const std::vector<double>& s1_precision,
+                                         const std::vector<double>& s1_recall,
+                                         const std::vector<double>& ratios);
+
+/// \brief Everything the technique produces for one S1/S2 pair.
+struct BoundsReport {
+  BoundsCurve incremental;  ///< §3.2 (tight) bounds + §3.4 random baseline
+  BoundsCurve naive;        ///< §3.1 per-threshold bounds, for comparison
+};
+
+/// \brief Runs both algorithms on one input.
+Result<BoundsReport> ComputeBoundsReport(const BoundsInput& input);
+
+/// \brief Largest recall level up to which the worst-case precision stays
+/// at or above `min_precision` (the paper's style of guarantee: "for recall
+/// levels up to 0.15, S2-one guarantees a worst case precision of 0.5").
+/// Returns 0 when even the first point fails.
+double GuaranteedRecallAt(const BoundsCurve& curve, double min_precision);
+
+/// \brief F1 bounds derived from the P/R bounds.
+///
+/// F1 is monotone in both precision and recall, so the harmonic mean of the
+/// worst (resp. best) P/R pair bounds the achievable F1 from below (resp.
+/// above). 0 when both members of a pair are 0.
+struct F1Bounds {
+  double worst = 0.0;
+  double best = 0.0;
+  double random = 0.0;
+};
+F1Bounds F1BoundsAt(const BoundsPoint& point);
+
+/// \brief Top-N guarantees (§5: "the top-N is usually the most interesting
+/// and for such recall levels we can give useful, i.e., narrow,
+/// effectiveness bounds").
+///
+/// For each requested N, uses the Δ of S2's N-th ranked answer as the
+/// threshold, measures S1's curve and S2's size at exactly that δ, and
+/// computes the bounds point. `s1_curve_answers` is S1's ranked answer set
+/// on the *judged* collection with its ground truth — i.e., this helper is
+/// for harness-side studies where S1's judgments exist.
+struct TopNBound {
+  size_t n = 0;
+  double threshold = 0.0;
+  BoundsPoint bounds;
+};
+Result<std::vector<TopNBound>> ComputeTopNBounds(
+    const match::AnswerSet& s1_answers, const eval::GroundTruth& truth,
+    const match::AnswerSet& s2_answers, const std::vector<size_t>& ns);
+
+}  // namespace smb::bounds

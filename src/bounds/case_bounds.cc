@@ -1,0 +1,59 @@
+#include "bounds/case_bounds.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+double BestCaseTrueMass(double t1, double a2) {
+  return std::min(t1, a2);
+}
+
+double WorstCaseTrueMass(double a1, double t1, double a2) {
+  return std::max(0.0, a2 - (a1 - t1));
+}
+
+namespace {
+
+Status CheckDomain(double p1, double r1, double ratio) {
+  if (p1 <= 0.0 || p1 > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("P1 must be in (0, 1], got %g", p1));
+  }
+  if (r1 < 0.0 || r1 > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("R1 must be in [0, 1], got %g", r1));
+  }
+  if (ratio <= 0.0 || ratio > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "answer size ratio must be in (0, 1], got %g (A2 ⊆ A1 forces "
+        "|A2| <= |A1|)",
+        ratio));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PrValue> BestCasePr(double p1, double r1, double ratio) {
+  SMB_RETURN_IF_ERROR(CheckDomain(p1, r1, ratio));
+  PrValue out;
+  // Equation (2): P2 = P1 · min(1/Â, 1/P1).
+  out.precision = p1 * std::min(1.0 / ratio, 1.0 / p1);
+  // Equation (3): R2 = R1 · min(1, Â/P1).
+  out.recall = r1 * std::min(1.0, ratio / p1);
+  return out;
+}
+
+Result<PrValue> WorstCasePr(double p1, double r1, double ratio) {
+  SMB_RETURN_IF_ERROR(CheckDomain(p1, r1, ratio));
+  PrValue out;
+  // Equation (5): P2 = max(0, 1 − (1 − P1)/Â).
+  out.precision = std::max(0.0, 1.0 - (1.0 - p1) / ratio);
+  // Equation (6): R2 = max(0, R1 · ((Â − 1)/P1 + 1)).
+  out.recall = std::max(0.0, r1 * ((ratio - 1.0) / p1 + 1.0));
+  return out;
+}
+
+}  // namespace smb::bounds

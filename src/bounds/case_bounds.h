@@ -1,0 +1,49 @@
+#pragma once
+
+#include "common/result.h"
+
+/// \file case_bounds.h
+/// \brief Best-case and worst-case effectiveness (§3.1, Equations 1–6).
+///
+/// Setting: S1 is exhaustive, S2 a non-exhaustive improvement with the same
+/// objective function, so `A^δ_{S2} ⊆ A^δ_{S1}`. Which answers S2 misses is
+/// unknown; in the best case it misses only incorrect ones, in the worst
+/// case the most correct ones (Figure 7).
+///
+/// Two equivalent formulations are provided:
+///  * the *mass* form on |A|/|T| quantities (Equations 1 and 4) — the one
+///    the incremental algorithm uses, scale-invariant, no divisions;
+///  * the paper's *ratio* form on (P1, R1, Â) (Equations 2, 3, 5, 6).
+/// Unit tests cross-check them against each other.
+
+namespace smb::bounds {
+
+/// \brief A (precision, recall) pair.
+struct PrValue {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// \brief Equation (1): best case `|T2| = min(|T1|, |A2|)`.
+///
+/// Masses may be fractional (normalized); requires `t1 >= 0`, `a2 >= 0`.
+double BestCaseTrueMass(double t1, double a2);
+
+/// \brief Equation (4): worst case `|T2| = max(0, |A2| − (|A1| − |T1|))`.
+double WorstCaseTrueMass(double a1, double t1, double a2);
+
+/// \brief Equations (2)+(3): best-case precision and recall of S2.
+///
+/// \param p1 precision of S1 at this threshold, in (0, 1]
+/// \param r1 recall of S1 at this threshold, in [0, 1]
+/// \param ratio answer size ratio Â = |A2|/|A1|, in (0, 1]
+///
+/// Fails with `kInvalidArgument` outside those domains (`p1 = 0` with
+/// `r1 > 0` is inconsistent; `ratio = 0` means an empty answer set whose
+/// precision is a convention, handled by the callers).
+Result<PrValue> BestCasePr(double p1, double r1, double ratio);
+
+/// \brief Equations (5)+(6): worst-case precision and recall of S2.
+Result<PrValue> WorstCasePr(double p1, double r1, double ratio);
+
+}  // namespace smb::bounds

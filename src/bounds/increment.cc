@@ -1,0 +1,64 @@
+#include "bounds/increment.h"
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+Result<MassPoint> MassFromPr(double precision, double recall,
+                             double answers_when_r0) {
+  if (recall < 0.0 || recall > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("recall must be in [0, 1], got %g", recall));
+  }
+  MassPoint out;
+  if (recall == 0.0) {
+    out.correct = 0.0;
+    if (answers_when_r0 < 0.0) {
+      return Status::InvalidArgument("answers_when_r0 must be >= 0");
+    }
+    out.answers = answers_when_r0;
+    return out;
+  }
+  if (precision <= 0.0 || precision > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "precision must be in (0, 1] when recall > 0, got %g", precision));
+  }
+  out.correct = recall;
+  out.answers = recall / precision;
+  return out;
+}
+
+Result<MassPoint> IncrementBetween(const MassPoint& from,
+                                   const MassPoint& to) {
+  // Small negative slack tolerates floating-point noise in derived masses.
+  constexpr double kTol = 1e-9;
+  if (to.answers < from.answers - kTol || to.correct < from.correct - kTol) {
+    return Status::InvalidArgument(StrFormat(
+        "curve masses are not monotone: (a=%g, t=%g) -> (a=%g, t=%g)",
+        from.answers, from.correct, to.answers, to.correct));
+  }
+  MassPoint inc;
+  inc.answers = std::max(0.0, to.answers - from.answers);
+  inc.correct = std::max(0.0, to.correct - from.correct);
+  if (inc.correct > inc.answers + kTol) {
+    return Status::InvalidArgument(
+        "increment has more correct answers than answers");
+  }
+  inc.correct = std::min(inc.correct, inc.answers);
+  return inc;
+}
+
+double IncrementPrecision(const MassPoint& increment) {
+  return increment.Precision();
+}
+
+double IncrementRecall(const MassPoint& increment, double h) {
+  return h > 0.0 ? increment.correct / h : 0.0;
+}
+
+MassPoint Accumulate(const MassPoint& at_i, const MassPoint& increment) {
+  return MassPoint{at_i.answers + increment.answers,
+                   at_i.correct + increment.correct};
+}
+
+}  // namespace smb::bounds

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "common/result.h"
+
+/// \file increment.h
+/// \brief Increment algebra on P/R curves (§3.2, Equations 7 and 8).
+///
+/// An increment δi–δj holds the answers with δi < Δ(a) ≤ δj. Its precision
+/// and recall follow from the curve values at the two thresholds:
+///
+///   P̂ = (R_j − R_i) / (R_j/P_j − R_i/P_i)      (7)
+///   R̂ = R_j − R_i                              (8)
+///
+/// Since |A|/|H| = R/P, Equation (7) is just `Δ|T| / Δ|A|` in |H|-normalized
+/// mass units — which is how these helpers compute it. All increment math in
+/// this library therefore runs on (answer mass, correct mass) pairs; the
+/// ratio formulas are recovered exactly and the degenerate cases (paper
+/// §3.2 step 4: increments without correct answers) need no special-casing.
+
+namespace smb::bounds {
+
+/// \brief A point of a P/R curve expressed as masses: `a = |A|` and
+/// `t = |T|`, in any fixed scale (raw counts, or divided by |H|).
+struct MassPoint {
+  double answers = 0.0;  ///< |A^δ| mass
+  double correct = 0.0;  ///< |T^δ| mass
+
+  /// Precision `t/a`; 1 for an empty answer set (no wrong answers yet).
+  double Precision() const {
+    return answers > 0.0 ? correct / answers : 1.0;
+  }
+  /// Recall `t/h` for a given total-correct mass `h` (same scale).
+  double Recall(double h) const { return h > 0.0 ? correct / h : 1.0; }
+};
+
+/// \brief Converts a literature (P, R) point into masses normalized by |H|
+/// (so `h = 1`): `t = R`, `a = R/P`.
+///
+/// Requires consistent values: P in (0,1] when R > 0; when R == 0, P may be
+/// anything and the answer mass is taken as 0 unless `answers_when_r0` is
+/// supplied (a P/R pair alone cannot reveal |A| when |T| = 0; see §4.1).
+Result<MassPoint> MassFromPr(double precision, double recall,
+                             double answers_when_r0 = 0.0);
+
+/// \brief The increment between two curve points: `Δa`, `Δt`.
+///
+/// Fails when the masses are not monotone (`to` must dominate `from`).
+Result<MassPoint> IncrementBetween(const MassPoint& from,
+                                   const MassPoint& to);
+
+/// \brief Equation (7): increment precision `Δt/Δa`; 1 when `Δa == 0`.
+double IncrementPrecision(const MassPoint& increment);
+
+/// \brief Equation (8): increment recall `Δt/h`.
+double IncrementRecall(const MassPoint& increment, double h);
+
+/// \brief Step-4 composition: curve point at δj from the point at δi plus
+/// the increment (mass addition — the inverse of Equations 7/8).
+MassPoint Accumulate(const MassPoint& at_i, const MassPoint& increment);
+
+}  // namespace smb::bounds

@@ -1,0 +1,178 @@
+#include "bounds/incremental_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+Status BoundsInput::Validate() const {
+  const size_t n = thresholds.size();
+  if (n == 0) {
+    return Status::InvalidArgument("no thresholds supplied");
+  }
+  if (s1_answers.size() != n || s1_correct.size() != n ||
+      s2_answers.size() != n) {
+    return Status::InvalidArgument(
+        "thresholds, s1_answers, s1_correct and s2_answers must all have "
+        "the same length");
+  }
+  if (total_correct <= 0.0) {
+    return Status::InvalidArgument("total_correct (|H|) must be positive");
+  }
+  constexpr double kTol = 1e-9;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && thresholds[i] <= thresholds[i - 1]) {
+      return Status::InvalidArgument("thresholds must be strictly increasing");
+    }
+    if (s1_answers[i] < 0 || s1_correct[i] < 0 || s2_answers[i] < 0) {
+      return Status::InvalidArgument("masses must be non-negative");
+    }
+    if (s1_correct[i] > s1_answers[i] + kTol) {
+      return Status::InvalidArgument(StrFormat(
+          "threshold %zu: |T1| (%g) exceeds |A1| (%g)", i, s1_correct[i],
+          s1_answers[i]));
+    }
+    if (s1_correct[i] > total_correct + kTol) {
+      return Status::InvalidArgument(
+          StrFormat("threshold %zu: |T1| exceeds |H|", i));
+    }
+    if (s2_answers[i] > s1_answers[i] + kTol) {
+      return Status::InvalidArgument(StrFormat(
+          "threshold %zu: |A2| (%g) exceeds |A1| (%g); A2 ⊆ A1 is violated",
+          i, s2_answers[i], s1_answers[i]));
+    }
+    double prev_a1 = i > 0 ? s1_answers[i - 1] : 0.0;
+    double prev_t1 = i > 0 ? s1_correct[i - 1] : 0.0;
+    double prev_a2 = i > 0 ? s2_answers[i - 1] : 0.0;
+    if (s1_answers[i] < prev_a1 - kTol || s1_correct[i] < prev_t1 - kTol ||
+        s2_answers[i] < prev_a2 - kTol) {
+      return Status::InvalidArgument(
+          StrFormat("threshold %zu: masses are not monotone", i));
+    }
+    // Per-increment containment: Â²(δi-1,δi] ⊆ Â¹(δi-1,δi].
+    double inc_a1 = s1_answers[i] - prev_a1;
+    double inc_a2 = s2_answers[i] - prev_a2;
+    if (inc_a2 > inc_a1 + kTol) {
+      return Status::InvalidArgument(StrFormat(
+          "increment %zu: S2 gains more answers (%g) than S1 (%g); "
+          "impossible when both systems share the objective function",
+          i, inc_a2, inc_a1));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+PrValue ToPr(const MassPoint& point, double h) {
+  PrValue out;
+  out.precision = point.Precision();
+  out.recall = point.Recall(h);
+  return out;
+}
+
+}  // namespace
+
+Result<BoundsCurve> ComputeIncrementalBounds(const BoundsInput& input) {
+  SMB_RETURN_IF_ERROR(input.Validate());
+  const size_t n = input.thresholds.size();
+  const double h = input.total_correct;
+
+  BoundsCurve curve;
+  curve.points.reserve(n);
+
+  // Running S2 masses for the three cases. Answer mass is shared (it is
+  // observed, not bounded); correct mass differs per case.
+  MassPoint best{0.0, 0.0};
+  MassPoint worst{0.0, 0.0};
+  MassPoint random{0.0, 0.0};
+  MassPoint prev_s1{0.0, 0.0};
+  double prev_a2 = 0.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    MassPoint s1{input.s1_answers[i], input.s1_correct[i]};
+    SMB_ASSIGN_OR_RETURN(MassPoint inc1, IncrementBetween(prev_s1, s1));
+    double inc_a2 = std::max(0.0, input.s2_answers[i] - prev_a2);
+    // Defensive clamp (Validate already enforced the tolerance).
+    inc_a2 = std::min(inc_a2, inc1.answers);
+
+    // §3.1 applied to the increment (step 3 of §3.2).
+    double best_t2 = BestCaseTrueMass(inc1.correct, inc_a2);
+    double worst_t2 = WorstCaseTrueMass(inc1.answers, inc1.correct, inc_a2);
+    // §3.4: random keeps the increment's correct/incorrect proportion
+    // (Equations 9/10 in mass form).
+    double random_t2 =
+        inc1.answers > 0.0 ? inc1.correct * (inc_a2 / inc1.answers) : 0.0;
+
+    // Step 4: accumulate increments back into curve points.
+    best = Accumulate(best, MassPoint{inc_a2, best_t2});
+    worst = Accumulate(worst, MassPoint{inc_a2, worst_t2});
+    random = Accumulate(random, MassPoint{inc_a2, random_t2});
+
+    BoundsPoint point;
+    point.threshold = input.thresholds[i];
+    point.ratio =
+        s1.answers > 0.0 ? input.s2_answers[i] / s1.answers : 1.0;
+    point.best = ToPr(best, h);
+    point.worst = ToPr(worst, h);
+    point.random = ToPr(random, h);
+    curve.points.push_back(point);
+
+    prev_s1 = s1;
+    prev_a2 = input.s2_answers[i];
+  }
+  return curve;
+}
+
+BoundsInput ClampToContainment(BoundsInput input) {
+  double prev_a1 = 0.0;
+  double prev_observed_a2 = 0.0;  // original cumulative, pre-repair
+  double accumulated = 0.0;       // repaired cumulative
+  for (size_t i = 0; i < input.s2_answers.size() && i < input.s1_answers.size();
+       ++i) {
+    double inc_a1 = std::max(0.0, input.s1_answers[i] - prev_a1);
+    // The observed per-increment gain is what we trust; only its excess
+    // over S1's gain is the repair.
+    double inc_a2 = std::max(0.0, input.s2_answers[i] - prev_observed_a2);
+    prev_observed_a2 = std::max(prev_observed_a2, input.s2_answers[i]);
+    inc_a2 = std::min(inc_a2, inc_a1);
+    prev_a1 = input.s1_answers[i];
+    accumulated += inc_a2;
+    input.s2_answers[i] = accumulated;
+  }
+  return input;
+}
+
+Result<BoundsCurve> ComputeNaiveBounds(const BoundsInput& input) {
+  SMB_RETURN_IF_ERROR(input.Validate());
+  const size_t n = input.thresholds.size();
+  const double h = input.total_correct;
+
+  // The random baseline is inherently incremental; reuse it.
+  SMB_ASSIGN_OR_RETURN(BoundsCurve incremental,
+                       ComputeIncrementalBounds(input));
+
+  BoundsCurve curve;
+  curve.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a1 = input.s1_answers[i];
+    double t1 = input.s1_correct[i];
+    double a2 = input.s2_answers[i];
+
+    MassPoint best{a2, BestCaseTrueMass(t1, a2)};
+    MassPoint worst{a2, WorstCaseTrueMass(a1, t1, a2)};
+
+    BoundsPoint point;
+    point.threshold = input.thresholds[i];
+    point.ratio = a1 > 0.0 ? a2 / a1 : 1.0;
+    point.best = ToPr(best, h);
+    point.worst = ToPr(worst, h);
+    point.random = incremental.points[i].random;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace smb::bounds

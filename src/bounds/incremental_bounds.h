@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "bounds/case_bounds.h"
+#include "bounds/increment.h"
+#include "common/result.h"
+
+/// \file incremental_bounds.h
+/// \brief The effectiveness-bounds algorithms (§3.1–§3.4).
+///
+/// Inputs are the *measured* behaviour of the original exhaustive system S1
+/// (answer and correct masses per threshold, plus the total correct mass
+/// |H|) and the answer sizes of the improvement S2 at the same thresholds.
+/// All masses may be raw counts or |H|-normalized values — the computation
+/// is scale-invariant.
+///
+/// Two algorithms:
+///  * `ComputeNaiveBounds` applies Equations (1)–(6) independently at every
+///    threshold — the paper shows this is "unnecessarily pessimistic";
+///  * `ComputeIncrementalBounds` is the 4-step incremental derivation of
+///    §3.2, which is tighter (never looser) on both sides, plus the random
+///    baseline of §3.4 (Equations 9/10).
+
+namespace smb::bounds {
+
+/// \brief Input to the bounds computation.
+struct BoundsInput {
+  /// Strictly increasing thresholds δ1 < … < δn. (δ0 = 0 with empty answer
+  /// sets is implicit.)
+  std::vector<double> thresholds;
+  /// |A1^δi| masses of the original system S1, non-decreasing.
+  std::vector<double> s1_answers;
+  /// |T1^δi| masses of S1 (from its published/measured P/R), non-decreasing,
+  /// `<= s1_answers` pointwise.
+  std::vector<double> s1_correct;
+  /// |A2^δi| masses of the improvement S2, non-decreasing, and within every
+  /// increment at most the S1 increment (A2 ⊆ A1 implies this).
+  std::vector<double> s2_answers;
+  /// |H| mass (same scale). Must be >= max(s1_correct).
+  double total_correct = 0.0;
+
+  /// Structural validation of all the above.
+  Status Validate() const;
+};
+
+/// \brief Bounds at one threshold.
+struct BoundsPoint {
+  double threshold = 0.0;
+  /// Cumulative answer size ratio Â^δ = |A2|/|A1| (1 when |A1| = 0).
+  double ratio = 1.0;
+  PrValue best;
+  PrValue worst;
+  /// Random-selection baseline (§3.4); equals best=worst=S1 when Â=1.
+  PrValue random;
+};
+
+/// \brief A full best/worst/random bounds curve.
+struct BoundsCurve {
+  std::vector<BoundsPoint> points;
+};
+
+/// \brief §3.2: per-increment best/worst analysis, re-accumulated.
+Result<BoundsCurve> ComputeIncrementalBounds(const BoundsInput& input);
+
+/// \brief §3.1 applied directly at each threshold (the pessimistic
+/// variant). The random baseline is still computed incrementally
+/// (it is only defined that way, §3.4).
+Result<BoundsCurve> ComputeNaiveBounds(const BoundsInput& input);
+
+/// \brief Repairs small violations of the `A2 ⊆ A1` containment that arise
+/// from rounding (e.g., reconstructing |A1| from an 11-point curve while
+/// |A2| comes from integer counts): clamps every S2 increment to its S1
+/// increment. Exact inputs pass through unchanged.
+BoundsInput ClampToContainment(BoundsInput input);
+
+}  // namespace smb::bounds

@@ -1,0 +1,107 @@
+#include "bounds/interpolated_input.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+Result<ReconstructedCurve> ReconstructFromElevenPoint(
+    const eval::ElevenPointCurve& curve, double h_guess) {
+  if (h_guess <= 0.0) {
+    return Status::InvalidArgument("|H| guess must be positive");
+  }
+  ReconstructedCurve out;
+  out.total_correct = h_guess;
+  for (size_t i = 0; i < eval::ElevenPointCurve::kLevels; ++i) {
+    double r = eval::ElevenPointCurve::RecallLevel(i);
+    double p = curve.precision[i];
+    if (r <= 0.0 || p <= 0.0) continue;  // |A| unknowable at these levels
+    out.recall_levels.push_back(r);
+    out.answers.push_back(r * h_guess / p);
+    out.correct.push_back(r * h_guess);
+  }
+  if (out.recall_levels.size() < 2) {
+    return Status::InvalidArgument(
+        "fewer than two usable points on the interpolated curve");
+  }
+  for (size_t i = 1; i < out.answers.size(); ++i) {
+    if (out.answers[i] < out.answers[i - 1] - 1e-9) {
+      return Status::InvalidArgument(StrFormat(
+          "implied answer counts are not monotone between recall %.1f and "
+          "%.1f: the published curve is inconsistent with a threshold sweep",
+          out.recall_levels[i - 1], out.recall_levels[i]));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> CorrelateThresholds(
+    const ReconstructedCurve& curve,
+    const std::vector<double>& sweep_thresholds,
+    const std::vector<size_t>& sweep_sizes) {
+  if (sweep_thresholds.size() != sweep_sizes.size() ||
+      sweep_thresholds.empty()) {
+    return Status::InvalidArgument(
+        "sweep thresholds/sizes must be non-empty and equal length");
+  }
+  for (size_t i = 1; i < sweep_thresholds.size(); ++i) {
+    if (sweep_thresholds[i] <= sweep_thresholds[i - 1]) {
+      return Status::InvalidArgument(
+          "sweep thresholds must be strictly increasing");
+    }
+    if (sweep_sizes[i] < sweep_sizes[i - 1]) {
+      return Status::InvalidArgument("sweep sizes must be non-decreasing");
+    }
+  }
+  std::vector<double> deltas;
+  deltas.reserve(curve.answers.size());
+  for (double target : curve.answers) {
+    // Smallest threshold whose size reaches the target count.
+    size_t lo = 0;
+    size_t hi = sweep_sizes.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (static_cast<double>(sweep_sizes[mid]) >= target - 1e-9) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    deltas.push_back(lo < sweep_thresholds.size() ? sweep_thresholds[lo]
+                                                  : sweep_thresholds.back());
+  }
+  return deltas;
+}
+
+Result<BoundsInput> InputFromReconstructed(const ReconstructedCurve& curve,
+                                           const std::vector<double>& ratios) {
+  if (ratios.size() != curve.answers.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "got %zu ratios for %zu reconstructed points", ratios.size(),
+        curve.answers.size()));
+  }
+  BoundsInput input;
+  input.total_correct = curve.total_correct;
+  for (size_t i = 0; i < curve.answers.size(); ++i) {
+    if (ratios[i] < 0.0 || ratios[i] > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("ratio at index %zu outside [0, 1]", i));
+    }
+    // Recall levels double as the (monotone) threshold axis: the real δ
+    // values are unknown, only their order matters to the algorithm.
+    input.thresholds.push_back(curve.recall_levels[i]);
+    input.s1_answers.push_back(curve.answers[i]);
+    input.s1_correct.push_back(curve.correct[i]);
+    input.s2_answers.push_back(curve.answers[i] * ratios[i]);
+  }
+  // Reconstructed |A1| masses are approximate (they depend on the |H|
+  // guess), so ratios measured on the real systems can slightly overshoot
+  // an increment; repair by clamping rather than rejecting (§4.1 inputs are
+  // best-effort by nature).
+  input = ClampToContainment(std::move(input));
+  SMB_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+}  // namespace smb::bounds

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "bounds/incremental_bounds.h"
+#include "common/result.h"
+#include "eval/interpolation.h"
+
+/// \file interpolated_input.h
+/// \brief Using an interpolated (11-point) P/R curve as input (§4.1).
+///
+/// An interpolated curve lacks the thresholds and answer counts a measured
+/// curve carries. The missing link is |H|: with a guess for it,
+/// `|A| = R·|H| / P` recovers answer counts at each recall level, which can
+/// then be correlated with the answer counts of a rebuilt system — turning
+/// the interpolated curve back into a measured one.
+
+namespace smb::bounds {
+
+/// \brief A measured-style curve reconstructed from 11-point data.
+struct ReconstructedCurve {
+  /// Recall levels kept (levels with P = 0 and the R = 0 level are dropped
+  /// — their answer mass is unknowable).
+  std::vector<double> recall_levels;
+  /// |A| = R·|H|/P at each kept level.
+  std::vector<double> answers;
+  /// |T| = R·|H| at each kept level.
+  std::vector<double> correct;
+  /// The |H| guess that produced the masses.
+  double total_correct = 0.0;
+};
+
+/// \brief Applies `|A| = R·|H|/P` to every usable point of an 11-point
+/// curve.
+///
+/// Fails when fewer than two levels are usable, or when the implied answer
+/// masses are not monotone in recall (an inconsistent published curve).
+Result<ReconstructedCurve> ReconstructFromElevenPoint(
+    const eval::ElevenPointCurve& curve, double h_guess);
+
+/// \brief §4.1's correlation step: given the rebuilt system's measured
+/// answer counts over a threshold sweep, finds for each reconstructed |A|
+/// level the smallest threshold at which the rebuilt system has produced at
+/// least that many answers. This assigns a δ-value to each point of the
+/// reconstructed curve.
+///
+/// `sweep_thresholds`/`sweep_sizes` describe the rebuilt system
+/// (strictly increasing thresholds, non-decreasing sizes). Reconstructed
+/// levels beyond the sweep's final size get the final threshold.
+Result<std::vector<double>> CorrelateThresholds(
+    const ReconstructedCurve& curve,
+    const std::vector<double>& sweep_thresholds,
+    const std::vector<size_t>& sweep_sizes);
+
+/// \brief Builds a BoundsInput from a reconstructed curve plus S2's answer
+/// size ratios at the same levels (|A2| = ratio · |A1|).
+Result<BoundsInput> InputFromReconstructed(const ReconstructedCurve& curve,
+                                           const std::vector<double>& ratios);
+
+}  // namespace smb::bounds

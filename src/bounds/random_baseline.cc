@@ -1,0 +1,31 @@
+#include "bounds/random_baseline.h"
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+double RandomIncrementPrecision(const MassPoint& s1_increment) {
+  return s1_increment.Precision();
+}
+
+double RandomIncrementCorrectMass(const MassPoint& s1_increment,
+                                  double kept_answers) {
+  if (s1_increment.answers <= 0.0) return 0.0;
+  return s1_increment.correct * (kept_answers / s1_increment.answers);
+}
+
+Result<double> RandomIncrementRecall(const MassPoint& s1_increment,
+                                     double kept_answers, double h) {
+  if (h <= 0.0) {
+    return Status::InvalidArgument("|H| must be positive");
+  }
+  if (kept_answers < 0.0 ||
+      kept_answers > s1_increment.answers + 1e-9) {
+    return Status::InvalidArgument(StrFormat(
+        "kept answer mass %g outside [0, %g]", kept_answers,
+        s1_increment.answers));
+  }
+  return RandomIncrementCorrectMass(s1_increment, kept_answers) / h;
+}
+
+}  // namespace smb::bounds

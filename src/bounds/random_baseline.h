@@ -1,0 +1,40 @@
+#pragma once
+
+#include "bounds/increment.h"
+#include "common/result.h"
+
+/// \file random_baseline.h
+/// \brief The hypothetical random system S_random (§3.4, Equations 9/10).
+///
+/// S_random executes S1 and keeps, in each increment, a random subset of the
+/// same size S2 kept there. Random selection preserves the correct/incorrect
+/// proportion in expectation, so per increment:
+///
+///   P̂_random = P̂_S1                                   (9)
+///   R̂_random = R̂_S1 · (Â_random / Â_S1)               (10)
+///
+/// Under the assumption that any deliberately designed improvement beats
+/// random selection, the random curve is a *practical* lower bound that is
+/// much tighter than the adversarial worst case.
+
+namespace smb::bounds {
+
+/// \brief Equation (9): increment precision of the random system.
+///
+/// `s1_increment` is the S1 increment mass; the random system's increment
+/// precision equals S1's regardless of the kept size.
+double RandomIncrementPrecision(const MassPoint& s1_increment);
+
+/// \brief Equation (10): increment recall of the random system, given the
+/// answer masses kept by the random system in this increment and |H|.
+///
+/// Fails if `kept_answers` exceeds the increment's answer mass.
+Result<double> RandomIncrementRecall(const MassPoint& s1_increment,
+                                     double kept_answers, double h);
+
+/// \brief Expected correct mass the random system keeps in an increment:
+/// `t̂1 · (â_kept / â1)`; 0 for an empty increment.
+double RandomIncrementCorrectMass(const MassPoint& s1_increment,
+                                  double kept_answers);
+
+}  // namespace smb::bounds

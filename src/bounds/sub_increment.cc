@@ -1,0 +1,66 @@
+#include "bounds/sub_increment.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace smb::bounds {
+
+Result<SubIncrementPoint> SubIncrementBoundsAt(
+    const MassPoint& at_lo, const MassPoint& at_hi, double h,
+    double answers_at_intermediate) {
+  if (h <= 0.0) {
+    return Status::InvalidArgument("|H| must be positive");
+  }
+  SMB_ASSIGN_OR_RETURN(MassPoint increment, IncrementBetween(at_lo, at_hi));
+  const double a_prime = answers_at_intermediate;
+  if (a_prime < at_lo.answers - 1e-9 || a_prime > at_hi.answers + 1e-9) {
+    return Status::OutOfRange(StrFormat(
+        "intermediate answer count %g outside [%g, %g]", a_prime,
+        at_lo.answers, at_hi.answers));
+  }
+  const double new_answers =
+      std::clamp(a_prime - at_lo.answers, 0.0, increment.answers);
+  // Best: every new answer correct, capped by the increment's correct mass.
+  const double best_correct =
+      at_lo.correct + std::min(new_answers, increment.correct);
+  // Worst: every new answer incorrect, floored by the incorrect mass
+  // available in the increment.
+  const double incorrect_available = increment.answers - increment.correct;
+  const double worst_correct =
+      at_lo.correct + std::max(0.0, new_answers - incorrect_available);
+
+  auto to_pr = [&](double correct) {
+    PrValue v;
+    v.recall = correct / h;
+    v.precision = a_prime > 0.0 ? correct / a_prime : 1.0;
+    return v;
+  };
+
+  SubIncrementPoint point;
+  point.answers = a_prime;
+  point.worst = to_pr(worst_correct);
+  point.best = to_pr(best_correct);
+  point.midpoint = to_pr((worst_correct + best_correct) / 2.0);
+  return point;
+}
+
+Result<std::vector<SubIncrementPoint>> SubIncrementSweep(
+    const MassPoint& at_lo, const MassPoint& at_hi, double h, size_t steps) {
+  if (steps == 0) {
+    return Status::InvalidArgument("steps must be positive");
+  }
+  std::vector<SubIncrementPoint> out;
+  out.reserve(steps + 1);
+  for (size_t i = 0; i <= steps; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(steps);
+    double a_prime =
+        at_lo.answers + frac * (at_hi.answers - at_lo.answers);
+    SMB_ASSIGN_OR_RETURN(SubIncrementPoint point,
+                         SubIncrementBoundsAt(at_lo, at_hi, h, a_prime));
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace smb::bounds

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "bounds/case_bounds.h"
+#include "bounds/increment.h"
+#include "common/result.h"
+
+/// \file sub_increment.h
+/// \brief Sub-increment interpolation boundaries (§4.2, Figure 13).
+///
+/// Between two *measured* thresholds δ1 ≤ δ' ≤ δ2 with known
+/// (|A|, |T|) at both ends, a rebuilt system observes |A'| answers at δ'.
+/// The new `|A'| − |A1|` answers have unknown correctness, but their number
+/// of correct ones is boxed in:
+///
+///   best:  all new answers are correct, capped by the increment's correct
+///          total and by the increment's answer count;
+///   worst: all new answers are incorrect, floored by the availability of
+///          incorrect answers in the increment.
+///
+/// The interpolated P/R point at δ' must therefore lie on the segment
+/// between the two endpoints — which is *not* the linear interpolation of
+/// the measured endpoints, and explains why precision can go up along a
+/// P/R curve (also observed in [10]).
+
+namespace smb::bounds {
+
+/// \brief Bounds for one intermediate threshold.
+struct SubIncrementPoint {
+  /// |A'|: the observed answer count at the intermediate threshold.
+  double answers = 0.0;
+  /// All-new-answers-incorrect endpoint.
+  PrValue worst;
+  /// All-new-answers-correct endpoint (capped).
+  PrValue best;
+  /// Midpoint of the segment — the paper's "safest interpolation choice".
+  PrValue midpoint;
+};
+
+/// \brief Computes the boundary segment for an intermediate threshold.
+///
+/// \param at_lo  masses (|A1|, |T1|) at the lower measured threshold
+/// \param at_hi  masses (|A2|, |T2|) at the upper measured threshold
+/// \param h      |H| mass (for recall)
+/// \param answers_at_intermediate  |A'| with |A1| <= |A'| <= |A2|
+Result<SubIncrementPoint> SubIncrementBoundsAt(
+    const MassPoint& at_lo, const MassPoint& at_hi, double h,
+    double answers_at_intermediate);
+
+/// \brief Sweeps `steps + 1` evenly spaced |A'| values across [|A1|, |A2|]
+/// (endpoints included), producing the family of boundary segments of
+/// Figure 13.
+Result<std::vector<SubIncrementPoint>> SubIncrementSweep(
+    const MassPoint& at_lo, const MassPoint& at_hi, double h, size_t steps);
+
+}  // namespace smb::bounds

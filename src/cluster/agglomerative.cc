@@ -1,0 +1,111 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smb::cluster {
+
+Result<AgglomerativeResult> AgglomerativeCluster(
+    const std::vector<FeatureVector>& points,
+    const AgglomerativeOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument(
+        "agglomerative clustering requires at least one point");
+  }
+  if (options.target_clusters == 0) {
+    return Status::InvalidArgument("target_clusters must be positive");
+  }
+  const size_t n = points.size();
+  const size_t dims = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dims) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+  const size_t target = std::min(options.target_clusters, n);
+
+  // active[c]: the point indices of live cluster c.
+  std::vector<std::vector<size_t>> members(n);
+  std::vector<bool> alive(n, true);
+  for (size_t i = 0; i < n; ++i) members[i] = {i};
+
+  // Pairwise point distances, computed once.
+  std::vector<double> pd(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = L2Distance(points[i], points[j]);
+      pd[i * n + j] = d;
+      pd[j * n + i] = d;
+    }
+  }
+
+  auto cluster_distance = [&](size_t a, size_t b) {
+    double best_min = std::numeric_limits<double>::infinity();
+    double best_max = 0.0;
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t i : members[a]) {
+      for (size_t j : members[b]) {
+        double d = pd[i * n + j];
+        best_min = std::min(best_min, d);
+        best_max = std::max(best_max, d);
+        sum += d;
+        ++count;
+      }
+    }
+    switch (options.linkage) {
+      case Linkage::kSingle:
+        return best_min;
+      case Linkage::kComplete:
+        return best_max;
+      case Linkage::kAverage:
+        return sum / static_cast<double>(count);
+    }
+    return sum / static_cast<double>(count);
+  };
+
+  size_t live = n;
+  while (live > target) {
+    // Find the closest pair of live clusters.
+    double best = std::numeric_limits<double>::infinity();
+    size_t ba = 0, bb = 0;
+    for (size_t a = 0; a < n; ++a) {
+      if (!alive[a]) continue;
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!alive[b]) continue;
+        double d = cluster_distance(a, b);
+        if (d < best) {
+          best = d;
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    // Merge bb into ba.
+    members[ba].insert(members[ba].end(), members[bb].begin(),
+                       members[bb].end());
+    members[bb].clear();
+    alive[bb] = false;
+    --live;
+  }
+
+  // Densify cluster ids and compute centroids.
+  AgglomerativeResult result;
+  result.assignment.assign(n, -1);
+  for (size_t c = 0; c < n; ++c) {
+    if (!alive[c]) continue;
+    int id = static_cast<int>(result.centroids.size());
+    FeatureVector centroid(dims, 0.0);
+    for (size_t i : members[c]) {
+      result.assignment[i] = id;
+      for (size_t d = 0; d < dims; ++d) centroid[d] += points[i][d];
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      centroid[d] /= static_cast<double>(members[c].size());
+    }
+    result.centroids.push_back(std::move(centroid));
+  }
+  return result;
+}
+
+}  // namespace smb::cluster

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/feature.h"
+#include "common/result.h"
+
+/// \file agglomerative.h
+/// \brief Bottom-up (agglomerative) hierarchical clustering.
+///
+/// Average-linkage merging, cut when `target_clusters` remain. Quadratic in
+/// the number of points; intended for repositories up to a few thousand
+/// elements (the k-means path scales further).
+
+namespace smb::cluster {
+
+/// \brief Linkage criterion for cluster-to-cluster distance.
+enum class Linkage {
+  kSingle,    ///< min pairwise distance
+  kComplete,  ///< max pairwise distance
+  kAverage,   ///< mean pairwise distance
+};
+
+/// \brief Agglomerative clustering parameters.
+struct AgglomerativeOptions {
+  size_t target_clusters = 8;
+  Linkage linkage = Linkage::kAverage;
+};
+
+/// \brief Result: per-point cluster ids (0..k-1, dense) and centroids.
+struct AgglomerativeResult {
+  std::vector<int> assignment;
+  std::vector<FeatureVector> centroids;
+};
+
+/// \brief Clusters `points` bottom-up until `target_clusters` remain.
+Result<AgglomerativeResult> AgglomerativeCluster(
+    const std::vector<FeatureVector>& points,
+    const AgglomerativeOptions& options);
+
+}  // namespace smb::cluster

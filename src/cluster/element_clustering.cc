@@ -1,0 +1,83 @@
+#include "cluster/element_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/agglomerative.h"
+
+namespace smb::cluster {
+
+Result<ElementClustering> ElementClustering::Build(
+    const schema::SchemaRepository& repo,
+    const ElementClusteringOptions& options, Rng* rng) {
+  if (repo.total_elements() == 0) {
+    return Status::InvalidArgument("repository has no elements to cluster");
+  }
+  ElementFeaturizer featurizer(options.featurizer);
+  std::vector<schema::ElementRef> elements = repo.AllElements();
+  std::vector<FeatureVector> points;
+  points.reserve(elements.size());
+  for (const auto& ref : elements) {
+    const schema::Schema& s = repo.schema(ref.schema_index);
+    const schema::SchemaNode& node = s.node(ref.node);
+    std::string_view parent_name;
+    if (node.parent != schema::kInvalidNode) {
+      parent_name = s.node(node.parent).name;
+    }
+    points.push_back(featurizer.Featurize(node.name, parent_name));
+  }
+
+  size_t k = options.num_clusters;
+  if (k == 0) {
+    k = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(points.size()))));
+  }
+
+  std::vector<int> assignment;
+  std::vector<FeatureVector> centroids;
+  if (options.algorithm == ClusterAlgorithm::kKMeans) {
+    KMeansOptions kopts = options.kmeans;
+    kopts.k = k;
+    SMB_ASSIGN_OR_RETURN(KMeansResult km, KMeans(points, kopts, rng));
+    assignment = std::move(km.assignment);
+    centroids = std::move(km.centroids);
+  } else {
+    AgglomerativeOptions aopts;
+    aopts.target_clusters = k;
+    SMB_ASSIGN_OR_RETURN(AgglomerativeResult ag,
+                         AgglomerativeCluster(points, aopts));
+    assignment = std::move(ag.assignment);
+    centroids = std::move(ag.centroids);
+  }
+
+  std::vector<std::vector<schema::ElementRef>> members(centroids.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    members[static_cast<size_t>(assignment[i])].push_back(elements[i]);
+  }
+
+  return ElementClustering(std::move(featurizer), std::move(assignment),
+                           std::move(centroids), std::move(members));
+}
+
+std::vector<int> ElementClustering::TopClustersFor(
+    std::string_view query_name, std::string_view query_parent_name,
+    size_t top_m) const {
+  FeatureVector q = featurizer_.Featurize(query_name, query_parent_name);
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    scored.emplace_back(CosineSimilarity(q, centroids_[c]),
+                        static_cast<int>(c));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<int> out;
+  for (size_t i = 0; i < scored.size() && i < top_m; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace smb::cluster

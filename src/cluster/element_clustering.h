@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/feature.h"
+#include "cluster/kmeans.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "schema/repository.h"
+
+/// \file element_clustering.h
+/// \brief Clustering of all repository elements for non-exhaustive search.
+///
+/// This is the search-space-restriction heuristic of the paper's companion
+/// work [16]: repository elements are clustered by name features once, and a
+/// query element then only considers elements in the clusters whose
+/// centroids are most similar to it. Mappings that would use elements
+/// outside those clusters are never generated — which is exactly what makes
+/// the improved system non-exhaustive.
+
+namespace smb::cluster {
+
+/// \brief Clustering algorithm selector.
+enum class ClusterAlgorithm {
+  kKMeans,
+  kAgglomerative,
+};
+
+/// \brief Parameters for repository clustering.
+struct ElementClusteringOptions {
+  ClusterAlgorithm algorithm = ClusterAlgorithm::kKMeans;
+  /// Number of clusters; if 0, uses sqrt(#elements) rounded up.
+  size_t num_clusters = 0;
+  FeaturizerOptions featurizer;
+  KMeansOptions kmeans;
+};
+
+/// \brief An immutable clustering of every element of a repository.
+class ElementClustering {
+ public:
+  /// Builds a clustering over all elements of `repo`.
+  static Result<ElementClustering> Build(
+      const schema::SchemaRepository& repo,
+      const ElementClusteringOptions& options, Rng* rng);
+
+  /// Number of clusters.
+  size_t cluster_count() const { return centroids_.size(); }
+
+  /// Cluster id of a repository element (same order as repo.AllElements()).
+  int ClusterOf(size_t element_index) const {
+    return assignment_[element_index];
+  }
+
+  /// The elements of cluster `c`.
+  const std::vector<schema::ElementRef>& ClusterMembers(int c) const {
+    return members_[static_cast<size_t>(c)];
+  }
+
+  /// \brief Cluster ids ranked by centroid cosine similarity to a query
+  /// element name (highest first), truncated to `top_m`.
+  std::vector<int> TopClustersFor(std::string_view query_name,
+                                  std::string_view query_parent_name,
+                                  size_t top_m) const;
+
+  /// The featurizer used to build the clustering.
+  const ElementFeaturizer& featurizer() const { return featurizer_; }
+
+ private:
+  ElementClustering(ElementFeaturizer featurizer,
+                    std::vector<int> assignment,
+                    std::vector<FeatureVector> centroids,
+                    std::vector<std::vector<schema::ElementRef>> members)
+      : featurizer_(std::move(featurizer)),
+        assignment_(std::move(assignment)),
+        centroids_(std::move(centroids)),
+        members_(std::move(members)) {}
+
+  ElementFeaturizer featurizer_;
+  std::vector<int> assignment_;
+  std::vector<FeatureVector> centroids_;
+  std::vector<std::vector<schema::ElementRef>> members_;
+};
+
+}  // namespace smb::cluster

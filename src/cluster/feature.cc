@@ -1,0 +1,85 @@
+#include "cluster/feature.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/strings.h"
+
+namespace smb::cluster {
+
+namespace {
+
+/// FNV-1a 64-bit over a short string.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void ElementFeaturizer::AddTrigrams(std::string_view name, double weight,
+                                    FeatureVector* out) const {
+  if (name.empty() || weight <= 0.0) return;
+  std::string padded = "##";
+  padded += name;
+  padded += "##";
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    uint64_t h = Fnv1a(std::string_view(padded).substr(i, 3));
+    size_t dim = static_cast<size_t>(h % options_.dimensions);
+    // Sign hashing halves collision bias (standard feature-hashing trick).
+    double sign = ((h >> 32) & 1) ? 1.0 : -1.0;
+    (*out)[dim] += sign * weight;
+  }
+}
+
+FeatureVector ElementFeaturizer::Featurize(std::string_view name,
+                                           std::string_view parent_name) const {
+  FeatureVector v(options_.dimensions, 0.0);
+  std::string lname, lparent;
+  if (options_.case_insensitive) {
+    lname = ToLower(name);
+    lparent = ToLower(parent_name);
+    name = lname;
+    parent_name = lparent;
+  }
+  AddTrigrams(name, 1.0, &v);
+  AddTrigrams(parent_name, options_.parent_weight, &v);
+  L2Normalize(&v);
+  return v;
+}
+
+double L2Distance(const FeatureVector& a, const FeatureVector& b) {
+  double sum = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double CosineSimilarity(const FeatureVector& a, const FeatureVector& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void L2Normalize(FeatureVector* v) {
+  double norm = 0.0;
+  for (double x : *v) norm += x * x;
+  if (norm <= 0.0) return;
+  norm = std::sqrt(norm);
+  for (double& x : *v) x /= norm;
+}
+
+}  // namespace smb::cluster

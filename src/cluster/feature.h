@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+/// \file feature.h
+/// \brief Dense feature vectors for schema elements.
+///
+/// Element names are embedded by hashing character trigrams into a
+/// fixed-dimension count vector (L2-normalized). Optionally the parent name
+/// is mixed in with a lower weight, so elements keep some structural
+/// context — the clustering heuristic of the paper's companion work [16]
+/// groups elements that are good *candidate targets* for the same query
+/// element.
+
+namespace smb::cluster {
+
+using FeatureVector = std::vector<double>;
+
+/// \brief Featurization parameters.
+struct FeaturizerOptions {
+  /// Dimension of the hashed trigram space.
+  size_t dimensions = 64;
+  /// Weight of the parent element's name trigrams (0 disables).
+  double parent_weight = 0.3;
+  /// Case-fold names before hashing.
+  bool case_insensitive = true;
+};
+
+/// \brief Hashes names into FeatureVectors.
+class ElementFeaturizer {
+ public:
+  explicit ElementFeaturizer(FeaturizerOptions options = {})
+      : options_(options) {}
+
+  /// Embeds a name (with optional parent-name context).
+  FeatureVector Featurize(std::string_view name,
+                          std::string_view parent_name = "") const;
+
+  size_t dimensions() const { return options_.dimensions; }
+
+ private:
+  void AddTrigrams(std::string_view name, double weight,
+                   FeatureVector* out) const;
+
+  FeaturizerOptions options_;
+};
+
+/// Euclidean distance between equal-length vectors.
+double L2Distance(const FeatureVector& a, const FeatureVector& b);
+
+/// Cosine similarity; 0 when either vector is all-zero.
+double CosineSimilarity(const FeatureVector& a, const FeatureVector& b);
+
+/// Scales a vector to unit L2 norm (no-op on the zero vector).
+void L2Normalize(FeatureVector* v);
+
+}  // namespace smb::cluster

@@ -1,0 +1,129 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smb::cluster {
+
+namespace {
+
+double SquaredL2(const FeatureVector& a, const FeatureVector& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<FeatureVector> SeedPlusPlus(
+    const std::vector<FeatureVector>& points, size_t k, Rng* rng) {
+  std::vector<FeatureVector> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng->UniformIndex(points.size())]);
+  std::vector<double> dist2(points.size(),
+                            std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i], SquaredL2(points[i], centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with centroids; duplicate one arbitrarily.
+      centroids.push_back(points[rng->UniformIndex(points.size())]);
+      continue;
+    }
+    double draw = rng->UniformDouble() * total;
+    size_t chosen = points.size() - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      acc += dist2[i];
+      if (acc >= draw) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
+                            const KMeansOptions& options, Rng* rng) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means requires at least one point");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  const size_t dims = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dims) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+
+  const size_t k = std::min(options.k, points.size());
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, k, rng);
+  result.assignment.assign(points.size(), -1);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredL2(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && options.early_stop) break;
+    // Update step.
+    std::vector<FeatureVector> sums(k, FeatureVector(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      auto c = static_cast<size_t>(result.assignment[i]);
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng->UniformIndex(points.size())];
+        continue;
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        sums[c][d] /= static_cast<double>(counts[c]);
+      }
+      result.centroids[c] = std::move(sums[c]);
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredL2(
+        points[i],
+        result.centroids[static_cast<size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+}  // namespace smb::cluster

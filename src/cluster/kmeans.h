@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/feature.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+/// \file kmeans.h
+/// \brief Lloyd's k-means with k-means++ seeding.
+
+namespace smb::cluster {
+
+/// \brief K-means parameters.
+struct KMeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 50;
+  /// Stop when no assignment changes in an iteration.
+  bool early_stop = true;
+};
+
+/// \brief Clustering output: per-point cluster ids and the centroids.
+struct KMeansResult {
+  std::vector<int> assignment;           ///< point index -> cluster id
+  std::vector<FeatureVector> centroids;  ///< cluster id -> centroid
+  size_t iterations = 0;                 ///< Lloyd iterations executed
+  double inertia = 0.0;                  ///< sum of squared distances
+};
+
+/// \brief Runs k-means++ / Lloyd on `points`.
+///
+/// Fails with `kInvalidArgument` when `points` is empty, `k == 0`, or the
+/// points have inconsistent dimensions. When `k >= points.size()`, every
+/// point gets its own cluster.
+Result<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
+                            const KMeansOptions& options, Rng* rng);
+
+}  // namespace smb::cluster

@@ -1,0 +1,70 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+
+namespace smb {
+
+void RenderChart(const std::vector<ChartSeries>& series,
+                 const ChartOptions& options, std::ostream& os) {
+  const int w = std::max(10, options.width);
+  const int h = std::max(5, options.height);
+  const double xspan = options.x_max - options.x_min;
+  const double yspan = options.y_max - options.y_min;
+  if (xspan <= 0 || yspan <= 0) {
+    os << "(empty chart: degenerate axis range)\n";
+    return;
+  }
+
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  for (const auto& s : series) {
+    const size_t n = std::min(s.x.size(), s.y.size());
+    for (size_t i = 0; i < n; ++i) {
+      double fx = (s.x[i] - options.x_min) / xspan;
+      double fy = (s.y[i] - options.y_min) / yspan;
+      if (fx < 0 || fx > 1 || fy < 0 || fy > 1 || std::isnan(fx) ||
+          std::isnan(fy)) {
+        continue;
+      }
+      int col = static_cast<int>(std::lround(fx * (w - 1)));
+      int row = (h - 1) - static_cast<int>(std::lround(fy * (h - 1)));
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = s.glyph;
+    }
+  }
+
+  const std::string ylab_hi = FormatDouble(options.y_max, 3);
+  const std::string ylab_lo = FormatDouble(options.y_min, 3);
+  size_t margin = std::max(ylab_hi.size(), ylab_lo.size()) + 1;
+
+  os << std::string(margin, ' ') << options.y_label << "\n";
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = ylab_hi;
+    else if (r == h - 1) label = ylab_lo;
+    os << label << std::string(margin - label.size(), ' ') << "|"
+       << grid[static_cast<size_t>(r)] << "\n";
+  }
+  os << std::string(margin, ' ') << "+" << std::string(static_cast<size_t>(w), '-')
+     << "> " << options.x_label << "\n";
+  const std::string xlab_lo = FormatDouble(options.x_min, 3);
+  const std::string xlab_hi = FormatDouble(options.x_max, 3);
+  os << std::string(margin + 1, ' ') << xlab_lo
+     << std::string(
+            std::max<size_t>(
+                1, static_cast<size_t>(w) - xlab_lo.size() - xlab_hi.size()),
+            ' ')
+     << xlab_hi << "\n";
+
+  if (options.draw_legend && !series.empty()) {
+    os << std::string(margin, ' ') << "legend:";
+    for (const auto& s : series) {
+      os << "  " << s.glyph << "=" << s.name;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace smb

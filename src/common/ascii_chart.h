@@ -1,0 +1,40 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file ascii_chart.h
+/// \brief Terminal scatter/line chart used by the bench binaries to render
+/// the paper's P/R figures directly in the console output.
+
+namespace smb {
+
+/// \brief One named data series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  /// Single-character glyph used to plot the series.
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// \brief Options controlling chart geometry and axes.
+struct ChartOptions {
+  int width = 61;    ///< plot area width in characters
+  int height = 21;   ///< plot area height in characters
+  double x_min = 0.0;
+  double x_max = 1.0;
+  double y_min = 0.0;
+  double y_max = 1.0;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  bool draw_legend = true;
+};
+
+/// \brief Renders series into a character grid with axes, tick labels and an
+/// optional legend. Later series overwrite earlier ones on collisions.
+void RenderChart(const std::vector<ChartSeries>& series,
+                 const ChartOptions& options, std::ostream& os);
+
+}  // namespace smb

@@ -1,0 +1,79 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace smb {
+
+Result<CommandLine> CommandLine::Parse(int argc, const char* const* argv) {
+  CommandLine cl;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!flags_done && arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (!flags_done && StartsWith(arg, "--")) {
+      std::string body = arg.substr(2);
+      if (body.empty()) {
+        return Status::InvalidArgument("empty flag name");
+      }
+      size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        if (eq == 0) {
+          return Status::InvalidArgument("empty flag name in '" + arg + "'");
+        }
+        cl.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        cl.flags_[body] = argv[++i];
+      } else {
+        cl.flags_[body] = "";
+      }
+      continue;
+    }
+    if (cl.command_.empty()) {
+      cl.command_ = arg;
+    } else {
+      cl.positional_.push_back(arg);
+    }
+  }
+  return cl;
+}
+
+std::string CommandLine::Get(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<double> CommandLine::GetDouble(const std::string& key,
+                                      double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    return Status::InvalidArgument("flag --" + key + " is not a number: '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> CommandLine::GetUint(const std::string& key,
+                                      uint64_t fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty() ||
+      it->second.find('-') != std::string::npos) {
+    return Status::InvalidArgument("flag --" + key +
+                                   " is not a non-negative integer: '" +
+                                   it->second + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace smb

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file flags.h
+/// \brief Tiny command-line parser for the CLI tool and examples.
+///
+/// Grammar: `program <command> [--key=value | --key value | --switch] ...`
+/// Positional arguments after the command are collected in order.
+
+namespace smb {
+
+/// \brief Parsed command line.
+class CommandLine {
+ public:
+  /// Parses argv (argv[0] ignored). `--` ends flag parsing.
+  static Result<CommandLine> Parse(int argc, const char* const* argv);
+
+  /// First non-flag token ("" when none).
+  const std::string& command() const { return command_; }
+
+  /// Positional arguments after the command.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True iff the flag appeared (with or without a value).
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  /// Flag value; `fallback` when absent. Valueless switches yield "".
+  std::string Get(const std::string& key, const std::string& fallback = "") const;
+
+  /// Flag value parsed as double.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// Flag value parsed as non-negative integer.
+  Result<uint64_t> GetUint(const std::string& key, uint64_t fallback) const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace smb

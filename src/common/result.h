@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cassert>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file result.h
+/// \brief `Result<T>`: a value-or-Status sum type (Arrow idiom).
+
+namespace smb {
+
+/// \brief Holds either a `T` or a non-OK `Status` explaining why the value
+/// could not be produced.
+///
+/// Typical usage:
+/// \code
+///   Result<Schema> r = ReadSchema(path);
+///   if (!r.ok()) return r.status();
+///   Schema s = std::move(r).value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit by design, mirrors
+  /// absl::StatusOr).
+  Result(T value) : has_value_(true) {  // NOLINT(runtime/explicit)
+    new (&storage_.value) T(std::move(value));
+  }
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : has_value_(false) {  // NOLINT(runtime/explicit)
+    assert(!status.ok() && "Result constructed from OK status");
+    new (&storage_.status) Status(std::move(status));
+  }
+
+  Result(const Result& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(other.storage_.value);
+    } else {
+      new (&storage_.status) Status(other.storage_.status);
+    }
+  }
+
+  Result(Result&& other) noexcept : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(std::move(other.storage_.value));
+    } else {
+      new (&storage_.status) Status(std::move(other.storage_.status));
+    }
+  }
+
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_.value) T(other.storage_.value);
+      } else {
+        new (&storage_.status) Status(other.storage_.status);
+      }
+    }
+    return *this;
+  }
+
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_.value) T(std::move(other.storage_.value));
+      } else {
+        new (&storage_.status) Status(std::move(other.storage_.status));
+      }
+    }
+    return *this;
+  }
+
+  ~Result() { Destroy(); }
+
+  /// True iff a value is present.
+  bool ok() const { return has_value_; }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    return has_value_ ? Status::OK() : storage_.status;
+  }
+
+  /// \name Value accessors. Undefined behaviour if `!ok()` (asserted).
+  /// @{
+  const T& value() const& {
+    assert(has_value_);
+    return storage_.value;
+  }
+  T& value() & {
+    assert(has_value_);
+    return storage_.value;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(storage_.value);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const& {
+    return has_value_ ? storage_.value : std::move(fallback);
+  }
+
+ private:
+  void Destroy() {
+    if (has_value_) {
+      storage_.value.~T();
+    } else {
+      storage_.status.~Status();
+    }
+  }
+
+  union Storage {
+    Storage() {}
+    ~Storage() {}
+    T value;
+    Status status;
+  } storage_;
+  bool has_value_;
+};
+
+}  // namespace smb
+
+/// Unwraps a Result into `lhs`, or propagates its error status.
+#define SMB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SMB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SMB_ASSIGN_OR_RETURN_NAME(a, b) SMB_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define SMB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SMB_ASSIGN_OR_RETURN_IMPL(             \
+      SMB_ASSIGN_OR_RETURN_NAME(_smb_result_, __LINE__), lhs, rexpr)

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// Every stochastic component of the library (synthetic collection
+/// generation, random-prune matcher, property-test sweeps) draws from
+/// `smb::Rng`, seeded explicitly, so every experiment is reproducible
+/// bit-for-bit across runs and platforms.
+
+namespace smb {
+
+/// \brief xoshiro256++ generator seeded via splitmix64.
+///
+/// Small, fast, and statistically solid for simulation workloads; not
+/// cryptographic. Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Two `Rng`s with equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit draw.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform integer in `[lo, hi]` (inclusive). Requires `lo <= hi`.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform index in `[0, n)`. Requires `n > 0`.
+  size_t UniformIndex(size_t n);
+
+  /// Uniform double in `[0, 1)`.
+  double UniformDouble();
+
+  /// Uniform double in `[lo, hi)`.
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal draw (Box-Muller).
+  double Normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformIndex(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Samples `k` distinct indices from `[0, n)` without replacement.
+  ///
+  /// Returns them in ascending order. If `k >= n`, returns all of `[0, n)`.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator (for parallel substreams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace smb

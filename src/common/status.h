@@ -1,0 +1,111 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// \brief Error handling for the MatchBounds library.
+///
+/// Follows the RocksDB/Arrow idiom: operations that can fail return a
+/// `smb::Status` (or `smb::Result<T>`, see result.h) instead of throwing.
+/// Exceptions never cross a public API boundary.
+
+namespace smb {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kParseError = 5,
+  kIOError = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The result of an operation that may fail.
+///
+/// A `Status` is cheap to copy when OK (no allocation) and carries a
+/// code plus a diagnostic message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty when OK).
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prepends context to the message, keeping the code.
+  ///
+  /// No-op on an OK status. Useful when propagating errors upward:
+  /// `return st.WithContext("while parsing schema 'foo'");`
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace smb
+
+/// Propagates a non-OK status to the caller.
+#define SMB_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::smb::Status _smb_status = (expr);             \
+    if (!_smb_status.ok()) return _smb_status;      \
+  } while (false)

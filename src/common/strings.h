@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.h
+/// \brief Small string utilities shared across the library.
+
+namespace smb {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any ASCII whitespace run; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits an identifier into lowercase word tokens.
+///
+/// Understands camelCase, PascalCase, snake_case, kebab-case, dotted.names,
+/// and digit boundaries: `"purchaseOrder_ID2"` -> {"purchase","order","id","2"}.
+/// This is the tokenizer used by token-based name similarity.
+std::vector<std::string> SplitIdentifier(std::string_view name);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+}  // namespace smb

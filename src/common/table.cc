@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace smb {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(StrFormat("%.*f", precision, v));
+  AddRow(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os, int indent) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string pad(static_cast<size_t>(indent), ' ');
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << pad << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void TextTable::WriteCsv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << CsvEscape(row[c]);
+    }
+    os << "\n";
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string FormatDouble(double v, int max_precision) {
+  if (std::isnan(v)) return "nan";
+  std::string s = StrFormat("%.*f", max_precision, v);
+  if (s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') --last;
+    s.erase(last + 1);
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+}  // namespace smb

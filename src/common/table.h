@@ -1,0 +1,46 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// \brief Fixed-width text table and CSV emission for bench output.
+///
+/// Every bench binary prints the series a paper figure plots; `TextTable`
+/// renders them as aligned columns (human-readable) and `WriteCsv` emits the
+/// same rows machine-readably so figures can be re-plotted externally.
+
+namespace smb {
+
+/// \brief A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with padded columns, a header underline, and `indent` leading
+  /// spaces on every line.
+  void Print(std::ostream& os, int indent = 0) const;
+
+  /// Emits RFC-4180-ish CSV (fields containing comma/quote/newline quoted).
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double trimming trailing zeros ("0.25", "1", "0.3333").
+std::string FormatDouble(double v, int max_precision = 6);
+
+}  // namespace smb

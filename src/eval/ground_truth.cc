@@ -1,0 +1,31 @@
+#include "eval/ground_truth.h"
+
+namespace smb::eval {
+
+void GroundTruth::AddCorrect(match::Mapping::Key key) {
+  correct_.insert(std::move(key));
+}
+
+size_t GroundTruth::CountTruePositives(const match::AnswerSet& answers,
+                                       double threshold) const {
+  size_t n = answers.CountAtThreshold(threshold);
+  size_t tp = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (Contains(answers.mappings()[i])) ++tp;
+  }
+  return tp;
+}
+
+size_t GroundTruth::CountTruePositives(const match::AnswerSet& answers) const {
+  size_t tp = 0;
+  for (const auto& m : answers.mappings()) {
+    if (Contains(m)) ++tp;
+  }
+  return tp;
+}
+
+void GroundTruth::Merge(const GroundTruth& other) {
+  for (const auto& key : other.correct_) correct_.insert(key);
+}
+
+}  // namespace smb::eval

@@ -1,0 +1,32 @@
+#include "eval/interpolation.h"
+
+namespace smb::eval {
+
+double ElevenPointCurve::MeanPrecision() const {
+  double sum = 0.0;
+  for (double p : precision) sum += p;
+  return sum / static_cast<double>(kLevels);
+}
+
+double InterpolatedPrecisionAt(const PrCurve& measured, double recall) {
+  double best = 0.0;
+  for (const PrPoint& p : measured.points()) {
+    if (p.recall >= recall - 1e-12) best = std::max(best, p.precision);
+  }
+  return best;
+}
+
+Result<ElevenPointCurve> InterpolateElevenPoint(const PrCurve& measured) {
+  if (measured.empty()) {
+    return Status::InvalidArgument("cannot interpolate an empty curve");
+  }
+  SMB_RETURN_IF_ERROR(measured.Validate());
+  ElevenPointCurve out;
+  for (size_t i = 0; i < ElevenPointCurve::kLevels; ++i) {
+    out.precision[i] =
+        InterpolatedPrecisionAt(measured, ElevenPointCurve::RecallLevel(i));
+  }
+  return out;
+}
+
+}  // namespace smb::eval

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/pr_curve.h"
+
+/// \file interpolation.h
+/// \brief The interpolated 11-point P/R curve (§2.4, Figure 6).
+///
+/// Literature typically reports precision at the 11 fixed recall levels
+/// 0, 0.1, …, 1 using the standard interpolation
+/// `P_interp(r) = max { P(r') : r' ≥ r }` over the measured points.
+/// Note what this representation *loses*: the threshold values and the
+/// answer counts — the gap §4.1 of the paper is about.
+
+namespace smb::eval {
+
+/// \brief Precision at recall levels 0.0, 0.1, …, 1.0.
+struct ElevenPointCurve {
+  static constexpr size_t kLevels = 11;
+  std::array<double, kLevels> precision{};
+
+  /// The recall level of entry `i` (= i / 10).
+  static double RecallLevel(size_t i) { return static_cast<double>(i) / 10.0; }
+
+  /// Mean of the 11 precision values (a summary statistic, akin to AP).
+  double MeanPrecision() const;
+};
+
+/// \brief Interpolates a measured curve to the 11 standard recall levels.
+///
+/// Levels above the maximum measured recall get precision 0 (the system
+/// never reached them).
+Result<ElevenPointCurve> InterpolateElevenPoint(const PrCurve& measured);
+
+/// \brief Piecewise-constant interpolated precision at an arbitrary recall
+/// level: `max { P(r') : r' >= r }` over the measured points; 0 beyond the
+/// maximum measured recall.
+double InterpolatedPrecisionAt(const PrCurve& measured, double recall);
+
+}  // namespace smb::eval

@@ -1,0 +1,77 @@
+#include "eval/ir_metrics.h"
+
+#include <algorithm>
+
+namespace smb::eval {
+
+double AveragePrecision(const match::AnswerSet& answers,
+                        const GroundTruth& truth) {
+  if (truth.empty()) return 0.0;
+  size_t correct_so_far = 0;
+  double sum = 0.0;
+  for (size_t rank = 0; rank < answers.size(); ++rank) {
+    if (truth.Contains(answers.mappings()[rank])) {
+      ++correct_so_far;
+      sum += static_cast<double>(correct_so_far) /
+             static_cast<double>(rank + 1);
+    }
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double PrecisionAtN(const match::AnswerSet& answers, const GroundTruth& truth,
+                    size_t n) {
+  n = std::min(n, answers.size());
+  if (n == 0) return 1.0;
+  size_t correct = 0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (truth.Contains(answers.mappings()[rank])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double RPrecision(const match::AnswerSet& answers, const GroundTruth& truth) {
+  if (truth.empty()) return 1.0;
+  return PrecisionAtN(answers, truth, truth.size());
+}
+
+double BPref(const match::AnswerSet& answers, const GroundTruth& truth,
+             const GroundTruth& judged_wrong) {
+  if (truth.empty()) return 0.0;
+  const double h = static_cast<double>(truth.size());
+  const double w = static_cast<double>(judged_wrong.size());
+  const double denom = std::min(h, w);
+  double sum = 0.0;
+  size_t wrong_above = 0;
+  for (const auto& m : answers.mappings()) {
+    if (truth.Contains(m)) {
+      if (denom <= 0.0) {
+        sum += 1.0;  // no judged-wrong answers: nothing can rank above
+      } else {
+        sum += 1.0 - std::min(static_cast<double>(wrong_above), denom) / denom;
+      }
+    } else if (judged_wrong.Contains(m)) {
+      ++wrong_above;
+    }
+    // Unjudged answers are ignored entirely (the point of bpref).
+  }
+  return sum / h;
+}
+
+double BreakEvenPoint(const match::AnswerSet& answers,
+                      const GroundTruth& truth) {
+  if (truth.empty()) return 0.0;
+  double best = 0.0;
+  size_t correct = 0;
+  for (size_t rank = 0; rank < answers.size(); ++rank) {
+    if (truth.Contains(answers.mappings()[rank])) ++correct;
+    double p = static_cast<double>(correct) / static_cast<double>(rank + 1);
+    double r = static_cast<double>(correct) / static_cast<double>(truth.size());
+    if (p >= r && correct > 0) best = p;
+  }
+  // The largest precision at which P >= R still held; at the crossing rank
+  // this is the break-even value (P == R when |A| == |H| exactly).
+  return best;
+}
+
+}  // namespace smb::eval

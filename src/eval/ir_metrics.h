@@ -1,0 +1,46 @@
+#pragma once
+
+#include "eval/ground_truth.h"
+#include "match/answer_set.h"
+
+/// \file ir_metrics.h
+/// \brief Rank-based IR metrics complementing the threshold-based P/R
+/// harness: average precision, R-precision, precision@N and the P/R
+/// break-even point. Useful for summarizing systems with one number when
+/// comparing many parameter settings (the paper's use case 2).
+
+namespace smb::eval {
+
+/// \brief Average precision: mean of precision@rank over the ranks of the
+/// correct answers, with unretrieved correct answers contributing 0.
+/// 0 when H is empty.
+double AveragePrecision(const match::AnswerSet& answers,
+                        const GroundTruth& truth);
+
+/// \brief Precision over the top-N ranked answers (N clamped to the answer
+/// count; 1.0 for an empty prefix).
+double PrecisionAtN(const match::AnswerSet& answers, const GroundTruth& truth,
+                    size_t n);
+
+/// \brief R-precision: precision at rank |H|.
+double RPrecision(const match::AnswerSet& answers, const GroundTruth& truth);
+
+/// \brief P/R break-even point: precision at the largest rank where
+/// precision@rank >= recall@rank (they cross there); 0 when they never
+/// meet above rank 0.
+double BreakEvenPoint(const match::AnswerSet& answers,
+                      const GroundTruth& truth);
+
+/// \brief bpref (Buckley & Voorhees [3], cited in §1): rank metric robust
+/// to incomplete judgments. Only *judged* answers count — `judged_wrong`
+/// holds the answers a human inspected and rejected; everything else in the
+/// ranking is treated as unjudged and ignored:
+///
+///   bpref = (1/|H|) Σ_{r ∈ retrieved ∩ H} (1 − |wrong ranked above r| / min(|H|, |W|))
+///
+/// where W is the judged-wrong set. 0 when H is empty; the
+/// `|W| == 0` convention scores every retrieved correct answer 1.
+double BPref(const match::AnswerSet& answers, const GroundTruth& truth,
+             const GroundTruth& judged_wrong);
+
+}  // namespace smb::eval

@@ -1,0 +1,42 @@
+#include "eval/metrics.h"
+
+namespace smb::eval {
+
+double Precision(const ConfusionCounts& counts) {
+  if (counts.answers == 0) return 1.0;
+  return static_cast<double>(counts.true_positives) /
+         static_cast<double>(counts.answers);
+}
+
+double Recall(const ConfusionCounts& counts) {
+  if (counts.total_correct == 0) return 1.0;
+  return static_cast<double>(counts.true_positives) /
+         static_cast<double>(counts.total_correct);
+}
+
+double F1Score(const ConfusionCounts& counts) {
+  double p = Precision(counts);
+  double r = Recall(counts);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionCounts Evaluate(const match::AnswerSet& answers,
+                         const GroundTruth& truth, double threshold) {
+  ConfusionCounts counts;
+  counts.answers = answers.CountAtThreshold(threshold);
+  counts.true_positives = truth.CountTruePositives(answers, threshold);
+  counts.total_correct = truth.size();
+  return counts;
+}
+
+ConfusionCounts EvaluateAll(const match::AnswerSet& answers,
+                            const GroundTruth& truth) {
+  ConfusionCounts counts;
+  counts.answers = answers.size();
+  counts.true_positives = truth.CountTruePositives(answers);
+  counts.total_correct = truth.size();
+  return counts;
+}
+
+}  // namespace smb::eval

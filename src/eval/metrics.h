@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+
+#include "eval/ground_truth.h"
+#include "match/answer_set.h"
+
+/// \file metrics.h
+/// \brief Precision and recall (Figure 2 of the paper).
+///
+/// `P = |T|/|A|`, `R = |T|/|H|` with `T = H ∩ A`. Conventions for the
+/// degenerate denominators: an empty answer set has precision 1 (no wrong
+/// answers were produced) and an empty H yields recall 1.
+
+namespace smb::eval {
+
+/// \brief Raw counts behind a P/R measurement.
+struct ConfusionCounts {
+  size_t answers = 0;         ///< |A^δ|
+  size_t true_positives = 0;  ///< |T^δ|
+  size_t total_correct = 0;   ///< |H|
+};
+
+/// `|T|/|A|`, 1 when |A| == 0.
+double Precision(const ConfusionCounts& counts);
+
+/// `|T|/|H|`, 1 when |H| == 0.
+double Recall(const ConfusionCounts& counts);
+
+/// Harmonic mean of precision and recall; 0 when both are 0.
+double F1Score(const ConfusionCounts& counts);
+
+/// Counts |A^δ| and |T^δ| for one answer set at one threshold.
+ConfusionCounts Evaluate(const match::AnswerSet& answers,
+                         const GroundTruth& truth, double threshold);
+
+/// Counts over the full answer set (δ = ∞).
+ConfusionCounts EvaluateAll(const match::AnswerSet& answers,
+                            const GroundTruth& truth);
+
+}  // namespace smb::eval

@@ -1,0 +1,58 @@
+#include "eval/pooling.h"
+
+#include <set>
+
+namespace smb::eval {
+
+namespace {
+
+Result<std::set<match::Mapping::Key>> BuildPool(
+    const std::vector<const match::AnswerSet*>& systems,
+    const PoolingOptions& options) {
+  if (systems.empty()) {
+    return Status::InvalidArgument("no systems to pool");
+  }
+  std::set<match::Mapping::Key> pool;
+  for (const match::AnswerSet* system : systems) {
+    if (system == nullptr) {
+      return Status::InvalidArgument("null answer set in pool");
+    }
+    size_t take = std::min(options.pool_depth, system->size());
+    for (size_t i = 0; i < take; ++i) {
+      pool.insert(system->mappings()[i].key());
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+Result<GroundTruth> PoolJudgments(
+    const std::vector<const match::AnswerSet*>& systems,
+    const std::function<bool(const match::Mapping&)>& oracle,
+    const PoolingOptions& options) {
+  if (!oracle) {
+    return Status::InvalidArgument("oracle callback is empty");
+  }
+  SMB_ASSIGN_OR_RETURN(std::set<match::Mapping::Key> pool,
+                       BuildPool(systems, options));
+  GroundTruth truth;
+  // The oracle judges identity, not scores; pass a scoreless mapping.
+  for (const auto& key : pool) {
+    match::Mapping m;
+    m.schema_index = key.schema_index;
+    m.targets = key.targets;
+    m.delta = 0.0;
+    if (oracle(m)) truth.AddCorrect(key);
+  }
+  return truth;
+}
+
+Result<size_t> PoolSize(const std::vector<const match::AnswerSet*>& systems,
+                        const PoolingOptions& options) {
+  SMB_ASSIGN_OR_RETURN(std::set<match::Mapping::Key> pool,
+                       BuildPool(systems, options));
+  return pool.size();
+}
+
+}  // namespace smb::eval

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/ground_truth.h"
+#include "match/answer_set.h"
+
+/// \file pooling.h
+/// \brief TREC-style pooling (Harman [10], discussed in §1).
+///
+/// For each matching problem, the top-`pool_depth` answers of every
+/// participating system are merged and only that pool is judged. The paper
+/// cites Zobel's finding that a depth of 100 is adequate [18]. In this
+/// reproduction the "human judge" is an oracle callback (backed by the
+/// synthetic planted truth), which lets tests quantify exactly what pooling
+/// misses.
+
+namespace smb::eval {
+
+/// \brief Pooling parameters.
+struct PoolingOptions {
+  /// Answers taken from the top of each system's ranking.
+  size_t pool_depth = 100;
+};
+
+/// \brief Judges the pooled top answers of all systems with `oracle` and
+/// returns the resulting (possibly incomplete) ground truth.
+Result<GroundTruth> PoolJudgments(
+    const std::vector<const match::AnswerSet*>& systems,
+    const std::function<bool(const match::Mapping&)>& oracle,
+    const PoolingOptions& options = {});
+
+/// \brief Number of judgments a human would perform for this pool
+/// (pool size after deduplication) — the effort metric pooling minimizes.
+Result<size_t> PoolSize(const std::vector<const match::AnswerSet*>& systems,
+                        const PoolingOptions& options = {});
+
+}  // namespace smb::eval

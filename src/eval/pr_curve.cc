@@ -1,0 +1,133 @@
+#include "eval/pr_curve.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace smb::eval {
+
+namespace {
+
+Status CheckThresholds(const std::vector<double>& thresholds) {
+  if (thresholds.empty()) {
+    return Status::InvalidArgument("threshold list is empty");
+  }
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    if (thresholds[i] < 0.0) {
+      return Status::InvalidArgument("thresholds must be non-negative");
+    }
+    if (i > 0 && thresholds[i] <= thresholds[i - 1]) {
+      return Status::InvalidArgument("thresholds must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PrCurve> PrCurve::Measure(const match::AnswerSet& answers,
+                                 const GroundTruth& truth,
+                                 const std::vector<double>& thresholds) {
+  return MeasurePooled({&answers}, {&truth}, thresholds);
+}
+
+Result<PrCurve> PrCurve::MeasurePooled(
+    const std::vector<const match::AnswerSet*>& answer_sets,
+    const std::vector<const GroundTruth*>& truths,
+    const std::vector<double>& thresholds) {
+  SMB_RETURN_IF_ERROR(CheckThresholds(thresholds));
+  if (answer_sets.size() != truths.size()) {
+    return Status::InvalidArgument(
+        "answer_sets and truths must have equal length");
+  }
+  if (answer_sets.empty()) {
+    return Status::InvalidArgument("no answer sets supplied");
+  }
+  size_t total_correct = 0;
+  for (const GroundTruth* t : truths) {
+    if (t == nullptr) return Status::InvalidArgument("null ground truth");
+    total_correct += t->size();
+  }
+  if (total_correct == 0) {
+    return Status::InvalidArgument(
+        "H is empty: recall is undefined for the whole collection");
+  }
+
+  PrCurve curve;
+  curve.total_correct_ = total_correct;
+  curve.points_.reserve(thresholds.size());
+  for (double delta : thresholds) {
+    PrPoint point;
+    point.threshold = delta;
+    for (size_t q = 0; q < answer_sets.size(); ++q) {
+      if (answer_sets[q] == nullptr) {
+        return Status::InvalidArgument("null answer set");
+      }
+      ConfusionCounts c = Evaluate(*answer_sets[q], *truths[q], delta);
+      point.answers += c.answers;
+      point.true_positives += c.true_positives;
+    }
+    ConfusionCounts all{point.answers, point.true_positives, total_correct};
+    point.precision = Precision(all);
+    point.recall = Recall(all);
+    curve.points_.push_back(point);
+  }
+  SMB_RETURN_IF_ERROR(curve.Validate());
+  return curve;
+}
+
+Status PrCurve::Validate() const {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const PrPoint& p = points_[i];
+    if (p.true_positives > p.answers) {
+      return Status::Internal(StrFormat(
+          "point %zu: true positives (%zu) exceed answers (%zu)", i,
+          p.true_positives, p.answers));
+    }
+    if (total_correct_ > 0 && p.true_positives > total_correct_) {
+      return Status::Internal(
+          StrFormat("point %zu: true positives exceed |H|", i));
+    }
+    if (i > 0) {
+      if (points_[i].threshold <= points_[i - 1].threshold) {
+        return Status::Internal("thresholds are not strictly increasing");
+      }
+      if (points_[i].answers < points_[i - 1].answers) {
+        return Status::Internal(
+            "answer counts are not monotone in the threshold");
+      }
+      if (points_[i].true_positives < points_[i - 1].true_positives) {
+        return Status::Internal(
+            "true positive counts are not monotone in the threshold");
+      }
+    }
+    // P/R must agree with the counts they were derived from.
+    ConfusionCounts c{p.answers, p.true_positives, total_correct_};
+    if (std::fabs(Precision(c) - p.precision) > 1e-9 ||
+        std::fabs(Recall(c) - p.recall) > 1e-9) {
+      return Status::Internal(
+          StrFormat("point %zu: precision/recall inconsistent with counts", i));
+    }
+  }
+  return Status::OK();
+}
+
+Result<PrCurve> PrCurve::FromPoints(std::vector<PrPoint> points,
+                                    size_t total_correct) {
+  PrCurve curve;
+  curve.points_ = std::move(points);
+  curve.total_correct_ = total_correct;
+  SMB_RETURN_IF_ERROR(curve.Validate());
+  return curve;
+}
+
+std::vector<double> UniformThresholds(double max, double step) {
+  std::vector<double> out;
+  if (step <= 0.0 || max <= 0.0) return out;
+  for (double t = step; t <= max + 1e-12; t += step) {
+    out.push_back(std::min(t, max));
+  }
+  return out;
+}
+
+}  // namespace smb::eval

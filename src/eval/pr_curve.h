@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "match/answer_set.h"
+
+/// \file pr_curve.h
+/// \brief Measured P/R curves (§2.4).
+///
+/// A measured curve is obtained by sweeping the threshold δ and recording
+/// `(δ, |A^δ|, |T^δ|, P, R)` at each step. It is the input the bounds
+/// machinery consumes for the original system S1 — together with the |A|
+/// counts it implicitly carries the threshold correspondence an interpolated
+/// curve lacks (§4.1).
+
+namespace smb::eval {
+
+/// \brief One measured point.
+struct PrPoint {
+  double threshold = 0.0;
+  size_t answers = 0;         ///< |A^δ|
+  size_t true_positives = 0;  ///< |T^δ|
+  double precision = 1.0;
+  double recall = 0.0;
+};
+
+/// \brief A threshold-ordered measured P/R curve.
+class PrCurve {
+ public:
+  PrCurve() = default;
+
+  /// \brief Measures the curve of one answer set at the given thresholds
+  /// (must be strictly increasing; H must be non-empty).
+  static Result<PrCurve> Measure(const match::AnswerSet& answers,
+                                 const GroundTruth& truth,
+                                 const std::vector<double>& thresholds);
+
+  /// \brief Micro-averaged curve over several matching problems: counts are
+  /// summed across (answers, truth) pairs per threshold. This is how a
+  /// multi-query test collection yields one system-level curve.
+  static Result<PrCurve> MeasurePooled(
+      const std::vector<const match::AnswerSet*>& answer_sets,
+      const std::vector<const GroundTruth*>& truths,
+      const std::vector<double>& thresholds);
+
+  const std::vector<PrPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  /// |H| backing the recall values.
+  size_t total_correct() const { return total_correct_; }
+
+  /// \brief Structural invariants: thresholds strictly increasing, counts
+  /// non-decreasing, `tp <= answers`, P/R consistent with the counts.
+  Status Validate() const;
+
+  /// \brief Builds a curve directly from points (for curves taken from
+  /// literature rather than measured here). Validates.
+  static Result<PrCurve> FromPoints(std::vector<PrPoint> points,
+                                    size_t total_correct);
+
+ private:
+  std::vector<PrPoint> points_;
+  size_t total_correct_ = 0;
+};
+
+/// \brief Evenly spaced thresholds `step, 2·step, …, max` (inclusive within
+/// floating-point tolerance).
+std::vector<double> UniformThresholds(double max, double step);
+
+}  // namespace smb::eval

@@ -1,0 +1,69 @@
+#include "eval/sampling_estimator.h"
+
+#include <cmath>
+
+namespace smb::eval {
+
+namespace {
+
+/// Wilson score interval for a binomial proportion.
+void WilsonInterval(size_t correct, size_t n, double z,
+                    PrecisionEstimate* out) {
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(correct) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  out->precision = p;
+  out->ci_low = std::max(0.0, center - half);
+  out->ci_high = std::min(1.0, center + half);
+}
+
+}  // namespace
+
+Result<PrecisionEstimate> EstimatePrecisionBySampling(
+    const match::AnswerSet& answers,
+    const std::function<bool(const match::Mapping&)>& oracle, size_t budget,
+    Rng* rng, double z) {
+  if (answers.empty()) {
+    return Status::InvalidArgument("cannot sample an empty answer set");
+  }
+  if (budget == 0) {
+    return Status::InvalidArgument("judgment budget must be positive");
+  }
+  if (!oracle) {
+    return Status::InvalidArgument("oracle callback is empty");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (z <= 0.0) {
+    return Status::InvalidArgument("z quantile must be positive");
+  }
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(answers.size(), budget);
+  PrecisionEstimate estimate;
+  estimate.sample_size = picks.size();
+  for (size_t idx : picks) {
+    if (oracle(answers.mappings()[idx])) ++estimate.sample_correct;
+  }
+  WilsonInterval(estimate.sample_correct, estimate.sample_size, z, &estimate);
+  return estimate;
+}
+
+Result<PrecisionEstimate> EstimatePrecisionBySampling(
+    const match::AnswerSet& answers,
+    const std::function<bool(const match::Mapping&)>& oracle,
+    double threshold, size_t budget, Rng* rng, double z) {
+  match::AnswerSet prefix = answers.FilterToThreshold(threshold);
+  auto result = EstimatePrecisionBySampling(prefix, oracle, budget, rng, z);
+  if (!result.ok()) {
+    return result.status().WithContext(
+        "sampling answers with Δ <= " + std::to_string(threshold));
+  }
+  return result;
+}
+
+}  // namespace smb::eval

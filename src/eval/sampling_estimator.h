@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "match/answer_set.h"
+
+/// \file sampling_estimator.h
+/// \brief Precision estimation from a judged random sample.
+///
+/// The conventional alternative to the bounds technique: pay a small human
+/// budget to judge a uniform sample of the improved system's answers and
+/// *estimate* its precision with a confidence interval. The paper positions
+/// its bounds as complementary — use case (3) in §1 is "assess the accuracy
+/// of an effectiveness estimate acquired using other validation
+/// techniques". `bench/ablation_estimate_vs_bounds` puts the two side by
+/// side.
+
+namespace smb::eval {
+
+/// \brief A sampled precision estimate with a Wilson score interval.
+struct PrecisionEstimate {
+  /// Answers actually judged (≤ requested budget).
+  size_t sample_size = 0;
+  /// Correct among the judged.
+  size_t sample_correct = 0;
+  /// Point estimate `sample_correct / sample_size`.
+  double precision = 0.0;
+  /// Wilson score interval at the requested confidence.
+  double ci_low = 0.0;
+  double ci_high = 1.0;
+};
+
+/// \brief Judges a uniform random sample of `answers` (up to `budget`
+/// judgments) with `oracle` and estimates the precision of the whole set.
+///
+/// `z` is the normal quantile for the interval (1.96 ≈ 95%). Fails on an
+/// empty answer set, a zero budget, or a missing oracle/rng.
+Result<PrecisionEstimate> EstimatePrecisionBySampling(
+    const match::AnswerSet& answers,
+    const std::function<bool(const match::Mapping&)>& oracle, size_t budget,
+    Rng* rng, double z = 1.96);
+
+/// \brief Same, restricted to the answers with Δ ≤ `threshold`.
+Result<PrecisionEstimate> EstimatePrecisionBySampling(
+    const match::AnswerSet& answers,
+    const std::function<bool(const match::Mapping&)>& oracle,
+    double threshold, size_t budget, Rng* rng, double z = 1.96);
+
+}  // namespace smb::eval

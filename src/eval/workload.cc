@@ -1,0 +1,47 @@
+#include "eval/workload.h"
+
+namespace smb::eval {
+
+Result<WorkloadResult> RunWorkload(const match::Matcher& matcher,
+                                   const std::vector<MatchingProblem>& problems,
+                                   const schema::SchemaRepository& repo,
+                                   const match::MatchOptions& options,
+                                   const std::vector<double>& thresholds) {
+  if (problems.empty()) {
+    return Status::InvalidArgument("workload has no matching problems");
+  }
+  WorkloadResult result;
+  result.system_name = matcher.name();
+  result.answers.reserve(problems.size());
+  for (const MatchingProblem& problem : problems) {
+    auto answers = matcher.Match(problem.query, repo, options, &result.stats);
+    if (!answers.ok()) {
+      return answers.status().WithContext("while matching problem '" +
+                                          problem.name + "'");
+    }
+    result.answers.push_back(std::move(answers).value());
+  }
+  std::vector<const match::AnswerSet*> answer_ptrs;
+  std::vector<const GroundTruth*> truth_ptrs;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    answer_ptrs.push_back(&result.answers[i]);
+    truth_ptrs.push_back(&problems[i].truth);
+  }
+  SMB_ASSIGN_OR_RETURN(
+      result.pooled_curve,
+      PrCurve::MeasurePooled(answer_ptrs, truth_ptrs, thresholds));
+  return result;
+}
+
+std::vector<size_t> PooledSizes(const WorkloadResult& result,
+                                const std::vector<double>& thresholds) {
+  std::vector<size_t> sizes(thresholds.size(), 0);
+  for (const match::AnswerSet& answers : result.answers) {
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+      sizes[i] += answers.CountAtThreshold(thresholds[i]);
+    }
+  }
+  return sizes;
+}
+
+}  // namespace smb::eval

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/ground_truth.h"
+#include "eval/pr_curve.h"
+#include "match/matcher.h"
+
+/// \file workload.h
+/// \brief Multi-query workloads.
+///
+/// A large-scale study runs *many* personal schemas against one repository
+/// and reports one system-level curve (micro-averaged over the matching
+/// problems, §2.2's P/R summed over counts). The workload runner executes a
+/// matcher over every problem and aggregates.
+
+namespace smb::eval {
+
+/// \brief One matching problem: a query plus its judged correct mappings.
+struct MatchingProblem {
+  std::string name;
+  schema::Schema query;
+  GroundTruth truth;
+};
+
+/// \brief Per-problem and aggregated results of one system over a workload.
+struct WorkloadResult {
+  std::string system_name;
+  /// Ranked answers per problem (same order as the workload's problems).
+  std::vector<match::AnswerSet> answers;
+  /// Work counters summed over all problems.
+  match::MatchStats stats;
+  /// Micro-averaged measured curve over all problems.
+  PrCurve pooled_curve;
+};
+
+/// \brief Runs `matcher` on every problem against `repo` and micro-averages
+/// the measured curves at `thresholds`.
+///
+/// Fails if any problem fails to match or if the pooled H is empty.
+Result<WorkloadResult> RunWorkload(const match::Matcher& matcher,
+                                   const std::vector<MatchingProblem>& problems,
+                                   const schema::SchemaRepository& repo,
+                                   const match::MatchOptions& options,
+                                   const std::vector<double>& thresholds);
+
+/// \brief Pooled answer sizes |A^δ| of a workload result at each threshold
+/// (summed over problems) — the S2 size observations the bounds consume.
+std::vector<size_t> PooledSizes(const WorkloadResult& result,
+                                const std::vector<double>& thresholds);
+
+}  // namespace smb::eval

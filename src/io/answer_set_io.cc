@@ -1,0 +1,135 @@
+#include "io/answer_set_io.h"
+
+#include "common/strings.h"
+#include "io/csv.h"
+
+namespace smb::io {
+
+namespace {
+
+std::string TargetsToField(const std::vector<schema::NodeId>& targets) {
+  std::string out;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) out += ';';
+    out += std::to_string(targets[i]);
+  }
+  return out;
+}
+
+Result<std::vector<schema::NodeId>> FieldToTargets(std::string_view field) {
+  std::vector<schema::NodeId> targets;
+  for (const std::string& part : Split(field, ';')) {
+    SMB_ASSIGN_OR_RETURN(uint64_t value, ParseUint(part));
+    if (value > static_cast<uint64_t>(INT32_MAX)) {
+      return Status::ParseError("target id out of range: " + part);
+    }
+    targets.push_back(static_cast<schema::NodeId>(value));
+  }
+  if (targets.empty()) {
+    return Status::ParseError("empty targets field");
+  }
+  return targets;
+}
+
+}  // namespace
+
+std::string WriteAnswerSetCsv(const match::AnswerSet& answers) {
+  CsvDocument doc;
+  doc.metadata.emplace_back("matchbounds", "answer_set");
+  doc.metadata.emplace_back("count", std::to_string(answers.size()));
+  doc.header = {"schema_index", "targets", "delta"};
+  for (const auto& m : answers.mappings()) {
+    doc.rows.push_back({std::to_string(m.schema_index),
+                        TargetsToField(m.targets),
+                        StrFormat("%.17g", m.delta)});
+  }
+  return WriteCsv(doc);
+}
+
+Result<match::AnswerSet> ReadAnswerSetCsv(std::string_view text) {
+  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  if (doc.GetMeta("matchbounds") != "answer_set") {
+    return Status::InvalidArgument(
+        "not an answer set file (missing '#matchbounds=answer_set')");
+  }
+  int schema_col = doc.ColumnIndex("schema_index");
+  int targets_col = doc.ColumnIndex("targets");
+  int delta_col = doc.ColumnIndex("delta");
+  if (schema_col < 0 || targets_col < 0 || delta_col < 0) {
+    return Status::ParseError(
+        "answer set CSV must have schema_index, targets and delta columns");
+  }
+  match::AnswerSet answers;
+  for (size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    match::Mapping m;
+    SMB_ASSIGN_OR_RETURN(
+        uint64_t schema_index,
+        ParseUint(row[static_cast<size_t>(schema_col)]));
+    m.schema_index = static_cast<int32_t>(schema_index);
+    SMB_ASSIGN_OR_RETURN(m.targets,
+                         FieldToTargets(row[static_cast<size_t>(targets_col)]));
+    SMB_ASSIGN_OR_RETURN(m.delta,
+                         ParseDouble(row[static_cast<size_t>(delta_col)]));
+    if (m.delta < 0.0) {
+      return Status::ParseError(StrFormat("row %zu: negative delta", r + 1));
+    }
+    answers.Add(std::move(m));
+  }
+  answers.Finalize();
+  return answers;
+}
+
+std::string WriteGroundTruthCsv(const eval::GroundTruth& truth,
+                                const std::vector<match::Mapping::Key>& keys) {
+  CsvDocument doc;
+  doc.metadata.emplace_back("matchbounds", "ground_truth");
+  doc.metadata.emplace_back("count", std::to_string(truth.size()));
+  doc.header = {"schema_index", "targets"};
+  for (const auto& key : keys) {
+    if (!truth.Contains(key)) continue;  // keys must describe the truth
+    doc.rows.push_back(
+        {std::to_string(key.schema_index), TargetsToField(key.targets)});
+  }
+  return WriteCsv(doc);
+}
+
+Result<eval::GroundTruth> ReadGroundTruthCsv(std::string_view text) {
+  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  if (doc.GetMeta("matchbounds") != "ground_truth") {
+    return Status::InvalidArgument(
+        "not a ground truth file (missing '#matchbounds=ground_truth')");
+  }
+  int schema_col = doc.ColumnIndex("schema_index");
+  int targets_col = doc.ColumnIndex("targets");
+  if (schema_col < 0 || targets_col < 0) {
+    return Status::ParseError(
+        "ground truth CSV must have schema_index and targets columns");
+  }
+  eval::GroundTruth truth;
+  for (const auto& row : doc.rows) {
+    match::Mapping::Key key;
+    SMB_ASSIGN_OR_RETURN(
+        uint64_t schema_index,
+        ParseUint(row[static_cast<size_t>(schema_col)]));
+    key.schema_index = static_cast<int32_t>(schema_index);
+    SMB_ASSIGN_OR_RETURN(key.targets,
+                         FieldToTargets(row[static_cast<size_t>(targets_col)]));
+    truth.AddCorrect(std::move(key));
+  }
+  return truth;
+}
+
+Status WriteAnswerSetFile(const std::string& path,
+                          const match::AnswerSet& answers) {
+  return WriteTextFile(path, WriteAnswerSetCsv(answers));
+}
+
+Result<match::AnswerSet> ReadAnswerSetFile(const std::string& path) {
+  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  auto result = ReadAnswerSetCsv(content);
+  if (!result.ok()) return result.status().WithContext("in " + path);
+  return result;
+}
+
+}  // namespace smb::io

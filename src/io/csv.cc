@@ -1,0 +1,176 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace smb::io {
+
+std::string CsvDocument::GetMeta(std::string_view key) const {
+  for (const auto& [k, v] : metadata) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+int CsvDocument::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Splits one CSV record honoring quotes. Returns false on a dangling quote.
+bool SplitRecord(std::string_view line, std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out->push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) return false;
+  out->push_back(std::move(field));
+  return true;
+}
+
+std::string EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  CsvDocument doc;
+  bool have_header = false;
+  size_t line_no = 0;
+  for (std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::string_view body = line.substr(1);
+      size_t eq = body.find('=');
+      if (eq != std::string_view::npos) {
+        doc.metadata.emplace_back(std::string(Trim(body.substr(0, eq))),
+                                  std::string(Trim(body.substr(eq + 1))));
+      }
+      continue;
+    }
+    std::vector<std::string> fields;
+    if (!SplitRecord(line, &fields)) {
+      return Status::ParseError(
+          StrFormat("line %zu: unterminated quoted field", line_no));
+    }
+    if (!have_header) {
+      doc.header = std::move(fields);
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != doc.header.size()) {
+      return Status::ParseError(StrFormat(
+          "line %zu: %zu fields, header has %zu", line_no, fields.size(),
+          doc.header.size()));
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  if (!have_header) {
+    return Status::ParseError("CSV has no header line");
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::ostringstream out;
+  for (const auto& [k, v] : doc.metadata) {
+    out << "#" << k << "=" << v << "\n";
+  }
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << EscapeField(row[i]);
+    }
+    out << "\n";
+  };
+  write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out.str();
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  auto doc = ParseCsv(content);
+  if (!doc.ok()) return doc.status().WithContext("while reading " + path);
+  return doc;
+}
+
+Status WriteTextFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<double> ParseDouble(std::string_view field) {
+  std::string s(Trim(field));
+  if (s.empty()) return Status::ParseError("empty numeric field");
+  char* end = nullptr;
+  double value = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError("not a number: '" + s + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint(std::string_view field) {
+  std::string s(Trim(field));
+  if (s.empty()) return Status::ParseError("empty numeric field");
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' ||
+      s.find('-') != std::string::npos) {
+    return Status::ParseError("not a non-negative integer: '" + s + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace smb::io

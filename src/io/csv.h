@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file csv.h
+/// \brief Minimal CSV reading/writing shared by the persistence layer.
+///
+/// Dialect: comma-separated, `"`-quoted fields with `""` escapes, one
+/// record per line, a single header line, and optional `#key=value`
+/// metadata lines before the header.
+
+namespace smb::io {
+
+/// \brief A parsed CSV document.
+struct CsvDocument {
+  /// `#key=value` lines preceding the header.
+  std::vector<std::pair<std::string, std::string>> metadata;
+  /// Column names from the header line.
+  std::vector<std::string> header;
+  /// Data rows; each has exactly `header.size()` fields.
+  std::vector<std::vector<std::string>> rows;
+
+  /// Metadata lookup; empty string when absent.
+  std::string GetMeta(std::string_view key) const;
+
+  /// Column index by name; -1 when absent.
+  int ColumnIndex(std::string_view name) const;
+};
+
+/// Parses CSV text. Fails on ragged rows or a missing header.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document (metadata, header, rows) back to CSV text.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Reads and parses a CSV file.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Writes text to a file (overwrite).
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadTextFile(const std::string& path);
+
+/// Parses a double with full-string validation.
+Result<double> ParseDouble(std::string_view field);
+
+/// Parses a non-negative integer with full-string validation.
+Result<uint64_t> ParseUint(std::string_view field);
+
+}  // namespace smb::io

@@ -1,0 +1,132 @@
+#include "io/curve_io.h"
+
+#include "common/strings.h"
+#include "io/csv.h"
+
+namespace smb::io {
+
+std::string WritePrCurveCsv(const eval::PrCurve& curve) {
+  CsvDocument doc;
+  doc.metadata.emplace_back("matchbounds", "pr_curve");
+  doc.metadata.emplace_back("total_correct",
+                            std::to_string(curve.total_correct()));
+  doc.header = {"threshold", "answers", "true_positives", "precision",
+                "recall"};
+  for (const auto& p : curve.points()) {
+    doc.rows.push_back({StrFormat("%.17g", p.threshold),
+                        std::to_string(p.answers),
+                        std::to_string(p.true_positives),
+                        StrFormat("%.17g", p.precision),
+                        StrFormat("%.17g", p.recall)});
+  }
+  return WriteCsv(doc);
+}
+
+Result<eval::PrCurve> ReadPrCurveCsv(std::string_view text) {
+  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  if (doc.GetMeta("matchbounds") != "pr_curve") {
+    return Status::InvalidArgument(
+        "not a P/R curve file (missing '#matchbounds=pr_curve')");
+  }
+  SMB_ASSIGN_OR_RETURN(uint64_t total_correct,
+                       ParseUint(doc.GetMeta("total_correct")));
+  int t_col = doc.ColumnIndex("threshold");
+  int a_col = doc.ColumnIndex("answers");
+  int tp_col = doc.ColumnIndex("true_positives");
+  int p_col = doc.ColumnIndex("precision");
+  int r_col = doc.ColumnIndex("recall");
+  if (t_col < 0 || a_col < 0 || tp_col < 0 || p_col < 0 || r_col < 0) {
+    return Status::ParseError("P/R curve CSV is missing required columns");
+  }
+  std::vector<eval::PrPoint> points;
+  for (const auto& row : doc.rows) {
+    eval::PrPoint point;
+    SMB_ASSIGN_OR_RETURN(point.threshold,
+                         ParseDouble(row[static_cast<size_t>(t_col)]));
+    SMB_ASSIGN_OR_RETURN(uint64_t answers,
+                         ParseUint(row[static_cast<size_t>(a_col)]));
+    SMB_ASSIGN_OR_RETURN(uint64_t tp,
+                         ParseUint(row[static_cast<size_t>(tp_col)]));
+    point.answers = static_cast<size_t>(answers);
+    point.true_positives = static_cast<size_t>(tp);
+    SMB_ASSIGN_OR_RETURN(point.precision,
+                         ParseDouble(row[static_cast<size_t>(p_col)]));
+    SMB_ASSIGN_OR_RETURN(point.recall,
+                         ParseDouble(row[static_cast<size_t>(r_col)]));
+    points.push_back(point);
+  }
+  return eval::PrCurve::FromPoints(std::move(points),
+                                   static_cast<size_t>(total_correct));
+}
+
+std::string WriteBoundsInputCsv(const bounds::BoundsInput& input) {
+  CsvDocument doc;
+  doc.metadata.emplace_back("matchbounds", "bounds_input");
+  doc.metadata.emplace_back("total_correct",
+                            StrFormat("%.17g", input.total_correct));
+  doc.header = {"threshold", "s1_answers", "s1_correct", "s2_answers"};
+  for (size_t i = 0; i < input.thresholds.size(); ++i) {
+    doc.rows.push_back({StrFormat("%.17g", input.thresholds[i]),
+                        StrFormat("%.17g", input.s1_answers[i]),
+                        StrFormat("%.17g", input.s1_correct[i]),
+                        StrFormat("%.17g", input.s2_answers[i])});
+  }
+  return WriteCsv(doc);
+}
+
+Result<bounds::BoundsInput> ReadBoundsInputCsv(std::string_view text) {
+  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  if (doc.GetMeta("matchbounds") != "bounds_input") {
+    return Status::InvalidArgument(
+        "not a bounds input file (missing '#matchbounds=bounds_input')");
+  }
+  bounds::BoundsInput input;
+  SMB_ASSIGN_OR_RETURN(input.total_correct,
+                       ParseDouble(doc.GetMeta("total_correct")));
+  int t_col = doc.ColumnIndex("threshold");
+  int a1_col = doc.ColumnIndex("s1_answers");
+  int t1_col = doc.ColumnIndex("s1_correct");
+  int a2_col = doc.ColumnIndex("s2_answers");
+  if (t_col < 0 || a1_col < 0 || t1_col < 0 || a2_col < 0) {
+    return Status::ParseError("bounds input CSV is missing required columns");
+  }
+  for (const auto& row : doc.rows) {
+    double threshold, a1, t1, a2;
+    SMB_ASSIGN_OR_RETURN(threshold,
+                         ParseDouble(row[static_cast<size_t>(t_col)]));
+    SMB_ASSIGN_OR_RETURN(a1, ParseDouble(row[static_cast<size_t>(a1_col)]));
+    SMB_ASSIGN_OR_RETURN(t1, ParseDouble(row[static_cast<size_t>(t1_col)]));
+    SMB_ASSIGN_OR_RETURN(a2, ParseDouble(row[static_cast<size_t>(a2_col)]));
+    input.thresholds.push_back(threshold);
+    input.s1_answers.push_back(a1);
+    input.s1_correct.push_back(t1);
+    input.s2_answers.push_back(a2);
+  }
+  SMB_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+Status WritePrCurveFile(const std::string& path, const eval::PrCurve& curve) {
+  return WriteTextFile(path, WritePrCurveCsv(curve));
+}
+
+Result<eval::PrCurve> ReadPrCurveFile(const std::string& path) {
+  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  auto result = ReadPrCurveCsv(content);
+  if (!result.ok()) return result.status().WithContext("in " + path);
+  return result;
+}
+
+Status WriteBoundsInputFile(const std::string& path,
+                            const bounds::BoundsInput& input) {
+  return WriteTextFile(path, WriteBoundsInputCsv(input));
+}
+
+Result<bounds::BoundsInput> ReadBoundsInputFile(const std::string& path) {
+  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  auto result = ReadBoundsInputCsv(content);
+  if (!result.ok()) return result.status().WithContext("in " + path);
+  return result;
+}
+
+}  // namespace smb::io

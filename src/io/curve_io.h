@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "bounds/incremental_bounds.h"
+#include "common/result.h"
+#include "eval/pr_curve.h"
+
+/// \file curve_io.h
+/// \brief CSV persistence for P/R curves and bounds inputs.
+///
+/// PrCurve format (`#matchbounds=pr_curve`, `#total_correct=N`):
+/// \code
+/// threshold,answers,true_positives,precision,recall
+/// \endcode
+///
+/// BoundsInput format (`#matchbounds=bounds_input`, `#total_correct=X`):
+/// \code
+/// threshold,s1_answers,s1_correct,s2_answers
+/// \endcode
+
+namespace smb::io {
+
+/// Serializes a measured P/R curve.
+std::string WritePrCurveCsv(const eval::PrCurve& curve);
+
+/// Parses and validates a measured P/R curve.
+Result<eval::PrCurve> ReadPrCurveCsv(std::string_view text);
+
+/// Serializes a bounds input.
+std::string WriteBoundsInputCsv(const bounds::BoundsInput& input);
+
+/// Parses and validates a bounds input.
+Result<bounds::BoundsInput> ReadBoundsInputCsv(std::string_view text);
+
+/// \name File variants.
+/// @{
+Status WritePrCurveFile(const std::string& path, const eval::PrCurve& curve);
+Result<eval::PrCurve> ReadPrCurveFile(const std::string& path);
+Status WriteBoundsInputFile(const std::string& path,
+                            const bounds::BoundsInput& input);
+Result<bounds::BoundsInput> ReadBoundsInputFile(const std::string& path);
+/// @}
+
+}  // namespace smb::io

@@ -1,0 +1,118 @@
+#include "match/answer_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace smb::match {
+
+void AnswerSet::Add(Mapping mapping) {
+  mappings_.push_back(std::move(mapping));
+  finalized_ = false;
+}
+
+void AnswerSet::Finalize() {
+  std::sort(mappings_.begin(), mappings_.end(), Mapping::RankLess);
+  // Deduplicate by key, keeping the best-ranked instance.
+  std::vector<Mapping> unique;
+  unique.reserve(mappings_.size());
+  for (auto& m : mappings_) {
+    if (!unique.empty() && unique.back().key() == m.key()) continue;
+    unique.push_back(std::move(m));
+  }
+  // RankLess sorts by delta first, so equal keys are not necessarily
+  // adjacent; do a key-based pass when duplicates could remain.
+  std::map<Mapping::Key, double> seen;
+  bool has_dupes = false;
+  for (const auto& m : unique) {
+    if (!seen.emplace(m.key(), m.delta).second) {
+      has_dupes = true;
+      break;
+    }
+  }
+  if (has_dupes) {
+    seen.clear();
+    std::vector<Mapping> dedup;
+    dedup.reserve(unique.size());
+    for (auto& m : unique) {
+      if (seen.emplace(m.key(), m.delta).second) {
+        dedup.push_back(std::move(m));
+      }
+    }
+    unique = std::move(dedup);
+  }
+  mappings_ = std::move(unique);
+  finalized_ = true;
+}
+
+size_t AnswerSet::CountAtThreshold(double delta) const {
+  // Mappings are sorted by Δ; find the first with Δ > delta.
+  auto it = std::upper_bound(
+      mappings_.begin(), mappings_.end(), delta,
+      [](double d, const Mapping& m) { return d < m.delta; });
+  return static_cast<size_t>(it - mappings_.begin());
+}
+
+AnswerSet AnswerSet::FilterToThreshold(double delta) const {
+  AnswerSet out;
+  size_t n = CountAtThreshold(delta);
+  for (size_t i = 0; i < n; ++i) out.Add(mappings_[i]);
+  out.Finalize();
+  return out;
+}
+
+AnswerSet AnswerSet::TopN(size_t n) const {
+  AnswerSet out;
+  for (size_t i = 0; i < std::min(n, mappings_.size()); ++i) {
+    out.Add(mappings_[i]);
+  }
+  out.Finalize();
+  return out;
+}
+
+double AnswerSet::MaxDelta() const {
+  return mappings_.empty() ? 0.0 : mappings_.back().delta;
+}
+
+std::vector<size_t> AnswerSet::SizesAt(
+    const std::vector<double>& thresholds) const {
+  std::vector<size_t> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) out.push_back(CountAtThreshold(t));
+  return out;
+}
+
+bool AnswerSet::IsSubsetOf(const AnswerSet& subset, const AnswerSet& superset) {
+  std::map<Mapping::Key, double> keys;
+  for (const auto& m : superset.mappings()) keys.emplace(m.key(), m.delta);
+  for (const auto& m : subset.mappings()) {
+    if (keys.find(m.key()) == keys.end()) return false;
+  }
+  return true;
+}
+
+Status AnswerSet::VerifySameObjective(const AnswerSet& subset,
+                                      const AnswerSet& superset) {
+  std::map<Mapping::Key, double> keys;
+  for (const auto& m : superset.mappings()) keys.emplace(m.key(), m.delta);
+  for (const auto& m : subset.mappings()) {
+    auto it = keys.find(m.key());
+    if (it == keys.end()) {
+      return Status::FailedPrecondition(
+          "answer " + m.ToString() +
+          " of the improved system is missing from the original system: "
+          "A2 ⊆ A1 is violated");
+    }
+    if (std::fabs(it->second - m.delta) > 1e-12) {
+      return Status::FailedPrecondition(StrFormat(
+          "answer %s has Δ=%.12f in the improved system but Δ=%.12f in the "
+          "original: objective functions differ",
+          m.ToString().c_str(), m.delta, it->second));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smb::match

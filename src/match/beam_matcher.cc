@@ -1,0 +1,95 @@
+#include "match/beam_matcher.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace smb::match {
+
+namespace {
+
+struct BeamState {
+  std::vector<schema::NodeId> targets;
+  std::vector<bool> used;
+  double cost = 0.0;
+};
+
+}  // namespace
+
+Result<AnswerSet> BeamMatcher::Match(const schema::Schema& query,
+                                     const schema::SchemaRepository& repo,
+                                     const MatchOptions& options,
+                                     MatchStats* stats) const {
+  SMB_RETURN_IF_ERROR(ValidateInputs(query, repo, options));
+  if (options_.beam_width == 0) {
+    return Status::InvalidArgument("beam_width must be positive");
+  }
+  ObjectiveFunction objective(&query, &repo, options.objective);
+  const size_t m = objective.query_preorder().size();
+  const double budget =
+      options.delta_threshold * objective.normalizer() + 1e-12;
+
+  AnswerSet answers;
+  for (size_t si = 0; si < repo.schema_count(); ++si) {
+    const auto schema_index = static_cast<int32_t>(si);
+    const schema::Schema& s = repo.schema(schema_index);
+
+    std::vector<BeamState> beam;
+    beam.push_back(BeamState{std::vector<schema::NodeId>(),
+                             std::vector<bool>(s.size(), false), 0.0});
+    for (size_t pos = 0; pos < m && !beam.empty(); ++pos) {
+      size_t parent_pos = objective.parent_position()[pos];
+      std::vector<BeamState> next;
+      for (const BeamState& state : beam) {
+        schema::NodeId parent_target = schema::kInvalidNode;
+        if (parent_pos != ObjectiveFunction::kNoParent) {
+          parent_target = state.targets[parent_pos];
+        }
+        for (size_t t = 0; t < s.size(); ++t) {
+          auto target = static_cast<schema::NodeId>(t);
+          if (options.injective && state.used[t]) continue;
+          if (stats != nullptr) ++stats->states_explored;
+          double cost = state.cost + objective.AssignCost(pos, schema_index,
+                                                          target,
+                                                          parent_target);
+          if (cost > budget) {
+            if (stats != nullptr) ++stats->states_pruned;
+            continue;
+          }
+          BeamState child;
+          child.targets = state.targets;
+          child.targets.push_back(target);
+          child.used = state.used;
+          child.used[t] = true;
+          child.cost = cost;
+          next.push_back(std::move(child));
+        }
+      }
+      // Keep the beam_width cheapest partials; deterministic tie-break on
+      // the assignment vector.
+      if (next.size() > options_.beam_width) {
+        std::nth_element(next.begin(),
+                         next.begin() + static_cast<ptrdiff_t>(
+                                            options_.beam_width - 1),
+                         next.end(),
+                         [](const BeamState& a, const BeamState& b) {
+                           if (a.cost != b.cost) return a.cost < b.cost;
+                           return a.targets < b.targets;
+                         });
+        next.resize(options_.beam_width);
+      }
+      beam = std::move(next);
+    }
+    for (const BeamState& state : beam) {
+      Mapping mapping;
+      mapping.schema_index = schema_index;
+      mapping.targets = state.targets;
+      mapping.delta = state.cost / objective.normalizer();
+      answers.Add(std::move(mapping));
+      if (stats != nullptr) ++stats->mappings_emitted;
+    }
+  }
+  answers.Finalize();
+  return answers;
+}
+
+}  // namespace smb::match

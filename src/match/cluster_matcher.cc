@@ -1,0 +1,113 @@
+#include "match/cluster_matcher.h"
+
+#include <algorithm>
+
+namespace smb::match {
+
+Result<ClusterMatcher> ClusterMatcher::Create(
+    const schema::SchemaRepository& repo, const ClusterMatcherOptions& options,
+    Rng* rng) {
+  if (options.top_m_clusters == 0) {
+    return Status::InvalidArgument("top_m_clusters must be positive");
+  }
+  SMB_ASSIGN_OR_RETURN(cluster::ElementClustering clustering,
+                       cluster::ElementClustering::Build(
+                           repo, options.clustering, rng));
+  return ClusterMatcher(
+      std::make_shared<cluster::ElementClustering>(std::move(clustering)),
+      options);
+}
+
+Result<AnswerSet> ClusterMatcher::Match(const schema::Schema& query,
+                                        const schema::SchemaRepository& repo,
+                                        const MatchOptions& options,
+                                        MatchStats* stats) const {
+  SMB_RETURN_IF_ERROR(ValidateInputs(query, repo, options));
+  if (clustering_ == nullptr) {
+    return Status::FailedPrecondition("cluster matcher has no clustering");
+  }
+  ObjectiveFunction objective(&query, &repo, options.objective);
+  const size_t m = objective.query_preorder().size();
+  const double budget =
+      options.delta_threshold * objective.normalizer() + 1e-12;
+
+  // Candidate elements per query position: members of the top-m clusters
+  // for that element, grouped by schema.
+  // allowed[pos][schema] -> sorted candidate NodeIds.
+  std::vector<std::vector<std::vector<schema::NodeId>>> allowed(
+      m, std::vector<std::vector<schema::NodeId>>(repo.schema_count()));
+  for (size_t pos = 0; pos < m; ++pos) {
+    const schema::SchemaNode& q = query.node(objective.query_preorder()[pos]);
+    std::string_view parent_name;
+    if (q.parent != schema::kInvalidNode) {
+      parent_name = query.node(q.parent).name;
+    }
+    std::vector<int> clusters = clustering_->TopClustersFor(
+        q.name, parent_name, options_.top_m_clusters);
+    for (int c : clusters) {
+      for (const schema::ElementRef& ref : clustering_->ClusterMembers(c)) {
+        allowed[pos][static_cast<size_t>(ref.schema_index)].push_back(
+            ref.node);
+      }
+    }
+    for (auto& per_schema : allowed[pos]) {
+      std::sort(per_schema.begin(), per_schema.end());
+    }
+  }
+
+  AnswerSet answers;
+  std::vector<schema::NodeId> targets(m, schema::kInvalidNode);
+  for (size_t si = 0; si < repo.schema_count(); ++si) {
+    const auto schema_index = static_cast<int32_t>(si);
+    const schema::Schema& s = repo.schema(schema_index);
+    // Skip schemas where some query element has no candidate at all.
+    bool feasible = true;
+    for (size_t pos = 0; pos < m; ++pos) {
+      if (allowed[pos][si].empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    std::vector<bool> used(s.size(), false);
+    // Depth-first enumeration over the restricted candidate sets; identical
+    // cost accounting to the exhaustive matcher.
+    auto recurse = [&](auto&& self, size_t pos, double cost_so_far) -> void {
+      if (pos == m) {
+        Mapping mapping;
+        mapping.schema_index = schema_index;
+        mapping.targets = targets;
+        mapping.delta = cost_so_far / objective.normalizer();
+        answers.Add(std::move(mapping));
+        if (stats != nullptr) ++stats->mappings_emitted;
+        return;
+      }
+      schema::NodeId parent_target = schema::kInvalidNode;
+      size_t parent_pos = objective.parent_position()[pos];
+      if (parent_pos != ObjectiveFunction::kNoParent) {
+        parent_target = targets[parent_pos];
+      }
+      for (schema::NodeId target : allowed[pos][si]) {
+        if (options.injective && used[static_cast<size_t>(target)]) continue;
+        if (stats != nullptr) ++stats->states_explored;
+        double cost = cost_so_far + objective.AssignCost(pos, schema_index,
+                                                         target,
+                                                         parent_target);
+        if (cost > budget) {
+          if (stats != nullptr) ++stats->states_pruned;
+          continue;
+        }
+        targets[pos] = target;
+        used[static_cast<size_t>(target)] = true;
+        self(self, pos + 1, cost);
+        used[static_cast<size_t>(target)] = false;
+      }
+    };
+    recurse(recurse, 0, 0.0);
+  }
+  answers.Finalize();
+  return answers;
+}
+
+}  // namespace smb::match

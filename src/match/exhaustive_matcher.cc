@@ -1,0 +1,139 @@
+#include "match/exhaustive_matcher.h"
+
+#include <vector>
+
+namespace smb::match {
+
+Status Matcher::ValidateInputs(const schema::Schema& query,
+                               const schema::SchemaRepository& repo,
+                               const MatchOptions& options) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query schema is empty");
+  }
+  if (query.size() > options.max_query_elements) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.size()) +
+        " elements, above the configured maximum of " +
+        std::to_string(options.max_query_elements) +
+        " (the search space is exponential in the query size)");
+  }
+  if (repo.schema_count() == 0) {
+    return Status::InvalidArgument("repository is empty");
+  }
+  if (options.delta_threshold < 0.0) {
+    return Status::InvalidArgument("delta_threshold must be non-negative");
+  }
+  SMB_RETURN_IF_ERROR(query.Validate());
+  return Status::OK();
+}
+
+namespace {
+
+/// Depth-first enumeration of assignments within one repository schema.
+class SchemaEnumerator {
+ public:
+  SchemaEnumerator(const ObjectiveFunction& objective, int32_t schema_index,
+                   const MatchOptions& options, bool use_pruning,
+                   const std::vector<std::vector<schema::NodeId>>* candidates,
+                   AnswerSet* out, MatchStats* stats)
+      : objective_(objective),
+        schema_index_(schema_index),
+        options_(options),
+        use_pruning_(use_pruning),
+        candidates_(candidates),
+        out_(out),
+        stats_(stats) {
+    const auto& s = objective_.repo().schema(schema_index_);
+    used_.assign(s.size(), false);
+    targets_.assign(objective_.query_preorder().size(), schema::kInvalidNode);
+    cost_budget_ = options_.delta_threshold * objective_.normalizer() + 1e-12;
+  }
+
+  void Run() { Recurse(0, 0.0); }
+
+ private:
+  void Recurse(size_t pos, double cost_so_far) {
+    const size_t m = objective_.query_preorder().size();
+    if (pos == m) {
+      Mapping mapping;
+      mapping.schema_index = schema_index_;
+      mapping.targets = targets_;
+      mapping.delta = cost_so_far / objective_.normalizer();
+      out_->Add(std::move(mapping));
+      if (stats_ != nullptr) ++stats_->mappings_emitted;
+      return;
+    }
+    schema::NodeId parent_target = schema::kInvalidNode;
+    size_t parent_pos = objective_.parent_position()[pos];
+    if (parent_pos != ObjectiveFunction::kNoParent) {
+      parent_target = targets_[parent_pos];
+    }
+    const auto& s = objective_.repo().schema(schema_index_);
+    const std::vector<schema::NodeId>* pool = nullptr;
+    std::vector<schema::NodeId> all;
+    if (candidates_ != nullptr) {
+      pool = &(*candidates_)[pos];
+    } else {
+      all.resize(s.size());
+      for (size_t i = 0; i < s.size(); ++i) {
+        all[i] = static_cast<schema::NodeId>(i);
+      }
+      pool = &all;
+    }
+    for (schema::NodeId target : *pool) {
+      if (options_.injective && used_[static_cast<size_t>(target)]) continue;
+      if (stats_ != nullptr) ++stats_->states_explored;
+      double cost = cost_so_far + objective_.AssignCost(pos, schema_index_,
+                                                        target, parent_target);
+      if (use_pruning_ && cost > cost_budget_) {
+        if (stats_ != nullptr) ++stats_->states_pruned;
+        continue;
+      }
+      targets_[pos] = target;
+      used_[static_cast<size_t>(target)] = true;
+      Recurse(pos + 1, cost);
+      used_[static_cast<size_t>(target)] = false;
+    }
+  }
+
+  const ObjectiveFunction& objective_;
+  int32_t schema_index_;
+  const MatchOptions& options_;
+  bool use_pruning_;
+  const std::vector<std::vector<schema::NodeId>>* candidates_;
+  AnswerSet* out_;
+  MatchStats* stats_;
+  std::vector<bool> used_;
+  std::vector<schema::NodeId> targets_;
+  double cost_budget_ = 0.0;
+};
+
+}  // namespace
+
+Result<AnswerSet> ExhaustiveMatcher::Match(const schema::Schema& query,
+                                           const schema::SchemaRepository& repo,
+                                           const MatchOptions& options,
+                                           MatchStats* stats) const {
+  SMB_RETURN_IF_ERROR(ValidateInputs(query, repo, options));
+  ObjectiveFunction objective(&query, &repo, options.objective);
+  AnswerSet answers;
+  for (size_t s = 0; s < repo.schema_count(); ++s) {
+    SchemaEnumerator enumerator(objective, static_cast<int32_t>(s), options,
+                                options_.use_pruning,
+                                /*candidates=*/nullptr, &answers, stats);
+    enumerator.Run();
+  }
+  // Without pruning, over-threshold mappings were emitted too; filter them.
+  if (!options_.use_pruning) {
+    AnswerSet filtered;
+    for (const auto& m : answers.mappings()) {
+      if (m.delta <= options.delta_threshold + 1e-12) filtered.Add(m);
+    }
+    filtered.Finalize();
+    return filtered;
+  }
+  answers.Finalize();
+  return answers;
+}
+
+}  // namespace smb::match

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "match/matcher.h"
+
+/// \file exhaustive_matcher.h
+/// \brief S1 — the complete (exhaustive) matching system.
+///
+/// Enumerates *every* mapping of the query elements into each repository
+/// schema and returns all with Δ ≤ δ_max. Completeness is what defines an
+/// exhaustive system in the paper (§2.1): `A^δ_S = {a ∈ SS | Δ(a) ≤ δ}`.
+///
+/// The optional branch-and-bound prune never removes a qualifying answer:
+/// all cost contributions are non-negative, so a partial sum already above
+/// δ·normalizer cannot complete to a qualifying mapping. Disable it
+/// (`use_pruning = false`) to cross-check that property in tests.
+
+namespace smb::match {
+
+/// \brief Exhaustive matcher configuration.
+struct ExhaustiveMatcherOptions {
+  /// Admissible branch-and-bound on the Δ threshold.
+  bool use_pruning = true;
+};
+
+/// \brief The complete reference system S1.
+class ExhaustiveMatcher : public Matcher {
+ public:
+  explicit ExhaustiveMatcher(ExhaustiveMatcherOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "exhaustive"; }
+
+  Result<AnswerSet> Match(const schema::Schema& query,
+                          const schema::SchemaRepository& repo,
+                          const MatchOptions& options,
+                          MatchStats* stats = nullptr) const override;
+
+ private:
+  ExhaustiveMatcherOptions options_;
+};
+
+}  // namespace smb::match

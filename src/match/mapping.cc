@@ -1,0 +1,30 @@
+#include "match/mapping.h"
+
+#include "common/strings.h"
+
+namespace smb::match {
+
+std::string Mapping::ToString() const {
+  std::string out = StrFormat("s%d:{", schema_index);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(targets[i]);
+  }
+  out += StrFormat("} Δ=%.4f", delta);
+  return out;
+}
+
+size_t MappingKeyHash::operator()(const Mapping::Key& key) const {
+  // FNV-style mix over the schema index and targets.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(key.schema_index)));
+  for (schema::NodeId t : key.targets) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(t)));
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace smb::match

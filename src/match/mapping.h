@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/repository.h"
+
+/// \file mapping.h
+/// \brief Schema mappings — the elements of the search space SS.
+///
+/// A mapping assigns every element of the personal (query) schema to one
+/// element of a single repository schema (§2.1 of the paper). Its quality is
+/// the objective value Δ, where *lower is better* ("computes how different
+/// two schemas are").
+
+namespace smb::match {
+
+/// \brief One candidate answer: query element i maps to
+/// `(schema_index, targets[i])`.
+struct Mapping {
+  /// Repository schema the mapping points into.
+  int32_t schema_index = -1;
+  /// Target node per query element, indexed by query pre-order position.
+  std::vector<schema::NodeId> targets;
+  /// Objective value Δ; lower ranks higher.
+  double delta = 0.0;
+
+  /// \brief Identity of the mapping — everything except the score.
+  ///
+  /// Two systems sharing the objective function produce identical
+  /// (key, delta) pairs for the same mapping, so keys are what answer-set
+  /// intersection and ground-truth membership compare.
+  struct Key {
+    int32_t schema_index;
+    std::vector<schema::NodeId> targets;
+
+    bool operator==(const Key& other) const = default;
+    bool operator<(const Key& other) const {
+      if (schema_index != other.schema_index) {
+        return schema_index < other.schema_index;
+      }
+      return targets < other.targets;
+    }
+  };
+
+  Key key() const { return Key{schema_index, targets}; }
+
+  /// Deterministic ranking: by Δ, ties broken by key (paper §2.1 allows
+  /// Δ ties — "S is indecisive" — so every component orders them the same
+  /// arbitrary-but-fixed way).
+  static bool RankLess(const Mapping& a, const Mapping& b) {
+    if (a.delta != b.delta) return a.delta < b.delta;
+    if (a.schema_index != b.schema_index) {
+      return a.schema_index < b.schema_index;
+    }
+    return a.targets < b.targets;
+  }
+
+  /// Human-readable rendering, e.g. `"s12:{3,7,8} Δ=0.1250"`.
+  std::string ToString() const;
+};
+
+/// \brief Hash functor for Mapping::Key (for unordered containers).
+struct MappingKeyHash {
+  size_t operator()(const Mapping::Key& key) const;
+};
+
+}  // namespace smb::match

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "match/answer_set.h"
+#include "match/objective.h"
+#include "schema/repository.h"
+#include "schema/schema.h"
+
+/// \file matcher.h
+/// \brief The matching-system interface shared by S1 and every S2.
+
+namespace smb::match {
+
+/// \brief Parameters of a matching run.
+struct MatchOptions {
+  /// δ_max: only mappings with Δ ≤ this are produced. The P/R sweep then
+  /// varies δ ≤ δ_max over the returned ranked set.
+  double delta_threshold = 0.30;
+  /// Forbid two query elements sharing one target node.
+  bool injective = true;
+  /// Objective Δ configuration — must be identical between an original
+  /// system and its improvement for the bounds technique to apply.
+  ObjectiveOptions objective;
+  /// Upper bound on the query size the enumerating matchers accept
+  /// (the search space is |schema|^m per repository schema).
+  size_t max_query_elements = 12;
+};
+
+/// \brief Counters describing the work a matcher performed; the currency of
+/// the efficiency benches.
+struct MatchStats {
+  /// Partial assignments expanded (search-tree nodes).
+  uint64_t states_explored = 0;
+  /// Complete mappings whose Δ passed the threshold.
+  uint64_t mappings_emitted = 0;
+  /// Partial assignments cut by the admissible Δ-bound.
+  uint64_t states_pruned = 0;
+
+  MatchStats& operator+=(const MatchStats& other) {
+    states_explored += other.states_explored;
+    mappings_emitted += other.mappings_emitted;
+    states_pruned += other.states_pruned;
+    return *this;
+  }
+};
+
+/// \brief A schema matching system S: query × repository → ranked answers.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Short system name for reports ("exhaustive", "beam-8", ...).
+  virtual std::string name() const = 0;
+
+  /// \brief Solves matching problem Q: returns the ranked answer set of all
+  /// mappings the system finds with Δ ≤ `options.delta_threshold`.
+  ///
+  /// `stats`, when non-null, accumulates work counters.
+  virtual Result<AnswerSet> Match(const schema::Schema& query,
+                                  const schema::SchemaRepository& repo,
+                                  const MatchOptions& options,
+                                  MatchStats* stats = nullptr) const = 0;
+
+ protected:
+  /// Shared validation of query/repo/options.
+  static Status ValidateInputs(const schema::Schema& query,
+                               const schema::SchemaRepository& repo,
+                               const MatchOptions& options);
+};
+
+}  // namespace smb::match

@@ -1,0 +1,103 @@
+#include "match/objective.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smb::match {
+
+ObjectiveFunction::ObjectiveFunction(const schema::Schema* query,
+                                     const schema::SchemaRepository* repo,
+                                     ObjectiveOptions options)
+    : query_(query), repo_(repo), options_(std::move(options)) {
+  assert(query_ != nullptr && repo_ != nullptr);
+  preorder_ = query_->PreOrder();
+  // Map NodeId -> pre-order position, then derive parent positions.
+  std::vector<size_t> pos_of(query_->size(), 0);
+  for (size_t p = 0; p < preorder_.size(); ++p) {
+    pos_of[static_cast<size_t>(preorder_[p])] = p;
+  }
+  parent_position_.resize(preorder_.size(), kNoParent);
+  for (size_t p = 0; p < preorder_.size(); ++p) {
+    schema::NodeId parent = query_->node(preorder_[p]).parent;
+    if (parent != schema::kInvalidNode) {
+      parent_position_[p] = pos_of[static_cast<size_t>(parent)];
+    }
+  }
+  const double m = static_cast<double>(preorder_.size());
+  normalizer_ = options_.weight_name * m;
+  if (preorder_.size() > 1) {
+    normalizer_ += options_.weight_structure * (m - 1.0);
+  }
+  if (normalizer_ <= 0.0) normalizer_ = 1.0;
+  cache_.resize(repo_->schema_count());
+}
+
+double ObjectiveFunction::NodeCost(size_t pos, int32_t schema_index,
+                                   schema::NodeId target) const {
+  const schema::Schema& s = repo_->schema(schema_index);
+  auto& schema_cache = cache_[static_cast<size_t>(schema_index)];
+  if (schema_cache.empty()) {
+    schema_cache.assign(preorder_.size() * s.size(), -1.0);
+  }
+  double& slot = schema_cache[pos * s.size() + static_cast<size_t>(target)];
+  if (slot >= 0.0) return slot;
+
+  const schema::SchemaNode& q = query_->node(preorder_[pos]);
+  const schema::SchemaNode& t = s.node(target);
+  double cost = sim::NameDistance(q.name, t.name, options_.name);
+  if (options_.type_aware && !q.type.empty() && !t.type.empty() &&
+      q.type != t.type) {
+    cost = std::min(1.0, cost + options_.type_mismatch_penalty);
+  }
+  slot = cost;
+  return cost;
+}
+
+double ObjectiveFunction::EdgeCost(int32_t schema_index,
+                                   schema::NodeId parent_target,
+                                   schema::NodeId child_target) const {
+  const schema::Schema& s = repo_->schema(schema_index);
+  if (parent_target == child_target) return options_.collapsed_penalty;
+  const schema::SchemaNode& child = s.node(child_target);
+  if (child.parent == parent_target) return 0.0;  // edge preserved
+  if (s.IsAncestor(parent_target, child_target)) {
+    int gap = child.depth - s.node(parent_target).depth;
+    return std::min(1.0, options_.ancestor_penalty_base +
+                             options_.ancestor_penalty_step *
+                                 static_cast<double>(gap - 1));
+  }
+  if (s.IsAncestor(child_target, parent_target)) {
+    return options_.inverted_penalty;
+  }
+  int dist = s.TreeDistance(parent_target, child_target);
+  return std::min(1.0, options_.unrelated_penalty_base +
+                           options_.unrelated_penalty_step *
+                               static_cast<double>(std::max(0, dist - 2)));
+}
+
+double ObjectiveFunction::AssignCost(size_t pos, int32_t schema_index,
+                                     schema::NodeId target,
+                                     schema::NodeId parent_target) const {
+  double cost = options_.weight_name * NodeCost(pos, schema_index, target);
+  if (parent_target != schema::kInvalidNode) {
+    cost += options_.weight_structure *
+            EdgeCost(schema_index, parent_target, target);
+  }
+  return cost;
+}
+
+double ObjectiveFunction::Delta(
+    int32_t schema_index, const std::vector<schema::NodeId>& targets) const {
+  assert(targets.size() == preorder_.size());
+  double total = 0.0;
+  for (size_t pos = 0; pos < targets.size(); ++pos) {
+    schema::NodeId parent_target = schema::kInvalidNode;
+    if (parent_position_[pos] != kNoParent) {
+      parent_target = targets[parent_position_[pos]];
+    }
+    total += AssignCost(pos, schema_index, targets[pos], parent_target);
+  }
+  return total / normalizer_;
+}
+
+}  // namespace smb::match

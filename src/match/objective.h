@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/repository.h"
+#include "schema/schema.h"
+#include "sim/name_similarity.h"
+
+/// \file objective.h
+/// \brief The objective function Δ : SS → R (§2.1).
+///
+/// Δ computes *how different* a query schema and the image of a mapping are
+/// — lower is better, 0 means a perfect copy. It is the one component both
+/// the exhaustive system S1 and every non-exhaustive improvement S2 must
+/// share (§2.3): the entire bounds technique rests on identical ranking.
+///
+/// Composition (a weighted mean over per-node and per-edge costs, Δ ∈ [0,1]):
+///  * node cost   — composite name distance (see sim/name_similarity.h)
+///                  plus a type agreement adjustment;
+///  * edge cost   — how much a query parent-child edge is distorted in the
+///                  target schema: preserved edges cost 0, ancestor jumps a
+///                  little, inverted or unrelated placements a lot.
+///
+/// `Delta = (w_n·Σ node + w_s·Σ edge) / (w_n·m + w_s·(m−1))`.
+
+namespace smb::match {
+
+/// \brief Δ parameters. Defaults give planted copies Δ≈0 and random
+/// placements Δ near 1.
+struct ObjectiveOptions {
+  sim::NameSimilarityOptions name;
+
+  /// Relative weight of name costs.
+  double weight_name = 0.6;
+  /// Relative weight of structural (edge) costs.
+  double weight_structure = 0.4;
+
+  /// Edge cost when the target of the query child is a proper descendant
+  /// (not direct child) of the target of the query parent.
+  double ancestor_penalty_base = 0.25;
+  /// Added per extra level of depth gap (capped at 1).
+  double ancestor_penalty_step = 0.10;
+  /// Edge cost when the child's target is an *ancestor* of the parent's
+  /// target (inverted hierarchy).
+  double inverted_penalty = 0.85;
+  /// Edge cost when the two targets are unrelated (siblings/cousins).
+  double unrelated_penalty_base = 0.55;
+  /// Added per unit of tree distance beyond 2 (capped at 1).
+  double unrelated_penalty_step = 0.10;
+  /// Edge cost when both query elements map to the same target node
+  /// (only reachable with `injective == false`).
+  double collapsed_penalty = 1.0;
+
+  /// Consider declared simple types in the node cost.
+  bool type_aware = true;
+  /// Added to the name distance when both sides declare different types.
+  double type_mismatch_penalty = 0.10;
+};
+
+/// \brief Evaluates Δ for mappings of one query schema into one repository.
+///
+/// Name costs are cached per (query element, repository element); the cache
+/// fills lazily per repository schema. Instances are not thread-safe.
+class ObjectiveFunction {
+ public:
+  /// `query` and `repo` must outlive the objective.
+  ObjectiveFunction(const schema::Schema* query,
+                    const schema::SchemaRepository* repo,
+                    ObjectiveOptions options = {});
+
+  /// Query elements in pre-order (position 0 is the root).
+  const std::vector<schema::NodeId>& query_preorder() const {
+    return preorder_;
+  }
+
+  /// For each pre-order position, the position of its parent
+  /// (`kNoParent` for the root). Parents always precede children, which is
+  /// what lets matchers accumulate edge costs incrementally.
+  const std::vector<size_t>& parent_position() const {
+    return parent_position_;
+  }
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  /// \brief Name+type cost of assigning query position `pos` to `target`
+  /// in schema `schema_index` (cached). In [0, 1].
+  double NodeCost(size_t pos, int32_t schema_index,
+                  schema::NodeId target) const;
+
+  /// \brief Structural cost of a query edge whose endpoints map to
+  /// `parent_target` and `child_target` in the same schema. In [0, 1].
+  double EdgeCost(int32_t schema_index, schema::NodeId parent_target,
+                  schema::NodeId child_target) const;
+
+  /// \brief Un-normalized cost contribution of assigning `pos` -> `target`,
+  /// given the target of `pos`'s parent (`kInvalidNode` for the root).
+  /// Summing contributions over all positions and dividing by
+  /// `normalizer()` yields Δ. All contributions are >= 0, which makes
+  /// prefix sums an admissible lower bound for search pruning.
+  double AssignCost(size_t pos, int32_t schema_index, schema::NodeId target,
+                    schema::NodeId parent_target) const;
+
+  /// Denominator of the weighted mean: `w_n·m + w_s·(m−1)`.
+  double normalizer() const { return normalizer_; }
+
+  /// \brief Full Δ of an assignment (targets indexed by pre-order position).
+  double Delta(int32_t schema_index,
+               const std::vector<schema::NodeId>& targets) const;
+
+  const schema::Schema& query() const { return *query_; }
+  const schema::SchemaRepository& repo() const { return *repo_; }
+  const ObjectiveOptions& options() const { return options_; }
+
+ private:
+  const schema::Schema* query_;
+  const schema::SchemaRepository* repo_;
+  ObjectiveOptions options_;
+  std::vector<schema::NodeId> preorder_;
+  std::vector<size_t> parent_position_;
+  double normalizer_ = 1.0;
+  /// cache_[schema_index][pos * schema_size + node] = node cost; empty until
+  /// the schema is first touched.
+  mutable std::vector<std::vector<double>> cache_;
+};
+
+}  // namespace smb::match

@@ -1,0 +1,73 @@
+#include "match/random_prune.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace smb::match {
+
+Result<AnswerSet> RandomPrunePerIncrement(
+    const AnswerSet& s1, const std::vector<double>& thresholds,
+    const std::vector<size_t>& target_sizes, Rng* rng) {
+  if (!s1.finalized()) {
+    return Status::FailedPrecondition("s1 answer set is not finalized");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (thresholds.size() != target_sizes.size()) {
+    return Status::InvalidArgument(
+        "thresholds and target_sizes must have equal length");
+  }
+  for (size_t i = 1; i < thresholds.size(); ++i) {
+    if (thresholds[i] <= thresholds[i - 1]) {
+      return Status::InvalidArgument("thresholds must be strictly increasing");
+    }
+    if (target_sizes[i] < target_sizes[i - 1]) {
+      return Status::InvalidArgument("target_sizes must be non-decreasing");
+    }
+  }
+
+  AnswerSet out;
+  size_t prev_count = 0;
+  size_t prev_target = 0;
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    size_t count = s1.CountAtThreshold(thresholds[i]);
+    size_t available = count - prev_count;
+    size_t want = target_sizes[i] - prev_target;
+    if (want > available) {
+      return Status::InvalidArgument(StrFormat(
+          "increment %zu wants %zu answers but S1 only has %zu there", i,
+          want, available));
+    }
+    std::vector<size_t> picks = rng->SampleWithoutReplacement(available, want);
+    for (size_t p : picks) {
+      out.Add(s1.mappings()[prev_count + p]);
+    }
+    prev_count = count;
+    prev_target = target_sizes[i];
+  }
+  out.Finalize();
+  return out;
+}
+
+Result<AnswerSet> RandomPruneFraction(const AnswerSet& s1, double keep_fraction,
+                                      Rng* rng) {
+  if (!s1.finalized()) {
+    return Status::FailedPrecondition("s1 answer set is not finalized");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (keep_fraction < 0.0 || keep_fraction > 1.0) {
+    return Status::InvalidArgument("keep_fraction must be in [0, 1]");
+  }
+  AnswerSet out;
+  for (const auto& m : s1.mappings()) {
+    if (rng->Bernoulli(keep_fraction)) out.Add(m);
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace smb::match

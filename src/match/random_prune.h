@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "match/answer_set.h"
+
+/// \file random_prune.h
+/// \brief S_random — the hypothetical random system of §3.4.
+///
+/// "Let Srandom be a random system that simply executes S1 and for each
+/// increment selects a certain percentage of answers randomly. Since we are
+/// using the random system to compare with S2, we need it to produce the
+/// same number of answers as S2."
+///
+/// These helpers build such an answer set. The ablation bench uses them to
+/// confirm Equations (9)/(10) hold in expectation.
+
+namespace smb::match {
+
+/// \brief Randomly keeps exactly `target_sizes[i] - target_sizes[i-1]`
+/// answers within each threshold increment `(thresholds[i-1], thresholds[i]]`
+/// of `s1` (the first increment is `[0, thresholds[0]]`).
+///
+/// Requirements (checked): `s1` finalized; thresholds strictly increasing;
+/// `target_sizes` non-decreasing, one per threshold, and each increment's
+/// target must not exceed the answers available in that increment of `s1`.
+Result<AnswerSet> RandomPrunePerIncrement(
+    const AnswerSet& s1, const std::vector<double>& thresholds,
+    const std::vector<size_t>& target_sizes, Rng* rng);
+
+/// \brief Convenience: keeps each answer of `s1` independently with
+/// probability `keep_fraction` (the fixed-ratio hypothetical of Figure 9,
+/// in expectation).
+Result<AnswerSet> RandomPruneFraction(const AnswerSet& s1,
+                                      double keep_fraction, Rng* rng);
+
+}  // namespace smb::match

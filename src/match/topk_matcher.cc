@@ -1,0 +1,115 @@
+#include "match/topk_matcher.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace smb::match {
+
+namespace {
+
+struct Frontier {
+  double cost;
+  std::vector<schema::NodeId> targets;  // assignments for positions 0..n-1
+
+  bool operator>(const Frontier& other) const {
+    if (cost != other.cost) return cost > other.cost;
+    // Deterministic order for ties.
+    return targets > other.targets;
+  }
+};
+
+}  // namespace
+
+Result<AnswerSet> TopKMatcher::Match(const schema::Schema& query,
+                                     const schema::SchemaRepository& repo,
+                                     const MatchOptions& options,
+                                     MatchStats* stats) const {
+  SMB_RETURN_IF_ERROR(ValidateInputs(query, repo, options));
+  if (options_.k_per_schema == 0) {
+    return Status::InvalidArgument("k_per_schema must be positive");
+  }
+  ObjectiveFunction objective(&query, &repo, options.objective);
+  const size_t m = objective.query_preorder().size();
+  const double budget =
+      options.delta_threshold * objective.normalizer() + 1e-12;
+
+  AnswerSet answers;
+  for (size_t si = 0; si < repo.schema_count(); ++si) {
+    const auto schema_index = static_cast<int32_t>(si);
+    const schema::Schema& s = repo.schema(schema_index);
+
+    std::priority_queue<Frontier, std::vector<Frontier>,
+                        std::greater<Frontier>>
+        frontier;
+    frontier.push(Frontier{0.0, {}});
+    size_t emitted = 0;
+
+    while (!frontier.empty() && emitted < options_.k_per_schema) {
+      Frontier state = frontier.top();
+      frontier.pop();
+      if (state.cost > budget) break;  // nothing cheaper remains
+      size_t pos = state.targets.size();
+      if (pos == m) {
+        // Cheapest remaining completion: emit.
+        Mapping mapping;
+        mapping.schema_index = schema_index;
+        mapping.targets = state.targets;
+        mapping.delta = state.cost / objective.normalizer();
+        answers.Add(std::move(mapping));
+        if (stats != nullptr) ++stats->mappings_emitted;
+        ++emitted;
+        continue;
+      }
+      schema::NodeId parent_target = schema::kInvalidNode;
+      size_t parent_pos = objective.parent_position()[pos];
+      if (parent_pos != ObjectiveFunction::kNoParent) {
+        parent_target = state.targets[parent_pos];
+      }
+      for (size_t t = 0; t < s.size(); ++t) {
+        auto target = static_cast<schema::NodeId>(t);
+        if (options.injective) {
+          bool used = false;
+          for (schema::NodeId existing : state.targets) {
+            if (existing == target) {
+              used = true;
+              break;
+            }
+          }
+          if (used) continue;
+        }
+        if (stats != nullptr) ++stats->states_explored;
+        double cost = state.cost + objective.AssignCost(pos, schema_index,
+                                                        target,
+                                                        parent_target);
+        if (cost > budget) {
+          if (stats != nullptr) ++stats->states_pruned;
+          continue;
+        }
+        Frontier child;
+        child.cost = cost;
+        child.targets = state.targets;
+        child.targets.push_back(target);
+        frontier.push(std::move(child));
+      }
+      // Safety valve: bound frontier memory by rebuilding without the
+      // costliest entries. Rare in practice (budget prunes first).
+      if (options_.max_frontier > 0 &&
+          frontier.size() > options_.max_frontier) {
+        std::vector<Frontier> keep;
+        keep.reserve(options_.max_frontier / 2);
+        while (!frontier.empty() && keep.size() < options_.max_frontier / 2) {
+          keep.push_back(frontier.top());
+          frontier.pop();
+        }
+        std::priority_queue<Frontier, std::vector<Frontier>,
+                            std::greater<Frontier>>
+            rebuilt(std::greater<Frontier>(), std::move(keep));
+        frontier.swap(rebuilt);
+      }
+    }
+  }
+  answers.Finalize();
+  return answers;
+}
+
+}  // namespace smb::match

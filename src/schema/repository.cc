@@ -1,0 +1,33 @@
+#include "schema/repository.h"
+
+namespace smb::schema {
+
+Result<int32_t> SchemaRepository::Add(Schema schema) {
+  SMB_RETURN_IF_ERROR(schema.Validate());
+  if (schema.empty()) {
+    return Status::InvalidArgument("cannot add an empty schema");
+  }
+  total_elements_ += schema.size();
+  schemas_.push_back(std::move(schema));
+  return static_cast<int32_t>(schemas_.size() - 1);
+}
+
+std::vector<ElementRef> SchemaRepository::AllElements() const {
+  std::vector<ElementRef> out;
+  out.reserve(total_elements_);
+  for (size_t s = 0; s < schemas_.size(); ++s) {
+    for (NodeId id : schemas_[s].PreOrder()) {
+      out.push_back(ElementRef{static_cast<int32_t>(s), id});
+    }
+  }
+  return out;
+}
+
+int32_t SchemaRepository::FindByName(const std::string& name) const {
+  for (size_t s = 0; s < schemas_.size(); ++s) {
+    if (schemas_[s].name() == name) return static_cast<int32_t>(s);
+  }
+  return -1;
+}
+
+}  // namespace smb::schema

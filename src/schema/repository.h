@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+/// \file repository.h
+/// \brief A collection of schemas that queries are matched against.
+///
+/// Models the paper's "large schema repository" (§1): the search space of a
+/// matching problem is the set of mappings from a small personal schema into
+/// the elements of these schemas.
+
+namespace smb::schema {
+
+/// \brief Addresses one element inside a repository:
+/// (schema index, node within that schema).
+struct ElementRef {
+  int32_t schema_index = -1;
+  NodeId node = kInvalidNode;
+
+  bool operator==(const ElementRef& other) const {
+    return schema_index == other.schema_index && node == other.node;
+  }
+  bool operator<(const ElementRef& other) const {
+    if (schema_index != other.schema_index) {
+      return schema_index < other.schema_index;
+    }
+    return node < other.node;
+  }
+};
+
+/// \brief An immutable-after-build set of schemas.
+class SchemaRepository {
+ public:
+  SchemaRepository() = default;
+
+  /// \brief Adds a schema (validated first). Returns its index.
+  Result<int32_t> Add(Schema schema);
+
+  /// Number of schemas.
+  size_t schema_count() const { return schemas_.size(); }
+
+  /// Total number of elements across all schemas.
+  size_t total_elements() const { return total_elements_; }
+
+  /// True iff `index` addresses a schema.
+  bool IsValidIndex(int32_t index) const {
+    return index >= 0 && static_cast<size_t>(index) < schemas_.size();
+  }
+
+  /// Schema accessor; `index` must be valid.
+  const Schema& schema(int32_t index) const {
+    return schemas_[static_cast<size_t>(index)];
+  }
+
+  /// All schemas.
+  const std::vector<Schema>& schemas() const { return schemas_; }
+
+  /// Every element of every schema, in (schema, pre-order) order.
+  std::vector<ElementRef> AllElements() const;
+
+  /// The node behind a reference; the reference must be valid.
+  const SchemaNode& Resolve(const ElementRef& ref) const {
+    return schema(ref.schema_index).node(ref.node);
+  }
+
+  /// True iff `ref` addresses an element of this repository.
+  bool IsValidRef(const ElementRef& ref) const {
+    return IsValidIndex(ref.schema_index) &&
+           schema(ref.schema_index).IsValid(ref.node);
+  }
+
+  /// Finds a schema by document name; -1 when absent.
+  int32_t FindByName(const std::string& name) const;
+
+ private:
+  std::vector<Schema> schemas_;
+  size_t total_elements_ = 0;
+};
+
+}  // namespace smb::schema

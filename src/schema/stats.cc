@@ -1,0 +1,67 @@
+#include "schema/stats.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace smb::schema {
+
+RepositoryStats ComputeStats(const SchemaRepository& repo) {
+  RepositoryStats stats;
+  stats.schema_count = repo.schema_count();
+  stats.total_elements = repo.total_elements();
+  if (repo.schema_count() == 0) return stats;
+
+  stats.min_elements = SIZE_MAX;
+  size_t depth_sum = 0;
+  size_t internal_nodes = 0;
+  size_t child_links = 0;
+  std::set<std::string> names;
+  for (const Schema& schema : repo.schemas()) {
+    stats.min_elements = std::min(stats.min_elements, schema.size());
+    stats.max_elements = std::max(stats.max_elements, schema.size());
+    for (NodeId id : schema.PreOrder()) {
+      const SchemaNode& node = schema.node(id);
+      stats.max_depth = std::max(stats.max_depth, node.depth);
+      depth_sum += static_cast<size_t>(node.depth);
+      ++stats.depth_histogram[node.depth];
+      names.insert(ToLower(node.name));
+      if (node.children.empty()) {
+        ++stats.leaf_count;
+        if (!node.type.empty()) ++stats.typed_leaf_count;
+      } else {
+        ++internal_nodes;
+        child_links += node.children.size();
+      }
+    }
+  }
+  stats.mean_elements = static_cast<double>(stats.total_elements) /
+                        static_cast<double>(stats.schema_count);
+  stats.mean_depth = static_cast<double>(depth_sum) /
+                     static_cast<double>(stats.total_elements);
+  stats.mean_fanout = internal_nodes > 0
+      ? static_cast<double>(child_links) / static_cast<double>(internal_nodes)
+      : 0.0;
+  stats.distinct_names = names.size();
+  return stats;
+}
+
+void PrintStats(const RepositoryStats& stats, std::ostream& os) {
+  os << "repository: " << stats.schema_count << " schemas, "
+     << stats.total_elements << " elements (" << stats.min_elements << "-"
+     << stats.max_elements << " per schema, mean "
+     << StrFormat("%.1f", stats.mean_elements) << ")\n";
+  os << "  depth: max " << stats.max_depth << ", mean "
+     << StrFormat("%.2f", stats.mean_depth) << "; mean fanout "
+     << StrFormat("%.2f", stats.mean_fanout) << "\n";
+  os << "  leaves: " << stats.leaf_count << " (" << stats.typed_leaf_count
+     << " typed); distinct names: " << stats.distinct_names << "\n";
+  os << "  depth histogram:";
+  for (const auto& [depth, count] : stats.depth_histogram) {
+    os << " " << depth << ":" << count;
+  }
+  os << "\n";
+}
+
+}  // namespace smb::schema

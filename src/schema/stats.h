@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "schema/repository.h"
+
+/// \file stats.h
+/// \brief Descriptive statistics of schemas and repositories.
+///
+/// Used by the bench preambles and the synthetic-collection sanity tests:
+/// a generated repository should look like a plausible population of web
+/// schemas (shallow trees, modest fanout, shared vocabulary), and these
+/// numbers make that checkable.
+
+namespace smb::schema {
+
+/// \brief Aggregate shape statistics.
+struct RepositoryStats {
+  size_t schema_count = 0;
+  size_t total_elements = 0;
+  size_t min_elements = 0;     ///< smallest schema
+  size_t max_elements = 0;     ///< largest schema
+  double mean_elements = 0.0;  ///< average schema size
+  int max_depth = 0;           ///< deepest element anywhere
+  double mean_depth = 0.0;     ///< average element depth
+  double mean_fanout = 0.0;    ///< average children per internal node
+  size_t leaf_count = 0;
+  size_t typed_leaf_count = 0;   ///< leaves with a declared simple type
+  size_t distinct_names = 0;     ///< case-folded distinct element names
+  /// Histogram of element depths (depth -> count).
+  std::map<int, size_t> depth_histogram;
+};
+
+/// Computes statistics over every schema of the repository.
+RepositoryStats ComputeStats(const SchemaRepository& repo);
+
+/// Renders the statistics as a small report.
+void PrintStats(const RepositoryStats& stats, std::ostream& os);
+
+}  // namespace smb::schema

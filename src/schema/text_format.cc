@@ -1,0 +1,101 @@
+#include "schema/text_format.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace smb::schema {
+
+Result<Schema> ParseSchemaText(std::string_view text) {
+  Schema schema;
+  // Stack of (indent, node) pairs for the current root path.
+  std::vector<std::pair<int, NodeId>> stack;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    // Strip trailing CR for CRLF inputs.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    std::string_view content = Trim(line);
+    if (content.empty() || content[0] == '#') continue;
+
+    if (schema.empty() && StartsWith(content, "schema ")) {
+      schema.set_name(std::string(Trim(content.substr(7))));
+      continue;
+    }
+
+    int indent = 0;
+    while (static_cast<size_t>(indent) < line.size() &&
+           line[static_cast<size_t>(indent)] == ' ') {
+      ++indent;
+    }
+    if (indent % 2 != 0) {
+      return Status::ParseError(StrFormat(
+          "line %zu: odd indentation (%d spaces); use 2 per level", line_no,
+          indent));
+    }
+
+    // "name :type" or just "name".
+    std::string name;
+    std::string type;
+    size_t colon = content.find(" :");
+    if (colon != std::string_view::npos) {
+      name = std::string(Trim(content.substr(0, colon)));
+      type = std::string(Trim(content.substr(colon + 2)));
+    } else {
+      name = std::string(content);
+    }
+    if (name.find(' ') != std::string::npos) {
+      return Status::ParseError(
+          StrFormat("line %zu: element name contains a space", line_no));
+    }
+
+    while (!stack.empty() && stack.back().first >= indent) stack.pop_back();
+
+    if (stack.empty()) {
+      if (indent != 0) {
+        return Status::ParseError(StrFormat(
+            "line %zu: first element must not be indented", line_no));
+      }
+      if (!schema.empty()) {
+        return Status::ParseError(StrFormat(
+            "line %zu: multiple root elements ('%s')", line_no, name.c_str()));
+      }
+      SMB_ASSIGN_OR_RETURN(NodeId root, schema.AddRoot(name, type));
+      stack.emplace_back(indent, root);
+    } else {
+      if (indent != stack.back().first + 2) {
+        return Status::ParseError(StrFormat(
+            "line %zu: indentation jumps from %d to %d", line_no,
+            stack.back().first, indent));
+      }
+      SMB_ASSIGN_OR_RETURN(NodeId id,
+                           schema.AddChild(stack.back().second, name, type));
+      stack.emplace_back(indent, id);
+    }
+  }
+  if (schema.empty()) {
+    return Status::ParseError("schema text contains no elements");
+  }
+  SMB_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+std::string WriteSchemaText(const Schema& schema) {
+  std::string out;
+  if (!schema.name().empty()) {
+    out += "schema " + schema.name() + "\n";
+  }
+  for (NodeId id : schema.PreOrder()) {
+    const SchemaNode& node = schema.node(id);
+    out.append(static_cast<size_t>(node.depth) * 2, ' ');
+    out += node.name;
+    if (!node.type.empty()) {
+      out += " :" + node.type;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace smb::schema

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+/// \file text_format.h
+/// \brief Compact indented text format for schema trees.
+///
+/// Handy for tests, examples and fixtures. Two spaces per nesting level;
+/// an optional `:type` suffix declares a simple type; `#` starts a comment
+/// line; an optional leading `schema <name>` line names the document:
+///
+/// \code
+/// schema library
+/// library
+///   book
+///     title :string
+///     author
+///       name :string
+/// \endcode
+
+namespace smb::schema {
+
+/// Parses the text format. Fails on inconsistent indentation or multiple
+/// roots.
+Result<Schema> ParseSchemaText(std::string_view text);
+
+/// Renders a schema in the text format; round-trips with ParseSchemaText.
+std::string WriteSchemaText(const Schema& schema);
+
+}  // namespace smb::schema

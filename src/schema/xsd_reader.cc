@@ -1,0 +1,211 @@
+#include "schema/xsd_reader.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "xml/xml_parser.h"
+
+namespace smb::schema {
+
+namespace {
+
+using xml::XmlNode;
+
+/// Strips an `xs:`-style prefix from a type or ref name.
+std::string StripPrefix(std::string_view name) {
+  size_t colon = name.find(':');
+  if (colon != std::string_view::npos) {
+    return std::string(name.substr(colon + 1));
+  }
+  return std::string(name);
+}
+
+class XsdConverter {
+ public:
+  XsdConverter(const XmlNode& schema_element, const XsdReadOptions& options)
+      : options_(options) {
+    // Index top-level named complexTypes and elements for ref/type lookup.
+    for (const XmlNode* child : schema_element.ChildElements()) {
+      std::string_view local = child->LocalName();
+      if (local == "complexType") {
+        auto name = child->GetAttribute("name");
+        if (name.has_value()) named_types_[std::string(*name)] = child;
+      } else if (local == "element") {
+        auto name = child->GetAttribute("name");
+        if (name.has_value()) top_elements_[std::string(*name)] = child;
+      }
+    }
+  }
+
+  Status Convert(const XmlNode& schema_element, Schema* out) {
+    const XmlNode* root_element = nullptr;
+    for (const XmlNode* child : schema_element.ChildElements()) {
+      if (child->LocalName() == "element") {
+        if (root_element != nullptr) {
+          return Status::InvalidArgument(
+              "XSD has multiple top-level elements; expected exactly one "
+              "schema root");
+        }
+        root_element = child;
+      }
+    }
+    if (root_element == nullptr) {
+      return Status::InvalidArgument("XSD has no top-level element");
+    }
+    auto name = root_element->GetAttribute("name");
+    if (!name.has_value() || name->empty()) {
+      return Status::ParseError("top-level element lacks a name attribute");
+    }
+    SMB_ASSIGN_OR_RETURN(NodeId root,
+                         out->AddRoot(std::string(*name),
+                                      ElementTypeName(*root_element)));
+    return ExpandElementContent(*root_element, root, out, /*depth=*/0);
+  }
+
+ private:
+  /// The declared simple type of an element, "" when complex/untyped.
+  std::string ElementTypeName(const XmlNode& element) const {
+    auto type = element.GetAttribute("type");
+    if (!type.has_value()) return "";
+    std::string local = StripPrefix(*type);
+    // A reference to a named complexType is structure, not a simple type.
+    if (named_types_.count(local) > 0) return "";
+    return local;
+  }
+
+  /// Expands children (complexType content and attributes) of `element`
+  /// under `parent_id`.
+  Status ExpandElementContent(const XmlNode& element, NodeId parent_id,
+                              Schema* out, int depth) {
+    if (depth > options_.max_depth) return Status::OK();  // recursion cut
+    // Inline complexType.
+    const XmlNode* complex = nullptr;
+    for (const XmlNode* child : element.ChildElements()) {
+      if (child->LocalName() == "complexType") {
+        complex = child;
+        break;
+      }
+    }
+    // type= reference to a named complexType.
+    if (complex == nullptr) {
+      auto type = element.GetAttribute("type");
+      if (type.has_value()) {
+        auto it = named_types_.find(StripPrefix(*type));
+        if (it != named_types_.end()) complex = it->second;
+      }
+    }
+    if (complex == nullptr) return Status::OK();
+    return ExpandComplexType(*complex, parent_id, out, depth);
+  }
+
+  Status ExpandComplexType(const XmlNode& complex, NodeId parent_id,
+                           Schema* out, int depth) {
+    for (const XmlNode* child : complex.ChildElements()) {
+      std::string_view local = child->LocalName();
+      if (local == "sequence" || local == "all" || local == "choice") {
+        SMB_RETURN_IF_ERROR(ExpandGroup(*child, parent_id, out, depth));
+      } else if (local == "attribute" && options_.include_attributes) {
+        SMB_RETURN_IF_ERROR(AddAttribute(*child, parent_id, out));
+      } else if (local == "complexContent" || local == "simpleContent") {
+        // extension/restriction: expand the nested group if present.
+        for (const XmlNode* inner : child->ChildElements()) {
+          if (inner->LocalName() == "extension" ||
+              inner->LocalName() == "restriction") {
+            SMB_RETURN_IF_ERROR(ExpandComplexType(*inner, parent_id, out,
+                                                  depth));
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpandGroup(const XmlNode& group, NodeId parent_id, Schema* out,
+                     int depth) {
+    for (const XmlNode* child : group.ChildElements()) {
+      std::string_view local = child->LocalName();
+      if (local == "element") {
+        SMB_RETURN_IF_ERROR(AddElement(*child, parent_id, out, depth));
+      } else if (local == "sequence" || local == "all" || local == "choice") {
+        // Nested groups flatten into the same parent.
+        SMB_RETURN_IF_ERROR(ExpandGroup(*child, parent_id, out, depth));
+      }
+      // annotations, any, etc. are skipped.
+    }
+    return Status::OK();
+  }
+
+  Status AddElement(const XmlNode& element, NodeId parent_id, Schema* out,
+                    int depth) {
+    const XmlNode* decl = &element;
+    auto name = element.GetAttribute("name");
+    if (!name.has_value()) {
+      auto ref = element.GetAttribute("ref");
+      if (!ref.has_value()) {
+        return Status::ParseError("element lacks both name and ref");
+      }
+      std::string local = StripPrefix(*ref);
+      auto it = top_elements_.find(local);
+      if (it == top_elements_.end()) {
+        return Status::NotFound("element ref '" + local +
+                                "' has no top-level declaration");
+      }
+      decl = it->second;
+      name = decl->GetAttribute("name");
+      if (!name.has_value()) {
+        return Status::ParseError("referenced element lacks a name");
+      }
+    }
+    if (depth + 1 > options_.max_depth) return Status::OK();
+    SMB_ASSIGN_OR_RETURN(NodeId id,
+                         out->AddChild(parent_id, std::string(*name),
+                                       ElementTypeName(*decl)));
+    return ExpandElementContent(*decl, id, out, depth + 1);
+  }
+
+  Status AddAttribute(const XmlNode& attribute, NodeId parent_id,
+                      Schema* out) {
+    auto name = attribute.GetAttribute("name");
+    if (!name.has_value()) {
+      return Status::ParseError("attribute lacks a name");
+    }
+    std::string type = StripPrefix(attribute.GetAttributeOr("type", ""));
+    return out->AddChild(parent_id, "@" + std::string(*name), type).status();
+  }
+
+  const XsdReadOptions& options_;
+  std::map<std::string, const XmlNode*> named_types_;
+  std::map<std::string, const XmlNode*> top_elements_;
+};
+
+}  // namespace
+
+Result<Schema> ReadXsd(std::string_view xsd_text, std::string document_name,
+                       const XsdReadOptions& options) {
+  SMB_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::ParseXml(xsd_text));
+  if (doc.root.LocalName() != "schema") {
+    return Status::InvalidArgument("root element is <" + doc.root.name() +
+                                   ">, expected an XSD <schema>");
+  }
+  Schema schema(std::move(document_name));
+  XsdConverter converter(doc.root, options);
+  SMB_RETURN_IF_ERROR(converter.Convert(doc.root, &schema));
+  SMB_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+Result<Schema> ReadXsdFile(const std::string& path,
+                           const XsdReadOptions& options) {
+  SMB_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::ParseXmlFile(path));
+  if (doc.root.LocalName() != "schema") {
+    return Status::InvalidArgument("root element is <" + doc.root.name() +
+                                   ">, expected an XSD <schema>");
+  }
+  Schema schema(path);
+  XsdConverter converter(doc.root, options);
+  SMB_RETURN_IF_ERROR(converter.Convert(doc.root, &schema));
+  SMB_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace smb::schema

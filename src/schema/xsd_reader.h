@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+/// \file xsd_reader.h
+/// \brief Converts an XSD-subset document into a `Schema` tree.
+///
+/// Supported XSD constructs (with any namespace prefix for the XSD
+/// namespace):
+///  * one top-level `element` (the schema root), further top-level elements
+///    rejected,
+///  * inline `complexType` with `sequence`, `all` or `choice` groups
+///    (group kind is flattened away — the matcher only uses the tree),
+///  * named top-level `complexType` definitions referenced via `type=`,
+///  * `element` `ref=` to top-level elements,
+///  * `attribute` declarations (mapped to leaf children prefixed with `@`),
+///  * `simpleType`/built-in types recorded as the node's type
+///    (the `xs:` prefix is stripped).
+///
+/// Recursive type references are expanded up to `max_depth` and then cut:
+/// the matcher operates on finite trees, which is faithful to how the
+/// paper's personal-schema problems use repository schemas.
+
+namespace smb::schema {
+
+/// \brief Options for XSD conversion.
+struct XsdReadOptions {
+  /// Depth cut-off for recursive type expansion.
+  int max_depth = 16;
+  /// Include `attribute` declarations as `@name` leaf nodes.
+  bool include_attributes = true;
+};
+
+/// Parses XSD text into a schema named `document_name`.
+Result<Schema> ReadXsd(std::string_view xsd_text, std::string document_name,
+                       const XsdReadOptions& options = {});
+
+/// Reads an `.xsd` file; the document name defaults to the file path.
+Result<Schema> ReadXsdFile(const std::string& path,
+                           const XsdReadOptions& options = {});
+
+}  // namespace smb::schema

@@ -1,0 +1,81 @@
+#include "schema/xsd_writer.h"
+
+#include "common/strings.h"
+#include "xml/xml_node.h"
+#include "xml/xml_writer.h"
+
+namespace smb::schema {
+
+namespace {
+
+using xml::XmlNode;
+
+bool IsAttribute(const SchemaNode& node) {
+  return !node.name.empty() && node.name[0] == '@';
+}
+
+/// Builds the xs:element node for `id`, recursing into children.
+XmlNode BuildElement(const Schema& schema, NodeId id,
+                     const std::string& prefix) {
+  const SchemaNode& node = schema.node(id);
+  XmlNode element = XmlNode::Element(prefix + ":element");
+  element.SetAttribute("name", node.name);
+
+  // Partition children into sub-elements and attributes.
+  std::vector<NodeId> elements;
+  std::vector<NodeId> attributes;
+  for (NodeId child : node.children) {
+    if (IsAttribute(schema.node(child))) {
+      attributes.push_back(child);
+    } else {
+      elements.push_back(child);
+    }
+  }
+
+  if (elements.empty() && attributes.empty()) {
+    if (!node.type.empty()) {
+      element.SetAttribute("type", prefix + ":" + node.type);
+    }
+    return element;
+  }
+
+  // Complex content. A declared simple type on a complex element cannot be
+  // represented in this subset; the structure wins (the matcher ignores
+  // types on inner nodes anyway).
+  XmlNode complex = XmlNode::Element(prefix + ":complexType");
+  if (!elements.empty()) {
+    XmlNode sequence = XmlNode::Element(prefix + ":sequence");
+    for (NodeId child : elements) {
+      sequence.AddChild(BuildElement(schema, child, prefix));
+    }
+    complex.AddChild(std::move(sequence));
+  }
+  for (NodeId child : attributes) {
+    const SchemaNode& attr = schema.node(child);
+    XmlNode attribute = XmlNode::Element(prefix + ":attribute");
+    attribute.SetAttribute("name", attr.name.substr(1));
+    if (!attr.type.empty()) {
+      attribute.SetAttribute("type", prefix + ":" + attr.type);
+    }
+    complex.AddChild(std::move(attribute));
+  }
+  element.AddChild(std::move(complex));
+  return element;
+}
+
+}  // namespace
+
+std::string WriteXsd(const Schema& schema, const XsdWriteOptions& options) {
+  xml::XmlDocument doc;
+  doc.root = XmlNode::Element(options.prefix + ":schema");
+  doc.root.SetAttribute("xmlns:" + options.prefix,
+                        "http://www.w3.org/2001/XMLSchema");
+  if (!schema.empty()) {
+    doc.root.AddChild(BuildElement(schema, schema.root(), options.prefix));
+  }
+  xml::XmlWriteOptions write_options;
+  write_options.indent = options.indent;
+  return xml::WriteXml(doc, write_options);
+}
+
+}  // namespace smb::schema

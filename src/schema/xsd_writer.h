@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "schema/schema.h"
+
+/// \file xsd_writer.h
+/// \brief Serializes a schema tree back to an XSD document.
+///
+/// Inverse of the reader for the supported subset: elements become nested
+/// `xs:element`/`xs:complexType`/`xs:sequence` declarations, `@`-prefixed
+/// leaves become `xs:attribute` declarations, and recorded simple types
+/// become `type="xs:..."` attributes. `ReadXsd(WriteXsd(s))` is
+/// structurally equal to `s` for every valid schema.
+
+namespace smb::schema {
+
+/// \brief XSD serialization options.
+struct XsdWriteOptions {
+  /// Namespace prefix used for XSD constructs.
+  std::string prefix = "xs";
+  /// Indentation width.
+  int indent = 2;
+};
+
+/// Serializes `schema` (must be non-empty and valid) as an XSD document.
+std::string WriteXsd(const Schema& schema, const XsdWriteOptions& options = {});
+
+}  // namespace smb::schema

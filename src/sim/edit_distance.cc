@@ -1,0 +1,72 @@
+#include "sim/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace smb::sim {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return n;
+  // Two-row rolling DP over the shorter dimension.
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t i = 0; i <= m; ++i) prev[i] = i;
+  for (size_t j = 1; j <= n; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= m; ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return n;
+  if (n == 0) return m;
+  // Three-row rolling DP (needs i-2 for transpositions).
+  std::vector<size_t> two(n + 1);
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> cur(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = j;
+  for (size_t i = 1; i <= m; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= n; ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], two[j - 2] + 1);
+      }
+    }
+    std::swap(two, prev);
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+namespace {
+
+double NormalizedSimilarity(size_t dist, size_t la, size_t lb) {
+  size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+}  // namespace
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  return NormalizedSimilarity(LevenshteinDistance(a, b), a.size(), b.size());
+}
+
+double DamerauLevenshteinSimilarity(std::string_view a, std::string_view b) {
+  return NormalizedSimilarity(DamerauLevenshteinDistance(a, b), a.size(),
+                              b.size());
+}
+
+}  // namespace smb::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+/// \file edit_distance.h
+/// \brief Levenshtein and Damerau-Levenshtein string distances.
+///
+/// These are building blocks of the composite name similarity used by the
+/// matching objective function Δ (see match/objective.h). All similarity
+/// values are in [0, 1], 1 meaning identical.
+
+namespace smb::sim {
+
+/// \brief Levenshtein distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief Damerau-Levenshtein distance (adds adjacent transposition).
+///
+/// This is the restricted (optimal string alignment) variant: a substring
+/// is never edited twice.
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief `1 - dist / max(|a|, |b|)`; 1 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Damerau analogue of LevenshteinSimilarity.
+double DamerauLevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace smb::sim

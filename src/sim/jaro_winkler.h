@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string_view>
+
+/// \file jaro_winkler.h
+/// \brief Jaro and Jaro-Winkler string similarity.
+
+namespace smb::sim {
+
+/// \brief Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler similarity: Jaro boosted by a shared prefix.
+///
+/// \param prefix_scale Winkler scaling factor (standard 0.1, capped at 0.25
+///        so the result stays <= 1 with the 4-character prefix cap).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace smb::sim

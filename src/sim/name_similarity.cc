@@ -1,0 +1,52 @@
+#include "sim/name_similarity.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "sim/edit_distance.h"
+#include "sim/jaro_winkler.h"
+#include "sim/ngram.h"
+
+namespace smb::sim {
+
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const NameSimilarityOptions& options) {
+  std::string la, lb;
+  if (options.case_insensitive) {
+    la = ToLower(a);
+    lb = ToLower(b);
+    a = la;
+    b = lb;
+  }
+  if (a == b) return 1.0;
+  if (options.synonyms != nullptr && options.synonyms->AreSynonyms(a, b)) {
+    return options.synonym_score;
+  }
+
+  double wl = std::max(0.0, options.weight_levenshtein);
+  double wj = std::max(0.0, options.weight_jaro_winkler);
+  double wt = std::max(0.0, options.weight_trigram);
+  double wk = std::max(0.0, options.weight_token);
+  double wsum = wl + wj + wt + wk;
+  if (wsum <= 0.0) return 0.0;
+
+  TokenSimilarityOptions token_options;
+  token_options.synonyms = options.synonyms;
+
+  double score = 0.0;
+  if (wl > 0.0) score += wl * LevenshteinSimilarity(a, b);
+  if (wj > 0.0) score += wj * JaroWinklerSimilarity(a, b);
+  if (wt > 0.0) score += wt * NgramDiceSimilarity(a, b);
+  if (wk > 0.0) score += wk * TokenNameSimilarity(a, b, token_options);
+  double sim = score / wsum;
+  // Exact 1.0 is reserved for equality so that Δ = 0 identifies the
+  // planted original copy uniquely.
+  return std::min(sim, 0.999);
+}
+
+double NameDistance(std::string_view a, std::string_view b,
+                    const NameSimilarityOptions& options) {
+  return 1.0 - NameSimilarity(a, b, options);
+}
+
+}  // namespace smb::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string_view>
+
+#include "sim/synonyms.h"
+#include "sim/token_similarity.h"
+
+/// \file name_similarity.h
+/// \brief Composite element-name similarity.
+///
+/// Combines the individual measures (edit distance, Jaro-Winkler, trigram
+/// Dice, token/synonym) into one score, the way matchers like COMA [8] and
+/// Cupid [11] aggregate multiple matchers. Weights are configurable; the
+/// defaults were picked so that planted perturbations (synonym renames,
+/// abbreviations, typos) in the synthetic collections stay clearly above
+/// random name pairs.
+
+namespace smb::sim {
+
+/// \brief Weights of the composite measure (normalized internally).
+struct NameSimilarityOptions {
+  double weight_levenshtein = 0.25;
+  double weight_jaro_winkler = 0.25;
+  double weight_trigram = 0.2;
+  double weight_token = 0.3;
+  /// Case-fold before comparing.
+  bool case_insensitive = true;
+  /// Synonym table consulted by the token measure (nullptr = none) and for
+  /// the whole-name synonym shortcut.
+  const SynonymTable* synonyms = nullptr;
+  /// Score assigned when the full names are listed as synonyms.
+  double synonym_score = 0.95;
+};
+
+/// \brief Composite similarity in [0, 1]; 1 iff the names are equal
+/// (after case folding when enabled).
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const NameSimilarityOptions& options = {});
+
+/// \brief Distance counterpart: `1 - NameSimilarity`.
+double NameDistance(std::string_view a, std::string_view b,
+                    const NameSimilarityOptions& options = {});
+
+}  // namespace smb::sim

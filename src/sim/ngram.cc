@@ -1,0 +1,97 @@
+#include "sim/ngram.h"
+
+#include <algorithm>
+
+namespace smb::sim {
+
+std::vector<std::string> ExtractNgrams(std::string_view s, size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0) return grams;
+  std::string padded;
+  padded.reserve(s.size() + 2 * (n - 1));
+  padded.append(n - 1, '#');
+  padded.append(s);
+  padded.append(n - 1, '#');
+  if (padded.size() < n) return grams;
+  grams.reserve(padded.size() - n + 1);
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, n));
+  }
+  std::sort(grams.begin(), grams.end());
+  return grams;
+}
+
+namespace {
+
+/// Multiset intersection size of two sorted vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t UniqueCount(const std::vector<std::string>& sorted) {
+  size_t count = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) ++count;
+  }
+  return count;
+}
+
+/// Set (deduplicated) intersection size of two sorted vectors.
+size_t SortedSetIntersectionSize(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      const std::string& g = a[i];
+      while (i < a.size() && a[i] == g) ++i;
+      while (j < b.size() && b[j] == g) ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double NgramDiceSimilarity(std::string_view a, std::string_view b, size_t n) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ga = ExtractNgrams(a, n);
+  auto gb = ExtractNgrams(b, n);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(ga, gb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+double NgramJaccardSimilarity(std::string_view a, std::string_view b,
+                              size_t n) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ga = ExtractNgrams(a, n);
+  auto gb = ExtractNgrams(b, n);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = SortedSetIntersectionSize(ga, gb);
+  size_t uni = UniqueCount(ga) + UniqueCount(gb) - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace smb::sim

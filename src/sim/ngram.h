@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file ngram.h
+/// \brief Character n-gram similarity (Dice and Jaccard coefficients).
+
+namespace smb::sim {
+
+/// \brief Extracts character n-grams with boundary padding.
+///
+/// The string is padded with `n - 1` '#' characters on both sides, so
+/// "ab" with n=3 yields {"##a", "#ab", "ab#", "b##"}. Grams are returned
+/// sorted (with duplicates kept), which makes multiset intersection linear.
+std::vector<std::string> ExtractNgrams(std::string_view s, size_t n);
+
+/// \brief Dice coefficient on n-gram multisets: `2|A∩B| / (|A|+|B|)`.
+double NgramDiceSimilarity(std::string_view a, std::string_view b,
+                           size_t n = 3);
+
+/// \brief Jaccard coefficient on n-gram sets: `|A∩B| / |A∪B|`.
+double NgramJaccardSimilarity(std::string_view a, std::string_view b,
+                              size_t n = 3);
+
+}  // namespace smb::sim

@@ -1,0 +1,98 @@
+#include "sim/synonyms.h"
+
+#include "common/strings.h"
+
+namespace smb::sim {
+
+void SynonymTable::AddGroup(const std::vector<std::string>& words) {
+  // Find groups already containing any of the words.
+  int target = -1;
+  std::vector<int> to_merge;
+  for (const auto& w : words) {
+    auto it = group_of_.find(ToLower(w));
+    if (it != group_of_.end()) {
+      if (target == -1) {
+        target = it->second;
+      } else if (it->second != target) {
+        to_merge.push_back(it->second);
+      }
+    }
+  }
+  if (target == -1) {
+    target = static_cast<int>(group_count_++);
+  }
+  if (!to_merge.empty()) {
+    for (auto& [word, group] : group_of_) {
+      for (int g : to_merge) {
+        if (group == g) group = target;
+      }
+    }
+  }
+  for (const auto& w : words) {
+    group_of_[ToLower(w)] = target;
+  }
+}
+
+bool SynonymTable::AreSynonyms(std::string_view a, std::string_view b) const {
+  if (a == b) return true;
+  int ga = GroupOf(a);
+  if (ga < 0) return false;
+  return ga == GroupOf(b);
+}
+
+int SynonymTable::GroupOf(std::string_view word) const {
+  auto it = group_of_.find(ToLower(word));
+  return it == group_of_.end() ? -1 : it->second;
+}
+
+SynonymTable SynonymTable::Builtin() {
+  SynonymTable table;
+  // E-commerce.
+  table.AddGroup({"customer", "client", "buyer", "purchaser"});
+  table.AddGroup({"order", "purchase", "po"});
+  table.AddGroup({"item", "product", "article", "good"});
+  table.AddGroup({"quantity", "qty", "amount", "count"});
+  table.AddGroup({"price", "cost", "charge"});
+  table.AddGroup({"invoice", "bill", "receipt"});
+  table.AddGroup({"ship", "deliver", "dispatch"});
+  table.AddGroup({"address", "addr", "location"});
+  table.AddGroup({"zip", "zipcode", "postcode", "postalcode"});
+  table.AddGroup({"phone", "tel", "telephone", "mobile"});
+  table.AddGroup({"email", "mail", "emailaddress"});
+  table.AddGroup({"id", "identifier", "key", "code", "nr", "number", "num"});
+  table.AddGroup({"name", "label", "title"});
+  table.AddGroup({"description", "desc", "summary", "abstract"});
+  table.AddGroup({"date", "day", "time", "timestamp"});
+  table.AddGroup({"vendor", "supplier", "seller", "merchant"});
+  table.AddGroup({"payment", "pay", "remittance"});
+  table.AddGroup({"discount", "rebate", "reduction"});
+  table.AddGroup({"tax", "vat", "duty"});
+  table.AddGroup({"total", "sum", "subtotal"});
+  // Bibliographic.
+  table.AddGroup({"author", "writer", "creator"});
+  table.AddGroup({"book", "publication", "monograph", "volume"});
+  table.AddGroup({"journal", "periodical", "magazine"});
+  table.AddGroup({"publisher", "press", "imprint"});
+  table.AddGroup({"year", "yr"});
+  table.AddGroup({"isbn", "issn"});
+  table.AddGroup({"page", "pg", "pages"});
+  table.AddGroup({"editor", "ed"});
+  table.AddGroup({"conference", "proceedings", "symposium", "workshop"});
+  table.AddGroup({"keyword", "tag", "term", "subject"});
+  // HR / person.
+  table.AddGroup({"employee", "staff", "worker", "personnel"});
+  table.AddGroup({"salary", "wage", "pay", "compensation"});
+  table.AddGroup({"department", "dept", "division", "unit"});
+  table.AddGroup({"manager", "supervisor", "boss", "lead"});
+  table.AddGroup({"firstname", "givenname", "forename"});
+  table.AddGroup({"lastname", "surname", "familyname"});
+  table.AddGroup({"birthday", "birthdate", "dob"});
+  table.AddGroup({"company", "firm", "organization", "organisation", "org"});
+  table.AddGroup({"city", "town", "municipality"});
+  table.AddGroup({"country", "nation", "state"});
+  table.AddGroup({"street", "road", "avenue"});
+  table.AddGroup({"person", "individual", "contact"});
+  return table;
+}
+
+}  // namespace smb::sim

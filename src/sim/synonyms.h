@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file synonyms.h
+/// \brief Synonym and abbreviation dictionary for name matching.
+///
+/// Schema vocabularies routinely alias concepts ("customer"/"client",
+/// "qty"/"quantity"). The table groups equivalent lowercase tokens;
+/// two tokens in the same group score `synonym_similarity` (default 0.95,
+/// slightly below exact equality so exact names still rank first).
+
+namespace smb::sim {
+
+/// \brief Union of synonym groups with O(1) group lookup.
+class SynonymTable {
+ public:
+  SynonymTable() = default;
+
+  /// \brief Adds a group of mutually-synonymous tokens (lowercased).
+  ///
+  /// Groups sharing a token are merged transitively.
+  void AddGroup(const std::vector<std::string>& words);
+
+  /// True iff both tokens are known and share a group (or are equal).
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// Group id for a token, -1 when unknown.
+  int GroupOf(std::string_view word) const;
+
+  /// Number of distinct groups.
+  size_t group_count() const { return group_count_; }
+
+  /// Number of words across all groups.
+  size_t word_count() const { return group_of_.size(); }
+
+  /// \brief A built-in table covering the e-commerce / bibliographic /
+  /// HR vocabulary used by the synthetic collection generator.
+  static SynonymTable Builtin();
+
+ private:
+  std::unordered_map<std::string, int> group_of_;
+  size_t group_count_ = 0;
+};
+
+}  // namespace smb::sim

@@ -1,0 +1,72 @@
+#include "sim/token_similarity.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "sim/jaro_winkler.h"
+
+namespace smb::sim {
+
+namespace {
+
+double TokenPairScore(const std::string& a, const std::string& b,
+                      const TokenSimilarityOptions& options) {
+  if (a == b) return 1.0;
+  if (options.synonyms != nullptr && options.synonyms->AreSynonyms(a, b)) {
+    return options.synonym_score;
+  }
+  double jw = JaroWinklerSimilarity(a, b);
+  return jw >= options.min_token_score ? jw : 0.0;
+}
+
+}  // namespace
+
+double TokenListSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           const TokenSimilarityOptions& options) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+
+  // Greedy best-first pairing: score all pairs, take them best-first while
+  // both sides are unused. Token lists are short (identifier words), so the
+  // quadratic pass is fine.
+  struct Pair {
+    double score;
+    size_t i, j;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(a.size() * b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      double s = TokenPairScore(a[i], b[j], options);
+      if (s > 0.0) pairs.push_back({s, i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.i != y.i) return x.i < y.i;
+    return x.j < y.j;
+  });
+
+  std::vector<bool> used_a(a.size(), false);
+  std::vector<bool> used_b(b.size(), false);
+  double total = 0.0;
+  size_t matched = 0;
+  for (const Pair& p : pairs) {
+    if (used_a[p.i] || used_b[p.j]) continue;
+    used_a[p.i] = true;
+    used_b[p.j] = true;
+    total += p.score;
+    ++matched;
+  }
+  // Soft Jaccard: unmatched tokens on either side dilute the score.
+  double denom = static_cast<double>(a.size() + b.size() - matched);
+  return denom > 0.0 ? total / denom : 1.0;
+}
+
+double TokenNameSimilarity(std::string_view a, std::string_view b,
+                           const TokenSimilarityOptions& options) {
+  return TokenListSimilarity(SplitIdentifier(a), SplitIdentifier(b), options);
+}
+
+}  // namespace smb::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/synonyms.h"
+
+/// \file token_similarity.h
+/// \brief Token-set similarity over identifier word tokens.
+///
+/// Identifiers are tokenized with `smb::SplitIdentifier` (camelCase,
+/// snake_case, digit boundaries). Similarity is a soft Jaccard: tokens are
+/// paired greedily by best token-to-token score, where a pair scores 1.0 on
+/// equality, `synonym_score` when the synonym table links them, and a
+/// Jaro-Winkler fallback otherwise (so "qty2" ~ "qty" still matches).
+
+namespace smb::sim {
+
+/// \brief Options for token-set similarity.
+struct TokenSimilarityOptions {
+  /// Score for a synonym-table hit.
+  double synonym_score = 0.95;
+  /// Token pairs scoring below this contribute nothing (noise gate).
+  double min_token_score = 0.5;
+  /// Optional synonym table; nullptr disables synonym scoring.
+  const SynonymTable* synonyms = nullptr;
+};
+
+/// \brief Best-pairing score between two token lists, normalized like
+/// Jaccard: `sum(best pair scores) / (|A| + |B| - matched_pairs)`.
+double TokenListSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           const TokenSimilarityOptions& options = {});
+
+/// \brief Tokenizes both names and applies TokenListSimilarity.
+double TokenNameSimilarity(std::string_view a, std::string_view b,
+                           const TokenSimilarityOptions& options = {});
+
+}  // namespace smb::sim

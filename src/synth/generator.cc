@@ -1,0 +1,199 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+
+namespace smb::synth {
+
+namespace {
+
+/// Nodes eligible as parents for new host elements (keeps trees shallow).
+std::vector<schema::NodeId> ShallowNodes(const schema::Schema& s,
+                                         int max_depth) {
+  std::vector<schema::NodeId> out;
+  for (schema::NodeId id : s.PreOrder()) {
+    if (s.node(id).depth <= max_depth) out.push_back(id);
+  }
+  return out;
+}
+
+/// Builds a random host schema from the vocabulary.
+Result<schema::Schema> GenerateHost(const Vocabulary& vocab, size_t elements,
+                                    double typed_leaf_fraction, Rng* rng,
+                                    const std::string& doc_name) {
+  schema::Schema s(doc_name);
+  SMB_RETURN_IF_ERROR(
+      s.AddRoot(vocab.RandomElementName(rng, /*compound_probability=*/0.15))
+          .status());
+  while (s.size() < elements) {
+    std::vector<schema::NodeId> parents = ShallowNodes(s, /*max_depth=*/3);
+    schema::NodeId parent = parents[rng->UniformIndex(parents.size())];
+    std::string type;
+    if (rng->Bernoulli(typed_leaf_fraction)) {
+      type = Vocabulary::RandomType(rng);
+    }
+    SMB_RETURN_IF_ERROR(
+        s.AddChild(parent, vocab.RandomElementName(rng), type).status());
+  }
+  return s;
+}
+
+/// Plants a perturbed copy of `query` into `host`; returns the planted
+/// targets in query pre-order.
+Result<std::vector<schema::NodeId>> PlantCopy(const schema::Schema& query,
+                                              schema::Schema* host,
+                                              const SynthOptions& options,
+                                              const PerturbOptions& perturb,
+                                              bool scramble_structure,
+                                              Rng* rng) {
+  std::vector<schema::NodeId> preorder = query.PreOrder();
+  // Map query node id -> planted target id.
+  std::vector<schema::NodeId> target_of(query.size(), schema::kInvalidNode);
+  std::vector<schema::NodeId> targets_in_preorder;
+  targets_in_preorder.reserve(preorder.size());
+
+  // Attach point for the copy's root.
+  std::vector<schema::NodeId> anchors = ShallowNodes(*host, /*max_depth=*/2);
+  schema::NodeId anchor = anchors[rng->UniformIndex(anchors.size())];
+
+  for (schema::NodeId qid : preorder) {
+    const schema::SchemaNode& qnode = query.node(qid);
+    schema::NodeId attach;
+    if (qnode.parent == schema::kInvalidNode) {
+      attach = anchor;
+    } else {
+      attach = target_of[static_cast<size_t>(qnode.parent)];
+      if (scramble_structure && rng->Bernoulli(0.5)) {
+        // Near-miss structural noise: attach to the grandparent (or the
+        // anchor) instead of the mapped parent.
+        schema::NodeId up = host->node(attach).parent;
+        if (up != schema::kInvalidNode) attach = up;
+      } else if (rng->Bernoulli(options.insert_wrapper_prob)) {
+        // Wrapper element between parent and child: the preserved edge
+        // becomes an ancestor jump, nudging Δ upward.
+        SMB_ASSIGN_OR_RETURN(
+            schema::NodeId wrapper,
+            host->AddChild(attach, Decorate(qnode.name, rng)));
+        attach = wrapper;
+      }
+    }
+    std::string name = PerturbName(qnode.name, perturb, rng);
+    SMB_ASSIGN_OR_RETURN(schema::NodeId planted,
+                         host->AddChild(attach, name, qnode.type));
+    target_of[static_cast<size_t>(qid)] = planted;
+    targets_in_preorder.push_back(planted);
+  }
+  return targets_in_preorder;
+}
+
+}  // namespace
+
+Result<schema::Schema> GenerateQuery(Domain domain, size_t num_elements,
+                                     Rng* rng) {
+  if (num_elements == 0) {
+    return Status::InvalidArgument("query must have at least one element");
+  }
+  Vocabulary vocab = Vocabulary::ForDomain(domain);
+  schema::Schema query("personal-schema");
+  SMB_RETURN_IF_ERROR(
+      query.AddRoot(vocab.RandomElementName(rng, 0.0)).status());
+  // Keep names unique so mappings are unambiguous to inspect.
+  auto is_used = [&](const std::string& name) {
+    for (schema::NodeId id : query.PreOrder()) {
+      if (query.node(id).name == name) return true;
+    }
+    return false;
+  };
+  while (query.size() < num_elements) {
+    std::vector<schema::NodeId> parents = ShallowNodes(query, /*max_depth=*/2);
+    schema::NodeId parent = parents[rng->UniformIndex(parents.size())];
+    std::string name = vocab.RandomElementName(rng);
+    int attempts = 0;
+    while (is_used(name) && attempts++ < 32) {
+      name = vocab.RandomElementName(rng);
+    }
+    if (is_used(name)) {
+      return Status::Internal(
+          "vocabulary too small to draw a unique query element name");
+    }
+    std::string type;
+    if (rng->Bernoulli(0.5)) type = Vocabulary::RandomType(rng);
+    SMB_RETURN_IF_ERROR(query.AddChild(parent, name, type).status());
+  }
+  schema::ClearInternalTypes(&query);
+  return query;
+}
+
+Result<SyntheticCollection> GenerateCollection(const schema::Schema& query,
+                                               const SynthOptions& options,
+                                               Rng* rng) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query schema is empty");
+  }
+  SMB_RETURN_IF_ERROR(query.Validate());
+  if (options.num_schemas == 0) {
+    return Status::InvalidArgument("num_schemas must be positive");
+  }
+  if (options.min_schema_elements == 0 ||
+      options.max_schema_elements < options.min_schema_elements) {
+    return Status::InvalidArgument("invalid host schema size range");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+
+  static const sim::SynonymTable kBuiltinSynonyms = sim::SynonymTable::Builtin();
+  PerturbOptions perturb = options.plant_perturb;
+  if (perturb.synonyms == nullptr) perturb.synonyms = &kBuiltinSynonyms;
+
+  Vocabulary vocab = Vocabulary::ForDomain(options.domain);
+  SyntheticCollection out;
+  out.query = query;
+
+  for (size_t i = 0; i < options.num_schemas; ++i) {
+    size_t elements = static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(options.min_schema_elements),
+                        static_cast<int64_t>(options.max_schema_elements)));
+    SMB_ASSIGN_OR_RETURN(
+        schema::Schema host,
+        GenerateHost(vocab, elements, options.typed_leaf_fraction, rng,
+                     "schema-" + std::to_string(i)));
+    auto schema_index = static_cast<int32_t>(out.repository.schema_count());
+
+    if (rng->Bernoulli(options.plant_probability)) {
+      SMB_ASSIGN_OR_RETURN(
+          std::vector<schema::NodeId> targets,
+          PlantCopy(query, &host, options, perturb,
+                    /*scramble_structure=*/false, rng));
+      match::Mapping::Key key{schema_index, std::move(targets)};
+      out.truth.AddCorrect(key);
+      out.planted.push_back(std::move(key));
+    }
+    if (rng->Bernoulli(options.near_miss_probability)) {
+      PerturbOptions heavy = perturb;
+      heavy.strength *= options.near_miss_strength;
+      SMB_RETURN_IF_ERROR(PlantCopy(query, &host, options, heavy,
+                                    /*scramble_structure=*/true, rng)
+                              .status());
+      ++out.near_misses;
+    }
+    // Plants may have attached children to typed leaves; drop those types
+    // so every generated schema stays XSD-serializable.
+    schema::ClearInternalTypes(&host);
+    SMB_RETURN_IF_ERROR(out.repository.Add(std::move(host)).status());
+  }
+  if (out.truth.empty()) {
+    return Status::Internal(
+        "no plants were generated; raise plant_probability or num_schemas");
+  }
+  return out;
+}
+
+Result<SyntheticCollection> GenerateProblem(size_t query_elements,
+                                            const SynthOptions& options,
+                                            Rng* rng) {
+  SMB_ASSIGN_OR_RETURN(schema::Schema query,
+                       GenerateQuery(options.domain, query_elements, rng));
+  return GenerateCollection(query, options, rng);
+}
+
+}  // namespace smb::synth

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "eval/ground_truth.h"
+#include "schema/repository.h"
+#include "schema/schema.h"
+#include "sim/synonyms.h"
+#include "synth/perturb.h"
+#include "synth/vocabulary.h"
+
+/// \file generator.h
+/// \brief Synthetic test-collection generator.
+///
+/// Builds a matching problem with *known* ground truth, replacing the human
+/// evaluators of the paper (§2.2) the way Sayyadian et al. [14] do: copies
+/// of the query schema are perturbed and planted into repository schemas;
+/// the planted mappings form H by construction.
+///
+/// Three answer populations make the resulting P/R curves realistic:
+///  * true plants (registered in H) with light perturbation — correct
+///    answers spread over low-to-mid Δ;
+///  * near-miss plants (NOT in H) with heavy perturbation — incorrect
+///    answers that score deceptively well, like coincidentally similar
+///    schemas on the Web;
+///  * distractor elements drawn from the same domain vocabulary — incorrect
+///    answers across the whole Δ range.
+
+namespace smb::synth {
+
+/// \brief Generation parameters.
+struct SynthOptions {
+  /// Number of repository schemas.
+  size_t num_schemas = 150;
+  /// Host schema size range (before planting).
+  size_t min_schema_elements = 8;
+  size_t max_schema_elements = 20;
+  /// Probability a schema receives a true (registered) plant.
+  double plant_probability = 0.45;
+  /// Probability a schema receives a near-miss (unregistered) plant.
+  double near_miss_probability = 0.35;
+  /// Perturbation of true plants.
+  PerturbOptions plant_perturb;
+  /// Strength multiplier for near-miss plants (applied on top of
+  /// `plant_perturb.strength`).
+  double near_miss_strength = 2.5;
+  /// Probability of inserting a wrapper element between a planted parent
+  /// and child (turns a preserved edge into an ancestor jump).
+  double insert_wrapper_prob = 0.12;
+  /// Domain vocabulary for hosts and the query.
+  Domain domain = Domain::kECommerce;
+  /// Fraction of leaf elements that get a declared simple type.
+  double typed_leaf_fraction = 0.6;
+};
+
+/// \brief A generated matching problem.
+struct SyntheticCollection {
+  schema::Schema query;
+  schema::SchemaRepository repository;
+  eval::GroundTruth truth;
+  /// One entry per true plant: the correct mapping targets in query
+  /// pre-order (same thing `truth` stores as keys, kept for inspection).
+  std::vector<match::Mapping::Key> planted;
+  /// Number of near-miss plants inserted (not part of H).
+  size_t near_misses = 0;
+};
+
+/// \brief Generates a random query schema of `num_elements` elements.
+Result<schema::Schema> GenerateQuery(Domain domain, size_t num_elements,
+                                     Rng* rng);
+
+/// \brief Generates a full collection for a given query schema.
+///
+/// `options.plant_perturb.synonyms` defaults to the builtin table when
+/// null. Fails when the query is empty or options are inconsistent.
+Result<SyntheticCollection> GenerateCollection(const schema::Schema& query,
+                                               const SynthOptions& options,
+                                               Rng* rng);
+
+/// \brief Convenience: query + collection in one call.
+Result<SyntheticCollection> GenerateProblem(size_t query_elements,
+                                            const SynthOptions& options,
+                                            Rng* rng);
+
+}  // namespace smb::synth

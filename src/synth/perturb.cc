@@ -1,0 +1,165 @@
+#include "synth/perturb.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace smb::synth {
+
+namespace {
+
+bool IsVowel(char c) {
+  char l = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return l == 'a' || l == 'e' || l == 'i' || l == 'o' || l == 'u';
+}
+
+const std::vector<std::string>& Decorations() {
+  static const std::vector<std::string> kDecorations = {
+      "Info", "Data", "Value", "Field", "Entry", "Rec",
+  };
+  return kDecorations;
+}
+
+}  // namespace
+
+std::string SynonymRename(const std::string& name,
+                          const sim::SynonymTable& table, Rng* rng) {
+  // The table maps words to group ids but does not enumerate groups, so we
+  // rename token-wise using a static alias list derived from common groups.
+  // Simpler and fully deterministic: swap the *first* identifier token that
+  // has a known synonym with another member of its group, searched over the
+  // builtin vocabulary words.
+  static const std::vector<std::vector<std::string>> kAliases = {
+      {"customer", "client", "buyer"},
+      {"order", "purchase"},
+      {"item", "product", "article"},
+      {"quantity", "qty", "amount"},
+      {"price", "cost"},
+      {"invoice", "bill"},
+      {"address", "location"},
+      {"zip", "postcode"},
+      {"phone", "telephone"},
+      {"email", "mail"},
+      {"id", "code", "key"},
+      {"name", "label"},
+      {"description", "summary"},
+      {"vendor", "supplier"},
+      {"total", "sum"},
+      {"author", "writer", "creator"},
+      {"book", "publication"},
+      {"journal", "periodical"},
+      {"publisher", "press"},
+      {"keyword", "tag"},
+      {"employee", "staff", "worker"},
+      {"salary", "wage"},
+      {"department", "division"},
+      {"manager", "supervisor"},
+      {"lastname", "surname"},
+      {"company", "firm"},
+      {"person", "contact"},
+  };
+  std::vector<std::string> tokens = SplitIdentifier(name);
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    for (const auto& group : kAliases) {
+      auto it = std::find(group.begin(), group.end(), tokens[t]);
+      if (it == group.end()) continue;
+      if (!table.AreSynonyms(group[0], group.back()) &&
+          table.word_count() > 0) {
+        continue;  // honor a custom table that lacks this group
+      }
+      // Pick a different member.
+      std::string replacement = tokens[t];
+      if (group.size() > 1) {
+        size_t idx = rng->UniformIndex(group.size() - 1);
+        size_t self = static_cast<size_t>(it - group.begin());
+        if (idx >= self) ++idx;
+        replacement = group[idx];
+      }
+      tokens[t] = replacement;
+      // Re-join in camelCase to stay in identifier style.
+      std::string out = tokens[0];
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        std::string word = tokens[i];
+        word[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(word[0])));
+        out += word;
+      }
+      return out;
+    }
+  }
+  return name;
+}
+
+std::string Abbreviate(const std::string& name, Rng* rng) {
+  if (name.size() <= 3) return name;
+  if (rng->Bernoulli(0.5)) {
+    // Drop interior vowels.
+    std::string out;
+    out += name[0];
+    for (size_t i = 1; i + 1 < name.size(); ++i) {
+      if (!IsVowel(name[i])) out += name[i];
+    }
+    out += name.back();
+    return out.size() >= 2 ? out : name;
+  }
+  // Prefix truncation.
+  return name.substr(0, 4);
+}
+
+std::string Decorate(const std::string& name, Rng* rng) {
+  const auto& decorations = Decorations();
+  const std::string& d = decorations[rng->UniformIndex(decorations.size())];
+  if (rng->Bernoulli(0.8)) return name + d;
+  std::string out = ToLower(d.substr(0, 1)) + d.substr(1);
+  std::string capitalized = name;
+  capitalized[0] = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(capitalized[0])));
+  return out + capitalized;
+}
+
+std::string IntroduceTypo(const std::string& name, Rng* rng) {
+  if (name.size() < 2) return name;
+  std::string out = name;
+  size_t kind = rng->UniformIndex(3);
+  size_t pos = rng->UniformIndex(out.size() - 1);
+  switch (kind) {
+    case 0: {  // substitute with a neighbouring letter
+      char c = out[pos];
+      out[pos] = c == 'z' ? 'y' : static_cast<char>(c + 1);
+      break;
+    }
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    default:  // transpose
+      std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out.empty() ? name : out;
+}
+
+std::string PerturbName(const std::string& name, const PerturbOptions& options,
+                        Rng* rng) {
+  std::string out = name;
+  const double s = std::max(0.0, options.strength);
+  bool renamed = false;
+  if (options.synonyms != nullptr &&
+      rng->Bernoulli(std::min(1.0, options.synonym_prob * s))) {
+    std::string candidate = SynonymRename(out, *options.synonyms, rng);
+    renamed = candidate != out;
+    out = candidate;
+  }
+  if (!renamed && rng->Bernoulli(std::min(1.0, options.abbreviation_prob * s))) {
+    out = Abbreviate(out, rng);
+  }
+  if (rng->Bernoulli(std::min(1.0, options.decoration_prob * s))) {
+    out = Decorate(out, rng);
+  }
+  if (rng->Bernoulli(std::min(1.0, options.typo_prob * s))) {
+    out = IntroduceTypo(out, rng);
+  }
+  return out;
+}
+
+}  // namespace smb::synth

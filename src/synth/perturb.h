@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "sim/synonyms.h"
+
+/// \file perturb.h
+/// \brief Name perturbations for synthetic scenarios (Sayyadian et al. [14]
+/// style transformation rules).
+///
+/// Planted copies of the query schema get their element names perturbed so
+/// correct answers spread over the Δ range instead of all sitting at Δ = 0.
+
+namespace smb::synth {
+
+/// \brief Per-name perturbation probabilities; applied in the order
+/// synonym → abbreviation → decoration → typo (at most one of
+/// synonym/abbreviation fires).
+struct PerturbOptions {
+  double synonym_prob = 0.40;
+  double abbreviation_prob = 0.15;
+  double decoration_prob = 0.15;
+  double typo_prob = 0.15;
+  /// Scales all four probabilities at once (near-miss plants use > 1).
+  double strength = 1.0;
+  const sim::SynonymTable* synonyms = nullptr;
+};
+
+/// \brief Replaces the name with a random synonym-group sibling, when the
+/// table knows one. Returns the input unchanged otherwise.
+std::string SynonymRename(const std::string& name,
+                          const sim::SynonymTable& table, Rng* rng);
+
+/// \brief Abbreviates: drops interior vowels ("quantity" -> "qntty") or
+/// truncates to a 4-letter prefix, chosen at random.
+std::string Abbreviate(const std::string& name, Rng* rng);
+
+/// \brief Adds a decoration suffix/prefix ("price" -> "priceInfo").
+std::string Decorate(const std::string& name, Rng* rng);
+
+/// \brief One random character edit (substitute, delete, transpose).
+std::string IntroduceTypo(const std::string& name, Rng* rng);
+
+/// \brief Applies the configured perturbation pipeline to one name.
+std::string PerturbName(const std::string& name, const PerturbOptions& options,
+                        Rng* rng);
+
+}  // namespace smb::synth

@@ -1,0 +1,66 @@
+#include "synth/vocabulary.h"
+
+#include <cctype>
+
+namespace smb::synth {
+
+Vocabulary Vocabulary::ForDomain(Domain domain) {
+  switch (domain) {
+    case Domain::kECommerce:
+      return Vocabulary({
+          "customer", "client",   "buyer",    "order",    "purchase",
+          "item",     "product",  "article",  "quantity", "qty",
+          "price",    "cost",     "invoice",  "bill",     "ship",
+          "deliver",  "address",  "location", "zip",      "postcode",
+          "phone",    "telephone", "email",   "id",       "code",
+          "name",     "label",    "description", "date",  "vendor",
+          "supplier", "payment",  "discount", "tax",      "total",
+          "line",     "detail",   "status",   "currency", "unit",
+      });
+    case Domain::kBibliographic:
+      return Vocabulary({
+          "author",   "writer",   "book",      "publication", "journal",
+          "magazine", "publisher", "press",    "year",        "isbn",
+          "page",     "editor",   "conference", "proceedings", "keyword",
+          "tag",      "title",    "abstract",  "volume",      "issue",
+          "citation", "reference", "chapter",  "section",     "library",
+          "catalog",  "edition",  "series",    "language",    "subject",
+      });
+    case Domain::kHumanResources:
+      return Vocabulary({
+          "employee",   "staff",     "worker",   "salary",    "wage",
+          "department", "division",  "manager",  "supervisor", "firstname",
+          "lastname",   "surname",   "birthday", "company",   "firm",
+          "city",       "country",   "street",   "person",    "contact",
+          "position",   "role",      "grade",    "bonus",     "contract",
+          "skill",      "training",  "leave",    "benefit",   "office",
+      });
+  }
+  return Vocabulary({"element"});
+}
+
+const std::string& Vocabulary::RandomWord(Rng* rng) const {
+  return words_[rng->UniformIndex(words_.size())];
+}
+
+std::string Vocabulary::RandomElementName(Rng* rng,
+                                          double compound_probability) const {
+  const std::string& first = RandomWord(rng);
+  if (!rng->Bernoulli(compound_probability)) return first;
+  const std::string& second = RandomWord(rng);
+  if (second == first) return first;
+  std::string out = first;
+  out += static_cast<char>(
+      std::toupper(static_cast<unsigned char>(second[0])));
+  out += second.substr(1);
+  return out;
+}
+
+const std::string& Vocabulary::RandomType(Rng* rng) {
+  static const std::vector<std::string> kTypes = {
+      "string", "int", "decimal", "date", "boolean",
+  };
+  return kTypes[rng->UniformIndex(kTypes.size())];
+}
+
+}  // namespace smb::synth

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+/// \file vocabulary.h
+/// \brief Domain vocabularies for synthetic schema generation.
+///
+/// Shared word pools between planted copies and distractor schemas are what
+/// make the matching problem non-trivial: distractors reuse the same domain
+/// words (and their synonyms), producing plausible incorrect answers across
+/// the whole Δ range rather than an unrealistic gap between correct and
+/// incorrect mappings.
+
+namespace smb::synth {
+
+/// \brief Thematic domains; each aligns with groups in
+/// `sim::SynonymTable::Builtin()`.
+enum class Domain {
+  kECommerce,
+  kBibliographic,
+  kHumanResources,
+};
+
+/// \brief A word pool for one domain.
+class Vocabulary {
+ public:
+  /// The builtin pool for a domain.
+  static Vocabulary ForDomain(Domain domain);
+
+  /// A random word from the pool.
+  const std::string& RandomWord(Rng* rng) const;
+
+  /// \brief A random element name: either one word or a two-word
+  /// camelCase compound ("shipAddress"), per `compound_probability`.
+  std::string RandomElementName(Rng* rng,
+                                double compound_probability = 0.35) const;
+
+  /// A random simple-type name ("string", "int", ...).
+  static const std::string& RandomType(Rng* rng);
+
+  /// All words of the pool.
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  explicit Vocabulary(std::vector<std::string> words)
+      : words_(std::move(words)) {}
+
+  std::vector<std::string> words_;
+};
+
+}  // namespace smb::synth

@@ -1,0 +1,96 @@
+#include "xml/xml_node.h"
+
+namespace smb::xml {
+
+XmlNode XmlNode::Element(std::string name) {
+  XmlNode n(Type::kElement);
+  n.name_ = std::move(name);
+  return n;
+}
+
+XmlNode XmlNode::Text(std::string text) {
+  XmlNode n(Type::kText);
+  n.text_ = std::move(text);
+  return n;
+}
+
+XmlNode XmlNode::Comment(std::string text) {
+  XmlNode n(Type::kComment);
+  n.text_ = std::move(text);
+  return n;
+}
+
+std::optional<std::string_view> XmlNode::GetAttribute(
+    std::string_view name) const {
+  for (const auto& a : attributes_) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string XmlNode::GetAttributeOr(std::string_view name,
+                                    std::string_view fallback) const {
+  auto v = GetAttribute(name);
+  return std::string(v.has_value() ? *v : fallback);
+}
+
+void XmlNode::SetAttribute(std::string name, std::string value) {
+  for (auto& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back(XmlAttribute{std::move(name), std::move(value)});
+}
+
+XmlNode& XmlNode::AddChild(XmlNode child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+const XmlNode* XmlNode::FindChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c.is_element() && c.name_ == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c.is_element() && c.name_ == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const XmlNode*> XmlNode::ChildElements() const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c.is_element()) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::InnerText() const {
+  std::string out;
+  for (const auto& c : children_) {
+    if (c.is_text()) out += c.text_;
+  }
+  return out;
+}
+
+std::string_view XmlNode::LocalName() const {
+  std::string_view n(name_);
+  size_t colon = n.find(':');
+  if (colon != std::string_view::npos) return n.substr(colon + 1);
+  return n;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t total = 1;
+  for (const auto& c : children_) total += c.SubtreeSize();
+  return total;
+}
+
+}  // namespace smb::xml

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file xml_node.h
+/// \brief Minimal XML document object model.
+///
+/// This is the substrate layer for reading schema definitions: a
+/// non-validating DOM sufficient for the XSD subset the schema module
+/// consumes (elements, attributes, text, comments, CDATA). Namespaces are
+/// carried verbatim in names; no URI resolution is performed.
+
+namespace smb::xml {
+
+/// \brief A name="value" attribute on an element.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// \brief One node of the DOM tree.
+class XmlNode {
+ public:
+  enum class Type {
+    kElement,  ///< `<name attr="v">children</name>`
+    kText,     ///< character data (entity-decoded)
+    kComment,  ///< `<!-- ... -->`
+  };
+
+  /// Creates an element node with the given tag name.
+  static XmlNode Element(std::string name);
+  /// Creates a text node.
+  static XmlNode Text(std::string text);
+  /// Creates a comment node.
+  static XmlNode Comment(std::string text);
+
+  Type type() const { return type_; }
+  bool is_element() const { return type_ == Type::kElement; }
+  bool is_text() const { return type_ == Type::kText; }
+  bool is_comment() const { return type_ == Type::kComment; }
+
+  /// Tag name for elements; empty otherwise.
+  const std::string& name() const { return name_; }
+
+  /// Character data for text/comment nodes; empty for elements.
+  const std::string& text() const { return text_; }
+
+  /// \name Attribute access (element nodes).
+  /// @{
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  /// Returns the attribute value, or nullopt when absent.
+  std::optional<std::string_view> GetAttribute(std::string_view name) const;
+  /// Returns the attribute value, or `fallback` when absent.
+  std::string GetAttributeOr(std::string_view name,
+                             std::string_view fallback) const;
+  /// Sets (or overwrites) an attribute.
+  void SetAttribute(std::string name, std::string value);
+  /// @}
+
+  /// \name Child access (element nodes).
+  /// @{
+  const std::vector<XmlNode>& children() const { return children_; }
+  std::vector<XmlNode>& children() { return children_; }
+  /// Appends a child and returns a reference to the stored copy.
+  XmlNode& AddChild(XmlNode child);
+  /// First child element with the given tag name, or nullptr.
+  const XmlNode* FindChild(std::string_view name) const;
+  /// All child elements with the given tag name.
+  std::vector<const XmlNode*> FindChildren(std::string_view name) const;
+  /// All child elements regardless of name.
+  std::vector<const XmlNode*> ChildElements() const;
+  /// Concatenation of all direct text children.
+  std::string InnerText() const;
+  /// @}
+
+  /// \brief Local part of the tag name (strips one `prefix:`).
+  ///
+  /// `"xs:element"` -> `"element"`; names without a prefix pass through.
+  std::string_view LocalName() const;
+
+  /// Total number of nodes in this subtree (including this node).
+  size_t SubtreeSize() const;
+
+ private:
+  explicit XmlNode(Type type) : type_(type) {}
+
+  Type type_;
+  std::string name_;
+  std::string text_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<XmlNode> children_;
+};
+
+/// \brief A parsed XML document: prolog-less tree with a single root element.
+struct XmlDocument {
+  XmlNode root = XmlNode::Element("");
+};
+
+}  // namespace smb::xml

@@ -1,0 +1,387 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace smb::xml {
+
+namespace {
+
+/// Cursor over the input with line/column tracking for diagnostics.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t i = pos_ + offset;
+    return i < input_.size() ? input_[i] : '\0';
+  }
+  bool LooksAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void Advance() {
+    if (AtEnd()) return;
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n; ++i) Advance();
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  size_t pos() const { return pos_; }
+  std::string_view input() const { return input_; }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat("%zu:%zu: ", line_, col_) + what);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : cur_(input) {}
+
+  Result<XmlDocument> Parse() {
+    SMB_RETURN_IF_ERROR(SkipProlog());
+    cur_.SkipWhitespace();
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return cur_.Error("expected root element");
+    }
+    XmlNode root = XmlNode::Element("");
+    SMB_RETURN_IF_ERROR(ParseElement(&root));
+    cur_.SkipWhitespace();
+    // Trailing comments are permitted after the root.
+    while (!cur_.AtEnd() && cur_.LooksAt("<!--")) {
+      XmlNode dummy = XmlNode::Element("");
+      SMB_RETURN_IF_ERROR(ParseComment(&dummy));
+      cur_.SkipWhitespace();
+    }
+    if (!cur_.AtEnd()) {
+      return cur_.Error("unexpected content after root element");
+    }
+    XmlDocument doc;
+    doc.root = std::move(root);
+    return doc;
+  }
+
+ private:
+  Status SkipProlog() {
+    cur_.SkipWhitespace();
+    // Optional XML declaration.
+    if (cur_.LooksAt("<?xml")) {
+      while (!cur_.AtEnd() && !cur_.LooksAt("?>")) cur_.Advance();
+      if (cur_.AtEnd()) return cur_.Error("unterminated XML declaration");
+      cur_.AdvanceBy(2);
+    }
+    cur_.SkipWhitespace();
+    // Comments and an optional DOCTYPE may precede the root.
+    while (!cur_.AtEnd()) {
+      if (cur_.LooksAt("<!--")) {
+        XmlNode dummy = XmlNode::Element("");
+        SMB_RETURN_IF_ERROR(ParseComment(&dummy));
+        cur_.SkipWhitespace();
+      } else if (cur_.LooksAt("<!DOCTYPE")) {
+        // Skip to the matching '>'; internal subsets in brackets supported.
+        int bracket_depth = 0;
+        while (!cur_.AtEnd()) {
+          char c = cur_.Peek();
+          if (c == '[') ++bracket_depth;
+          if (c == ']') --bracket_depth;
+          if (c == '>' && bracket_depth == 0) {
+            cur_.Advance();
+            break;
+          }
+          cur_.Advance();
+        }
+        cur_.SkipWhitespace();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Parses one element into `*out` (replacing it).
+  Status ParseElement(XmlNode* out) {
+    // Caller guarantees cur_ is at '<'.
+    cur_.Advance();  // consume '<'
+    if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
+      return cur_.Error("invalid element name");
+    }
+    std::string name;
+    SMB_RETURN_IF_ERROR(ParseName(&name));
+    XmlNode element = XmlNode::Element(name);
+
+    // Attributes.
+    while (true) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return cur_.Error("unterminated start tag");
+      char c = cur_.Peek();
+      if (c == '>' || c == '/') break;
+      if (!IsNameStartChar(c)) {
+        return cur_.Error("expected attribute name or end of tag");
+      }
+      std::string attr_name;
+      SMB_RETURN_IF_ERROR(ParseName(&attr_name));
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || cur_.Peek() != '=') {
+        return cur_.Error("expected '=' after attribute name");
+      }
+      cur_.Advance();
+      cur_.SkipWhitespace();
+      std::string attr_value;
+      SMB_RETURN_IF_ERROR(ParseAttrValue(&attr_value));
+      if (element.GetAttribute(attr_name).has_value()) {
+        return cur_.Error("duplicate attribute '" + attr_name + "'");
+      }
+      element.SetAttribute(std::move(attr_name), std::move(attr_value));
+    }
+
+    if (cur_.Peek() == '/') {
+      cur_.Advance();
+      if (cur_.AtEnd() || cur_.Peek() != '>') {
+        return cur_.Error("expected '>' after '/'");
+      }
+      cur_.Advance();
+      *out = std::move(element);
+      return Status::OK();
+    }
+    cur_.Advance();  // consume '>'
+
+    // Content.
+    while (true) {
+      if (cur_.AtEnd()) {
+        return cur_.Error("unexpected end of input inside element '" + name +
+                          "'");
+      }
+      if (cur_.LooksAt("</")) {
+        cur_.AdvanceBy(2);
+        std::string close_name;
+        SMB_RETURN_IF_ERROR(ParseName(&close_name));
+        cur_.SkipWhitespace();
+        if (cur_.AtEnd() || cur_.Peek() != '>') {
+          return cur_.Error("expected '>' in end tag");
+        }
+        cur_.Advance();
+        if (close_name != name) {
+          return cur_.Error("mismatched end tag: expected </" + name +
+                            ">, found </" + close_name + ">");
+        }
+        *out = std::move(element);
+        return Status::OK();
+      }
+      if (cur_.LooksAt("<!--")) {
+        SMB_RETURN_IF_ERROR(ParseComment(&element));
+        continue;
+      }
+      if (cur_.LooksAt("<![CDATA[")) {
+        SMB_RETURN_IF_ERROR(ParseCData(&element));
+        continue;
+      }
+      if (cur_.LooksAt("<?")) {
+        return cur_.Error("processing instructions are not supported");
+      }
+      if (cur_.Peek() == '<') {
+        XmlNode child = XmlNode::Element("");
+        SMB_RETURN_IF_ERROR(ParseElement(&child));
+        element.AddChild(std::move(child));
+        continue;
+      }
+      SMB_RETURN_IF_ERROR(ParseText(&element));
+    }
+  }
+
+  Status ParseName(std::string* out) {
+    if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
+      return cur_.Error("expected name");
+    }
+    std::string name;
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) {
+      name.push_back(cur_.Peek());
+      cur_.Advance();
+    }
+    *out = std::move(name);
+    return Status::OK();
+  }
+
+  Status ParseAttrValue(std::string* out) {
+    if (cur_.AtEnd() || (cur_.Peek() != '"' && cur_.Peek() != '\'')) {
+      return cur_.Error("expected quoted attribute value");
+    }
+    char quote = cur_.Peek();
+    cur_.Advance();
+    std::string value;
+    while (!cur_.AtEnd() && cur_.Peek() != quote) {
+      if (cur_.Peek() == '<') {
+        return cur_.Error("'<' not allowed in attribute value");
+      }
+      if (cur_.Peek() == '&') {
+        SMB_RETURN_IF_ERROR(ParseEntity(&value));
+      } else {
+        value.push_back(cur_.Peek());
+        cur_.Advance();
+      }
+    }
+    if (cur_.AtEnd()) return cur_.Error("unterminated attribute value");
+    cur_.Advance();  // closing quote
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseText(XmlNode* parent) {
+    std::string text;
+    while (!cur_.AtEnd() && cur_.Peek() != '<') {
+      if (cur_.Peek() == '&') {
+        SMB_RETURN_IF_ERROR(ParseEntity(&text));
+      } else {
+        text.push_back(cur_.Peek());
+        cur_.Advance();
+      }
+    }
+    // Whitespace-only runs between elements are not significant for schema
+    // documents; keep them only if they contain non-space characters.
+    if (Trim(text).empty()) return Status::OK();
+    parent->AddChild(XmlNode::Text(std::move(text)));
+    return Status::OK();
+  }
+
+  Status ParseComment(XmlNode* parent) {
+    cur_.AdvanceBy(4);  // "<!--"
+    std::string text;
+    while (!cur_.AtEnd() && !cur_.LooksAt("-->")) {
+      text.push_back(cur_.Peek());
+      cur_.Advance();
+    }
+    if (cur_.AtEnd()) return cur_.Error("unterminated comment");
+    cur_.AdvanceBy(3);
+    parent->AddChild(XmlNode::Comment(std::move(text)));
+    return Status::OK();
+  }
+
+  Status ParseCData(XmlNode* parent) {
+    cur_.AdvanceBy(9);  // "<![CDATA["
+    std::string text;
+    while (!cur_.AtEnd() && !cur_.LooksAt("]]>")) {
+      text.push_back(cur_.Peek());
+      cur_.Advance();
+    }
+    if (cur_.AtEnd()) return cur_.Error("unterminated CDATA section");
+    cur_.AdvanceBy(3);
+    parent->AddChild(XmlNode::Text(std::move(text)));
+    return Status::OK();
+  }
+
+  Status ParseEntity(std::string* out) {
+    // cur_ is at '&'.
+    size_t start = cur_.pos();
+    cur_.Advance();
+    std::string entity;
+    while (!cur_.AtEnd() && cur_.Peek() != ';' && entity.size() < 12) {
+      entity.push_back(cur_.Peek());
+      cur_.Advance();
+    }
+    if (cur_.AtEnd() || cur_.Peek() != ';') {
+      return cur_.Error("unterminated entity reference starting at offset " +
+                        std::to_string(start));
+    }
+    cur_.Advance();  // ';'
+    if (entity == "amp") *out += '&';
+    else if (entity == "lt") *out += '<';
+    else if (entity == "gt") *out += '>';
+    else if (entity == "quot") *out += '"';
+    else if (entity == "apos") *out += '\'';
+    else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      bool ok = false;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        char* end = nullptr;
+        code = std::strtol(entity.c_str() + 2, &end, 16);
+        ok = end != nullptr && *end == '\0';
+      } else if (entity.size() > 1) {
+        char* end = nullptr;
+        code = std::strtol(entity.c_str() + 1, &end, 10);
+        ok = end != nullptr && *end == '\0';
+      }
+      if (!ok || code <= 0 || code > 0x10FFFF) {
+        return cur_.Error("invalid character reference '&" + entity + ";'");
+      }
+      // Encode as UTF-8.
+      unsigned long cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        *out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        *out += static_cast<char>(0xC0 | (cp >> 6));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        *out += static_cast<char>(0xE0 | (cp >> 12));
+        *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        *out += static_cast<char>(0xF0 | (cp >> 18));
+        *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      return cur_.Error("unknown entity '&" + entity + ";'");
+    }
+    return Status::OK();
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+Result<XmlDocument> ParseXmlFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  auto result = ParseXml(content);
+  if (!result.ok()) {
+    return result.status().WithContext("while parsing " + path);
+  }
+  return result;
+}
+
+}  // namespace smb::xml

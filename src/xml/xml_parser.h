@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/xml_node.h"
+
+/// \file xml_parser.h
+/// \brief Recursive-descent, non-validating XML parser.
+///
+/// Supported grammar subset (sufficient for schema documents):
+///  * one root element with arbitrarily nested elements,
+///  * attributes with single- or double-quoted values,
+///  * character data, CDATA sections, comments,
+///  * XML declaration and DOCTYPE (skipped),
+///  * the five predefined entities plus decimal/hex character references.
+///
+/// Not supported (rejected with `kParseError` or ignored where harmless):
+/// external entities, custom DTD entities, processing instructions other
+/// than the prolog.
+
+namespace smb::xml {
+
+/// \brief Parses a complete document from `input`.
+///
+/// Errors carry 1-based line:column positions, e.g.
+/// `PARSE_ERROR: 3:17: expected '=' after attribute name`.
+Result<XmlDocument> ParseXml(std::string_view input);
+
+/// \brief Reads and parses a document from a file on disk.
+Result<XmlDocument> ParseXmlFile(const std::string& path);
+
+}  // namespace smb::xml

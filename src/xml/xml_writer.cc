@@ -1,0 +1,103 @@
+#include "xml/xml_writer.h"
+
+#include <sstream>
+
+namespace smb::xml {
+
+std::string EscapeXml(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteNode(const XmlNode& node, const XmlWriteOptions& options, int depth,
+               std::ostringstream* out) {
+  std::string pad;
+  if (options.indent > 0) {
+    pad.assign(static_cast<size_t>(options.indent * depth), ' ');
+  }
+  const char* nl = options.indent > 0 ? "\n" : "";
+  switch (node.type()) {
+    case XmlNode::Type::kText:
+      *out << pad << EscapeXml(node.text()) << nl;
+      return;
+    case XmlNode::Type::kComment:
+      if (options.keep_comments) {
+        *out << pad << "<!--" << node.text() << "-->" << nl;
+      }
+      return;
+    case XmlNode::Type::kElement:
+      break;
+  }
+  *out << pad << "<" << node.name();
+  for (const auto& attr : node.attributes()) {
+    *out << " " << attr.name << "=\"" << EscapeXml(attr.value) << "\"";
+  }
+  bool no_visible_children =
+      node.children().empty() ||
+      (!options.keep_comments &&
+       [&] {
+         for (const auto& c : node.children()) {
+           if (!c.is_comment()) return false;
+         }
+         return true;
+       }());
+  if (no_visible_children) {
+    *out << "/>" << nl;
+    return;
+  }
+  // Elements whose visible children are all text render inline, so
+  // character data round-trips without picking up indentation whitespace.
+  bool text_only = true;
+  for (const auto& child : node.children()) {
+    if (child.is_element() || (child.is_comment() && options.keep_comments)) {
+      text_only = false;
+      break;
+    }
+  }
+  if (text_only) {
+    *out << ">";
+    for (const auto& child : node.children()) {
+      if (child.is_text()) *out << EscapeXml(child.text());
+    }
+    *out << "</" << node.name() << ">" << nl;
+    return;
+  }
+  *out << ">" << nl;
+  for (const auto& child : node.children()) {
+    WriteNode(child, options, depth + 1, out);
+  }
+  *out << pad << "</" << node.name() << ">" << nl;
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::ostringstream out;
+  WriteNode(node, options, 0, &out);
+  return out.str();
+}
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  std::ostringstream out;
+  if (options.declaration) {
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent > 0) out << "\n";
+  }
+  WriteNode(doc.root, options, 0, &out);
+  return out.str();
+}
+
+}  // namespace smb::xml

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "xml/xml_node.h"
+
+/// \file xml_writer.h
+/// \brief Serialization of the XML DOM back to text.
+
+namespace smb::xml {
+
+/// \brief Serialization options.
+struct XmlWriteOptions {
+  /// Spaces per nesting level; 0 writes everything on one line.
+  int indent = 2;
+  /// Emit the `<?xml version="1.0"?>` declaration.
+  bool declaration = true;
+  /// Keep comment nodes in the output.
+  bool keep_comments = true;
+};
+
+/// Escapes `&<>"'` for use in character data or attribute values.
+std::string EscapeXml(std::string_view raw);
+
+/// Serializes a subtree.
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options = {});
+
+/// Serializes a whole document (declaration + root).
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options = {});
+
+}  // namespace smb::xml

@@ -1,0 +1,193 @@
+#include "bounds/bounds_report.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::bounds {
+namespace {
+
+eval::PrCurve MakeS1Curve() {
+  // Counts: (10, 9), (40, 24), (100, 40) with |H| = 50.
+  std::vector<eval::PrPoint> points(3);
+  points[0] = {0.1, 10, 9, 0.9, 9.0 / 50.0};
+  points[1] = {0.2, 40, 24, 0.6, 24.0 / 50.0};
+  points[2] = {0.3, 100, 40, 0.4, 40.0 / 50.0};
+  return eval::PrCurve::FromPoints(points, 50).value();
+}
+
+TEST(BoundsReportTest, InputFromMeasuredCurve) {
+  auto input = InputFromMeasuredCurve(MakeS1Curve(), {8, 30, 70});
+  ASSERT_TRUE(input.ok()) << input.status();
+  EXPECT_EQ(input->thresholds.size(), 3u);
+  EXPECT_DOUBLE_EQ(input->total_correct, 50.0);
+  EXPECT_DOUBLE_EQ(input->s1_answers[1], 40.0);
+  EXPECT_DOUBLE_EQ(input->s1_correct[1], 24.0);
+  EXPECT_DOUBLE_EQ(input->s2_answers[1], 30.0);
+}
+
+TEST(BoundsReportTest, InputFromMeasuredCurveRejectsSizeMismatch) {
+  EXPECT_FALSE(InputFromMeasuredCurve(MakeS1Curve(), {8, 30}).ok());
+}
+
+TEST(BoundsReportTest, InputFromMeasuredCurveRejectsContainmentViolation) {
+  EXPECT_FALSE(InputFromMeasuredCurve(MakeS1Curve(), {8, 45, 70}).ok());
+}
+
+TEST(BoundsReportTest, InputFromPrAndRatiosNormalized) {
+  std::vector<double> thresholds = {0.1, 0.2};
+  std::vector<double> p1 = {0.9, 0.6};
+  std::vector<double> r1 = {0.18, 0.48};
+  std::vector<double> ratios = {0.8, 0.75};
+  auto input = InputFromPrAndRatios(thresholds, p1, r1, ratios);
+  ASSERT_TRUE(input.ok()) << input.status();
+  EXPECT_DOUBLE_EQ(input->total_correct, 1.0);
+  EXPECT_NEAR(input->s1_answers[0], 0.18 / 0.9, 1e-12);
+  EXPECT_NEAR(input->s1_correct[0], 0.18, 1e-12);
+  EXPECT_NEAR(input->s2_answers[0], 0.8 * 0.18 / 0.9, 1e-12);
+  // Bounds from the normalized input match the count-based path: the whole
+  // computation is scale-invariant.
+  auto from_counts = InputFromMeasuredCurve(MakeS1Curve(), {8, 30, 70});
+  ASSERT_TRUE(from_counts.ok());
+  auto counts_curve = ComputeIncrementalBounds(*from_counts).value();
+  std::vector<double> full_p1 = {0.9, 0.6, 0.4};
+  std::vector<double> full_r1 = {9.0 / 50, 24.0 / 50, 40.0 / 50};
+  std::vector<double> full_ratios = {0.8, 0.75, 0.7};
+  auto norm_input = InputFromPrAndRatios({0.1, 0.2, 0.3}, full_p1, full_r1,
+                                         full_ratios);
+  ASSERT_TRUE(norm_input.ok()) << norm_input.status();
+  auto norm_curve = ComputeIncrementalBounds(*norm_input).value();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(norm_curve.points[i].worst.precision,
+                counts_curve.points[i].worst.precision, 1e-9);
+    EXPECT_NEAR(norm_curve.points[i].best.recall,
+                counts_curve.points[i].best.recall, 1e-9);
+  }
+}
+
+TEST(BoundsReportTest, InputFromPrAndRatiosErrors) {
+  EXPECT_FALSE(InputFromPrAndRatios({0.1}, {0.5, 0.4}, {0.1}, {0.9}).ok());
+  EXPECT_FALSE(InputFromPrAndRatios({0.1}, {0.5}, {0.1}, {1.5}).ok());
+  EXPECT_FALSE(InputFromPrAndRatios({0.1}, {0.0}, {0.1}, {0.9}).ok());
+}
+
+TEST(BoundsReportTest, ComputeBoundsReportRunsBothAlgorithms) {
+  auto input = InputFromMeasuredCurve(MakeS1Curve(), {8, 30, 70});
+  ASSERT_TRUE(input.ok());
+  auto report = ComputeBoundsReport(*input);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->incremental.points.size(), 3u);
+  EXPECT_EQ(report->naive.points.size(), 3u);
+  // Incremental worst is never below naive worst.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(report->incremental.points[i].worst.precision,
+              report->naive.points[i].worst.precision - 1e-12);
+  }
+}
+
+TEST(BoundsReportTest, GuaranteedRecallAt) {
+  BoundsCurve curve;
+  BoundsPoint a;
+  a.worst = {0.8, 0.1};
+  BoundsPoint b;
+  b.worst = {0.55, 0.2};
+  BoundsPoint c;
+  c.worst = {0.2, 0.4};
+  curve.points = {a, b, c};
+  EXPECT_DOUBLE_EQ(GuaranteedRecallAt(curve, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(GuaranteedRecallAt(curve, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(GuaranteedRecallAt(curve, 0.1), 0.4);
+}
+
+TEST(F1BoundsTest, HarmonicMeansOfEachCase) {
+  BoundsPoint point;
+  point.worst = {0.5, 0.25};   // F1 = 1/3
+  point.best = {1.0, 0.5};     // F1 = 2/3
+  point.random = {0.8, 0.4};   // F1 = 0.5333...
+  F1Bounds f1 = F1BoundsAt(point);
+  EXPECT_NEAR(f1.worst, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f1.best, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f1.random, 2.0 * 0.8 * 0.4 / 1.2, 1e-12);
+  EXPECT_LE(f1.worst, f1.random);
+  EXPECT_LE(f1.random, f1.best);
+}
+
+TEST(F1BoundsTest, ZeroPairGivesZero) {
+  BoundsPoint point;
+  point.worst = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(F1BoundsAt(point).worst, 0.0);
+}
+
+namespace topn {
+
+match::AnswerSet RankedAnswers(const std::vector<std::pair<int, double>>& v) {
+  match::AnswerSet set;
+  for (const auto& [target, delta] : v) {
+    set.Add(match::Mapping{0, {static_cast<schema::NodeId>(target)}, delta});
+  }
+  set.Finalize();
+  return set;
+}
+
+}  // namespace topn
+
+TEST(TopNBoundsTest, UsesS2RankThresholds) {
+  // S1: answers at Δ = .1,.2,...,.8; odd targets correct (|H| = 4).
+  match::AnswerSet s1 = topn::RankedAnswers({{1, 0.1},
+                                             {2, 0.2},
+                                             {3, 0.3},
+                                             {4, 0.4},
+                                             {5, 0.5},
+                                             {6, 0.6},
+                                             {7, 0.7},
+                                             {8, 0.8}});
+  eval::GroundTruth truth;
+  for (int t : {1, 3, 5, 7}) {
+    truth.AddCorrect(match::Mapping::Key{0, {static_cast<schema::NodeId>(t)}});
+  }
+  // S2 keeps every other answer.
+  match::AnswerSet s2 =
+      topn::RankedAnswers({{1, 0.1}, {3, 0.3}, {5, 0.5}, {7, 0.7}});
+
+  auto result = ComputeTopNBounds(s1, truth, s2, {1, 2, 4});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].n, 1u);
+  EXPECT_DOUBLE_EQ((*result)[0].threshold, 0.1);  // Δ of S2's 1st answer
+  EXPECT_DOUBLE_EQ((*result)[1].threshold, 0.3);
+  EXPECT_DOUBLE_EQ((*result)[2].threshold, 0.7);
+  // At N=1: S1 has 1 answer (correct); S2 kept it. Bounds collapse.
+  EXPECT_DOUBLE_EQ((*result)[0].bounds.best.precision, 1.0);
+  EXPECT_DOUBLE_EQ((*result)[0].bounds.worst.precision, 1.0);
+  // Top-N region gives narrow bounds (§5): width grows with N.
+  double w1 = (*result)[0].bounds.best.precision -
+              (*result)[0].bounds.worst.precision;
+  double w4 = (*result)[2].bounds.best.precision -
+              (*result)[2].bounds.worst.precision;
+  EXPECT_LE(w1, w4 + 1e-12);
+}
+
+TEST(TopNBoundsTest, NBeyondS2SizeClamps) {
+  match::AnswerSet s1 = topn::RankedAnswers({{1, 0.1}, {2, 0.2}});
+  match::AnswerSet s2 = topn::RankedAnswers({{1, 0.1}});
+  eval::GroundTruth truth;
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  auto result = ComputeTopNBounds(s1, truth, s2, {100});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ((*result)[0].threshold, 0.1);
+}
+
+TEST(TopNBoundsTest, RejectsBadInputs) {
+  match::AnswerSet s1 = topn::RankedAnswers({{1, 0.1}});
+  match::AnswerSet s2 = topn::RankedAnswers({{1, 0.1}});
+  match::AnswerSet alien = topn::RankedAnswers({{9, 0.1}});
+  match::AnswerSet empty;
+  empty.Finalize();
+  eval::GroundTruth truth;
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  EXPECT_FALSE(ComputeTopNBounds(s1, truth, s2, {}).ok());
+  EXPECT_FALSE(ComputeTopNBounds(s1, truth, s2, {0}).ok());
+  EXPECT_FALSE(ComputeTopNBounds(s1, truth, empty, {1}).ok());
+  EXPECT_FALSE(ComputeTopNBounds(s1, truth, alien, {1}).ok());
+}
+
+}  // namespace
+}  // namespace smb::bounds

@@ -1,0 +1,123 @@
+#include "bounds/case_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace smb::bounds {
+namespace {
+
+TEST(CaseBoundsTest, MassFormsEquation1And4) {
+  // Equation (1): |T2| = min(|T1|, |A2|).
+  EXPECT_DOUBLE_EQ(BestCaseTrueMass(15, 32), 15.0);
+  EXPECT_DOUBLE_EQ(BestCaseTrueMass(15, 10), 10.0);
+  // Equation (4): |T2| = max(0, |A2| - (|A1| - |T1|)).
+  EXPECT_DOUBLE_EQ(WorstCaseTrueMass(40, 15, 32), 7.0);   // Figure 8, δ1
+  EXPECT_DOUBLE_EQ(WorstCaseTrueMass(40, 15, 20), 0.0);
+  EXPECT_DOUBLE_EQ(WorstCaseTrueMass(72, 27, 48), 3.0);   // Figure 8, δ2 naive
+}
+
+TEST(CaseBoundsTest, PaperFigure8WorstCasePrecisionDelta1) {
+  // S1: 40 answers, P = 3/8 at δ1. S2: 32 answers => Â = 4/5.
+  auto worst = WorstCasePr(3.0 / 8.0, 0.25, 4.0 / 5.0);
+  ASSERT_TRUE(worst.ok()) << worst.status();
+  // Worst case: all 8 missed answers were correct => P = 7/32.
+  EXPECT_NEAR(worst->precision, 7.0 / 32.0, 1e-12);
+}
+
+TEST(CaseBoundsTest, PaperFigure8WorstCasePrecisionDelta2Naive) {
+  // S1: 72 answers, P = 3/8 at δ2. S2: 48 answers => Â = 2/3.
+  auto worst = WorstCasePr(3.0 / 8.0, 0.5, 2.0 / 3.0);
+  ASSERT_TRUE(worst.ok());
+  // The paper's "unnecessarily pessimistic" bound: P = 1/16.
+  EXPECT_NEAR(worst->precision, 1.0 / 16.0, 1e-12);
+}
+
+TEST(CaseBoundsTest, RatioOneCollapsesBothCasesToS1) {
+  // Â = 1: the improved system produced the same answers, so both bounds
+  // equal S1's figures (§3.3).
+  for (double p1 : {0.1, 0.5, 0.9}) {
+    for (double r1 : {0.0, 0.3, 1.0}) {
+      auto best = BestCasePr(p1, r1, 1.0);
+      auto worst = WorstCasePr(p1, r1, 1.0);
+      ASSERT_TRUE(best.ok());
+      ASSERT_TRUE(worst.ok());
+      EXPECT_NEAR(best->precision, p1, 1e-12);
+      EXPECT_NEAR(worst->precision, p1, 1e-12);
+      EXPECT_NEAR(best->recall, r1, 1e-12);
+      EXPECT_NEAR(worst->recall, r1, 1e-12);
+    }
+  }
+}
+
+TEST(CaseBoundsTest, BestCaseCapsAtPerfectPrecision) {
+  // Tiny Â: every kept answer may be correct => P = 1, R = Â·R1/P1.
+  auto best = BestCasePr(0.5, 0.4, 0.1);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->precision, 1.0);
+  EXPECT_NEAR(best->recall, 0.4 * (0.1 / 0.5), 1e-12);
+}
+
+TEST(CaseBoundsTest, WorstCaseHitsZeroWhenRatioTooSmall) {
+  // Â <= 1 - P1 => the kept set can consist entirely of wrong answers.
+  auto worst = WorstCasePr(0.3, 0.6, 0.7);
+  ASSERT_TRUE(worst.ok());
+  EXPECT_DOUBLE_EQ(worst->precision, 0.0);
+  EXPECT_DOUBLE_EQ(worst->recall, 0.0);
+}
+
+TEST(CaseBoundsTest, DomainErrors) {
+  EXPECT_FALSE(BestCasePr(0.0, 0.5, 0.5).ok());   // P1 = 0 with R1 > 0
+  EXPECT_FALSE(BestCasePr(1.1, 0.5, 0.5).ok());
+  EXPECT_FALSE(BestCasePr(0.5, -0.1, 0.5).ok());
+  EXPECT_FALSE(BestCasePr(0.5, 1.1, 0.5).ok());
+  EXPECT_FALSE(BestCasePr(0.5, 0.5, 0.0).ok());
+  EXPECT_FALSE(BestCasePr(0.5, 0.5, 1.0001).ok());
+  EXPECT_FALSE(WorstCasePr(0.5, 0.5, -1.0).ok());
+}
+
+/// Cross-check: ratio formulas (Eq 2/3/5/6) agree with mass formulas
+/// (Eq 1/4) over randomized consistent inputs.
+class CaseBoundsEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CaseBoundsEquivalenceTest, RatioAndMassFormsAgree) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    double h = 50.0 + rng.UniformDouble() * 1000.0;
+    double a1 = 1.0 + rng.UniformDouble() * 500.0;
+    double t1 = rng.UniformDouble() * std::min(a1, h);
+    double a2 = rng.UniformDouble() * a1;
+    if (a2 <= 0.0) continue;
+    double p1 = t1 / a1;
+    if (p1 <= 0.0) continue;
+    double r1 = t1 / h;
+    double ratio = a2 / a1;
+
+    auto best = BestCasePr(p1, r1, ratio);
+    auto worst = WorstCasePr(p1, r1, ratio);
+    ASSERT_TRUE(best.ok());
+    ASSERT_TRUE(worst.ok());
+
+    double best_t2 = BestCaseTrueMass(t1, a2);
+    double worst_t2 = WorstCaseTrueMass(a1, t1, a2);
+    EXPECT_NEAR(best->precision, best_t2 / a2, 1e-9);
+    EXPECT_NEAR(best->recall, best_t2 / h, 1e-9);
+    EXPECT_NEAR(worst->precision, worst_t2 / a2, 1e-9);
+    EXPECT_NEAR(worst->recall, worst_t2 / h, 1e-9);
+
+    // Ordering invariant: worst never exceeds best.
+    EXPECT_LE(worst->precision, best->precision + 1e-12);
+    EXPECT_LE(worst->recall, best->recall + 1e-12);
+    // All outputs are valid P/R values.
+    EXPECT_GE(worst->precision, 0.0);
+    EXPECT_LE(best->precision, 1.0 + 1e-12);
+    EXPECT_GE(worst->recall, 0.0);
+    EXPECT_LE(best->recall, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaseBoundsEquivalenceTest,
+                         ::testing::Values(7, 77, 777, 7777));
+
+}  // namespace
+}  // namespace smb::bounds

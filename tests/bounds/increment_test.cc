@@ -1,0 +1,101 @@
+#include "bounds/increment.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::bounds {
+namespace {
+
+TEST(MassPointTest, PrecisionAndRecall) {
+  MassPoint p{40.0, 15.0};
+  EXPECT_DOUBLE_EQ(p.Precision(), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(p.Recall(60.0), 0.25);
+  MassPoint empty{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(empty.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(10.0), 0.0);
+}
+
+TEST(MassFromPrTest, RecoverAnswerMass) {
+  // R = 0.25, P = 3/8 with h = 1: a = R/P = 2/3, t = 0.25.
+  auto mass = MassFromPr(3.0 / 8.0, 0.25);
+  ASSERT_TRUE(mass.ok()) << mass.status();
+  EXPECT_NEAR(mass->answers, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mass->correct, 0.25, 1e-12);
+}
+
+TEST(MassFromPrTest, ZeroRecallNeedsExplicitAnswers) {
+  auto implicit = MassFromPr(0.5, 0.0);
+  ASSERT_TRUE(implicit.ok());
+  EXPECT_DOUBLE_EQ(implicit->answers, 0.0);
+  auto with_mass = MassFromPr(0.5, 0.0, 12.0);
+  ASSERT_TRUE(with_mass.ok());
+  EXPECT_DOUBLE_EQ(with_mass->answers, 12.0);
+  EXPECT_FALSE(MassFromPr(0.5, 0.0, -1.0).ok());
+}
+
+TEST(MassFromPrTest, DomainErrors) {
+  EXPECT_FALSE(MassFromPr(0.0, 0.5).ok());
+  EXPECT_FALSE(MassFromPr(1.5, 0.5).ok());
+  EXPECT_FALSE(MassFromPr(0.5, -0.1).ok());
+  EXPECT_FALSE(MassFromPr(0.5, 1.1).ok());
+}
+
+TEST(IncrementTest, PaperFigure8IncrementPrecision) {
+  // S1: (40, 15) at δ1, (72, 27) at δ2. The increment has 32 answers of
+  // which 12 correct: P̂ = 3/8 — "Equation 7 is actually independent of |H|".
+  MassPoint at_d1{40.0, 15.0};
+  MassPoint at_d2{72.0, 27.0};
+  auto inc = IncrementBetween(at_d1, at_d2);
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  EXPECT_DOUBLE_EQ(inc->answers, 32.0);
+  EXPECT_DOUBLE_EQ(inc->correct, 12.0);
+  EXPECT_DOUBLE_EQ(IncrementPrecision(*inc), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(IncrementRecall(*inc, 100.0), 0.12);  // Equation (8)
+}
+
+TEST(IncrementTest, Equation7MatchesRatioForm) {
+  // P̂ = (R2 − R1) / (R2/P2 − R1/P1) must equal Δt/Δa.
+  const double h = 200.0;
+  MassPoint lo{50.0, 30.0};
+  MassPoint hi{90.0, 42.0};
+  double r1 = lo.Recall(h), p1 = lo.Precision();
+  double r2 = hi.Recall(h), p2 = hi.Precision();
+  double eq7 = (r2 - r1) / (r2 / p2 - r1 / p1);
+  auto inc = IncrementBetween(lo, hi).value();
+  EXPECT_NEAR(IncrementPrecision(inc), eq7, 1e-12);
+}
+
+TEST(IncrementTest, EmptyIncrementConventions) {
+  MassPoint p{10.0, 4.0};
+  auto inc = IncrementBetween(p, p);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_DOUBLE_EQ(inc->answers, 0.0);
+  EXPECT_DOUBLE_EQ(IncrementPrecision(*inc), 1.0);
+  EXPECT_DOUBLE_EQ(IncrementRecall(*inc, 10.0), 0.0);
+}
+
+TEST(IncrementTest, RejectsNonMonotoneMasses) {
+  EXPECT_FALSE(IncrementBetween({10, 5}, {8, 5}).ok());
+  EXPECT_FALSE(IncrementBetween({10, 5}, {12, 4}).ok());
+}
+
+TEST(IncrementTest, RejectsMoreCorrectThanAnswers) {
+  // Δa = 2 but Δt = 5: impossible.
+  EXPECT_FALSE(IncrementBetween({10, 5}, {12, 10}).ok());
+}
+
+TEST(IncrementTest, AccumulateIsInverse) {
+  MassPoint lo{40.0, 15.0};
+  MassPoint hi{72.0, 27.0};
+  auto inc = IncrementBetween(lo, hi).value();
+  MassPoint recomposed = Accumulate(lo, inc);
+  EXPECT_DOUBLE_EQ(recomposed.answers, hi.answers);
+  EXPECT_DOUBLE_EQ(recomposed.correct, hi.correct);
+}
+
+TEST(IncrementTest, IncrementRecallZeroH) {
+  MassPoint inc{5.0, 2.0};
+  EXPECT_DOUBLE_EQ(IncrementRecall(inc, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace smb::bounds

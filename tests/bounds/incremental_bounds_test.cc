@@ -1,0 +1,274 @@
+#include "bounds/incremental_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace smb::bounds {
+namespace {
+
+/// The paper's running example (§3.2, Figure 8):
+/// S1: 40 answers / 15 correct at δ1; 72 / 27 at δ2 (P = 3/8 at both).
+/// S2: 32 answers at δ1; 48 at δ2. |H| = 60 (any value ≥ 27 works; the
+/// figure's percentages use P only, which is |H|-independent).
+BoundsInput Figure8Input() {
+  BoundsInput input;
+  input.thresholds = {1.0, 2.0};  // the paper's δ1, δ2 (values arbitrary)
+  input.s1_answers = {40.0, 72.0};
+  input.s1_correct = {15.0, 27.0};
+  input.s2_answers = {32.0, 48.0};
+  input.total_correct = 60.0;
+  return input;
+}
+
+TEST(IncrementalBoundsTest, PaperFigure8WorstCase) {
+  auto curve = ComputeIncrementalBounds(Figure8Input());
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  ASSERT_EQ(curve->points.size(), 2u);
+  // δ1: worst-case P = 7/32 (both naive and incremental agree on the
+  // first increment).
+  EXPECT_NEAR(curve->points[0].worst.precision, 7.0 / 32.0, 1e-12);
+  // δ2: the paper's more accurate incremental bound P = 7/48 (not 1/16).
+  EXPECT_NEAR(curve->points[1].worst.precision, 7.0 / 48.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, PaperFigure8NaiveCase) {
+  auto curve = ComputeNaiveBounds(Figure8Input());
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  // δ2: the "unnecessarily pessimistic" per-threshold bound P = 1/16.
+  EXPECT_NEAR(curve->points[1].worst.precision, 1.0 / 16.0, 1e-12);
+  // δ1 has a single increment: same as incremental.
+  EXPECT_NEAR(curve->points[0].worst.precision, 7.0 / 32.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, PaperFigure8BestCase) {
+  auto curve = ComputeIncrementalBounds(Figure8Input());
+  ASSERT_TRUE(curve.ok());
+  // Best case at δ1: all 32 kept answers could include all 15 correct.
+  EXPECT_NEAR(curve->points[0].best.precision, 15.0 / 32.0, 1e-12);
+  // δ2: 15 + 12 = 27 correct of 48.
+  EXPECT_NEAR(curve->points[1].best.precision, 27.0 / 48.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, Figure8RecallValues) {
+  auto curve = ComputeIncrementalBounds(Figure8Input());
+  ASSERT_TRUE(curve.ok());
+  // |H| = 60: best-case recall at δ2 = 27/60; worst = 7/60.
+  EXPECT_NEAR(curve->points[1].best.recall, 27.0 / 60.0, 1e-12);
+  EXPECT_NEAR(curve->points[1].worst.recall, 7.0 / 60.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, RandomBaselineEquations9And10) {
+  auto curve = ComputeIncrementalBounds(Figure8Input());
+  ASSERT_TRUE(curve.ok());
+  // Increment 1: P̂ = 3/8, kept 32/40 => t̂ = 15 * 0.8 = 12.
+  // Increment 2: P̂ = 3/8, kept 16/32 => t̂ = 12 * 0.5 = 6.
+  EXPECT_NEAR(curve->points[0].random.precision, 12.0 / 32.0, 1e-12);
+  EXPECT_NEAR(curve->points[0].random.recall, 12.0 / 60.0, 1e-12);
+  EXPECT_NEAR(curve->points[1].random.precision, 18.0 / 48.0, 1e-12);
+  EXPECT_NEAR(curve->points[1].random.recall, 18.0 / 60.0, 1e-12);
+  // Equation (9): increment precision of the random system equals S1's, so
+  // with P1 constant at 3/8 the cumulative random precision is also 3/8.
+  EXPECT_NEAR(curve->points[1].random.precision, 3.0 / 8.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, RatioFieldIsCumulative) {
+  auto curve = ComputeIncrementalBounds(Figure8Input());
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->points[0].ratio, 32.0 / 40.0, 1e-12);
+  EXPECT_NEAR(curve->points[1].ratio, 48.0 / 72.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, RatioOneCollapsesToS1Curve) {
+  BoundsInput input = Figure8Input();
+  input.s2_answers = input.s1_answers;
+  auto curve = ComputeIncrementalBounds(input);
+  ASSERT_TRUE(curve.ok());
+  for (size_t i = 0; i < curve->points.size(); ++i) {
+    double p1 = input.s1_correct[i] / input.s1_answers[i];
+    double r1 = input.s1_correct[i] / input.total_correct;
+    EXPECT_NEAR(curve->points[i].best.precision, p1, 1e-12);
+    EXPECT_NEAR(curve->points[i].worst.precision, p1, 1e-12);
+    EXPECT_NEAR(curve->points[i].random.precision, p1, 1e-12);
+    EXPECT_NEAR(curve->points[i].best.recall, r1, 1e-12);
+    EXPECT_NEAR(curve->points[i].worst.recall, r1, 1e-12);
+  }
+}
+
+TEST(IncrementalBoundsTest, ZeroCorrectIncrementHandled) {
+  // §3.2 step 4 special case: an increment with no correct answers.
+  BoundsInput input;
+  input.thresholds = {1.0, 2.0};
+  input.s1_answers = {10.0, 30.0};
+  input.s1_correct = {5.0, 5.0};  // second increment: 20 answers, 0 correct
+  input.s2_answers = {8.0, 20.0};
+  input.total_correct = 10.0;
+  auto curve = ComputeIncrementalBounds(input);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  // Recall cannot grow in the second increment for any case.
+  EXPECT_NEAR(curve->points[1].best.recall, curve->points[0].best.recall,
+              1e-12);
+  EXPECT_NEAR(curve->points[1].worst.recall, curve->points[0].worst.recall,
+              1e-12);
+  // Precision simply dilutes: t unchanged, a = 20.
+  EXPECT_NEAR(curve->points[1].best.precision,
+              curve->points[0].best.precision * 8.0 / 20.0, 1e-12);
+}
+
+TEST(IncrementalBoundsTest, EmptyS2Handled) {
+  BoundsInput input = Figure8Input();
+  input.s2_answers = {0.0, 0.0};
+  auto curve = ComputeIncrementalBounds(input);
+  ASSERT_TRUE(curve.ok());
+  // Empty answer set: precision convention 1, recall 0.
+  EXPECT_DOUBLE_EQ(curve->points[1].best.recall, 0.0);
+  EXPECT_DOUBLE_EQ(curve->points[1].worst.recall, 0.0);
+  EXPECT_DOUBLE_EQ(curve->points[1].best.precision, 1.0);
+}
+
+TEST(IncrementalBoundsTest, ValidationRejectsBadInputs) {
+  {
+    BoundsInput input = Figure8Input();
+    input.thresholds = {2.0, 1.0};
+    EXPECT_FALSE(ComputeIncrementalBounds(input).ok());
+  }
+  {
+    BoundsInput input = Figure8Input();
+    input.s2_answers = {45.0, 48.0};  // |A2| > |A1| at δ1
+    EXPECT_FALSE(ComputeIncrementalBounds(input).ok());
+  }
+  {
+    BoundsInput input = Figure8Input();
+    input.s1_correct = {50.0, 50.0};  // |T1| > |A1|
+    EXPECT_FALSE(ComputeIncrementalBounds(input).ok());
+  }
+  {
+    BoundsInput input = Figure8Input();
+    input.total_correct = 0.0;
+    EXPECT_FALSE(ComputeIncrementalBounds(input).ok());
+  }
+  {
+    BoundsInput input = Figure8Input();
+    input.s1_answers = {40.0};  // length mismatch
+    EXPECT_FALSE(ComputeIncrementalBounds(input).ok());
+  }
+  {
+    BoundsInput input = Figure8Input();
+    // Per-increment violation: cumulative |A2| fine, increment gains more
+    // than S1's increment (32 -> 70 vs 40 -> 72).
+    input.s2_answers = {32.0, 70.0};
+    Status status = ComputeIncrementalBounds(input).status();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("increment"), std::string::npos);
+  }
+  {
+    BoundsInput input = Figure8Input();
+    input.thresholds.clear();
+    input.s1_answers.clear();
+    input.s1_correct.clear();
+    input.s2_answers.clear();
+    EXPECT_FALSE(ComputeIncrementalBounds(input).ok());
+  }
+}
+
+TEST(ClampToContainmentTest, ExactInputsPassThrough) {
+  BoundsInput input = Figure8Input();
+  BoundsInput clamped = ClampToContainment(input);
+  EXPECT_EQ(clamped.s2_answers, input.s2_answers);
+}
+
+TEST(ClampToContainmentTest, RepairsIncrementOvershoot) {
+  BoundsInput input = Figure8Input();
+  // Second increment: S1 gains 32 but S2 claims to gain 40 (32 -> 72).
+  input.s2_answers = {32.0, 72.0};
+  EXPECT_FALSE(input.Validate().ok());
+  BoundsInput clamped = ClampToContainment(input);
+  EXPECT_TRUE(clamped.Validate().ok());
+  // First increment untouched; second clamped to S1's gain.
+  EXPECT_DOUBLE_EQ(clamped.s2_answers[0], 32.0);
+  EXPECT_DOUBLE_EQ(clamped.s2_answers[1], 64.0);
+}
+
+TEST(ClampToContainmentTest, RepairsCumulativeOvershoot) {
+  BoundsInput input = Figure8Input();
+  input.s2_answers = {45.0, 50.0};  // first increment exceeds |A1| = 40
+  BoundsInput clamped = ClampToContainment(input);
+  EXPECT_TRUE(clamped.Validate().ok());
+  EXPECT_DOUBLE_EQ(clamped.s2_answers[0], 40.0);
+  EXPECT_DOUBLE_EQ(clamped.s2_answers[1], 45.0);  // 40 + min(5, 32)
+}
+
+TEST(ClampToContainmentTest, RepairsNonMonotoneS2) {
+  BoundsInput input = Figure8Input();
+  input.s2_answers = {32.0, 20.0};  // shrinking |A2|: impossible
+  BoundsInput clamped = ClampToContainment(input);
+  EXPECT_TRUE(clamped.Validate().ok());
+  EXPECT_DOUBLE_EQ(clamped.s2_answers[1], 32.0);
+}
+
+/// Randomized property sweep: generate consistent synthetic S1/S2 masses and
+/// check the structural invariants of both algorithms.
+class BoundsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+BoundsInput RandomInput(Rng* rng) {
+  const size_t n = 2 + rng->UniformIndex(8);
+  BoundsInput input;
+  double a1 = 0.0, t1 = 0.0, a2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double inc_a1 = rng->UniformDouble() * 50.0;
+    double inc_t1 = rng->UniformDouble() * inc_a1;
+    double inc_a2 = rng->UniformDouble() * inc_a1;
+    a1 += inc_a1;
+    t1 += inc_t1;
+    a2 += inc_a2;
+    input.thresholds.push_back(static_cast<double>(i + 1));
+    input.s1_answers.push_back(a1);
+    input.s1_correct.push_back(t1);
+    input.s2_answers.push_back(a2);
+  }
+  input.total_correct = t1 + rng->UniformDouble() * 100.0 + 1.0;
+  return input;
+}
+
+TEST_P(BoundsPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    BoundsInput input = RandomInput(&rng);
+    auto incremental = ComputeIncrementalBounds(input);
+    auto naive = ComputeNaiveBounds(input);
+    ASSERT_TRUE(incremental.ok()) << incremental.status();
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    for (size_t i = 0; i < input.thresholds.size(); ++i) {
+      const BoundsPoint& inc = incremental->points[i];
+      const BoundsPoint& nai = naive->points[i];
+      // worst <= random <= best (both P and R).
+      EXPECT_LE(inc.worst.precision, inc.random.precision + 1e-9);
+      EXPECT_LE(inc.random.precision, inc.best.precision + 1e-9);
+      EXPECT_LE(inc.worst.recall, inc.random.recall + 1e-9);
+      EXPECT_LE(inc.random.recall, inc.best.recall + 1e-9);
+      // Incremental bounds are at least as tight as naive on both sides.
+      EXPECT_GE(inc.worst.precision, nai.worst.precision - 1e-9);
+      EXPECT_LE(inc.best.precision, nai.best.precision + 1e-9);
+      EXPECT_GE(inc.worst.recall, nai.worst.recall - 1e-9);
+      EXPECT_LE(inc.best.recall, nai.best.recall + 1e-9);
+      // Valid ranges.
+      EXPECT_GE(inc.worst.precision, 0.0);
+      EXPECT_LE(inc.best.precision, 1.0 + 1e-9);
+      EXPECT_GE(inc.worst.recall, 0.0);
+      EXPECT_LE(inc.best.recall, 1.0 + 1e-9);
+      // Recall bounds are monotone in the threshold.
+      if (i > 0) {
+        EXPECT_GE(inc.best.recall,
+                  incremental->points[i - 1].best.recall - 1e-9);
+        EXPECT_GE(inc.worst.recall,
+                  incremental->points[i - 1].worst.recall - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsPropertyTest,
+                         ::testing::Values(13, 131, 1313, 13131, 131313));
+
+}  // namespace
+}  // namespace smb::bounds

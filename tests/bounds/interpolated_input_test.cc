@@ -1,0 +1,133 @@
+#include "bounds/interpolated_input.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::bounds {
+namespace {
+
+eval::ElevenPointCurve DecliningCurve() {
+  // A typical declining curve: P = 1.0 at R = 0.1 down to 0.2 at R = 1.0.
+  eval::ElevenPointCurve curve;
+  curve.precision[0] = 1.0;
+  for (size_t i = 1; i <= 10; ++i) {
+    curve.precision[i] =
+        1.0 - 0.8 * (static_cast<double>(i - 1) / 9.0);
+  }
+  return curve;
+}
+
+TEST(InterpolatedInputTest, ReconstructsAnswerCounts) {
+  auto reconstructed = ReconstructFromElevenPoint(DecliningCurve(), 1000.0);
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.status();
+  // Level R=0 is dropped (|A| unknowable): 10 usable points.
+  EXPECT_EQ(reconstructed->recall_levels.size(), 10u);
+  EXPECT_DOUBLE_EQ(reconstructed->total_correct, 1000.0);
+  // |A| = R·|H|/P; at R = 0.1, P = 1.0 -> 100 answers.
+  EXPECT_NEAR(reconstructed->answers[0], 100.0, 1e-9);
+  EXPECT_NEAR(reconstructed->correct[0], 100.0, 1e-9);
+  // At R = 1.0, P = 0.2 -> 5000 answers.
+  EXPECT_NEAR(reconstructed->answers[9], 5000.0, 1e-9);
+  // Counts are monotone in recall.
+  for (size_t i = 1; i < reconstructed->answers.size(); ++i) {
+    EXPECT_GE(reconstructed->answers[i], reconstructed->answers[i - 1]);
+  }
+}
+
+TEST(InterpolatedInputTest, HScalesLinearly) {
+  auto small = ReconstructFromElevenPoint(DecliningCurve(), 100.0).value();
+  auto large = ReconstructFromElevenPoint(DecliningCurve(), 200.0).value();
+  for (size_t i = 0; i < small.answers.size(); ++i) {
+    EXPECT_NEAR(large.answers[i], 2.0 * small.answers[i], 1e-9);
+    EXPECT_NEAR(large.correct[i], 2.0 * small.correct[i], 1e-9);
+  }
+}
+
+TEST(InterpolatedInputTest, BoundsInvariantToHGuessWhenRatiosFixed) {
+  // With the *ratios* fixed, the resulting P/R bounds do not depend on the
+  // |H| guess — the computation is scale-invariant. (The |H| guess matters
+  // only for correlating thresholds, §4.1.)
+  std::vector<double> ratios(10, 0.8);
+  auto in_a = InputFromReconstructed(
+      ReconstructFromElevenPoint(DecliningCurve(), 100.0).value(), ratios);
+  auto in_b = InputFromReconstructed(
+      ReconstructFromElevenPoint(DecliningCurve(), 15000.0).value(), ratios);
+  ASSERT_TRUE(in_a.ok()) << in_a.status();
+  ASSERT_TRUE(in_b.ok()) << in_b.status();
+  auto curve_a = ComputeIncrementalBounds(*in_a).value();
+  auto curve_b = ComputeIncrementalBounds(*in_b).value();
+  for (size_t i = 0; i < curve_a.points.size(); ++i) {
+    EXPECT_NEAR(curve_a.points[i].worst.precision,
+                curve_b.points[i].worst.precision, 1e-9);
+    EXPECT_NEAR(curve_a.points[i].best.recall, curve_b.points[i].best.recall,
+                1e-9);
+  }
+}
+
+TEST(InterpolatedInputTest, RejectsInconsistentCurves) {
+  // Precision *rising* with recall fast enough implies shrinking |A|.
+  eval::ElevenPointCurve bad;
+  for (size_t i = 0; i < 11; ++i) bad.precision[i] = 0.1;
+  bad.precision[2] = 0.1;   // R=0.2: |A| = 2h
+  bad.precision[3] = 0.9;   // R=0.3: |A| = h/3 — shrank!
+  auto reconstructed = ReconstructFromElevenPoint(bad, 100.0);
+  ASSERT_FALSE(reconstructed.ok());
+  EXPECT_NE(reconstructed.status().message().find("not monotone"),
+            std::string::npos);
+}
+
+TEST(InterpolatedInputTest, RejectsDegenerateInputs) {
+  eval::ElevenPointCurve zeros;  // all-zero precision: nothing usable
+  EXPECT_FALSE(ReconstructFromElevenPoint(zeros, 100.0).ok());
+  EXPECT_FALSE(ReconstructFromElevenPoint(DecliningCurve(), 0.0).ok());
+  EXPECT_FALSE(ReconstructFromElevenPoint(DecliningCurve(), -5.0).ok());
+}
+
+TEST(InterpolatedInputTest, CorrelateThresholdsFindsDeltaValues) {
+  ReconstructedCurve curve;
+  curve.recall_levels = {0.1, 0.2};
+  curve.answers = {100.0, 300.0};
+  curve.correct = {10.0, 20.0};
+  curve.total_correct = 100.0;
+  // Rebuilt system sweep: sizes grow with δ.
+  std::vector<double> sweep_thresholds = {0.05, 0.10, 0.15, 0.20, 0.25};
+  std::vector<size_t> sweep_sizes = {50, 120, 250, 320, 500};
+  auto deltas = CorrelateThresholds(curve, sweep_thresholds, sweep_sizes);
+  ASSERT_TRUE(deltas.ok()) << deltas.status();
+  ASSERT_EQ(deltas->size(), 2u);
+  EXPECT_DOUBLE_EQ((*deltas)[0], 0.10);  // first size >= 100
+  EXPECT_DOUBLE_EQ((*deltas)[1], 0.20);  // first size >= 300
+}
+
+TEST(InterpolatedInputTest, CorrelateClampsBeyondSweep) {
+  ReconstructedCurve curve;
+  curve.recall_levels = {0.5};
+  curve.answers = {10000.0};
+  curve.correct = {50.0};
+  curve.total_correct = 100.0;
+  auto deltas = CorrelateThresholds(curve, {0.1, 0.2}, {10, 20});
+  ASSERT_TRUE(deltas.ok());
+  EXPECT_DOUBLE_EQ((*deltas)[0], 0.2);
+}
+
+TEST(InterpolatedInputTest, CorrelateRejectsBadSweeps) {
+  ReconstructedCurve curve;
+  curve.recall_levels = {0.5};
+  curve.answers = {10.0};
+  curve.correct = {5.0};
+  curve.total_correct = 10.0;
+  EXPECT_FALSE(CorrelateThresholds(curve, {}, {}).ok());
+  EXPECT_FALSE(CorrelateThresholds(curve, {0.2, 0.1}, {10, 20}).ok());
+  EXPECT_FALSE(CorrelateThresholds(curve, {0.1, 0.2}, {20, 10}).ok());
+  EXPECT_FALSE(CorrelateThresholds(curve, {0.1}, {10, 20}).ok());
+}
+
+TEST(InterpolatedInputTest, InputFromReconstructedValidatesRatios) {
+  auto curve = ReconstructFromElevenPoint(DecliningCurve(), 100.0).value();
+  std::vector<double> bad_count(3, 0.5);
+  EXPECT_FALSE(InputFromReconstructed(curve, bad_count).ok());
+  std::vector<double> out_of_range(10, 1.5);
+  EXPECT_FALSE(InputFromReconstructed(curve, out_of_range).ok());
+}
+
+}  // namespace
+}  // namespace smb::bounds

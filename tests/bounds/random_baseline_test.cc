@@ -1,0 +1,53 @@
+#include "bounds/random_baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::bounds {
+namespace {
+
+TEST(RandomBaselineTest, Equation9PrecisionUnchanged) {
+  MassPoint inc{32.0, 12.0};  // Figure 8's second S1 increment
+  EXPECT_DOUBLE_EQ(RandomIncrementPrecision(inc), 3.0 / 8.0);
+  // Precision is independent of how much the random system keeps.
+  EXPECT_DOUBLE_EQ(RandomIncrementCorrectMass(inc, 16.0) / 16.0, 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(RandomIncrementCorrectMass(inc, 8.0) / 8.0, 3.0 / 8.0);
+}
+
+TEST(RandomBaselineTest, Equation10RecallScalesWithKeptFraction) {
+  MassPoint inc{32.0, 12.0};
+  const double h = 100.0;
+  // Full increment: R̂ = 12/100; half: 6/100.
+  EXPECT_NEAR(RandomIncrementRecall(inc, 32.0, h).value(), 0.12, 1e-12);
+  EXPECT_NEAR(RandomIncrementRecall(inc, 16.0, h).value(), 0.06, 1e-12);
+  EXPECT_NEAR(RandomIncrementRecall(inc, 0.0, h).value(), 0.0, 1e-12);
+}
+
+TEST(RandomBaselineTest, EmptyIncrementKeepsNothing) {
+  MassPoint empty{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(RandomIncrementCorrectMass(empty, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RandomIncrementPrecision(empty), 1.0);
+  EXPECT_NEAR(RandomIncrementRecall(empty, 0.0, 10.0).value(), 0.0, 1e-12);
+}
+
+TEST(RandomBaselineTest, RejectsOverdrawAndBadH) {
+  MassPoint inc{10.0, 4.0};
+  EXPECT_FALSE(RandomIncrementRecall(inc, 11.0, 100.0).ok());
+  EXPECT_FALSE(RandomIncrementRecall(inc, -1.0, 100.0).ok());
+  EXPECT_FALSE(RandomIncrementRecall(inc, 5.0, 0.0).ok());
+}
+
+TEST(RandomBaselineTest, RandomBetweenWorstAndBest) {
+  // For any increment, the expected random correct mass sits between the
+  // adversarial extremes.
+  MassPoint inc{32.0, 12.0};
+  for (double kept : {0.0, 4.0, 16.0, 28.0, 32.0}) {
+    double random = RandomIncrementCorrectMass(inc, kept);
+    double best = std::min(inc.correct, kept);
+    double worst = std::max(0.0, kept - (inc.answers - inc.correct));
+    EXPECT_LE(worst, random + 1e-12);
+    EXPECT_LE(random, best + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace smb::bounds

@@ -1,0 +1,107 @@
+#include "bounds/sub_increment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smb::bounds {
+namespace {
+
+/// The paper's §4.2 example: |H| = 100, at δ1 (50 answers, 30 correct), at
+/// δ2 (70 answers, 36 correct). At δ' the rebuilt system shows 54 answers.
+TEST(SubIncrementTest, PaperFigure13Example) {
+  MassPoint at_d1{50.0, 30.0};
+  MassPoint at_d2{70.0, 36.0};
+  auto point = SubIncrementBoundsAt(at_d1, at_d2, 100.0, 54.0);
+  ASSERT_TRUE(point.ok()) << point.status();
+  // Worst: the 4 new answers all incorrect: R = 30/100, P = 30/54.
+  EXPECT_NEAR(point->worst.recall, 0.30, 1e-12);
+  EXPECT_NEAR(point->worst.precision, 30.0 / 54.0, 1e-12);
+  // Best: all 4 correct: R = 34/100, P = 34/54.
+  EXPECT_NEAR(point->best.recall, 0.34, 1e-12);
+  EXPECT_NEAR(point->best.precision, 34.0 / 54.0, 1e-12);
+  // Midpoint: 32 correct.
+  EXPECT_NEAR(point->midpoint.recall, 0.32, 1e-12);
+  EXPECT_NEAR(point->midpoint.precision, 32.0 / 54.0, 1e-12);
+}
+
+TEST(SubIncrementTest, BestCappedByIncrementCorrectTotal) {
+  // 10 new answers but the increment only holds 6 correct ones.
+  MassPoint at_d1{50.0, 30.0};
+  MassPoint at_d2{70.0, 36.0};
+  auto point = SubIncrementBoundsAt(at_d1, at_d2, 100.0, 65.0);
+  ASSERT_TRUE(point.ok());
+  EXPECT_NEAR(point->best.recall, 0.36, 1e-12);  // 30 + min(15, 6)
+}
+
+TEST(SubIncrementTest, WorstFlooredByIncorrectAvailability) {
+  // Increment with mostly correct answers: 10 answers, 8 correct. At
+  // a' = a1 + 5, at most 2 new can be incorrect => worst gains 3 correct.
+  MassPoint at_d1{20.0, 10.0};
+  MassPoint at_d2{30.0, 18.0};
+  auto point = SubIncrementBoundsAt(at_d1, at_d2, 50.0, 25.0);
+  ASSERT_TRUE(point.ok());
+  EXPECT_NEAR(point->worst.recall, 13.0 / 50.0, 1e-12);
+  EXPECT_NEAR(point->best.recall, 15.0 / 50.0, 1e-12);
+}
+
+TEST(SubIncrementTest, EndpointsMatchMeasuredPoints) {
+  MassPoint at_d1{50.0, 30.0};
+  MassPoint at_d2{70.0, 36.0};
+  auto lo = SubIncrementBoundsAt(at_d1, at_d2, 100.0, 50.0).value();
+  EXPECT_NEAR(lo.worst.precision, 0.6, 1e-12);
+  EXPECT_NEAR(lo.best.precision, 0.6, 1e-12);  // no unknown answers yet
+  auto hi = SubIncrementBoundsAt(at_d1, at_d2, 100.0, 70.0).value();
+  // At δ2 everything is known again: both cases give the measured point.
+  EXPECT_NEAR(hi.worst.precision, 36.0 / 70.0, 1e-12);
+  EXPECT_NEAR(hi.best.precision, 36.0 / 70.0, 1e-12);
+  EXPECT_NEAR(hi.worst.recall, 0.36, 1e-12);
+}
+
+TEST(SubIncrementTest, SweepProducesMonotoneFamilies) {
+  MassPoint at_d1{50.0, 30.0};
+  MassPoint at_d2{70.0, 36.0};
+  auto sweep = SubIncrementSweep(at_d1, at_d2, 100.0, 20);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 21u);
+  for (const auto& point : *sweep) {
+    EXPECT_LE(point.worst.recall, point.midpoint.recall + 1e-12);
+    EXPECT_LE(point.midpoint.recall, point.best.recall + 1e-12);
+    EXPECT_LE(point.worst.precision, point.best.precision + 1e-12);
+  }
+  // Worst-case recall stays at the δ1 level while enough incorrect answers
+  // remain (increment holds 20 - 6 = 14 incorrect), then is forced upward —
+  // the "restriction on how bad the worst case can be" near the measured
+  // endpoint. Best-case recall grows monotonically.
+  for (size_t i = 1; i < sweep->size(); ++i) {
+    double new_answers = (*sweep)[i].answers - 50.0;
+    double expected_worst =
+        (30.0 + std::max(0.0, new_answers - 14.0)) / 100.0;
+    EXPECT_NEAR((*sweep)[i].worst.recall, expected_worst, 1e-12);
+    EXPECT_GE((*sweep)[i].best.recall, (*sweep)[i - 1].best.recall - 1e-12);
+  }
+}
+
+TEST(SubIncrementTest, MidpointDiffersFromLinearInterpolation) {
+  // The paper notes the halfway point is *not* the linear interpolation of
+  // the two measured P/R points.
+  MassPoint at_d1{50.0, 30.0};
+  MassPoint at_d2{70.0, 36.0};
+  auto point = SubIncrementBoundsAt(at_d1, at_d2, 100.0, 54.0).value();
+  double frac = (54.0 - 50.0) / (70.0 - 50.0);
+  double linear_p = 0.6 + frac * (36.0 / 70.0 - 0.6);
+  EXPECT_GT(std::fabs(point.midpoint.precision - linear_p), 1e-4);
+}
+
+TEST(SubIncrementTest, DomainErrors) {
+  MassPoint at_d1{50.0, 30.0};
+  MassPoint at_d2{70.0, 36.0};
+  EXPECT_FALSE(SubIncrementBoundsAt(at_d1, at_d2, 100.0, 49.0).ok());
+  EXPECT_FALSE(SubIncrementBoundsAt(at_d1, at_d2, 100.0, 71.0).ok());
+  EXPECT_FALSE(SubIncrementBoundsAt(at_d1, at_d2, 0.0, 60.0).ok());
+  EXPECT_FALSE(SubIncrementBoundsAt(at_d2, at_d1, 100.0, 60.0).ok());
+  EXPECT_FALSE(SubIncrementSweep(at_d1, at_d2, 100.0, 0).ok());
+}
+
+}  // namespace
+}  // namespace smb::bounds

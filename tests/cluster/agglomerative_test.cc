@@ -1,0 +1,86 @@
+#include "cluster/agglomerative.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace smb::cluster {
+namespace {
+
+std::vector<FeatureVector> ThreeBlobs() {
+  return {
+      {0.0, 0.0}, {0.2, 0.0}, {0.0, 0.2},    // blob A
+      {10.0, 0.0}, {10.2, 0.0},              // blob B
+      {0.0, 10.0}, {0.0, 10.2}, {0.2, 10.0}, // blob C
+  };
+}
+
+TEST(AgglomerativeTest, RecoversThreeBlobs) {
+  AgglomerativeOptions options;
+  options.target_clusters = 3;
+  auto result = AgglomerativeCluster(ThreeBlobs(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->centroids.size(), 3u);
+  // Points 0-2 together, 3-4 together, 5-7 together.
+  EXPECT_EQ(result->assignment[0], result->assignment[1]);
+  EXPECT_EQ(result->assignment[0], result->assignment[2]);
+  EXPECT_EQ(result->assignment[3], result->assignment[4]);
+  EXPECT_EQ(result->assignment[5], result->assignment[6]);
+  EXPECT_EQ(result->assignment[5], result->assignment[7]);
+  std::set<int> labels(result->assignment.begin(), result->assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(AgglomerativeTest, AllLinkagesProduceTargetCount) {
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    AgglomerativeOptions options;
+    options.target_clusters = 2;
+    options.linkage = linkage;
+    auto result = AgglomerativeCluster(ThreeBlobs(), options);
+    ASSERT_TRUE(result.ok());
+    std::set<int> labels(result->assignment.begin(), result->assignment.end());
+    EXPECT_EQ(labels.size(), 2u);
+  }
+}
+
+TEST(AgglomerativeTest, TargetOneMergesAll) {
+  AgglomerativeOptions options;
+  options.target_clusters = 1;
+  auto result = AgglomerativeCluster(ThreeBlobs(), options);
+  ASSERT_TRUE(result.ok());
+  for (int a : result->assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(AgglomerativeTest, TargetAboveNKeepsSingletons) {
+  AgglomerativeOptions options;
+  options.target_clusters = 100;
+  auto points = ThreeBlobs();
+  auto result = AgglomerativeCluster(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), points.size());
+}
+
+TEST(AgglomerativeTest, CentroidsAreClusterMeans) {
+  AgglomerativeOptions options;
+  options.target_clusters = 3;
+  auto result = AgglomerativeCluster(ThreeBlobs(), options);
+  ASSERT_TRUE(result.ok());
+  // Blob B = points (10.0, 0.0), (10.2, 0.0): centroid (10.1, 0.0).
+  int label_b = result->assignment[3];
+  EXPECT_NEAR(result->centroids[static_cast<size_t>(label_b)][0], 10.1,
+              1e-9);
+  EXPECT_NEAR(result->centroids[static_cast<size_t>(label_b)][1], 0.0, 1e-9);
+}
+
+TEST(AgglomerativeTest, RejectsBadInputs) {
+  AgglomerativeOptions options;
+  EXPECT_FALSE(AgglomerativeCluster({}, options).ok());
+  options.target_clusters = 0;
+  EXPECT_FALSE(AgglomerativeCluster({{1.0}}, options).ok());
+  options.target_clusters = 1;
+  EXPECT_FALSE(AgglomerativeCluster({{1.0, 2.0}, {1.0}}, options).ok());
+}
+
+}  // namespace
+}  // namespace smb::cluster

@@ -1,0 +1,104 @@
+#include "cluster/element_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/schema.h"
+
+namespace smb::cluster {
+namespace {
+
+schema::SchemaRepository MakeRepo() {
+  schema::SchemaRepository repo;
+  {
+    schema::Schema s("orders");
+    auto root = s.AddRoot("order").value();
+    s.AddChild(root, "orderId").value();
+    s.AddChild(root, "orderDate").value();
+    s.AddChild(root, "customer").value();
+    repo.Add(std::move(s)).value();
+  }
+  {
+    schema::Schema s("people");
+    auto root = s.AddRoot("person").value();
+    s.AddChild(root, "customerName").value();
+    s.AddChild(root, "orderCount").value();
+    repo.Add(std::move(s)).value();
+  }
+  return repo;
+}
+
+TEST(ElementClusteringTest, BuildsAndCoversAllElements) {
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(17);
+  ElementClusteringOptions options;
+  options.num_clusters = 3;
+  auto clustering = ElementClustering::Build(repo, options, &rng);
+  ASSERT_TRUE(clustering.ok()) << clustering.status();
+  EXPECT_EQ(clustering->cluster_count(), 3u);
+  size_t members = 0;
+  for (size_t c = 0; c < clustering->cluster_count(); ++c) {
+    members += clustering->ClusterMembers(static_cast<int>(c)).size();
+  }
+  EXPECT_EQ(members, repo.total_elements());
+}
+
+TEST(ElementClusteringTest, DefaultClusterCountIsSqrtN) {
+  schema::SchemaRepository repo = MakeRepo();  // 7 elements -> ceil(sqrt)=3
+  Rng rng(19);
+  ElementClusteringOptions options;
+  auto clustering = ElementClustering::Build(repo, options, &rng);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->cluster_count(), 3u);
+}
+
+TEST(ElementClusteringTest, TopClustersRankedBySimilarity) {
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(23);
+  ElementClusteringOptions options;
+  options.num_clusters = 4;
+  auto clustering = ElementClustering::Build(repo, options, &rng);
+  ASSERT_TRUE(clustering.ok());
+  auto top = clustering->TopClustersFor("orderId", "order", 2);
+  ASSERT_EQ(top.size(), 2u);
+  // The top cluster should contain an element with 'order' in its name.
+  bool found_orderish = false;
+  for (const auto& ref : clustering->ClusterMembers(top[0])) {
+    if (repo.Resolve(ref).name.find("order") != std::string::npos) {
+      found_orderish = true;
+    }
+  }
+  EXPECT_TRUE(found_orderish);
+}
+
+TEST(ElementClusteringTest, TopMClampedToClusterCount) {
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(29);
+  ElementClusteringOptions options;
+  options.num_clusters = 2;
+  auto clustering = ElementClustering::Build(repo, options, &rng);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->TopClustersFor("x", "", 10).size(), 2u);
+  EXPECT_TRUE(clustering->TopClustersFor("x", "", 0).empty());
+}
+
+TEST(ElementClusteringTest, AgglomerativePathWorks) {
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(31);
+  ElementClusteringOptions options;
+  options.algorithm = ClusterAlgorithm::kAgglomerative;
+  options.num_clusters = 3;
+  auto clustering = ElementClustering::Build(repo, options, &rng);
+  ASSERT_TRUE(clustering.ok()) << clustering.status();
+  EXPECT_EQ(clustering->cluster_count(), 3u);
+}
+
+TEST(ElementClusteringTest, EmptyRepositoryRejected) {
+  schema::SchemaRepository repo;
+  Rng rng(37);
+  auto clustering =
+      ElementClustering::Build(repo, ElementClusteringOptions{}, &rng);
+  EXPECT_FALSE(clustering.ok());
+}
+
+}  // namespace
+}  // namespace smb::cluster

@@ -1,0 +1,85 @@
+#include "cluster/feature.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smb::cluster {
+namespace {
+
+TEST(FeaturizerTest, ProducesUnitVectors) {
+  ElementFeaturizer featurizer;
+  FeatureVector v = featurizer.Featurize("customer");
+  ASSERT_EQ(v.size(), 64u);
+  double norm = 0;
+  for (double x : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(FeaturizerTest, EmptyNameGivesZeroVector) {
+  ElementFeaturizer featurizer;
+  FeatureVector v = featurizer.Featurize("");
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(FeaturizerTest, IdenticalNamesIdenticalVectors) {
+  ElementFeaturizer featurizer;
+  EXPECT_EQ(featurizer.Featurize("price"), featurizer.Featurize("price"));
+  // Case folding on by default.
+  EXPECT_EQ(featurizer.Featurize("Price"), featurizer.Featurize("price"));
+}
+
+TEST(FeaturizerTest, SimilarNamesCloserThanDissimilar) {
+  ElementFeaturizer featurizer;
+  FeatureVector quantity = featurizer.Featurize("quantity");
+  FeatureVector quantiti = featurizer.Featurize("quantiti");
+  FeatureVector author = featurizer.Featurize("author");
+  EXPECT_GT(CosineSimilarity(quantity, quantiti),
+            CosineSimilarity(quantity, author));
+}
+
+TEST(FeaturizerTest, ParentContextShiftsVector) {
+  FeaturizerOptions with_parent;
+  with_parent.parent_weight = 0.5;
+  ElementFeaturizer featurizer(with_parent);
+  FeatureVector under_book = featurizer.Featurize("title", "book");
+  FeatureVector under_invoice = featurizer.Featurize("title", "invoice");
+  EXPECT_LT(CosineSimilarity(under_book, under_invoice), 1.0 - 1e-6);
+}
+
+TEST(FeaturizerTest, ZeroParentWeightIgnoresParent) {
+  FeaturizerOptions options;
+  options.parent_weight = 0.0;
+  ElementFeaturizer featurizer(options);
+  EXPECT_EQ(featurizer.Featurize("title", "book"),
+            featurizer.Featurize("title", "zzz"));
+}
+
+TEST(FeatureMathTest, L2Distance) {
+  FeatureVector a = {1.0, 0.0};
+  FeatureVector b = {0.0, 1.0};
+  EXPECT_NEAR(L2Distance(a, b), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(L2Distance(a, a), 0.0);
+}
+
+TEST(FeatureMathTest, CosineSimilarity) {
+  FeatureVector a = {1.0, 0.0};
+  FeatureVector b = {0.0, 1.0};
+  FeatureVector zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+TEST(FeatureMathTest, L2NormalizeZeroSafe) {
+  FeatureVector zero = {0.0, 0.0};
+  L2Normalize(&zero);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+  FeatureVector v = {3.0, 4.0};
+  L2Normalize(&v);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace smb::cluster

@@ -1,0 +1,104 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::cluster {
+namespace {
+
+std::vector<FeatureVector> TwoBlobs() {
+  // Two well-separated 2-D blobs.
+  std::vector<FeatureVector> points;
+  for (double dx : {0.0, 0.1, -0.1, 0.05}) {
+    points.push_back({0.0 + dx, 0.0});
+    points.push_back({10.0 + dx, 10.0});
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(3);
+  KMeansOptions options;
+  options.k = 2;
+  auto result = KMeans(TwoBlobs(), options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // All points near (0,0) share a label distinct from those near (10,10).
+  auto points = TwoBlobs();
+  int label_low = result->assignment[0];
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i][0] < 5.0) {
+      EXPECT_EQ(result->assignment[i], label_low);
+    } else {
+      EXPECT_NE(result->assignment[i], label_low);
+    }
+  }
+  EXPECT_LT(result->inertia, 0.2);
+}
+
+TEST(KMeansTest, KOneGroupsEverything) {
+  Rng rng(5);
+  KMeansOptions options;
+  options.k = 1;
+  auto result = KMeans(TwoBlobs(), options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (int a : result->assignment) EXPECT_EQ(a, 0);
+  EXPECT_EQ(result->centroids.size(), 1u);
+}
+
+TEST(KMeansTest, KGreaterThanNClampsToN) {
+  Rng rng(7);
+  std::vector<FeatureVector> points = {{0.0}, {1.0}, {2.0}};
+  KMeansOptions options;
+  options.k = 10;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 3u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  KMeansOptions options;
+  options.k = 2;
+  Rng rng1(42);
+  Rng rng2(42);
+  auto r1 = KMeans(TwoBlobs(), options, &rng1);
+  auto r2 = KMeans(TwoBlobs(), options, &rng2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->assignment, r2->assignment);
+}
+
+TEST(KMeansTest, RejectsBadInputs) {
+  Rng rng(1);
+  KMeansOptions options;
+  EXPECT_FALSE(KMeans({}, options, &rng).ok());
+  options.k = 0;
+  EXPECT_FALSE(KMeans({{1.0}}, options, &rng).ok());
+  options.k = 1;
+  EXPECT_FALSE(KMeans({{1.0}}, options, nullptr).ok());
+  EXPECT_FALSE(KMeans({{1.0, 2.0}, {1.0}}, options, &rng).ok());
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Rng rng(9);
+  std::vector<FeatureVector> points(6, FeatureVector{1.0, 1.0});
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, AssignmentIndicesInRange) {
+  Rng rng(11);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(TwoBlobs(), options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (int a : result->assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, static_cast<int>(result->centroids.size()));
+  }
+}
+
+}  // namespace
+}  // namespace smb::cluster

@@ -1,0 +1,90 @@
+#include "common/ascii_chart.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(AsciiChartTest, PlotsPointsWithGlyphs) {
+  ChartSeries s;
+  s.name = "curve";
+  s.glyph = 'o';
+  s.x = {0.0, 0.5, 1.0};
+  s.y = {0.0, 0.5, 1.0};
+  ChartOptions options;
+  std::ostringstream os;
+  RenderChart({s}, options, os);
+  std::string out = os.str();
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("o=curve"), std::string::npos);
+}
+
+TEST(AsciiChartTest, OutOfRangePointsAreSkipped) {
+  ChartSeries s;
+  s.name = "oob";
+  s.glyph = '#';
+  s.x = {2.0, -1.0};
+  s.y = {0.5, 0.5};
+  ChartOptions options;
+  options.draw_legend = false;  // the legend would echo the glyph
+  std::ostringstream os;
+  RenderChart({s}, options, os);
+  EXPECT_EQ(os.str().find('#'), std::string::npos);
+}
+
+TEST(AsciiChartTest, DegenerateAxisRange) {
+  ChartOptions options;
+  options.x_min = options.x_max = 0.5;
+  std::ostringstream os;
+  RenderChart({}, options, os);
+  EXPECT_NE(os.str().find("degenerate"), std::string::npos);
+}
+
+TEST(AsciiChartTest, AxisLabelsAppear) {
+  ChartOptions options;
+  options.x_label = "Recall";
+  options.y_label = "Precision";
+  std::ostringstream os;
+  RenderChart({}, options, os);
+  EXPECT_NE(os.str().find("Recall"), std::string::npos);
+  EXPECT_NE(os.str().find("Precision"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LegendCanBeDisabled) {
+  ChartSeries s;
+  s.name = "x";
+  s.x = {0.5};
+  s.y = {0.5};
+  ChartOptions options;
+  options.draw_legend = false;
+  std::ostringstream os;
+  RenderChart({s}, options, os);
+  EXPECT_EQ(os.str().find("legend:"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LaterSeriesOverwrite) {
+  ChartSeries a;
+  a.name = "a";
+  a.glyph = 'a';
+  a.x = {0.5};
+  a.y = {0.5};
+  ChartSeries b = a;
+  b.name = "b";
+  b.glyph = 'b';
+  std::ostringstream os;
+  RenderChart({a, b}, ChartOptions{}, os);
+  std::string out = os.str();
+  // Both occupy the same cell; the later glyph wins in the plot area.
+  // 'a' still appears in the legend.
+  size_t legend_pos = out.find("legend:");
+  ASSERT_NE(legend_pos, std::string::npos);
+  std::string plot = out.substr(0, legend_pos);
+  EXPECT_EQ(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smb

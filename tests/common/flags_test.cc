@@ -1,0 +1,82 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+CommandLine Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  auto cl = CommandLine::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(cl.ok()) << cl.status();
+  return std::move(cl).value();
+}
+
+TEST(FlagsTest, CommandAndPositionals) {
+  CommandLine cl = Parse({"match", "input.csv", "output.csv"});
+  EXPECT_EQ(cl.command(), "match");
+  EXPECT_EQ(cl.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  CommandLine cl = Parse({"run", "--out=/tmp/x", "--n=5"});
+  EXPECT_EQ(cl.Get("out"), "/tmp/x");
+  EXPECT_EQ(cl.GetUint("n", 0).value(), 5u);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  CommandLine cl = Parse({"run", "--out", "/tmp/x"});
+  EXPECT_EQ(cl.Get("out"), "/tmp/x");
+  EXPECT_TRUE(cl.positional().empty());
+}
+
+TEST(FlagsTest, ValuelessSwitch) {
+  CommandLine cl = Parse({"run", "--verbose", "--out=x"});
+  EXPECT_TRUE(cl.Has("verbose"));
+  EXPECT_EQ(cl.Get("verbose", "zz"), "");
+  EXPECT_FALSE(cl.Has("quiet"));
+}
+
+TEST(FlagsTest, SwitchFollowedByFlag) {
+  // "--a --b=1": a must not swallow "--b=1" as its value.
+  CommandLine cl = Parse({"run", "--a", "--b=1"});
+  EXPECT_TRUE(cl.Has("a"));
+  EXPECT_EQ(cl.Get("b"), "1");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  CommandLine cl = Parse({"run", "--", "--not-a-flag"});
+  EXPECT_FALSE(cl.Has("not-a-flag"));
+  EXPECT_EQ(cl.positional(), (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(FlagsTest, GetDouble) {
+  CommandLine cl = Parse({"run", "--x=0.25", "--bad=zz"});
+  EXPECT_DOUBLE_EQ(cl.GetDouble("x", 1.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(cl.GetDouble("absent", 1.5).value(), 1.5);
+  EXPECT_FALSE(cl.GetDouble("bad", 0).ok());
+}
+
+TEST(FlagsTest, GetUintRejectsNegativeAndFloat) {
+  CommandLine cl = Parse({"run", "--a=-3", "--b=1.5", "--c=7"});
+  EXPECT_FALSE(cl.GetUint("a", 0).ok());
+  EXPECT_FALSE(cl.GetUint("b", 0).ok());
+  EXPECT_EQ(cl.GetUint("c", 0).value(), 7u);
+  EXPECT_EQ(cl.GetUint("absent", 9).value(), 9u);
+}
+
+TEST(FlagsTest, EmptyArgvGivesEmptyCommand) {
+  CommandLine cl = Parse({});
+  EXPECT_EQ(cl.command(), "");
+  EXPECT_TRUE(cl.positional().empty());
+}
+
+TEST(FlagsTest, RejectsBareDoubleDashFlagName) {
+  const char* argv[] = {"prog", "--=x"};
+  auto cl = CommandLine::Parse(2, argv);
+  ASSERT_FALSE(cl.ok());
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,98 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ImplicitConversionFromValue) {
+  auto make = []() -> Result<std::string> { return std::string("hi"); };
+  EXPECT_EQ(make().value(), "hi");
+}
+
+TEST(ResultTest, ImplicitConversionFromStatus) {
+  auto make = []() -> Result<std::string> {
+    return Status::Internal("bad");
+  };
+  EXPECT_FALSE(make().ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, CopySemantics) {
+  Result<std::vector<int>> a(std::vector<int>{1, 2, 3});
+  Result<std::vector<int>> b = a;
+  EXPECT_EQ(a.value(), b.value());
+  Result<std::vector<int>> c(Status::Internal("x"));
+  c = a;
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.value().size(), 3u);
+}
+
+TEST(ResultTest, MoveSemantics) {
+  Result<std::string> a(std::string(100, 'x'));
+  Result<std::string> b = std::move(a);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().size(), 100u);
+}
+
+TEST(ResultTest, AssignErrorOverValue) {
+  Result<int> r(3);
+  r = Result<int>(Status::IOError("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> good(5);
+  Result<int> bad(Status::Internal("no"));
+  EXPECT_EQ(good.value_or(9), 5);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  SMB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(DoubleIt(4).value(), 8);
+  EXPECT_EQ(DoubleIt(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,188 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng r(0);
+  EXPECT_NE(r.Next(), r.Next());
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng r(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.UniformInt(3, 3), 3);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng r(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformDoubleCustomRange) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    double v = r.UniformDouble(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+    EXPECT_FALSE(r.Bernoulli(-0.5));
+    EXPECT_TRUE(r.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(29);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = r.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng r(31);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng r(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  r.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng r(41);
+  std::vector<int> empty;
+  r.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  r.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng r(43);
+  auto sample = r.SampleWithoutReplacement(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKTooBig) {
+  Rng r(47);
+  auto sample = r.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementZero) {
+  Rng r(53);
+  EXPECT_TRUE(r.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_TRUE(r.SampleWithoutReplacement(0, 0).empty());
+}
+
+TEST(RngTest, SampleIsUnbiased) {
+  // Each index of [0, 10) should appear in roughly half of k=5 samples.
+  Rng r(59);
+  std::vector<int> counts(10, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t idx : r.SampleWithoutReplacement(10, 5)) ++counts[idx];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.05);
+  }
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace smb

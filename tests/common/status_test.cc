@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("b").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("c").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("d").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ParseError("e").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IOError("f").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("g").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("h").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::NotFound("b").message(), "b");
+  EXPECT_FALSE(Status::NotFound("b").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad input").ToString(),
+            "INVALID_ARGUMENT: bad input");
+  EXPECT_EQ(Status::ParseError("x").ToString(), "PARSE_ERROR: x");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("key 'a'");
+  Status wrapped = s.WithContext("while loading schema");
+  EXPECT_EQ(wrapped.code(), StatusCode::kNotFound);
+  EXPECT_EQ(wrapped.message(), "while loading schema: key 'a'");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.WithContext("ctx").ok());
+  EXPECT_EQ(ok.WithContext("ctx").message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::IOError("disk gone");
+  EXPECT_EQ(os.str(), "IO_ERROR: disk gone");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SMB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    SMB_RETURN_IF_ERROR(succeeds());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+}
+
+}  // namespace
+}  // namespace smb

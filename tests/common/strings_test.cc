@@ -1,0 +1,100 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC9_x"), "abc9_x");
+  EXPECT_EQ(ToUpper("AbC9_x"), "ABC9_X");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-ws"), "no-ws");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("schema.xsd", "schema"));
+  EXPECT_FALSE(StartsWith("s", "schema"));
+  EXPECT_TRUE(EndsWith("schema.xsd", ".xsd"));
+  EXPECT_FALSE(EndsWith("xsd", ".xsd"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, SplitIdentifierCamelCase) {
+  EXPECT_EQ(SplitIdentifier("purchaseOrder"),
+            (std::vector<std::string>{"purchase", "order"}));
+  EXPECT_EQ(SplitIdentifier("PurchaseOrder"),
+            (std::vector<std::string>{"purchase", "order"}));
+}
+
+TEST(StringsTest, SplitIdentifierSnakeAndKebab) {
+  EXPECT_EQ(SplitIdentifier("ship_to_address"),
+            (std::vector<std::string>{"ship", "to", "address"}));
+  EXPECT_EQ(SplitIdentifier("ship-to-address"),
+            (std::vector<std::string>{"ship", "to", "address"}));
+  EXPECT_EQ(SplitIdentifier("a.b.c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitIdentifierDigits) {
+  EXPECT_EQ(SplitIdentifier("purchaseOrder_ID2"),
+            (std::vector<std::string>{"purchase", "order", "id", "2"}));
+  EXPECT_EQ(SplitIdentifier("line2item"),
+            (std::vector<std::string>{"line", "2", "item"}));
+}
+
+TEST(StringsTest, SplitIdentifierAcronyms) {
+  EXPECT_EQ(SplitIdentifier("XMLSchema"),
+            (std::vector<std::string>{"xml", "schema"}));
+  EXPECT_EQ(SplitIdentifier("parseXML"),
+            (std::vector<std::string>{"parse", "xml"}));
+}
+
+TEST(StringsTest, SplitIdentifierEdgeCases) {
+  EXPECT_TRUE(SplitIdentifier("").empty());
+  EXPECT_EQ(SplitIdentifier("x"), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(SplitIdentifier("___"), (std::vector<std::string>{}));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3.0), "0.33");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "/"), "a/b/c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+  EXPECT_EQ(ReplaceAll("", "a", "b"), "");
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,76 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name    v"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(TextTableTest, PadsMissingAndDropsExtraCells) {
+  TextTable table({"a", "b"});
+  table.AddRow({"only"});
+  table.AddRow({"x", "y", "dropped"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str().find("dropped"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatsPrecision) {
+  TextTable table({"p", "r"});
+  table.AddNumericRow({0.5, 1.0 / 3.0}, 3);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("0.500"), std::string::npos);
+  EXPECT_NE(os.str().find("0.333"), std::string::npos);
+}
+
+TEST(TextTableTest, IndentApplies) {
+  TextTable table({"h"});
+  table.AddRow({"v"});
+  std::ostringstream os;
+  table.Print(os, 4);
+  EXPECT_EQ(os.str().substr(0, 4), "    ");
+}
+
+TEST(TextTableTest, CsvEscaping) {
+  TextTable table({"a", "b"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"with\"quote", "with\nnewline"});
+  std::ostringstream os;
+  table.WriteCsv(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\nnewline\""), std::string::npos);
+  EXPECT_NE(out.find("plain"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.5");
+  EXPECT_EQ(FormatDouble(-0.0), "0");
+  EXPECT_EQ(FormatDouble(0.333333333, 4), "0.3333");
+}
+
+TEST(FormatDoubleTest, HandlesNan) {
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,60 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+match::Mapping M(int32_t schema, std::vector<schema::NodeId> targets,
+                 double delta) {
+  return match::Mapping{schema, std::move(targets), delta};
+}
+
+TEST(GroundTruthTest, AddAndContains) {
+  GroundTruth truth;
+  EXPECT_TRUE(truth.empty());
+  truth.AddCorrect(match::Mapping::Key{0, {1, 2}});
+  truth.AddCorrect(match::Mapping::Key{1, {3}});
+  EXPECT_EQ(truth.size(), 2u);
+  EXPECT_TRUE(truth.Contains(match::Mapping::Key{0, {1, 2}}));
+  EXPECT_TRUE(truth.Contains(M(1, {3}, 0.7)));  // delta irrelevant
+  EXPECT_FALSE(truth.Contains(match::Mapping::Key{0, {2, 1}}));
+}
+
+TEST(GroundTruthTest, DuplicateInsertIgnored) {
+  GroundTruth truth;
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  EXPECT_EQ(truth.size(), 1u);
+}
+
+TEST(GroundTruthTest, CountTruePositivesAtThreshold) {
+  GroundTruth truth;
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  truth.AddCorrect(match::Mapping::Key{0, {3}});
+
+  match::AnswerSet answers;
+  answers.Add(M(0, {1}, 0.1));  // correct
+  answers.Add(M(0, {2}, 0.2));  // incorrect
+  answers.Add(M(0, {3}, 0.3));  // correct
+  answers.Finalize();
+
+  EXPECT_EQ(truth.CountTruePositives(answers, 0.05), 0u);
+  EXPECT_EQ(truth.CountTruePositives(answers, 0.1), 1u);
+  EXPECT_EQ(truth.CountTruePositives(answers, 0.25), 1u);
+  EXPECT_EQ(truth.CountTruePositives(answers, 0.3), 2u);
+  EXPECT_EQ(truth.CountTruePositives(answers), 2u);
+}
+
+TEST(GroundTruthTest, Merge) {
+  GroundTruth a;
+  a.AddCorrect(match::Mapping::Key{0, {1}});
+  GroundTruth b;
+  b.AddCorrect(match::Mapping::Key{0, {1}});
+  b.AddCorrect(match::Mapping::Key{1, {2}});
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace smb::eval

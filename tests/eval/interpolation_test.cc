@@ -1,0 +1,91 @@
+#include "eval/interpolation.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+Result<PrCurve> MakeCurve(std::vector<std::pair<double, double>> pr,
+                          size_t h) {
+  // Build points from (recall, precision) pairs; counts derived.
+  std::vector<PrPoint> points;
+  double threshold = 0.0;
+  for (auto [r, p] : pr) {
+    threshold += 0.1;
+    PrPoint point;
+    point.threshold = threshold;
+    point.true_positives = static_cast<size_t>(r * static_cast<double>(h) + 0.5);
+    point.answers = p > 0.0
+        ? static_cast<size_t>(
+              static_cast<double>(point.true_positives) / p + 0.5)
+        : point.true_positives;
+    point.precision = point.answers > 0
+        ? static_cast<double>(point.true_positives) /
+              static_cast<double>(point.answers)
+        : 1.0;
+    point.recall = static_cast<double>(point.true_positives) /
+                   static_cast<double>(h);
+    points.push_back(point);
+  }
+  return PrCurve::FromPoints(std::move(points), h);
+}
+
+TEST(InterpolationTest, StandardMaxToTheRight) {
+  // Declining curve: P=1 at R=0.1, P=0.5 at R=0.5, P=0.25 at R=1.
+  auto curve = MakeCurve({{0.1, 1.0}, {0.5, 0.5}, {1.0, 0.25}}, 20);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  auto eleven = InterpolateElevenPoint(*curve);
+  ASSERT_TRUE(eleven.ok()) << eleven.status();
+  EXPECT_DOUBLE_EQ(eleven->precision[0], 1.0);   // R=0
+  EXPECT_DOUBLE_EQ(eleven->precision[1], 1.0);   // R=0.1
+  EXPECT_DOUBLE_EQ(eleven->precision[2], 0.5);   // R=0.2 -> best at R>=0.2
+  EXPECT_DOUBLE_EQ(eleven->precision[5], 0.5);   // R=0.5
+  EXPECT_DOUBLE_EQ(eleven->precision[6], 0.25);  // R=0.6
+  EXPECT_DOUBLE_EQ(eleven->precision[10], 0.25);
+}
+
+TEST(InterpolationTest, LevelsBeyondMaxRecallAreZero) {
+  auto curve = MakeCurve({{0.1, 1.0}, {0.3, 0.5}}, 20);
+  ASSERT_TRUE(curve.ok());
+  auto eleven = InterpolateElevenPoint(*curve);
+  ASSERT_TRUE(eleven.ok());
+  EXPECT_DOUBLE_EQ(eleven->precision[4], 0.0);
+  EXPECT_DOUBLE_EQ(eleven->precision[10], 0.0);
+}
+
+TEST(InterpolationTest, NonMonotonePrecisionUsesMax) {
+  // Precision can go up along a measured curve (§4.2 / [10] appendix);
+  // interpolation takes the max to the right. Values chosen so the
+  // count-based helper is exact: tp/answers = 2/5, 4/5, 8/25.
+  auto curve = MakeCurve({{0.2, 0.4}, {0.4, 0.8}, {0.8, 0.32}}, 10);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  auto eleven = InterpolateElevenPoint(*curve);
+  ASSERT_TRUE(eleven.ok());
+  EXPECT_DOUBLE_EQ(eleven->precision[1], 0.8);   // R=0.1: max to the right
+  EXPECT_DOUBLE_EQ(eleven->precision[4], 0.8);   // R=0.4
+  EXPECT_DOUBLE_EQ(eleven->precision[5], 0.32);  // R=0.5
+}
+
+TEST(InterpolationTest, InterpolatedPrecisionAtArbitraryRecall) {
+  auto curve = MakeCurve({{0.1, 1.0}, {0.5, 0.5}}, 20);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(*curve, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(*curve, 0.3), 0.5);
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(*curve, 0.9), 0.0);
+}
+
+TEST(InterpolationTest, MeanPrecisionSummary) {
+  ElevenPointCurve c;
+  for (size_t i = 0; i < ElevenPointCurve::kLevels; ++i) c.precision[i] = 0.5;
+  EXPECT_DOUBLE_EQ(c.MeanPrecision(), 0.5);
+  EXPECT_DOUBLE_EQ(ElevenPointCurve::RecallLevel(0), 0.0);
+  EXPECT_DOUBLE_EQ(ElevenPointCurve::RecallLevel(10), 1.0);
+}
+
+TEST(InterpolationTest, RejectsEmptyCurve) {
+  PrCurve empty;
+  EXPECT_FALSE(InterpolateElevenPoint(empty).ok());
+}
+
+}  // namespace
+}  // namespace smb::eval

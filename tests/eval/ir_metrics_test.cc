@@ -1,0 +1,130 @@
+#include "eval/ir_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+match::AnswerSet RankedAnswers(const std::vector<int>& targets) {
+  match::AnswerSet set;
+  double delta = 0.0;
+  for (int t : targets) {
+    delta += 0.01;
+    set.Add(match::Mapping{0, {static_cast<schema::NodeId>(t)}, delta});
+  }
+  set.Finalize();
+  return set;
+}
+
+GroundTruth TruthOf(const std::vector<int>& targets) {
+  GroundTruth truth;
+  for (int t : targets) {
+    truth.AddCorrect(match::Mapping::Key{0, {static_cast<schema::NodeId>(t)}});
+  }
+  return truth;
+}
+
+TEST(AveragePrecisionTest, TextbookExample) {
+  // Ranking: correct, wrong, correct, wrong. H = {1, 3, 99} (one missed).
+  match::AnswerSet answers = RankedAnswers({1, 2, 3, 4});
+  GroundTruth truth = TruthOf({1, 3, 99});
+  // AP = (1/1 + 2/3 + 0) / 3.
+  EXPECT_NEAR(AveragePrecision(answers, truth), (1.0 + 2.0 / 3.0) / 3.0,
+              1e-12);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  match::AnswerSet answers = RankedAnswers({1, 2, 3});
+  GroundTruth truth = TruthOf({1, 2, 3});
+  EXPECT_DOUBLE_EQ(AveragePrecision(answers, truth), 1.0);
+}
+
+TEST(AveragePrecisionTest, EmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision(RankedAnswers({1}), GroundTruth()), 0.0);
+}
+
+TEST(AveragePrecisionTest, NothingRetrievedIsZero) {
+  match::AnswerSet empty;
+  empty.Finalize();
+  EXPECT_DOUBLE_EQ(AveragePrecision(empty, TruthOf({1})), 0.0);
+}
+
+TEST(PrecisionAtNTest, PrefixCounting) {
+  match::AnswerSet answers = RankedAnswers({1, 2, 3, 4});
+  GroundTruth truth = TruthOf({1, 3});
+  EXPECT_DOUBLE_EQ(PrecisionAtN(answers, truth, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(answers, truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(answers, truth, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(answers, truth, 0), 1.0);
+  // N beyond the answer list clamps.
+  EXPECT_DOUBLE_EQ(PrecisionAtN(answers, truth, 100), 0.5);
+}
+
+TEST(RPrecisionTest, PrecisionAtTruthSize) {
+  match::AnswerSet answers = RankedAnswers({1, 2, 3, 4});
+  GroundTruth truth = TruthOf({1, 3});  // |H| = 2 -> precision@2
+  EXPECT_DOUBLE_EQ(RPrecision(answers, truth), 0.5);
+  EXPECT_DOUBLE_EQ(RPrecision(answers, GroundTruth()), 1.0);
+}
+
+TEST(BreakEvenTest, FindsCrossing) {
+  // H = {1,2}; ranking: 1 (P=1,R=.5), 2 (P=1,R=1), 3 (P=2/3,R=1).
+  match::AnswerSet answers = RankedAnswers({1, 2, 3});
+  GroundTruth truth = TruthOf({1, 2});
+  // P >= R up to rank 2 where P = R = 1.
+  EXPECT_DOUBLE_EQ(BreakEvenPoint(answers, truth), 1.0);
+}
+
+TEST(BreakEvenTest, LowPrecisionRanking) {
+  // H = {3}; ranking: 1 (P=0,R=0), 2 (P=0,R=0), 3 (P=1/3, R=1).
+  match::AnswerSet answers = RankedAnswers({1, 2, 3});
+  GroundTruth truth = TruthOf({3});
+  // At rank 3: P = 1/3 < R = 1 and earlier correct = 0 -> break-even 0.
+  EXPECT_DOUBLE_EQ(BreakEvenPoint(answers, truth), 0.0);
+}
+
+TEST(BreakEvenTest, EmptyTruth) {
+  EXPECT_DOUBLE_EQ(BreakEvenPoint(RankedAnswers({1}), GroundTruth()), 0.0);
+}
+
+TEST(BPrefTest, PenalizesJudgedWrongAboveCorrect) {
+  // Ranking: 10 (wrong), 1 (correct), 11 (wrong), 2 (correct).
+  // H = {1, 2}, W = {10, 11}; denom = min(2, 2) = 2.
+  match::AnswerSet answers = RankedAnswers({10, 1, 11, 2});
+  GroundTruth truth = TruthOf({1, 2});
+  GroundTruth wrong = TruthOf({10, 11});
+  // answer 1: 1 wrong above -> 1 - 1/2 = 0.5; answer 2: 2 above -> 0.
+  EXPECT_DOUBLE_EQ(BPref(answers, truth, wrong), (0.5 + 0.0) / 2.0);
+}
+
+TEST(BPrefTest, UnjudgedAnswersAreIgnored) {
+  // Same as above but the "wrong" answers are unjudged: bpref sees a clean
+  // ranking of the two correct answers.
+  match::AnswerSet answers = RankedAnswers({10, 1, 11, 2});
+  GroundTruth truth = TruthOf({1, 2});
+  GroundTruth no_judged_wrong;
+  EXPECT_DOUBLE_EQ(BPref(answers, truth, no_judged_wrong), 1.0);
+}
+
+TEST(BPrefTest, MissedCorrectAnswersLowerTheScore) {
+  match::AnswerSet answers = RankedAnswers({1});
+  GroundTruth truth = TruthOf({1, 2, 3});  // 2 and 3 never retrieved
+  GroundTruth wrong;
+  EXPECT_NEAR(BPref(answers, truth, wrong), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BPrefTest, EmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(BPref(RankedAnswers({1}), GroundTruth(), GroundTruth()),
+                   0.0);
+}
+
+TEST(BPrefTest, DenominatorCapsAtTruthSize) {
+  // |W| = 3 > |H| = 1: denom = 1, so a single wrong above caps the loss.
+  match::AnswerSet answers = RankedAnswers({10, 11, 12, 1});
+  GroundTruth truth = TruthOf({1});
+  GroundTruth wrong = TruthOf({10, 11, 12});
+  EXPECT_DOUBLE_EQ(BPref(answers, truth, wrong), 0.0);
+}
+
+}  // namespace
+}  // namespace smb::eval

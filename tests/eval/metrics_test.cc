@@ -1,0 +1,85 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+TEST(MetricsTest, PaperFigure2Definitions) {
+  // P = |T|/|A|, R = |T|/|H| on hand-counted values.
+  ConfusionCounts counts{40, 15, 60};
+  EXPECT_DOUBLE_EQ(Precision(counts), 15.0 / 40.0);
+  EXPECT_DOUBLE_EQ(Recall(counts), 15.0 / 60.0);
+}
+
+TEST(MetricsTest, EmptyAnswerSetConventions) {
+  ConfusionCounts counts{0, 0, 10};
+  EXPECT_DOUBLE_EQ(Precision(counts), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(counts), 0.0);
+}
+
+TEST(MetricsTest, EmptyTruthConvention) {
+  ConfusionCounts counts{5, 0, 0};
+  EXPECT_DOUBLE_EQ(Recall(counts), 1.0);
+}
+
+TEST(MetricsTest, F1Score) {
+  ConfusionCounts counts{10, 5, 10};  // P=0.5, R=0.5
+  EXPECT_DOUBLE_EQ(F1Score(counts), 0.5);
+  ConfusionCounts zero{10, 0, 10};  // P=0, R=0
+  EXPECT_DOUBLE_EQ(F1Score(zero), 0.0);
+  ConfusionCounts perfect{10, 10, 10};
+  EXPECT_DOUBLE_EQ(F1Score(perfect), 1.0);
+}
+
+TEST(MetricsTest, EvaluateCountsAtThreshold) {
+  GroundTruth truth;
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  truth.AddCorrect(match::Mapping::Key{0, {9}});  // never retrieved
+
+  match::AnswerSet answers;
+  answers.Add(match::Mapping{0, {1}, 0.1});
+  answers.Add(match::Mapping{0, {2}, 0.2});
+  answers.Finalize();
+
+  ConfusionCounts at_01 = Evaluate(answers, truth, 0.1);
+  EXPECT_EQ(at_01.answers, 1u);
+  EXPECT_EQ(at_01.true_positives, 1u);
+  EXPECT_EQ(at_01.total_correct, 2u);
+  EXPECT_DOUBLE_EQ(Precision(at_01), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(at_01), 0.5);
+
+  ConfusionCounts all = EvaluateAll(answers, truth);
+  EXPECT_EQ(all.answers, 2u);
+  EXPECT_EQ(all.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(Precision(all), 0.5);
+}
+
+TEST(MetricsTest, NonExhaustiveSystemVennSemantics) {
+  // Figure 4: S2's answers are a subset of S1's; T2 = H ∩ A2.
+  GroundTruth truth;
+  truth.AddCorrect(match::Mapping::Key{0, {1}});
+  truth.AddCorrect(match::Mapping::Key{0, {2}});
+  truth.AddCorrect(match::Mapping::Key{0, {3}});
+
+  match::AnswerSet s1;
+  for (schema::NodeId t : {1, 2, 3, 4, 5}) {
+    s1.Add(match::Mapping{0, {t}, 0.1 * t});
+  }
+  s1.Finalize();
+  match::AnswerSet s2;  // misses answers 2 and 4
+  for (schema::NodeId t : {1, 3, 5}) {
+    s2.Add(match::Mapping{0, {t}, 0.1 * t});
+  }
+  s2.Finalize();
+
+  ConfusionCounts c1 = EvaluateAll(s1, truth);
+  ConfusionCounts c2 = EvaluateAll(s2, truth);
+  EXPECT_EQ(c1.true_positives, 3u);
+  EXPECT_EQ(c2.true_positives, 2u);
+  EXPECT_LE(c2.true_positives, c1.true_positives);
+  EXPECT_LE(c2.answers, c1.answers);
+}
+
+}  // namespace
+}  // namespace smb::eval

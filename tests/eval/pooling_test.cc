@@ -1,0 +1,64 @@
+#include "eval/pooling.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+match::AnswerSet MakeSystem(std::vector<int> targets) {
+  match::AnswerSet set;
+  double delta = 0.0;
+  for (int t : targets) {
+    delta += 0.01;
+    set.Add(match::Mapping{0, {static_cast<schema::NodeId>(t)}, delta});
+  }
+  set.Finalize();
+  return set;
+}
+
+bool OddOracle(const match::Mapping& m) { return m.targets[0] % 2 == 1; }
+
+TEST(PoolingTest, JudgesUnionOfTopAnswers) {
+  match::AnswerSet a = MakeSystem({1, 2, 3});
+  match::AnswerSet b = MakeSystem({3, 4, 5});
+  PoolingOptions options;
+  options.pool_depth = 100;
+  auto truth = PoolJudgments({&a, &b}, OddOracle, options);
+  ASSERT_TRUE(truth.ok()) << truth.status();
+  // Pool = {1,2,3,4,5}; odd ones correct: {1,3,5}.
+  EXPECT_EQ(truth->size(), 3u);
+  EXPECT_TRUE(truth->Contains(match::Mapping::Key{0, {1}}));
+  EXPECT_TRUE(truth->Contains(match::Mapping::Key{0, {5}}));
+  EXPECT_FALSE(truth->Contains(match::Mapping::Key{0, {2}}));
+}
+
+TEST(PoolingTest, DepthLimitsJudgments) {
+  match::AnswerSet a = MakeSystem({1, 3, 5, 7, 9});
+  PoolingOptions options;
+  options.pool_depth = 2;
+  auto truth = PoolJudgments({&a}, OddOracle, options);
+  ASSERT_TRUE(truth.ok());
+  // Only the top-2 ({1, 3}) are judged; correct answers 5,7,9 are missed —
+  // exactly the incompleteness pooling risks.
+  EXPECT_EQ(truth->size(), 2u);
+  EXPECT_FALSE(truth->Contains(match::Mapping::Key{0, {9}}));
+}
+
+TEST(PoolingTest, PoolSizeDeduplicates) {
+  match::AnswerSet a = MakeSystem({1, 2, 3});
+  match::AnswerSet b = MakeSystem({2, 3, 4});
+  auto size = PoolSize({&a, &b});
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 4u);
+}
+
+TEST(PoolingTest, RejectsBadInputs) {
+  match::AnswerSet a = MakeSystem({1});
+  EXPECT_FALSE(PoolJudgments({}, OddOracle).ok());
+  EXPECT_FALSE(PoolJudgments({&a}, nullptr).ok());
+  EXPECT_FALSE(PoolJudgments({nullptr}, OddOracle).ok());
+  EXPECT_FALSE(PoolSize({}).ok());
+}
+
+}  // namespace
+}  // namespace smb::eval

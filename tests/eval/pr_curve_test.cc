@@ -1,0 +1,122 @@
+#include "eval/pr_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+match::AnswerSet MakeAnswers() {
+  // Ten answers at Δ = 0.1..1.0; odd targets are correct.
+  match::AnswerSet set;
+  for (int i = 1; i <= 10; ++i) {
+    set.Add(match::Mapping{0, {static_cast<schema::NodeId>(i)}, 0.1 * i});
+  }
+  set.Finalize();
+  return set;
+}
+
+GroundTruth MakeTruth() {
+  GroundTruth truth;
+  for (int t : {1, 3, 5, 7, 9}) {
+    truth.AddCorrect(match::Mapping::Key{0, {static_cast<schema::NodeId>(t)}});
+  }
+  // One correct mapping no system retrieves: |H| = 6.
+  truth.AddCorrect(match::Mapping::Key{9, {99}});
+  return truth;
+}
+
+TEST(PrCurveTest, MeasuresCountsAndRates) {
+  auto curve = PrCurve::Measure(MakeAnswers(), MakeTruth(), {0.25, 0.55, 1.0});
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  ASSERT_EQ(curve->size(), 3u);
+  EXPECT_EQ(curve->total_correct(), 6u);
+
+  const PrPoint& p0 = curve->points()[0];  // Δ≤0.25: answers 1,2; correct {1}
+  EXPECT_EQ(p0.answers, 2u);
+  EXPECT_EQ(p0.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(p0.precision, 0.5);
+  EXPECT_DOUBLE_EQ(p0.recall, 1.0 / 6.0);
+
+  const PrPoint& p1 = curve->points()[1];  // Δ≤0.55: 1..5; correct {1,3,5}
+  EXPECT_EQ(p1.answers, 5u);
+  EXPECT_EQ(p1.true_positives, 3u);
+
+  const PrPoint& p2 = curve->points()[2];  // all ten; correct {1,3,5,7,9}
+  EXPECT_EQ(p2.answers, 10u);
+  EXPECT_EQ(p2.true_positives, 5u);
+  EXPECT_DOUBLE_EQ(p2.recall, 5.0 / 6.0);
+}
+
+TEST(PrCurveTest, PooledSumsAcrossProblems) {
+  match::AnswerSet a = MakeAnswers();
+  GroundTruth t = MakeTruth();
+  auto pooled = PrCurve::MeasurePooled({&a, &a}, {&t, &t}, {1.0});
+  ASSERT_TRUE(pooled.ok()) << pooled.status();
+  EXPECT_EQ(pooled->total_correct(), 12u);
+  EXPECT_EQ(pooled->points()[0].answers, 20u);
+  EXPECT_EQ(pooled->points()[0].true_positives, 10u);
+}
+
+TEST(PrCurveTest, RejectsEmptyThresholds) {
+  EXPECT_FALSE(PrCurve::Measure(MakeAnswers(), MakeTruth(), {}).ok());
+}
+
+TEST(PrCurveTest, RejectsNonIncreasingThresholds) {
+  EXPECT_FALSE(PrCurve::Measure(MakeAnswers(), MakeTruth(), {0.5, 0.5}).ok());
+  EXPECT_FALSE(PrCurve::Measure(MakeAnswers(), MakeTruth(), {0.5, 0.2}).ok());
+  EXPECT_FALSE(PrCurve::Measure(MakeAnswers(), MakeTruth(), {-0.1, 0.5}).ok());
+}
+
+TEST(PrCurveTest, RejectsEmptyTruth) {
+  GroundTruth empty;
+  auto curve = PrCurve::Measure(MakeAnswers(), empty, {0.5});
+  ASSERT_FALSE(curve.ok());
+  EXPECT_NE(curve.status().message().find("H is empty"), std::string::npos);
+}
+
+TEST(PrCurveTest, RejectsMismatchedPooledInputs) {
+  match::AnswerSet a = MakeAnswers();
+  GroundTruth t = MakeTruth();
+  EXPECT_FALSE(PrCurve::MeasurePooled({&a}, {&t, &t}, {0.5}).ok());
+  EXPECT_FALSE(PrCurve::MeasurePooled({}, {}, {0.5}).ok());
+  EXPECT_FALSE(PrCurve::MeasurePooled({nullptr}, {&t}, {0.5}).ok());
+}
+
+TEST(PrCurveTest, FromPointsValidates) {
+  std::vector<PrPoint> points(2);
+  points[0] = {0.1, 4, 2, 0.5, 0.2};
+  points[1] = {0.2, 8, 4, 0.5, 0.4};
+  auto curve = PrCurve::FromPoints(points, 10);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+
+  // Broken: counts shrink with threshold.
+  points[1] = {0.2, 3, 2, 2.0 / 3.0, 0.2};
+  EXPECT_FALSE(PrCurve::FromPoints(points, 10).ok());
+
+  // Broken: tp > answers.
+  points[1] = {0.2, 8, 9, 9.0 / 8.0, 0.9};
+  EXPECT_FALSE(PrCurve::FromPoints(points, 10).ok());
+
+  // Broken: P/R inconsistent with counts.
+  points[1] = {0.2, 8, 4, 0.9, 0.4};
+  EXPECT_FALSE(PrCurve::FromPoints(points, 10).ok());
+}
+
+TEST(PrCurveTest, ValidateCatchesNonMonotoneTp) {
+  std::vector<PrPoint> points(2);
+  points[0] = {0.1, 4, 3, 0.75, 0.3};
+  points[1] = {0.2, 8, 2, 0.25, 0.2};
+  EXPECT_FALSE(PrCurve::FromPoints(points, 10).ok());
+}
+
+TEST(UniformThresholdsTest, GeneratesInclusiveGrid) {
+  auto t = UniformThresholds(0.25, 0.05);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_NEAR(t.front(), 0.05, 1e-12);
+  EXPECT_NEAR(t.back(), 0.25, 1e-12);
+  EXPECT_TRUE(UniformThresholds(0.0, 0.1).empty());
+  EXPECT_TRUE(UniformThresholds(1.0, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace smb::eval

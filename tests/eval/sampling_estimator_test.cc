@@ -1,0 +1,112 @@
+#include "eval/sampling_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::eval {
+namespace {
+
+match::AnswerSet MakeAnswers(size_t n) {
+  match::AnswerSet set;
+  for (size_t i = 0; i < n; ++i) {
+    set.Add(match::Mapping{0, {static_cast<schema::NodeId>(i)},
+                           0.001 * static_cast<double>(i + 1)});
+  }
+  set.Finalize();
+  return set;
+}
+
+/// Oracle: targets divisible by 4 are correct (25% precision).
+bool QuarterOracle(const match::Mapping& m) { return m.targets[0] % 4 == 0; }
+
+TEST(SamplingEstimatorTest, FullBudgetIsExact) {
+  match::AnswerSet answers = MakeAnswers(100);
+  Rng rng(1);
+  auto estimate =
+      EstimatePrecisionBySampling(answers, QuarterOracle, 100, &rng);
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_EQ(estimate->sample_size, 100u);
+  EXPECT_EQ(estimate->sample_correct, 25u);
+  EXPECT_DOUBLE_EQ(estimate->precision, 0.25);
+  EXPECT_LE(estimate->ci_low, 0.25);
+  EXPECT_GE(estimate->ci_high, 0.25);
+}
+
+TEST(SamplingEstimatorTest, BudgetClampedToAnswerCount) {
+  match::AnswerSet answers = MakeAnswers(8);
+  Rng rng(2);
+  auto estimate =
+      EstimatePrecisionBySampling(answers, QuarterOracle, 100, &rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->sample_size, 8u);
+}
+
+TEST(SamplingEstimatorTest, EstimateNearTruthForModerateBudget) {
+  match::AnswerSet answers = MakeAnswers(2000);
+  Rng rng(3);
+  auto estimate =
+      EstimatePrecisionBySampling(answers, QuarterOracle, 400, &rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->precision, 0.25, 0.08);
+  // CI must contain the true value for this seed and be non-degenerate.
+  EXPECT_LE(estimate->ci_low, 0.25);
+  EXPECT_GE(estimate->ci_high, 0.25);
+  EXPECT_GT(estimate->ci_high, estimate->ci_low);
+}
+
+TEST(SamplingEstimatorTest, LargerBudgetNarrowerInterval) {
+  match::AnswerSet answers = MakeAnswers(4000);
+  Rng rng_small(5), rng_large(5);
+  auto small =
+      EstimatePrecisionBySampling(answers, QuarterOracle, 50, &rng_small)
+          .value();
+  auto large =
+      EstimatePrecisionBySampling(answers, QuarterOracle, 2000, &rng_large)
+          .value();
+  EXPECT_LT(large.ci_high - large.ci_low, small.ci_high - small.ci_low);
+}
+
+TEST(SamplingEstimatorTest, ThresholdVariantSamplesPrefixOnly) {
+  // Targets 0..9 at Δ ≤ 0.01; only those qualify at threshold 0.01.
+  match::AnswerSet answers = MakeAnswers(100);
+  Rng rng(7);
+  auto estimate = EstimatePrecisionBySampling(answers, QuarterOracle,
+                                              /*threshold=*/0.010, 100, &rng);
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_EQ(estimate->sample_size, answers.CountAtThreshold(0.010));
+}
+
+TEST(SamplingEstimatorTest, IntervalWithinUnitRange) {
+  match::AnswerSet answers = MakeAnswers(10);
+  Rng rng(11);
+  auto all_wrong = EstimatePrecisionBySampling(
+      answers, [](const match::Mapping&) { return false; }, 10, &rng);
+  ASSERT_TRUE(all_wrong.ok());
+  EXPECT_DOUBLE_EQ(all_wrong->precision, 0.0);
+  EXPECT_GE(all_wrong->ci_low, 0.0);
+  auto all_right = EstimatePrecisionBySampling(
+      answers, [](const match::Mapping&) { return true; }, 10, &rng);
+  ASSERT_TRUE(all_right.ok());
+  EXPECT_DOUBLE_EQ(all_right->precision, 1.0);
+  EXPECT_LE(all_right->ci_high, 1.0);
+}
+
+TEST(SamplingEstimatorTest, RejectsBadInputs) {
+  match::AnswerSet answers = MakeAnswers(10);
+  match::AnswerSet empty;
+  empty.Finalize();
+  Rng rng(13);
+  EXPECT_FALSE(
+      EstimatePrecisionBySampling(empty, QuarterOracle, 5, &rng).ok());
+  EXPECT_FALSE(
+      EstimatePrecisionBySampling(answers, QuarterOracle, 0, &rng).ok());
+  EXPECT_FALSE(
+      EstimatePrecisionBySampling(answers, nullptr, 5, &rng).ok());
+  EXPECT_FALSE(
+      EstimatePrecisionBySampling(answers, QuarterOracle, 5, nullptr).ok());
+  EXPECT_FALSE(
+      EstimatePrecisionBySampling(answers, QuarterOracle, 5, &rng, -1.0)
+          .ok());
+}
+
+}  // namespace
+}  // namespace smb::eval

@@ -1,0 +1,91 @@
+#include "eval/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "match/exhaustive_matcher.h"
+
+namespace smb::eval {
+namespace {
+
+std::vector<MatchingProblem> MakeProblems() {
+  std::vector<MatchingProblem> problems;
+  {
+    MatchingProblem p;
+    p.name = "order-query";
+    p.query = testing::MakeQuery();
+    // The exact copy in schema 0 is the judged correct mapping.
+    p.truth.AddCorrect(match::Mapping::Key{0, {1, 2, 3}});
+    problems.push_back(std::move(p));
+  }
+  {
+    MatchingProblem p;
+    p.name = "zoo-query";
+    schema::Schema q("q2");
+    auto root = q.AddRoot("zoo").value();
+    q.AddChild(root, "keeper").value();
+    p.query = std::move(q);
+    // Exact copy lives in schema 2 (root 0, keeper 4).
+    p.truth.AddCorrect(match::Mapping::Key{2, {0, 4}});
+    problems.push_back(std::move(p));
+  }
+  return problems;
+}
+
+TEST(WorkloadTest, RunsAllProblemsAndPools) {
+  schema::SchemaRepository repo = testing::MakeRepo();
+  match::MatchOptions options;
+  options.delta_threshold = 0.4;
+  match::ExhaustiveMatcher matcher;
+  auto result = RunWorkload(matcher, MakeProblems(), repo, options,
+                            {0.1, 0.2, 0.4});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->system_name, "exhaustive");
+  ASSERT_EQ(result->answers.size(), 2u);
+  EXPECT_FALSE(result->answers[0].empty());
+  EXPECT_FALSE(result->answers[1].empty());
+  EXPECT_GT(result->stats.states_explored, 0u);
+  // Pooled H = 2 correct mappings; both exact copies rank at Δ=0, so the
+  // pooled curve reaches recall 1 already at the first threshold.
+  EXPECT_EQ(result->pooled_curve.total_correct(), 2u);
+  EXPECT_DOUBLE_EQ(result->pooled_curve.points()[0].recall, 1.0);
+}
+
+TEST(WorkloadTest, PooledSizesSumOverProblems) {
+  schema::SchemaRepository repo = testing::MakeRepo();
+  match::MatchOptions options;
+  options.delta_threshold = 0.4;
+  match::ExhaustiveMatcher matcher;
+  std::vector<double> thresholds = {0.1, 0.4};
+  auto result =
+      RunWorkload(matcher, MakeProblems(), repo, options, thresholds).value();
+  std::vector<size_t> sizes = PooledSizes(result, thresholds);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], result.answers[0].CountAtThreshold(0.1) +
+                          result.answers[1].CountAtThreshold(0.1));
+  EXPECT_EQ(sizes[1], result.answers[0].size() + result.answers[1].size());
+  EXPECT_LE(sizes[0], sizes[1]);
+  // Pooled sizes agree with the pooled curve's answer counts.
+  EXPECT_EQ(sizes[0], result.pooled_curve.points()[0].answers);
+}
+
+TEST(WorkloadTest, RejectsEmptyWorkload) {
+  schema::SchemaRepository repo = testing::MakeRepo();
+  match::ExhaustiveMatcher matcher;
+  EXPECT_FALSE(
+      RunWorkload(matcher, {}, repo, match::MatchOptions{}, {0.1}).ok());
+}
+
+TEST(WorkloadTest, PropagatesProblemFailuresWithContext) {
+  schema::SchemaRepository repo = testing::MakeRepo();
+  std::vector<MatchingProblem> problems = MakeProblems();
+  problems[1].query = schema::Schema();  // empty query: invalid
+  match::ExhaustiveMatcher matcher;
+  auto result = RunWorkload(matcher, problems, repo, match::MatchOptions{},
+                            {0.1});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("zoo-query"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smb::eval

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "bounds/bounds_report.h"
+#include "eval/pr_curve.h"
+#include "match/beam_matcher.h"
+#include "match/cluster_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "match/random_prune.h"
+#include "match/topk_matcher.h"
+#include "synth/generator.h"
+
+namespace smb {
+namespace {
+
+/// End-to-end validation of the paper's central claim: the *actual* P/R of
+/// a non-exhaustive improvement lies between the computed worst and best
+/// case bounds at every threshold — bounds that were derived WITHOUT the
+/// ground truth of the improved system's answers.
+class BoundsValidationTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    synth::SynthOptions sopts;
+    sopts.num_schemas = 25;
+    sopts.min_schema_elements = 6;
+    sopts.max_schema_elements = 12;
+    sopts.plant_probability = 0.7;
+    sopts.near_miss_probability = 0.4;
+    auto collection = synth::GenerateProblem(3, sopts, &rng);
+    ASSERT_TRUE(collection.ok()) << collection.status();
+    collection_ = std::move(collection).value();
+
+    mopts_.delta_threshold = 0.30;
+    static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+    mopts_.objective.name.synonyms = &kTable;
+
+    match::ExhaustiveMatcher s1;
+    auto a1 = s1.Match(collection_.query, collection_.repository, mopts_);
+    ASSERT_TRUE(a1.ok()) << a1.status();
+    s1_answers_ = std::move(a1).value();
+
+    thresholds_ = eval::UniformThresholds(0.30, 0.03);
+    auto curve = eval::PrCurve::Measure(s1_answers_, collection_.truth,
+                                        thresholds_);
+    ASSERT_TRUE(curve.ok()) << curve.status();
+    s1_curve_ = std::move(curve).value();
+  }
+
+  /// Checks worst <= actual <= best for every threshold.
+  void ValidateBounds(const match::AnswerSet& s2_answers) {
+    auto input = bounds::InputFromMeasuredCurve(
+        s1_curve_, s2_answers.SizesAt(thresholds_));
+    ASSERT_TRUE(input.ok()) << input.status();
+    auto report = bounds::ComputeBoundsReport(*input);
+    ASSERT_TRUE(report.ok()) << report.status();
+
+    for (size_t i = 0; i < thresholds_.size(); ++i) {
+      eval::ConfusionCounts actual =
+          eval::Evaluate(s2_answers, collection_.truth, thresholds_[i]);
+      double p = eval::Precision(actual);
+      double r = eval::Recall(actual);
+      const auto& inc = report->incremental.points[i];
+      const auto& nai = report->naive.points[i];
+      EXPECT_LE(inc.worst.precision, p + 1e-9) << "threshold " << thresholds_[i];
+      EXPECT_GE(inc.best.precision, p - 1e-9) << "threshold " << thresholds_[i];
+      EXPECT_LE(inc.worst.recall, r + 1e-9) << "threshold " << thresholds_[i];
+      EXPECT_GE(inc.best.recall, r - 1e-9) << "threshold " << thresholds_[i];
+      // The looser naive bounds must hold as well.
+      EXPECT_LE(nai.worst.precision, p + 1e-9);
+      EXPECT_GE(nai.best.precision, p - 1e-9);
+    }
+  }
+
+  synth::SyntheticCollection collection_;
+  match::MatchOptions mopts_;
+  match::AnswerSet s1_answers_;
+  std::vector<double> thresholds_;
+  eval::PrCurve s1_curve_;
+};
+
+TEST_P(BoundsValidationTest, BeamSystemWithinBounds) {
+  match::BeamMatcher beam(match::BeamMatcherOptions{8});
+  auto a2 = beam.Match(collection_.query, collection_.repository, mopts_);
+  ASSERT_TRUE(a2.ok()) << a2.status();
+  ValidateBounds(*a2);
+}
+
+TEST_P(BoundsValidationTest, ClusterSystemWithinBounds) {
+  Rng rng(GetParam() * 7919);
+  match::ClusterMatcherOptions copts;
+  copts.top_m_clusters = 3;
+  auto matcher = match::ClusterMatcher::Create(collection_.repository, copts,
+                                               &rng);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+  auto a2 = matcher->Match(collection_.query, collection_.repository, mopts_);
+  ASSERT_TRUE(a2.ok()) << a2.status();
+  ValidateBounds(*a2);
+}
+
+TEST_P(BoundsValidationTest, TopKSystemWithinBounds) {
+  match::TopKMatcher topk(match::TopKMatcherOptions{4, 100000});
+  auto a2 = topk.Match(collection_.query, collection_.repository, mopts_);
+  ASSERT_TRUE(a2.ok()) << a2.status();
+  ValidateBounds(*a2);
+}
+
+TEST_P(BoundsValidationTest, RandomSystemWithinBoundsAndNearBaseline) {
+  // Build a random system that keeps 60% of each increment and check (a)
+  // it is inside the bounds, and (b) its actual P/R tracks the Eq (9)/(10)
+  // baseline in expectation (loose tolerance, one sample).
+  Rng rng(GetParam() * 104729);
+  std::vector<size_t> s1_sizes = s1_answers_.SizesAt(thresholds_);
+  std::vector<size_t> targets;
+  for (size_t s : s1_sizes) {
+    targets.push_back(static_cast<size_t>(0.6 * static_cast<double>(s)));
+  }
+  // Enforce monotonicity after rounding.
+  for (size_t i = 1; i < targets.size(); ++i) {
+    targets[i] = std::max(targets[i], targets[i - 1]);
+  }
+  auto random_system = match::RandomPrunePerIncrement(
+      s1_answers_, thresholds_, targets, &rng);
+  ASSERT_TRUE(random_system.ok()) << random_system.status();
+  ValidateBounds(*random_system);
+
+  auto input = bounds::InputFromMeasuredCurve(
+      s1_curve_, random_system->SizesAt(thresholds_));
+  ASSERT_TRUE(input.ok());
+  auto report = bounds::ComputeBoundsReport(*input).value();
+  // Compare at the final threshold where counts are largest.
+  eval::ConfusionCounts actual = eval::Evaluate(
+      *random_system, collection_.truth, thresholds_.back());
+  double predicted_r = report.incremental.points.back().random.recall;
+  double actual_r = eval::Recall(actual);
+  EXPECT_NEAR(actual_r, predicted_r, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsValidationTest,
+                         ::testing::Values(601, 602, 603));
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "match/beam_matcher.h"
+#include "match/cluster_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "synth/generator.h"
+
+namespace smb {
+namespace {
+
+/// Figure 3 of the paper as a property: every non-exhaustive improvement
+/// produces a subset of the exhaustive system's answers, ranked by the same
+/// objective values — across random synthetic collections.
+class ContainmentTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentTest, ImprovedSystemsAreContainedInExhaustive) {
+  Rng rng(GetParam());
+  synth::SynthOptions sopts;
+  sopts.num_schemas = 15;
+  sopts.min_schema_elements = 6;
+  sopts.max_schema_elements = 12;
+  auto collection = synth::GenerateProblem(3, sopts, &rng);
+  ASSERT_TRUE(collection.ok()) << collection.status();
+
+  match::MatchOptions mopts;
+  mopts.delta_threshold = 0.3;
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  mopts.objective.name.synonyms = &kTable;
+
+  match::ExhaustiveMatcher s1;
+  auto a1 = s1.Match(collection->query, collection->repository, mopts);
+  ASSERT_TRUE(a1.ok()) << a1.status();
+
+  // Beam improvement.
+  match::BeamMatcher beam(match::BeamMatcherOptions{8});
+  auto a_beam = beam.Match(collection->query, collection->repository, mopts);
+  ASSERT_TRUE(a_beam.ok()) << a_beam.status();
+  EXPECT_LE(a_beam->size(), a1->size());
+  EXPECT_TRUE(match::AnswerSet::VerifySameObjective(*a_beam, *a1).ok());
+
+  // Clustering improvement.
+  match::ClusterMatcherOptions copts;
+  copts.top_m_clusters = 3;
+  auto cluster_matcher = match::ClusterMatcher::Create(
+      collection->repository, copts, &rng);
+  ASSERT_TRUE(cluster_matcher.ok()) << cluster_matcher.status();
+  auto a_cluster = cluster_matcher->Match(collection->query,
+                                          collection->repository, mopts);
+  ASSERT_TRUE(a_cluster.ok()) << a_cluster.status();
+  EXPECT_LE(a_cluster->size(), a1->size());
+  EXPECT_TRUE(match::AnswerSet::VerifySameObjective(*a_cluster, *a1).ok());
+
+  // The threshold-nesting property also holds per system (Figure 1).
+  for (double lo : {0.1, 0.2}) {
+    EXPECT_LE(a_beam->CountAtThreshold(lo), a_beam->CountAtThreshold(0.3));
+    EXPECT_LE(a_cluster->CountAtThreshold(lo),
+              a_cluster->CountAtThreshold(0.3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentTest,
+                         ::testing::Values(211, 223, 227, 229, 233));
+
+}  // namespace
+}  // namespace smb

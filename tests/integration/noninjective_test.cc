@@ -1,0 +1,81 @@
+// The non-injective configuration (a repository element may serve several
+// query elements) must preserve every containment/same-objective invariant
+// the bounds rely on — it is a different search space, not a different
+// contract.
+
+#include <gtest/gtest.h>
+
+#include "match/beam_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "match/topk_matcher.h"
+#include "synth/generator.h"
+
+namespace smb {
+namespace {
+
+class NonInjectiveTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NonInjectiveTest, ImprovementsStayContained) {
+  Rng rng(GetParam());
+  synth::SynthOptions sopts;
+  sopts.num_schemas = 10;
+  sopts.min_schema_elements = 5;
+  sopts.max_schema_elements = 9;
+  auto collection = synth::GenerateProblem(3, sopts, &rng);
+  ASSERT_TRUE(collection.ok()) << collection.status();
+
+  match::MatchOptions options;
+  options.delta_threshold = 0.35;
+  options.injective = false;
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  options.objective.name.synonyms = &kTable;
+
+  match::ExhaustiveMatcher s1;
+  auto a1 = s1.Match(collection->query, collection->repository, options);
+  ASSERT_TRUE(a1.ok()) << a1.status();
+
+  match::BeamMatcher beam(match::BeamMatcherOptions{6});
+  auto a_beam = beam.Match(collection->query, collection->repository, options);
+  ASSERT_TRUE(a_beam.ok());
+  EXPECT_TRUE(match::AnswerSet::VerifySameObjective(*a_beam, *a1).ok());
+
+  match::TopKMatcher topk(match::TopKMatcherOptions{3, 100000});
+  auto a_topk = topk.Match(collection->query, collection->repository, options);
+  ASSERT_TRUE(a_topk.ok());
+  EXPECT_TRUE(match::AnswerSet::VerifySameObjective(*a_topk, *a1).ok());
+}
+
+TEST_P(NonInjectiveTest, NonInjectiveSupersetOfInjective) {
+  // Dropping the injectivity constraint can only enlarge the answer set,
+  // and shared answers keep their Δ.
+  Rng rng(GetParam() * 3);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = 8;
+  sopts.min_schema_elements = 5;
+  sopts.max_schema_elements = 8;
+  auto collection = synth::GenerateProblem(3, sopts, &rng);
+  ASSERT_TRUE(collection.ok()) << collection.status();
+
+  match::MatchOptions injective;
+  injective.delta_threshold = 0.4;
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  injective.objective.name.synonyms = &kTable;
+  match::MatchOptions free = injective;
+  free.injective = false;
+
+  match::ExhaustiveMatcher matcher;
+  auto a_inj = matcher.Match(collection->query, collection->repository,
+                             injective);
+  auto a_free = matcher.Match(collection->query, collection->repository,
+                              free);
+  ASSERT_TRUE(a_inj.ok());
+  ASSERT_TRUE(a_free.ok());
+  EXPECT_GE(a_free->size(), a_inj->size());
+  EXPECT_TRUE(match::AnswerSet::VerifySameObjective(*a_inj, *a_free).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonInjectiveTest,
+                         ::testing::Values(901, 902, 903));
+
+}  // namespace
+}  // namespace smb

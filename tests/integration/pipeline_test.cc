@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "eval/interpolation.h"
+#include "eval/pooling.h"
+#include "eval/pr_curve.h"
+#include "match/exhaustive_matcher.h"
+#include "synth/generator.h"
+
+namespace smb {
+namespace {
+
+struct Pipeline {
+  synth::SyntheticCollection collection;
+  match::AnswerSet s1_answers;
+  match::MatchOptions mopts;
+};
+
+Pipeline RunPipeline(uint64_t seed) {
+  Rng rng(seed);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = 25;
+  sopts.min_schema_elements = 6;
+  sopts.max_schema_elements = 12;
+  sopts.plant_probability = 0.7;
+  auto collection = synth::GenerateProblem(3, sopts, &rng);
+  EXPECT_TRUE(collection.ok()) << collection.status();
+
+  match::MatchOptions mopts;
+  mopts.delta_threshold = 0.30;
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  mopts.objective.name.synonyms = &kTable;
+
+  match::ExhaustiveMatcher s1;
+  auto answers = s1.Match(collection->query, collection->repository, mopts);
+  EXPECT_TRUE(answers.ok()) << answers.status();
+  return Pipeline{std::move(collection).value(), std::move(answers).value(),
+                  mopts};
+}
+
+TEST(PipelineTest, ExhaustiveSystemRecoversMostPlants) {
+  Pipeline p = RunPipeline(401);
+  size_t tp = p.collection.truth.CountTruePositives(p.s1_answers);
+  // Most planted (lightly perturbed) copies score within δ=0.3.
+  EXPECT_GE(tp, p.collection.truth.size() * 6 / 10)
+      << "found " << tp << " of " << p.collection.truth.size();
+}
+
+TEST(PipelineTest, MeasuredCurveIsWellFormed) {
+  Pipeline p = RunPipeline(402);
+  auto thresholds = eval::UniformThresholds(0.30, 0.02);
+  auto curve =
+      eval::PrCurve::Measure(p.s1_answers, p.collection.truth, thresholds);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  EXPECT_TRUE(curve->Validate().ok());
+  // Precision should not be flat 0 — the system does find correct answers.
+  EXPECT_GT(curve->points().back().true_positives, 0u);
+  // And |A| should grow well beyond |T| (distractors exist).
+  EXPECT_GT(curve->points().back().answers,
+            curve->points().back().true_positives);
+}
+
+TEST(PipelineTest, ElevenPointInterpolationOfMeasuredCurve) {
+  Pipeline p = RunPipeline(403);
+  auto thresholds = eval::UniformThresholds(0.30, 0.02);
+  auto curve =
+      eval::PrCurve::Measure(p.s1_answers, p.collection.truth, thresholds)
+          .value();
+  auto eleven = eval::InterpolateElevenPoint(curve);
+  ASSERT_TRUE(eleven.ok()) << eleven.status();
+  // Interpolated precision is non-increasing in the recall level.
+  for (size_t i = 1; i < eval::ElevenPointCurve::kLevels; ++i) {
+    EXPECT_LE(eleven->precision[i], eleven->precision[i - 1] + 1e-12);
+  }
+}
+
+TEST(PipelineTest, PoolingWithPlantOracleFindsRetrievedPlants) {
+  Pipeline p = RunPipeline(404);
+  const auto& truth = p.collection.truth;
+  auto oracle = [&truth](const match::Mapping& m) {
+    return truth.Contains(m);
+  };
+  eval::PoolingOptions popts;
+  popts.pool_depth = 100;
+  auto pooled = eval::PoolJudgments({&p.s1_answers}, oracle, popts);
+  ASSERT_TRUE(pooled.ok()) << pooled.status();
+  // Pooled truth is a subset of the real truth.
+  EXPECT_LE(pooled->size(), truth.size());
+  // With depth 100 over a ranked list, the pool captures at least the
+  // plants ranked in the top 100.
+  size_t top100_tp = 0;
+  for (size_t i = 0; i < std::min<size_t>(100, p.s1_answers.size()); ++i) {
+    if (truth.Contains(p.s1_answers.mappings()[i])) ++top100_tp;
+  }
+  EXPECT_EQ(pooled->size(), top100_tp);
+}
+
+TEST(PipelineTest, DeltaZeroAnswersAreExactCopies) {
+  Pipeline p = RunPipeline(405);
+  for (const auto& m : p.s1_answers.mappings()) {
+    if (m.delta > 1e-12) break;
+    // A Δ=0 mapping must be a planted copy with zero perturbation — at
+    // minimum it must map the query root to an element with the same name.
+    const auto& target_schema = p.collection.repository.schema(m.schema_index);
+    EXPECT_EQ(target_schema.node(m.targets[0]).name,
+              p.collection.query.node(p.collection.query.root()).name);
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,104 @@
+#include "io/answer_set_io.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::io {
+namespace {
+
+match::AnswerSet MakeAnswers() {
+  match::AnswerSet set;
+  set.Add(match::Mapping{2, {5, 1, 9}, 0.125});
+  set.Add(match::Mapping{0, {3}, 0.0});
+  set.Add(match::Mapping{7, {2, 2}, 0.999});
+  set.Finalize();
+  return set;
+}
+
+TEST(AnswerSetIoTest, RoundTripsExactly) {
+  match::AnswerSet original = MakeAnswers();
+  std::string csv = WriteAnswerSetCsv(original);
+  auto reparsed = ReadAnswerSetCsv(csv);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed->mappings()[i].key(), original.mappings()[i].key());
+    EXPECT_DOUBLE_EQ(reparsed->mappings()[i].delta,
+                     original.mappings()[i].delta);
+  }
+}
+
+TEST(AnswerSetIoTest, PreservesRankingAfterReload) {
+  auto reparsed = ReadAnswerSetCsv(WriteAnswerSetCsv(MakeAnswers())).value();
+  for (size_t i = 1; i < reparsed.size(); ++i) {
+    EXPECT_LE(reparsed.mappings()[i - 1].delta, reparsed.mappings()[i].delta);
+  }
+  EXPECT_TRUE(reparsed.finalized());
+}
+
+TEST(AnswerSetIoTest, RejectsWrongKind) {
+  auto result = ReadAnswerSetCsv("#matchbounds=pr_curve\na,b,c\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("answer_set"), std::string::npos);
+}
+
+TEST(AnswerSetIoTest, RejectsMissingColumns) {
+  EXPECT_FALSE(
+      ReadAnswerSetCsv("#matchbounds=answer_set\nschema_index,targets\n1,2\n")
+          .ok());
+}
+
+TEST(AnswerSetIoTest, RejectsMalformedFields) {
+  const char* header = "#matchbounds=answer_set\nschema_index,targets,delta\n";
+  EXPECT_FALSE(ReadAnswerSetCsv(std::string(header) + "x,1;2,0.5\n").ok());
+  EXPECT_FALSE(ReadAnswerSetCsv(std::string(header) + "1,,0.5\n").ok());
+  EXPECT_FALSE(ReadAnswerSetCsv(std::string(header) + "1,1;b,0.5\n").ok());
+  EXPECT_FALSE(ReadAnswerSetCsv(std::string(header) + "1,1;2,bad\n").ok());
+  EXPECT_FALSE(ReadAnswerSetCsv(std::string(header) + "1,1;2,-0.5\n").ok());
+}
+
+TEST(AnswerSetIoTest, EmptySetRoundTrips) {
+  match::AnswerSet empty;
+  empty.Finalize();
+  auto reparsed = ReadAnswerSetCsv(WriteAnswerSetCsv(empty));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->empty());
+}
+
+TEST(AnswerSetIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/smb_answers.csv";
+  ASSERT_TRUE(WriteAnswerSetFile(path, MakeAnswers()).ok());
+  auto reparsed = ReadAnswerSetFile(path);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->size(), 3u);
+  EXPECT_FALSE(ReadAnswerSetFile("/no/such.csv").ok());
+}
+
+TEST(GroundTruthIoTest, RoundTrips) {
+  eval::GroundTruth truth;
+  std::vector<match::Mapping::Key> keys = {
+      {0, {1, 2}}, {3, {4}}, {3, {5, 6, 7}}};
+  for (const auto& key : keys) truth.AddCorrect(key);
+  std::string csv = WriteGroundTruthCsv(truth, keys);
+  auto reparsed = ReadGroundTruthCsv(csv);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->size(), 3u);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(reparsed->Contains(key));
+  }
+}
+
+TEST(GroundTruthIoTest, SkipsKeysNotInTruth) {
+  eval::GroundTruth truth;
+  truth.AddCorrect({0, {1}});
+  std::vector<match::Mapping::Key> keys = {{0, {1}}, {9, {9}}};
+  auto reparsed = ReadGroundTruthCsv(WriteGroundTruthCsv(truth, keys)).value();
+  EXPECT_EQ(reparsed.size(), 1u);
+  EXPECT_FALSE(reparsed.Contains(match::Mapping::Key{9, {9}}));
+}
+
+TEST(GroundTruthIoTest, RejectsWrongKind) {
+  EXPECT_FALSE(ReadGroundTruthCsv("#matchbounds=answer_set\na,b\n").ok());
+}
+
+}  // namespace
+}  // namespace smb::io

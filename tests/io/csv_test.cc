@@ -1,0 +1,105 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::io {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][2], "6");
+}
+
+TEST(CsvTest, ParsesMetadata) {
+  auto doc = ParseCsv("#kind=test\n#count = 7\ncol\nval\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->GetMeta("kind"), "test");
+  EXPECT_EQ(doc->GetMeta("count"), "7");
+  EXPECT_EQ(doc->GetMeta("absent"), "");
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto doc = ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->rows[0][0], "x,y");
+  EXPECT_EQ(doc->rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, CrlfAndBlankLines) {
+  auto doc = ParseCsv("a,b\r\n\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto doc = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsDanglingQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated\n").ok());
+}
+
+TEST(CsvTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("#only=meta\n").ok());
+}
+
+TEST(CsvTest, ColumnIndex) {
+  auto doc = ParseCsv("x,y,z\n1,2,3\n").value();
+  EXPECT_EQ(doc.ColumnIndex("y"), 1);
+  EXPECT_EQ(doc.ColumnIndex("nope"), -1);
+}
+
+TEST(CsvTest, WriteRoundTrips) {
+  CsvDocument doc;
+  doc.metadata.emplace_back("kind", "demo");
+  doc.header = {"name", "value"};
+  doc.rows.push_back({"plain", "1"});
+  doc.rows.push_back({"with,comma", "with\"quote"});
+  auto reparsed = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->GetMeta("kind"), "demo");
+  EXPECT_EQ(reparsed->rows, doc.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"a"};
+  doc.rows.push_back({"1"});
+  std::string path = ::testing::TempDir() + "/smb_csv_test.csv";
+  ASSERT_TRUE(WriteTextFile(path, WriteCsv(doc)).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->rows, doc.rows);
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto read = ReadCsvFile("/no/such/file.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -3e2 ").value(), -300.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(CsvTest, ParseUint) {
+  EXPECT_EQ(ParseUint("42").value(), 42u);
+  EXPECT_EQ(ParseUint(" 0 ").value(), 0u);
+  EXPECT_FALSE(ParseUint("-1").ok());
+  EXPECT_FALSE(ParseUint("1.5").ok());
+  EXPECT_FALSE(ParseUint("").ok());
+}
+
+}  // namespace
+}  // namespace smb::io

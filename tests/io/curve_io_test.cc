@@ -1,0 +1,100 @@
+#include "io/curve_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace smb::io {
+namespace {
+
+eval::PrCurve MakeCurve() {
+  std::vector<eval::PrPoint> points(2);
+  points[0] = {0.1, 10, 9, 0.9, 9.0 / 50.0};
+  points[1] = {0.2, 40, 24, 0.6, 24.0 / 50.0};
+  return eval::PrCurve::FromPoints(points, 50).value();
+}
+
+TEST(PrCurveIoTest, RoundTrips) {
+  eval::PrCurve original = MakeCurve();
+  auto reparsed = ReadPrCurveCsv(WritePrCurveCsv(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->total_correct(), 50u);
+  ASSERT_EQ(reparsed->size(), 2u);
+  EXPECT_DOUBLE_EQ(reparsed->points()[1].precision, 0.6);
+  EXPECT_EQ(reparsed->points()[1].answers, 40u);
+  EXPECT_TRUE(reparsed->Validate().ok());
+}
+
+TEST(PrCurveIoTest, RejectsWrongKind) {
+  EXPECT_FALSE(ReadPrCurveCsv("#matchbounds=answer_set\nthreshold\n").ok());
+}
+
+TEST(PrCurveIoTest, RejectsMissingTotalCorrect) {
+  std::string csv = WritePrCurveCsv(MakeCurve());
+  std::string no_meta;
+  for (const std::string& line : Split(csv, '\n')) {
+    if (line.rfind("#total_correct", 0) == 0) continue;
+    no_meta += line + "\n";
+  }
+  EXPECT_FALSE(ReadPrCurveCsv(no_meta).ok());
+}
+
+TEST(PrCurveIoTest, ValidationRunsOnLoad) {
+  // Corrupt the counts so the curve is internally inconsistent.
+  const char* bad =
+      "#matchbounds=pr_curve\n#total_correct=50\n"
+      "threshold,answers,true_positives,precision,recall\n"
+      "0.1,10,20,2.0,0.4\n";  // tp > answers
+  EXPECT_FALSE(ReadPrCurveCsv(bad).ok());
+}
+
+TEST(PrCurveIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/smb_curve.csv";
+  ASSERT_TRUE(WritePrCurveFile(path, MakeCurve()).ok());
+  auto reparsed = ReadPrCurveFile(path);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_FALSE(ReadPrCurveFile("/no/such.csv").ok());
+}
+
+bounds::BoundsInput MakeInput() {
+  bounds::BoundsInput input;
+  input.thresholds = {1.0, 2.0};
+  input.s1_answers = {40.0, 72.0};
+  input.s1_correct = {15.0, 27.0};
+  input.s2_answers = {32.0, 48.0};
+  input.total_correct = 60.0;
+  return input;
+}
+
+TEST(BoundsInputIoTest, RoundTrips) {
+  auto reparsed = ReadBoundsInputCsv(WriteBoundsInputCsv(MakeInput()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->thresholds, MakeInput().thresholds);
+  EXPECT_EQ(reparsed->s1_answers, MakeInput().s1_answers);
+  EXPECT_EQ(reparsed->s1_correct, MakeInput().s1_correct);
+  EXPECT_EQ(reparsed->s2_answers, MakeInput().s2_answers);
+  EXPECT_DOUBLE_EQ(reparsed->total_correct, 60.0);
+}
+
+TEST(BoundsInputIoTest, ValidationRunsOnLoad) {
+  const char* bad =
+      "#matchbounds=bounds_input\n#total_correct=60\n"
+      "threshold,s1_answers,s1_correct,s2_answers\n"
+      "1.0,40,15,45\n";  // |A2| > |A1|
+  EXPECT_FALSE(ReadBoundsInputCsv(bad).ok());
+}
+
+TEST(BoundsInputIoTest, RejectsWrongKind) {
+  EXPECT_FALSE(ReadBoundsInputCsv("#matchbounds=pr_curve\nthreshold\n").ok());
+}
+
+TEST(BoundsInputIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/smb_input.csv";
+  ASSERT_TRUE(WriteBoundsInputFile(path, MakeInput()).ok());
+  auto reparsed = ReadBoundsInputFile(path);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_FALSE(ReadBoundsInputFile("/no/such.csv").ok());
+}
+
+}  // namespace
+}  // namespace smb::io

@@ -1,0 +1,108 @@
+// Robustness sweeps for the text-based readers: mutated or garbage input
+// must produce a Status, never a crash or hang, and surviving parses must
+// re-serialize.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/answer_set_io.h"
+#include "io/csv.h"
+#include "io/curve_io.h"
+#include "schema/text_format.h"
+
+namespace smb {
+namespace {
+
+std::string Mutate(const std::string& input, Rng* rng) {
+  std::string out = input;
+  size_t edits = 1 + rng->UniformIndex(5);
+  for (size_t e = 0; e < edits && !out.empty(); ++e) {
+    switch (rng->UniformIndex(3)) {
+      case 0:  // flip
+        out[rng->UniformIndex(out.size())] =
+            static_cast<char>(rng->UniformInt(32, 126));
+        break;
+      case 1:  // delete
+        out.erase(rng->UniformIndex(out.size()), 1);
+        break;
+      default:  // insert
+        out.insert(rng->UniformIndex(out.size() + 1), 1,
+                   static_cast<char>(rng->UniformInt(32, 126)));
+        break;
+    }
+  }
+  return out;
+}
+
+class FormatRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FormatRobustnessTest, SchemaTextNeverCrashes) {
+  Rng rng(GetParam());
+  const std::string valid =
+      "schema lib\nlibrary\n  book\n    title :string\n  member\n";
+  for (int trial = 0; trial < 300; ++trial) {
+    auto result = schema::ParseSchemaText(Mutate(valid, &rng));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+      EXPECT_FALSE(schema::WriteSchemaText(*result).empty());
+    }
+  }
+}
+
+TEST_P(FormatRobustnessTest, AnswerSetCsvNeverCrashes) {
+  Rng rng(GetParam() * 3);
+  match::AnswerSet answers;
+  answers.Add(match::Mapping{1, {2, 3}, 0.5});
+  answers.Add(match::Mapping{0, {7}, 0.25});
+  answers.Finalize();
+  const std::string valid = io::WriteAnswerSetCsv(answers);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto result = io::ReadAnswerSetCsv(Mutate(valid, &rng));
+    if (result.ok()) {
+      EXPECT_TRUE(result->finalized());
+    }
+  }
+}
+
+TEST_P(FormatRobustnessTest, BoundsInputCsvNeverCrashes) {
+  Rng rng(GetParam() * 7);
+  bounds::BoundsInput input;
+  input.thresholds = {0.1, 0.2};
+  input.s1_answers = {10, 20};
+  input.s1_correct = {5, 8};
+  input.s2_answers = {8, 15};
+  input.total_correct = 30;
+  const std::string valid = io::WriteBoundsInputCsv(input);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto result = io::ReadBoundsInputCsv(Mutate(valid, &rng));
+    if (result.ok()) {
+      // Anything that parses must satisfy the containment invariants —
+      // Validate ran on load.
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(FormatRobustnessTest, GarbageCsvNeverCrashes) {
+  Rng rng(GetParam() * 11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    size_t len = rng.UniformIndex(300);
+    for (size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(1, 127));
+    }
+    (void)io::ParseCsv(garbage);
+    (void)io::ReadAnswerSetCsv(garbage);
+    (void)io::ReadGroundTruthCsv(garbage);
+    (void)io::ReadPrCurveCsv(garbage);
+    (void)io::ReadBoundsInputCsv(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatRobustnessTest,
+                         ::testing::Values(71, 72, 73));
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,114 @@
+#include "match/beam_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "match/exhaustive_matcher.h"
+
+namespace smb::match {
+namespace {
+
+using testing::MakeQuery;
+using testing::MakeRepo;
+
+TEST(BeamMatcherTest, ProducesSubsetWithIdenticalScores) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.6;
+  ExhaustiveMatcher s1;
+  BeamMatcher s2(BeamMatcherOptions{4});
+  auto a1 = s1.Match(query, repo, options);
+  auto a2 = s2.Match(query, repo, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_LE(a2->size(), a1->size());
+  EXPECT_TRUE(AnswerSet::IsSubsetOf(*a2, *a1));
+  EXPECT_TRUE(AnswerSet::VerifySameObjective(*a2, *a1).ok());
+}
+
+TEST(BeamMatcherTest, WideBeamEqualsExhaustive) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 1.0;
+  ExhaustiveMatcher s1;
+  BeamMatcher s2(BeamMatcherOptions{100000});
+  auto a1 = s1.Match(query, repo, options);
+  auto a2 = s2.Match(query, repo, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a1->size(), a2->size());
+}
+
+TEST(BeamMatcherTest, KeepsBestRankedAnswers) {
+  // The top answer of the exhaustive system must survive a narrow beam:
+  // its prefix costs are minimal at every position.
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.5;
+  ExhaustiveMatcher s1;
+  BeamMatcher s2(BeamMatcherOptions{2});
+  auto a1 = s1.Match(query, repo, options);
+  auto a2 = s2.Match(query, repo, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  ASSERT_FALSE(a2->empty());
+  EXPECT_EQ(a2->mappings()[0].key(), a1->mappings()[0].key());
+  EXPECT_NEAR(a2->mappings()[0].delta, 0.0, 1e-12);
+}
+
+TEST(BeamMatcherTest, NarrowerBeamNeverFindsMore) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.8;
+  size_t prev = 0;
+  for (size_t width : {1u, 2u, 8u, 32u, 512u}) {
+    BeamMatcher matcher(BeamMatcherOptions{width});
+    auto answers = matcher.Match(query, repo, options);
+    ASSERT_TRUE(answers.ok());
+    EXPECT_GE(answers->size(), prev) << "beam width " << width;
+    prev = answers->size();
+  }
+}
+
+TEST(BeamMatcherTest, BeamWidthBoundsAnswersPerSchema) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 1.0;
+  BeamMatcher matcher(BeamMatcherOptions{3});
+  auto answers = matcher.Match(query, repo, options);
+  ASSERT_TRUE(answers.ok());
+  // At most beam_width complete mappings per schema survive.
+  EXPECT_LE(answers->size(), 3u * repo.schema_count());
+}
+
+TEST(BeamMatcherTest, RejectsZeroBeamWidth) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  BeamMatcher matcher(BeamMatcherOptions{0});
+  EXPECT_FALSE(matcher.Match(query, repo, MatchOptions{}).ok());
+}
+
+TEST(BeamMatcherTest, NameEncodesWidth) {
+  EXPECT_EQ(BeamMatcher(BeamMatcherOptions{16}).name(), "beam-16");
+}
+
+TEST(BeamMatcherTest, StatsAreCounted) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.5;
+  MatchStats stats;
+  BeamMatcher matcher(BeamMatcherOptions{4});
+  auto answers = matcher.Match(query, repo, options, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_GT(stats.states_explored, 0u);
+  EXPECT_EQ(stats.mappings_emitted, answers->size());
+}
+
+}  // namespace
+}  // namespace smb::match

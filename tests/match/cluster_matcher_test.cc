@@ -1,0 +1,129 @@
+#include "match/cluster_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "match/exhaustive_matcher.h"
+
+namespace smb::match {
+namespace {
+
+using testing::MakeQuery;
+using testing::MakeRepo;
+
+TEST(ClusterMatcherTest, ProducesSubsetWithIdenticalScores) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(99);
+  ClusterMatcherOptions copts;
+  copts.top_m_clusters = 2;
+  copts.clustering.num_clusters = 4;
+  auto matcher = ClusterMatcher::Create(repo, copts, &rng);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  MatchOptions options;
+  options.delta_threshold = 0.6;
+  ExhaustiveMatcher s1;
+  auto a1 = s1.Match(query, repo, options);
+  auto a2 = matcher->Match(query, repo, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_LE(a2->size(), a1->size());
+  EXPECT_TRUE(AnswerSet::IsSubsetOf(*a2, *a1));
+  EXPECT_TRUE(AnswerSet::VerifySameObjective(*a2, *a1).ok());
+}
+
+TEST(ClusterMatcherTest, AllClustersEqualsExhaustive) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(7);
+  ClusterMatcherOptions copts;
+  copts.clustering.num_clusters = 3;
+  copts.top_m_clusters = 3;  // candidate sets cover every element
+  auto matcher = ClusterMatcher::Create(repo, copts, &rng);
+  ASSERT_TRUE(matcher.ok());
+
+  MatchOptions options;
+  options.delta_threshold = 1.0;
+  ExhaustiveMatcher s1;
+  auto a1 = s1.Match(query, repo, options);
+  auto a2 = matcher->Match(query, repo, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a1->size(), a2->size());
+}
+
+TEST(ClusterMatcherTest, FindsExactCopyWithModestClusterBudget) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(21);
+  ClusterMatcherOptions copts;
+  copts.clustering.num_clusters = 4;
+  copts.top_m_clusters = 2;
+  auto matcher = ClusterMatcher::Create(repo, copts, &rng);
+  ASSERT_TRUE(matcher.ok());
+  MatchOptions options;
+  options.delta_threshold = 0.3;
+  auto answers = matcher->Match(query, repo, options);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  // Identical names land in the same/top cluster, so the Δ=0 copy survives.
+  EXPECT_NEAR(answers->mappings()[0].delta, 0.0, 1e-12);
+}
+
+TEST(ClusterMatcherTest, FewerClustersExaminedFewerAnswers) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.8;
+  size_t prev = 0;
+  for (size_t top_m : {1u, 2u, 4u, 8u}) {
+    Rng rng(5);  // same clustering each time
+    ClusterMatcherOptions copts;
+    copts.clustering.num_clusters = 8;
+    copts.top_m_clusters = top_m;
+    auto matcher = ClusterMatcher::Create(repo, copts, &rng);
+    ASSERT_TRUE(matcher.ok());
+    auto answers = matcher->Match(query, repo, options);
+    ASSERT_TRUE(answers.ok());
+    EXPECT_GE(answers->size(), prev) << "top_m " << top_m;
+    prev = answers->size();
+  }
+}
+
+TEST(ClusterMatcherTest, SharedClusteringAcrossMatchers) {
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(11);
+  cluster::ElementClusteringOptions copts;
+  copts.num_clusters = 4;
+  auto clustering = cluster::ElementClustering::Build(repo, copts, &rng);
+  ASSERT_TRUE(clustering.ok());
+  auto shared = std::make_shared<cluster::ElementClustering>(
+      std::move(clustering).value());
+  ClusterMatcherOptions options1;
+  options1.top_m_clusters = 1;
+  ClusterMatcherOptions options2;
+  options2.top_m_clusters = 2;
+  ClusterMatcher m1(shared, options1);
+  ClusterMatcher m2(shared, options2);
+  EXPECT_EQ(&m1.clustering(), &m2.clustering());
+  EXPECT_EQ(m1.name(), "cluster-top1");
+  EXPECT_EQ(m2.name(), "cluster-top2");
+}
+
+TEST(ClusterMatcherTest, RejectsZeroTopM) {
+  schema::SchemaRepository repo = MakeRepo();
+  Rng rng(3);
+  ClusterMatcherOptions copts;
+  copts.top_m_clusters = 0;
+  EXPECT_FALSE(ClusterMatcher::Create(repo, copts, &rng).ok());
+}
+
+TEST(ClusterMatcherTest, RejectsEmptyRepoAtCreate) {
+  schema::SchemaRepository repo;
+  Rng rng(3);
+  EXPECT_FALSE(ClusterMatcher::Create(repo, ClusterMatcherOptions{}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace smb::match

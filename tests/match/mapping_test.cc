@@ -1,0 +1,65 @@
+#include "match/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::match {
+namespace {
+
+TEST(MappingTest, KeyEqualityIgnoresDelta) {
+  Mapping a{1, {2, 3, 4}, 0.1};
+  Mapping b{1, {2, 3, 4}, 0.9};
+  EXPECT_EQ(a.key(), b.key());
+  Mapping c{1, {2, 3, 5}, 0.1};
+  EXPECT_FALSE(a.key() == c.key());
+  Mapping d{2, {2, 3, 4}, 0.1};
+  EXPECT_FALSE(a.key() == d.key());
+}
+
+TEST(MappingTest, KeyOrderingLexicographic) {
+  Mapping::Key a{1, {2, 3}};
+  Mapping::Key b{1, {2, 4}};
+  Mapping::Key c{2, {0, 0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(MappingTest, RankLessByDeltaThenKey) {
+  Mapping low{5, {9}, 0.1};
+  Mapping high{0, {0}, 0.2};
+  EXPECT_TRUE(Mapping::RankLess(low, high));
+  EXPECT_FALSE(Mapping::RankLess(high, low));
+  // Tie on delta: schema index breaks it.
+  Mapping tie_a{1, {7}, 0.2};
+  Mapping tie_b{2, {0}, 0.2};
+  EXPECT_TRUE(Mapping::RankLess(tie_a, tie_b));
+  // Full tie: targets break it.
+  Mapping tie_c{1, {6}, 0.2};
+  EXPECT_TRUE(Mapping::RankLess(tie_c, tie_a));
+}
+
+TEST(MappingTest, ToStringFormat) {
+  Mapping m{12, {3, 7, 8}, 0.125};
+  EXPECT_EQ(m.ToString(), "s12:{3,7,8} Δ=0.1250");
+}
+
+TEST(MappingKeyHashTest, EqualKeysEqualHashes) {
+  MappingKeyHash hash;
+  Mapping::Key a{3, {1, 2, 3}};
+  Mapping::Key b{3, {1, 2, 3}};
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(MappingKeyHashTest, DifferentKeysUsuallyDiffer) {
+  MappingKeyHash hash;
+  Mapping::Key a{3, {1, 2, 3}};
+  Mapping::Key b{3, {1, 3, 2}};
+  Mapping::Key c{4, {1, 2, 3}};
+  // Not a strict requirement of hashing, but these trivially distinct keys
+  // colliding would indicate a broken mix.
+  EXPECT_NE(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+}
+
+}  // namespace
+}  // namespace smb::match

@@ -1,0 +1,111 @@
+#include "match/random_prune.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::match {
+namespace {
+
+AnswerSet MakeRankedSet(size_t n, double max_delta) {
+  AnswerSet set;
+  for (size_t i = 0; i < n; ++i) {
+    Mapping m;
+    m.schema_index = static_cast<int32_t>(i % 7);
+    m.targets = {static_cast<schema::NodeId>(i)};
+    m.delta = max_delta * static_cast<double>(i + 1) / static_cast<double>(n);
+    set.Add(std::move(m));
+  }
+  set.Finalize();
+  return set;
+}
+
+TEST(RandomPruneTest, HitsExactIncrementSizes) {
+  AnswerSet s1 = MakeRankedSet(100, 1.0);  // 10 answers per 0.1 of delta
+  Rng rng(5);
+  std::vector<double> thresholds = {0.25, 0.5, 1.0};
+  std::vector<size_t> targets = {10, 30, 55};
+  auto pruned = RandomPrunePerIncrement(s1, thresholds, targets, &rng);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  EXPECT_EQ(pruned->CountAtThreshold(0.25), 10u);
+  EXPECT_EQ(pruned->CountAtThreshold(0.5), 30u);
+  EXPECT_EQ(pruned->size(), 55u);
+  EXPECT_TRUE(AnswerSet::IsSubsetOf(*pruned, s1));
+  EXPECT_TRUE(AnswerSet::VerifySameObjective(*pruned, s1).ok());
+}
+
+TEST(RandomPruneTest, ZeroTargetsGiveEmptySet) {
+  AnswerSet s1 = MakeRankedSet(20, 1.0);
+  Rng rng(5);
+  auto pruned = RandomPrunePerIncrement(s1, {0.5, 1.0}, {0, 0}, &rng);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_TRUE(pruned->empty());
+}
+
+TEST(RandomPruneTest, FullTargetsReproduceS1) {
+  AnswerSet s1 = MakeRankedSet(20, 1.0);
+  Rng rng(5);
+  auto pruned = RandomPrunePerIncrement(s1, {0.5, 1.0}, {10, 20}, &rng);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->size(), 20u);
+  EXPECT_TRUE(AnswerSet::IsSubsetOf(s1, *pruned));
+}
+
+TEST(RandomPruneTest, RejectsOverdraw) {
+  AnswerSet s1 = MakeRankedSet(20, 1.0);
+  Rng rng(5);
+  // First increment [0, 0.5] has only 10 answers; asking 15 must fail.
+  auto pruned = RandomPrunePerIncrement(s1, {0.5, 1.0}, {15, 20}, &rng);
+  ASSERT_FALSE(pruned.ok());
+  EXPECT_EQ(pruned.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RandomPruneTest, RejectsBadArguments) {
+  AnswerSet s1 = MakeRankedSet(10, 1.0);
+  Rng rng(5);
+  EXPECT_FALSE(RandomPrunePerIncrement(s1, {0.5}, {1, 2}, &rng).ok());
+  EXPECT_FALSE(RandomPrunePerIncrement(s1, {0.5, 0.4}, {1, 2}, &rng).ok());
+  EXPECT_FALSE(RandomPrunePerIncrement(s1, {0.5, 1.0}, {3, 2}, &rng).ok());
+  EXPECT_FALSE(RandomPrunePerIncrement(s1, {0.5}, {1}, nullptr).ok());
+  AnswerSet unfinalized;
+  unfinalized.Add(Mapping{0, {0}, 0.1});
+  EXPECT_FALSE(RandomPrunePerIncrement(unfinalized, {0.5}, {1}, &rng).ok());
+}
+
+TEST(RandomPruneTest, DifferentSeedsDifferentSelections) {
+  AnswerSet s1 = MakeRankedSet(100, 1.0);
+  Rng rng_a(1);
+  Rng rng_b(2);
+  auto a = RandomPrunePerIncrement(s1, {1.0}, {50}, &rng_a).value();
+  auto b = RandomPrunePerIncrement(s1, {1.0}, {50}, &rng_b).value();
+  bool identical = a.size() == b.size();
+  if (identical) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a.mappings()[i].key() == b.mappings()[i].key())) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(RandomPruneFractionTest, KeepsRoughlyTheFraction) {
+  AnswerSet s1 = MakeRankedSet(2000, 1.0);
+  Rng rng(17);
+  auto pruned = RandomPruneFraction(s1, 0.3, &rng);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_NEAR(static_cast<double>(pruned->size()) / 2000.0, 0.3, 0.05);
+  EXPECT_TRUE(AnswerSet::IsSubsetOf(*pruned, s1));
+}
+
+TEST(RandomPruneFractionTest, ExtremesAndErrors) {
+  AnswerSet s1 = MakeRankedSet(50, 1.0);
+  Rng rng(3);
+  EXPECT_EQ(RandomPruneFraction(s1, 0.0, &rng)->size(), 0u);
+  EXPECT_EQ(RandomPruneFraction(s1, 1.0, &rng)->size(), 50u);
+  EXPECT_FALSE(RandomPruneFraction(s1, -0.1, &rng).ok());
+  EXPECT_FALSE(RandomPruneFraction(s1, 1.1, &rng).ok());
+  EXPECT_FALSE(RandomPruneFraction(s1, 0.5, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace smb::match

@@ -1,0 +1,141 @@
+#include "match/topk_matcher.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "match/exhaustive_matcher.h"
+
+namespace smb::match {
+namespace {
+
+using testing::MakeQuery;
+using testing::MakeRepo;
+
+TEST(TopKMatcherTest, ProducesSubsetWithIdenticalScores) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.6;
+  ExhaustiveMatcher s1;
+  TopKMatcher s2(TopKMatcherOptions{3, 100000});
+  auto a1 = s1.Match(query, repo, options);
+  auto a2 = s2.Match(query, repo, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_LE(a2->size(), a1->size());
+  EXPECT_TRUE(AnswerSet::IsSubsetOf(*a2, *a1));
+  EXPECT_TRUE(AnswerSet::VerifySameObjective(*a2, *a1).ok());
+}
+
+TEST(TopKMatcherTest, EmitsExactlyTheKBestPerSchema) {
+  // Best-first with an admissible bound must return, per schema, exactly
+  // the k cheapest mappings the exhaustive matcher finds.
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 1.0;
+  const size_t k = 5;
+  ExhaustiveMatcher s1;
+  TopKMatcher s2(TopKMatcherOptions{k, 100000});
+  auto a1 = s1.Match(query, repo, options).value();
+  auto a2 = s2.Match(query, repo, options).value();
+
+  // Group the exhaustive answers per schema and take each group's k best.
+  std::map<int32_t, std::vector<Mapping>> per_schema;
+  for (const auto& m : a1.mappings()) per_schema[m.schema_index].push_back(m);
+  size_t expected_total = 0;
+  for (auto& [schema_index, group] : per_schema) {
+    std::sort(group.begin(), group.end(), Mapping::RankLess);
+    expected_total += std::min(k, group.size());
+  }
+  ASSERT_EQ(a2.size(), expected_total);
+
+  std::map<int32_t, size_t> rank_within;
+  for (const auto& m : a2.mappings()) {
+    size_t& next = rank_within[m.schema_index];
+    const Mapping& expected = per_schema[m.schema_index][next];
+    // Same Δ as the exhaustive mapping at that per-schema rank (keys may
+    // permute only among exact ties).
+    EXPECT_DOUBLE_EQ(m.delta, expected.delta);
+    ++next;
+  }
+}
+
+TEST(TopKMatcherTest, LargeKEqualsExhaustive) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.8;
+  ExhaustiveMatcher s1;
+  TopKMatcher s2(TopKMatcherOptions{1000000, 0});
+  auto a1 = s1.Match(query, repo, options).value();
+  auto a2 = s2.Match(query, repo, options).value();
+  EXPECT_EQ(a1.size(), a2.size());
+}
+
+TEST(TopKMatcherTest, KOneKeepsOnlySchemaChampions) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 1.0;
+  TopKMatcher matcher(TopKMatcherOptions{1, 100000});
+  auto answers = matcher.Match(query, repo, options).value();
+  EXPECT_EQ(answers.size(), repo.schema_count());
+  // The global best (the exact copy, Δ=0) is among them.
+  EXPECT_NEAR(answers.mappings()[0].delta, 0.0, 1e-12);
+}
+
+TEST(TopKMatcherTest, RespectsThreshold) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.05;
+  TopKMatcher matcher(TopKMatcherOptions{100, 100000});
+  auto answers = matcher.Match(query, repo, options).value();
+  for (const auto& m : answers.mappings()) {
+    EXPECT_LE(m.delta, 0.05 + 1e-9);
+  }
+}
+
+TEST(TopKMatcherTest, TinyFrontierStillSound) {
+  // With a tiny frontier cap the matcher may lose answers but every answer
+  // it produces must still be an exhaustive answer with the same Δ.
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.8;
+  ExhaustiveMatcher s1;
+  TopKMatcher s2(TopKMatcherOptions{10, 8});
+  auto a1 = s1.Match(query, repo, options).value();
+  auto a2 = s2.Match(query, repo, options).value();
+  EXPECT_TRUE(AnswerSet::VerifySameObjective(a2, a1).ok());
+}
+
+TEST(TopKMatcherTest, RejectsZeroK) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  TopKMatcher matcher(TopKMatcherOptions{0, 100});
+  EXPECT_FALSE(matcher.Match(query, repo, MatchOptions{}).ok());
+}
+
+TEST(TopKMatcherTest, NameEncodesK) {
+  EXPECT_EQ(TopKMatcher(TopKMatcherOptions{7, 0}).name(), "topk-7");
+}
+
+TEST(TopKMatcherTest, StatsAreCounted) {
+  schema::Schema query = MakeQuery();
+  schema::SchemaRepository repo = MakeRepo();
+  MatchOptions options;
+  options.delta_threshold = 0.5;
+  MatchStats stats;
+  TopKMatcher matcher(TopKMatcherOptions{4, 100000});
+  auto answers = matcher.Match(query, repo, options, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_GT(stats.states_explored, 0u);
+  EXPECT_EQ(stats.mappings_emitted, answers->size());
+}
+
+}  // namespace
+}  // namespace smb::match

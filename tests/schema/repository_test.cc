@@ -1,0 +1,70 @@
+#include "schema/repository.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::schema {
+namespace {
+
+Schema MakeSmall(const std::string& doc, const std::string& root_name,
+                 int leaves) {
+  Schema s(doc);
+  NodeId root = s.AddRoot(root_name).value();
+  for (int i = 0; i < leaves; ++i) {
+    s.AddChild(root, root_name + "-leaf" + std::to_string(i)).value();
+  }
+  return s;
+}
+
+TEST(RepositoryTest, AddAndAccess) {
+  SchemaRepository repo;
+  EXPECT_EQ(repo.Add(MakeSmall("a", "alpha", 2)).value(), 0);
+  EXPECT_EQ(repo.Add(MakeSmall("b", "beta", 3)).value(), 1);
+  EXPECT_EQ(repo.schema_count(), 2u);
+  EXPECT_EQ(repo.total_elements(), 3u + 4u);
+  EXPECT_EQ(repo.schema(0).name(), "a");
+  EXPECT_EQ(repo.schema(1).name(), "b");
+}
+
+TEST(RepositoryTest, RejectsEmptySchema) {
+  SchemaRepository repo;
+  EXPECT_FALSE(repo.Add(Schema("empty")).ok());
+  EXPECT_EQ(repo.schema_count(), 0u);
+}
+
+TEST(RepositoryTest, AllElementsEnumeratesEverything) {
+  SchemaRepository repo;
+  repo.Add(MakeSmall("a", "alpha", 2)).value();
+  repo.Add(MakeSmall("b", "beta", 1)).value();
+  auto elements = repo.AllElements();
+  ASSERT_EQ(elements.size(), 5u);
+  EXPECT_EQ(elements[0], (ElementRef{0, 0}));
+  EXPECT_EQ(elements[3], (ElementRef{1, 0}));
+  EXPECT_EQ(repo.Resolve(elements[3]).name, "beta");
+}
+
+TEST(RepositoryTest, IsValidRef) {
+  SchemaRepository repo;
+  repo.Add(MakeSmall("a", "alpha", 1)).value();
+  EXPECT_TRUE(repo.IsValidRef(ElementRef{0, 0}));
+  EXPECT_TRUE(repo.IsValidRef(ElementRef{0, 1}));
+  EXPECT_FALSE(repo.IsValidRef(ElementRef{0, 2}));
+  EXPECT_FALSE(repo.IsValidRef(ElementRef{1, 0}));
+  EXPECT_FALSE(repo.IsValidRef(ElementRef{-1, 0}));
+}
+
+TEST(RepositoryTest, FindByName) {
+  SchemaRepository repo;
+  repo.Add(MakeSmall("first", "a", 1)).value();
+  repo.Add(MakeSmall("second", "b", 1)).value();
+  EXPECT_EQ(repo.FindByName("second"), 1);
+  EXPECT_EQ(repo.FindByName("missing"), -1);
+}
+
+TEST(RepositoryTest, ElementRefOrdering) {
+  EXPECT_LT((ElementRef{0, 5}), (ElementRef{1, 0}));
+  EXPECT_LT((ElementRef{1, 0}), (ElementRef{1, 3}));
+  EXPECT_EQ((ElementRef{2, 2}), (ElementRef{2, 2}));
+}
+
+}  // namespace
+}  // namespace smb::schema

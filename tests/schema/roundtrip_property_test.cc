@@ -1,0 +1,66 @@
+// Property sweeps: serialization round-trips over randomly generated
+// schemas. `ReadXsd(WriteXsd(s))` and `ParseSchemaText(WriteSchemaText(s))`
+// must reproduce the canonicalized tree for any schema the generator can
+// produce.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "schema/text_format.h"
+#include "schema/xsd_reader.h"
+#include "schema/xsd_writer.h"
+#include "synth/generator.h"
+
+namespace smb::schema {
+namespace {
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, XsdRoundTripPreservesCanonicalStructure) {
+  Rng rng(GetParam());
+  synth::SynthOptions options;
+  options.num_schemas = 10;
+  auto collection = synth::GenerateProblem(3, options, &rng).value();
+  for (const Schema& original : collection.repository.schemas()) {
+    Schema canonical = CanonicalizePreOrder(original);
+    std::string xsd = WriteXsd(canonical);
+    auto reparsed = ReadXsd(xsd, canonical.name());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\nXSD was:\n" << xsd;
+    EXPECT_TRUE(canonical.StructurallyEquals(*reparsed))
+        << "schema " << original.name();
+    // Node ids must also agree: both sides are in document pre-order.
+    for (NodeId id = 0; id < static_cast<NodeId>(canonical.size()); ++id) {
+      EXPECT_EQ(canonical.node(id).name, reparsed->node(id).name);
+    }
+  }
+}
+
+TEST_P(RoundTripPropertyTest, TextFormatRoundTripPreservesCanonicalStructure) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  synth::SynthOptions options;
+  options.num_schemas = 10;
+  auto collection = synth::GenerateProblem(3, options, &rng).value();
+  for (const Schema& original : collection.repository.schemas()) {
+    Schema canonical = CanonicalizePreOrder(original);
+    std::string text = WriteSchemaText(canonical);
+    auto reparsed = ParseSchemaText(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\ntext was:\n" << text;
+    EXPECT_TRUE(canonical.StructurallyEquals(*reparsed));
+  }
+}
+
+TEST_P(RoundTripPropertyTest, QueryRoundTripsThroughBothFormats) {
+  Rng rng(GetParam() * 31);
+  auto query = synth::GenerateQuery(synth::Domain::kBibliographic, 5, &rng)
+                   .value();
+  Schema canonical = CanonicalizePreOrder(query);
+  auto via_xsd = ReadXsd(WriteXsd(canonical), "q").value();
+  auto via_text = ParseSchemaText(WriteSchemaText(canonical)).value();
+  EXPECT_TRUE(via_xsd.StructurallyEquals(via_text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Values(1001, 1002, 1003, 1004));
+
+}  // namespace
+}  // namespace smb::schema

@@ -1,0 +1,85 @@
+#include "schema/stats.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/generator.h"
+
+namespace smb::schema {
+namespace {
+
+SchemaRepository MakeRepo() {
+  SchemaRepository repo;
+  {
+    // a(1) { b(2) { c :string (3) }, d(4) } — 4 elements, depth 2.
+    Schema s("one");
+    auto a = s.AddRoot("a").value();
+    auto b = s.AddChild(a, "b").value();
+    s.AddChild(b, "c", "string").value();
+    s.AddChild(a, "d").value();
+    repo.Add(std::move(s)).value();
+  }
+  {
+    // x { y } — 2 elements, depth 1.
+    Schema s("two");
+    auto x = s.AddRoot("x").value();
+    s.AddChild(x, "y").value();
+    repo.Add(std::move(s)).value();
+  }
+  return repo;
+}
+
+TEST(StatsTest, CountsAndShape) {
+  RepositoryStats stats = ComputeStats(MakeRepo());
+  EXPECT_EQ(stats.schema_count, 2u);
+  EXPECT_EQ(stats.total_elements, 6u);
+  EXPECT_EQ(stats.min_elements, 2u);
+  EXPECT_EQ(stats.max_elements, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_elements, 3.0);
+  EXPECT_EQ(stats.max_depth, 2);
+  // Depths: 0,1,2,1 and 0,1 -> sum 5 over 6 elements.
+  EXPECT_NEAR(stats.mean_depth, 5.0 / 6.0, 1e-12);
+  // Internal nodes: a (2 kids), b (1), x (1) -> 4/3 links per internal.
+  EXPECT_NEAR(stats.mean_fanout, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.leaf_count, 3u);
+  EXPECT_EQ(stats.typed_leaf_count, 1u);
+  EXPECT_EQ(stats.distinct_names, 6u);
+  EXPECT_EQ(stats.depth_histogram.at(0), 2u);
+  EXPECT_EQ(stats.depth_histogram.at(1), 3u);
+  EXPECT_EQ(stats.depth_histogram.at(2), 1u);
+}
+
+TEST(StatsTest, EmptyRepository) {
+  RepositoryStats stats = ComputeStats(SchemaRepository{});
+  EXPECT_EQ(stats.schema_count, 0u);
+  EXPECT_EQ(stats.total_elements, 0u);
+}
+
+TEST(StatsTest, PrintIsHumanReadable) {
+  std::ostringstream os;
+  PrintStats(ComputeStats(MakeRepo()), os);
+  EXPECT_NE(os.str().find("2 schemas"), std::string::npos);
+  EXPECT_NE(os.str().find("depth histogram:"), std::string::npos);
+}
+
+TEST(StatsTest, SyntheticCollectionLooksPlausible) {
+  // The generated population should resemble web schemas: shallow, modest
+  // fanout, heavy vocabulary reuse.
+  Rng rng(99);
+  synth::SynthOptions options;
+  options.num_schemas = 60;
+  auto collection = synth::GenerateProblem(4, options, &rng).value();
+  RepositoryStats stats = ComputeStats(collection.repository);
+  EXPECT_EQ(stats.schema_count, 60u);
+  EXPECT_LE(stats.max_depth, 10);
+  EXPECT_GE(stats.mean_fanout, 1.0);
+  EXPECT_LE(stats.mean_fanout, 8.0);
+  // Shared vocabulary: far fewer distinct names than elements.
+  EXPECT_LT(stats.distinct_names, stats.total_elements / 2);
+  EXPECT_GT(stats.typed_leaf_count, 0u);
+}
+
+}  // namespace
+}  // namespace smb::schema

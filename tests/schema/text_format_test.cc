@@ -1,0 +1,97 @@
+#include "schema/text_format.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::schema {
+namespace {
+
+constexpr const char* kLibrary =
+    "schema lib\n"
+    "library\n"
+    "  book\n"
+    "    title :string\n"
+    "    author\n"
+    "      name :string\n"
+    "  member\n";
+
+TEST(TextFormatTest, ParsesTree) {
+  auto s = ParseSchemaText(kLibrary);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->name(), "lib");
+  EXPECT_EQ(s->size(), 6u);
+  EXPECT_EQ(s->PathOf(4), "library/book/author/name");
+  EXPECT_EQ(s->node(2).type, "string");
+  EXPECT_EQ(s->node(1).type, "");
+  EXPECT_TRUE(s->Validate().ok());
+}
+
+TEST(TextFormatTest, SchemaNameIsOptional) {
+  auto s = ParseSchemaText("root\n  child\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->name(), "");
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST(TextFormatTest, CommentsAndBlankLinesIgnored) {
+  auto s = ParseSchemaText("# comment\n\nroot\n  # another\n  child\n\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST(TextFormatTest, CrlfInputAccepted) {
+  auto s = ParseSchemaText("root\r\n  child\r\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST(TextFormatTest, RoundTripsThroughWriter) {
+  Schema original = ParseSchemaText(kLibrary).value();
+  std::string text = WriteSchemaText(original);
+  Schema reparsed = ParseSchemaText(text).value();
+  EXPECT_TRUE(original.StructurallyEquals(reparsed));
+  EXPECT_EQ(original.name(), reparsed.name());
+}
+
+TEST(TextFormatTest, RejectsOddIndentation) {
+  auto s = ParseSchemaText("root\n   child\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("odd indentation"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsIndentJump) {
+  auto s = ParseSchemaText("root\n    grandchild\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("jumps"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsMultipleRoots) {
+  auto s = ParseSchemaText("a\nb\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("multiple root"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsIndentedFirstElement) {
+  EXPECT_FALSE(ParseSchemaText("  a\n").ok());
+}
+
+TEST(TextFormatTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseSchemaText("").ok());
+  EXPECT_FALSE(ParseSchemaText("# only a comment\n").ok());
+  EXPECT_FALSE(ParseSchemaText("schema name-only\n").ok());
+}
+
+TEST(TextFormatTest, RejectsNameWithSpace) {
+  EXPECT_FALSE(ParseSchemaText("two words\n").ok());
+}
+
+TEST(TextFormatTest, DedentToEarlierLevel) {
+  auto s = ParseSchemaText(
+      "r\n  a\n    a1\n  b\n    b1\n      b2\n  c\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 7u);
+  EXPECT_EQ(s->PathOf(5), "r/b/b1/b2");
+  EXPECT_EQ(s->PathOf(6), "r/c");
+}
+
+}  // namespace
+}  // namespace smb::schema

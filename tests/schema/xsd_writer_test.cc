@@ -1,0 +1,134 @@
+#include "schema/xsd_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/text_format.h"
+#include "schema/xsd_reader.h"
+
+namespace smb::schema {
+namespace {
+
+Schema MakeSchema() {
+  Schema s = ParseSchemaText(R"(schema po
+purchaseOrder
+  shipTo
+    street :string
+    city :string
+  items
+    item :string
+)").value();
+  return s;
+}
+
+TEST(XsdWriterTest, RoundTripsThroughReader) {
+  Schema original = MakeSchema();
+  std::string xsd = WriteXsd(original);
+  auto reparsed = ReadXsd(xsd, "po");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(original.StructurallyEquals(*reparsed))
+      << "xsd was:\n" << xsd;
+}
+
+TEST(XsdWriterTest, AttributesRoundTrip) {
+  Schema s("with-attrs");
+  auto root = s.AddRoot("order").value();
+  s.AddChild(root, "@orderDate", "date").value();
+  s.AddChild(root, "item", "string").value();
+  std::string xsd = WriteXsd(s);
+  EXPECT_NE(xsd.find("<xs:attribute name=\"orderDate\" type=\"xs:date\"/>"),
+            std::string::npos);
+  auto reparsed = ReadXsd(xsd, "x");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  // Reader appends attributes after elements; same node multiset.
+  EXPECT_EQ(reparsed->size(), 3u);
+  bool found_attr = false;
+  for (NodeId id : reparsed->PreOrder()) {
+    if (reparsed->node(id).name == "@orderDate") {
+      found_attr = true;
+      EXPECT_EQ(reparsed->node(id).type, "date");
+    }
+  }
+  EXPECT_TRUE(found_attr);
+}
+
+TEST(XsdWriterTest, LeafTypesSerialized) {
+  Schema s("typed");
+  auto root = s.AddRoot("a").value();
+  s.AddChild(root, "b", "decimal").value();
+  std::string xsd = WriteXsd(s);
+  EXPECT_NE(xsd.find("type=\"xs:decimal\""), std::string::npos);
+}
+
+TEST(XsdWriterTest, CustomPrefix) {
+  Schema s("p");
+  s.AddRoot("a").value();
+  XsdWriteOptions options;
+  options.prefix = "xsd";
+  std::string out = WriteXsd(s, options);
+  EXPECT_NE(out.find("<xsd:schema"), std::string::npos);
+  EXPECT_NE(out.find("<xsd:element name=\"a\"/>"), std::string::npos);
+}
+
+TEST(XsdWriterTest, EmptySchemaYieldsBareSchemaElement) {
+  std::string out = WriteXsd(Schema("empty"));
+  EXPECT_NE(out.find("<xs:schema"), std::string::npos);
+  EXPECT_EQ(out.find("<xs:element"), std::string::npos);
+}
+
+TEST(CanonicalizeTest, AssignsPreOrderIds) {
+  // Build out of document order: root, then a child of root, then a child
+  // of the FIRST child, then another child of root.
+  Schema s("scrambled");
+  auto root = s.AddRoot("r").value();             // id 0
+  auto b = s.AddChild(root, "b").value();         // id 1 (second in doc order)
+  s.AddChild(root, "a").value();                  // id 2... appended after b
+  s.AddChild(b, "b1").value();                    // id 3, child of b
+  // Document order: r, b, b1, a -> ids 0,1,3,2 in the original.
+  std::vector<NodeId> map;
+  Schema canonical = CanonicalizePreOrder(s, &map);
+  EXPECT_TRUE(canonical.Validate().ok());
+  EXPECT_TRUE(s.StructurallyEquals(canonical));
+  // Pre-order of the canonical schema must be 0,1,2,...
+  auto order = canonical.PreOrder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<NodeId>(i));
+  }
+  // Translation: old id 3 (b1) -> new id 2 (third in document order).
+  EXPECT_EQ(map[3], 2);
+  EXPECT_EQ(map[2], 3);  // old 'a' moves after b's subtree
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[1], 1);
+}
+
+TEST(CanonicalizeTest, EmptySchema) {
+  std::vector<NodeId> map = {99};
+  Schema canonical = CanonicalizePreOrder(Schema("e"), &map);
+  EXPECT_TRUE(canonical.empty());
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(CanonicalizeTest, MapOptional) {
+  Schema s("x");
+  auto root = s.AddRoot("r").value();
+  s.AddChild(root, "c").value();
+  Schema canonical = CanonicalizePreOrder(s);
+  EXPECT_TRUE(s.StructurallyEquals(canonical));
+}
+
+TEST(CanonicalizeTest, CanonicalOfCanonicalIsIdentity) {
+  Schema s("x");
+  auto root = s.AddRoot("r").value();
+  auto c1 = s.AddChild(root, "c1").value();
+  s.AddChild(root, "c2").value();
+  s.AddChild(c1, "g").value();
+  std::vector<NodeId> first_map;
+  Schema once = CanonicalizePreOrder(s, &first_map);
+  std::vector<NodeId> second_map;
+  Schema twice = CanonicalizePreOrder(once, &second_map);
+  for (size_t i = 0; i < second_map.size(); ++i) {
+    EXPECT_EQ(second_map[i], static_cast<NodeId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace smb::schema

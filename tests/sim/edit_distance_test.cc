@@ -1,0 +1,90 @@
+#include "sim/edit_distance.h"
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace smb::sim {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(DamerauTest, TranspositionCostsOne) {
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u);
+  EXPECT_EQ(DamerauLevenshteinDistance("price", "pricse"), 1u);
+  EXPECT_EQ(DamerauLevenshteinDistance("ca", "abc"), 3u);  // OSA variant
+}
+
+TEST(DamerauTest, ReducesToLevenshteinWithoutTranspositions) {
+  EXPECT_EQ(DamerauLevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(DamerauLevenshteinDistance("", "xyz"), 3u);
+}
+
+TEST(SimilarityTest, NormalizedRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(DamerauLevenshteinSimilarity("ab", "ba"), 0.5);
+}
+
+/// Property sweep: distances are metrics-ish on random identifier-like
+/// strings — symmetric, zero iff equal, triangle inequality (Levenshtein).
+class EditDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomWord(Rng* rng) {
+  static const char* kAlphabet = "abcdefgh";
+  std::string s;
+  size_t len = rng->UniformIndex(10);
+  for (size_t i = 0; i < len; ++i) {
+    s += kAlphabet[rng->UniformIndex(8)];
+  }
+  return s;
+}
+
+TEST_P(EditDistancePropertyTest, MetricProperties) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    std::string a = RandomWord(&rng);
+    std::string b = RandomWord(&rng);
+    std::string c = RandomWord(&rng);
+    size_t ab = LevenshteinDistance(a, b);
+    size_t ba = LevenshteinDistance(b, a);
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+    if (ab == 0) {
+      EXPECT_EQ(a, b);
+    }
+    // Triangle inequality.
+    EXPECT_LE(LevenshteinDistance(a, c), ab + LevenshteinDistance(b, c));
+    // Damerau never exceeds Levenshtein.
+    EXPECT_LE(DamerauLevenshteinDistance(a, b), ab);
+    // Length difference lower bound; max length upper bound.
+    size_t lo = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(ab, lo);
+    EXPECT_LE(ab, std::max(a.size(), b.size()));
+    // Similarity stays in [0, 1].
+    double sim = LevenshteinSimilarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace smb::sim

@@ -1,0 +1,84 @@
+#include "sim/jaro_winkler.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace smb::sim {
+namespace {
+
+TEST(JaroTest, ClassicExamples) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, ClassicExamples) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  double plain = JaroSimilarity("prefixmatch", "prefixxxxxx");
+  double boosted = JaroWinklerSimilarity("prefixmatch", "prefixxxxxx");
+  EXPECT_GT(boosted, plain);
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Five shared leading chars must boost no more than four.
+  double four = JaroWinklerSimilarity("abcdX", "abcdY");
+  double five = JaroWinklerSimilarity("abcdeX", "abcdeY");
+  double jaro_four = JaroSimilarity("abcdX", "abcdY");
+  double jaro_five = JaroSimilarity("abcdeX", "abcdeY");
+  EXPECT_NEAR(four - jaro_four, 0.4 * (1 - jaro_four), 1e-12);
+  EXPECT_NEAR(five - jaro_five, 0.4 * (1 - jaro_five), 1e-12);
+}
+
+TEST(JaroWinklerTest, ScaleClamped) {
+  // A huge prefix scale must not push the score above 1.
+  double s = JaroWinklerSimilarity("abcdef", "abcdxx", 5.0);
+  EXPECT_LE(s, 1.0);
+}
+
+class JaroPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JaroPropertyTest, RangeAndSymmetry) {
+  Rng rng(GetParam());
+  static const char* kAlphabet = "abcdef";
+  auto word = [&]() {
+    std::string s;
+    size_t len = rng.UniformIndex(12);
+    for (size_t i = 0; i < len; ++i) s += kAlphabet[rng.UniformIndex(6)];
+    return s;
+  };
+  for (int i = 0; i < 100; ++i) {
+    std::string a = word();
+    std::string b = word();
+    double j = JaroSimilarity(a, b);
+    double jw = JaroWinklerSimilarity(a, b);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+    EXPECT_GE(jw, j - 1e-12);  // Winkler never lowers
+    EXPECT_LE(jw, 1.0 + 1e-12);
+    EXPECT_NEAR(JaroSimilarity(b, a), j, 1e-12);
+    if (a == b && !a.empty()) {
+      EXPECT_DOUBLE_EQ(j, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaroPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace smb::sim

@@ -1,0 +1,84 @@
+#include "sim/name_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace smb::sim {
+namespace {
+
+TEST(NameSimilarityTest, EqualityIsExactlyOne) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("price", "price"), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("Price", "price"), 1.0);  // case folded
+  EXPECT_DOUBLE_EQ(NameDistance("price", "price"), 0.0);
+}
+
+TEST(NameSimilarityTest, CaseSensitivityToggle) {
+  NameSimilarityOptions options;
+  options.case_insensitive = false;
+  EXPECT_LT(NameSimilarity("Price", "price", options), 1.0);
+}
+
+TEST(NameSimilarityTest, NonEqualNamesCappedBelowOne) {
+  // Near-identical but distinct names must not reach 1.0: Δ = 0 uniquely
+  // identifies exact copies.
+  double s = NameSimilarity("customerName", "customer_name");
+  EXPECT_LE(s, 0.999);
+  EXPECT_GT(s, 0.75);
+}
+
+TEST(NameSimilarityTest, SynonymShortcut) {
+  SynonymTable table = SynonymTable::Builtin();
+  NameSimilarityOptions options;
+  options.synonyms = &table;
+  EXPECT_DOUBLE_EQ(NameSimilarity("customer", "client", options), 0.95);
+  // Without the table the two names share almost nothing.
+  EXPECT_LT(NameSimilarity("customer", "client"), 0.6);
+}
+
+TEST(NameSimilarityTest, OrderedByIntuitiveCloseness) {
+  double typo = NameSimilarity("quantity", "quantiy");
+  double abbrev = NameSimilarity("quantity", "qntty");
+  double unrelated = NameSimilarity("quantity", "author");
+  EXPECT_GT(typo, abbrev);
+  EXPECT_GT(abbrev, unrelated);
+  EXPECT_LT(unrelated, 0.35);
+}
+
+TEST(NameSimilarityTest, ZeroWeightsGiveZero) {
+  NameSimilarityOptions options;
+  options.weight_levenshtein = 0;
+  options.weight_jaro_winkler = 0;
+  options.weight_trigram = 0;
+  options.weight_token = 0;
+  EXPECT_DOUBLE_EQ(NameSimilarity("abc", "abd", options), 0.0);
+  // Equality bypasses the weights.
+  EXPECT_DOUBLE_EQ(NameSimilarity("abc", "abc", options), 1.0);
+}
+
+TEST(NameSimilarityTest, SingleMeasureWeights) {
+  NameSimilarityOptions lev_only;
+  lev_only.weight_jaro_winkler = 0;
+  lev_only.weight_trigram = 0;
+  lev_only.weight_token = 0;
+  // With only Levenshtein: sim("abcd","abcx") = 0.75 (capped at 0.999).
+  EXPECT_NEAR(NameSimilarity("abcd", "abcx", lev_only), 0.75, 1e-9);
+}
+
+TEST(NameSimilarityTest, DistanceComplement) {
+  Rng rng(5);
+  static const char* kNames[] = {"order", "orderId", "purchaseOrder",
+                                 "author", "qty", "quantity"};
+  for (const char* a : kNames) {
+    for (const char* b : kNames) {
+      double s = NameSimilarity(a, b);
+      EXPECT_NEAR(NameDistance(a, b), 1.0 - s, 1e-12);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_NEAR(NameSimilarity(b, a), s, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smb::sim

@@ -1,0 +1,74 @@
+#include "sim/ngram.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace smb::sim {
+namespace {
+
+TEST(NgramTest, ExtractionWithPadding) {
+  auto grams = ExtractNgrams("ab", 3);
+  // "##ab##" -> ##a, #ab, ab#, b## (sorted)
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(grams.begin(), grams.end()));
+  EXPECT_NE(std::find(grams.begin(), grams.end(), "#ab"), grams.end());
+  EXPECT_NE(std::find(grams.begin(), grams.end(), "ab#"), grams.end());
+}
+
+TEST(NgramTest, ExtractionEdgeCases) {
+  EXPECT_TRUE(ExtractNgrams("x", 0).empty());
+  auto one = ExtractNgrams("", 3);
+  // "####" -> 2 grams of pure padding
+  EXPECT_EQ(one.size(), 2u);
+  auto bigram = ExtractNgrams("ab", 2);
+  EXPECT_EQ(bigram.size(), 3u);  // "#ab#": #a, ab, b#
+}
+
+TEST(NgramTest, DiceIdentity) {
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("price", "price"), 1.0);
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("", ""), 1.0);
+}
+
+TEST(NgramTest, DiceDisjoint) {
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("aaaa", "zzzz", 2), 0.0);
+}
+
+TEST(NgramTest, DiceKnownValue) {
+  // "night" vs "nacht" with n=2 padded: "#night#" and "#nacht#".
+  // grams night: #n,ni,ig,gh,ht,t# ; nacht: #n,na,ac,ch,ht,t#
+  // common: #n, ht, t# = 3; dice = 2*3/(6+6) = 0.5
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("night", "nacht", 2), 0.5);
+}
+
+TEST(NgramTest, JaccardVsDiceOrdering) {
+  // For any pair, Jaccard <= Dice (J = D / (2 - D)).
+  const char* pairs[][2] = {
+      {"address", "addr"}, {"price", "cost"}, {"customer", "customerId"}};
+  for (auto& p : pairs) {
+    double d = NgramDiceSimilarity(p[0], p[1]);
+    double j = NgramJaccardSimilarity(p[0], p[1]);
+    EXPECT_LE(j, d + 1e-12) << p[0] << " / " << p[1];
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(NgramTest, SimilarWordsScoreHigherThanDissimilar) {
+  double close = NgramDiceSimilarity("quantity", "quantiti");
+  double far = NgramDiceSimilarity("quantity", "author");
+  EXPECT_GT(close, 0.6);
+  EXPECT_LT(far, 0.2);
+}
+
+TEST(NgramTest, MultisetSemanticsForRepeatedGrams) {
+  // "aaa" has repeated "aa" grams; multiset intersection counts them.
+  double self = NgramDiceSimilarity("aaaa", "aaaa", 2);
+  EXPECT_DOUBLE_EQ(self, 1.0);
+  double partial = NgramDiceSimilarity("aaaa", "aa", 2);
+  EXPECT_GT(partial, 0.5);
+  EXPECT_LT(partial, 1.0);
+}
+
+}  // namespace
+}  // namespace smb::sim

@@ -1,0 +1,61 @@
+#include "sim/synonyms.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::sim {
+namespace {
+
+TEST(SynonymTableTest, BasicGroups) {
+  SynonymTable table;
+  table.AddGroup({"car", "auto", "vehicle"});
+  table.AddGroup({"house", "home"});
+  EXPECT_TRUE(table.AreSynonyms("car", "auto"));
+  EXPECT_TRUE(table.AreSynonyms("auto", "vehicle"));
+  EXPECT_FALSE(table.AreSynonyms("car", "house"));
+  EXPECT_EQ(table.group_count(), 2u);
+  EXPECT_EQ(table.word_count(), 5u);
+}
+
+TEST(SynonymTableTest, SelfIsAlwaysSynonym) {
+  SynonymTable table;
+  EXPECT_TRUE(table.AreSynonyms("anything", "anything"));
+  EXPECT_FALSE(table.AreSynonyms("unknown1", "unknown2"));
+}
+
+TEST(SynonymTableTest, CaseInsensitive) {
+  SynonymTable table;
+  table.AddGroup({"Price", "COST"});
+  EXPECT_TRUE(table.AreSynonyms("price", "cost"));
+  EXPECT_TRUE(table.AreSynonyms("PRICE", "Cost"));
+}
+
+TEST(SynonymTableTest, TransitiveMerge) {
+  SynonymTable table;
+  table.AddGroup({"a", "b"});
+  table.AddGroup({"c", "d"});
+  EXPECT_FALSE(table.AreSynonyms("a", "c"));
+  table.AddGroup({"b", "c"});  // merges the two groups
+  EXPECT_TRUE(table.AreSynonyms("a", "d"));
+}
+
+TEST(SynonymTableTest, GroupOfUnknownIsMinusOne) {
+  SynonymTable table;
+  table.AddGroup({"x", "y"});
+  EXPECT_EQ(table.GroupOf("zzz"), -1);
+  EXPECT_GE(table.GroupOf("x"), 0);
+  EXPECT_EQ(table.GroupOf("x"), table.GroupOf("y"));
+}
+
+TEST(SynonymTableTest, BuiltinCoversDomainVocabulary) {
+  SynonymTable table = SynonymTable::Builtin();
+  EXPECT_TRUE(table.AreSynonyms("customer", "client"));
+  EXPECT_TRUE(table.AreSynonyms("quantity", "qty"));
+  EXPECT_TRUE(table.AreSynonyms("author", "writer"));
+  EXPECT_TRUE(table.AreSynonyms("employee", "staff"));
+  EXPECT_TRUE(table.AreSynonyms("zip", "postcode"));
+  EXPECT_FALSE(table.AreSynonyms("customer", "invoice"));
+  EXPECT_GT(table.group_count(), 30u);
+}
+
+}  // namespace
+}  // namespace smb::sim

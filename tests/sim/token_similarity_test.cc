@@ -1,0 +1,71 @@
+#include "sim/token_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::sim {
+namespace {
+
+TEST(TokenSimilarityTest, IdenticalNames) {
+  EXPECT_DOUBLE_EQ(TokenNameSimilarity("shipAddress", "shipAddress"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenNameSimilarity("", ""), 1.0);
+}
+
+TEST(TokenSimilarityTest, EmptyVersusNonEmpty) {
+  EXPECT_DOUBLE_EQ(TokenNameSimilarity("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenNameSimilarity("x", ""), 0.0);
+}
+
+TEST(TokenSimilarityTest, WordOrderInsensitive) {
+  double ab = TokenNameSimilarity("shipAddress", "addressShip");
+  EXPECT_DOUBLE_EQ(ab, 1.0);
+}
+
+TEST(TokenSimilarityTest, CaseConventionsMatch) {
+  EXPECT_DOUBLE_EQ(TokenNameSimilarity("ship_address", "shipAddress"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenNameSimilarity("ship-address", "ShipAddress"), 1.0);
+}
+
+TEST(TokenSimilarityTest, PartialOverlapDilutes) {
+  // one of two tokens matches exactly: 1 / (2 + 1 - 1) = 0.5
+  double s = TokenNameSimilarity("shipAddress", "shipDock");
+  EXPECT_GT(s, 0.3);
+  EXPECT_LT(s, 0.8);
+}
+
+TEST(TokenSimilarityTest, SynonymsScoreNearOne) {
+  SynonymTable table = SynonymTable::Builtin();
+  TokenSimilarityOptions options;
+  options.synonyms = &table;
+  double with = TokenNameSimilarity("customerName", "clientName", options);
+  double without = TokenNameSimilarity("customerName", "clientName");
+  EXPECT_NEAR(with, (0.95 + 1.0) / 2.0, 1e-9);
+  EXPECT_GT(with, without);
+}
+
+TEST(TokenSimilarityTest, NoiseGateDropsWeakPairs) {
+  TokenSimilarityOptions options;
+  options.min_token_score = 0.99;  // only exact-ish pairs survive
+  double s = TokenNameSimilarity("price", "prize", options);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(TokenSimilarityTest, FuzzyTokenFallback) {
+  // 'qty2' vs 'qty' pairs via Jaro-Winkler above the default gate.
+  double s = TokenNameSimilarity("qtyOrdered", "qtyOrderd");
+  EXPECT_GT(s, 0.8);
+}
+
+TEST(TokenListSimilarityTest, GreedyPairingIsStable) {
+  std::vector<std::string> a = {"alpha", "beta"};
+  std::vector<std::string> b = {"beta", "alpha"};
+  EXPECT_DOUBLE_EQ(TokenListSimilarity(a, b), 1.0);
+}
+
+TEST(TokenListSimilarityTest, SymmetricScores) {
+  std::vector<std::string> a = {"ship", "address", "line"};
+  std::vector<std::string> b = {"address", "zone"};
+  EXPECT_NEAR(TokenListSimilarity(a, b), TokenListSimilarity(b, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace smb::sim

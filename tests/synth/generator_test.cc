@@ -1,0 +1,154 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::synth {
+namespace {
+
+SynthOptions SmallOptions() {
+  SynthOptions options;
+  options.num_schemas = 20;
+  options.min_schema_elements = 6;
+  options.max_schema_elements = 12;
+  options.plant_probability = 0.8;
+  options.near_miss_probability = 0.5;
+  return options;
+}
+
+TEST(GeneratorTest, GenerateQueryShape) {
+  Rng rng(3);
+  auto query = GenerateQuery(Domain::kECommerce, 4, &rng);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->size(), 4u);
+  EXPECT_TRUE(query->Validate().ok());
+  // Unique names.
+  std::set<std::string> names;
+  for (auto id : query->PreOrder()) names.insert(query->node(id).name);
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(GeneratorTest, GenerateQueryRejectsZeroElements) {
+  Rng rng(3);
+  EXPECT_FALSE(GenerateQuery(Domain::kECommerce, 0, &rng).ok());
+}
+
+TEST(GeneratorTest, CollectionHasPlantsAndValidSchemas) {
+  Rng rng(7);
+  auto query = GenerateQuery(Domain::kECommerce, 3, &rng).value();
+  auto collection = GenerateCollection(query, SmallOptions(), &rng);
+  ASSERT_TRUE(collection.ok()) << collection.status();
+  EXPECT_EQ(collection->repository.schema_count(), 20u);
+  EXPECT_FALSE(collection->truth.empty());
+  EXPECT_EQ(collection->truth.size(), collection->planted.size());
+  for (const auto& schema : collection->repository.schemas()) {
+    EXPECT_TRUE(schema.Validate().ok());
+  }
+}
+
+TEST(GeneratorTest, PlantedKeysReferenceValidElements) {
+  Rng rng(11);
+  auto query = GenerateQuery(Domain::kBibliographic, 3, &rng).value();
+  auto collection = GenerateCollection(query, SmallOptions(), &rng).value();
+  for (const auto& key : collection.planted) {
+    ASSERT_EQ(key.targets.size(), query.size());
+    for (schema::NodeId target : key.targets) {
+      EXPECT_TRUE(collection.repository.IsValidRef(
+          schema::ElementRef{key.schema_index, target}));
+    }
+    // Truth contains every planted key.
+    EXPECT_TRUE(collection.truth.Contains(key));
+  }
+}
+
+TEST(GeneratorTest, PlantedTargetsAreDistinctPerMapping) {
+  // Each planted node is freshly created, so a correct mapping never maps
+  // two query elements to one node (injective by construction).
+  Rng rng(13);
+  auto query = GenerateQuery(Domain::kHumanResources, 4, &rng).value();
+  auto collection = GenerateCollection(query, SmallOptions(), &rng).value();
+  for (const auto& key : collection.planted) {
+    std::set<schema::NodeId> targets(key.targets.begin(), key.targets.end());
+    EXPECT_EQ(targets.size(), key.targets.size());
+  }
+}
+
+TEST(GeneratorTest, NearMissesAreCounted) {
+  Rng rng(17);
+  auto query = GenerateQuery(Domain::kECommerce, 3, &rng).value();
+  SynthOptions options = SmallOptions();
+  options.near_miss_probability = 1.0;
+  auto collection = GenerateCollection(query, options, &rng).value();
+  EXPECT_EQ(collection.near_misses, options.num_schemas);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  SynthOptions options = SmallOptions();
+  Rng a(42);
+  auto col_a = GenerateProblem(3, options, &a).value();
+  Rng b(42);
+  auto col_b = GenerateProblem(3, options, &b).value();
+  EXPECT_TRUE(col_a.query.StructurallyEquals(col_b.query));
+  ASSERT_EQ(col_a.repository.schema_count(), col_b.repository.schema_count());
+  for (size_t i = 0; i < col_a.repository.schema_count(); ++i) {
+    EXPECT_TRUE(col_a.repository.schema(static_cast<int32_t>(i))
+                    .StructurallyEquals(
+                        col_b.repository.schema(static_cast<int32_t>(i))));
+  }
+  EXPECT_EQ(col_a.planted.size(), col_b.planted.size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SynthOptions options = SmallOptions();
+  Rng a(1);
+  Rng b(2);
+  auto col_a = GenerateProblem(3, options, &a).value();
+  auto col_b = GenerateProblem(3, options, &b).value();
+  bool same = col_a.repository.schema_count() == col_b.repository.schema_count();
+  if (same) {
+    for (size_t i = 0; i < col_a.repository.schema_count(); ++i) {
+      if (!col_a.repository.schema(static_cast<int32_t>(i))
+               .StructurallyEquals(
+                   col_b.repository.schema(static_cast<int32_t>(i)))) {
+        same = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(GeneratorTest, HostSizeRangeRespectedModuloPlants) {
+  Rng rng(19);
+  auto query = GenerateQuery(Domain::kECommerce, 3, &rng).value();
+  SynthOptions options = SmallOptions();
+  options.plant_probability = 0.0;
+  options.near_miss_probability = 0.0;
+  // All plants disabled: generation fails (H would be empty) — so keep one.
+  options.plant_probability = 0.05;
+  auto collection = GenerateCollection(query, options, &rng);
+  ASSERT_TRUE(collection.ok()) << collection.status();
+  for (const auto& schema : collection->repository.schemas()) {
+    EXPECT_GE(schema.size(), options.min_schema_elements);
+    // Hosts can exceed max via planted copies/wrappers, bounded by
+    // 2 * (query + wrappers) extra elements.
+    EXPECT_LE(schema.size(),
+              options.max_schema_elements + 2 * (2 * query.size()));
+  }
+}
+
+TEST(GeneratorTest, InvalidOptionsRejected) {
+  Rng rng(23);
+  auto query = GenerateQuery(Domain::kECommerce, 3, &rng).value();
+  SynthOptions bad = SmallOptions();
+  bad.num_schemas = 0;
+  EXPECT_FALSE(GenerateCollection(query, bad, &rng).ok());
+  bad = SmallOptions();
+  bad.min_schema_elements = 10;
+  bad.max_schema_elements = 5;
+  EXPECT_FALSE(GenerateCollection(query, bad, &rng).ok());
+  EXPECT_FALSE(GenerateCollection(schema::Schema(), SmallOptions(), &rng).ok());
+  EXPECT_FALSE(GenerateCollection(query, SmallOptions(), nullptr).ok());
+}
+
+}  // namespace
+}  // namespace smb::synth

@@ -1,0 +1,127 @@
+#include "synth/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/name_similarity.h"
+
+namespace smb::synth {
+namespace {
+
+TEST(PerturbTest, SynonymRenameUsesGroupSibling) {
+  sim::SynonymTable table = sim::SynonymTable::Builtin();
+  Rng rng(3);
+  bool renamed = false;
+  for (int i = 0; i < 20; ++i) {
+    std::string out = SynonymRename("customer", table, &rng);
+    EXPECT_NE(out, "");
+    if (out != "customer") {
+      renamed = true;
+      EXPECT_TRUE(table.AreSynonyms("customer", out)) << out;
+    }
+  }
+  EXPECT_TRUE(renamed);
+}
+
+TEST(PerturbTest, SynonymRenamePreservesCompoundStructure) {
+  sim::SynonymTable table = sim::SynonymTable::Builtin();
+  Rng rng(5);
+  std::string out = SynonymRename("customerName", table, &rng);
+  // First token swapped, camelCase retained.
+  EXPECT_NE(out.find("Name"), std::string::npos);
+}
+
+TEST(PerturbTest, SynonymRenameUnknownWordUnchanged) {
+  sim::SynonymTable table = sim::SynonymTable::Builtin();
+  Rng rng(7);
+  EXPECT_EQ(SynonymRename("xyzzy", table, &rng), "xyzzy");
+}
+
+TEST(PerturbTest, AbbreviateShortens) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    std::string out = Abbreviate("quantity", &rng);
+    EXPECT_LT(out.size(), 8u);
+    EXPECT_GE(out.size(), 2u);
+    EXPECT_EQ(out[0], 'q');
+  }
+  EXPECT_EQ(Abbreviate("ab", &rng), "ab");  // too short to abbreviate
+}
+
+TEST(PerturbTest, DecorateAddsAffix) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    std::string out = Decorate("price", &rng);
+    EXPECT_GT(out.size(), 5u);
+    EXPECT_NE(out.find("rice"), std::string::npos);  // stem survives
+  }
+}
+
+TEST(PerturbTest, TypoStaysClose) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    std::string out = IntroduceTypo("customer", &rng);
+    EXPECT_FALSE(out.empty());
+    double sim = sim::NameSimilarity("customer", out);
+    EXPECT_GT(sim, 0.6) << out;
+  }
+  EXPECT_EQ(IntroduceTypo("a", &rng), "a");
+}
+
+TEST(PerturbTest, ZeroStrengthIsIdentity) {
+  PerturbOptions options;
+  options.strength = 0.0;
+  Rng rng(19);
+  for (const char* name : {"customer", "orderId", "shipAddress"}) {
+    EXPECT_EQ(PerturbName(name, options, &rng), name);
+  }
+}
+
+TEST(PerturbTest, PerturbedNamesRemainRecognizable) {
+  // The objective must still rank a perturbed copy above noise, so the
+  // perturbed name should stay measurably similar to the original.
+  static const sim::SynonymTable table = sim::SynonymTable::Builtin();
+  PerturbOptions options;
+  options.synonyms = &table;
+  sim::NameSimilarityOptions nopts;
+  nopts.synonyms = &table;
+  Rng rng(23);
+  int close = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::string out = PerturbName("customerName", options, &rng);
+    ++total;
+    if (sim::NameSimilarity("customerName", out, nopts) > 0.5) ++close;
+  }
+  EXPECT_GT(close, total * 3 / 4);
+}
+
+TEST(PerturbTest, HigherStrengthPerturbsMoreOften) {
+  static const sim::SynonymTable table = sim::SynonymTable::Builtin();
+  PerturbOptions weak;
+  weak.synonyms = &table;
+  weak.strength = 0.3;
+  PerturbOptions strong = weak;
+  strong.strength = 3.0;
+  Rng rng_w(29), rng_s(29);
+  int changed_weak = 0, changed_strong = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (PerturbName("quantity", weak, &rng_w) != "quantity") ++changed_weak;
+    if (PerturbName("quantity", strong, &rng_s) != "quantity") {
+      ++changed_strong;
+    }
+  }
+  EXPECT_GT(changed_strong, changed_weak);
+}
+
+TEST(PerturbTest, DeterministicGivenSeed) {
+  static const sim::SynonymTable table = sim::SynonymTable::Builtin();
+  PerturbOptions options;
+  options.synonyms = &table;
+  Rng a(31), b(31);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(PerturbName("shipAddress", options, &a),
+              PerturbName("shipAddress", options, &b));
+  }
+}
+
+}  // namespace
+}  // namespace smb::synth

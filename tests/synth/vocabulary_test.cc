@@ -1,0 +1,73 @@
+#include "synth/vocabulary.h"
+
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace smb::synth {
+namespace {
+
+TEST(VocabularyTest, DomainsHaveDistinctPools) {
+  Vocabulary ecommerce = Vocabulary::ForDomain(Domain::kECommerce);
+  Vocabulary biblio = Vocabulary::ForDomain(Domain::kBibliographic);
+  Vocabulary hr = Vocabulary::ForDomain(Domain::kHumanResources);
+  EXPECT_GE(ecommerce.words().size(), 30u);
+  EXPECT_GE(biblio.words().size(), 30u);
+  EXPECT_GE(hr.words().size(), 30u);
+  EXPECT_NE(ecommerce.words(), biblio.words());
+}
+
+TEST(VocabularyTest, RandomWordComesFromPool) {
+  Vocabulary vocab = Vocabulary::ForDomain(Domain::kECommerce);
+  std::set<std::string> pool(vocab.words().begin(), vocab.words().end());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.count(vocab.RandomWord(&rng)) > 0);
+  }
+}
+
+TEST(VocabularyTest, CompoundNamesAreCamelCase) {
+  Vocabulary vocab = Vocabulary::ForDomain(Domain::kECommerce);
+  Rng rng(7);
+  bool saw_compound = false;
+  for (int i = 0; i < 200 && !saw_compound; ++i) {
+    std::string name = vocab.RandomElementName(&rng, 1.0);
+    for (size_t c = 1; c < name.size(); ++c) {
+      if (std::isupper(static_cast<unsigned char>(name[c]))) {
+        saw_compound = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_compound);
+}
+
+TEST(VocabularyTest, ZeroCompoundProbabilityGivesSingleWords) {
+  Vocabulary vocab = Vocabulary::ForDomain(Domain::kHumanResources);
+  std::set<std::string> pool(vocab.words().begin(), vocab.words().end());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.count(vocab.RandomElementName(&rng, 0.0)) > 0);
+  }
+}
+
+TEST(VocabularyTest, DeterministicGivenSeed) {
+  Vocabulary vocab = Vocabulary::ForDomain(Domain::kBibliographic);
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(vocab.RandomElementName(&a), vocab.RandomElementName(&b));
+  }
+}
+
+TEST(VocabularyTest, RandomTypeFromFixedSet) {
+  Rng rng(5);
+  std::set<std::string> allowed = {"string", "int", "decimal", "date",
+                                   "boolean"};
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(allowed.count(Vocabulary::RandomType(&rng)) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace smb::synth

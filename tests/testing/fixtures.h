@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "schema/repository.h"
+#include "schema/schema.h"
+
+/// \file fixtures.h
+/// \brief Small hand-built schemas shared by matcher and eval tests.
+
+namespace smb::testing {
+
+/// Query: order { orderId :string, customer }  (3 elements)
+inline schema::Schema MakeQuery() {
+  schema::Schema q("query");
+  auto root = q.AddRoot("order").value();
+  q.AddChild(root, "orderId", "string").value();
+  q.AddChild(root, "customer").value();
+  return q;
+}
+
+/// A repository schema containing an exact copy of the query under a
+/// wrapper, plus noise elements. The exact-copy mapping has Δ = 0.
+/// Layout (pre-order ids in comments):
+///   store            (0)
+///     order          (1)   <- copy root
+///       orderId      (2)   <- :string
+///       customer     (3)
+///     inventory      (4)
+///       product      (5)
+inline schema::Schema MakeHostWithExactCopy() {
+  schema::Schema s("host-exact");
+  auto root = s.AddRoot("store").value();
+  auto order = s.AddChild(root, "order").value();
+  s.AddChild(order, "orderId", "string").value();
+  s.AddChild(order, "customer").value();
+  auto inv = s.AddChild(root, "inventory").value();
+  s.AddChild(inv, "product").value();
+  return s;
+}
+
+/// A repository schema with a renamed/perturbed copy (synonyms):
+///   shop             (0)
+///     purchase       (1)   ~ order
+///       purchaseId   (2)   ~ orderId
+///       client       (3)   ~ customer
+///     misc           (4)
+inline schema::Schema MakeHostWithSynonymCopy() {
+  schema::Schema s("host-synonym");
+  auto root = s.AddRoot("shop").value();
+  auto purchase = s.AddChild(root, "purchase").value();
+  s.AddChild(purchase, "purchaseId", "string").value();
+  s.AddChild(purchase, "client").value();
+  s.AddChild(root, "misc").value();
+  return s;
+}
+
+/// A distractor schema with no good mapping.
+inline schema::Schema MakeDistractor(const std::string& name) {
+  schema::Schema s(name);
+  auto root = s.AddRoot("zoo").value();
+  auto animals = s.AddChild(root, "animals").value();
+  s.AddChild(animals, "giraffe").value();
+  s.AddChild(animals, "zebra").value();
+  s.AddChild(root, "keeper").value();
+  return s;
+}
+
+/// Three-schema repository: exact copy, synonym copy, distractor.
+inline schema::SchemaRepository MakeRepo() {
+  schema::SchemaRepository repo;
+  repo.Add(MakeHostWithExactCopy()).value();
+  repo.Add(MakeHostWithSynonymCopy()).value();
+  repo.Add(MakeDistractor("host-distractor")).value();
+  return repo;
+}
+
+}  // namespace smb::testing

@@ -1,0 +1,92 @@
+// Robustness sweep: the parser must never crash or hang on mutated input —
+// it either parses or returns a ParseError. Mutations are applied to a
+// valid document: byte flips, truncations, duplications.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace smb::xml {
+namespace {
+
+constexpr const char* kValid =
+    R"(<?xml version="1.0"?>
+<catalog year="2006">
+  <!-- inventory -->
+  <book id="b1"><title>A &amp; B</title><price>9.50</price></book>
+  <book id="b2"><![CDATA[raw <data>]]></book>
+</catalog>)";
+
+class ParserRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRobustnessTest, ByteFlipsNeverCrash) {
+  Rng rng(GetParam());
+  const std::string valid = kValid;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    size_t flips = 1 + rng.UniformIndex(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.UniformIndex(mutated.size());
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    auto result = ParseXml(mutated);  // must not crash
+    if (result.ok()) {
+      // If it still parses, the writer must be able to serialize it.
+      std::string rewritten = WriteXml(*result);
+      EXPECT_FALSE(rewritten.empty());
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserRobustnessTest, TruncationsNeverCrash) {
+  Rng rng(GetParam() * 7);
+  const std::string valid = kValid;
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t cut = rng.UniformIndex(valid.size());
+    auto result = ParseXml(valid.substr(0, cut));
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() * 13);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    size_t len = rng.UniformIndex(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(1, 127));
+    }
+    auto result = ParseXml(garbage);
+    // Overwhelmingly a parse error; occasionally valid (e.g., "<a/>").
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserRobustnessTest, DuplicatedChunksNeverCrash) {
+  Rng rng(GetParam() * 17);
+  const std::string valid = kValid;
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t start = rng.UniformIndex(valid.size());
+    size_t len = rng.UniformIndex(valid.size() - start);
+    std::string mutated = valid;
+    mutated.insert(rng.UniformIndex(mutated.size()),
+                   valid.substr(start, len));
+    (void)ParseXml(mutated);  // outcome irrelevant; must terminate cleanly
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustnessTest,
+                         ::testing::Values(42, 43, 44));
+
+}  // namespace
+}  // namespace smb::xml

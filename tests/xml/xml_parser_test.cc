@@ -1,0 +1,174 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::xml {
+namespace {
+
+TEST(XmlParserTest, ParsesSimpleElement) {
+  auto doc = ParseXml("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.name(), "root");
+  EXPECT_TRUE(doc->root.children().empty());
+}
+
+TEST(XmlParserTest, ParsesNestedElements) {
+  auto doc = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->root.children().size(), 2u);
+  EXPECT_EQ(doc->root.children()[0].name(), "b");
+  EXPECT_EQ(doc->root.children()[1].name(), "d");
+  ASSERT_EQ(doc->root.children()[0].children().size(), 1u);
+  EXPECT_EQ(doc->root.children()[0].children()[0].name(), "c");
+}
+
+TEST(XmlParserTest, ParsesAttributes) {
+  auto doc = ParseXml(R"(<e name="book" type='string' count="3"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.GetAttributeOr("name", ""), "book");
+  EXPECT_EQ(doc->root.GetAttributeOr("type", ""), "string");
+  EXPECT_EQ(doc->root.GetAttributeOr("count", ""), "3");
+  EXPECT_FALSE(doc->root.GetAttribute("missing").has_value());
+  EXPECT_EQ(doc->root.GetAttributeOr("missing", "dflt"), "dflt");
+}
+
+TEST(XmlParserTest, ParsesTextContent) {
+  auto doc = ParseXml("<t>hello world</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.InnerText(), "hello world");
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextIsDropped) {
+  auto doc = ParseXml("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.children().size(), 1u);
+}
+
+TEST(XmlParserTest, DecodesEntities) {
+  auto doc = ParseXml("<t a=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.GetAttributeOr("a", ""), "<>&\"'");
+  EXPECT_EQ(doc->root.InnerText(), "AB");
+}
+
+TEST(XmlParserTest, DecodesMultibyteCharRef) {
+  auto doc = ParseXml("<t>&#233;</t>");  // é
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.InnerText(), "\xC3\xA9");
+}
+
+TEST(XmlParserTest, ParsesComments) {
+  auto doc = ParseXml("<a><!-- note --><b/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->root.children().size(), 2u);
+  EXPECT_TRUE(doc->root.children()[0].is_comment());
+  EXPECT_EQ(doc->root.children()[0].text(), " note ");
+}
+
+TEST(XmlParserTest, ParsesCData) {
+  auto doc = ParseXml("<t><![CDATA[a <b> & c]]></t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.InnerText(), "a <b> & c");
+}
+
+TEST(XmlParserTest, SkipsPrologAndDoctype) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!-- header comment -->\n"
+      "<!DOCTYPE root [ <!ELEMENT root ANY> ]>\n"
+      "<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.name(), "root");
+}
+
+TEST(XmlParserTest, TrailingCommentsAllowed) {
+  auto doc = ParseXml("<root/><!-- bye -->");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+}
+
+TEST(XmlParserTest, NamespacePrefixesKeptVerbatim) {
+  auto doc = ParseXml("<xs:schema xmlns:xs=\"http://x\"><xs:element/></xs:schema>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.name(), "xs:schema");
+  EXPECT_EQ(doc->root.LocalName(), "schema");
+  EXPECT_EQ(doc->root.children()[0].LocalName(), "element");
+}
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  auto doc = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserTest, RejectsUnterminatedElement) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+  EXPECT_FALSE(ParseXml("<a").ok());
+}
+
+TEST(XmlParserTest, RejectsDuplicateAttribute) {
+  auto doc = ParseXml(R"(<a x="1" x="2"/>)");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(XmlParserTest, RejectsBadEntity) {
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#0;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&noend</a>").ok());
+}
+
+TEST(XmlParserTest, RejectsContentAfterRoot) {
+  auto doc = ParseXml("<a/><b/>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("after root"), std::string::npos);
+}
+
+TEST(XmlParserTest, RejectsProcessingInstructionInBody) {
+  EXPECT_FALSE(ParseXml("<a><?pi data?></a>").ok());
+}
+
+TEST(XmlParserTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   \n ").ok());
+  EXPECT_FALSE(ParseXml("just text").ok());
+}
+
+TEST(XmlParserTest, RejectsAttributeWithoutValue) {
+  EXPECT_FALSE(ParseXml("<a x/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=unquoted/>").ok());
+}
+
+TEST(XmlParserTest, ErrorsCarryLineAndColumn) {
+  auto doc = ParseXml("<a>\n  <b x=></b>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("2:"), std::string::npos);
+}
+
+TEST(XmlParserTest, FileNotFound) {
+  auto doc = ParseXmlFile("/nonexistent/path.xml");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kIOError);
+}
+
+TEST(XmlParserTest, FindChildHelpers) {
+  auto doc = ParseXml("<a><b i=\"1\"/><c/><b i=\"2\"/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const XmlNode* b = doc->root.FindChild("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->GetAttributeOr("i", ""), "1");
+  EXPECT_EQ(doc->root.FindChildren("b").size(), 2u);
+  EXPECT_EQ(doc->root.ChildElements().size(), 3u);
+  EXPECT_EQ(doc->root.FindChild("zzz"), nullptr);
+}
+
+TEST(XmlParserTest, SubtreeSize) {
+  auto doc = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root.SubtreeSize(), 4u);
+}
+
+}  // namespace
+}  // namespace smb::xml

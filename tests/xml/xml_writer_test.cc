@@ -1,0 +1,96 @@
+#include "xml/xml_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+
+namespace smb::xml {
+namespace {
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeXml("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(EscapeXml("plain"), "plain");
+  EXPECT_EQ(EscapeXml(""), "");
+}
+
+TEST(XmlWriterTest, WritesSelfClosingForEmptyElement) {
+  XmlNode e = XmlNode::Element("empty");
+  XmlWriteOptions options;
+  options.declaration = false;
+  EXPECT_EQ(WriteXml(e, options), "<empty/>\n");
+}
+
+TEST(XmlWriterTest, WritesAttributesEscaped) {
+  XmlNode e = XmlNode::Element("e");
+  e.SetAttribute("a", "x<y");
+  XmlWriteOptions options;
+  options.declaration = false;
+  EXPECT_EQ(WriteXml(e, options), "<e a=\"x&lt;y\"/>\n");
+}
+
+TEST(XmlWriterTest, IndentsNestedChildren) {
+  XmlNode root = XmlNode::Element("a");
+  root.AddChild(XmlNode::Element("b")).AddChild(XmlNode::Element("c"));
+  XmlWriteOptions options;
+  options.declaration = false;
+  std::string out = WriteXml(root, options);
+  EXPECT_NE(out.find("\n  <b>"), std::string::npos);
+  EXPECT_NE(out.find("\n    <c/>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, CompactModeNoNewlines) {
+  XmlNode root = XmlNode::Element("a");
+  root.AddChild(XmlNode::Element("b"));
+  XmlWriteOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(WriteXml(root, options), "<a><b/></a>");
+}
+
+TEST(XmlWriterTest, DocumentIncludesDeclaration) {
+  XmlDocument doc;
+  doc.root = XmlNode::Element("r");
+  std::string out = WriteXml(doc);
+  EXPECT_EQ(out.find("<?xml version=\"1.0\""), 0u);
+}
+
+TEST(XmlWriterTest, CommentsKeptOrStripped) {
+  XmlNode root = XmlNode::Element("a");
+  root.AddChild(XmlNode::Comment(" hi "));
+  XmlWriteOptions keep;
+  keep.declaration = false;
+  EXPECT_NE(WriteXml(root, keep).find("<!-- hi -->"), std::string::npos);
+  XmlWriteOptions strip = keep;
+  strip.keep_comments = false;
+  std::string out = WriteXml(root, strip);
+  EXPECT_EQ(out.find("<!--"), std::string::npos);
+  // With only comment children stripped, the element self-closes.
+  EXPECT_NE(out.find("<a/>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, RoundTripsThroughParser) {
+  const char* input =
+      "<catalog year=\"2006\"><book id=\"1\"><title>A &amp; B</title>"
+      "</book><book id=\"2\"/></catalog>";
+  auto doc = ParseXml(input);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::string written = WriteXml(*doc);
+  auto reparsed = ParseXml(written);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->root.name(), "catalog");
+  EXPECT_EQ(reparsed->root.ChildElements().size(), 2u);
+  EXPECT_EQ(reparsed->root.ChildElements()[0]->FindChild("title")->InnerText(),
+            "A & B");
+}
+
+TEST(XmlWriterTest, TextNodesEscapedOnWrite) {
+  XmlNode root = XmlNode::Element("t");
+  root.AddChild(XmlNode::Text("1 < 2 & 3"));
+  XmlWriteOptions options;
+  options.declaration = false;
+  options.indent = 0;
+  EXPECT_EQ(WriteXml(root, options), "<t>1 &lt; 2 &amp; 3</t>");
+}
+
+}  // namespace
+}  // namespace smb::xml

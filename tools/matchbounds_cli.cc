@@ -1,0 +1,332 @@
+// matchbounds — command-line front end for the library.
+//
+// Commands:
+//   generate   synthesize a test collection (schemas as .xsd + truth CSV)
+//   match      run a matcher over a repository directory, dump answers CSV
+//   curve      measure a P/R curve from answers + ground truth
+//   bounds     compute effectiveness bounds from a curve + an answers file
+//              (or a prebuilt bounds-input CSV)
+//
+// Every artifact is a CSV (see src/io/) so the steps can run on different
+// machines — the decoupled workflow the paper's technique enables.
+//
+// Examples:
+//   matchbounds generate --out=/tmp/col --schemas=50 --seed=7
+//   matchbounds match --repo=/tmp/col --query=/tmp/col/query.txt
+//       --matcher=exhaustive --out=/tmp/s1.csv
+//   matchbounds match --repo=/tmp/col --query=/tmp/col/query.txt
+//       --matcher=beam --beam=6 --out=/tmp/s2.csv
+//   matchbounds curve --answers=/tmp/s1.csv --truth=/tmp/col/truth.csv
+//       --max=0.25 --step=0.01 --out=/tmp/s1_curve.csv
+//   matchbounds bounds --curve=/tmp/s1_curve.csv --s2=/tmp/s2.csv
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+
+#include "bounds/bounds_report.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "eval/pr_curve.h"
+#include "io/answer_set_io.h"
+#include "io/curve_io.h"
+#include "io/csv.h"
+#include "match/beam_matcher.h"
+#include "match/cluster_matcher.h"
+#include "match/exhaustive_matcher.h"
+#include "match/topk_matcher.h"
+#include "schema/text_format.h"
+#include "schema/xsd_reader.h"
+#include "schema/stats.h"
+#include "schema/xsd_writer.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace smb;
+namespace fs = std::filesystem;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+void PrintUsage() {
+  std::cout <<
+      R"(usage: matchbounds <command> [flags]
+
+commands:
+  generate  --out=DIR [--schemas=N] [--query-elements=N] [--seed=N]
+            synthesize a collection: DIR/schema-*.xsd, DIR/query.txt,
+            DIR/truth.csv
+  match     --repo=DIR --query=FILE --out=FILE
+            [--matcher=exhaustive|beam|cluster|topk] [--beam=N] [--topm=N]
+            [--k=N] [--delta=X] run a matcher, write the ranked answers
+  curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
+            measure the P/R curve of an answers file
+  bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
+            compute best/worst/random effectiveness bounds for S2
+  stats     --repo=DIR
+            print shape statistics of a schema repository
+)";
+}
+
+Result<schema::SchemaRepository> LoadRepository(const std::string& dir) {
+  schema::SchemaRepository repo;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".xsd") files.push_back(entry.path());
+  }
+  if (ec) {
+    return Status::IOError("cannot list directory " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    SMB_ASSIGN_OR_RETURN(schema::Schema schema,
+                         schema::ReadXsdFile(file.string()));
+    schema.set_name(file.filename().string());
+    SMB_RETURN_IF_ERROR(repo.Add(std::move(schema)).status());
+  }
+  if (repo.schema_count() == 0) {
+    return Status::NotFound("no .xsd files in " + dir);
+  }
+  return repo;
+}
+
+int CmdGenerate(const CommandLine& cl) {
+  std::string out_dir = cl.Get("out");
+  if (out_dir.empty()) return Fail(Status::InvalidArgument("--out required"));
+  auto schemas = cl.GetUint("schemas", 50);
+  auto query_elements = cl.GetUint("query-elements", 4);
+  auto seed = cl.GetUint("seed", 2006);
+  if (!schemas.ok()) return Fail(schemas.status());
+  if (!query_elements.ok()) return Fail(query_elements.status());
+  if (!seed.ok()) return Fail(seed.status());
+
+  Rng rng(*seed);
+  synth::SynthOptions options;
+  options.num_schemas = *schemas;
+  auto collection = synth::GenerateProblem(*query_elements, options, &rng);
+  if (!collection.ok()) return Fail(collection.status());
+
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    return Fail(Status::IOError("cannot create " + out_dir + ": " +
+                                ec.message()));
+  }
+  // A reader reconstructs node ids in document pre-order; canonicalize the
+  // schemas the same way and translate the planted keys, so truth.csv stays
+  // valid against the re-read repository.
+  std::vector<std::vector<schema::NodeId>> id_maps(
+      collection->repository.schema_count());
+  for (size_t i = 0; i < collection->repository.schema_count(); ++i) {
+    schema::Schema canonical = schema::CanonicalizePreOrder(
+        collection->repository.schema(static_cast<int32_t>(i)), &id_maps[i]);
+    std::string path =
+        out_dir + "/schema-" + StrFormat("%04zu", i) + ".xsd";
+    if (Status st = io::WriteTextFile(path, schema::WriteXsd(canonical));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  eval::GroundTruth canonical_truth;
+  std::vector<match::Mapping::Key> canonical_keys;
+  for (const match::Mapping::Key& key : collection->planted) {
+    match::Mapping::Key mapped = key;
+    const auto& id_map = id_maps[static_cast<size_t>(key.schema_index)];
+    for (schema::NodeId& target : mapped.targets) {
+      target = id_map[static_cast<size_t>(target)];
+    }
+    canonical_truth.AddCorrect(mapped);
+    canonical_keys.push_back(std::move(mapped));
+  }
+  if (Status st = io::WriteTextFile(
+          out_dir + "/query.txt",
+          schema::WriteSchemaText(collection->query));
+      !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = io::WriteTextFile(
+          out_dir + "/truth.csv",
+          io::WriteGroundTruthCsv(canonical_truth, canonical_keys));
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "wrote " << collection->repository.schema_count()
+            << " schemas, query.txt and truth.csv (|H| = "
+            << collection->truth.size() << ") to " << out_dir << "\n";
+  return 0;
+}
+
+int CmdMatch(const CommandLine& cl) {
+  std::string repo_dir = cl.Get("repo");
+  std::string query_path = cl.Get("query");
+  std::string out_path = cl.Get("out");
+  if (repo_dir.empty() || query_path.empty() || out_path.empty()) {
+    return Fail(Status::InvalidArgument("--repo, --query and --out required"));
+  }
+  auto repo = LoadRepository(repo_dir);
+  if (!repo.ok()) return Fail(repo.status());
+  auto query_text = io::ReadTextFile(query_path);
+  if (!query_text.ok()) return Fail(query_text.status());
+  auto query = schema::ParseSchemaText(*query_text);
+  if (!query.ok()) return Fail(query.status());
+
+  static const sim::SynonymTable kSynonyms = sim::SynonymTable::Builtin();
+  match::MatchOptions options;
+  auto delta = cl.GetDouble("delta", 0.25);
+  if (!delta.ok()) return Fail(delta.status());
+  options.delta_threshold = *delta;
+  options.objective.name.synonyms = &kSynonyms;
+
+  std::string kind = cl.Get("matcher", "exhaustive");
+  Result<match::AnswerSet> answers = Status::Internal("unreachable");
+  match::MatchStats stats;
+  if (kind == "exhaustive") {
+    match::ExhaustiveMatcher matcher;
+    answers = matcher.Match(*query, *repo, options, &stats);
+  } else if (kind == "beam") {
+    auto width = cl.GetUint("beam", 6);
+    if (!width.ok()) return Fail(width.status());
+    match::BeamMatcher matcher(match::BeamMatcherOptions{
+        static_cast<size_t>(*width)});
+    answers = matcher.Match(*query, *repo, options, &stats);
+  } else if (kind == "cluster") {
+    auto top_m = cl.GetUint("topm", 4);
+    if (!top_m.ok()) return Fail(top_m.status());
+    auto seed = cl.GetUint("seed", 2006);
+    if (!seed.ok()) return Fail(seed.status());
+    Rng rng(*seed);
+    match::ClusterMatcherOptions copts;
+    copts.top_m_clusters = static_cast<size_t>(*top_m);
+    auto matcher = match::ClusterMatcher::Create(*repo, copts, &rng);
+    if (!matcher.ok()) return Fail(matcher.status());
+    answers = matcher->Match(*query, *repo, options, &stats);
+  } else if (kind == "topk") {
+    auto k = cl.GetUint("k", 10);
+    if (!k.ok()) return Fail(k.status());
+    match::TopKMatcher matcher(match::TopKMatcherOptions{
+        static_cast<size_t>(*k), 100000});
+    answers = matcher.Match(*query, *repo, options, &stats);
+  } else {
+    return Fail(Status::InvalidArgument("unknown matcher '" + kind + "'"));
+  }
+  if (!answers.ok()) return Fail(answers.status());
+  if (Status st = io::WriteAnswerSetFile(out_path, *answers); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << kind << " matcher: " << answers->size() << " answers (Δ ≤ "
+            << *delta << "), " << stats.states_explored
+            << " states explored -> " << out_path << "\n";
+  return 0;
+}
+
+int CmdCurve(const CommandLine& cl) {
+  std::string answers_path = cl.Get("answers");
+  std::string truth_path = cl.Get("truth");
+  std::string out_path = cl.Get("out");
+  if (answers_path.empty() || truth_path.empty() || out_path.empty()) {
+    return Fail(
+        Status::InvalidArgument("--answers, --truth and --out required"));
+  }
+  auto answers = io::ReadAnswerSetFile(answers_path);
+  if (!answers.ok()) return Fail(answers.status());
+  auto truth_text = io::ReadTextFile(truth_path);
+  if (!truth_text.ok()) return Fail(truth_text.status());
+  auto truth = io::ReadGroundTruthCsv(*truth_text);
+  if (!truth.ok()) return Fail(truth.status());
+
+  auto max = cl.GetDouble("max", 0.25);
+  auto step = cl.GetDouble("step", 0.01);
+  if (!max.ok()) return Fail(max.status());
+  if (!step.ok()) return Fail(step.status());
+  auto curve = eval::PrCurve::Measure(*answers, *truth,
+                                      eval::UniformThresholds(*max, *step));
+  if (!curve.ok()) return Fail(curve.status());
+  if (Status st = io::WritePrCurveFile(out_path, *curve); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "measured " << curve->size() << " curve points (|H| = "
+            << curve->total_correct() << ") -> " << out_path << "\n";
+  return 0;
+}
+
+int CmdBounds(const CommandLine& cl) {
+  Result<bounds::BoundsInput> input = Status::Internal("unreachable");
+  if (cl.Has("input")) {
+    input = io::ReadBoundsInputFile(cl.Get("input"));
+  } else {
+    std::string curve_path = cl.Get("curve");
+    std::string s2_path = cl.Get("s2");
+    if (curve_path.empty() || s2_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--curve and --s2 (or --input) required"));
+    }
+    auto curve = io::ReadPrCurveFile(curve_path);
+    if (!curve.ok()) return Fail(curve.status());
+    auto s2 = io::ReadAnswerSetFile(s2_path);
+    if (!s2.ok()) return Fail(s2.status());
+    std::vector<double> thresholds;
+    for (const auto& p : curve->points()) thresholds.push_back(p.threshold);
+    input = bounds::InputFromMeasuredCurve(*curve, s2->SizesAt(thresholds));
+  }
+  if (!input.ok()) return Fail(input.status());
+
+  auto report = bounds::ComputeBoundsReport(*input);
+  if (!report.ok()) return Fail(report.status());
+
+  TextTable table({"δ", "Â", "worst P", "best P", "rand P", "worst R",
+                   "best R", "worst F1", "best F1"});
+  for (const auto& point : report->incremental.points) {
+    bounds::F1Bounds f1 = bounds::F1BoundsAt(point);
+    table.AddRow({FormatDouble(point.threshold, 3),
+                  FormatDouble(point.ratio, 3),
+                  FormatDouble(point.worst.precision, 3),
+                  FormatDouble(point.best.precision, 3),
+                  FormatDouble(point.random.precision, 3),
+                  FormatDouble(point.worst.recall, 3),
+                  FormatDouble(point.best.recall, 3),
+                  FormatDouble(f1.worst, 3), FormatDouble(f1.best, 3)});
+  }
+  table.Print(std::cout);
+
+  auto min_precision = cl.GetDouble("precision", 0.5);
+  if (!min_precision.ok()) return Fail(min_precision.status());
+  std::cout << "\nguaranteed worst-case precision ≥ " << *min_precision
+            << " up to recall "
+            << FormatDouble(bounds::GuaranteedRecallAt(report->incremental,
+                                                       *min_precision),
+                            3)
+            << "\n";
+  return 0;
+}
+
+int CmdStats(const CommandLine& cl) {
+  std::string repo_dir = cl.Get("repo");
+  if (repo_dir.empty()) {
+    return Fail(Status::InvalidArgument("--repo required"));
+  }
+  auto repo = LoadRepository(repo_dir);
+  if (!repo.ok()) return Fail(repo.status());
+  schema::PrintStats(schema::ComputeStats(*repo), std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return Fail(cl.status());
+  const std::string& command = cl->command();
+  if (command == "generate") return CmdGenerate(*cl);
+  if (command == "match") return CmdMatch(*cl);
+  if (command == "curve") return CmdCurve(*cl);
+  if (command == "bounds") return CmdBounds(*cl);
+  if (command == "stats") return CmdStats(*cl);
+  PrintUsage();
+  return command.empty() || command == "help" ? 0 : 1;
+}
