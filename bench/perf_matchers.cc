@@ -4,13 +4,17 @@
 // Compares the exhaustive system against its two non-exhaustive
 // improvements on identical collections.
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include <benchmark/benchmark.h>
 
+#include "engine/batch_match_engine.h"
 #include "match/beam_matcher.h"
 #include "match/cluster_matcher.h"
 #include "match/exhaustive_matcher.h"
+#include "match/topk_matcher.h"
 #include "synth/generator.h"
 
 namespace {
@@ -93,6 +97,111 @@ void BM_ClusterMatcher(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterMatcher)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
+
+// --- Sharded batch engine vs the single-threaded seed path ---------------
+//
+// Same matcher, same collection; the only variable is the thread count of
+// the batch engine (Arg). Arg(0) is the direct single-threaded matcher run
+// without the engine — the seed baseline. Each batch variant asserts once
+// that its answer set is identical (keys and Δ) to the baseline, so the
+// reported speedup is for *identical* output.
+
+void CheckAnswersIdentical(const match::AnswerSet& batch,
+                           const match::AnswerSet& direct,
+                           const char* label) {
+  bool same = batch.size() == direct.size();
+  for (size_t i = 0; same && i < batch.size(); ++i) {
+    const match::Mapping& a = batch.mappings()[i];
+    const match::Mapping& b = direct.mappings()[i];
+    same = a.key() == b.key() && a.delta == b.delta;
+  }
+  if (!same) {
+    std::fprintf(stderr,
+                 "%s: sharded answers differ from single-threaded answers "
+                 "(%zu vs %zu)\n",
+                 label, batch.size(), direct.size());
+    std::abort();
+  }
+}
+
+void BM_TopKMatcherSingleThread(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  match::TopKMatcher matcher(match::TopKMatcherOptions{10, 100000});
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = matcher.Match(setup.collection.query,
+                                setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_TopKMatcherSingleThread)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchTopKMatcher(benchmark::State& state) {
+  const size_t kSchemas = 400;
+  const Setup& setup = GetSetup(kSchemas);
+  match::TopKMatcher matcher(match::TopKMatcherOptions{10, 100000});
+  engine::BatchMatchOptions bopts;
+  bopts.num_threads = static_cast<size_t>(state.range(0));
+  engine::BatchMatchEngine batch(bopts);
+
+  auto direct = matcher.Match(setup.collection.query,
+                              setup.collection.repository, setup.mopts);
+  auto check = batch.Run(matcher, setup.collection.query,
+                         setup.collection.repository, setup.mopts);
+  CheckAnswersIdentical(*check, *direct, "BM_BatchTopKMatcher");
+
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = batch.Run(matcher, setup.collection.query,
+                            setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_BatchTopKMatcher)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchExhaustiveMatcher(benchmark::State& state) {
+  const size_t kSchemas = 400;
+  const Setup& setup = GetSetup(kSchemas);
+  match::ExhaustiveMatcher matcher;
+  engine::BatchMatchOptions bopts;
+  bopts.num_threads = static_cast<size_t>(state.range(0));
+  engine::BatchMatchEngine batch(bopts);
+
+  auto direct = matcher.Match(setup.collection.query,
+                              setup.collection.repository, setup.mopts);
+  auto check = batch.Run(matcher, setup.collection.query,
+                         setup.collection.repository, setup.mopts);
+  CheckAnswersIdentical(*check, *direct, "BM_BatchExhaustiveMatcher");
+
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = batch.Run(matcher, setup.collection.query,
+                            setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_BatchExhaustiveMatcher)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SimilarityPoolBuild(benchmark::State& state) {
+  const Setup& setup = GetSetup(400);
+  for (auto _ : state) {
+    auto pool = engine::SimilarityMatrixPool::Build(
+        setup.collection.query, setup.collection.repository,
+        setup.mopts.objective, static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(pool);
+  }
+}
+BENCHMARK(BM_SimilarityPoolBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ClusteringBuild(benchmark::State& state) {
   const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));

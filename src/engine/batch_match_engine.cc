@@ -1,0 +1,170 @@
+#include "engine/batch_match_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace smb::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Shard {
+  int32_t first_schema = 0;
+  size_t schema_count = 0;
+};
+
+std::vector<Shard> PartitionSchemas(size_t schema_count, size_t shard_size) {
+  std::vector<Shard> shards;
+  for (size_t base = 0; base < schema_count; base += shard_size) {
+    Shard shard;
+    shard.first_schema = static_cast<int32_t>(base);
+    shard.schema_count = std::min(shard_size, schema_count - base);
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+}  // namespace
+
+Result<match::AnswerSet> BatchMatchEngine::Run(
+    const match::Matcher& matcher, const schema::Schema& query,
+    const schema::SchemaRepository& repo,
+    const match::MatchOptions& match_options, BatchMatchStats* stats) const {
+  if (match_options.shared_costs != nullptr) {
+    return Status::InvalidArgument(
+        "MatchOptions::shared_costs is managed by the batch engine and must "
+        "be null on entry");
+  }
+
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Matchers holding cross-schema state (e.g. a clustering indexed by
+  // global schema position) cannot run against shards: one single-threaded
+  // whole-repository run. No shared pool either — such matchers prune by
+  // their own candidate sets and would read only a sliver of a dense pool,
+  // so the lazy per-instance cache is strictly cheaper. An empty repository
+  // takes the same path purely to surface the matcher's own validation
+  // error.
+  if (!matcher.SupportsSharding() || repo.schema_count() == 0) {
+    BatchMatchStats local;
+    local.threads_used = 1;
+    local.shard_count = repo.schema_count() == 0 ? 0 : 1;
+    local.fell_back_to_single_run = !matcher.SupportsSharding();
+    Clock::time_point start = Clock::now();
+    Result<match::AnswerSet> answers =
+        matcher.Match(query, repo, match_options, &local.match);
+    local.match_seconds = SecondsSince(start);
+    if (!answers.ok()) return answers.status();
+    if (options_.global_top_k > 0) {
+      answers = answers->TopN(options_.global_top_k);
+    }
+    if (stats != nullptr) *stats = local;
+    return answers;
+  }
+
+  size_t shard_size = options_.shard_size;
+  if (shard_size == 0) {
+    // Several shards per thread so a slow shard doesn't idle the others;
+    // at least one schema per shard.
+    shard_size = std::max<size_t>(1, repo.schema_count() / (threads * 4));
+  }
+  std::vector<Shard> shards = PartitionSchemas(repo.schema_count(),
+                                               shard_size);
+
+  BatchMatchStats local;
+  local.shard_count = shards.size();
+
+  // Phase 1: shared similarity precompute. Parallel across *schemas*, not
+  // shards, so it gets the full thread count even when shards are few.
+  std::optional<SimilarityMatrixPool> pool;
+  if (options_.share_similarity_matrices && !query.empty()) {
+    Clock::time_point start = Clock::now();
+    SMB_ASSIGN_OR_RETURN(
+        pool, SimilarityMatrixPool::Build(query, repo, match_options.objective,
+                                          threads));
+    local.precompute_seconds = SecondsSince(start);
+  }
+
+  threads = std::min(threads, shards.size());
+  local.threads_used = threads;
+
+  // Phase 2: workers claim shards off a shared counter. Every slot below is
+  // written by exactly one worker, so no locking is needed.
+  std::vector<Result<match::AnswerSet>> shard_answers(
+      shards.size(), Status::Internal("shard never ran"));
+  std::vector<match::MatchStats> shard_stats(shards.size());
+  std::atomic<size_t> next_shard{0};
+  Clock::time_point match_start = Clock::now();
+  auto worker = [&]() {
+    for (size_t i = next_shard.fetch_add(1); i < shards.size();
+         i = next_shard.fetch_add(1)) {
+      const Shard& shard = shards[i];
+      schema::SchemaRepository shard_repo;
+      Status build_status = Status::OK();
+      for (size_t s = 0; s < shard.schema_count; ++s) {
+        auto added = shard_repo.Add(repo.schema(
+            shard.first_schema + static_cast<int32_t>(s)));
+        if (!added.ok()) {
+          build_status = added.status().WithContext(
+              "while building repository shard " + std::to_string(i));
+          break;
+        }
+      }
+      if (!build_status.ok()) {
+        shard_answers[i] = build_status;
+        continue;
+      }
+      ShardCostView view(pool ? &*pool : nullptr, shard.first_schema);
+      match::MatchOptions shard_options = match_options;
+      if (pool) shard_options.shared_costs = &view;
+      shard_answers[i] =
+          matcher.Match(query, shard_repo, shard_options, &shard_stats[i]);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) workers.emplace_back(worker);
+    for (std::thread& w : workers) w.join();
+  }
+  local.match_seconds = SecondsSince(match_start);
+
+  // Merge: first error (by shard order) wins; otherwise translate each
+  // shard-local schema index back to the global repository and re-rank.
+  match::AnswerSet merged;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (!shard_answers[i].ok()) {
+      return shard_answers[i].status().WithContext(
+          "shard " + std::to_string(i) + " of " +
+          std::to_string(shards.size()));
+    }
+    local.match += shard_stats[i];
+    for (const match::Mapping& mapping : shard_answers[i]->mappings()) {
+      match::Mapping global = mapping;
+      global.schema_index += shards[i].first_schema;
+      merged.Add(std::move(global));
+    }
+  }
+  merged.Finalize();
+  if (options_.global_top_k > 0) {
+    merged = merged.TopN(options_.global_top_k);
+  }
+  if (stats != nullptr) *stats = local;
+  return merged;
+}
+
+}  // namespace smb::engine

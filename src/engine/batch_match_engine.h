@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "engine/similarity_matrix_pool.h"
+#include "match/answer_set.h"
+#include "match/matcher.h"
+#include "schema/repository.h"
+#include "schema/schema.h"
+
+/// \file batch_match_engine.h
+/// \brief Sharded, multi-threaded matching over a schema repository.
+///
+/// The matchers process repository schemas independently, so a matching run
+/// parallelizes by splitting the repository into contiguous shards and
+/// running the matcher on each shard from a worker-thread pool. Name/type
+/// costs are precomputed once in a shared `SimilarityMatrixPool` (itself
+/// built in parallel) and handed to every worker as immutable views, so no
+/// similarity is ever computed twice and no worker mutates shared state.
+/// Per-shard answer sets are merged — schema indices translated back to the
+/// global repository — into one globally ranked answer set, optionally cut
+/// to a global top-k.
+///
+/// The merged answers are *identical* (keys and Δ) to a direct
+/// single-threaded `matcher.Match(query, repo, ...)` run for any
+/// shard-safe matcher (`Matcher::SupportsSharding()`), for every thread
+/// count and shard size: per-schema work is bit-identical, and
+/// `AnswerSet::Finalize` imposes the same deterministic global order.
+
+namespace smb::engine {
+
+/// \brief Batch engine configuration.
+struct BatchMatchOptions {
+  /// Worker threads (0 ⇒ hardware concurrency). 1 still runs the sharded
+  /// code path, inline on the calling thread.
+  size_t num_threads = 1;
+  /// Repository schemas per shard; 0 picks a size that gives each thread
+  /// several shards to balance uneven schema costs.
+  size_t shard_size = 0;
+  /// Keep only the globally best k answers after the merge (0 = keep all).
+  size_t global_top_k = 0;
+  /// Precompute the shared similarity pool. Disabling falls back to each
+  /// worker's private lazy cache (costs are then computed once per shard
+  /// that touches them instead of once globally).
+  bool share_similarity_matrices = true;
+};
+
+/// \brief What a batch run did (timings in seconds, wall clock).
+struct BatchMatchStats {
+  /// Matcher work counters accumulated across all shards.
+  match::MatchStats match;
+  size_t shard_count = 0;
+  size_t threads_used = 0;
+  /// True when the matcher refused sharding and the engine fell back to one
+  /// single-threaded whole-repository run.
+  bool fell_back_to_single_run = false;
+  double precompute_seconds = 0.0;
+  double match_seconds = 0.0;
+};
+
+/// \brief Runs a matcher over repository shards on a worker-thread pool.
+class BatchMatchEngine {
+ public:
+  explicit BatchMatchEngine(BatchMatchOptions options = {})
+      : options_(options) {}
+
+  /// \brief Matches `query` against `repo` with `matcher`, sharded across
+  /// worker threads. `match_options.shared_costs` is managed by the engine
+  /// and must be null. On any shard failure the first error (by shard
+  /// order) is returned.
+  Result<match::AnswerSet> Run(const match::Matcher& matcher,
+                               const schema::Schema& query,
+                               const schema::SchemaRepository& repo,
+                               const match::MatchOptions& match_options,
+                               BatchMatchStats* stats = nullptr) const;
+
+  const BatchMatchOptions& options() const { return options_; }
+
+ private:
+  BatchMatchOptions options_;
+};
+
+}  // namespace smb::engine

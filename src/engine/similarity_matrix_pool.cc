@@ -1,0 +1,85 @@
+#include "engine/similarity_matrix_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace smb::engine {
+
+Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
+    const schema::Schema& query, const schema::SchemaRepository& repo,
+    const match::ObjectiveOptions& options, size_t num_threads) {
+  if (query.empty()) {
+    return Status::InvalidArgument(
+        "similarity pool needs a non-empty query schema");
+  }
+  SMB_RETURN_IF_ERROR(query.Validate());
+
+  SimilarityMatrixPool pool;
+  const std::vector<schema::NodeId> preorder = query.PreOrder();
+  pool.positions_ = preorder.size();
+  pool.matrices_.resize(repo.schema_count());
+  pool.schema_sizes_.resize(repo.schema_count());
+
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::max<size_t>(
+      1, std::min(num_threads, std::max<size_t>(1, repo.schema_count())));
+
+  // Fold/tokenize each query name once instead of once per (pair) — the
+  // prepared overloads are bit-identical to the string path.
+  std::vector<sim::PreparedName> prepared_query;
+  prepared_query.reserve(preorder.size());
+  for (schema::NodeId id : preorder) {
+    prepared_query.push_back(sim::PrepareName(query.node(id).name,
+                                              options.name));
+  }
+
+  // Workers claim whole schemas off a shared counter; each matrix is
+  // written by exactly one thread, so no locking is needed.
+  std::atomic<size_t> next_schema{0};
+  auto fill = [&]() {
+    std::vector<sim::PreparedName> prepared_target;
+    for (size_t si = next_schema.fetch_add(1); si < repo.schema_count();
+         si = next_schema.fetch_add(1)) {
+      const schema::Schema& s = repo.schema(static_cast<int32_t>(si));
+      std::vector<double>& matrix = pool.matrices_[si];
+      pool.schema_sizes_[si] = s.size();
+      matrix.resize(preorder.size() * s.size());
+      prepared_target.clear();
+      prepared_target.reserve(s.size());
+      for (size_t node = 0; node < s.size(); ++node) {
+        prepared_target.push_back(sim::PrepareName(
+            s.node(static_cast<schema::NodeId>(node)).name, options.name));
+      }
+      for (size_t pos = 0; pos < preorder.size(); ++pos) {
+        const schema::SchemaNode& q = query.node(preorder[pos]);
+        for (size_t node = 0; node < s.size(); ++node) {
+          matrix[pos * s.size() + node] = match::ComputeNodeCost(
+              q, prepared_query[pos],
+              s.node(static_cast<schema::NodeId>(node)),
+              prepared_target[node], options);
+        }
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    fill();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) workers.emplace_back(fill);
+    for (std::thread& w : workers) w.join();
+  }
+
+  pool.stats_.schema_count = repo.schema_count();
+  pool.stats_.threads_used = num_threads;
+  for (const auto& matrix : pool.matrices_) {
+    pool.stats_.total_entries += matrix.size();
+  }
+  return pool;
+}
+
+}  // namespace smb::engine

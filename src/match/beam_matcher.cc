@@ -23,7 +23,8 @@ Result<AnswerSet> BeamMatcher::Match(const schema::Schema& query,
   if (options_.beam_width == 0) {
     return Status::InvalidArgument("beam_width must be positive");
   }
-  ObjectiveFunction objective(&query, &repo, options.objective);
+  ObjectiveFunction objective(&query, &repo, options.objective,
+                              options.shared_costs);
   const size_t m = objective.query_preorder().size();
   const double budget =
       options.delta_threshold * objective.normalizer() + 1e-12;

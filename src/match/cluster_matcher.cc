@@ -26,7 +26,8 @@ Result<AnswerSet> ClusterMatcher::Match(const schema::Schema& query,
   if (clustering_ == nullptr) {
     return Status::FailedPrecondition("cluster matcher has no clustering");
   }
-  ObjectiveFunction objective(&query, &repo, options.objective);
+  ObjectiveFunction objective(&query, &repo, options.objective,
+                              options.shared_costs);
   const size_t m = objective.query_preorder().size();
   const double budget =
       options.delta_threshold * objective.normalizer() + 1e-12;

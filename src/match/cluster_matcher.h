@@ -47,6 +47,10 @@ class ClusterMatcher : public Matcher {
     return "cluster-top" + std::to_string(options_.top_m_clusters);
   }
 
+  /// The clustering addresses elements by global schema index, so the
+  /// matcher cannot run against repository shards.
+  bool SupportsSharding() const override { return false; }
+
   Result<AnswerSet> Match(const schema::Schema& query,
                           const schema::SchemaRepository& repo,
                           const MatchOptions& options,

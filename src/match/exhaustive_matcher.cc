@@ -115,7 +115,8 @@ Result<AnswerSet> ExhaustiveMatcher::Match(const schema::Schema& query,
                                            const MatchOptions& options,
                                            MatchStats* stats) const {
   SMB_RETURN_IF_ERROR(ValidateInputs(query, repo, options));
-  ObjectiveFunction objective(&query, &repo, options.objective);
+  ObjectiveFunction objective(&query, &repo, options.objective,
+                              options.shared_costs);
   AnswerSet answers;
   for (size_t s = 0; s < repo.schema_count(); ++s) {
     SchemaEnumerator enumerator(objective, static_cast<int32_t>(s), options,

@@ -27,6 +27,11 @@ struct MatchOptions {
   /// Upper bound on the query size the enumerating matchers accept
   /// (the search space is |schema|^m per repository schema).
   size_t max_query_elements = 12;
+  /// Optional precomputed node-cost matrices (engine::SimilarityMatrixPool).
+  /// When set, matchers read name+type costs from it instead of filling the
+  /// objective's lazy per-instance cache; the provider must outlive the
+  /// Match call and must index schemas the same way as `repo`.
+  const NodeCostProvider* shared_costs = nullptr;
 };
 
 /// \brief Counters describing the work a matcher performed; the currency of
@@ -54,6 +59,13 @@ class Matcher {
 
   /// Short system name for reports ("exhaustive", "beam-8", ...).
   virtual std::string name() const = 0;
+
+  /// \brief True when Match treats repository schemas independently, so the
+  /// batch engine may split the repository into shards and run them on
+  /// worker threads. Matchers that consult cross-schema state indexed by
+  /// global schema position (e.g. a prebuilt clustering) must return false;
+  /// the engine then falls back to one single-threaded whole-repository run.
+  virtual bool SupportsSharding() const { return true; }
 
   /// \brief Solves matching problem Q: returns the ranked answer set of all
   /// mappings the system finds with Δ ≤ `options.delta_threshold`.

@@ -5,10 +5,41 @@
 
 namespace smb::match {
 
+namespace {
+
+double ApplyTypePenalty(double cost, const schema::SchemaNode& q,
+                        const schema::SchemaNode& t,
+                        const ObjectiveOptions& options) {
+  if (options.type_aware && !q.type.empty() && !t.type.empty() &&
+      q.type != t.type) {
+    return std::min(1.0, cost + options.type_mismatch_penalty);
+  }
+  return cost;
+}
+
+}  // namespace
+
+double ComputeNodeCost(const schema::SchemaNode& q, const schema::SchemaNode& t,
+                       const ObjectiveOptions& options) {
+  return ApplyTypePenalty(sim::NameDistance(q.name, t.name, options.name), q, t,
+                          options);
+}
+
+double ComputeNodeCost(const schema::SchemaNode& q, const sim::PreparedName& qp,
+                       const schema::SchemaNode& t, const sim::PreparedName& tp,
+                       const ObjectiveOptions& options) {
+  return ApplyTypePenalty(sim::NameDistance(qp, tp, options.name), q, t,
+                          options);
+}
+
 ObjectiveFunction::ObjectiveFunction(const schema::Schema* query,
                                      const schema::SchemaRepository* repo,
-                                     ObjectiveOptions options)
-    : query_(query), repo_(repo), options_(std::move(options)) {
+                                     ObjectiveOptions options,
+                                     const NodeCostProvider* shared_costs)
+    : query_(query),
+      repo_(repo),
+      options_(std::move(options)),
+      shared_costs_(shared_costs) {
   assert(query_ != nullptr && repo_ != nullptr);
   preorder_ = query_->PreOrder();
   // Map NodeId -> pre-order position, then derive parent positions.
@@ -35,6 +66,11 @@ ObjectiveFunction::ObjectiveFunction(const schema::Schema* query,
 double ObjectiveFunction::NodeCost(size_t pos, int32_t schema_index,
                                    schema::NodeId target) const {
   const schema::Schema& s = repo_->schema(schema_index);
+  if (shared_costs_ != nullptr) {
+    if (const double* matrix = shared_costs_->NodeCostMatrix(schema_index)) {
+      return matrix[pos * s.size() + static_cast<size_t>(target)];
+    }
+  }
   auto& schema_cache = cache_[static_cast<size_t>(schema_index)];
   if (schema_cache.empty()) {
     schema_cache.assign(preorder_.size() * s.size(), -1.0);
@@ -42,15 +78,9 @@ double ObjectiveFunction::NodeCost(size_t pos, int32_t schema_index,
   double& slot = schema_cache[pos * s.size() + static_cast<size_t>(target)];
   if (slot >= 0.0) return slot;
 
-  const schema::SchemaNode& q = query_->node(preorder_[pos]);
-  const schema::SchemaNode& t = s.node(target);
-  double cost = sim::NameDistance(q.name, t.name, options_.name);
-  if (options_.type_aware && !q.type.empty() && !t.type.empty() &&
-      q.type != t.type) {
-    cost = std::min(1.0, cost + options_.type_mismatch_penalty);
-  }
-  slot = cost;
-  return cost;
+  slot = ComputeNodeCost(query_->node(preorder_[pos]), s.node(target),
+                         options_);
+  return slot;
 }
 
 double ObjectiveFunction::EdgeCost(int32_t schema_index,

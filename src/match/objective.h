@@ -58,16 +58,50 @@ struct ObjectiveOptions {
   double type_mismatch_penalty = 0.10;
 };
 
+/// \brief Name+type cost of assigning query node `q` to target node `t`.
+/// In [0, 1]. The one formula shared by the lazy per-instance cache and the
+/// precomputed engine::SimilarityMatrixPool — both must rank identically.
+double ComputeNodeCost(const schema::SchemaNode& q, const schema::SchemaNode& t,
+                       const ObjectiveOptions& options);
+
+/// \brief Same cost over pre-folded/pre-tokenized names — the dense
+/// precompute fast path. `qp`/`tp` must be `sim::PrepareName` of
+/// `q.name`/`t.name` under `options.name`.
+double ComputeNodeCost(const schema::SchemaNode& q, const sim::PreparedName& qp,
+                       const schema::SchemaNode& t, const sim::PreparedName& tp,
+                       const ObjectiveOptions& options);
+
+/// \brief Source of precomputed node-cost matrices shared across matchers
+/// and threads (implemented by engine::SimilarityMatrixPool).
+///
+/// A provider hands out one immutable row-major matrix per repository
+/// schema: `matrix[pos * schema_size + node]` is the name+type cost of
+/// assigning query pre-order position `pos` to `node`. Implementations must
+/// be safe for concurrent reads.
+class NodeCostProvider {
+ public:
+  virtual ~NodeCostProvider() = default;
+
+  /// The matrix for `schema_index`, or nullptr to make the objective fall
+  /// back to its lazy per-instance cache for that schema.
+  virtual const double* NodeCostMatrix(int32_t schema_index) const = 0;
+};
+
 /// \brief Evaluates Δ for mappings of one query schema into one repository.
 ///
-/// Name costs are cached per (query element, repository element); the cache
-/// fills lazily per repository schema. Instances are not thread-safe.
+/// Name costs come from an attached `NodeCostProvider` when one is given
+/// (shared, immutable, thread-safe); otherwise they are cached lazily per
+/// (query element, repository element) inside the instance, which is *not*
+/// thread-safe. Matchers running under the batch engine always receive a
+/// provider.
 class ObjectiveFunction {
  public:
-  /// `query` and `repo` must outlive the objective.
+  /// `query`, `repo` and `shared_costs` (when non-null) must outlive the
+  /// objective.
   ObjectiveFunction(const schema::Schema* query,
                     const schema::SchemaRepository* repo,
-                    ObjectiveOptions options = {});
+                    ObjectiveOptions options = {},
+                    const NodeCostProvider* shared_costs = nullptr);
 
   /// Query elements in pre-order (position 0 is the root).
   const std::vector<schema::NodeId>& query_preorder() const {
@@ -115,9 +149,11 @@ class ObjectiveFunction {
   const schema::Schema* query_;
   const schema::SchemaRepository* repo_;
   ObjectiveOptions options_;
+  const NodeCostProvider* shared_costs_ = nullptr;
   std::vector<schema::NodeId> preorder_;
   std::vector<size_t> parent_position_;
   double normalizer_ = 1.0;
+  /// Lazy fallback when no provider is attached:
   /// cache_[schema_index][pos * schema_size + node] = node cost; empty until
   /// the schema is first touched.
   mutable std::vector<std::vector<double>> cache_;

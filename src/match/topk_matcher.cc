@@ -28,7 +28,8 @@ Result<AnswerSet> TopKMatcher::Match(const schema::Schema& query,
   if (options_.k_per_schema == 0) {
     return Status::InvalidArgument("k_per_schema must be positive");
   }
-  ObjectiveFunction objective(&query, &repo, options.objective);
+  ObjectiveFunction objective(&query, &repo, options.objective,
+                              options.shared_costs);
   const size_t m = objective.query_preorder().size();
   const double budget =
       options.delta_threshold * objective.normalizer() + 1e-12;

@@ -9,15 +9,15 @@
 
 namespace smb::sim {
 
-double NameSimilarity(std::string_view a, std::string_view b,
-                      const NameSimilarityOptions& options) {
-  std::string la, lb;
-  if (options.case_insensitive) {
-    la = ToLower(a);
-    lb = ToLower(b);
-    a = la;
-    b = lb;
-  }
+namespace {
+
+/// The one scoring body behind both overloads. `ta`/`tb` are the
+/// pre-tokenized names when the caller has them; when null, tokenization
+/// happens here and only if the token measure actually runs.
+double ScoreFolded(std::string_view a, std::string_view b,
+                   const std::vector<std::string>* ta,
+                   const std::vector<std::string>* tb,
+                   const NameSimilarityOptions& options) {
   if (a == b) return 1.0;
   if (options.synonyms != nullptr && options.synonyms->AreSynonyms(a, b)) {
     return options.synonym_score;
@@ -37,14 +37,51 @@ double NameSimilarity(std::string_view a, std::string_view b,
   if (wl > 0.0) score += wl * LevenshteinSimilarity(a, b);
   if (wj > 0.0) score += wj * JaroWinklerSimilarity(a, b);
   if (wt > 0.0) score += wt * NgramDiceSimilarity(a, b);
-  if (wk > 0.0) score += wk * TokenNameSimilarity(a, b, token_options);
+  if (wk > 0.0) {
+    score += wk * (ta != nullptr && tb != nullptr
+                       ? TokenListSimilarity(*ta, *tb, token_options)
+                       : TokenNameSimilarity(a, b, token_options));
+  }
   double sim = score / wsum;
   // Exact 1.0 is reserved for equality so that Δ = 0 identifies the
   // planted original copy uniquely.
   return std::min(sim, 0.999);
 }
 
+}  // namespace
+
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options) {
+  PreparedName prepared;
+  prepared.folded =
+      options.case_insensitive ? ToLower(name) : std::string(name);
+  prepared.tokens = SplitIdentifier(prepared.folded);
+  return prepared;
+}
+
+double NameSimilarity(const PreparedName& a, const PreparedName& b,
+                      const NameSimilarityOptions& options) {
+  return ScoreFolded(a.folded, b.folded, &a.tokens, &b.tokens, options);
+}
+
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const NameSimilarityOptions& options) {
+  std::string la, lb;
+  if (options.case_insensitive) {
+    la = ToLower(a);
+    lb = ToLower(b);
+    a = la;
+    b = lb;
+  }
+  return ScoreFolded(a, b, nullptr, nullptr, options);
+}
+
 double NameDistance(std::string_view a, std::string_view b,
+                    const NameSimilarityOptions& options) {
+  return 1.0 - NameSimilarity(a, b, options);
+}
+
+double NameDistance(const PreparedName& a, const PreparedName& b,
                     const NameSimilarityOptions& options) {
   return 1.0 - NameSimilarity(a, b, options);
 }

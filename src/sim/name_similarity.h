@@ -1,6 +1,8 @@
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/synonyms.h"
 #include "sim/token_similarity.h"
@@ -32,13 +34,38 @@ struct NameSimilarityOptions {
   double synonym_score = 0.95;
 };
 
+/// \brief A name case-folded and tokenized once, for batch scoring.
+///
+/// Scoring one name against many (the dense similarity-matrix precompute)
+/// re-folds and re-tokenizes each side per pair when the string_view API is
+/// used; preparing each side once instead makes the per-pair work pure
+/// comparison. Produces bit-identical scores to the string_view overloads.
+struct PreparedName {
+  /// The name, lower-cased when `case_insensitive` is set.
+  std::string folded;
+  /// `SplitIdentifier(folded)` — input of the token measure.
+  std::vector<std::string> tokens;
+};
+
+/// \brief Folds and tokenizes `name` according to `options`.
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options = {});
+
 /// \brief Composite similarity in [0, 1]; 1 iff the names are equal
 /// (after case folding when enabled).
 double NameSimilarity(std::string_view a, std::string_view b,
                       const NameSimilarityOptions& options = {});
 
+/// \brief Same measure over pre-folded, pre-tokenized names.
+double NameSimilarity(const PreparedName& a, const PreparedName& b,
+                      const NameSimilarityOptions& options = {});
+
 /// \brief Distance counterpart: `1 - NameSimilarity`.
 double NameDistance(std::string_view a, std::string_view b,
+                    const NameSimilarityOptions& options = {});
+
+/// \brief Distance over prepared names: `1 - NameSimilarity`.
+double NameDistance(const PreparedName& a, const PreparedName& b,
                     const NameSimilarityOptions& options = {});
 
 }  // namespace smb::sim

@@ -23,11 +23,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 
 #include "bounds/bounds_report.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "engine/batch_match_engine.h"
 #include "eval/pr_curve.h"
 #include "io/answer_set_io.h"
 #include "io/curve_io.h"
@@ -63,6 +65,11 @@ commands:
   match     --repo=DIR --query=FILE --out=FILE
             [--matcher=exhaustive|beam|cluster|topk] [--beam=N] [--topm=N]
             [--k=N] [--delta=X] run a matcher, write the ranked answers
+            [--threads=N] shard the repository across N worker threads with
+            a shared similarity-matrix pool (0 = all cores; answers are
+            identical to a single-threaded run)
+            [--shard-size=N] schemas per shard (engine runs only)
+            [--top=N] keep only the globally best N answers
   curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
             measure the P/R curve of an answers file
   bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
@@ -184,17 +191,14 @@ int CmdMatch(const CommandLine& cl) {
   options.objective.name.synonyms = &kSynonyms;
 
   std::string kind = cl.Get("matcher", "exhaustive");
-  Result<match::AnswerSet> answers = Status::Internal("unreachable");
-  match::MatchStats stats;
+  std::unique_ptr<match::Matcher> matcher;
   if (kind == "exhaustive") {
-    match::ExhaustiveMatcher matcher;
-    answers = matcher.Match(*query, *repo, options, &stats);
+    matcher = std::make_unique<match::ExhaustiveMatcher>();
   } else if (kind == "beam") {
     auto width = cl.GetUint("beam", 6);
     if (!width.ok()) return Fail(width.status());
-    match::BeamMatcher matcher(match::BeamMatcherOptions{
-        static_cast<size_t>(*width)});
-    answers = matcher.Match(*query, *repo, options, &stats);
+    matcher = std::make_unique<match::BeamMatcher>(
+        match::BeamMatcherOptions{static_cast<size_t>(*width)});
   } else if (kind == "cluster") {
     auto top_m = cl.GetUint("topm", 4);
     if (!top_m.ok()) return Fail(top_m.status());
@@ -203,17 +207,56 @@ int CmdMatch(const CommandLine& cl) {
     Rng rng(*seed);
     match::ClusterMatcherOptions copts;
     copts.top_m_clusters = static_cast<size_t>(*top_m);
-    auto matcher = match::ClusterMatcher::Create(*repo, copts, &rng);
-    if (!matcher.ok()) return Fail(matcher.status());
-    answers = matcher->Match(*query, *repo, options, &stats);
+    auto built = match::ClusterMatcher::Create(*repo, copts, &rng);
+    if (!built.ok()) return Fail(built.status());
+    matcher = std::make_unique<match::ClusterMatcher>(*std::move(built));
   } else if (kind == "topk") {
     auto k = cl.GetUint("k", 10);
     if (!k.ok()) return Fail(k.status());
-    match::TopKMatcher matcher(match::TopKMatcherOptions{
-        static_cast<size_t>(*k), 100000});
-    answers = matcher.Match(*query, *repo, options, &stats);
+    matcher = std::make_unique<match::TopKMatcher>(
+        match::TopKMatcherOptions{static_cast<size_t>(*k), 100000});
   } else {
     return Fail(Status::InvalidArgument("unknown matcher '" + kind + "'"));
+  }
+
+  auto top = cl.GetUint("top", 0);
+  if (!top.ok()) return Fail(top.status());
+  if (cl.Has("shard-size") && !cl.Has("threads")) {
+    return Fail(Status::InvalidArgument(
+        "--shard-size only applies to engine runs; add --threads=N"));
+  }
+
+  Result<match::AnswerSet> answers = Status::Internal("unreachable");
+  match::MatchStats stats;
+  if (cl.Has("threads")) {
+    // Sharded run through the batch engine: repository split across a
+    // worker pool, name/type costs precomputed once in a shared pool.
+    auto threads = cl.GetUint("threads", 0);
+    if (!threads.ok()) return Fail(threads.status());
+    auto shard_size = cl.GetUint("shard-size", 0);
+    if (!shard_size.ok()) return Fail(shard_size.status());
+    engine::BatchMatchOptions bopts;
+    bopts.num_threads = static_cast<size_t>(*threads);
+    bopts.shard_size = static_cast<size_t>(*shard_size);
+    bopts.global_top_k = static_cast<size_t>(*top);
+    engine::BatchMatchEngine batch(bopts);
+    engine::BatchMatchStats bstats;
+    answers = batch.Run(*matcher, *query, *repo, options, &bstats);
+    stats = bstats.match;
+    if (answers.ok()) {
+      std::cout << "engine: " << bstats.shard_count << " shards on "
+                << bstats.threads_used << " threads"
+                << (bstats.fell_back_to_single_run
+                        ? " (matcher not shardable: single run)"
+                        : "")
+                << ", precompute " << bstats.precompute_seconds
+                << "s, match " << bstats.match_seconds << "s\n";
+    }
+  } else {
+    answers = matcher->Match(*query, *repo, options, &stats);
+    if (answers.ok() && *top > 0) {
+      answers = answers->TopN(static_cast<size_t>(*top));
+    }
   }
   if (!answers.ok()) return Fail(answers.status());
   if (Status st = io::WriteAnswerSetFile(out_path, *answers); !st.ok()) {
