@@ -11,9 +11,11 @@
 #include <benchmark/benchmark.h>
 
 #include "engine/batch_match_engine.h"
+#include "index/prepared_repository.h"
 #include "match/beam_matcher.h"
 #include "match/cluster_matcher.h"
 #include "match/exhaustive_matcher.h"
+#include "match/matcher_factory.h"
 #include "match/topk_matcher.h"
 #include "synth/generator.h"
 
@@ -201,6 +203,97 @@ void BM_SimilarityPoolBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimilarityPoolBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Sparse candidate index vs the dense pool --------------------------
+//
+// The prepare-once/serve-many story: BM_PreparedRepositoryBuild is the
+// one-time index cost; BM_DensePerQuery is the per-query cost of the dense
+// path (pool fill + match); BM_SparsePerQuery/C is the per-query cost of
+// candidate generation + sparse match over a prebuilt index, at candidate
+// cutoffs C ∈ {4, 16, 64}. Each sparse variant reports the recall of the
+// dense run's answers (counter "recall") and whether the dense top-1
+// answer survived (counter "top1"), so the speedup is priced in measured
+// effectiveness. Both paths run the factory-made exhaustive matcher on one
+// thread over the 200-schema collection — the only variable is the index.
+
+constexpr size_t kIndexSchemas = 200;
+
+void BM_PreparedRepositoryBuild(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto prepared = index::PreparedRepository::Build(
+        setup.collection.repository, setup.mopts.objective.name);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.counters["elements"] =
+      static_cast<double>(setup.collection.repository.total_elements());
+}
+BENCHMARK(BM_PreparedRepositoryBuild)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DensePerQuery(benchmark::State& state) {
+  const Setup& setup = GetSetup(kIndexSchemas);
+  auto matcher =
+      match::MakeMatcher("exhaustive", setup.collection.repository).value();
+  engine::BatchMatchEngine batch;
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = batch.Run(*matcher, setup.collection.query,
+                            setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_DensePerQuery)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SparsePerQuery(benchmark::State& state) {
+  const Setup& setup = GetSetup(kIndexSchemas);
+  auto matcher =
+      match::MakeMatcher("exhaustive", setup.collection.repository).value();
+  // Built once, amortized over every query — outside the timed loop.
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository,
+                      setup.mopts.objective.name)
+                      .value();
+  engine::BatchMatchOptions bopts;
+  bopts.candidate_limit = static_cast<size_t>(state.range(0));
+  bopts.prepared_repository = &prepared;
+  engine::BatchMatchEngine batch(bopts);
+
+  engine::BatchMatchEngine dense_engine;
+  auto dense = dense_engine.Run(*matcher, setup.collection.query,
+                                setup.collection.repository, setup.mopts);
+  auto sparse = batch.Run(*matcher, setup.collection.query,
+                          setup.collection.repository, setup.mopts);
+  auto in_sparse = [&](const match::Mapping::Key& key) {
+    for (const match::Mapping& candidate : sparse->mappings()) {
+      if (candidate.key() == key) return true;
+    }
+    return false;
+  };
+  size_t retained = 0;
+  for (const match::Mapping& mapping : dense->mappings()) {
+    if (in_sparse(mapping.key())) ++retained;
+  }
+  bool top1 = dense->empty() || in_sparse(dense->mappings().front().key());
+
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = batch.Run(*matcher, setup.collection.query,
+                            setup.collection.repository, setup.mopts);
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["recall"] =
+      dense->empty() ? 1.0
+                     : static_cast<double>(retained) /
+                           static_cast<double>(dense->size());
+  state.counters["top1"] = top1 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SparsePerQuery)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ClusteringBuild(benchmark::State& state) {

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timing.h
+/// \brief Wall-clock helpers shared by the engine and workload timers.
+
+namespace smb {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Seconds elapsed since `start` (wall clock).
+inline double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace smb

@@ -2,20 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/timing.h"
 
 namespace smb::engine {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using Clock = SteadyClock;
 
 struct Shard {
   int32_t first_schema = 0;
@@ -33,6 +30,29 @@ std::vector<Shard> PartitionSchemas(size_t schema_count, size_t shard_size) {
   return shards;
 }
 
+/// A shard's window into per-query candidate lists: translates shard-local
+/// schema indices to the global ones the generator indexed (the sparse
+/// counterpart of ShardCostView).
+class ShardCandidateView : public match::CandidateProvider {
+ public:
+  ShardCandidateView(const match::CandidateProvider* global,
+                     int32_t first_schema)
+      : global_(global), first_schema_(first_schema) {}
+
+  const std::vector<match::CandidateEntry>* CandidatesFor(
+      size_t pos, int32_t schema_index) const override {
+    return global_->CandidatesFor(pos, first_schema_ + schema_index);
+  }
+
+  double SkipLowerBound(size_t pos, int32_t schema_index) const override {
+    return global_->SkipLowerBound(pos, first_schema_ + schema_index);
+  }
+
+ private:
+  const match::CandidateProvider* global_;
+  int32_t first_schema_;
+};
+
 }  // namespace
 
 Result<match::AnswerSet> BatchMatchEngine::Run(
@@ -43,6 +63,17 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
     return Status::InvalidArgument(
         "MatchOptions::shared_costs is managed by the batch engine and must "
         "be null on entry");
+  }
+  if (match_options.candidates != nullptr) {
+    return Status::InvalidArgument(
+        "MatchOptions::candidates is managed by the batch engine and must "
+        "be null on entry; set BatchMatchOptions::candidate_limit instead");
+  }
+  if (options_.prepared_repository != nullptr &&
+      !options_.prepared_repository->BuiltOver(repo)) {
+    return Status::InvalidArgument(
+        "BatchMatchOptions::prepared_repository was built over a different "
+        "repository than the one passed to Run");
   }
 
   size_t threads = options_.num_threads;
@@ -86,10 +117,38 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
   BatchMatchStats local;
   local.shard_count = shards.size();
 
-  // Phase 1: shared similarity precompute. Parallel across *schemas*, not
-  // shards, so it gets the full thread count even when shards are few.
+  const bool sparse = options_.candidate_limit > 0 && !query.empty();
+
+  // Phase 1, sparse: query-independent repository index (reused when the
+  // caller prebuilt it) + per-query candidate generation. The dense pool is
+  // skipped entirely — only generated candidates are ever scored.
+  std::optional<index::PreparedRepository> owned_prepared;
+  std::optional<index::QueryCandidates> candidates;
+  if (sparse) {
+    Clock::time_point start = Clock::now();
+    const index::PreparedRepository* prepared = options_.prepared_repository;
+    if (prepared == nullptr) {
+      SMB_ASSIGN_OR_RETURN(
+          owned_prepared,
+          index::PreparedRepository::Build(repo,
+                                           match_options.objective.name));
+      prepared = &*owned_prepared;
+    }
+    index::CandidateGenerator generator(prepared, match_options.objective);
+    SMB_ASSIGN_OR_RETURN(
+        candidates, generator.Generate(query, options_.candidate_limit));
+    local.index_seconds = SecondsSince(start);
+    local.match.candidates_generated = candidates->candidates_generated();
+    local.match.candidates_skipped = candidates->candidates_skipped();
+    local.provably_complete_fraction =
+        candidates->ProvablyCompleteFraction(match_options.delta_threshold);
+  }
+
+  // Phase 1, dense: shared similarity precompute. Parallel across
+  // *schemas*, not shards, so it gets the full thread count even when
+  // shards are few.
   std::optional<SimilarityMatrixPool> pool;
-  if (options_.share_similarity_matrices && !query.empty()) {
+  if (!sparse && options_.share_similarity_matrices && !query.empty()) {
     Clock::time_point start = Clock::now();
     SMB_ASSIGN_OR_RETURN(
         pool, SimilarityMatrixPool::Build(query, repo, match_options.objective,
@@ -126,9 +185,12 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
         shard_answers[i] = build_status;
         continue;
       }
-      ShardCostView view(pool ? &*pool : nullptr, shard.first_schema);
+      ShardCostView cost_view(pool ? &*pool : nullptr, shard.first_schema);
+      ShardCandidateView candidate_view(candidates ? &*candidates : nullptr,
+                                        shard.first_schema);
       match::MatchOptions shard_options = match_options;
-      if (pool) shard_options.shared_costs = &view;
+      if (pool) shard_options.shared_costs = &cost_view;
+      if (candidates) shard_options.candidates = &candidate_view;
       shard_answers[i] =
           matcher.Match(query, shard_repo, shard_options, &shard_stats[i]);
     }

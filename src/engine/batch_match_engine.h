@@ -4,6 +4,8 @@
 
 #include "common/result.h"
 #include "engine/similarity_matrix_pool.h"
+#include "index/candidate_generator.h"
+#include "index/prepared_repository.h"
 #include "match/answer_set.h"
 #include "match/matcher.h"
 #include "schema/repository.h"
@@ -14,19 +16,26 @@
 ///
 /// The matchers process repository schemas independently, so a matching run
 /// parallelizes by splitting the repository into contiguous shards and
-/// running the matcher on each shard from a worker-thread pool. Name/type
-/// costs are precomputed once in a shared `SimilarityMatrixPool` (itself
-/// built in parallel) and handed to every worker as immutable views, so no
-/// similarity is ever computed twice and no worker mutates shared state.
-/// Per-shard answer sets are merged — schema indices translated back to the
-/// global repository — into one globally ranked answer set, optionally cut
-/// to a global top-k.
+/// running the matcher on each shard from a worker-thread pool. Per-shard
+/// answer sets are merged — schema indices translated back to the global
+/// repository — into one globally ranked answer set, optionally cut to a
+/// global top-k.
 ///
-/// The merged answers are *identical* (keys and Δ) to a direct
-/// single-threaded `matcher.Match(query, repo, ...)` run for any
-/// shard-safe matcher (`Matcher::SupportsSharding()`), for every thread
-/// count and shard size: per-schema work is bit-identical, and
-/// `AnswerSet::Finalize` imposes the same deterministic global order.
+/// Costs reach the workers one of two ways:
+///  * **dense** (default): name/type costs are precomputed once in a shared
+///    `SimilarityMatrixPool` (itself built in parallel) and handed to every
+///    worker as immutable views — no similarity is computed twice, and the
+///    merged answers are *identical* (keys and Δ) to a direct
+///    single-threaded `matcher.Match(query, repo, ...)` run for any
+///    shard-safe matcher, for every thread count and shard size;
+///  * **sparse** (`candidate_limit > 0`): a query-independent
+///    `index::PreparedRepository` (built once here, or passed in prebuilt
+///    and amortized across many queries) generates the top-C candidates per
+///    query element, and workers only score those — the non-exhaustive S2
+///    restriction. With C ≥ every schema size the candidate lists are
+///    complete and the answers are again identical to the dense path;
+///    smaller C trades certified-measurable recall for speed
+///    (`index::QueryCandidates::SkipLowerBound`).
 
 namespace smb::engine {
 
@@ -44,11 +53,23 @@ struct BatchMatchOptions {
   /// worker's private lazy cache (costs are then computed once per shard
   /// that touches them instead of once globally).
   bool share_similarity_matrices = true;
+  /// Candidates per (query element, repository schema) the index hands to
+  /// matchers. 0 = dense path. When > 0 the dense pool is skipped entirely:
+  /// only the generated candidates are ever scored. Matchers that refuse
+  /// sharding (cluster) ignore the limit — their single-run fallback is a
+  /// full dense run, reported via `fell_back_to_single_run`.
+  size_t candidate_limit = 0;
+  /// Optional prebuilt repository index for the sparse path (must be built
+  /// over exactly the `repo` passed to Run). When null and
+  /// `candidate_limit > 0`, the engine builds one per Run — correct but
+  /// wasteful for workloads; build once and share instead.
+  const index::PreparedRepository* prepared_repository = nullptr;
 };
 
 /// \brief What a batch run did (timings in seconds, wall clock).
 struct BatchMatchStats {
-  /// Matcher work counters accumulated across all shards.
+  /// Matcher work counters accumulated across all shards (plus the index's
+  /// candidates_generated/_skipped on sparse runs).
   match::MatchStats match;
   size_t shard_count = 0;
   size_t threads_used = 0;
@@ -57,6 +78,13 @@ struct BatchMatchStats {
   bool fell_back_to_single_run = false;
   double precompute_seconds = 0.0;
   double match_seconds = 0.0;
+  /// Sparse path only: index build (when not prebuilt) + candidate
+  /// generation time.
+  double index_seconds = 0.0;
+  /// Fraction of (query position, schema) cells whose skip-bound certifies
+  /// that no answer within the run's Δ threshold was lost to the candidate
+  /// cutoff. 1.0 on dense runs (nothing is ever skipped).
+  double provably_complete_fraction = 1.0;
 };
 
 /// \brief Runs a matcher over repository shards on a worker-thread pool.
@@ -66,9 +94,9 @@ class BatchMatchEngine {
       : options_(options) {}
 
   /// \brief Matches `query` against `repo` with `matcher`, sharded across
-  /// worker threads. `match_options.shared_costs` is managed by the engine
-  /// and must be null. On any shard failure the first error (by shard
-  /// order) is returned.
+  /// worker threads. `match_options.shared_costs` and
+  /// `match_options.candidates` are managed by the engine and must be null.
+  /// On any shard failure the first error (by shard order) is returned.
   Result<match::AnswerSet> Run(const match::Matcher& matcher,
                                const schema::Schema& query,
                                const schema::SchemaRepository& repo,

@@ -1,6 +1,17 @@
 #include "eval/workload.h"
 
+#include <unordered_set>
+
+#include "common/timing.h"
+#include "index/prepared_repository.h"
+
 namespace smb::eval {
+
+namespace {
+
+using Clock = SteadyClock;
+
+}  // namespace
 
 Result<WorkloadResult> RunWorkload(const match::Matcher& matcher,
                                    const std::vector<MatchingProblem>& problems,
@@ -30,6 +41,123 @@ Result<WorkloadResult> RunWorkload(const match::Matcher& matcher,
   SMB_ASSIGN_OR_RETURN(
       result.pooled_curve,
       PrCurve::MeasurePooled(answer_ptrs, truth_ptrs, thresholds));
+  return result;
+}
+
+Result<IndexedWorkloadResult> RunIndexedWorkload(
+    const match::Matcher& matcher,
+    const std::vector<MatchingProblem>& problems,
+    const schema::SchemaRepository& repo, const match::MatchOptions& options,
+    const std::vector<double>& thresholds,
+    const IndexedWorkloadOptions& workload_options) {
+  if (problems.empty()) {
+    return Status::InvalidArgument("workload has no matching problems");
+  }
+  if (workload_options.candidate_limit == 0) {
+    return Status::InvalidArgument("candidate_limit must be positive");
+  }
+
+  IndexedWorkloadResult result;
+  result.system_name = matcher.name();
+
+  // Prepare once: the query-independent index every query shares.
+  Clock::time_point build_start = Clock::now();
+  SMB_ASSIGN_OR_RETURN(
+      index::PreparedRepository prepared,
+      index::PreparedRepository::Build(repo, options.objective.name));
+  result.index_build_seconds = SecondsSince(build_start);
+
+  engine::BatchMatchOptions sparse_opts;
+  sparse_opts.num_threads = workload_options.num_threads;
+  sparse_opts.shard_size = workload_options.shard_size;
+  sparse_opts.global_top_k = workload_options.global_top_k;
+  sparse_opts.candidate_limit = workload_options.candidate_limit;
+  sparse_opts.prepared_repository = &prepared;
+  engine::BatchMatchEngine sparse_engine(sparse_opts);
+
+  engine::BatchMatchOptions dense_opts = sparse_opts;
+  dense_opts.candidate_limit = 0;
+  dense_opts.prepared_repository = nullptr;
+  engine::BatchMatchEngine dense_engine(dense_opts);
+
+  result.answers.reserve(problems.size());
+  result.reports.reserve(problems.size());
+  size_t top_retained = 0;
+  double recall_sum = 0.0;
+  for (const MatchingProblem& problem : problems) {
+    QueryRunReport report;
+    report.name = problem.name;
+
+    engine::BatchMatchStats sparse_stats;
+    Clock::time_point start = Clock::now();
+    auto sparse = sparse_engine.Run(matcher, problem.query, repo, options,
+                                    &sparse_stats);
+    report.sparse_seconds = SecondsSince(start);
+    if (!sparse.ok()) {
+      return sparse.status().WithContext("while matching problem '" +
+                                         problem.name + "'");
+    }
+    report.sparse_answers = sparse->size();
+    report.index_seconds = sparse_stats.index_seconds;
+    report.provably_complete_fraction =
+        sparse_stats.provably_complete_fraction;
+    result.stats += sparse_stats.match;
+
+    if (workload_options.compare_dense) {
+      start = Clock::now();
+      auto dense = dense_engine.Run(matcher, problem.query, repo, options);
+      report.dense_seconds = SecondsSince(start);
+      if (!dense.ok()) {
+        return dense.status().WithContext("while dense-matching problem '" +
+                                          problem.name + "'");
+      }
+      report.dense_answers = dense->size();
+      std::unordered_set<match::Mapping::Key, match::MappingKeyHash>
+          sparse_keys;
+      sparse_keys.reserve(sparse->size());
+      for (const match::Mapping& mapping : sparse->mappings()) {
+        sparse_keys.insert(mapping.key());
+      }
+      if (!dense->empty()) {
+        size_t retained = 0;
+        for (const match::Mapping& mapping : dense->mappings()) {
+          if (sparse_keys.count(mapping.key()) > 0) ++retained;
+        }
+        report.answer_recall = static_cast<double>(retained) /
+                               static_cast<double>(dense->size());
+        report.top_answer_retained =
+            sparse_keys.count(dense->mappings().front().key()) > 0;
+      }
+      result.dense_answers.push_back(std::move(dense).value());
+    }
+    recall_sum += report.answer_recall;
+    if (report.top_answer_retained) ++top_retained;
+    result.answers.push_back(std::move(sparse).value());
+    result.reports.push_back(std::move(report));
+  }
+  result.mean_answer_recall =
+      recall_sum / static_cast<double>(problems.size());
+  result.top_answer_recall = static_cast<double>(top_retained) /
+                             static_cast<double>(problems.size());
+
+  // The pooled measured curve needs judged problems; workloads without
+  // ground truth still get latency and recall-vs-dense.
+  bool any_truth = false;
+  for (const MatchingProblem& problem : problems) {
+    if (!problem.truth.empty()) any_truth = true;
+  }
+  if (any_truth && !thresholds.empty()) {
+    std::vector<const match::AnswerSet*> answer_ptrs;
+    std::vector<const GroundTruth*> truth_ptrs;
+    for (size_t i = 0; i < problems.size(); ++i) {
+      answer_ptrs.push_back(&result.answers[i]);
+      truth_ptrs.push_back(&problems[i].truth);
+    }
+    SMB_ASSIGN_OR_RETURN(
+        result.pooled_curve,
+        PrCurve::MeasurePooled(answer_ptrs, truth_ptrs, thresholds));
+    result.has_curve = true;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/batch_match_engine.h"
 #include "eval/ground_truth.h"
 #include "eval/pr_curve.h"
 #include "match/matcher.h"
@@ -15,6 +16,13 @@
 /// and reports one system-level curve (micro-averaged over the matching
 /// problems, §2.2's P/R summed over counts). The workload runner executes a
 /// matcher over every problem and aggregates.
+///
+/// `RunIndexedWorkload` is the prepare-once/serve-many variant: one
+/// query-independent repository index is built up front and amortized over
+/// every query, each served through the batch engine's sparse candidate
+/// path. Per-query latency and — optionally — recall against the dense
+/// (index-free) run of the same matcher are reported, so the candidate
+/// cutoff C becomes a measurable S2 knob for the bounds pipeline.
 
 namespace smb::eval {
 
@@ -50,5 +58,75 @@ Result<WorkloadResult> RunWorkload(const match::Matcher& matcher,
 /// (summed over problems) — the S2 size observations the bounds consume.
 std::vector<size_t> PooledSizes(const WorkloadResult& result,
                                 const std::vector<double>& thresholds);
+
+/// \brief Configuration of an indexed (prepare-once/serve-many) workload.
+struct IndexedWorkloadOptions {
+  /// Candidates per (query element, schema) — the S2 selectivity knob C.
+  size_t candidate_limit = 16;
+  /// Worker threads per query (0 ⇒ hardware concurrency).
+  size_t num_threads = 1;
+  /// Schemas per shard (0 = heuristic).
+  size_t shard_size = 0;
+  /// Keep only the globally best k answers per query (0 = all).
+  size_t global_top_k = 0;
+  /// Also run each query through the dense path and report recall of the
+  /// dense answers (and of the dense top-1) in the sparse answer set.
+  bool compare_dense = false;
+};
+
+/// \brief What one query of an indexed workload did.
+struct QueryRunReport {
+  std::string name;
+  double sparse_seconds = 0.0;
+  size_t sparse_answers = 0;
+  /// Of the sparse run's index work: candidate generation share.
+  double index_seconds = 0.0;
+  /// Filled only when `compare_dense`:
+  double dense_seconds = 0.0;
+  size_t dense_answers = 0;
+  /// |sparse ∩ dense| / |dense| by mapping key (1.0 when dense is empty).
+  double answer_recall = 1.0;
+  /// True iff the dense run's rank-1 answer is in the sparse answers.
+  bool top_answer_retained = true;
+  /// Fraction of (position, schema) cells the skip-bound certifies
+  /// complete at the run's Δ threshold.
+  double provably_complete_fraction = 0.0;
+};
+
+/// \brief Results of `RunIndexedWorkload`.
+struct IndexedWorkloadResult {
+  std::string system_name;
+  /// One-time cost of building the shared repository index.
+  double index_build_seconds = 0.0;
+  /// Sparse (indexed) answers per problem, in problem order.
+  std::vector<match::AnswerSet> answers;
+  /// Dense answers per problem (empty unless `compare_dense`).
+  std::vector<match::AnswerSet> dense_answers;
+  std::vector<QueryRunReport> reports;
+  /// Sparse-run work counters summed over all problems (including the
+  /// index's candidates_generated/_skipped).
+  match::MatchStats stats;
+  /// Micro-averages over the queries (compare_dense only, else 1.0).
+  double mean_answer_recall = 1.0;
+  /// Fraction of queries whose dense top-1 answer the sparse run retained.
+  double top_answer_recall = 1.0;
+  /// Micro-averaged measured sparse curve; only when some problem carries
+  /// ground truth (see `has_curve`).
+  PrCurve pooled_curve;
+  bool has_curve = false;
+};
+
+/// \brief Runs `matcher` over every problem through the batch engine's
+/// sparse candidate path, building the repository index exactly once.
+///
+/// Problems may carry empty ground truth (recall-vs-dense is measured
+/// against the dense run, not against H); the pooled curve is computed only
+/// when truth is present.
+Result<IndexedWorkloadResult> RunIndexedWorkload(
+    const match::Matcher& matcher,
+    const std::vector<MatchingProblem>& problems,
+    const schema::SchemaRepository& repo, const match::MatchOptions& options,
+    const std::vector<double>& thresholds,
+    const IndexedWorkloadOptions& workload_options);
 
 }  // namespace smb::eval

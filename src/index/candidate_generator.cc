@@ -1,0 +1,292 @@
+#include "index/candidate_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "sim/ngram.h"
+#include "sim/synonyms.h"
+
+namespace smb::index {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One retrieved element of the current (position, schema) cell.
+struct Retrieved {
+  uint32_t ordinal = 0;
+  /// Exact trigram Dice against the query name (0 for strong-only hits).
+  double dice = 0.0;
+  /// Token / synonym / name-bucket evidence — always scored exactly (the
+  /// synonym tiers are required for the skip-bound to stay admissible).
+  bool strong = false;
+};
+
+}  // namespace
+
+double QueryCandidates::ProvablyCompleteFraction(
+    double delta_threshold) const {
+  if (cells_.empty()) return 1.0;
+  size_t complete = 0;
+  for (const Cell& cell : cells_) {
+    if (cell.skip_bound == kInf ||
+        weight_name_ * cell.skip_bound / normalizer_ >
+            delta_threshold + 1e-12) {
+      ++complete;
+    }
+  }
+  return static_cast<double>(complete) / static_cast<double>(cells_.size());
+}
+
+CandidateGenerator::CandidateGenerator(const PreparedRepository* prepared,
+                                       match::ObjectiveOptions objective)
+    : prepared_(prepared), objective_(std::move(objective)) {
+  assert(prepared_ != nullptr);
+  // Mirror ScoreFolded's weight clamping: negative weights count as 0.
+  const sim::NameSimilarityOptions& name = objective_.name;
+  double wl = std::max(0.0, name.weight_levenshtein);
+  double wj = std::max(0.0, name.weight_jaro_winkler);
+  double wt = std::max(0.0, name.weight_trigram);
+  double wk = std::max(0.0, name.weight_token);
+  double wsum = wl + wj + wt + wk;
+  trigram_weight_share_ = wsum > 0.0 ? wt / wsum : 0.0;
+}
+
+Result<QueryCandidates> CandidateGenerator::Generate(
+    const schema::Schema& query, size_t limit) const {
+  if (limit == 0) {
+    return Status::InvalidArgument("candidate limit must be positive");
+  }
+  if (query.empty()) {
+    return Status::InvalidArgument("query schema is empty");
+  }
+  SMB_RETURN_IF_ERROR(query.Validate());
+  const sim::NameSimilarityOptions& index_name = prepared_->name_options();
+  if (index_name.case_insensitive != objective_.name.case_insensitive ||
+      index_name.synonyms != objective_.name.synonyms) {
+    return Status::InvalidArgument(
+        "candidate generation requires the objective's name options "
+        "(folding, synonyms) to match the ones the index was built with");
+  }
+
+  const schema::SchemaRepository& repo = prepared_->repo();
+  const std::vector<schema::NodeId> preorder = query.PreOrder();
+  const size_t m = preorder.size();
+  const size_t schema_count = repo.schema_count();
+  const size_t element_count = prepared_->element_count();
+  const sim::SynonymTable* synonyms = objective_.name.synonyms;
+
+  QueryCandidates out;
+  out.cells_.resize(m * schema_count);
+  out.positions_ = m;
+  out.schema_count_ = schema_count;
+  out.limit_ = limit;
+  out.weight_name_ = objective_.weight_name;
+  out.normalizer_ = objective_.weight_name * static_cast<double>(m);
+  if (m > 1) {
+    out.normalizer_ +=
+        objective_.weight_structure * static_cast<double>(m - 1);
+  }
+  if (out.normalizer_ <= 0.0) out.normalizer_ = 1.0;
+
+  // Per-element evidence accumulators, reset between uses by walking the
+  // touched/scored lists (never the full arrays).
+  std::vector<uint32_t> shared(element_count, 0);
+  std::vector<uint8_t> strong(element_count, 0);
+  std::vector<uint32_t> touched;
+  std::vector<Retrieved> cell_hits;
+  size_t max_schema_size = 0;
+  for (const schema::Schema& s : repo.schemas()) {
+    max_schema_size = std::max(max_schema_size, s.size());
+  }
+  // Per-schema scratch, nodes already chosen for the current cell.
+  std::vector<uint8_t> in_list(max_schema_size, 0);
+  std::vector<uint32_t> scored_ordinals;
+  std::vector<match::CandidateEntry> entries;
+
+  for (size_t pos = 0; pos < m; ++pos) {
+    const schema::SchemaNode& qnode = query.node(preorder[pos]);
+    const sim::PreparedName qp =
+        sim::PrepareName(qnode.name, objective_.name);
+    const std::vector<std::string> qgrams = sim::ExtractNgrams(qp.folded, 3);
+    const double qa = static_cast<double>(qgrams.size());
+
+    touched.clear();
+    auto touch = [&](uint32_t ordinal) {
+      if (shared[ordinal] == 0 && strong[ordinal] == 0) {
+        touched.push_back(ordinal);
+      }
+    };
+
+    // Trigram evidence with multiplicities: Σ_g min(mult_q, mult_e) is the
+    // exact Dice numerator of every element sharing a gram.
+    for (size_t g = 0; g < qgrams.size();) {
+      size_t end = g + 1;
+      while (end < qgrams.size() && qgrams[end] == qgrams[g]) ++end;
+      const auto query_mult = static_cast<uint32_t>(end - g);
+      if (const std::vector<TrigramPosting>* postings =
+              prepared_->TrigramPostings(qgrams[g])) {
+        for (const TrigramPosting& posting : *postings) {
+          touch(posting.ordinal);
+          shared[posting.ordinal] +=
+              std::min(query_mult, static_cast<uint32_t>(posting.count));
+        }
+      }
+      g = end;
+    }
+
+    // Strong evidence: shared tokens, shared token synonym groups, equal
+    // folded names, whole-name synonym groups.
+    auto mark_strong = [&](const std::vector<uint32_t>* postings) {
+      if (postings == nullptr) return;
+      for (uint32_t ordinal : *postings) {
+        touch(ordinal);
+        strong[ordinal] = 1;
+      }
+    };
+    for (const std::string& token : UniqueSortedTokens(qp.tokens)) {
+      mark_strong(prepared_->TokenPostings(token));
+      if (synonyms != nullptr) {
+        int group = synonyms->GroupOf(token);
+        if (group >= 0) mark_strong(prepared_->TokenGroupPostings(group));
+      }
+    }
+    mark_strong(prepared_->NameBucket(qp.folded));
+    if (synonyms != nullptr) {
+      int group = synonyms->GroupOf(qp.folded);
+      if (group >= 0) mark_strong(prepared_->NameGroupBucket(group));
+    }
+
+    // Ordinals are (schema, node)-ordered, so one sorted walk groups the
+    // retrieved elements by schema.
+    std::sort(touched.begin(), touched.end());
+
+    const std::vector<uint32_t>* type_bucket =
+        qnode.type.empty() ? nullptr : prepared_->TypeBucket(qnode.type);
+
+    size_t ti = 0;
+    for (size_t si = 0; si < schema_count; ++si) {
+      const auto schema_index = static_cast<int32_t>(si);
+      const schema::Schema& schema = repo.schema(schema_index);
+      const size_t schema_size = schema.size();
+      const uint32_t first = prepared_->first_ordinal(schema_index);
+      const uint32_t end = first + static_cast<uint32_t>(schema_size);
+
+      cell_hits.clear();
+      for (; ti < touched.size() && touched[ti] < end; ++ti) {
+        const uint32_t ordinal = touched[ti];
+        Retrieved hit;
+        hit.ordinal = ordinal;
+        hit.strong = strong[ordinal] != 0;
+        const double denom =
+            qa + static_cast<double>(prepared_->element(ordinal)
+                                         .trigram_count);
+        hit.dice = denom > 0.0
+                       ? 2.0 * static_cast<double>(shared[ordinal]) / denom
+                       : 0.0;
+        cell_hits.push_back(hit);
+      }
+
+      // Scoring set: every strong hit (required for admissibility of the
+      // synonym tiers, and they are the high-precision candidates anyway),
+      // then trigram-only hits by descending Dice until `limit` entries.
+      auto weak_begin =
+          std::stable_partition(cell_hits.begin(), cell_hits.end(),
+                                [](const Retrieved& r) { return r.strong; });
+      std::sort(weak_begin, cell_hits.end(),
+                [](const Retrieved& a, const Retrieved& b) {
+                  if (a.dice != b.dice) return a.dice > b.dice;
+                  return a.ordinal < b.ordinal;
+                });
+      const size_t strong_count =
+          static_cast<size_t>(weak_begin - cell_hits.begin());
+      const size_t weak_count = cell_hits.size() - strong_count;
+      const size_t weak_scored =
+          strong_count >= limit ? 0
+                                : std::min(weak_count, limit - strong_count);
+
+      scored_ordinals.clear();
+      for (size_t i = 0; i < strong_count + weak_scored; ++i) {
+        scored_ordinals.push_back(cell_hits[i].ordinal);
+        in_list[cell_hits[i].ordinal - first] = 1;
+      }
+
+      // Pad to C with unretrieved elements: same declared type first, then
+      // node order — deterministic and query-independent.
+      if (scored_ordinals.size() < limit && type_bucket != nullptr) {
+        auto it = std::lower_bound(type_bucket->begin(), type_bucket->end(),
+                                   first);
+        for (; it != type_bucket->end() && *it < end &&
+               scored_ordinals.size() < limit;
+             ++it) {
+          if (in_list[*it - first] == 0) {
+            scored_ordinals.push_back(*it);
+            in_list[*it - first] = 1;
+          }
+        }
+      }
+      for (uint32_t ordinal = first;
+           ordinal < end && scored_ordinals.size() < limit; ++ordinal) {
+        if (in_list[ordinal - first] == 0) {
+          scored_ordinals.push_back(ordinal);
+          in_list[ordinal - first] = 1;
+        }
+      }
+
+      // Exact scoring — the same ComputeNodeCost over prepared names the
+      // dense pool runs, so candidate costs are bit-identical to its.
+      entries.clear();
+      for (uint32_t ordinal : scored_ordinals) {
+        const PreparedElement& element = prepared_->element(ordinal);
+        match::CandidateEntry entry;
+        entry.node = element.node;
+        entry.cost = match::ComputeNodeCost(
+            qnode, qp, schema.node(element.node), element.name, objective_);
+        entries.push_back(entry);
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const match::CandidateEntry& a,
+                   const match::CandidateEntry& b) {
+                  if (a.cost != b.cost) return a.cost < b.cost;
+                  return a.node < b.node;
+                });
+
+      QueryCandidates::Cell& cell =
+          out.cells_[pos * schema_count + si];
+      const size_t scored_total = scored_ordinals.size();
+      double bound = kInf;
+      if (entries.size() > limit) {
+        bound = std::min(bound, entries[limit].cost);  // scored, truncated
+        entries.resize(limit);
+      }
+      if (weak_scored < weak_count) {
+        // Retrieved but unscored: their exact Dice caps the trigram term.
+        bound = std::min(
+            bound, trigram_weight_share_ *
+                       (1.0 - cell_hits[strong_count + weak_scored].dice));
+      }
+      if (scored_total + (weak_count - weak_scored) < schema_size) {
+        // Never-retrieved elements share no trigram with the query: D = 0.
+        bound = std::min(bound, trigram_weight_share_);
+      }
+      cell.entries = entries;
+      cell.skip_bound = bound;
+      out.generated_ += cell.entries.size();
+      out.skipped_ += schema_size - cell.entries.size();
+      // in_list was set exactly for the scored ordinals — reset only those.
+      for (uint32_t ordinal : scored_ordinals) {
+        in_list[ordinal - first] = 0;
+      }
+    }
+
+    for (uint32_t ordinal : touched) {
+      shared[ordinal] = 0;
+      strong[ordinal] = 0;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace smb::index

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "index/prepared_repository.h"
+#include "match/objective.h"
+#include "schema/schema.h"
+
+/// \file candidate_generator.h
+/// \brief Sparse candidate generation: top-C targets per query element with
+/// an admissible cost bound for everything skipped.
+///
+/// For each (query position, repository schema) cell the generator
+/// retrieves elements through the `PreparedRepository` postings (tokens,
+/// synonym groups, exact/synonym name buckets, trigrams), scores the
+/// retrieved set with the *exact* objective node cost (`ComputeNodeCost`
+/// over prepared names — bit-identical to the dense pool), and keeps the C
+/// cheapest. Cells short of C are padded with unretrieved elements (same
+/// declared type first, then node order) so every cell offers
+/// min(C, |schema|) candidates; with C ≥ |schema| every cell is complete
+/// and matchers reproduce the dense answers exactly.
+///
+/// The skip-bound per cell is the minimum over three tiers (see
+/// prepared_repository.h for the admissibility argument):
+///  * scored-but-truncated elements: their exact minimum cost;
+///  * retrieved-but-unscored elements: `(w_t/Σw)·(1 − D)` from their exact
+///    trigram Dice D;
+///  * never-retrieved elements: `(w_t/Σw)` (their Dice is 0).
+
+namespace smb::index {
+
+/// \brief Per-query candidate lists — the sparse `match::CandidateProvider`
+/// handed to matchers. Immutable, safe for concurrent reads, and
+/// independent of any other query, so many queries can share one
+/// `PreparedRepository` while each holds its own `QueryCandidates`.
+class QueryCandidates : public match::CandidateProvider {
+ public:
+  const std::vector<match::CandidateEntry>* CandidatesFor(
+      size_t pos, int32_t schema_index) const override {
+    return &cells_[pos * schema_count_ + static_cast<size_t>(schema_index)]
+                .entries;
+  }
+
+  double SkipLowerBound(size_t pos, int32_t schema_index) const override {
+    return cells_[pos * schema_count_ + static_cast<size_t>(schema_index)]
+        .skip_bound;
+  }
+
+  /// Query pre-order positions covered.
+  size_t positions() const { return positions_; }
+  size_t schema_count() const { return schema_count_; }
+  /// The cutoff C the lists were generated with.
+  size_t limit() const { return limit_; }
+
+  /// Σ list sizes — candidate entries the index produced.
+  uint64_t candidates_generated() const { return generated_; }
+  /// Σ (|schema| − list size) — repository nodes never handed to matchers.
+  uint64_t candidates_skipped() const { return skipped_; }
+
+  /// \brief Fraction of (position, schema) cells whose skip-bound proves
+  /// that no mapping with Δ ≤ `delta_threshold` passes through a skipped
+  /// element of that cell — the measurable completeness knob: at 1.0 the
+  /// sparse answers are certified identical to the dense ones.
+  double ProvablyCompleteFraction(double delta_threshold) const;
+
+ private:
+  friend class CandidateGenerator;
+
+  struct Cell {
+    std::vector<match::CandidateEntry> entries;
+    /// Admissible lower bound on the node cost of any unlisted target;
+    /// +infinity when the list covers the whole schema.
+    double skip_bound = 0.0;
+  };
+
+  std::vector<Cell> cells_;
+  size_t positions_ = 0;
+  size_t schema_count_ = 0;
+  size_t limit_ = 0;
+  uint64_t generated_ = 0;
+  uint64_t skipped_ = 0;
+  /// Objective shape for ProvablyCompleteFraction: Δ of a mapping through
+  /// a skipped node is at least `weight_name_ · skip_bound / normalizer_`.
+  double weight_name_ = 0.0;
+  double normalizer_ = 1.0;
+};
+
+/// \brief Turns a `PreparedRepository` into per-query candidate lists.
+class CandidateGenerator {
+ public:
+  /// `prepared` must outlive the generator. `objective` must use the same
+  /// name options the index was built with (checked in Generate).
+  CandidateGenerator(const PreparedRepository* prepared,
+                     match::ObjectiveOptions objective);
+
+  /// \brief Generates the top-`limit` candidate lists for every
+  /// (query pre-order position, repository schema) cell.
+  Result<QueryCandidates> Generate(const schema::Schema& query,
+                                   size_t limit) const;
+
+ private:
+  const PreparedRepository* prepared_;
+  match::ObjectiveOptions objective_;
+  /// w_t / Σw — the trigram share of the composite measure, the analytic
+  /// floor of the skip-bound.
+  double trigram_weight_share_ = 0.0;
+};
+
+}  // namespace smb::index

@@ -1,0 +1,126 @@
+#include "index/prepared_repository.h"
+
+#include <algorithm>
+
+#include "sim/ngram.h"
+#include "sim/synonyms.h"
+
+namespace smb::index {
+
+std::vector<std::string> UniqueSortedTokens(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> unique = tokens;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return unique;
+}
+
+Result<PreparedRepository> PreparedRepository::Build(
+    const schema::SchemaRepository& repo,
+    const sim::NameSimilarityOptions& name_options) {
+  PreparedRepository prepared;
+  prepared.repo_ = &repo;
+  prepared.name_options_ = name_options;
+  prepared.elements_.reserve(repo.total_elements());
+  prepared.first_ordinal_.reserve(repo.schema_count());
+
+  const sim::SynonymTable* synonyms = name_options.synonyms;
+  for (size_t si = 0; si < repo.schema_count(); ++si) {
+    const auto schema_index = static_cast<int32_t>(si);
+    const schema::Schema& schema = repo.schema(schema_index);
+    SMB_RETURN_IF_ERROR(schema.Validate());
+    prepared.first_ordinal_.push_back(
+        static_cast<uint32_t>(prepared.elements_.size()));
+    for (size_t n = 0; n < schema.size(); ++n) {
+      const auto node_id = static_cast<schema::NodeId>(n);
+      const schema::SchemaNode& node = schema.node(node_id);
+      const auto ordinal = static_cast<uint32_t>(prepared.elements_.size());
+
+      PreparedElement element;
+      element.schema_index = schema_index;
+      element.node = node_id;
+      element.name = sim::PrepareName(node.name, name_options);
+
+      // Trigram postings with multiplicities: grams come back sorted, so
+      // runs of equal grams give the per-gram count directly.
+      std::vector<std::string> grams =
+          sim::ExtractNgrams(element.name.folded, 3);
+      element.trigram_count = static_cast<uint32_t>(grams.size());
+      for (size_t g = 0; g < grams.size();) {
+        size_t end = g + 1;
+        while (end < grams.size() && grams[end] == grams[g]) ++end;
+        prepared.trigram_postings_[grams[g]].push_back(
+            TrigramPosting{ordinal, static_cast<uint16_t>(end - g)});
+        prepared.stats_.trigram_posting_entries++;
+        g = end;
+      }
+
+      // Token postings (deduplicated per element) plus synonym-group
+      // postings so dictionary aliases retrieve each other.
+      for (const std::string& token : UniqueSortedTokens(element.name.tokens)) {
+        prepared.token_postings_[token].push_back(ordinal);
+        prepared.stats_.token_posting_entries++;
+        if (synonyms != nullptr) {
+          int group = synonyms->GroupOf(token);
+          if (group >= 0) {
+            auto& postings = prepared.token_group_postings_[group];
+            if (postings.empty() || postings.back() != ordinal) {
+              postings.push_back(ordinal);
+            }
+          }
+        }
+      }
+
+      prepared.name_buckets_[element.name.folded].push_back(ordinal);
+      if (synonyms != nullptr) {
+        int group = synonyms->GroupOf(element.name.folded);
+        if (group >= 0) {
+          prepared.name_group_buckets_[group].push_back(ordinal);
+        }
+      }
+      prepared.type_buckets_[node.type].push_back(ordinal);
+
+      prepared.elements_.push_back(std::move(element));
+    }
+  }
+
+  prepared.stats_.element_count = prepared.elements_.size();
+  prepared.stats_.distinct_tokens = prepared.token_postings_.size();
+  prepared.stats_.distinct_trigrams = prepared.trigram_postings_.size();
+  prepared.stats_.distinct_types = prepared.type_buckets_.size();
+  return prepared;
+}
+
+const std::vector<uint32_t>* PreparedRepository::TokenPostings(
+    std::string_view token) const {
+  return Find(token_postings_, std::string(token));
+}
+
+const std::vector<uint32_t>* PreparedRepository::TokenGroupPostings(
+    int group) const {
+  auto it = token_group_postings_.find(group);
+  return it == token_group_postings_.end() ? nullptr : &it->second;
+}
+
+const std::vector<TrigramPosting>* PreparedRepository::TrigramPostings(
+    std::string_view gram) const {
+  return Find(trigram_postings_, std::string(gram));
+}
+
+const std::vector<uint32_t>* PreparedRepository::NameBucket(
+    std::string_view folded) const {
+  return Find(name_buckets_, std::string(folded));
+}
+
+const std::vector<uint32_t>* PreparedRepository::NameGroupBucket(
+    int group) const {
+  auto it = name_group_buckets_.find(group);
+  return it == name_group_buckets_.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint32_t>* PreparedRepository::TypeBucket(
+    std::string_view type) const {
+  return Find(type_buckets_, std::string(type));
+}
+
+}  // namespace smb::index

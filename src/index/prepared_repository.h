@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/repository.h"
+#include "sim/name_similarity.h"
+
+/// \file prepared_repository.h
+/// \brief Query-independent repository index: prepared names, inverted
+/// postings and type buckets, built once and shared by every query.
+///
+/// The dense engine path recomputes one full query×repository cost matrix
+/// per query — O(|query|·Σ|schema|) composite name distances every time,
+/// even though the repository side never changes. This index moves all
+/// query-independent work to a one-time build:
+///
+///  * every element's name is folded and tokenized once
+///    (`sim::PreparedName`, the same fast path the dense pool uses — costs
+///    computed over the index are bit-identical to the pool's);
+///  * a token inverted index (plus synonym-group postings) finds elements
+///    sharing an identifier word with a query element in O(postings);
+///  * a padded-trigram inverted index with per-element multiplicities finds
+///    fuzzy name overlaps *and* yields each element's exact trigram Dice
+///    coefficient against the query name without touching the element;
+///  * whole-name and synonym-group name buckets catch exact renames and
+///    dictionary aliases ("customer" → "client");
+///  * type buckets group elements by declared simple type.
+///
+/// `CandidateGenerator` (candidate_generator.h) turns these postings into
+/// top-C candidate lists per query element together with an **admissible
+/// skip-bound** — a certified lower bound on the name+type cost of every
+/// element it did not retrieve. The argument, for the composite measure
+/// `sim = (w_l·L + w_j·J + w_t·D + w_k·K) / Σw` of sim/name_similarity.h:
+///
+///  1. L, J, K ≤ 1 always, and D (trigram Dice) is computed *exactly* for
+///     every element sharing ≥ 1 trigram with the query name, directly from
+///     the posting multiplicities; elements sharing none have D = 0.
+///  2. Hence for any unscored element: sim ≤ 1 − (w_t/Σw)·(1 − D), i.e.
+///     cost = 1 − sim ≥ (w_t/Σw)·(1 − D). The type-mismatch penalty only
+///     adds cost, so the bound survives type awareness.
+///  3. The two short-circuits of the measure are neutralized by always
+///     scoring their buckets: equal folded names (sim = 1) share all
+///     trigrams so their bound is 0 anyway, and whole-name synonym pairs
+///     (sim = synonym_score, independent of trigrams) are exactly the
+///     name-group bucket, which the generator always scores.
+///
+/// The bound lets Δ-threshold completeness be argued per (position, schema)
+/// cell — a mapping through a skipped element costs at least
+/// `w_name·bound / normalizer` in Δ — and measured end-to-end (see
+/// `eval::RunIndexedWorkload`'s recall-vs-dense report).
+///
+/// Everything here is immutable after Build and safe for concurrent reads;
+/// one index serves every worker thread and every query.
+
+namespace smb::index {
+
+/// \brief The distinct tokens of a prepared name, sorted — the unit both
+/// the index build and query-time retrieval post/look up under, so the two
+/// sides can never disagree on what counts as a token.
+std::vector<std::string> UniqueSortedTokens(
+    const std::vector<std::string>& tokens);
+
+/// \brief One repository element with its query-independent precompute.
+struct PreparedElement {
+  int32_t schema_index = -1;
+  schema::NodeId node = schema::kInvalidNode;
+  /// Folded + tokenized name (bit-compatible with the dense pool's path).
+  sim::PreparedName name;
+  /// |ExtractNgrams(name.folded, 3)| — the Dice denominator contribution.
+  uint32_t trigram_count = 0;
+};
+
+/// \brief One posting of the trigram index: element + gram multiplicity.
+struct TrigramPosting {
+  uint32_t ordinal = 0;
+  /// How many times the gram occurs in the element name (multiset count).
+  uint16_t count = 0;
+};
+
+/// \brief Size/shape of a built index (for reports and benches).
+struct PreparedRepositoryStats {
+  size_t element_count = 0;
+  size_t distinct_tokens = 0;
+  size_t distinct_trigrams = 0;
+  size_t distinct_types = 0;
+  /// Token postings entries across all tokens.
+  size_t token_posting_entries = 0;
+  /// Trigram postings entries across all grams.
+  size_t trigram_posting_entries = 0;
+};
+
+/// \brief The query-independent repository index. Build once per
+/// repository, reuse for every query (and across threads).
+class PreparedRepository {
+ public:
+  /// \brief Indexes every element of `repo`. `name_options` must be the
+  /// same the queries will match with (folding and synonyms feed the
+  /// index); the repository must outlive the index.
+  static Result<PreparedRepository> Build(
+      const schema::SchemaRepository& repo,
+      const sim::NameSimilarityOptions& name_options);
+
+  /// The repository this index was built over.
+  const schema::SchemaRepository& repo() const { return *repo_; }
+
+  /// True iff this index was built over exactly `repo` (same object).
+  bool BuiltOver(const schema::SchemaRepository& repo) const {
+    return repo_ == &repo;
+  }
+
+  const sim::NameSimilarityOptions& name_options() const {
+    return name_options_;
+  }
+
+  /// Elements across all schemas; ordinals are dense in
+  /// (schema, node) order.
+  size_t element_count() const { return elements_.size(); }
+  const PreparedElement& element(uint32_t ordinal) const {
+    return elements_[ordinal];
+  }
+
+  /// Ordinal of the first element of `schema_index`.
+  uint32_t first_ordinal(int32_t schema_index) const {
+    return first_ordinal_[static_cast<size_t>(schema_index)];
+  }
+
+  /// Ordinal of `(schema_index, node)`.
+  uint32_t OrdinalOf(int32_t schema_index, schema::NodeId node) const {
+    return first_ordinal(schema_index) + static_cast<uint32_t>(node);
+  }
+
+  /// Elements whose name contains `token` (sorted ordinals); nullptr when
+  /// the token is unknown.
+  const std::vector<uint32_t>* TokenPostings(std::string_view token) const;
+
+  /// Elements containing any token of synonym group `group` (sorted
+  /// ordinals); nullptr when the group posted nothing.
+  const std::vector<uint32_t>* TokenGroupPostings(int group) const;
+
+  /// Trigram postings for `gram` with per-element multiplicities; nullptr
+  /// when no element name contains the gram.
+  const std::vector<TrigramPosting>* TrigramPostings(
+      std::string_view gram) const;
+
+  /// Elements whose folded name equals `folded` (sorted ordinals).
+  const std::vector<uint32_t>* NameBucket(std::string_view folded) const;
+
+  /// Elements whose whole folded name belongs to synonym group `group`.
+  const std::vector<uint32_t>* NameGroupBucket(int group) const;
+
+  /// Elements declaring simple type `type` (sorted ordinals); nullptr for
+  /// unknown types. The empty string buckets untyped elements.
+  const std::vector<uint32_t>* TypeBucket(std::string_view type) const;
+
+  const PreparedRepositoryStats& stats() const { return stats_; }
+
+ private:
+  PreparedRepository() = default;
+
+  template <typename Map>
+  static const typename Map::mapped_type* Find(const Map& map,
+                                               const std::string& key) {
+    auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+  }
+
+  const schema::SchemaRepository* repo_ = nullptr;
+  sim::NameSimilarityOptions name_options_;
+  std::vector<PreparedElement> elements_;
+  std::vector<uint32_t> first_ordinal_;
+  std::unordered_map<std::string, std::vector<uint32_t>> token_postings_;
+  std::unordered_map<int, std::vector<uint32_t>> token_group_postings_;
+  std::unordered_map<std::string, std::vector<TrigramPosting>>
+      trigram_postings_;
+  std::unordered_map<std::string, std::vector<uint32_t>> name_buckets_;
+  std::unordered_map<int, std::vector<uint32_t>> name_group_buckets_;
+  std::unordered_map<std::string, std::vector<uint32_t>> type_buckets_;
+  PreparedRepositoryStats stats_;
+};
+
+}  // namespace smb::index

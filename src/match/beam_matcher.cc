@@ -24,7 +24,7 @@ Result<AnswerSet> BeamMatcher::Match(const schema::Schema& query,
     return Status::InvalidArgument("beam_width must be positive");
   }
   ObjectiveFunction objective(&query, &repo, options.objective,
-                              options.shared_costs);
+                              options.shared_costs, options.candidates);
   const size_t m = objective.query_preorder().size();
   const double budget =
       options.delta_threshold * objective.normalizer() + 1e-12;
@@ -39,30 +39,50 @@ Result<AnswerSet> BeamMatcher::Match(const schema::Schema& query,
                              std::vector<bool>(s.size(), false), 0.0});
     for (size_t pos = 0; pos < m && !beam.empty(); ++pos) {
       size_t parent_pos = objective.parent_position()[pos];
+      // Sparse path: only the indexed candidates are expanded, with their
+      // precomputed exact node costs.
+      const std::vector<CandidateEntry>* list = nullptr;
+      if (options.candidates != nullptr) {
+        list = options.candidates->CandidatesFor(pos, schema_index);
+      }
       std::vector<BeamState> next;
       for (const BeamState& state : beam) {
         schema::NodeId parent_target = schema::kInvalidNode;
         if (parent_pos != ObjectiveFunction::kNoParent) {
           parent_target = state.targets[parent_pos];
         }
-        for (size_t t = 0; t < s.size(); ++t) {
-          auto target = static_cast<schema::NodeId>(t);
-          if (options.injective && state.used[t]) continue;
+        auto expand = [&](schema::NodeId target, double assign_cost) {
           if (stats != nullptr) ++stats->states_explored;
-          double cost = state.cost + objective.AssignCost(pos, schema_index,
-                                                          target,
-                                                          parent_target);
+          double cost = state.cost + assign_cost;
           if (cost > budget) {
             if (stats != nullptr) ++stats->states_pruned;
-            continue;
+            return;
           }
           BeamState child;
           child.targets = state.targets;
           child.targets.push_back(target);
           child.used = state.used;
-          child.used[t] = true;
+          child.used[static_cast<size_t>(target)] = true;
           child.cost = cost;
           next.push_back(std::move(child));
+        };
+        if (list != nullptr) {
+          for (const CandidateEntry& entry : *list) {
+            if (options.injective &&
+                state.used[static_cast<size_t>(entry.node)]) {
+              continue;
+            }
+            expand(entry.node, objective.AssignCostWithNodeCost(
+                                   schema_index, entry.node, parent_target,
+                                   entry.cost));
+          }
+        } else {
+          for (size_t t = 0; t < s.size(); ++t) {
+            auto target = static_cast<schema::NodeId>(t);
+            if (options.injective && state.used[t]) continue;
+            expand(target, objective.AssignCost(pos, schema_index, target,
+                                                parent_target));
+          }
         }
       }
       // Keep the beam_width cheapest partials; deterministic tie-break on

@@ -29,29 +29,57 @@ Status Matcher::ValidateInputs(const schema::Schema& query,
 
 namespace {
 
-/// Depth-first enumeration of assignments within one repository schema.
+/// Depth-first enumeration of assignments within one repository schema —
+/// over the full node set, or over sparse candidate lists when a
+/// `CandidateProvider` is attached to the objective.
 class SchemaEnumerator {
  public:
   SchemaEnumerator(const ObjectiveFunction& objective, int32_t schema_index,
                    const MatchOptions& options, bool use_pruning,
-                   const std::vector<std::vector<schema::NodeId>>* candidates,
                    AnswerSet* out, MatchStats* stats)
       : objective_(objective),
         schema_index_(schema_index),
         options_(options),
         use_pruning_(use_pruning),
-        candidates_(candidates),
         out_(out),
         stats_(stats) {
     const auto& s = objective_.repo().schema(schema_index_);
-    used_.assign(s.size(), false);
+    schema_size_ = s.size();
+    used_.assign(schema_size_, false);
     targets_.assign(objective_.query_preorder().size(), schema::kInvalidNode);
     cost_budget_ = options_.delta_threshold * objective_.normalizer() + 1e-12;
   }
 
-  void Run() { Recurse(0, 0.0); }
+  void Run() {
+    // With candidate lists, a position with no candidates makes the whole
+    // schema infeasible — skip it without exploring the earlier positions.
+    if (const CandidateProvider* provider = objective_.candidates()) {
+      const size_t m = objective_.query_preorder().size();
+      for (size_t pos = 0; pos < m; ++pos) {
+        const std::vector<CandidateEntry>* list =
+            provider->CandidatesFor(pos, schema_index_);
+        if (list != nullptr && list->empty()) return;
+      }
+    }
+    Recurse(0, 0.0);
+  }
 
  private:
+  /// One step of the recursion for a fixed target with a known node cost.
+  void Visit(size_t pos, double cost_so_far, schema::NodeId target,
+             double assign_cost) {
+    if (stats_ != nullptr) ++stats_->states_explored;
+    double cost = cost_so_far + assign_cost;
+    if (use_pruning_ && cost > cost_budget_) {
+      if (stats_ != nullptr) ++stats_->states_pruned;
+      return;
+    }
+    targets_[pos] = target;
+    used_[static_cast<size_t>(target)] = true;
+    Recurse(pos + 1, cost);
+    used_[static_cast<size_t>(target)] = false;
+  }
+
   void Recurse(size_t pos, double cost_so_far) {
     const size_t m = objective_.query_preorder().size();
     if (pos == m) {
@@ -68,31 +96,26 @@ class SchemaEnumerator {
     if (parent_pos != ObjectiveFunction::kNoParent) {
       parent_target = targets_[parent_pos];
     }
-    const auto& s = objective_.repo().schema(schema_index_);
-    const std::vector<schema::NodeId>* pool = nullptr;
-    std::vector<schema::NodeId> all;
-    if (candidates_ != nullptr) {
-      pool = &(*candidates_)[pos];
-    } else {
-      all.resize(s.size());
-      for (size_t i = 0; i < s.size(); ++i) {
-        all[i] = static_cast<schema::NodeId>(i);
-      }
-      pool = &all;
+    const std::vector<CandidateEntry>* list = nullptr;
+    if (const CandidateProvider* provider = objective_.candidates()) {
+      list = provider->CandidatesFor(pos, schema_index_);
     }
-    for (schema::NodeId target : *pool) {
-      if (options_.injective && used_[static_cast<size_t>(target)]) continue;
-      if (stats_ != nullptr) ++stats_->states_explored;
-      double cost = cost_so_far + objective_.AssignCost(pos, schema_index_,
-                                                        target, parent_target);
-      if (use_pruning_ && cost > cost_budget_) {
-        if (stats_ != nullptr) ++stats_->states_pruned;
-        continue;
+    if (list != nullptr) {
+      for (const CandidateEntry& entry : *list) {
+        if (options_.injective && used_[static_cast<size_t>(entry.node)]) {
+          continue;
+        }
+        Visit(pos, cost_so_far, entry.node,
+              objective_.AssignCostWithNodeCost(schema_index_, entry.node,
+                                                parent_target, entry.cost));
       }
-      targets_[pos] = target;
-      used_[static_cast<size_t>(target)] = true;
-      Recurse(pos + 1, cost);
-      used_[static_cast<size_t>(target)] = false;
+      return;
+    }
+    for (size_t i = 0; i < schema_size_; ++i) {
+      const auto target = static_cast<schema::NodeId>(i);
+      if (options_.injective && used_[i]) continue;
+      Visit(pos, cost_so_far, target,
+            objective_.AssignCost(pos, schema_index_, target, parent_target));
     }
   }
 
@@ -100,9 +123,9 @@ class SchemaEnumerator {
   int32_t schema_index_;
   const MatchOptions& options_;
   bool use_pruning_;
-  const std::vector<std::vector<schema::NodeId>>* candidates_;
   AnswerSet* out_;
   MatchStats* stats_;
+  size_t schema_size_ = 0;
   std::vector<bool> used_;
   std::vector<schema::NodeId> targets_;
   double cost_budget_ = 0.0;
@@ -116,12 +139,11 @@ Result<AnswerSet> ExhaustiveMatcher::Match(const schema::Schema& query,
                                            MatchStats* stats) const {
   SMB_RETURN_IF_ERROR(ValidateInputs(query, repo, options));
   ObjectiveFunction objective(&query, &repo, options.objective,
-                              options.shared_costs);
+                              options.shared_costs, options.candidates);
   AnswerSet answers;
   for (size_t s = 0; s < repo.schema_count(); ++s) {
     SchemaEnumerator enumerator(objective, static_cast<int32_t>(s), options,
-                                options_.use_pruning,
-                                /*candidates=*/nullptr, &answers, stats);
+                                options_.use_pruning, &answers, stats);
     enumerator.Run();
   }
   // Without pruning, over-threshold mappings were emitted too; filter them.

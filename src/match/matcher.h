@@ -32,6 +32,14 @@ struct MatchOptions {
   /// objective's lazy per-instance cache; the provider must outlive the
   /// Match call and must index schemas the same way as `repo`.
   const NodeCostProvider* shared_costs = nullptr;
+  /// Optional sparse candidate lists (index::QueryCandidates). When set, the
+  /// enumerating matchers (exhaustive, beam, topk) only consider the listed
+  /// targets per query position — the non-exhaustive S2 restriction — and
+  /// read the exact node costs stored with the candidates instead of going
+  /// through `shared_costs` or the lazy cache. Matchers with their own
+  /// candidate scheme (cluster) ignore it. The provider must outlive the
+  /// Match call and must index schemas the same way as `repo`.
+  const CandidateProvider* candidates = nullptr;
 };
 
 /// \brief Counters describing the work a matcher performed; the currency of
@@ -43,11 +51,21 @@ struct MatchStats {
   uint64_t mappings_emitted = 0;
   /// Partial assignments cut by the admissible Δ-bound.
   uint64_t states_pruned = 0;
+  /// Candidate entries produced by the repository index for this run
+  /// (Σ per-(position, schema) list sizes); 0 on dense runs. Filled by the
+  /// layer that built the candidate lists (engine / workload), not by the
+  /// matchers themselves.
+  uint64_t candidates_generated = 0;
+  /// Repository nodes the index skipped (Σ schema_size − list size) — the
+  /// search-space reduction the selectivity knob C buys.
+  uint64_t candidates_skipped = 0;
 
   MatchStats& operator+=(const MatchStats& other) {
     states_explored += other.states_explored;
     mappings_emitted += other.mappings_emitted;
     states_pruned += other.states_pruned;
+    candidates_generated += other.candidates_generated;
+    candidates_skipped += other.candidates_skipped;
     return *this;
   }
 };

@@ -35,11 +35,13 @@ double ComputeNodeCost(const schema::SchemaNode& q, const sim::PreparedName& qp,
 ObjectiveFunction::ObjectiveFunction(const schema::Schema* query,
                                      const schema::SchemaRepository* repo,
                                      ObjectiveOptions options,
-                                     const NodeCostProvider* shared_costs)
+                                     const NodeCostProvider* shared_costs,
+                                     const CandidateProvider* candidates)
     : query_(query),
       repo_(repo),
       options_(std::move(options)),
-      shared_costs_(shared_costs) {
+      shared_costs_(shared_costs),
+      candidates_(candidates) {
   assert(query_ != nullptr && repo_ != nullptr);
   preorder_ = query_->PreOrder();
   // Map NodeId -> pre-order position, then derive parent positions.
@@ -109,6 +111,18 @@ double ObjectiveFunction::AssignCost(size_t pos, int32_t schema_index,
                                      schema::NodeId target,
                                      schema::NodeId parent_target) const {
   double cost = options_.weight_name * NodeCost(pos, schema_index, target);
+  if (parent_target != schema::kInvalidNode) {
+    cost += options_.weight_structure *
+            EdgeCost(schema_index, parent_target, target);
+  }
+  return cost;
+}
+
+double ObjectiveFunction::AssignCostWithNodeCost(int32_t schema_index,
+                                                 schema::NodeId target,
+                                                 schema::NodeId parent_target,
+                                                 double node_cost) const {
+  double cost = options_.weight_name * node_cost;
   if (parent_target != schema::kInvalidNode) {
     cost += options_.weight_structure *
             EdgeCost(schema_index, parent_target, target);

@@ -87,6 +87,45 @@ class NodeCostProvider {
   virtual const double* NodeCostMatrix(int32_t schema_index) const = 0;
 };
 
+/// \brief One retrieved candidate target with its exact name+type cost.
+///
+/// The cost is produced by `ComputeNodeCost` over prepared names, so it is
+/// bit-identical to what the dense pool / lazy cache would compute for the
+/// same pair — iterating candidates never changes a Δ, it only restricts
+/// which targets are considered.
+struct CandidateEntry {
+  schema::NodeId node = schema::kInvalidNode;
+  /// Exact name+type node cost in [0, 1].
+  double cost = 0.0;
+};
+
+/// \brief Sparse counterpart of `NodeCostProvider`: per query position and
+/// repository schema, the small set of target nodes worth scoring
+/// (implemented by index::QueryCandidates).
+///
+/// Matchers holding a provider iterate the returned lists instead of every
+/// node of every schema — the non-exhaustive S2 restriction of the search
+/// space. `SkipLowerBound` makes the restriction measurable: it is an
+/// admissible lower bound on the node cost of every target *not* listed, so
+/// Δ-threshold completeness can be argued (or refuted) per cell.
+/// Implementations must be immutable and safe for concurrent reads.
+class CandidateProvider {
+ public:
+  virtual ~CandidateProvider() = default;
+
+  /// Candidate targets for query pre-order position `pos` in
+  /// `schema_index`, sorted by ascending (cost, node). nullptr means
+  /// "unrestricted" — the matcher falls back to iterating every node. An
+  /// empty list means no viable target exists for that cell.
+  virtual const std::vector<CandidateEntry>* CandidatesFor(
+      size_t pos, int32_t schema_index) const = 0;
+
+  /// Admissible lower bound on the name+type cost of any node of
+  /// `schema_index` not listed by `CandidatesFor(pos, schema_index)`.
+  /// +infinity when the list is complete (nothing was skipped).
+  virtual double SkipLowerBound(size_t pos, int32_t schema_index) const = 0;
+};
+
 /// \brief Evaluates Δ for mappings of one query schema into one repository.
 ///
 /// Name costs come from an attached `NodeCostProvider` when one is given
@@ -96,12 +135,13 @@ class NodeCostProvider {
 /// provider.
 class ObjectiveFunction {
  public:
-  /// `query`, `repo` and `shared_costs` (when non-null) must outlive the
-  /// objective.
+  /// `query`, `repo`, `shared_costs` and `candidates` (when non-null) must
+  /// outlive the objective.
   ObjectiveFunction(const schema::Schema* query,
                     const schema::SchemaRepository* repo,
                     ObjectiveOptions options = {},
-                    const NodeCostProvider* shared_costs = nullptr);
+                    const NodeCostProvider* shared_costs = nullptr,
+                    const CandidateProvider* candidates = nullptr);
 
   /// Query elements in pre-order (position 0 is the root).
   const std::vector<schema::NodeId>& query_preorder() const {
@@ -134,6 +174,16 @@ class ObjectiveFunction {
   double AssignCost(size_t pos, int32_t schema_index, schema::NodeId target,
                     schema::NodeId parent_target) const;
 
+  /// \brief Same contribution when the name+type node cost is already known
+  /// (the sparse candidate path: `CandidateEntry::cost` is exact, so going
+  /// through the dense matrix / lazy cache again would be wasted work).
+  double AssignCostWithNodeCost(int32_t schema_index, schema::NodeId target,
+                                schema::NodeId parent_target,
+                                double node_cost) const;
+
+  /// Sparse candidate lists attached to this objective (nullptr = dense).
+  const CandidateProvider* candidates() const { return candidates_; }
+
   /// Denominator of the weighted mean: `w_n·m + w_s·(m−1)`.
   double normalizer() const { return normalizer_; }
 
@@ -150,6 +200,7 @@ class ObjectiveFunction {
   const schema::SchemaRepository* repo_;
   ObjectiveOptions options_;
   const NodeCostProvider* shared_costs_ = nullptr;
+  const CandidateProvider* candidates_ = nullptr;
   std::vector<schema::NodeId> preorder_;
   std::vector<size_t> parent_position_;
   double normalizer_ = 1.0;

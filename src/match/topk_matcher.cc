@@ -29,7 +29,7 @@ Result<AnswerSet> TopKMatcher::Match(const schema::Schema& query,
     return Status::InvalidArgument("k_per_schema must be positive");
   }
   ObjectiveFunction objective(&query, &repo, options.objective,
-                              options.shared_costs);
+                              options.shared_costs, options.candidates);
   const size_t m = objective.query_preorder().size();
   const double budget =
       options.delta_threshold * objective.normalizer() + 1e-12;
@@ -66,31 +66,46 @@ Result<AnswerSet> TopKMatcher::Match(const schema::Schema& query,
       if (parent_pos != ObjectiveFunction::kNoParent) {
         parent_target = state.targets[parent_pos];
       }
-      for (size_t t = 0; t < s.size(); ++t) {
-        auto target = static_cast<schema::NodeId>(t);
-        if (options.injective) {
-          bool used = false;
-          for (schema::NodeId existing : state.targets) {
-            if (existing == target) {
-              used = true;
-              break;
-            }
-          }
-          if (used) continue;
+      auto is_used = [&](schema::NodeId target) {
+        if (!options.injective) return false;
+        for (schema::NodeId existing : state.targets) {
+          if (existing == target) return true;
         }
+        return false;
+      };
+      auto expand = [&](schema::NodeId target, double assign_cost) {
         if (stats != nullptr) ++stats->states_explored;
-        double cost = state.cost + objective.AssignCost(pos, schema_index,
-                                                        target,
-                                                        parent_target);
+        double cost = state.cost + assign_cost;
         if (cost > budget) {
           if (stats != nullptr) ++stats->states_pruned;
-          continue;
+          return;
         }
         Frontier child;
         child.cost = cost;
         child.targets = state.targets;
         child.targets.push_back(target);
         frontier.push(std::move(child));
+      };
+      // Sparse path: only the indexed candidates are expanded, with their
+      // precomputed exact node costs.
+      const std::vector<CandidateEntry>* list = nullptr;
+      if (options.candidates != nullptr) {
+        list = options.candidates->CandidatesFor(pos, schema_index);
+      }
+      if (list != nullptr) {
+        for (const CandidateEntry& entry : *list) {
+          if (is_used(entry.node)) continue;
+          expand(entry.node,
+                 objective.AssignCostWithNodeCost(schema_index, entry.node,
+                                                  parent_target, entry.cost));
+        }
+      } else {
+        for (size_t t = 0; t < s.size(); ++t) {
+          auto target = static_cast<schema::NodeId>(t);
+          if (is_used(target)) continue;
+          expand(target, objective.AssignCost(pos, schema_index, target,
+                                              parent_target));
+        }
       }
       // Safety valve: bound frontier memory by rebuilding without the
       // costliest entries. Rare in practice (budget prunes first).

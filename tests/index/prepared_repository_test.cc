@@ -1,0 +1,181 @@
+#include "index/prepared_repository.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/ngram.h"
+#include "sim/synonyms.h"
+#include "../testing/fixtures.h"
+
+namespace smb::index {
+namespace {
+
+using testing::MakeRepo;
+
+sim::NameSimilarityOptions SynonymOptions() {
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  sim::NameSimilarityOptions options;
+  options.synonyms = &kTable;
+  return options;
+}
+
+TEST(PreparedRepositoryTest, OrdinalsCoverEveryElementInOrder) {
+  schema::SchemaRepository repo = MakeRepo();
+  auto prepared = PreparedRepository::Build(repo, {});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  EXPECT_EQ(prepared->element_count(), repo.total_elements());
+  EXPECT_EQ(prepared->stats().element_count, repo.total_elements());
+  for (int32_t si = 0; si < static_cast<int32_t>(repo.schema_count()); ++si) {
+    const schema::Schema& s = repo.schema(si);
+    for (size_t n = 0; n < s.size(); ++n) {
+      const auto node = static_cast<schema::NodeId>(n);
+      const PreparedElement& element =
+          prepared->element(prepared->OrdinalOf(si, node));
+      EXPECT_EQ(element.schema_index, si);
+      EXPECT_EQ(element.node, node);
+    }
+  }
+}
+
+TEST(PreparedRepositoryTest, PreparedNamesMatchPrepareName) {
+  schema::SchemaRepository repo = MakeRepo();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  auto prepared = PreparedRepository::Build(repo, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  for (uint32_t o = 0; o < prepared->element_count(); ++o) {
+    const PreparedElement& element = prepared->element(o);
+    const schema::SchemaNode& node =
+        repo.schema(element.schema_index).node(element.node);
+    sim::PreparedName expected = sim::PrepareName(node.name, options);
+    EXPECT_EQ(element.name.folded, expected.folded);
+    EXPECT_EQ(element.name.tokens, expected.tokens);
+    EXPECT_EQ(element.trigram_count,
+              sim::ExtractNgrams(expected.folded, 3).size());
+  }
+}
+
+TEST(PreparedRepositoryTest, TokenPostingsFindSharedTokens) {
+  schema::SchemaRepository repo = MakeRepo();
+  auto prepared = PreparedRepository::Build(repo, {});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  // Tokenization runs on the *folded* name (same as the similarity path):
+  // "order" posts under "order"; "orderId" folds to "orderid", one token.
+  const std::vector<uint32_t>* postings = prepared->TokenPostings("order");
+  ASSERT_NE(postings, nullptr);
+  EXPECT_TRUE(std::is_sorted(postings->begin(), postings->end()));
+  auto contains = [&](const std::vector<uint32_t>* p, int32_t si,
+                      schema::NodeId node) {
+    return std::find(p->begin(), p->end(), prepared->OrdinalOf(si, node)) !=
+           p->end();
+  };
+  EXPECT_TRUE(contains(postings, 0, 1));   // "order"
+  EXPECT_FALSE(contains(postings, 0, 4));  // "inventory"
+  const std::vector<uint32_t>* orderid = prepared->TokenPostings("orderid");
+  ASSERT_NE(orderid, nullptr);
+  EXPECT_TRUE(contains(orderid, 0, 2));  // "orderId" folded
+
+  EXPECT_EQ(prepared->TokenPostings("no-such-token"), nullptr);
+}
+
+TEST(PreparedRepositoryTest, TrigramPostingsCarryMultiplicities) {
+  schema::SchemaRepository repo;
+  schema::Schema s("grams");
+  auto root = s.AddRoot("papapa").value();
+  s.AddChild(root, "other").value();
+  repo.Add(std::move(s)).value();
+  auto prepared = PreparedRepository::Build(repo, {});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  // "##papapa##" contains "apa" twice — the posting carries the multiset
+  // count the exact Dice computation needs.
+  const std::vector<TrigramPosting>* postings =
+      prepared->TrigramPostings("apa");
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ((*postings)[0].ordinal, prepared->OrdinalOf(0, 0));
+  EXPECT_EQ((*postings)[0].count, 2u);
+  EXPECT_EQ(prepared->element(0).trigram_count,
+            sim::ExtractNgrams("papapa", 3).size());
+  EXPECT_EQ(prepared->TrigramPostings("zzz"), nullptr);
+}
+
+TEST(PreparedRepositoryTest, NameAndTypeBuckets) {
+  schema::SchemaRepository repo = MakeRepo();
+  auto prepared = PreparedRepository::Build(repo, {});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  const std::vector<uint32_t>* order_bucket = prepared->NameBucket("order");
+  ASSERT_NE(order_bucket, nullptr);
+  ASSERT_EQ(order_bucket->size(), 1u);
+  EXPECT_EQ((*order_bucket)[0], prepared->OrdinalOf(0, 1));
+
+  // Both hosts declare one :string element.
+  const std::vector<uint32_t>* strings = prepared->TypeBucket("string");
+  ASSERT_NE(strings, nullptr);
+  EXPECT_EQ(strings->size(), 2u);
+  // Untyped elements land in the empty-type bucket.
+  const std::vector<uint32_t>* untyped = prepared->TypeBucket("");
+  ASSERT_NE(untyped, nullptr);
+  EXPECT_EQ(untyped->size(), repo.total_elements() - 2);
+}
+
+TEST(PreparedRepositoryTest, SynonymGroupBucketsLinkAliases) {
+  schema::SchemaRepository repo = MakeRepo();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  auto prepared = PreparedRepository::Build(repo, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  // "customer" and "client" share a builtin synonym group; the whole-name
+  // bucket of that group must contain schema 1's "client" element.
+  int group = options.synonyms->GroupOf("customer");
+  ASSERT_GE(group, 0);
+  const std::vector<uint32_t>* bucket = prepared->NameGroupBucket(group);
+  ASSERT_NE(bucket, nullptr);
+  auto client_ordinal = prepared->OrdinalOf(1, 3);
+  EXPECT_NE(std::find(bucket->begin(), bucket->end(), client_ordinal),
+            bucket->end());
+  // Token-level group postings cover the same alias.
+  const std::vector<uint32_t>* token_bucket =
+      prepared->TokenGroupPostings(group);
+  ASSERT_NE(token_bucket, nullptr);
+  EXPECT_NE(std::find(token_bucket->begin(), token_bucket->end(),
+                      client_ordinal),
+            token_bucket->end());
+}
+
+TEST(PreparedRepositoryTest, SingleNodeSchemaAndCaseFolding) {
+  schema::SchemaRepository repo;
+  schema::Schema single("single");
+  single.AddRoot("OrderItem").value();
+  repo.Add(std::move(single)).value();
+
+  auto folded = PreparedRepository::Build(repo, {});
+  ASSERT_TRUE(folded.ok()) << folded.status();
+  EXPECT_EQ(folded->element_count(), 1u);
+  EXPECT_EQ(folded->element(0).name.folded, "orderitem");
+  EXPECT_NE(folded->NameBucket("orderitem"), nullptr);
+  EXPECT_EQ(folded->NameBucket("OrderItem"), nullptr);
+
+  sim::NameSimilarityOptions sensitive;
+  sensitive.case_insensitive = false;
+  auto exact = PreparedRepository::Build(repo, sensitive);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_NE(exact->NameBucket("OrderItem"), nullptr);
+  EXPECT_EQ(exact->NameBucket("orderitem"), nullptr);
+}
+
+TEST(PreparedRepositoryTest, BuiltOverTracksRepositoryIdentity) {
+  schema::SchemaRepository repo = MakeRepo();
+  schema::SchemaRepository other = MakeRepo();
+  auto prepared = PreparedRepository::Build(repo, {});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_TRUE(prepared->BuiltOver(repo));
+  EXPECT_FALSE(prepared->BuiltOver(other));
+}
+
+}  // namespace
+}  // namespace smb::index

@@ -1,0 +1,73 @@
+#include "match/matcher_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+
+namespace smb::match {
+namespace {
+
+using smb::testing::MakeQuery;
+using smb::testing::MakeRepo;
+
+TEST(MatcherFactoryTest, ConstructsEveryKnownMatcher) {
+  schema::SchemaRepository repo = MakeRepo();
+  for (const std::string& name : KnownMatchers()) {
+    auto matcher = MakeMatcher(name, repo);
+    ASSERT_TRUE(matcher.ok()) << name << ": " << matcher.status();
+    EXPECT_FALSE((*matcher)->name().empty());
+  }
+}
+
+TEST(MatcherFactoryTest, ForwardsOptionsIntoMatcherNames) {
+  schema::SchemaRepository repo = MakeRepo();
+  MatcherFactoryOptions options;
+  options.beam_width = 3;
+  options.k_per_schema = 7;
+  options.top_m_clusters = 2;
+  EXPECT_EQ((*MakeMatcher("beam", repo, options))->name(), "beam-3");
+  EXPECT_EQ((*MakeMatcher("topk", repo, options))->name(), "topk-7");
+  EXPECT_EQ((*MakeMatcher("cluster", repo, options))->name(),
+            "cluster-top2");
+  EXPECT_EQ((*MakeMatcher("exhaustive", repo, options))->name(),
+            "exhaustive");
+}
+
+TEST(MatcherFactoryTest, FactoryMatchersActuallyMatch) {
+  schema::SchemaRepository repo = MakeRepo();
+  schema::Schema query = MakeQuery();
+  MatchOptions options;
+  for (const std::string& name : KnownMatchers()) {
+    auto matcher = MakeMatcher(name, repo);
+    ASSERT_TRUE(matcher.ok()) << matcher.status();
+    auto answers = (*matcher)->Match(query, repo, options);
+    ASSERT_TRUE(answers.ok()) << name << ": " << answers.status();
+    EXPECT_FALSE(answers->empty()) << name;
+  }
+}
+
+TEST(MatcherFactoryTest, UnknownNameListsKnownMatchers) {
+  schema::SchemaRepository repo = MakeRepo();
+  auto matcher = MakeMatcher("nonesuch", repo);
+  ASSERT_FALSE(matcher.ok());
+  const std::string message = matcher.status().message();
+  EXPECT_NE(message.find("unknown matcher 'nonesuch'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("known matchers:"), std::string::npos) << message;
+  for (const std::string& name : KnownMatchers()) {
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+}
+
+TEST(MatcherFactoryTest, RejectsDegenerateOptions) {
+  schema::SchemaRepository repo = MakeRepo();
+  MatcherFactoryOptions options;
+  options.beam_width = 0;
+  EXPECT_FALSE(MakeMatcher("beam", repo, options).ok());
+  options = {};
+  options.k_per_schema = 0;
+  EXPECT_FALSE(MakeMatcher("topk", repo, options).ok());
+}
+
+}  // namespace
+}  // namespace smb::match

@@ -31,13 +31,11 @@
 #include "common/table.h"
 #include "engine/batch_match_engine.h"
 #include "eval/pr_curve.h"
+#include "eval/workload.h"
 #include "io/answer_set_io.h"
 #include "io/curve_io.h"
 #include "io/csv.h"
-#include "match/beam_matcher.h"
-#include "match/cluster_matcher.h"
-#include "match/exhaustive_matcher.h"
-#include "match/topk_matcher.h"
+#include "match/matcher_factory.h"
 #include "schema/text_format.h"
 #include "schema/xsd_reader.h"
 #include "schema/stats.h"
@@ -70,6 +68,15 @@ commands:
             identical to a single-threaded run)
             [--shard-size=N] schemas per shard (engine runs only)
             [--top=N] keep only the globally best N answers
+            [--candidates=C] score only the top-C index candidates per
+            query element instead of every node (sparse S2 run)
+  workload  --repo=DIR --queries=DIR [--matcher=...] [--candidates=C]
+            [--threads=N] [--delta=X] [--top=N] [--compare-dense]
+            [--out-dir=DIR] build the repository index once, serve every
+            query*.txt in DIR through it; report per-query latency (and,
+            with --compare-dense, recall against the index-free run).
+            --out-dir writes answers-NNNN.csv per query (and
+            dense-NNNN.csv with --compare-dense) for the bounds pipeline
   curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
             measure the P/R curve of an answers file
   bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
@@ -169,6 +176,37 @@ int CmdGenerate(const CommandLine& cl) {
   return 0;
 }
 
+/// The builtin synonym table every command matches with.
+const sim::SynonymTable& BuiltinSynonyms() {
+  static const sim::SynonymTable kSynonyms = sim::SynonymTable::Builtin();
+  return kSynonyms;
+}
+
+/// Collects the per-matcher CLI knobs for the shared matcher factory.
+Result<match::MatcherFactoryOptions> ParseMatcherOptions(
+    const CommandLine& cl) {
+  match::MatcherFactoryOptions options;
+  SMB_ASSIGN_OR_RETURN(uint64_t beam, cl.GetUint("beam", 6));
+  SMB_ASSIGN_OR_RETURN(uint64_t top_m, cl.GetUint("topm", 4));
+  SMB_ASSIGN_OR_RETURN(uint64_t k, cl.GetUint("k", 10));
+  SMB_ASSIGN_OR_RETURN(uint64_t seed, cl.GetUint("seed", 2006));
+  options.beam_width = static_cast<size_t>(beam);
+  options.top_m_clusters = static_cast<size_t>(top_m);
+  options.k_per_schema = static_cast<size_t>(k);
+  options.cluster_seed = seed;
+  return options;
+}
+
+void PrintMatchStats(const match::MatchStats& stats) {
+  std::cout << stats.states_explored << " states explored, "
+            << stats.states_pruned << " pruned";
+  if (stats.candidates_generated > 0 || stats.candidates_skipped > 0) {
+    std::cout << "; index: " << stats.candidates_generated
+              << " candidates generated, " << stats.candidates_skipped
+              << " nodes skipped";
+  }
+}
+
 int CmdMatch(const CommandLine& cl) {
   std::string repo_dir = cl.Get("repo");
   std::string query_path = cl.Get("query");
@@ -183,44 +221,22 @@ int CmdMatch(const CommandLine& cl) {
   auto query = schema::ParseSchemaText(*query_text);
   if (!query.ok()) return Fail(query.status());
 
-  static const sim::SynonymTable kSynonyms = sim::SynonymTable::Builtin();
   match::MatchOptions options;
   auto delta = cl.GetDouble("delta", 0.25);
   if (!delta.ok()) return Fail(delta.status());
   options.delta_threshold = *delta;
-  options.objective.name.synonyms = &kSynonyms;
+  options.objective.name.synonyms = &BuiltinSynonyms();
 
   std::string kind = cl.Get("matcher", "exhaustive");
-  std::unique_ptr<match::Matcher> matcher;
-  if (kind == "exhaustive") {
-    matcher = std::make_unique<match::ExhaustiveMatcher>();
-  } else if (kind == "beam") {
-    auto width = cl.GetUint("beam", 6);
-    if (!width.ok()) return Fail(width.status());
-    matcher = std::make_unique<match::BeamMatcher>(
-        match::BeamMatcherOptions{static_cast<size_t>(*width)});
-  } else if (kind == "cluster") {
-    auto top_m = cl.GetUint("topm", 4);
-    if (!top_m.ok()) return Fail(top_m.status());
-    auto seed = cl.GetUint("seed", 2006);
-    if (!seed.ok()) return Fail(seed.status());
-    Rng rng(*seed);
-    match::ClusterMatcherOptions copts;
-    copts.top_m_clusters = static_cast<size_t>(*top_m);
-    auto built = match::ClusterMatcher::Create(*repo, copts, &rng);
-    if (!built.ok()) return Fail(built.status());
-    matcher = std::make_unique<match::ClusterMatcher>(*std::move(built));
-  } else if (kind == "topk") {
-    auto k = cl.GetUint("k", 10);
-    if (!k.ok()) return Fail(k.status());
-    matcher = std::make_unique<match::TopKMatcher>(
-        match::TopKMatcherOptions{static_cast<size_t>(*k), 100000});
-  } else {
-    return Fail(Status::InvalidArgument("unknown matcher '" + kind + "'"));
-  }
+  auto factory_options = ParseMatcherOptions(cl);
+  if (!factory_options.ok()) return Fail(factory_options.status());
+  auto matcher = match::MakeMatcher(kind, *repo, *factory_options);
+  if (!matcher.ok()) return Fail(matcher.status());
 
   auto top = cl.GetUint("top", 0);
   if (!top.ok()) return Fail(top.status());
+  auto candidates = cl.GetUint("candidates", 0);
+  if (!candidates.ok()) return Fail(candidates.status());
   if (cl.Has("shard-size") && !cl.Has("threads")) {
     return Fail(Status::InvalidArgument(
         "--shard-size only applies to engine runs; add --threads=N"));
@@ -228,10 +244,11 @@ int CmdMatch(const CommandLine& cl) {
 
   Result<match::AnswerSet> answers = Status::Internal("unreachable");
   match::MatchStats stats;
-  if (cl.Has("threads")) {
-    // Sharded run through the batch engine: repository split across a
-    // worker pool, name/type costs precomputed once in a shared pool.
-    auto threads = cl.GetUint("threads", 0);
+  if (cl.Has("threads") || *candidates > 0) {
+    // Run through the batch engine: repository split across a worker pool;
+    // costs come from the shared dense pool, or — with --candidates — from
+    // the sparse repository index.
+    auto threads = cl.GetUint("threads", cl.Has("threads") ? 0 : 1);
     if (!threads.ok()) return Fail(threads.status());
     auto shard_size = cl.GetUint("shard-size", 0);
     if (!shard_size.ok()) return Fail(shard_size.status());
@@ -239,21 +256,34 @@ int CmdMatch(const CommandLine& cl) {
     bopts.num_threads = static_cast<size_t>(*threads);
     bopts.shard_size = static_cast<size_t>(*shard_size);
     bopts.global_top_k = static_cast<size_t>(*top);
+    bopts.candidate_limit = static_cast<size_t>(*candidates);
     engine::BatchMatchEngine batch(bopts);
     engine::BatchMatchStats bstats;
-    answers = batch.Run(*matcher, *query, *repo, options, &bstats);
+    answers = batch.Run(**matcher, *query, *repo, options, &bstats);
     stats = bstats.match;
     if (answers.ok()) {
       std::cout << "engine: " << bstats.shard_count << " shards on "
-                << bstats.threads_used << " threads"
-                << (bstats.fell_back_to_single_run
-                        ? " (matcher not shardable: single run)"
-                        : "")
-                << ", precompute " << bstats.precompute_seconds
-                << "s, match " << bstats.match_seconds << "s\n";
+                << bstats.threads_used << " threads";
+      if (bstats.fell_back_to_single_run) {
+        // The fallback is a full dense run; --candidates, if given, was
+        // ignored — do not print index numbers that never happened.
+        std::cout << " (matcher not shardable: single dense run"
+                  << (bopts.candidate_limit > 0 ? ", --candidates ignored"
+                                                : "")
+                  << ")";
+      } else if (bopts.candidate_limit > 0) {
+        std::cout << ", index+candidates " << bstats.index_seconds
+                  << "s (provably complete cells: "
+                  << FormatDouble(bstats.provably_complete_fraction * 100.0,
+                                  1)
+                  << "%)";
+      } else {
+        std::cout << ", precompute " << bstats.precompute_seconds << "s";
+      }
+      std::cout << ", match " << bstats.match_seconds << "s\n";
     }
   } else {
-    answers = matcher->Match(*query, *repo, options, &stats);
+    answers = (*matcher)->Match(*query, *repo, options, &stats);
     if (answers.ok() && *top > 0) {
       answers = answers->TopN(static_cast<size_t>(*top));
     }
@@ -263,8 +293,161 @@ int CmdMatch(const CommandLine& cl) {
     return Fail(st);
   }
   std::cout << kind << " matcher: " << answers->size() << " answers (Δ ≤ "
-            << *delta << "), " << stats.states_explored
-            << " states explored -> " << out_path << "\n";
+            << *delta << "), ";
+  PrintMatchStats(stats);
+  std::cout << " -> " << out_path << "\n";
+  return 0;
+}
+
+int CmdWorkload(const CommandLine& cl) {
+  std::string repo_dir = cl.Get("repo");
+  std::string queries_dir = cl.Get("queries");
+  if (repo_dir.empty() || queries_dir.empty()) {
+    return Fail(Status::InvalidArgument("--repo and --queries required"));
+  }
+  auto repo = LoadRepository(repo_dir);
+  if (!repo.ok()) return Fail(repo.status());
+
+  // Every query*.txt in the queries directory is one matching problem.
+  std::vector<fs::path> query_files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(queries_dir, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind("query", 0) == 0 &&
+        entry.path().extension() == ".txt") {
+      query_files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Fail(Status::IOError("cannot list directory " + queries_dir +
+                                ": " + ec.message()));
+  }
+  std::sort(query_files.begin(), query_files.end());
+  if (query_files.empty()) {
+    return Fail(Status::NotFound("no query*.txt files in " + queries_dir));
+  }
+  std::vector<eval::MatchingProblem> problems;
+  for (const fs::path& file : query_files) {
+    auto text = io::ReadTextFile(file.string());
+    if (!text.ok()) return Fail(text.status());
+    auto query = schema::ParseSchemaText(*text);
+    if (!query.ok()) {
+      return Fail(query.status().WithContext("while parsing " +
+                                             file.string()));
+    }
+    eval::MatchingProblem problem;
+    problem.name = file.filename().string();
+    problem.query = *std::move(query);
+    problems.push_back(std::move(problem));
+  }
+
+  match::MatchOptions options;
+  auto delta = cl.GetDouble("delta", 0.25);
+  if (!delta.ok()) return Fail(delta.status());
+  options.delta_threshold = *delta;
+  options.objective.name.synonyms = &BuiltinSynonyms();
+
+  std::string kind = cl.Get("matcher", "exhaustive");
+  auto factory_options = ParseMatcherOptions(cl);
+  if (!factory_options.ok()) return Fail(factory_options.status());
+  auto matcher = match::MakeMatcher(kind, *repo, *factory_options);
+  if (!matcher.ok()) return Fail(matcher.status());
+
+  eval::IndexedWorkloadOptions wopts;
+  auto candidates = cl.GetUint("candidates", 16);
+  if (!candidates.ok()) return Fail(candidates.status());
+  auto threads = cl.GetUint("threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  auto top = cl.GetUint("top", 0);
+  if (!top.ok()) return Fail(top.status());
+  wopts.candidate_limit = static_cast<size_t>(*candidates);
+  wopts.num_threads = static_cast<size_t>(*threads);
+  wopts.global_top_k = static_cast<size_t>(*top);
+  wopts.compare_dense = cl.Has("compare-dense");
+
+  auto result = eval::RunIndexedWorkload(**matcher, problems, *repo, options,
+                                         /*thresholds=*/{}, wopts);
+  if (!result.ok()) return Fail(result.status());
+
+  std::cout << result->system_name << " over " << problems.size()
+            << " queries, C = " << wopts.candidate_limit
+            << "; index built once in "
+            << FormatDouble(result->index_build_seconds * 1e3, 2) << " ms\n";
+  std::vector<std::string> headers = {"query", "answers", "sparse ms",
+                                      "complete%"};
+  if (wopts.compare_dense) {
+    headers.insert(headers.end(),
+                   {"dense ms", "speedup", "recall", "top-1"});
+  }
+  TextTable table(headers);
+  double sparse_total = 0.0, dense_total = 0.0;
+  for (const eval::QueryRunReport& report : result->reports) {
+    sparse_total += report.sparse_seconds;
+    dense_total += report.dense_seconds;
+    std::vector<std::string> row = {
+        report.name, std::to_string(report.sparse_answers),
+        FormatDouble(report.sparse_seconds * 1e3, 2),
+        FormatDouble(report.provably_complete_fraction * 100.0, 1)};
+    if (wopts.compare_dense) {
+      row.push_back(FormatDouble(report.dense_seconds * 1e3, 2));
+      row.push_back(report.sparse_seconds > 0.0
+                        ? FormatDouble(report.dense_seconds /
+                                           report.sparse_seconds,
+                                       2)
+                        : "-");
+      row.push_back(FormatDouble(report.answer_recall, 3));
+      row.push_back(report.top_answer_retained ? "yes" : "NO");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "per-query latency: sparse "
+            << FormatDouble(sparse_total * 1e3 /
+                                static_cast<double>(problems.size()),
+                            2)
+            << " ms mean";
+  if (wopts.compare_dense) {
+    std::cout << ", dense "
+              << FormatDouble(dense_total * 1e3 /
+                                  static_cast<double>(problems.size()),
+                              2)
+              << " ms mean; recall of dense answers "
+              << FormatDouble(result->mean_answer_recall, 3)
+              << ", dense top-1 retained in "
+              << FormatDouble(result->top_answer_recall * 100.0, 1)
+              << "% of queries";
+  }
+  std::cout << "\nworkload totals: ";
+  PrintMatchStats(result->stats);
+  std::cout << "\n";
+
+  std::string out_dir = cl.Get("out-dir");
+  if (!out_dir.empty()) {
+    fs::create_directories(out_dir, ec);
+    if (ec) {
+      return Fail(Status::IOError("cannot create " + out_dir + ": " +
+                                  ec.message()));
+    }
+    for (size_t i = 0; i < result->answers.size(); ++i) {
+      std::string path =
+          out_dir + "/answers-" + StrFormat("%04zu", i) + ".csv";
+      if (Status st = io::WriteAnswerSetFile(path, result->answers[i]);
+          !st.ok()) {
+        return Fail(st);
+      }
+      if (wopts.compare_dense) {
+        path = out_dir + "/dense-" + StrFormat("%04zu", i) + ".csv";
+        if (Status st =
+                io::WriteAnswerSetFile(path, result->dense_answers[i]);
+            !st.ok()) {
+          return Fail(st);
+        }
+      }
+    }
+    std::cout << "wrote " << result->answers.size() << " answer file(s)"
+              << (wopts.compare_dense ? " (+ dense counterparts)" : "")
+              << " to " << out_dir << "\n";
+  }
   return 0;
 }
 
@@ -367,6 +550,7 @@ int main(int argc, char** argv) {
   const std::string& command = cl->command();
   if (command == "generate") return CmdGenerate(*cl);
   if (command == "match") return CmdMatch(*cl);
+  if (command == "workload") return CmdWorkload(*cl);
   if (command == "curve") return CmdCurve(*cl);
   if (command == "bounds") return CmdBounds(*cl);
   if (command == "stats") return CmdStats(*cl);
