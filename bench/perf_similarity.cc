@@ -10,6 +10,7 @@
 #include "sim/jaro_winkler.h"
 #include "sim/name_similarity.h"
 #include "sim/ngram.h"
+#include "sim/prepared_kernel.h"
 #include "sim/token_similarity.h"
 #include "synth/vocabulary.h"
 
@@ -32,6 +33,26 @@ std::vector<std::string> MakeNames(size_t n) {
 const std::vector<std::string>& Names() {
   static const std::vector<std::string> kNames = MakeNames(256);
   return kNames;
+}
+
+sim::NameSimilarityOptions SynonymOptions() {
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  sim::NameSimilarityOptions options;
+  options.synonyms = &kTable;
+  return options;
+}
+
+const std::vector<sim::PreparedName>& PreparedNames() {
+  static const std::vector<sim::PreparedName> kPrepared = [] {
+    sim::NameSimilarityOptions options = SynonymOptions();
+    std::vector<sim::PreparedName> prepared;
+    prepared.reserve(Names().size());
+    for (const std::string& name : Names()) {
+      prepared.push_back(sim::PrepareName(name, options));
+    }
+    return prepared;
+  }();
+  return kPrepared;
 }
 
 void BM_Levenshtein(benchmark::State& state) {
@@ -111,6 +132,152 @@ void BM_CompositeNameSimilarity(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompositeNameSimilarity);
+
+// --- Allocation-free kernel vs the legacy per-pair path ----------------
+//
+// The pairwise benches score *prepared* names — the shape of every hot
+// loop (dense pool fill, candidate scoring): preparation is amortized over
+// thousands of pairs, so per-pair cost is what matters. "Legacy" is the
+// pre-kernel scorer kept as `internal::ScoreFoldedReference` (it
+// heap-allocates the padded-trigram string multisets, DP rows, Jaro flags
+// and token pairs on every call); "kernel" is the bit-identical
+// allocation-free scorer. `tools/bench_diff.py BENCH_sim.json
+// BENCH_sim.json --a-filter Legacy --b-filter Kernel --strip 'Legacy|Kernel'`
+// prints the per-pair speedups from one snapshot.
+
+void BM_NameSimilarityPairLegacy(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = prepared[i % prepared.size()];
+    const auto& b = prepared[(i * 7 + 3) % prepared.size()];
+    benchmark::DoNotOptimize(sim::internal::ScoreFoldedReference(
+        a.folded, b.folded, &a.tokens, &b.tokens, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_NameSimilarityPairLegacy);
+
+void BM_NameSimilarityPairKernel(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = prepared[i % prepared.size()];
+    const auto& b = prepared[(i * 7 + 3) % prepared.size()];
+    benchmark::DoNotOptimize(sim::NameSimilarity(a, b, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_NameSimilarityPairKernel);
+
+void BM_NameDistancePairLegacy(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = prepared[i % prepared.size()];
+    const auto& b = prepared[(i * 7 + 3) % prepared.size()];
+    benchmark::DoNotOptimize(
+        1.0 - sim::internal::ScoreFoldedReference(a.folded, b.folded,
+                                                  &a.tokens, &b.tokens,
+                                                  options));
+    ++i;
+  }
+}
+BENCHMARK(BM_NameDistancePairLegacy);
+
+void BM_NameDistancePairKernel(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = prepared[i % prepared.size()];
+    const auto& b = prepared[(i * 7 + 3) % prepared.size()];
+    benchmark::DoNotOptimize(sim::NameDistance(a, b, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_NameDistancePairKernel);
+
+// One query against a block of targets — the dense-fill row pattern where
+// the query-side PEQ table loads once. Reported per pair.
+void BM_NameSimilarityBlockKernel(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  std::vector<const sim::PreparedName*> targets;
+  targets.reserve(prepared.size());
+  for (const sim::PreparedName& p : prepared) targets.push_back(&p);
+  std::vector<sim::CutoffScore> scores(targets.size());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = prepared[i % prepared.size()];
+    sim::ScoreBlock(query, targets, options, 0.0, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(targets.size()));
+}
+BENCHMARK(BM_NameSimilarityBlockKernel);
+
+// Threshold-aware block scoring at a selective cutoff — the candidate
+// generator's regime, where most targets die on the cheap bounds.
+void BM_NameSimilarityBlockCutoff(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  std::vector<const sim::PreparedName*> targets;
+  targets.reserve(prepared.size());
+  for (const sim::PreparedName& p : prepared) targets.push_back(&p);
+  std::vector<sim::CutoffScore> scores(targets.size());
+  const double min_score = 0.7;
+  size_t pruned = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = prepared[i % prepared.size()];
+    sim::ScoreBlock(query, targets, options, min_score, scores.data());
+    for (const sim::CutoffScore& s : scores) pruned += s.exact ? 0 : 1;
+    benchmark::DoNotOptimize(scores.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(targets.size()));
+  state.counters["pruned_frac"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(pruned) /
+                (static_cast<double>(state.iterations()) *
+                 static_cast<double>(targets.size()));
+}
+BENCHMARK(BM_NameSimilarityBlockCutoff);
+
+// The bit-parallel Levenshtein against the two-row reference DP.
+void BM_LevenshteinKernel(benchmark::State& state) {
+  const auto& names = Names();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = names[i % names.size()];
+    const auto& b = names[(i * 7 + 3) % names.size()];
+    benchmark::DoNotOptimize(sim::KernelLevenshteinDistance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_LevenshteinKernel);
+
+// Preparation itself (fold + tokenize + intern + PEQ compile) — the
+// one-time cost the per-pair benches amortize away.
+void BM_PrepareName(benchmark::State& state) {
+  const auto& names = Names();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::PrepareName(names[i % names.size()], options));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrepareName);
 
 }  // namespace
 

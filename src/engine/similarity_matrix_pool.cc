@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/prepared_kernel.h"
+
 namespace smb::engine {
 
 Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
@@ -27,19 +29,23 @@ Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
   num_threads = std::max<size_t>(
       1, std::min(num_threads, std::max<size_t>(1, repo.schema_count())));
 
-  // Fold/tokenize each query name once instead of once per (pair) — the
-  // prepared overloads are bit-identical to the string path.
-  std::vector<sim::PreparedName> prepared_query;
-  prepared_query.reserve(preorder.size());
-  for (schema::NodeId id : preorder) {
-    prepared_query.push_back(sim::PrepareName(query.node(id).name,
-                                              options.name));
-  }
-
   // Workers claim whole schemas off a shared counter; each matrix is
-  // written by exactly one thread, so no locking is needed.
+  // written by exactly one thread, so no locking is needed. Every worker
+  // folds/tokenizes/kernel-compiles the query once against its own token
+  // interner (ids only need to be consistent *within* a worker — the
+  // scores they produce are id-independent), then fills each row through a
+  // BlockScorer so the query-side state (weights, PEQ bitmask table) loads
+  // once per row instead of once per pair. Values are bit-identical to
+  // `match::ComputeNodeCost` — the kernel is the same scorer.
   std::atomic<size_t> next_schema{0};
   auto fill = [&]() {
+    sim::TokenTable interner;
+    std::vector<sim::PreparedName> prepared_query;
+    prepared_query.reserve(preorder.size());
+    for (schema::NodeId id : preorder) {
+      prepared_query.push_back(
+          sim::PrepareName(query.node(id).name, options.name, &interner));
+    }
     std::vector<sim::PreparedName> prepared_target;
     for (size_t si = next_schema.fetch_add(1); si < repo.schema_count();
          si = next_schema.fetch_add(1)) {
@@ -50,16 +56,17 @@ Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
       prepared_target.clear();
       prepared_target.reserve(s.size());
       for (size_t node = 0; node < s.size(); ++node) {
-        prepared_target.push_back(sim::PrepareName(
-            s.node(static_cast<schema::NodeId>(node)).name, options.name));
+        prepared_target.push_back(
+            sim::PrepareName(s.node(static_cast<schema::NodeId>(node)).name,
+                             options.name, &interner));
       }
       for (size_t pos = 0; pos < preorder.size(); ++pos) {
         const schema::SchemaNode& q = query.node(preorder[pos]);
+        sim::BlockScorer scorer(prepared_query[pos], options.name);
         for (size_t node = 0; node < s.size(); ++node) {
-          matrix[pos * s.size() + node] = match::ComputeNodeCost(
-              q, prepared_query[pos],
-              s.node(static_cast<schema::NodeId>(node)),
-              prepared_target[node], options);
+          matrix[pos * s.size() + node] = match::ApplyTypePenalty(
+              1.0 - scorer.Score(prepared_target[node]), q,
+              s.node(static_cast<schema::NodeId>(node)), options);
         }
       }
     }

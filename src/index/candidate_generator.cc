@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
-#include "sim/ngram.h"
+#include "sim/prepared_kernel.h"
 #include "sim/synonyms.h"
 
 namespace smb::index {
@@ -75,7 +76,6 @@ Result<QueryCandidates> CandidateGenerator::Generate(
   const size_t m = preorder.size();
   const size_t schema_count = repo.schema_count();
   const size_t element_count = prepared_->element_count();
-  const sim::SynonymTable* synonyms = objective_.name.synonyms;
 
   QueryCandidates out;
   out.cells_.resize(m * schema_count);
@@ -104,13 +104,21 @@ Result<QueryCandidates> CandidateGenerator::Generate(
   std::vector<uint8_t> in_list(max_schema_size, 0);
   std::vector<uint32_t> scored_ordinals;
   std::vector<match::CandidateEntry> entries;
+  // Deduplicated (token id, synonym group) pairs of the current position.
+  std::vector<std::pair<uint32_t, int32_t>> query_tokens;
 
   for (size_t pos = 0; pos < m; ++pos) {
     const schema::SchemaNode& qnode = query.node(preorder[pos]);
-    const sim::PreparedName qp =
-        sim::PrepareName(qnode.name, objective_.name);
-    const std::vector<std::string> qgrams = sim::ExtractNgrams(qp.folded, 3);
-    const double qa = static_cast<double>(qgrams.size());
+    // Lookup-only preparation against the index's shared interner: query
+    // token ids agree with element token ids, the index stays immutable.
+    const sim::PreparedName qp = sim::PrepareName(
+        qnode.name, objective_.name, prepared_->token_table());
+    // One scorer per query position: query-side setup (weights, PEQ
+    // bitmask scatter) loads once and every candidate of every schema
+    // scores through it.
+    sim::BlockScorer scorer(qp, objective_.name);
+    const std::vector<uint32_t>& qgram_ids = qp.gram_ids;
+    const double qa = static_cast<double>(qgram_ids.size());
 
     touched.clear();
     auto touch = [&](uint32_t ordinal) {
@@ -120,13 +128,14 @@ Result<QueryCandidates> CandidateGenerator::Generate(
     };
 
     // Trigram evidence with multiplicities: Σ_g min(mult_q, mult_e) is the
-    // exact Dice numerator of every element sharing a gram.
-    for (size_t g = 0; g < qgrams.size();) {
+    // exact Dice numerator of every element sharing a gram. Gram ids are
+    // sorted, so runs of equal ids give the query-side multiplicity.
+    for (size_t g = 0; g < qgram_ids.size();) {
       size_t end = g + 1;
-      while (end < qgrams.size() && qgrams[end] == qgrams[g]) ++end;
+      while (end < qgram_ids.size() && qgram_ids[end] == qgram_ids[g]) ++end;
       const auto query_mult = static_cast<uint32_t>(end - g);
       if (const std::vector<TrigramPosting>* postings =
-              prepared_->TrigramPostings(qgrams[g])) {
+              prepared_->TrigramPostings(qgram_ids[g])) {
         for (const TrigramPosting& posting : *postings) {
           touch(posting.ordinal);
           shared[posting.ordinal] +=
@@ -145,17 +154,21 @@ Result<QueryCandidates> CandidateGenerator::Generate(
         strong[ordinal] = 1;
       }
     };
-    for (const std::string& token : UniqueSortedTokens(qp.tokens)) {
-      mark_strong(prepared_->TokenPostings(token));
-      if (synonyms != nullptr) {
-        int group = synonyms->GroupOf(token);
-        if (group >= 0) mark_strong(prepared_->TokenGroupPostings(group));
+    // Token ids and synonym groups were already resolved by the
+    // lookup-only PrepareName above — the same dedup the index build posts
+    // under, so retrieval can never disagree with the postings. Unknown
+    // ids (tokens no repository element contains) post nothing, but their
+    // synonym group may still retrieve aliases.
+    AppendUniqueTokenGroupPairs(qp, &query_tokens);
+    for (const auto& [token_id, group] : query_tokens) {
+      if (token_id != sim::kUnknownTokenId) {
+        mark_strong(prepared_->TokenPostings(token_id));
       }
+      if (group >= 0) mark_strong(prepared_->TokenGroupPostings(group));
     }
     mark_strong(prepared_->NameBucket(qp.folded));
-    if (synonyms != nullptr) {
-      int group = synonyms->GroupOf(qp.folded);
-      if (group >= 0) mark_strong(prepared_->NameGroupBucket(group));
+    if (qp.name_group >= 0) {
+      mark_strong(prepared_->NameGroupBucket(qp.name_group));
     }
 
     // Ordinals are (schema, node)-ordered, so one sorted walk groups the
@@ -235,15 +248,61 @@ Result<QueryCandidates> CandidateGenerator::Generate(
       }
 
       // Exact scoring — the same ComputeNodeCost over prepared names the
-      // dense pool runs, so candidate costs are bit-identical to its.
+      // dense pool runs, so kept candidate costs are bit-identical to its.
+      // The loop maintains the C cheapest (cost, node) in a max-heap; once
+      // the list is full, the current C-th cost feeds the threshold-aware
+      // kernel, which drops provably-worse candidates after its cheap
+      // admissible bounds instead of scoring them in full. Dropped and
+      // pruned candidates both contribute to the truncation tier of the
+      // skip-bound: an exact cost when fully scored, an admissible lower
+      // bound (> the C-th cost) when pruned — so the bound stays
+      // admissible and, without pruning, bit-identical to sorting
+      // everything and reading the (C+1)-th cost.
       entries.clear();
+      double truncation_bound = kInf;
+      auto heap_before = [](const match::CandidateEntry& a,
+                            const match::CandidateEntry& b) {
+        if (a.cost != b.cost) return a.cost < b.cost;
+        return a.node < b.node;  // max-heap on (cost, node)
+      };
       for (uint32_t ordinal : scored_ordinals) {
         const PreparedElement& element = prepared_->element(ordinal);
-        match::CandidateEntry entry;
-        entry.node = element.node;
-        entry.cost = match::ComputeNodeCost(
-            qnode, qp, schema.node(element.node), element.name, objective_);
-        entries.push_back(entry);
+        const schema::SchemaNode& tnode = schema.node(element.node);
+        if (entries.size() < limit) {
+          match::CandidateEntry entry;
+          entry.node = element.node;
+          entry.cost = match::ComputeNodeCost(scorer, qnode, tnode,
+                                              element.name, objective_);
+          entries.push_back(entry);
+          std::push_heap(entries.begin(), entries.end(), heap_before);
+          continue;
+        }
+        const match::CandidateEntry& top = entries.front();
+        double cost;
+        // Cost ties at 1.0 break on node order through the min(1, ·) cap,
+        // which the similarity-space cutoff cannot see — score those in
+        // full.
+        if (cutoff_enabled_ && top.cost < 1.0) {
+          match::NodeCostCutoff scored = match::ComputeNodeCostWithCutoff(
+              scorer, qnode, tnode, element.name, objective_, top.cost);
+          if (!scored.exact) {  // provably > C-th cost: cannot enter
+            truncation_bound = std::min(truncation_bound, scored.cost);
+            continue;
+          }
+          cost = scored.cost;
+        } else {
+          cost = match::ComputeNodeCost(scorer, qnode, tnode, element.name,
+                                        objective_);
+        }
+        if (cost < top.cost || (cost == top.cost && element.node < top.node)) {
+          truncation_bound = std::min(truncation_bound, top.cost);
+          std::pop_heap(entries.begin(), entries.end(), heap_before);
+          entries.back().node = element.node;
+          entries.back().cost = cost;
+          std::push_heap(entries.begin(), entries.end(), heap_before);
+        } else {
+          truncation_bound = std::min(truncation_bound, cost);
+        }
       }
       std::sort(entries.begin(), entries.end(),
                 [](const match::CandidateEntry& a,
@@ -255,11 +314,7 @@ Result<QueryCandidates> CandidateGenerator::Generate(
       QueryCandidates::Cell& cell =
           out.cells_[pos * schema_count + si];
       const size_t scored_total = scored_ordinals.size();
-      double bound = kInf;
-      if (entries.size() > limit) {
-        bound = std::min(bound, entries[limit].cost);  // scored, truncated
-        entries.resize(limit);
-      }
+      double bound = truncation_bound;  // kInf when nothing was dropped
       if (weak_scored < weak_count) {
         // Retrieved but unscored: their exact Dice caps the trigram term.
         bound = std::min(

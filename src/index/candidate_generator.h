@@ -100,12 +100,22 @@ class CandidateGenerator {
   Result<QueryCandidates> Generate(const schema::Schema& query,
                                    size_t limit) const;
 
+  /// \brief Toggles threshold-aware scoring (on by default): once a cell's
+  /// list is full, the current C-th cost feeds
+  /// `match::ComputeNodeCostWithCutoff` so provably-worse candidates stop
+  /// early instead of being scored in full. Pruning never changes the
+  /// selected entries or their costs (tests disable it to prove that);
+  /// pruned candidates contribute admissible lower bounds to the
+  /// skip-bound's truncation tier.
+  void set_cutoff_enabled(bool enabled) { cutoff_enabled_ = enabled; }
+
  private:
   const PreparedRepository* prepared_;
   match::ObjectiveOptions objective_;
   /// w_t / Σw — the trigram share of the composite measure, the analytic
   /// floor of the skip-bound.
   double trigram_weight_share_ = 0.0;
+  bool cutoff_enabled_ = true;
 };
 
 }  // namespace smb::index

@@ -1,18 +1,23 @@
 #include "index/prepared_repository.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/ngram.h"
 #include "sim/synonyms.h"
 
 namespace smb::index {
 
-std::vector<std::string> UniqueSortedTokens(
-    const std::vector<std::string>& tokens) {
-  std::vector<std::string> unique = tokens;
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-  return unique;
+void AppendUniqueTokenGroupPairs(
+    const sim::PreparedName& name,
+    std::vector<std::pair<uint32_t, int32_t>>* out) {
+  out->clear();
+  for (size_t t = 0; t < name.token_ids.size(); ++t) {
+    out->emplace_back(name.token_ids[t],
+                      name.token_groups.empty() ? -1 : name.token_groups[t]);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 Result<PreparedRepository> PreparedRepository::Build(
@@ -24,7 +29,8 @@ Result<PreparedRepository> PreparedRepository::Build(
   prepared.elements_.reserve(repo.total_elements());
   prepared.first_ordinal_.reserve(repo.schema_count());
 
-  const sim::SynonymTable* synonyms = name_options.synonyms;
+  // (token id, synonym group) pairs of the current element, deduplicated.
+  std::vector<std::pair<uint32_t, int32_t>> unique_tokens;
   for (size_t si = 0; si < repo.schema_count(); ++si) {
     const auto schema_index = static_cast<int32_t>(si);
     const schema::Schema& schema = repo.schema(schema_index);
@@ -39,53 +45,55 @@ Result<PreparedRepository> PreparedRepository::Build(
       PreparedElement element;
       element.schema_index = schema_index;
       element.node = node_id;
-      element.name = sim::PrepareName(node.name, name_options);
+      // Interning against the shared table makes every element's token ids
+      // comparable to every query's lookup-only ids.
+      element.name =
+          sim::PrepareName(node.name, name_options, prepared.token_table_.get());
+      element.trigram_count =
+          static_cast<uint32_t>(element.name.gram_ids.size());
 
-      // Trigram postings with multiplicities: grams come back sorted, so
-      // runs of equal grams give the per-gram count directly.
-      std::vector<std::string> grams =
-          sim::ExtractNgrams(element.name.folded, 3);
-      element.trigram_count = static_cast<uint32_t>(grams.size());
-      for (size_t g = 0; g < grams.size();) {
+      // Trigram postings with multiplicities: gram ids are sorted, so runs
+      // of equal ids give the per-gram count directly.
+      const std::vector<uint32_t>& gram_ids = element.name.gram_ids;
+      for (size_t g = 0; g < gram_ids.size();) {
         size_t end = g + 1;
-        while (end < grams.size() && grams[end] == grams[g]) ++end;
-        prepared.trigram_postings_[grams[g]].push_back(
+        while (end < gram_ids.size() && gram_ids[end] == gram_ids[g]) ++end;
+        prepared.trigram_postings_[gram_ids[g]].push_back(
             TrigramPosting{ordinal, static_cast<uint16_t>(end - g)});
         prepared.stats_.trigram_posting_entries++;
         g = end;
       }
 
       // Token postings (deduplicated per element) plus synonym-group
-      // postings so dictionary aliases retrieve each other.
-      for (const std::string& token : UniqueSortedTokens(element.name.tokens)) {
-        prepared.token_postings_[token].push_back(ordinal);
+      // postings so dictionary aliases retrieve each other. Every token of
+      // the element was interned above, so its id indexes the dense table.
+      AppendUniqueTokenGroupPairs(element.name, &unique_tokens);
+      for (const auto& [token_id, group] : unique_tokens) {
+        if (token_id >= prepared.token_postings_.size()) {
+          prepared.token_postings_.resize(token_id + 1);
+        }
+        prepared.token_postings_[token_id].push_back(ordinal);
         prepared.stats_.token_posting_entries++;
-        if (synonyms != nullptr) {
-          int group = synonyms->GroupOf(token);
-          if (group >= 0) {
-            auto& postings = prepared.token_group_postings_[group];
-            if (postings.empty() || postings.back() != ordinal) {
-              postings.push_back(ordinal);
-            }
+        if (group >= 0) {
+          auto& postings = prepared.token_group_postings_[group];
+          if (postings.empty() || postings.back() != ordinal) {
+            postings.push_back(ordinal);
           }
         }
       }
 
       prepared.name_buckets_[element.name.folded].push_back(ordinal);
-      if (synonyms != nullptr) {
-        int group = synonyms->GroupOf(element.name.folded);
-        if (group >= 0) {
-          prepared.name_group_buckets_[group].push_back(ordinal);
-        }
+      if (element.name.name_group >= 0) {
+        prepared.name_group_buckets_[element.name.name_group].push_back(
+            ordinal);
       }
       prepared.type_buckets_[node.type].push_back(ordinal);
 
       prepared.elements_.push_back(std::move(element));
     }
   }
-
   prepared.stats_.element_count = prepared.elements_.size();
-  prepared.stats_.distinct_tokens = prepared.token_postings_.size();
+  prepared.stats_.distinct_tokens = prepared.token_table_->size();
   prepared.stats_.distinct_trigrams = prepared.trigram_postings_.size();
   prepared.stats_.distinct_types = prepared.type_buckets_.size();
   return prepared;
@@ -93,7 +101,14 @@ Result<PreparedRepository> PreparedRepository::Build(
 
 const std::vector<uint32_t>* PreparedRepository::TokenPostings(
     std::string_view token) const {
-  return Find(token_postings_, std::string(token));
+  return TokenPostings(token_table_->Lookup(token));
+}
+
+const std::vector<uint32_t>* PreparedRepository::TokenPostings(
+    uint32_t token_id) const {
+  if (token_id >= token_postings_.size()) return nullptr;
+  const std::vector<uint32_t>& postings = token_postings_[token_id];
+  return postings.empty() ? nullptr : &postings;
 }
 
 const std::vector<uint32_t>* PreparedRepository::TokenGroupPostings(
@@ -104,7 +119,14 @@ const std::vector<uint32_t>* PreparedRepository::TokenGroupPostings(
 
 const std::vector<TrigramPosting>* PreparedRepository::TrigramPostings(
     std::string_view gram) const {
-  return Find(trigram_postings_, std::string(gram));
+  if (gram.size() != 3) return nullptr;
+  return TrigramPostings(sim::GramTable::Pack(gram));
+}
+
+const std::vector<TrigramPosting>* PreparedRepository::TrigramPostings(
+    uint32_t gram_id) const {
+  auto it = trigram_postings_.find(gram_id);
+  return it == trigram_postings_.end() ? nullptr : &it->second;
 }
 
 const std::vector<uint32_t>* PreparedRepository::NameBucket(

@@ -1,14 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "schema/repository.h"
 #include "sim/name_similarity.h"
+#include "sim/prepared_kernel.h"
 
 /// \file prepared_repository.h
 /// \brief Query-independent repository index: prepared names, inverted
@@ -59,17 +62,20 @@
 
 namespace smb::index {
 
-/// \brief The distinct tokens of a prepared name, sorted — the unit both
-/// the index build and query-time retrieval post/look up under, so the two
+/// \brief Appends the deduplicated (token id, synonym group) pairs of a
+/// prepared name to `out` (cleared first) — the unit both the index build
+/// posts under and query-time retrieval looks up under, shared so the two
 /// sides can never disagree on what counts as a token.
-std::vector<std::string> UniqueSortedTokens(
-    const std::vector<std::string>& tokens);
+void AppendUniqueTokenGroupPairs(const sim::PreparedName& name,
+                                 std::vector<std::pair<uint32_t, int32_t>>* out);
 
 /// \brief One repository element with its query-independent precompute.
 struct PreparedElement {
   int32_t schema_index = -1;
   schema::NodeId node = schema::kInvalidNode;
-  /// Folded + tokenized name (bit-compatible with the dense pool's path).
+  /// Folded + tokenized + kernel-compiled name: interned gram/token ids,
+  /// synonym groups and PEQ bitmasks, interned against the repository's
+  /// shared `TokenTable` (bit-compatible with the dense pool's path).
   sim::PreparedName name;
   /// |ExtractNgrams(name.folded, 3)| — the Dice denominator contribution.
   uint32_t trigram_count = 0;
@@ -134,9 +140,20 @@ class PreparedRepository {
     return first_ordinal(schema_index) + static_cast<uint32_t>(node);
   }
 
+  /// The repository-wide token interner: every element token was interned
+  /// into it at build time; queries prepare against it lookup-only (const,
+  /// thread-safe), so element/query token ids agree. Heap-allocated so the
+  /// provenance pointers inside the prepared names stay valid when the
+  /// repository index itself is moved.
+  const sim::TokenTable& token_table() const { return *token_table_; }
+
   /// Elements whose name contains `token` (sorted ordinals); nullptr when
   /// the token is unknown.
   const std::vector<uint32_t>* TokenPostings(std::string_view token) const;
+
+  /// Id-keyed fast path of `TokenPostings`: `token_id` from
+  /// `token_table()`. `kUnknownTokenId` yields nullptr.
+  const std::vector<uint32_t>* TokenPostings(uint32_t token_id) const;
 
   /// Elements containing any token of synonym group `group` (sorted
   /// ordinals); nullptr when the group posted nothing.
@@ -146,6 +163,11 @@ class PreparedRepository {
   /// when no element name contains the gram.
   const std::vector<TrigramPosting>* TrigramPostings(
       std::string_view gram) const;
+
+  /// Id-keyed fast path of `TrigramPostings`: `gram_id` is a
+  /// `sim::GramTable::Pack`ed trigram (as stored in
+  /// `sim::PreparedName::gram_ids`).
+  const std::vector<TrigramPosting>* TrigramPostings(uint32_t gram_id) const;
 
   /// Elements whose folded name equals `folded` (sorted ordinals).
   const std::vector<uint32_t>* NameBucket(std::string_view folded) const;
@@ -173,10 +195,17 @@ class PreparedRepository {
   sim::NameSimilarityOptions name_options_;
   std::vector<PreparedElement> elements_;
   std::vector<uint32_t> first_ordinal_;
-  std::unordered_map<std::string, std::vector<uint32_t>> token_postings_;
+  /// Shared interner — element token ids index `token_postings_` directly.
+  /// On the heap: `PreparedName::token_table` provenance pointers must
+  /// survive moves of this object.
+  std::unique_ptr<sim::TokenTable> token_table_ =
+      std::make_unique<sim::TokenTable>();
+  /// Dense by interned token id (flat-array lookup on the query hot path).
+  std::vector<std::vector<uint32_t>> token_postings_;
   std::unordered_map<int, std::vector<uint32_t>> token_group_postings_;
-  std::unordered_map<std::string, std::vector<TrigramPosting>>
-      trigram_postings_;
+  /// Keyed by packed trigram id (`sim::GramTable::Pack`) — integer hashing
+  /// instead of per-lookup string temporaries.
+  std::unordered_map<uint32_t, std::vector<TrigramPosting>> trigram_postings_;
   std::unordered_map<std::string, std::vector<uint32_t>> name_buckets_;
   std::unordered_map<int, std::vector<uint32_t>> name_group_buckets_;
   std::unordered_map<std::string, std::vector<uint32_t>> type_buckets_;

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
-namespace smb::match {
+#include "sim/prepared_kernel.h"
 
-namespace {
+namespace smb::match {
 
 double ApplyTypePenalty(double cost, const schema::SchemaNode& q,
                         const schema::SchemaNode& t,
@@ -16,8 +16,6 @@ double ApplyTypePenalty(double cost, const schema::SchemaNode& q,
   }
   return cost;
 }
-
-}  // namespace
 
 double ComputeNodeCost(const schema::SchemaNode& q, const schema::SchemaNode& t,
                        const ObjectiveOptions& options) {
@@ -30,6 +28,47 @@ double ComputeNodeCost(const schema::SchemaNode& q, const sim::PreparedName& qp,
                        const ObjectiveOptions& options) {
   return ApplyTypePenalty(sim::NameDistance(qp, tp, options.name), q, t,
                           options);
+}
+
+NodeCostCutoff ComputeNodeCostWithCutoff(const schema::SchemaNode& q,
+                                         const sim::PreparedName& qp,
+                                         const schema::SchemaNode& t,
+                                         const sim::PreparedName& tp,
+                                         const ObjectiveOptions& options,
+                                         double max_cost) {
+  sim::BlockScorer scorer(qp, options.name);
+  return ComputeNodeCostWithCutoff(scorer, q, t, tp, options, max_cost);
+}
+
+double ComputeNodeCost(sim::BlockScorer& scorer, const schema::SchemaNode& q,
+                       const schema::SchemaNode& t,
+                       const sim::PreparedName& tp,
+                       const ObjectiveOptions& options) {
+  return ApplyTypePenalty(1.0 - scorer.Score(tp), q, t, options);
+}
+
+NodeCostCutoff ComputeNodeCostWithCutoff(sim::BlockScorer& scorer,
+                                         const schema::SchemaNode& q,
+                                         const schema::SchemaNode& t,
+                                         const sim::PreparedName& tp,
+                                         const ObjectiveOptions& options,
+                                         double max_cost) {
+  const bool mismatch = options.type_aware && !q.type.empty() &&
+                        !t.type.empty() && q.type != t.type;
+  const double penalty = mismatch ? options.type_mismatch_penalty : 0.0;
+  // cost = min(1, (1 - sim) + penalty), so cost ≤ max_cost needs
+  // sim ≥ 1 + penalty - max_cost.
+  const double min_score = 1.0 + penalty - max_cost;
+  sim::CutoffScore scored = scorer.ScoreWithCutoff(tp, min_score);
+  if (scored.exact) {
+    return {ApplyTypePenalty(1.0 - scored.score, q, t, options), true};
+  }
+  // Pruned: `scored.score` is an admissible upper bound on the similarity,
+  // so `1 - score (+ penalty, capped)` lower-bounds the exact cost; shave a
+  // hair so a few ulps of float disagreement can never make it inadmissible.
+  double lower = 1.0 - scored.score;
+  if (mismatch) lower = std::min(1.0, lower + penalty);
+  return {std::max(0.0, lower - 1e-9), false};
 }
 
 ObjectiveFunction::ObjectiveFunction(const schema::Schema* query,

@@ -24,6 +24,10 @@
 ///
 /// `Delta = (w_n·Σ node + w_s·Σ edge) / (w_n·m + w_s·(m−1))`.
 
+namespace smb::sim {
+class BlockScorer;  // prepared_kernel.h
+}  // namespace smb::sim
+
 namespace smb::match {
 
 /// \brief Δ parameters. Defaults give planted copies Δ≈0 and random
@@ -70,6 +74,55 @@ double ComputeNodeCost(const schema::SchemaNode& q, const schema::SchemaNode& t,
 double ComputeNodeCost(const schema::SchemaNode& q, const sim::PreparedName& qp,
                        const schema::SchemaNode& t, const sim::PreparedName& tp,
                        const ObjectiveOptions& options);
+
+/// \brief The type-agreement adjustment of the node cost, exposed so
+/// kernel-driven fills (engine::SimilarityMatrixPool's BlockScorer loop)
+/// can turn a raw name similarity into the full node cost with the exact
+/// same expression: `min(1, cost + type_mismatch_penalty)` on a declared
+/// type mismatch, `cost` otherwise.
+double ApplyTypePenalty(double cost, const schema::SchemaNode& q,
+                        const schema::SchemaNode& t,
+                        const ObjectiveOptions& options);
+
+/// \brief Result of a threshold-aware node cost (see
+/// `ComputeNodeCostWithCutoff`).
+struct NodeCostCutoff {
+  double cost = 0.0;
+  bool exact = true;
+};
+
+/// \brief Node cost with an early-exit budget: when the exact cost could be
+/// ≤ `max_cost`, computes it in full precision (`exact == true`,
+/// bit-identical to `ComputeNodeCost`); when the threshold-aware kernel
+/// proves the cost must exceed `max_cost`, returns `exact == false` with an
+/// admissible *lower bound* on the exact cost that is itself > `max_cost`.
+/// Top-C candidate selections feed their current C-th cost in as
+/// `max_cost`: pruning then never changes the selected set, and the lower
+/// bound keeps the skip-bound's truncation tier admissible.
+NodeCostCutoff ComputeNodeCostWithCutoff(const schema::SchemaNode& q,
+                                         const sim::PreparedName& qp,
+                                         const schema::SchemaNode& t,
+                                         const sim::PreparedName& tp,
+                                         const ObjectiveOptions& options,
+                                         double max_cost);
+
+/// \brief Block variants: the same costs through a caller-held
+/// `sim::BlockScorer` (constructed over the query's prepared name with
+/// `options.name`), so query-side setup — weight clamping, the PEQ bitmask
+/// scatter — is paid once per query position instead of once per pair.
+/// While the scorer is live, all costs for that position must go through
+/// it (the kernel's thread-local scratch hosts one scorer at a time).
+double ComputeNodeCost(sim::BlockScorer& scorer, const schema::SchemaNode& q,
+                       const schema::SchemaNode& t,
+                       const sim::PreparedName& tp,
+                       const ObjectiveOptions& options);
+
+NodeCostCutoff ComputeNodeCostWithCutoff(sim::BlockScorer& scorer,
+                                         const schema::SchemaNode& q,
+                                         const schema::SchemaNode& t,
+                                         const sim::PreparedName& tp,
+                                         const ObjectiveOptions& options,
+                                         double max_cost);
 
 /// \brief Source of precomputed node-cost matrices shared across matchers
 /// and threads (implemented by engine::SimilarityMatrixPool).

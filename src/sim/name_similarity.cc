@@ -6,18 +6,16 @@
 #include "sim/edit_distance.h"
 #include "sim/jaro_winkler.h"
 #include "sim/ngram.h"
+#include "sim/prepared_kernel.h"
 
 namespace smb::sim {
 
-namespace {
+namespace internal {
 
-/// The one scoring body behind both overloads. `ta`/`tb` are the
-/// pre-tokenized names when the caller has them; when null, tokenization
-/// happens here and only if the token measure actually runs.
-double ScoreFolded(std::string_view a, std::string_view b,
-                   const std::vector<std::string>* ta,
-                   const std::vector<std::string>* tb,
-                   const NameSimilarityOptions& options) {
+double ScoreFoldedReference(std::string_view a, std::string_view b,
+                            const std::vector<std::string>* ta,
+                            const std::vector<std::string>* tb,
+                            const NameSimilarityOptions& options) {
   if (a == b) return 1.0;
   if (options.synonyms != nullptr && options.synonyms->AreSynonyms(a, b)) {
     return options.synonym_score;
@@ -48,32 +46,107 @@ double ScoreFolded(std::string_view a, std::string_view b,
   return std::min(sim, 0.999);
 }
 
-}  // namespace
+}  // namespace internal
 
-PreparedName PrepareName(std::string_view name,
-                         const NameSimilarityOptions& options) {
+namespace {
+
+/// Fills the kernel precompute of an already folded+tokenized name.
+/// `interner` interns new tokens; `lookup` maps through an immutable table;
+/// with neither, token ids stay empty (string-compare fallback).
+void CompileKernelFields(PreparedName& prepared,
+                         const NameSimilarityOptions& options,
+                         TokenTable* interner, const TokenTable* lookup) {
+  GramTable::AppendPaddedGramIds(prepared.folded, &prepared.gram_ids);
+
+  const TokenTable* table = interner != nullptr ? interner : lookup;
+  if (table != nullptr) {
+    prepared.token_ids.reserve(prepared.tokens.size());
+    for (const std::string& token : prepared.tokens) {
+      prepared.token_ids.push_back(interner != nullptr
+                                       ? interner->Intern(token)
+                                       : lookup->Lookup(token));
+    }
+    prepared.token_table = table;
+  }
+
+  if (options.synonyms != nullptr) {
+    prepared.token_groups.reserve(prepared.tokens.size());
+    for (const std::string& token : prepared.tokens) {
+      prepared.token_groups.push_back(options.synonyms->GroupOf(token));
+    }
+    prepared.name_group = options.synonyms->GroupOf(prepared.folded);
+    prepared.synonyms = options.synonyms;
+  }
+
+  const size_t length = prepared.folded.size();
+  if (length >= 1 && length <= 64) {
+    // PEQ rows of Myers' bit-parallel Levenshtein: for each distinct
+    // character, the bitmask of its positions in the name.
+    for (size_t i = 0; i < length; ++i) {
+      char c = prepared.folded[i];
+      size_t slot = 0;
+      while (slot < prepared.peq_chars.size() &&
+             prepared.peq_chars[slot] != c) {
+        ++slot;
+      }
+      if (slot == prepared.peq_chars.size()) {
+        prepared.peq_chars.push_back(c);
+        prepared.peq_masks.push_back(0);
+      }
+      prepared.peq_masks[slot] |= uint64_t{1} << i;
+    }
+  }
+  prepared.kernel_ready = true;
+}
+
+PreparedName PrepareImpl(std::string_view name,
+                         const NameSimilarityOptions& options,
+                         TokenTable* interner, const TokenTable* lookup) {
   PreparedName prepared;
   prepared.folded =
       options.case_insensitive ? ToLower(name) : std::string(name);
   prepared.tokens = SplitIdentifier(prepared.folded);
+  CompileKernelFields(prepared, options, interner, lookup);
   return prepared;
+}
+
+}  // namespace
+
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options) {
+  return PrepareImpl(name, options, nullptr, nullptr);
+}
+
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options,
+                         TokenTable* interner) {
+  return PrepareImpl(name, options, interner, nullptr);
+}
+
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options,
+                         const TokenTable& interner) {
+  return PrepareImpl(name, options, nullptr, &interner);
 }
 
 double NameSimilarity(const PreparedName& a, const PreparedName& b,
                       const NameSimilarityOptions& options) {
-  return ScoreFolded(a.folded, b.folded, &a.tokens, &b.tokens, options);
+  if (a.kernel_ready && b.kernel_ready) {
+    BlockScorer scorer(a, options);
+    return scorer.Score(b);
+  }
+  return internal::ScoreFoldedReference(a.folded, b.folded, &a.tokens,
+                                        &b.tokens, options);
 }
 
 double NameSimilarity(std::string_view a, std::string_view b,
                       const NameSimilarityOptions& options) {
-  std::string la, lb;
-  if (options.case_insensitive) {
-    la = ToLower(a);
-    lb = ToLower(b);
-    a = la;
-    b = lb;
-  }
-  return ScoreFolded(a, b, nullptr, nullptr, options);
+  // One prepared-form path for both overloads: fold and tokenize exactly
+  // once per side (the string path used to fold here and then re-tokenize
+  // inside the token measure).
+  PreparedName pa = PrepareName(a, options);
+  PreparedName pb = PrepareName(b, options);
+  return NameSimilarity(pa, pb, options);
 }
 
 double NameDistance(std::string_view a, std::string_view b,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,22 +35,72 @@ struct NameSimilarityOptions {
   double synonym_score = 0.95;
 };
 
-/// \brief A name case-folded and tokenized once, for batch scoring.
+class TokenTable;  // prepared_kernel.h — token-id interner
+
+/// \brief A name case-folded, tokenized and compiled once, for batch
+/// scoring.
 ///
 /// Scoring one name against many (the dense similarity-matrix precompute)
 /// re-folds and re-tokenizes each side per pair when the string_view API is
 /// used; preparing each side once instead makes the per-pair work pure
 /// comparison. Produces bit-identical scores to the string_view overloads.
+///
+/// Beyond folding and tokenizing, `PrepareName` compiles the kernel form
+/// consumed by the allocation-free scorer (prepared_kernel.h): interned
+/// sorted trigram ids, per-token interned ids and synonym groups, and the
+/// per-character `PEQ` bitmasks of Myers' bit-parallel Levenshtein.
 struct PreparedName {
   /// The name, lower-cased when `case_insensitive` is set.
   std::string folded;
   /// `SplitIdentifier(folded)` — input of the token measure.
   std::vector<std::string> tokens;
+
+  // --- Kernel precompute (see prepared_kernel.h) ---
+
+  /// Sorted packed padded-trigram ids of `folded` (`GramTable::Pack`);
+  /// the same multiset `ExtractNgrams(folded, 3)` yields.
+  std::vector<uint32_t> gram_ids;
+  /// Per-token interned id (parallel to `tokens`); `kUnknownTokenId` for
+  /// tokens a lookup-only table did not know. Empty when prepared without
+  /// a `TokenTable`.
+  std::vector<uint32_t> token_ids;
+  /// Per-token synonym group (parallel to `tokens`, -1 = none). Empty when
+  /// `options.synonyms == nullptr`.
+  std::vector<int32_t> token_groups;
+  /// Distinct characters of `folded` with their position bitmasks — the
+  /// `PEQ` rows of Myers' algorithm. Filled only when `folded` has 1..64
+  /// characters (the single-word fast path).
+  std::vector<char> peq_chars;
+  std::vector<uint64_t> peq_masks;
+  /// Synonym group of the whole folded name (-1 = none).
+  int32_t name_group = -1;
+  /// Provenance: tables the ids/groups above are valid under. The kernel
+  /// falls back to string lookups when a pair's provenance disagrees with
+  /// the scoring options, so mixing prepared forms stays correct.
+  const SynonymTable* synonyms = nullptr;
+  const TokenTable* token_table = nullptr;
+  /// True once the kernel fields were compiled (`PrepareName` always sets
+  /// it; hand-built instances score through the reference path).
+  bool kernel_ready = false;
 };
 
-/// \brief Folds and tokenizes `name` according to `options`.
+/// \brief Folds, tokenizes and kernel-compiles `name` per `options`.
 PreparedName PrepareName(std::string_view name,
                          const NameSimilarityOptions& options = {});
+
+/// \brief As above, additionally interning tokens into `interner` (new
+/// tokens are inserted). The index build uses this so one table covers the
+/// whole repository.
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options,
+                         TokenTable* interner);
+
+/// \brief Lookup-only variant: tokens absent from `interner` map to
+/// `kUnknownTokenId` instead of being inserted. Queries prepare against an
+/// immutable repository table this way — const, hence thread-safe.
+PreparedName PrepareName(std::string_view name,
+                         const NameSimilarityOptions& options,
+                         const TokenTable& interner);
 
 /// \brief Composite similarity in [0, 1]; 1 iff the names are equal
 /// (after case folding when enabled).
@@ -67,5 +118,21 @@ double NameDistance(std::string_view a, std::string_view b,
 /// \brief Distance over prepared names: `1 - NameSimilarity`.
 double NameDistance(const PreparedName& a, const PreparedName& b,
                     const NameSimilarityOptions& options = {});
+
+namespace internal {
+
+/// \brief The pre-kernel composite scorer over already-folded names.
+///
+/// Kept verbatim as the bit-exactness oracle for the kernel's tests, as
+/// the fallback for hand-built `PreparedName`s, and as the baseline the
+/// perf benches compare against. `ta`/`tb` are the pre-split token lists
+/// when the caller has them; when null, tokenization happens inside (and
+/// only if the token measure runs).
+double ScoreFoldedReference(std::string_view a, std::string_view b,
+                            const std::vector<std::string>* ta,
+                            const std::vector<std::string>* tb,
+                            const NameSimilarityOptions& options);
+
+}  // namespace internal
 
 }  // namespace smb::sim

@@ -7,6 +7,10 @@ namespace smb::sim {
 std::vector<std::string> ExtractNgrams(std::string_view s, size_t n) {
   std::vector<std::string> grams;
   if (n == 0) return grams;
+  // An empty string has no n-grams. Without this guard the padding alone
+  // produced n-1 phantom all-'#' grams (e.g. {"###", "###"} for n = 3),
+  // which polluted trigram postings for blank element names.
+  if (s.empty()) return grams;
   std::string padded;
   padded.reserve(s.size() + 2 * (n - 1));
   padded.append(n - 1, '#');

@@ -14,6 +14,7 @@ namespace smb::sim {
 /// The string is padded with `n - 1` '#' characters on both sides, so
 /// "ab" with n=3 yields {"##a", "#ab", "ab#", "b##"}. Grams are returned
 /// sorted (with duplicates kept), which makes multiset intersection linear.
+/// An empty string yields no grams (padding never runs on empty input).
 std::vector<std::string> ExtractNgrams(std::string_view s, size_t n);
 
 /// \brief Dice coefficient on n-gram multisets: `2|A∩B| / (|A|+|B|)`.

@@ -1,0 +1,647 @@
+#include "sim/prepared_kernel.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "sim/token_similarity.h"
+
+namespace smb::sim {
+
+namespace {
+
+/// Pruning margin: component bounds are mathematically ≥ the exact score,
+/// but the bound and the score are *computed* with a handful of float ops
+/// each, so a few ulps of disagreement are possible. Pruning only below
+/// `min_score - kCutoffMargin` keeps "never prune a pair whose exact score
+/// ≥ the cutoff" true with room to spare (errors are ~1e-15 on [0,1]).
+constexpr double kCutoffMargin = 1e-9;
+
+/// Thread-local reusable buffers. Everything grows to a high-water mark and
+/// is then reused; `growths` counts the allocations (the test hook).
+struct Scratch {
+  /// PEQ table owned by the live BlockScorer (query pattern).
+  std::array<uint64_t, 256> peq_block{};
+  /// PEQ table for transient patterns (target-as-pattern, raw-string API).
+  std::array<uint64_t, 256> peq_tmp{};
+  std::vector<uint32_t> row_prev, row_cur;   // banded Levenshtein rows
+  std::vector<uint8_t> a_matched, b_matched; // Jaro match flags
+  struct PairEntry {
+    double score;
+    uint32_t i, j;
+  };
+  std::vector<PairEntry> pairs;              // token best-first pairing
+  std::vector<uint8_t> used_a, used_b;
+  uint64_t growths = 0;
+  bool block_live = false;
+};
+
+Scratch& Tls() {
+  static thread_local Scratch scratch;
+  return scratch;
+}
+
+template <typename T>
+void EnsureSize(std::vector<T>& v, size_t n, Scratch& s) {
+  if (v.size() < n) {
+    if (v.capacity() < n) ++s.growths;
+    v.resize(n);
+  }
+}
+
+template <typename T>
+void EnsureCapacity(std::vector<T>& v, size_t n, Scratch& s) {
+  if (v.capacity() < n) {
+    ++s.growths;
+    v.reserve(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Levenshtein: Myers bit-parallel (pattern ≤ 64) and banded two-row DP.
+
+/// Myers' bit-parallel edit distance: `peq` holds the pattern's
+/// per-character position masks, `m` its length (1..64); runs O(|text|)
+/// word operations. Exact Levenshtein distance.
+size_t MyersDistance(const std::array<uint64_t, 256>& peq, size_t m,
+                     std::string_view text) {
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  size_t score = m;
+  const uint64_t last = uint64_t{1} << (m - 1);
+  for (char tc : text) {
+    const uint64_t eq = peq[static_cast<unsigned char>(tc)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) {
+      ++score;
+    } else if (mh & last) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+void LoadRawPattern(std::array<uint64_t, 256>& peq, std::string_view pattern) {
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    peq[static_cast<unsigned char>(pattern[i])] |= uint64_t{1} << i;
+  }
+}
+
+void ClearRawPattern(std::array<uint64_t, 256>& peq, std::string_view pattern) {
+  for (char c : pattern) peq[static_cast<unsigned char>(c)] = 0;
+}
+
+void LoadPreparedPattern(std::array<uint64_t, 256>& peq,
+                         const PreparedName& name) {
+  for (size_t s = 0; s < name.peq_chars.size(); ++s) {
+    peq[static_cast<unsigned char>(name.peq_chars[s])] = name.peq_masks[s];
+  }
+}
+
+void ClearPreparedPattern(std::array<uint64_t, 256>& peq,
+                          const PreparedName& name) {
+  for (char c : name.peq_chars) peq[static_cast<unsigned char>(c)] = 0;
+}
+
+/// Banded two-row DP: exact distance when it is ≤ `k`, otherwise `k + 1`.
+/// Cells with |i - j| > k cannot lie on a ≤ k-cost path, so each row only
+/// visits a 2k+1 window; guard cells around the window hold the saturated
+/// sentinel so stale values never leak in as the band slides.
+size_t BandedLevenshtein(std::string_view a, std::string_view b, size_t k,
+                         Scratch& s) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string
+  const size_t m = a.size();
+  const size_t n = b.size();
+  k = std::min(k, n);  // the distance never exceeds the longer length
+  if (n - m > k) return k + 1;
+  if (m == 0) return n;
+
+  const uint32_t big = static_cast<uint32_t>(k) + 1;  // saturation sentinel
+  EnsureSize(s.row_prev, m + 1, s);
+  EnsureSize(s.row_cur, m + 1, s);
+  uint32_t* prev = s.row_prev.data();
+  uint32_t* cur = s.row_cur.data();
+  for (size_t i = 0; i <= m; ++i) {
+    prev[i] = static_cast<uint32_t>(std::min<size_t>(i, big));
+  }
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t lo = j > k ? j - k : 0;
+    const size_t hi = std::min(m, j + k);
+    if (lo == 0) {
+      cur[0] = static_cast<uint32_t>(std::min<size_t>(j, big));
+    } else {
+      cur[lo - 1] = big;
+    }
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      const uint32_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      uint32_t best = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+      cur[i] = std::min(best, big);
+    }
+    if (hi < m) cur[hi + 1] = big;
+    std::swap(prev, cur);
+  }
+  return prev[m] >= big ? static_cast<size_t>(k) + 1 : prev[m];
+}
+
+/// `1 - dist / max(|a|, |b|)` — the exact expression of
+/// `LevenshteinSimilarity`, reproduced for bit-identical doubles.
+double NormalizedLevSimilarity(size_t dist, size_t la, size_t lb) {
+  size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+// ---------------------------------------------------------------------------
+// Jaro-Winkler over scratch flags — same algorithm as jaro_winkler.cc,
+// minus the two per-call vector<bool> allocations.
+
+double JaroScratch(std::string_view a, std::string_view b, Scratch& s) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t window =
+      std::max(a.size(), b.size()) / 2 == 0
+          ? 0
+          : std::max(a.size(), b.size()) / 2 - 1;
+
+  EnsureSize(s.a_matched, a.size(), s);
+  EnsureSize(s.b_matched, b.size(), s);
+  std::fill_n(s.a_matched.begin(), a.size(), uint8_t{0});
+  std::fill_n(s.b_matched.begin(), b.size(), uint8_t{0});
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (s.b_matched[j] || a[i] != b[j]) continue;
+      s.a_matched[i] = 1;
+      s.b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!s.a_matched[i]) continue;
+    while (!s.b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerScratch(std::string_view a, std::string_view b,
+                          Scratch& s) {
+  double jaro = JaroScratch(a, b, s);
+  const double prefix_scale = 0.1;  // the JaroWinklerSimilarity default
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+// ---------------------------------------------------------------------------
+// Trigram Dice over interned sorted gram ids.
+
+/// Multiset intersection of two sorted id arrays — the integer twin of
+/// ngram.cc's SortedIntersectionSize (the count is order-invariant, so any
+/// consistent sort key gives the same value).
+size_t SortedIdIntersection(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double DiceKernel(const PreparedName& a, const PreparedName& b) {
+  if (a.folded.empty() && b.folded.empty()) return 1.0;
+  const std::vector<uint32_t>& ga = a.gram_ids;
+  const std::vector<uint32_t>& gb = b.gram_ids;
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = SortedIdIntersection(ga, gb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+/// Admissible upper bound on Dice from the gram counts alone:
+/// `|A∩B| ≤ min(|A|, |B|)`.
+double DiceCountUpperBound(const PreparedName& a, const PreparedName& b) {
+  if (a.folded.empty() && b.folded.empty()) return 1.0;
+  const size_t ca = a.gram_ids.size();
+  const size_t cb = b.gram_ids.size();
+  if (ca == 0 && cb == 0) return 1.0;
+  if (ca == 0 || cb == 0) return 0.0;
+  return 2.0 * static_cast<double>(std::min(ca, cb)) /
+         static_cast<double>(ca + cb);
+}
+
+/// Admissible upper bound on Levenshtein similarity from the lengths:
+/// `dist ≥ ||a| - |b||`.
+double LevLengthUpperBound(size_t la, size_t lb) {
+  const size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  const size_t gap = la > lb ? la - lb : lb - la;
+  return 1.0 - static_cast<double>(gap) / static_cast<double>(longest);
+}
+
+// ---------------------------------------------------------------------------
+// Token similarity over interned ids, scratch-buffered.
+
+double TokenSimilarityKernel(const PreparedName& a, const PreparedName& b,
+                             const NameSimilarityOptions& options,
+                             bool ids_valid, bool groups_valid, Scratch& s) {
+  const std::vector<std::string>& ta = a.tokens;
+  const std::vector<std::string>& tb = b.tokens;
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+
+  // The reference scorer hands the token measure a default-constructed
+  // TokenSimilarityOptions (only `synonyms` is forwarded) — mirror that.
+  const TokenSimilarityOptions token_defaults;
+  const double synonym_score = token_defaults.synonym_score;
+  const double min_token_score = token_defaults.min_token_score;
+  const SynonymTable* synonyms = options.synonyms;
+
+  s.pairs.clear();
+  EnsureCapacity(s.pairs, ta.size() * tb.size(), s);
+  for (size_t i = 0; i < ta.size(); ++i) {
+    for (size_t j = 0; j < tb.size(); ++j) {
+      bool equal;
+      if (ids_valid) {
+        const uint32_t ia = a.token_ids[i];
+        const uint32_t ib = b.token_ids[j];
+        if (ia != kUnknownTokenId && ib != kUnknownTokenId) {
+          equal = ia == ib;
+        } else {
+          // A lookup-only miss: the id proves nothing, compare strings.
+          equal = ta[i] == tb[j];
+        }
+      } else {
+        equal = ta[i] == tb[j];
+      }
+
+      double score;
+      if (equal) {
+        score = 1.0;
+      } else {
+        bool synonym;
+        if (synonyms == nullptr) {
+          synonym = false;
+        } else if (groups_valid) {
+          const int32_t gi = a.token_groups[i];
+          synonym = gi >= 0 && gi == b.token_groups[j];
+        } else {
+          synonym = synonyms->AreSynonyms(ta[i], tb[j]);
+        }
+        if (synonym) {
+          score = synonym_score;
+        } else {
+          double jw = JaroWinklerScratch(ta[i], tb[j], s);
+          score = jw >= min_token_score ? jw : 0.0;
+        }
+      }
+      if (score > 0.0) {
+        s.pairs.push_back({score, static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j)});
+      }
+    }
+  }
+  std::sort(s.pairs.begin(), s.pairs.end(),
+            [](const Scratch::PairEntry& x, const Scratch::PairEntry& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.i != y.i) return x.i < y.i;
+              return x.j < y.j;
+            });
+
+  EnsureSize(s.used_a, ta.size(), s);
+  EnsureSize(s.used_b, tb.size(), s);
+  std::fill_n(s.used_a.begin(), ta.size(), uint8_t{0});
+  std::fill_n(s.used_b.begin(), tb.size(), uint8_t{0});
+  double total = 0.0;
+  size_t matched = 0;
+  for (const Scratch::PairEntry& p : s.pairs) {
+    if (s.used_a[p.i] || s.used_b[p.j]) continue;
+    s.used_a[p.i] = 1;
+    s.used_b[p.j] = 1;
+    total += p.score;
+    ++matched;
+  }
+  double denom = static_cast<double>(ta.size() + tb.size() - matched);
+  return denom > 0.0 ? total / denom : 1.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GramTable / TokenTable
+
+uint32_t GramTable::Pack(std::string_view gram) {
+  assert(gram.size() == 3);
+  return Pack(static_cast<unsigned char>(gram[0]),
+              static_cast<unsigned char>(gram[1]),
+              static_cast<unsigned char>(gram[2]));
+}
+
+std::string GramTable::Unpack(uint32_t id) {
+  std::string gram(3, '\0');
+  gram[0] = static_cast<char>((id >> 16) & 0xFF);
+  gram[1] = static_cast<char>((id >> 8) & 0xFF);
+  gram[2] = static_cast<char>(id & 0xFF);
+  return gram;
+}
+
+void GramTable::AppendPaddedGramIds(std::string_view folded,
+                                    std::vector<uint32_t>* out) {
+  if (folded.empty()) return;
+  const size_t n = folded.size();
+  // Conceptually "##" + folded + "##" without materializing the padding.
+  auto at = [&](size_t i) -> unsigned char {
+    return (i < 2 || i >= n + 2) ? static_cast<unsigned char>('#')
+                                 : static_cast<unsigned char>(folded[i - 2]);
+  };
+  const size_t grams = n + 2;
+  out->reserve(out->size() + grams);
+  for (size_t i = 0; i < grams; ++i) {
+    out->push_back(Pack(at(i), at(i + 1), at(i + 2)));
+  }
+  // Packing is order-preserving for byte strings, so sorted ids are the
+  // sorted grams of ExtractNgrams — same multiset, integer representation.
+  std::sort(out->begin(), out->end());
+}
+
+std::vector<uint32_t> GramTable::PaddedGramIds(std::string_view folded) {
+  std::vector<uint32_t> ids;
+  AppendPaddedGramIds(folded, &ids);
+  return ids;
+}
+
+uint32_t TokenTable::Intern(std::string_view token) {
+  auto it = ids_.find(token);  // heterogeneous: no temporary when present
+  if (it != ids_.end()) return it->second;
+  return ids_.emplace(std::string(token), static_cast<uint32_t>(ids_.size()))
+      .first->second;
+}
+
+uint32_t TokenTable::Lookup(std::string_view token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnknownTokenId : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Raw-string Levenshtein entry points (tests, one-off callers).
+
+size_t KernelLevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  Scratch& s = Tls();
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.size() <= 64) {
+    LoadRawPattern(s.peq_tmp, a);
+    size_t dist = MyersDistance(s.peq_tmp, a.size(), b);
+    ClearRawPattern(s.peq_tmp, a);
+    return dist;
+  }
+  return BandedLevenshtein(a, b, std::max(a.size(), b.size()), s);
+}
+
+size_t KernelLevenshteinBounded(std::string_view a, std::string_view b,
+                                size_t k) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  Scratch& s = Tls();
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.size() <= 64) {
+    // The bit-parallel path is O(|b|) words regardless of k — computing the
+    // exact distance is cheaper than banding.
+    LoadRawPattern(s.peq_tmp, a);
+    size_t dist = MyersDistance(s.peq_tmp, a.size(), b);
+    ClearRawPattern(s.peq_tmp, a);
+    return dist;
+  }
+  return BandedLevenshtein(a, b, k, s);
+}
+
+uint64_t KernelScratchGrowthCount() { return Tls().growths; }
+
+// ---------------------------------------------------------------------------
+// BlockScorer
+
+BlockScorer::BlockScorer(const PreparedName& query,
+                         const NameSimilarityOptions& options)
+    : query_(&query), options_(&options) {
+  wl_ = std::max(0.0, options.weight_levenshtein);
+  wj_ = std::max(0.0, options.weight_jaro_winkler);
+  wt_ = std::max(0.0, options.weight_trigram);
+  wk_ = std::max(0.0, options.weight_token);
+  wsum_ = wl_ + wj_ + wt_ + wk_;
+  groups_valid_ =
+      options.synonyms != nullptr && query.synonyms == options.synonyms;
+  // The thread-local PEQ table hosts one resident pattern. The first live
+  // scorer on a thread claims it; a nested scorer (e.g. a one-shot
+  // NameSimilarity call while a block fill is in flight) simply runs
+  // without a resident query pattern — its Levenshtein path loads the
+  // target side into the transient table per pair instead — so nesting is
+  // merely slower, never incorrect.
+  Scratch& s = Tls();
+  if (!s.block_live) {
+    s.block_live = true;
+    owns_block_slot_ = true;
+    if (!query.peq_chars.empty()) {
+      LoadPreparedPattern(s.peq_block, query);
+      query_peq_loaded_ = true;
+    }
+  }
+}
+
+BlockScorer::~BlockScorer() {
+  Scratch& s = Tls();
+  if (query_peq_loaded_) ClearPreparedPattern(s.peq_block, *query_);
+  if (owns_block_slot_) s.block_live = false;
+}
+
+double BlockScorer::Score(const PreparedName& target) {
+  return ScoreWithCutoff(target, 0.0).score;
+}
+
+CutoffScore BlockScorer::ScoreWithCutoff(const PreparedName& target,
+                                         double min_score) {
+  const PreparedName& q = *query_;
+  if (!q.kernel_ready || !target.kernel_ready) {
+    // Hand-built prepared form: score through the reference path (exact).
+    return {internal::ScoreFoldedReference(q.folded, target.folded, &q.tokens,
+                                           &target.tokens, *options_),
+            true};
+  }
+
+  // The reference scorer's two short-circuits, in its order.
+  if (q.folded == target.folded) return {1.0, true};
+  const SynonymTable* synonyms = options_->synonyms;
+  if (synonyms != nullptr) {
+    bool whole_name_synonyms;
+    if (groups_valid_ && target.synonyms == synonyms) {
+      whole_name_synonyms =
+          q.name_group >= 0 && q.name_group == target.name_group;
+    } else {
+      whole_name_synonyms = synonyms->AreSynonyms(q.folded, target.folded);
+    }
+    if (whole_name_synonyms) return {options_->synonym_score, true};
+  }
+  if (wsum_ <= 0.0) return {0.0, true};
+
+  Scratch& s = Tls();
+  const bool cutoff = min_score > 0.0;
+  const size_t la = q.folded.size();
+  const size_t lb = target.folded.size();
+
+  // Cheapest-first: admissible bounds cost a handful of arithmetic ops —
+  // check them before touching any real component.
+  if (cutoff) {
+    const double u = (wl_ * LevLengthUpperBound(la, lb) + wj_ +
+                      wt_ * DiceCountUpperBound(q, target) + wk_) /
+                     wsum_;
+    if (u < min_score - kCutoffMargin) return {u, false};
+  }
+
+  // Exact trigram Dice: one integer merge, no allocation.
+  double dice = 0.0;
+  if (wt_ > 0.0) {
+    dice = DiceKernel(q, target);
+    if (cutoff) {
+      const double u =
+          (wl_ * LevLengthUpperBound(la, lb) + wj_ + wt_ * dice + wk_) /
+          wsum_;
+      if (u < min_score - kCutoffMargin) return {u, false};
+    }
+  }
+
+  // Exact Levenshtein: bit-parallel when either side fits one word,
+  // banded with an early-exit cutoff otherwise.
+  double lev = 0.0;
+  if (wl_ > 0.0) {
+    size_t dist;
+    const size_t longest = std::max(la, lb);
+    if (la == 0 || lb == 0) {
+      dist = la + lb;
+    } else if (query_peq_loaded_) {
+      dist = MyersDistance(s.peq_block, la, target.folded);
+    } else if (!target.peq_chars.empty()) {
+      LoadPreparedPattern(s.peq_tmp, target);
+      dist = MyersDistance(s.peq_tmp, lb, q.folded);
+      ClearPreparedPattern(s.peq_tmp, target);
+    } else {
+      // Both sides > 64 chars: derive the largest distance that could
+      // still reach min_score (with Jaro-Winkler and token at their
+      // maxima) and band the DP accordingly.
+      size_t k = longest;
+      if (cutoff) {
+        const double lev_needed =
+            (min_score * wsum_ - (wj_ + wt_ * dice + wk_)) / wl_;
+        if (lev_needed > 0.0) {
+          const double dmax =
+              (1.0 - lev_needed) * static_cast<double>(longest);
+          k = dmax <= 0.0
+                  ? 1
+                  : std::min(longest, static_cast<size_t>(dmax) + 1);
+        }
+      }
+      dist = BandedLevenshtein(q.folded, target.folded, k, s);
+      if (dist > k) {
+        // Early exit certified dist ≥ k+1; re-check the prune condition
+        // with that bound (it decides correctness, not the k derivation).
+        const double lev_ub =
+            1.0 - static_cast<double>(k + 1) / static_cast<double>(longest);
+        const double u = (wl_ * lev_ub + wj_ + wt_ * dice + wk_) / wsum_;
+        if (u < min_score - kCutoffMargin) return {u, false};
+        // Rare: the bound survives the margin — fall back to the exact
+        // distance so the returned score stays full-precision.
+        dist = BandedLevenshtein(q.folded, target.folded, longest, s);
+      }
+    }
+    lev = NormalizedLevSimilarity(dist, la, lb);
+    if (cutoff) {
+      const double u = (wl_ * lev + wj_ + wt_ * dice + wk_) / wsum_;
+      if (u < min_score - kCutoffMargin) return {u, false};
+    }
+  }
+
+  // Exact Jaro-Winkler.
+  double jw = 0.0;
+  if (wj_ > 0.0) {
+    jw = JaroWinklerScratch(q.folded, target.folded, s);
+    if (cutoff) {
+      const double u = (wl_ * lev + wj_ * jw + wt_ * dice + wk_) / wsum_;
+      if (u < min_score - kCutoffMargin) return {u, false};
+    }
+  }
+
+  // Exact token similarity — the most expensive component, last.
+  double token = 0.0;
+  if (wk_ > 0.0) {
+    const bool ids_valid = q.token_table != nullptr &&
+                           q.token_table == target.token_table &&
+                           q.token_ids.size() == q.tokens.size() &&
+                           target.token_ids.size() == target.tokens.size();
+    const bool token_groups_valid =
+        groups_valid_ && target.synonyms == synonyms &&
+        q.token_groups.size() == q.tokens.size() &&
+        target.token_groups.size() == target.tokens.size();
+    token = TokenSimilarityKernel(q, target, *options_, ids_valid,
+                                  token_groups_valid, s);
+  }
+
+  // Combine in the reference scorer's exact accumulation order so the
+  // final double is bit-identical.
+  double score = 0.0;
+  if (wl_ > 0.0) score += wl_ * lev;
+  if (wj_ > 0.0) score += wj_ * jw;
+  if (wt_ > 0.0) score += wt_ * dice;
+  if (wk_ > 0.0) score += wk_ * token;
+  double sim = score / wsum_;
+  return {std::min(sim, 0.999), true};
+}
+
+CutoffScore ScoreWithCutoff(const PreparedName& a, const PreparedName& b,
+                            const NameSimilarityOptions& options,
+                            double min_score) {
+  BlockScorer scorer(a, options);
+  return scorer.ScoreWithCutoff(b, min_score);
+}
+
+void ScoreBlock(const PreparedName& query,
+                std::span<const PreparedName* const> targets,
+                const NameSimilarityOptions& options, double min_score,
+                CutoffScore* out) {
+  BlockScorer scorer(query, options);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    out[i] = scorer.ScoreWithCutoff(*targets[i], min_score);
+  }
+}
+
+}  // namespace smb::sim

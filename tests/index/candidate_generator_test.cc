@@ -191,6 +191,52 @@ TEST(CandidateGeneratorTest, SingleNodeSchemasAndNoTokenNames) {
   CheckAgainstDensePool(query, repo, objective, *candidates);
 }
 
+TEST(CandidateGeneratorTest, CutoffPruningNeverChangesEntriesOrAdmissibility) {
+  // The threshold-aware scoring loop must select bit-identical candidate
+  // lists: pruning may only drop work whose exact cost provably cannot
+  // enter the top-C. Skip-bounds may differ (a pruned candidate
+  // contributes a lower bound instead of its exact cost) but only
+  // downward — and they stay admissible, which CheckAgainstDensePool
+  // already proves for the default (cutoff-enabled) generator above.
+  GeneratedSetup setup = MakeSynthetic(30, 99);
+  match::ObjectiveOptions objective = SynonymObjective();
+  auto prepared = PreparedRepository::Build(setup.repo, objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  CandidateGenerator with_cutoff(&*prepared, objective);
+  CandidateGenerator without_cutoff(&*prepared, objective);
+  without_cutoff.set_cutoff_enabled(false);
+
+  for (size_t limit : {1u, 3u, 8u}) {
+    auto fast = with_cutoff.Generate(setup.query, limit);
+    auto slow = without_cutoff.Generate(setup.query, limit);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    ASSERT_TRUE(slow.ok()) << slow.status();
+    ASSERT_EQ(fast->positions(), slow->positions());
+    EXPECT_EQ(fast->candidates_generated(), slow->candidates_generated());
+    EXPECT_EQ(fast->candidates_skipped(), slow->candidates_skipped());
+    for (size_t pos = 0; pos < fast->positions(); ++pos) {
+      for (int32_t si = 0;
+           si < static_cast<int32_t>(setup.repo.schema_count()); ++si) {
+        const auto* fast_list = fast->CandidatesFor(pos, si);
+        const auto* slow_list = slow->CandidatesFor(pos, si);
+        ASSERT_EQ(fast_list->size(), slow_list->size())
+            << "pos " << pos << " schema " << si << " limit " << limit;
+        for (size_t c = 0; c < fast_list->size(); ++c) {
+          EXPECT_EQ((*fast_list)[c].node, (*slow_list)[c].node)
+              << "pos " << pos << " schema " << si << " entry " << c;
+          EXPECT_EQ((*fast_list)[c].cost, (*slow_list)[c].cost)
+              << "pos " << pos << " schema " << si << " entry " << c;
+        }
+        // The exhaustively-scored truncation bound is the tightest the
+        // cutoff path may report; pruning can only lower it.
+        EXPECT_LE(fast->SkipLowerBound(pos, si),
+                  slow->SkipLowerBound(pos, si) + 1e-12);
+      }
+    }
+  }
+}
+
 TEST(CandidateGeneratorTest, RejectsBadInputs) {
   schema::SchemaRepository repo = MakeRepo();
   match::ObjectiveOptions objective = SynonymObjective();

@@ -18,11 +18,23 @@ TEST(NgramTest, ExtractionWithPadding) {
 
 TEST(NgramTest, ExtractionEdgeCases) {
   EXPECT_TRUE(ExtractNgrams("x", 0).empty());
-  auto one = ExtractNgrams("", 3);
-  // "####" -> 2 grams of pure padding
-  EXPECT_EQ(one.size(), 2u);
   auto bigram = ExtractNgrams("ab", 2);
   EXPECT_EQ(bigram.size(), 3u);  // "#ab#": #a, ab, b#
+}
+
+TEST(NgramTest, EmptyInputYieldsNoGrams) {
+  // Regression: padding used to run even for empty input, producing n-1
+  // phantom all-'#' grams ({"###", "###"} for n=3) that polluted trigram
+  // postings for blank element names.
+  for (size_t n : {2u, 3u, 4u}) {
+    EXPECT_TRUE(ExtractNgrams("", n).empty()) << "n=" << n;
+  }
+  // The similarity semantics around empty input are unchanged: two empty
+  // names are identical, empty-vs-nonempty shares nothing.
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("", "ab"), 0.0);
+  EXPECT_DOUBLE_EQ(NgramJaccardSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NgramJaccardSimilarity("ab", ""), 0.0);
 }
 
 TEST(NgramTest, DiceIdentity) {

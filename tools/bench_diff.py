@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Per-benchmark speedup report between two Google Benchmark JSON files.
+
+Typical uses:
+
+  # Two snapshots of the same benchmarks (e.g. before/after a change):
+  tools/bench_diff.py old/BENCH_index.json BENCH_index.json
+
+  # One snapshot holding paired legacy/kernel variants of each benchmark:
+  tools/bench_diff.py BENCH_sim.json BENCH_sim.json \
+      --a-filter 'Legacy$' --b-filter 'Kernel$' --strip '(Legacy|Kernel)$'
+
+Benchmarks are matched by canonical name: the rows of file A surviving
+--a-filter against the rows of file B surviving --b-filter, after --strip
+(a regex removed from every name). Speedup is A_time / B_time on real_time,
+so > 1 means B (the "new" side) is faster. --require N exits non-zero when
+the geometric-mean speedup falls below N — usable as a CI regression gate.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+# Google Benchmark time_unit values, normalized to nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path, name_filter, strip):
+    """Returns {canonical_name: (time_ns, original_name)}."""
+    with open(path) as fh:
+        data = json.load(fh)
+    rows = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if name_filter and not re.search(name_filter, name):
+            continue
+        canonical = re.sub(strip, "", name) if strip else name
+        time_ns = bench["real_time"] * _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+        if canonical in rows:
+            print(f"warning: {path}: duplicate canonical name {canonical!r}; "
+                  f"keeping the first", file=sys.stderr)
+            continue
+        rows[canonical] = (time_ns, name)
+    return rows
+
+
+def fmt_time(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline benchmark JSON (the 'A'/old side)")
+    parser.add_argument("new", help="comparison benchmark JSON (the 'B'/new side)")
+    parser.add_argument("--a-filter", default=None,
+                        help="regex selecting baseline rows by name")
+    parser.add_argument("--b-filter", default=None,
+                        help="regex selecting comparison rows by name")
+    parser.add_argument("--strip", default=None,
+                        help="regex removed from names before matching A to B")
+    parser.add_argument("--require", type=float, default=None, metavar="N",
+                        help="exit 1 unless the geometric-mean speedup is >= N")
+    args = parser.parse_args()
+
+    a_rows = load_rows(args.baseline, args.a_filter, args.strip)
+    b_rows = load_rows(args.new, args.b_filter, args.strip)
+    common = sorted(set(a_rows) & set(b_rows))
+    if not common:
+        print("error: no benchmarks in common after filtering", file=sys.stderr)
+        return 2
+
+    only_a = sorted(set(a_rows) - set(b_rows))
+    only_b = sorted(set(b_rows) - set(a_rows))
+    for name in only_a:
+        print(f"note: only in baseline: {a_rows[name][1]}", file=sys.stderr)
+    for name in only_b:
+        print(f"note: only in new:      {b_rows[name][1]}", file=sys.stderr)
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'new':>10}  {'speedup':>8}")
+    log_sum = 0.0
+    for name in common:
+        a_ns, _ = a_rows[name]
+        b_ns, _ = b_rows[name]
+        speedup = a_ns / b_ns if b_ns > 0 else math.inf
+        log_sum += math.log(speedup)
+        print(f"{name:<{width}}  {fmt_time(a_ns):>10}  {fmt_time(b_ns):>10}  "
+              f"{speedup:>7.2f}x")
+    geomean = math.exp(log_sum / len(common))
+    print(f"{'geomean':<{width}}  {'':>10}  {'':>10}  {geomean:>7.2f}x")
+
+    if args.require is not None and geomean < args.require:
+        print(f"error: geomean speedup {geomean:.2f}x < required "
+              f"{args.require:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
