@@ -10,8 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "engine/batch_match_engine.h"
 #include "index/prepared_repository.h"
+#include "index/snapshot.h"
 #include "match/beam_matcher.h"
 #include "match/cluster_matcher.h"
 #include "match/exhaustive_matcher.h"
@@ -230,6 +233,42 @@ void BM_PreparedRepositoryBuild(benchmark::State& state) {
       static_cast<double>(setup.collection.repository.total_elements());
 }
 BENCHMARK(BM_PreparedRepositoryBuild)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// The persistence counterpart of BM_PreparedRepositoryBuild: deserialize
+// the same index from its snapshot instead of re-deriving it from the
+// schemas. The ratio of the two is the "restart tax" a resident serve
+// process avoids paying (CI gates it at >= 2.5x via tools/bench_diff.py;
+// ~2.9x measured single-core, more with cores for the chunked decode).
+void BM_SnapshotLoad(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository, setup.mopts.objective.name)
+                      .value();
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("smb_bench_snapshot_" + std::to_string(state.range(0)) + ".bin"))
+          .string();
+  if (auto saved = index::SaveSnapshot(prepared, path); !saved.ok()) {
+    state.SkipWithError(saved.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = index::LoadSnapshot(path, setup.collection.repository,
+                                      setup.mopts.objective.name,
+                                      /*num_threads=*/0);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  std::error_code ec;
+  state.counters["bytes"] =
+      static_cast<double>(std::filesystem::file_size(path, ec));
+  std::filesystem::remove(path, ec);
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DensePerQuery(benchmark::State& state) {

@@ -59,6 +59,9 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
     const match::Matcher& matcher, const schema::Schema& query,
     const schema::SchemaRepository& repo,
     const match::MatchOptions& match_options, BatchMatchStats* stats) const {
+  // Stats are defined on *every* exit path: callers that reuse one stats
+  // struct across runs never read a stale previous run after a failure.
+  if (stats != nullptr) *stats = BatchMatchStats{};
   if (match_options.shared_costs != nullptr) {
     return Status::InvalidArgument(
         "MatchOptions::shared_costs is managed by the batch engine and must "
@@ -97,11 +100,11 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
     Result<match::AnswerSet> answers =
         matcher.Match(query, repo, match_options, &local.match);
     local.match_seconds = SecondsSince(start);
+    if (stats != nullptr) *stats = local;
     if (!answers.ok()) return answers.status();
     if (options_.global_top_k > 0) {
       answers = answers->TopN(options_.global_top_k);
     }
-    if (stats != nullptr) *stats = local;
     return answers;
   }
 
@@ -128,15 +131,22 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
     Clock::time_point start = Clock::now();
     const index::PreparedRepository* prepared = options_.prepared_repository;
     if (prepared == nullptr) {
-      SMB_ASSIGN_OR_RETURN(
-          owned_prepared,
-          index::PreparedRepository::Build(repo,
-                                           match_options.objective.name));
+      auto built =
+          index::PreparedRepository::Build(repo, match_options.objective.name);
+      if (!built.ok()) {
+        if (stats != nullptr) *stats = local;
+        return built.status();
+      }
+      owned_prepared = std::move(built).value();
       prepared = &*owned_prepared;
     }
     index::CandidateGenerator generator(prepared, match_options.objective);
-    SMB_ASSIGN_OR_RETURN(
-        candidates, generator.Generate(query, options_.candidate_limit));
+    auto generated = generator.Generate(query, options_.candidate_limit);
+    if (!generated.ok()) {
+      if (stats != nullptr) *stats = local;
+      return generated.status();
+    }
+    candidates = std::move(generated).value();
     local.index_seconds = SecondsSince(start);
     local.match.candidates_generated = candidates->candidates_generated();
     local.match.candidates_skipped = candidates->candidates_skipped();
@@ -150,9 +160,14 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
   std::optional<SimilarityMatrixPool> pool;
   if (!sparse && options_.share_similarity_matrices && !query.empty()) {
     Clock::time_point start = Clock::now();
-    SMB_ASSIGN_OR_RETURN(
-        pool, SimilarityMatrixPool::Build(query, repo, match_options.objective,
-                                          threads));
+    auto built =
+        SimilarityMatrixPool::Build(query, repo, match_options.objective,
+                                    threads);
+    if (!built.ok()) {
+      if (stats != nullptr) *stats = local;
+      return built.status();
+    }
+    pool = std::move(built).value();
     local.precompute_seconds = SecondsSince(start);
   }
 
@@ -210,6 +225,7 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
   match::AnswerSet merged;
   for (size_t i = 0; i < shards.size(); ++i) {
     if (!shard_answers[i].ok()) {
+      if (stats != nullptr) *stats = local;
       return shard_answers[i].status().WithContext(
           "shard " + std::to_string(i) + " of " +
           std::to_string(shards.size()));

@@ -97,6 +97,9 @@ class BatchMatchEngine {
   /// worker threads. `match_options.shared_costs` and
   /// `match_options.candidates` are managed by the engine and must be null.
   /// On any shard failure the first error (by shard order) is returned.
+  /// `stats`, when non-null, is written on *every* exit path — on failure
+  /// it describes the work completed before the error (callers reusing one
+  /// struct across runs never read a stale previous run).
   Result<match::AnswerSet> Run(const match::Matcher& matcher,
                                const schema::Schema& query,
                                const schema::SchemaRepository& repo,

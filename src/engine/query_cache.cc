@@ -1,0 +1,34 @@
+#include "engine/query_cache.h"
+
+namespace smb::engine {
+
+const match::AnswerSet* QueryResultCache::Lookup(const QueryCacheKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, in place
+  return &it->second->second;
+}
+
+void QueryResultCache::Insert(const QueryCacheKey& key,
+                              match::AnswerSet answers) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(answers);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(answers));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace smb::engine

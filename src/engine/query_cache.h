@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "match/answer_set.h"
+
+/// \file query_cache.h
+/// \brief LRU cache of finished answer sets for the long-running serve
+/// path.
+///
+/// A resident matching process (the `matchbounds serve` command) sees the
+/// same queries repeatedly — monitoring probes, retried requests, popular
+/// personal schemas. Matching is deterministic: identical (prepared query,
+/// match options) inputs always produce identical answers, so a finished
+/// `match::AnswerSet` can be replayed from memory instead of re-running the
+/// engine.
+///
+/// The key is a pair of content fingerprints (io/fingerprint.h):
+///  * the *prepared query* fingerprint — folded names, types and tree
+///    shape, so two spellings that fold identically share one entry;
+///  * the *match options* fingerprint — Δ threshold, injectivity, the full
+///    objective, plus whatever result-shaping knobs the caller mixes in
+///    (candidate limit, top-k).
+///
+/// Entries are evicted least-recently-used once `capacity` is exceeded.
+/// The cache is deliberately single-threaded (the serve loop owns it); it
+/// stores finalized answer sets by value and hands out stable pointers
+/// that remain valid until the entry is evicted.
+
+namespace smb::engine {
+
+/// \brief Cache key: (prepared query fingerprint, match-options
+/// fingerprint).
+struct QueryCacheKey {
+  uint64_t query_fingerprint = 0;
+  uint64_t options_fingerprint = 0;
+
+  bool operator==(const QueryCacheKey& other) const {
+    return query_fingerprint == other.query_fingerprint &&
+           options_fingerprint == other.options_fingerprint;
+  }
+};
+
+/// \brief Hit/miss/eviction counters (monotonic over the cache lifetime).
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// \brief Fixed-capacity LRU map from `QueryCacheKey` to finalized answer
+/// sets.
+class QueryResultCache {
+ public:
+  /// `capacity` = 0 disables caching (every Lookup misses, Insert drops).
+  explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// \brief The cached answers for `key`, or nullptr on a miss. A hit
+  /// refreshes the entry's recency; the pointer stays valid until the
+  /// entry is evicted.
+  const match::AnswerSet* Lookup(const QueryCacheKey& key);
+
+  /// \brief Stores `answers` under `key` (replacing any previous entry) and
+  /// evicts the least-recently-used entries down to capacity.
+  void Insert(const QueryCacheKey& key, match::AnswerSet answers);
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  const QueryCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Hash {
+    size_t operator()(const QueryCacheKey& key) const {
+      // The fingerprints are already uniform 64-bit hashes; one odd-
+      // constant mix keeps the pair from cancelling.
+      return static_cast<size_t>(key.query_fingerprint * 0x9e3779b97f4a7c15ull ^
+                                 key.options_fingerprint);
+    }
+  };
+
+  using Entry = std::pair<QueryCacheKey, match::AnswerSet>;
+
+  size_t capacity_;
+  /// Most-recently-used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<QueryCacheKey, std::list<Entry>::iterator, Hash> index_;
+  QueryCacheStats stats_;
+};
+
+}  // namespace smb::engine

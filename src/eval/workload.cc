@@ -1,9 +1,12 @@
 #include "eval/workload.h"
 
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "common/timing.h"
 #include "index/prepared_repository.h"
+#include "index/snapshot.h"
 
 namespace smb::eval {
 
@@ -60,12 +63,40 @@ Result<IndexedWorkloadResult> RunIndexedWorkload(
   IndexedWorkloadResult result;
   result.system_name = matcher.name();
 
-  // Prepare once: the query-independent index every query shares.
-  Clock::time_point build_start = Clock::now();
-  SMB_ASSIGN_OR_RETURN(
-      index::PreparedRepository prepared,
-      index::PreparedRepository::Build(repo, options.objective.name));
-  result.index_build_seconds = SecondsSince(build_start);
+  // Prepare once: the query-independent index every query shares. In
+  // snapshot mode a previous run's prepared form is loaded from disk;
+  // only a *missing* file falls back to build-then-save — a snapshot that
+  // exists but fails to load (corruption, option or repository mismatch)
+  // is a hard error, so results can never silently come from a different
+  // index than the caller asked for.
+  std::optional<index::PreparedRepository> prepared_storage;
+  if (!workload_options.snapshot_path.empty()) {
+    Clock::time_point load_start = Clock::now();
+    auto loaded = index::LoadSnapshot(workload_options.snapshot_path, repo,
+                                      options.objective.name,
+                                      workload_options.num_threads);
+    if (loaded.ok()) {
+      result.index_load_seconds = SecondsSince(load_start);
+      result.loaded_from_snapshot = true;
+      prepared_storage = std::move(loaded).value();
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+  if (!prepared_storage.has_value()) {
+    Clock::time_point build_start = Clock::now();
+    SMB_ASSIGN_OR_RETURN(
+        prepared_storage,
+        index::PreparedRepository::Build(repo, options.objective.name));
+    result.index_build_seconds = SecondsSince(build_start);
+    if (!workload_options.snapshot_path.empty()) {
+      Clock::time_point save_start = Clock::now();
+      SMB_RETURN_IF_ERROR(index::SaveSnapshot(
+          *prepared_storage, workload_options.snapshot_path));
+      result.snapshot_save_seconds = SecondsSince(save_start);
+    }
+  }
+  index::PreparedRepository& prepared = *prepared_storage;
 
   engine::BatchMatchOptions sparse_opts;
   sparse_opts.num_threads = workload_options.num_threads;

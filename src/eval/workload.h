@@ -72,6 +72,12 @@ struct IndexedWorkloadOptions {
   /// Also run each query through the dense path and report recall of the
   /// dense answers (and of the dense top-1) in the sparse answer set.
   bool compare_dense = false;
+  /// Snapshot mode: when non-empty, the repository index is *loaded* from
+  /// this file if it exists (a mismatched or corrupted snapshot is a hard
+  /// error — never a silent rebuild with possibly different semantics),
+  /// and otherwise built from the repository and saved here for the next
+  /// run. The result then reports load-time vs build-time.
+  std::string snapshot_path;
 };
 
 /// \brief What one query of an indexed workload did.
@@ -96,8 +102,18 @@ struct QueryRunReport {
 /// \brief Results of `RunIndexedWorkload`.
 struct IndexedWorkloadResult {
   std::string system_name;
-  /// One-time cost of building the shared repository index.
+  /// One-time cost of building the shared repository index (0 when it was
+  /// loaded from a snapshot instead).
   double index_build_seconds = 0.0;
+  /// Snapshot mode only: time to load the prepared index from disk. The
+  /// load-vs-build comparison is `index_load_seconds` against
+  /// `index_build_seconds` of a previous (building) run.
+  double index_load_seconds = 0.0;
+  /// Snapshot mode only: time to serialize + write the freshly built index
+  /// (first run, when the snapshot file did not exist yet).
+  double snapshot_save_seconds = 0.0;
+  /// True when the index came from `snapshot_path` instead of a build.
+  bool loaded_from_snapshot = false;
   /// Sparse (indexed) answers per problem, in problem order.
   std::vector<match::AnswerSet> answers;
   /// Dense answers per problem (empty unless `compare_dense`).

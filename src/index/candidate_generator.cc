@@ -117,7 +117,7 @@ Result<QueryCandidates> CandidateGenerator::Generate(
     // bitmask scatter) loads once and every candidate of every schema
     // scores through it.
     sim::BlockScorer scorer(qp, objective_.name);
-    const std::vector<uint32_t>& qgram_ids = qp.gram_ids;
+    const auto& qgram_ids = qp.gram_ids;
     const double qa = static_cast<double>(qgram_ids.size());
 
     touched.clear();
@@ -134,25 +134,25 @@ Result<QueryCandidates> CandidateGenerator::Generate(
       size_t end = g + 1;
       while (end < qgram_ids.size() && qgram_ids[end] == qgram_ids[g]) ++end;
       const auto query_mult = static_cast<uint32_t>(end - g);
-      if (const std::vector<TrigramPosting>* postings =
-              prepared_->TrigramPostings(qgram_ids[g])) {
-        for (const TrigramPosting& posting : *postings) {
-          touch(posting.ordinal);
-          shared[posting.ordinal] +=
-              std::min(query_mult, static_cast<uint32_t>(posting.count));
-        }
+      for (const TrigramPosting& posting :
+           prepared_->TrigramPostings(qgram_ids[g])) {
+        touch(posting.ordinal);
+        shared[posting.ordinal] +=
+            std::min(query_mult, static_cast<uint32_t>(posting.count));
       }
       g = end;
     }
 
     // Strong evidence: shared tokens, shared token synonym groups, equal
     // folded names, whole-name synonym groups.
-    auto mark_strong = [&](const std::vector<uint32_t>* postings) {
-      if (postings == nullptr) return;
-      for (uint32_t ordinal : *postings) {
+    auto mark_strong = [&](std::span<const uint32_t> postings) {
+      for (uint32_t ordinal : postings) {
         touch(ordinal);
         strong[ordinal] = 1;
       }
+    };
+    auto mark_strong_bucket = [&](const std::vector<uint32_t>* postings) {
+      if (postings != nullptr) mark_strong(*postings);
     };
     // Token ids and synonym groups were already resolved by the
     // lookup-only PrepareName above — the same dedup the index build posts
@@ -164,11 +164,13 @@ Result<QueryCandidates> CandidateGenerator::Generate(
       if (token_id != sim::kUnknownTokenId) {
         mark_strong(prepared_->TokenPostings(token_id));
       }
-      if (group >= 0) mark_strong(prepared_->TokenGroupPostings(group));
+      if (group >= 0) {
+        mark_strong_bucket(prepared_->TokenGroupPostings(group));
+      }
     }
-    mark_strong(prepared_->NameBucket(qp.folded));
+    mark_strong_bucket(prepared_->NameBucket(qp.folded));
     if (qp.name_group >= 0) {
-      mark_strong(prepared_->NameGroupBucket(qp.name_group));
+      mark_strong_bucket(prepared_->NameGroupBucket(qp.name_group));
     }
 
     // Ordinals are (schema, node)-ordered, so one sorted walk groups the

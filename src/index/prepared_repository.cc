@@ -29,6 +29,11 @@ Result<PreparedRepository> PreparedRepository::Build(
   prepared.elements_.reserve(repo.total_elements());
   prepared.first_ordinal_.reserve(repo.schema_count());
 
+  // Postings accumulate into growable per-key containers and are flattened
+  // into the CSR arrays once every element is known.
+  std::vector<std::vector<uint32_t>> token_postings;
+  std::unordered_map<uint32_t, std::vector<TrigramPosting>> trigram_postings;
+
   // (token id, synonym group) pairs of the current element, deduplicated.
   std::vector<std::pair<uint32_t, int32_t>> unique_tokens;
   for (size_t si = 0; si < repo.schema_count(); ++si) {
@@ -54,11 +59,11 @@ Result<PreparedRepository> PreparedRepository::Build(
 
       // Trigram postings with multiplicities: gram ids are sorted, so runs
       // of equal ids give the per-gram count directly.
-      const std::vector<uint32_t>& gram_ids = element.name.gram_ids;
+      const auto& gram_ids = element.name.gram_ids;
       for (size_t g = 0; g < gram_ids.size();) {
         size_t end = g + 1;
         while (end < gram_ids.size() && gram_ids[end] == gram_ids[g]) ++end;
-        prepared.trigram_postings_[gram_ids[g]].push_back(
+        trigram_postings[gram_ids[g]].push_back(
             TrigramPosting{ordinal, static_cast<uint16_t>(end - g)});
         prepared.stats_.trigram_posting_entries++;
         g = end;
@@ -69,10 +74,10 @@ Result<PreparedRepository> PreparedRepository::Build(
       // the element was interned above, so its id indexes the dense table.
       AppendUniqueTokenGroupPairs(element.name, &unique_tokens);
       for (const auto& [token_id, group] : unique_tokens) {
-        if (token_id >= prepared.token_postings_.size()) {
-          prepared.token_postings_.resize(token_id + 1);
+        if (token_id >= token_postings.size()) {
+          token_postings.resize(token_id + 1);
         }
-        prepared.token_postings_[token_id].push_back(ordinal);
+        token_postings[token_id].push_back(ordinal);
         prepared.stats_.token_posting_entries++;
         if (group >= 0) {
           auto& postings = prepared.token_group_postings_[group];
@@ -92,23 +97,55 @@ Result<PreparedRepository> PreparedRepository::Build(
       prepared.elements_.push_back(std::move(element));
     }
   }
+  // Flatten the accumulated postings into the CSR arrays. The trigram
+  // keys are collected from the hash map and sorted explicitly — the
+  // binary-search lookup requires ascending keys.
+  prepared.token_posting_offsets_.reserve(token_postings.size() + 1);
+  prepared.token_posting_entries_.reserve(
+      prepared.stats_.token_posting_entries);
+  prepared.token_posting_offsets_.push_back(0);
+  for (const std::vector<uint32_t>& postings : token_postings) {
+    prepared.token_posting_entries_.insert(
+        prepared.token_posting_entries_.end(), postings.begin(),
+        postings.end());
+    prepared.token_posting_offsets_.push_back(
+        static_cast<uint32_t>(prepared.token_posting_entries_.size()));
+  }
+  prepared.trigram_keys_.reserve(trigram_postings.size());
+  for (const auto& [gram_id, postings] : trigram_postings) {
+    prepared.trigram_keys_.push_back(gram_id);
+  }
+  std::sort(prepared.trigram_keys_.begin(), prepared.trigram_keys_.end());
+  prepared.trigram_offsets_.reserve(trigram_postings.size() + 1);
+  prepared.trigram_entries_.reserve(prepared.stats_.trigram_posting_entries);
+  prepared.trigram_offsets_.push_back(0);
+  for (uint32_t gram_id : prepared.trigram_keys_) {
+    const std::vector<TrigramPosting>& postings =
+        trigram_postings.at(gram_id);
+    prepared.trigram_entries_.insert(prepared.trigram_entries_.end(),
+                                     postings.begin(), postings.end());
+    prepared.trigram_offsets_.push_back(
+        static_cast<uint32_t>(prepared.trigram_entries_.size()));
+  }
+
   prepared.stats_.element_count = prepared.elements_.size();
   prepared.stats_.distinct_tokens = prepared.token_table_->size();
-  prepared.stats_.distinct_trigrams = prepared.trigram_postings_.size();
+  prepared.stats_.distinct_trigrams = prepared.trigram_keys_.size();
   prepared.stats_.distinct_types = prepared.type_buckets_.size();
   return prepared;
 }
 
-const std::vector<uint32_t>* PreparedRepository::TokenPostings(
+std::span<const uint32_t> PreparedRepository::TokenPostings(
     std::string_view token) const {
   return TokenPostings(token_table_->Lookup(token));
 }
 
-const std::vector<uint32_t>* PreparedRepository::TokenPostings(
+std::span<const uint32_t> PreparedRepository::TokenPostings(
     uint32_t token_id) const {
-  if (token_id >= token_postings_.size()) return nullptr;
-  const std::vector<uint32_t>& postings = token_postings_[token_id];
-  return postings.empty() ? nullptr : &postings;
+  // 64-bit compare: kUnknownTokenId + 1 must not wrap into a valid slot.
+  if (size_t{token_id} + 1 >= token_posting_offsets_.size()) return {};
+  return {token_posting_entries_.data() + token_posting_offsets_[token_id],
+          token_posting_entries_.data() + token_posting_offsets_[token_id + 1]};
 }
 
 const std::vector<uint32_t>* PreparedRepository::TokenGroupPostings(
@@ -117,16 +154,20 @@ const std::vector<uint32_t>* PreparedRepository::TokenGroupPostings(
   return it == token_group_postings_.end() ? nullptr : &it->second;
 }
 
-const std::vector<TrigramPosting>* PreparedRepository::TrigramPostings(
+std::span<const TrigramPosting> PreparedRepository::TrigramPostings(
     std::string_view gram) const {
-  if (gram.size() != 3) return nullptr;
+  if (gram.size() != 3) return {};
   return TrigramPostings(sim::GramTable::Pack(gram));
 }
 
-const std::vector<TrigramPosting>* PreparedRepository::TrigramPostings(
+std::span<const TrigramPosting> PreparedRepository::TrigramPostings(
     uint32_t gram_id) const {
-  auto it = trigram_postings_.find(gram_id);
-  return it == trigram_postings_.end() ? nullptr : &it->second;
+  auto it =
+      std::lower_bound(trigram_keys_.begin(), trigram_keys_.end(), gram_id);
+  if (it == trigram_keys_.end() || *it != gram_id) return {};
+  const size_t slot = static_cast<size_t>(it - trigram_keys_.begin());
+  return {trigram_entries_.data() + trigram_offsets_[slot],
+          trigram_entries_.data() + trigram_offsets_[slot + 1]};
 }
 
 const std::vector<uint32_t>* PreparedRepository::NameBucket(

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -147,27 +148,27 @@ class PreparedRepository {
   /// repository index itself is moved.
   const sim::TokenTable& token_table() const { return *token_table_; }
 
-  /// Elements whose name contains `token` (sorted ordinals); nullptr when
+  /// Elements whose name contains `token` (sorted ordinals); empty when
   /// the token is unknown.
-  const std::vector<uint32_t>* TokenPostings(std::string_view token) const;
+  std::span<const uint32_t> TokenPostings(std::string_view token) const;
 
   /// Id-keyed fast path of `TokenPostings`: `token_id` from
-  /// `token_table()`. `kUnknownTokenId` yields nullptr.
-  const std::vector<uint32_t>* TokenPostings(uint32_t token_id) const;
+  /// `token_table()`. `kUnknownTokenId` yields an empty span.
+  std::span<const uint32_t> TokenPostings(uint32_t token_id) const;
 
   /// Elements containing any token of synonym group `group` (sorted
   /// ordinals); nullptr when the group posted nothing.
   const std::vector<uint32_t>* TokenGroupPostings(int group) const;
 
-  /// Trigram postings for `gram` with per-element multiplicities; nullptr
+  /// Trigram postings for `gram` with per-element multiplicities; empty
   /// when no element name contains the gram.
-  const std::vector<TrigramPosting>* TrigramPostings(
+  std::span<const TrigramPosting> TrigramPostings(
       std::string_view gram) const;
 
   /// Id-keyed fast path of `TrigramPostings`: `gram_id` is a
   /// `sim::GramTable::Pack`ed trigram (as stored in
   /// `sim::PreparedName::gram_ids`).
-  const std::vector<TrigramPosting>* TrigramPostings(uint32_t gram_id) const;
+  std::span<const TrigramPosting> TrigramPostings(uint32_t gram_id) const;
 
   /// Elements whose folded name equals `folded` (sorted ordinals).
   const std::vector<uint32_t>* NameBucket(std::string_view folded) const;
@@ -183,6 +184,11 @@ class PreparedRepository {
 
  private:
   PreparedRepository() = default;
+
+  /// The snapshot serializer/deserializer (index/snapshot.cc) reads and
+  /// rebuilds the private structures directly — it is the *only* other
+  /// writer of this class, so the invariants stay in two audited places.
+  friend struct SnapshotCodec;
 
   template <typename Map>
   static const typename Map::mapped_type* Find(const Map& map,
@@ -200,12 +206,22 @@ class PreparedRepository {
   /// survive moves of this object.
   std::unique_ptr<sim::TokenTable> token_table_ =
       std::make_unique<sim::TokenTable>();
-  /// Dense by interned token id (flat-array lookup on the query hot path).
-  std::vector<std::vector<uint32_t>> token_postings_;
+  /// Token postings in CSR form, dense by interned token id: the postings
+  /// of token `t` are `token_posting_entries_[token_posting_offsets_[t] ..
+  /// token_posting_offsets_[t + 1])`. Two flat arrays instead of one
+  /// vector per token: cache-friendly on the query hot path and bulk
+  /// loadable from a snapshot.
+  std::vector<uint32_t> token_posting_offsets_;
+  std::vector<uint32_t> token_posting_entries_;
   std::unordered_map<int, std::vector<uint32_t>> token_group_postings_;
-  /// Keyed by packed trigram id (`sim::GramTable::Pack`) — integer hashing
-  /// instead of per-lookup string temporaries.
-  std::unordered_map<uint32_t, std::vector<TrigramPosting>> trigram_postings_;
+  /// Trigram postings in sorted-key CSR form: `trigram_keys_` holds the
+  /// distinct packed gram ids (`sim::GramTable::Pack`, ascending), and the
+  /// postings of `trigram_keys_[i]` are
+  /// `trigram_entries_[trigram_offsets_[i] .. trigram_offsets_[i + 1])`.
+  /// Lookup is a binary search — no hashing, no per-gram heap blocks.
+  std::vector<uint32_t> trigram_keys_;
+  std::vector<uint32_t> trigram_offsets_;
+  std::vector<TrigramPosting> trigram_entries_;
   std::unordered_map<std::string, std::vector<uint32_t>> name_buckets_;
   std::unordered_map<int, std::vector<uint32_t>> name_group_buckets_;
   std::unordered_map<std::string, std::vector<uint32_t>> type_buckets_;

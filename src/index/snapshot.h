@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "index/prepared_repository.h"
+#include "schema/repository.h"
+#include "sim/name_similarity.h"
+
+/// \file snapshot.h
+/// \brief Versioned binary persistence for `PreparedRepository`.
+///
+/// The index is query-independent, so the "prepare once, serve many" story
+/// only completes when the prepared form survives the process: a snapshot
+/// saves everything `PreparedRepository::Build` computes — prepared names
+/// (folded form, interned gram/token ids, synonym groups, PEQ bitmasks),
+/// the shared `TokenTable`, every posting list and bucket, and the build
+/// stats — so a later process loads in one pass instead of re-deriving it
+/// all from the schemas.
+///
+/// **Guarantees.**
+///  * *Bit-identity*: a loaded index contains byte-for-byte the same
+///    prepared names and postings as the freshly built one, so every score,
+///    candidate list and match answer derived from it is bit-identical to
+///    the in-memory path (the snapshot stores no floating-point state at
+///    all — scores are recomputed from integer/string payloads by the same
+///    kernel).
+///  * *Fail-closed loading*: the fixed-size header carries a magic tag, a
+///    format version, a fingerprint of the scorer options the index was
+///    built with, a fingerprint of the source repository, and an FNV-1a
+///    checksum of the body. A snapshot that is truncated, corrupted,
+///    version-skewed, built under different options (folding, weights,
+///    synonym-table content) or over different schemas is rejected with an
+///    actionable error — it can never load into a silently wrong index.
+///
+/// File layout (all integers little-endian, see io/binary_io.h):
+///
+/// \code
+/// magic "SMBIDX1\n" | u32 version | u64 options_fp | u64 repo_fp
+///   | u64 body_size | u64 body_checksum | body (body_size bytes)
+/// \endcode
+///
+/// The body is written with sorted map keys, so saving the same index twice
+/// produces identical files (and save → load → save is byte-stable).
+
+namespace smb::index {
+
+/// Format version this binary writes and accepts.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// 8-byte magic prefix of every snapshot file.
+inline constexpr std::string_view kSnapshotMagic = "SMBIDX1\n";
+
+/// \brief Serializes `prepared` to the snapshot wire format (header+body).
+std::string EncodeSnapshot(const PreparedRepository& prepared);
+
+/// \brief Decodes a snapshot against the repository and scorer options the
+/// caller is about to match with. Rejects (with `kParseError` /
+/// `kFailedPrecondition`) anything that is not a well-formed snapshot of
+/// exactly this repository under exactly these options; the returned index
+/// references `repo` and `name_options.synonyms`, which must outlive it.
+///
+/// The element payload is chunked on the wire, so `num_threads > 1`
+/// decodes chunks on a worker pool (0 = hardware concurrency). The result
+/// is identical for every thread count.
+Result<PreparedRepository> DecodeSnapshot(
+    std::string_view bytes, const schema::SchemaRepository& repo,
+    const sim::NameSimilarityOptions& name_options, size_t num_threads = 1);
+
+/// \brief `EncodeSnapshot` to a file (overwrite, atomic-enough: full buffer
+/// written in one stream).
+Status SaveSnapshot(const PreparedRepository& prepared,
+                    const std::string& path);
+
+/// \brief `DecodeSnapshot` from a file. A missing file yields `kNotFound`
+/// (so callers can fall back to Build-then-Save); every other failure is a
+/// hard rejection.
+Result<PreparedRepository> LoadSnapshot(
+    const std::string& path, const schema::SchemaRepository& repo,
+    const sim::NameSimilarityOptions& name_options, size_t num_threads = 1);
+
+}  // namespace smb::index

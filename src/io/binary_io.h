@@ -1,0 +1,197 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file binary_io.h
+/// \brief Little-endian binary encoding shared by the persistence layer.
+///
+/// The snapshot format (index/snapshot.h) must be byte-stable across
+/// compilers and platforms, so every multi-byte value goes through these
+/// explicit little-endian writers/readers instead of memcpy'ing structs.
+/// The reader is fully bounds-checked: any read past the end of the input
+/// fails with a `kParseError` ("truncated") status instead of touching
+/// out-of-range memory — corrupted or truncated files surface as clean
+/// errors, never as crashes.
+
+namespace smb::io {
+
+/// \brief Appends little-endian encoded values to a byte buffer.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t value);
+  void WriteU16(uint16_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value);
+  /// Length-prefixed (u32) byte string.
+  void WriteString(std::string_view value);
+  /// Raw bytes, no length prefix (header fields of fixed width).
+  void WriteBytes(std::string_view bytes);
+
+  /// \name Length-prefixed (u32 count) homogeneous arrays.
+  /// @{
+  void WriteU16Vector(const std::vector<uint16_t>& values);
+  void WriteU32Vector(const std::vector<uint32_t>& values);
+  void WriteI32Vector(const std::vector<int32_t>& values);
+  void WriteU64Vector(const std::vector<uint64_t>& values);
+  void WriteCharVector(const std::vector<char>& values);
+  void WriteStringVector(const std::vector<std::string>& values);
+  /// @}
+
+  /// \brief Length-prefixed integer array from any contiguous container of
+  /// 1/2/4/8-byte integers (`std::vector`, `SmallVector`). The element
+  /// width is taken from the container's value_type, so the wire format is
+  /// identical to the matching WriteXxxVector call.
+  template <typename Container>
+  void WriteIntArray(const Container& values) {
+    using T = typename Container::value_type;
+    static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                  sizeof(T) == 8);
+    WriteU32(static_cast<uint32_t>(values.size()));
+    for (const T value : values) {
+      if constexpr (sizeof(T) == 1) {
+        WriteU8(static_cast<uint8_t>(value));
+      } else if constexpr (sizeof(T) == 2) {
+        WriteU16(static_cast<uint16_t>(value));
+      } else if constexpr (sizeof(T) == 4) {
+        WriteU32(static_cast<uint32_t>(value));
+      } else {
+        WriteU64(static_cast<uint64_t>(value));
+      }
+    }
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// \brief Bounds-checked little-endian reader over a byte range.
+///
+/// Every accessor consumes from the front; reads beyond the remaining
+/// bytes return `kParseError`. `context` (when given) prefixes the error
+/// messages so callers can tell *what* was being decoded when the input
+/// ran out.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8(std::string_view context = "u8");
+  Result<uint16_t> ReadU16(std::string_view context = "u16");
+  Result<uint32_t> ReadU32(std::string_view context = "u32");
+  Result<uint64_t> ReadU64(std::string_view context = "u64");
+  Result<int32_t> ReadI32(std::string_view context = "i32");
+  /// Length-prefixed (u32) byte string.
+  Result<std::string> ReadString(std::string_view context = "string");
+  /// Raw bytes of fixed width, no length prefix.
+  Result<std::string> ReadBytes(size_t count,
+                                std::string_view context = "bytes");
+
+  /// \name Length-prefixed homogeneous arrays. The element count is
+  /// validated against the remaining byte budget *before* any allocation,
+  /// so a corrupted length cannot trigger a pathological reserve.
+  /// @{
+  Result<std::vector<uint16_t>> ReadU16Vector(
+      std::string_view context = "u16 array");
+  Result<std::vector<uint32_t>> ReadU32Vector(
+      std::string_view context = "u32 array");
+  Result<std::vector<int32_t>> ReadI32Vector(
+      std::string_view context = "i32 array");
+  Result<std::vector<uint64_t>> ReadU64Vector(
+      std::string_view context = "u64 array");
+  Result<std::vector<char>> ReadCharVector(
+      std::string_view context = "char array");
+  Result<std::vector<std::string>> ReadStringVector(
+      std::string_view context = "string array");
+  /// @}
+
+  /// \brief Decodes a length-prefixed integer array (the WriteIntArray
+  /// format) into any resizable contiguous container. Bounds-checked like
+  /// the vector reads; on little-endian targets multi-byte elements decode
+  /// with one memcpy.
+  template <typename Container>
+  Status ReadIntArrayInto(Container* out, std::string_view context) {
+    using T = typename Container::value_type;
+    static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                  sizeof(T) == 8);
+    SMB_ASSIGN_OR_RETURN(uint32_t count, ReadU32(context));
+    const size_t bytes = size_t{count} * sizeof(T);
+    SMB_RETURN_IF_ERROR(Need(bytes, context));
+    out->resize(count);
+    if constexpr (sizeof(T) == 1 ||
+                  std::endian::native == std::endian::little) {
+      if (count > 0) {
+        std::memcpy(out->data(), data_.data() + offset_, bytes);
+      }
+      offset_ += bytes;
+    } else {
+      for (uint32_t i = 0; i < count; ++i) {
+        if constexpr (sizeof(T) == 2) {
+          (*out)[i] = static_cast<T>(RawU16());
+        } else if constexpr (sizeof(T) == 4) {
+          (*out)[i] = static_cast<T>(RawU32());
+        } else {
+          (*out)[i] = static_cast<T>(RawU64());
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Advances past `count` bytes without decoding them (section jumps).
+  Status Skip(size_t count, std::string_view context = "skip");
+
+  /// The `count` bytes at the cursor as a view into the input (no copy),
+  /// consuming them. The view shares the input's lifetime.
+  Result<std::string_view> View(size_t count,
+                                std::string_view context = "view");
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - offset_; }
+
+  /// Bytes consumed so far.
+  size_t offset() const { return offset_; }
+
+ private:
+  Status Need(size_t count, std::string_view context);
+
+  /// \name Unchecked little-endian decodes — callers must have cleared the
+  /// byte budget with `Need` first. These keep the bulk array reads free of
+  /// per-element `Result` wrapping (the snapshot loader decodes millions of
+  /// integers; see BM_SnapshotLoad).
+  /// @{
+  uint16_t RawU16();
+  uint32_t RawU32();
+  uint64_t RawU64();
+  /// @}
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+/// \brief FNV-1a 64-bit hash of a byte range.
+uint64_t Fnv1a64(std::string_view bytes,
+                 uint64_t seed = 0xcbf29ce484222325ull);
+
+/// \brief Fast 64-bit integrity checksum (FNV-1a over little-endian 8-byte
+/// words, length-seeded). ~8x faster than the byte-wise FNV on large
+/// buffers — this is what the snapshot body uses. Not cryptographic.
+uint64_t Checksum64(std::string_view bytes);
+
+/// \brief Writes bytes to `path` (overwrite, binary mode).
+Status WriteBinaryFile(const std::string& path, std::string_view content);
+
+/// \brief Reads a whole file as bytes. A missing file yields `kNotFound`
+/// (callers use this to distinguish "build it" from "reject it").
+Result<std::string> ReadBinaryFile(const std::string& path);
+
+}  // namespace smb::io

@@ -1,0 +1,137 @@
+#include "io/fingerprint.h"
+
+#include <bit>
+
+#include "common/strings.h"
+#include "sim/synonyms.h"
+
+namespace smb::io {
+
+Fingerprinter& Fingerprinter::Bytes(const void* data, size_t size) {
+  // FNV-1a folded over little-endian 8-byte words (with a length-framed
+  // tail): one multiply per word instead of per byte, so fingerprinting a
+  // whole repository costs microseconds on the snapshot-load path. The
+  // word assembly is endian-explicit, keeping digests platform stable.
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<uint64_t>(bytes[i + b]) << (8 * b);
+    }
+    state_ ^= word;
+    state_ *= 0x100000001b3ull;
+  }
+  uint64_t tail = 1;  // non-zero pad so trailing zero bytes are visible
+  for (int b = 0; i < size; ++i, ++b) {
+    tail = (tail << 8) | bytes[i];
+  }
+  state_ ^= tail;
+  state_ *= 0x100000001b3ull;
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::U64(uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+  return Bytes(bytes, sizeof(bytes));
+}
+
+Fingerprinter& Fingerprinter::I64(int64_t value) {
+  return U64(static_cast<uint64_t>(value));
+}
+
+Fingerprinter& Fingerprinter::Bool(bool value) {
+  return U64(value ? 1 : 0);
+}
+
+Fingerprinter& Fingerprinter::Double(double value) {
+  return U64(std::bit_cast<uint64_t>(value));
+}
+
+Fingerprinter& Fingerprinter::String(std::string_view value) {
+  U64(value.size());
+  return Bytes(value.data(), value.size());
+}
+
+uint64_t FingerprintNameOptions(const sim::NameSimilarityOptions& options) {
+  Fingerprinter fp;
+  fp.Double(options.weight_levenshtein)
+      .Double(options.weight_jaro_winkler)
+      .Double(options.weight_trigram)
+      .Double(options.weight_token)
+      .Bool(options.case_insensitive)
+      .Double(options.synonym_score)
+      .Bool(options.synonyms != nullptr);
+  if (options.synonyms != nullptr) {
+    fp.U64(options.synonyms->ContentFingerprint());
+  }
+  return fp.digest();
+}
+
+uint64_t FingerprintObjectiveOptions(const match::ObjectiveOptions& options) {
+  Fingerprinter fp;
+  fp.U64(FingerprintNameOptions(options.name))
+      .Double(options.weight_name)
+      .Double(options.weight_structure)
+      .Double(options.ancestor_penalty_base)
+      .Double(options.ancestor_penalty_step)
+      .Double(options.inverted_penalty)
+      .Double(options.unrelated_penalty_base)
+      .Double(options.unrelated_penalty_step)
+      .Double(options.collapsed_penalty)
+      .Bool(options.type_aware)
+      .Double(options.type_mismatch_penalty);
+  return fp.digest();
+}
+
+uint64_t FingerprintMatchOptions(const match::MatchOptions& options) {
+  Fingerprinter fp;
+  fp.Double(options.delta_threshold)
+      .Bool(options.injective)
+      .U64(options.max_query_elements)
+      .U64(FingerprintObjectiveOptions(options.objective));
+  return fp.digest();
+}
+
+uint64_t FingerprintPreparedSchema(
+    const schema::Schema& schema,
+    const sim::NameSimilarityOptions& name_options) {
+  Fingerprinter fp;
+  const std::vector<schema::NodeId> preorder = schema.PreOrder();
+  fp.U64(preorder.size());
+  // Parent links are hashed as pre-order positions so the fingerprint sees
+  // the tree *shape*, independent of the schema's internal id assignment.
+  std::vector<size_t> position_of(preorder.size(), 0);
+  for (size_t pos = 0; pos < preorder.size(); ++pos) {
+    position_of[static_cast<size_t>(preorder[pos])] = pos;
+  }
+  for (schema::NodeId id : preorder) {
+    const schema::SchemaNode& node = schema.node(id);
+    fp.String(name_options.case_insensitive ? ToLower(node.name) : node.name)
+        .String(node.type)
+        .I64(node.parent == schema::kInvalidNode
+                 ? -1
+                 : static_cast<int64_t>(
+                       position_of[static_cast<size_t>(node.parent)]));
+  }
+  return fp.digest();
+}
+
+uint64_t FingerprintRepository(const schema::SchemaRepository& repo) {
+  Fingerprinter fp;
+  fp.U64(repo.schema_count()).U64(repo.total_elements());
+  for (const schema::Schema& schema : repo.schemas()) {
+    fp.U64(schema.size());
+    for (size_t n = 0; n < schema.size(); ++n) {
+      const schema::SchemaNode& node =
+          schema.node(static_cast<schema::NodeId>(n));
+      fp.String(node.name).String(node.type).I64(node.parent);
+    }
+  }
+  return fp.digest();
+}
+
+}  // namespace smb::io

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "match/matcher.h"
+#include "match/objective.h"
+#include "schema/repository.h"
+#include "schema/schema.h"
+#include "sim/name_similarity.h"
+
+/// \file fingerprint.h
+/// \brief Stable 64-bit content fingerprints of the objects whose identity
+/// persistence and caching decisions hinge on.
+///
+/// Two consumers:
+///  * **index snapshots** (index/snapshot.h) store the fingerprint of the
+///    scorer options and of the repository they were built over, so a
+///    snapshot loaded against different options or different schemas is
+///    rejected instead of silently producing wrong scores;
+///  * the **serve-mode query cache** (engine/query_cache.h) keys results by
+///    (prepared query fingerprint, match-options fingerprint) — equal
+///    fingerprints mean the engine would reproduce the exact same answers.
+///
+/// Fingerprints hash *content*, never pointers: doubles by their IEEE bit
+/// patterns, strings length-prefixed, synonym tables via
+/// `sim::SynonymTable::ContentFingerprint`. They are stable across runs and
+/// platforms (FNV-1a over a defined byte sequence), but are not
+/// cryptographic — collisions are astronomically unlikely, not impossible.
+
+namespace smb::io {
+
+/// \brief Incremental FNV-1a 64 hasher with typed, length-framed appends
+/// (so concatenation ambiguities — "ab" + "c" vs "a" + "bc" — cannot
+/// produce equal digests).
+class Fingerprinter {
+ public:
+  Fingerprinter& Bytes(const void* data, size_t size);
+  Fingerprinter& U64(uint64_t value);
+  Fingerprinter& I64(int64_t value);
+  Fingerprinter& Bool(bool value);
+  /// IEEE-754 bit pattern — bit-identical doubles, identical digest.
+  Fingerprinter& Double(double value);
+  /// Length-prefixed string content.
+  Fingerprinter& String(std::string_view value);
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// \brief Fingerprint of every scorer knob in `options` (weights, folding,
+/// synonym score and the synonym table *content*).
+uint64_t FingerprintNameOptions(const sim::NameSimilarityOptions& options);
+
+/// \brief Fingerprint of the full objective (name options + structural
+/// penalties + type handling).
+uint64_t FingerprintObjectiveOptions(const match::ObjectiveOptions& options);
+
+/// \brief Fingerprint of a match run's result-determining parameters:
+/// Δ threshold, injectivity, query-size cap and the objective. Thread
+/// counts and shard sizes are deliberately excluded — they never change
+/// answers (the engine's equivalence guarantee).
+uint64_t FingerprintMatchOptions(const match::MatchOptions& options);
+
+/// \brief Fingerprint of a schema's matching-relevant content: per node in
+/// pre-order, the name *after folding per `name_options`*, the declared
+/// type, and the parent's pre-order position. Two queries equal after
+/// folding fingerprint identically — they provably produce identical
+/// answers, which is what lets the serve cache share their entry.
+uint64_t FingerprintPreparedSchema(const schema::Schema& schema,
+                                   const sim::NameSimilarityOptions& name_options);
+
+/// \brief Fingerprint of every schema of the repository (exact names and
+/// types, no folding): the snapshot's proof it is being reloaded against
+/// the same repository it was built over.
+uint64_t FingerprintRepository(const schema::SchemaRepository& repo);
+
+}  // namespace smb::io

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "sim/synonyms.h"
 #include "sim/token_similarity.h"
 
@@ -50,6 +51,16 @@ class TokenTable;  // prepared_kernel.h — token-id interner
 /// sorted trigram ids, per-token interned ids and synonym groups, and the
 /// per-character `PEQ` bitmasks of Myers' bit-parallel Levenshtein.
 struct PreparedName {
+  /// Inline capacities of the kernel arrays: one cache-friendly object
+  /// with zero heap allocations for typical identifier names (a name of
+  /// up to `kInlineGrams - 2` characters produces that many padded
+  /// trigrams and at most as many distinct PEQ characters). Longer names
+  /// spill to the heap transparently. Millions of these are built per
+  /// workload — index build, dense pool fill, snapshot load — so the
+  /// allocation count is the dominant non-compute cost.
+  static constexpr size_t kInlineGrams = 20;
+  static constexpr size_t kInlineTokens = 6;
+
   /// The name, lower-cased when `case_insensitive` is set.
   std::string folded;
   /// `SplitIdentifier(folded)` — input of the token measure.
@@ -59,19 +70,19 @@ struct PreparedName {
 
   /// Sorted packed padded-trigram ids of `folded` (`GramTable::Pack`);
   /// the same multiset `ExtractNgrams(folded, 3)` yields.
-  std::vector<uint32_t> gram_ids;
+  SmallVector<uint32_t, kInlineGrams> gram_ids;
   /// Per-token interned id (parallel to `tokens`); `kUnknownTokenId` for
   /// tokens a lookup-only table did not know. Empty when prepared without
   /// a `TokenTable`.
-  std::vector<uint32_t> token_ids;
+  SmallVector<uint32_t, kInlineTokens> token_ids;
   /// Per-token synonym group (parallel to `tokens`, -1 = none). Empty when
   /// `options.synonyms == nullptr`.
-  std::vector<int32_t> token_groups;
+  SmallVector<int32_t, kInlineTokens> token_groups;
   /// Distinct characters of `folded` with their position bitmasks — the
   /// `PEQ` rows of Myers' algorithm. Filled only when `folded` has 1..64
   /// characters (the single-word fast path).
-  std::vector<char> peq_chars;
-  std::vector<uint64_t> peq_masks;
+  SmallVector<char, kInlineGrams> peq_chars;
+  SmallVector<uint64_t, kInlineGrams> peq_masks;
   /// Synonym group of the whole folded name (-1 = none).
   int32_t name_group = -1;
   /// Provenance: tables the ids/groups above are valid under. The kernel

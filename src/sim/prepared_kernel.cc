@@ -222,8 +222,8 @@ double JaroWinklerScratch(std::string_view a, std::string_view b,
 /// Multiset intersection of two sorted id arrays — the integer twin of
 /// ngram.cc's SortedIntersectionSize (the count is order-invariant, so any
 /// consistent sort key gives the same value).
-size_t SortedIdIntersection(const std::vector<uint32_t>& a,
-                            const std::vector<uint32_t>& b) {
+size_t SortedIdIntersection(std::span<const uint32_t> a,
+                            std::span<const uint32_t> b) {
   size_t i = 0, j = 0, count = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {
@@ -241,11 +241,12 @@ size_t SortedIdIntersection(const std::vector<uint32_t>& a,
 
 double DiceKernel(const PreparedName& a, const PreparedName& b) {
   if (a.folded.empty() && b.folded.empty()) return 1.0;
-  const std::vector<uint32_t>& ga = a.gram_ids;
-  const std::vector<uint32_t>& gb = b.gram_ids;
+  const auto& ga = a.gram_ids;
+  const auto& gb = b.gram_ids;
   if (ga.empty() && gb.empty()) return 1.0;
   if (ga.empty() || gb.empty()) return 0.0;
-  size_t inter = SortedIdIntersection(ga, gb);
+  size_t inter =
+      SortedIdIntersection({ga.data(), ga.size()}, {gb.data(), gb.size()});
   return 2.0 * static_cast<double>(inter) /
          static_cast<double>(ga.size() + gb.size());
 }
@@ -377,25 +378,6 @@ std::string GramTable::Unpack(uint32_t id) {
   return gram;
 }
 
-void GramTable::AppendPaddedGramIds(std::string_view folded,
-                                    std::vector<uint32_t>* out) {
-  if (folded.empty()) return;
-  const size_t n = folded.size();
-  // Conceptually "##" + folded + "##" without materializing the padding.
-  auto at = [&](size_t i) -> unsigned char {
-    return (i < 2 || i >= n + 2) ? static_cast<unsigned char>('#')
-                                 : static_cast<unsigned char>(folded[i - 2]);
-  };
-  const size_t grams = n + 2;
-  out->reserve(out->size() + grams);
-  for (size_t i = 0; i < grams; ++i) {
-    out->push_back(Pack(at(i), at(i + 1), at(i + 2)));
-  }
-  // Packing is order-preserving for byte strings, so sorted ids are the
-  // sorted grams of ExtractNgrams — same multiset, integer representation.
-  std::sort(out->begin(), out->end());
-}
-
 std::vector<uint32_t> GramTable::PaddedGramIds(std::string_view folded) {
   std::vector<uint32_t> ids;
   AppendPaddedGramIds(folded, &ids);
@@ -412,6 +394,14 @@ uint32_t TokenTable::Intern(std::string_view token) {
 uint32_t TokenTable::Lookup(std::string_view token) const {
   auto it = ids_.find(token);
   return it == ids_.end() ? kUnknownTokenId : it->second;
+}
+
+std::vector<std::string_view> TokenTable::OrderedTokens() const {
+  std::vector<std::string_view> tokens(ids_.size());
+  for (const auto& [token, id] : ids_) {
+    tokens[id] = token;
+  }
+  return tokens;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -74,9 +75,28 @@ struct GramTable {
 
   /// \brief Appends the packed padded trigrams of `folded` — the exact
   /// multiset `ExtractNgrams(folded, 3)` produces — and sorts the ids.
-  /// Empty input yields no grams.
-  static void AppendPaddedGramIds(std::string_view folded,
-                                  std::vector<uint32_t>* out);
+  /// Empty input yields no grams. Works on any push_back/sortable id
+  /// container (`std::vector`, the inline arrays of `PreparedName`).
+  template <typename Container>
+  static void AppendPaddedGramIds(std::string_view folded, Container* out) {
+    if (folded.empty()) return;
+    const size_t n = folded.size();
+    // Conceptually "##" + folded + "##" without materializing the padding.
+    auto at = [&](size_t i) -> unsigned char {
+      return (i < 2 || i >= n + 2)
+                 ? static_cast<unsigned char>('#')
+                 : static_cast<unsigned char>(folded[i - 2]);
+    };
+    const size_t grams = n + 2;
+    out->reserve(out->size() + grams);
+    for (size_t i = 0; i < grams; ++i) {
+      out->push_back(Pack(at(i), at(i + 1), at(i + 2)));
+    }
+    // Packing is order-preserving for byte strings, so sorted ids are the
+    // sorted grams of ExtractNgrams — same multiset, integer
+    // representation.
+    std::sort(out->begin(), out->end());
+  }
 
   /// Convenience wrapper returning a fresh sorted id vector.
   static std::vector<uint32_t> PaddedGramIds(std::string_view folded);
@@ -100,12 +120,20 @@ class TokenTable {
   /// assigned in first-seen order.
   uint32_t Intern(std::string_view token);
 
+  /// Pre-sizes the hash table for `n` tokens (bulk loads).
+  void Reserve(size_t n) { ids_.reserve(n); }
+
   /// Returns the id of `token`, or `kUnknownTokenId` if it was never
   /// interned. Never mutates — safe for concurrent readers.
   uint32_t Lookup(std::string_view token) const;
 
   /// Number of distinct interned tokens.
   size_t size() const { return ids_.size(); }
+
+  /// \brief The interned tokens in id order (`result[i]` has id `i`).
+  /// Interning `result[0..n)` into a fresh table reproduces this table's
+  /// ids exactly — the snapshot round-trip relies on that.
+  std::vector<std::string_view> OrderedTokens() const;
 
  private:
   /// Transparent hashing: lookups probe with the string_view directly, no

@@ -45,6 +45,23 @@ int SynonymTable::GroupOf(std::string_view word) const {
   return it == group_of_.end() ? -1 : it->second;
 }
 
+uint64_t SynonymTable::ContentFingerprint() const {
+  // Summing one FNV-1a hash per (word, group) pair is commutative, so the
+  // unordered_map's iteration order cannot leak into the fingerprint.
+  uint64_t combined = 0x9e3779b97f4a7c15ull + group_of_.size();
+  for (const auto& [word, group] : group_of_) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : word) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= static_cast<uint64_t>(group) + 0x9e3779b97f4a7c15ull;
+    h *= 0x100000001b3ull;
+    combined += h;
+  }
+  return combined;
+}
+
 SynonymTable SynonymTable::Builtin() {
   SynonymTable table;
   // E-commerce.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -36,6 +37,12 @@ class SynonymTable {
 
   /// Number of words across all groups.
   size_t word_count() const { return group_of_.size(); }
+
+  /// \brief Order-independent hash of the table's content (every
+  /// word → group pair). Two tables built by the same AddGroup sequence
+  /// fingerprint identically; persisted artifacts (index snapshots) store
+  /// this to reject reuse under a different dictionary.
+  uint64_t ContentFingerprint() const;
 
   /// \brief A built-in table covering the e-commerce / bibliographic /
   /// HR vocabulary used by the synthetic collection generator.

@@ -1,0 +1,126 @@
+#include "common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace smb {
+namespace {
+
+TEST(SmallVectorTest, InlineUntilCapacityThenHeap) {
+  SmallVector<uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);               // spills to the heap
+  EXPECT_GT(v.capacity(), 4u);
+  ASSERT_EQ(v.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, ResizeGrowsZeroedAndShrinksDestroying) {
+  SmallVector<uint64_t, 2> v;
+  v.resize(5);
+  ASSERT_EQ(v.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0u);
+  v[4] = 42;
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.resize(6);
+  EXPECT_EQ(v[5], 0u);  // value-constructed again
+}
+
+TEST(SmallVectorTest, CopyAndMoveInlineAndHeap) {
+  for (size_t n : {size_t{3}, size_t{20}}) {  // inline and heap cases
+    SmallVector<uint32_t, 4> source;
+    for (uint32_t i = 0; i < n; ++i) source.push_back(i * 7);
+
+    SmallVector<uint32_t, 4> copied(source);
+    EXPECT_TRUE(copied == source);
+
+    SmallVector<uint32_t, 4> moved(std::move(source));
+    EXPECT_TRUE(moved == copied);
+    EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move)
+
+    SmallVector<uint32_t, 4> assigned;
+    assigned.push_back(999);
+    assigned = copied;
+    EXPECT_TRUE(assigned == copied);
+
+    SmallVector<uint32_t, 4> move_assigned;
+    move_assigned.push_back(1);
+    move_assigned = std::move(moved);
+    EXPECT_TRUE(move_assigned == copied);
+  }
+}
+
+TEST(SmallVectorTest, NonTrivialElementType) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back(std::string(100, 'x'));  // heap-allocated content
+  v.push_back("gamma");                // vector itself spills to heap
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[1], std::string(100, 'x'));
+  EXPECT_EQ(v[2], "gamma");
+
+  SmallVector<std::string, 2> copy = v;
+  v.clear();
+  EXPECT_EQ(copy[1], std::string(100, 'x'));
+  copy.resize(1);
+  EXPECT_EQ(copy.size(), 1u);
+}
+
+TEST(SmallVectorTest, IterationAndEquality) {
+  SmallVector<int32_t, 8> a, b;
+  for (int32_t i = -3; i < 3; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  EXPECT_TRUE(a == b);
+  size_t count = 0;
+  int32_t sum = 0;
+  for (int32_t x : a) {
+    ++count;
+    sum += x;
+  }
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(sum, -3);
+  b.push_back(7);
+  EXPECT_TRUE(a != b);
+  b.resize(6);
+  EXPECT_TRUE(a == b);
+  b[0] = 100;
+  EXPECT_TRUE(a != b);
+}
+
+TEST(SmallVectorTest, PushBackOfOwnElementSurvivesGrowth) {
+  // push_back(v[i]) at exactly size == capacity must not read the element
+  // through a dangling reference while the storage relocates.
+  SmallVector<std::string, 2> v;
+  v.push_back(std::string(40, 'a'));  // heap-backed content
+  v.push_back(std::string(40, 'b'));
+  v.push_back(v[0]);  // inline -> heap growth
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], std::string(40, 'a'));
+  v.push_back(v.back());  // heap -> bigger heap growth (capacity 4 full)
+  v.push_back(v[1]);
+  EXPECT_EQ(v[3], std::string(40, 'a'));
+  EXPECT_EQ(v[4], std::string(40, 'b'));
+}
+
+TEST(SmallVectorTest, ReserveKeepsContents) {
+  SmallVector<uint32_t, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[1], 2u);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,73 @@
+#include "engine/query_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::engine {
+namespace {
+
+match::AnswerSet MakeAnswers(double delta) {
+  match::AnswerSet answers;
+  match::Mapping mapping;
+  mapping.schema_index = 0;
+  mapping.targets = {0};
+  mapping.delta = delta;
+  answers.Add(std::move(mapping));
+  answers.Finalize();
+  return answers;
+}
+
+TEST(QueryResultCacheTest, MissThenHit) {
+  QueryResultCache cache(4);
+  QueryCacheKey key{11, 22};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, MakeAnswers(0.125));
+  const match::AnswerSet* hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->mappings()[0].delta, 0.125);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(QueryResultCacheTest, DistinguishesQueryAndOptionsFingerprints) {
+  QueryResultCache cache(4);
+  cache.Insert({1, 1}, MakeAnswers(0.1));
+  EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
+  EXPECT_EQ(cache.Lookup({2, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+}
+
+TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
+  QueryResultCache cache(2);
+  cache.Insert({1, 0}, MakeAnswers(0.1));
+  cache.Insert({2, 0}, MakeAnswers(0.2));
+  // Touch 1 so 2 becomes the eviction victim.
+  EXPECT_NE(cache.Lookup({1, 0}), nullptr);
+  cache.Insert({3, 0}, MakeAnswers(0.3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup({2, 0}), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup({1, 0}), nullptr);
+  EXPECT_NE(cache.Lookup({3, 0}), nullptr);
+}
+
+TEST(QueryResultCacheTest, ReinsertReplacesAndRefreshes) {
+  QueryResultCache cache(2);
+  cache.Insert({1, 0}, MakeAnswers(0.1));
+  cache.Insert({2, 0}, MakeAnswers(0.2));
+  cache.Insert({1, 0}, MakeAnswers(0.9));  // replace + move to front
+  cache.Insert({3, 0}, MakeAnswers(0.3));  // evicts 2, not 1
+  const match::AnswerSet* one = cache.Lookup({1, 0});
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->mappings()[0].delta, 0.9);
+  EXPECT_EQ(cache.Lookup({2, 0}), nullptr);
+}
+
+TEST(QueryResultCacheTest, ZeroCapacityDisablesCaching) {
+  QueryResultCache cache(0);
+  cache.Insert({1, 0}, MakeAnswers(0.1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
+}
+
+}  // namespace
+}  // namespace smb::engine

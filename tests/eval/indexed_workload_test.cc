@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 
 #include "match/matcher_factory.h"
 #include "synth/generator.h"
@@ -126,6 +128,59 @@ TEST(IndexedWorkloadTest, WithoutCompareDenseSkipsDenseRuns) {
     EXPECT_EQ(report.dense_seconds, 0.0);
     EXPECT_EQ(report.dense_answers, 0u);
   }
+}
+
+TEST(IndexedWorkloadTest, SnapshotModeBuildsSavesThenLoads) {
+  WorkloadSetup setup = MakeSetup();
+  auto matcher = match::MakeMatcher("exhaustive", setup.repo);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  IndexedWorkloadOptions wopts;
+  wopts.candidate_limit = 8;
+  wopts.snapshot_path = ::testing::TempDir() + "/smb_workload_snapshot.bin";
+  std::remove(wopts.snapshot_path.c_str());
+
+  // First run: no snapshot yet — build, save, report build time.
+  auto first = RunIndexedWorkload(**matcher, setup.problems, setup.repo,
+                                  setup.options, {0.1, 0.25}, wopts);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->loaded_from_snapshot);
+  EXPECT_GT(first->index_build_seconds, 0.0);
+  EXPECT_EQ(first->index_load_seconds, 0.0);
+
+  // Second run: the saved snapshot is loaded; answers identical.
+  auto second = RunIndexedWorkload(**matcher, setup.problems, setup.repo,
+                                   setup.options, {0.1, 0.25}, wopts);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->loaded_from_snapshot);
+  EXPECT_GT(second->index_load_seconds, 0.0);
+  EXPECT_EQ(second->index_build_seconds, 0.0);
+  ASSERT_EQ(first->answers.size(), second->answers.size());
+  for (size_t p = 0; p < first->answers.size(); ++p) {
+    const auto& a = first->answers[p];
+    const auto& b = second->answers[p];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.mappings()[i].key(), b.mappings()[i].key());
+      EXPECT_EQ(a.mappings()[i].delta, b.mappings()[i].delta);
+    }
+  }
+
+  // A corrupted snapshot is a hard error — never a silent rebuild.
+  {
+    std::ifstream in(wopts.snapshot_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 100u);
+    bytes[100] ^= 0x7F;  // guaranteed to differ from the original
+    std::ofstream out(wopts.snapshot_path,
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto corrupted = RunIndexedWorkload(**matcher, setup.problems, setup.repo,
+                                      setup.options, {0.1, 0.25}, wopts);
+  ASSERT_FALSE(corrupted.ok());
+  std::remove(wopts.snapshot_path.c_str());
 }
 
 TEST(IndexedWorkloadTest, RejectsEmptyWorkloadAndZeroLimit) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "sim/ngram.h"
 #include "sim/synonyms.h"
@@ -64,21 +65,21 @@ TEST(PreparedRepositoryTest, TokenPostingsFindSharedTokens) {
 
   // Tokenization runs on the *folded* name (same as the similarity path):
   // "order" posts under "order"; "orderId" folds to "orderid", one token.
-  const std::vector<uint32_t>* postings = prepared->TokenPostings("order");
-  ASSERT_NE(postings, nullptr);
-  EXPECT_TRUE(std::is_sorted(postings->begin(), postings->end()));
-  auto contains = [&](const std::vector<uint32_t>* p, int32_t si,
+  std::span<const uint32_t> postings = prepared->TokenPostings("order");
+  ASSERT_FALSE(postings.empty());
+  EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+  auto contains = [&](std::span<const uint32_t> p, int32_t si,
                       schema::NodeId node) {
-    return std::find(p->begin(), p->end(), prepared->OrdinalOf(si, node)) !=
-           p->end();
+    return std::find(p.begin(), p.end(), prepared->OrdinalOf(si, node)) !=
+           p.end();
   };
   EXPECT_TRUE(contains(postings, 0, 1));   // "order"
   EXPECT_FALSE(contains(postings, 0, 4));  // "inventory"
-  const std::vector<uint32_t>* orderid = prepared->TokenPostings("orderid");
-  ASSERT_NE(orderid, nullptr);
+  std::span<const uint32_t> orderid = prepared->TokenPostings("orderid");
+  ASSERT_FALSE(orderid.empty());
   EXPECT_TRUE(contains(orderid, 0, 2));  // "orderId" folded
 
-  EXPECT_EQ(prepared->TokenPostings("no-such-token"), nullptr);
+  EXPECT_TRUE(prepared->TokenPostings("no-such-token").empty());
 }
 
 TEST(PreparedRepositoryTest, TrigramPostingsCarryMultiplicities) {
@@ -92,15 +93,13 @@ TEST(PreparedRepositoryTest, TrigramPostingsCarryMultiplicities) {
 
   // "##papapa##" contains "apa" twice — the posting carries the multiset
   // count the exact Dice computation needs.
-  const std::vector<TrigramPosting>* postings =
-      prepared->TrigramPostings("apa");
-  ASSERT_NE(postings, nullptr);
-  ASSERT_EQ(postings->size(), 1u);
-  EXPECT_EQ((*postings)[0].ordinal, prepared->OrdinalOf(0, 0));
-  EXPECT_EQ((*postings)[0].count, 2u);
+  std::span<const TrigramPosting> postings = prepared->TrigramPostings("apa");
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].ordinal, prepared->OrdinalOf(0, 0));
+  EXPECT_EQ(postings[0].count, 2u);
   EXPECT_EQ(prepared->element(0).trigram_count,
             sim::ExtractNgrams("papapa", 3).size());
-  EXPECT_EQ(prepared->TrigramPostings("zzz"), nullptr);
+  EXPECT_TRUE(prepared->TrigramPostings("zzz").empty());
 }
 
 TEST(PreparedRepositoryTest, NameAndTypeBuckets) {

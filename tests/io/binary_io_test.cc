@@ -1,0 +1,147 @@
+#include "io/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "common/small_vector.h"
+
+namespace smb::io {
+namespace {
+
+TEST(BinaryIoTest, ScalarsRoundTripLittleEndian) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-42);
+  w.WriteString("hello");
+
+  // The wire layout is defined: little-endian, length-prefixed strings.
+  const std::string& bytes = w.buffer();
+  ASSERT_EQ(bytes.size(), 1 + 2 + 4 + 8 + 4 + 4 + 5);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x34);  // u16 low byte
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0xEF);  // u32 low byte
+
+  BinaryReader r(bytes);
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU16().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadI32().value(), -42);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIoTest, VectorsRoundTrip) {
+  BinaryWriter w;
+  w.WriteU16Vector({1, 2, 65535});
+  w.WriteU32Vector({});
+  w.WriteI32Vector({-1, 0, 1});
+  w.WriteU64Vector({std::numeric_limits<uint64_t>::max()});
+  w.WriteCharVector({'a', 'b'});
+  w.WriteStringVector({"x", "", "yz"});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU16Vector().value(), (std::vector<uint16_t>{1, 2, 65535}));
+  EXPECT_TRUE(r.ReadU32Vector().value().empty());
+  EXPECT_EQ(r.ReadI32Vector().value(), (std::vector<int32_t>{-1, 0, 1}));
+  EXPECT_EQ(r.ReadU64Vector().value(),
+            (std::vector<uint64_t>{std::numeric_limits<uint64_t>::max()}));
+  EXPECT_EQ(r.ReadCharVector().value(), (std::vector<char>{'a', 'b'}));
+  EXPECT_EQ(r.ReadStringVector().value(),
+            (std::vector<std::string>{"x", "", "yz"}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIoTest, IntArraysInterchangeWithVectorsAndSmallVectors) {
+  SmallVector<uint32_t, 4> small;
+  for (uint32_t i = 0; i < 10; ++i) small.push_back(i * i);
+  BinaryWriter w;
+  w.WriteIntArray(small);
+
+  // Same bytes as the std::vector writer — one wire format, two containers.
+  BinaryWriter w2;
+  w2.WriteU32Vector(std::vector<uint32_t>(small.begin(), small.end()));
+  EXPECT_EQ(w.buffer(), w2.buffer());
+
+  BinaryReader r(w.buffer());
+  SmallVector<uint32_t, 4> back;
+  ASSERT_TRUE(r.ReadIntArrayInto(&back, "test").ok());
+  EXPECT_TRUE(back == small);
+}
+
+TEST(BinaryIoTest, EveryTruncatedReadFails) {
+  BinaryWriter w;
+  w.WriteU32Vector({1, 2, 3});
+  w.WriteString("payload");
+  const std::string& bytes = w.buffer();
+
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    BinaryReader r(std::string_view(bytes).substr(0, keep));
+    auto ints = r.ReadU32Vector("ints");
+    if (!ints.ok()) {
+      EXPECT_EQ(ints.status().code(), StatusCode::kParseError);
+      continue;
+    }
+    auto text = r.ReadString("text");
+    EXPECT_FALSE(text.ok());
+    EXPECT_EQ(text.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(BinaryIoTest, CorruptLengthPrefixFailsInsteadOfAllocating) {
+  BinaryWriter w;
+  w.WriteU32(0xFFFFFFFF);  // claims 4 billion elements
+  BinaryReader r(w.buffer());
+  auto result = r.ReadU32Vector("huge");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(BinaryIoTest, SkipAndView) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteBytes("abcdef");
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(r.Skip(4, "u32").ok());
+  auto view = r.View(3, "abc");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, "abc");
+  EXPECT_FALSE(r.Skip(10, "past end").ok());
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(BinaryIoTest, ChecksumDetectsEveryByteFlip) {
+  std::string data = "the quick brown fox jumps over the lazy dog, twice";
+  const uint64_t reference = Checksum64(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Checksum64(mutated), reference) << "flip at " << i;
+  }
+  EXPECT_NE(Checksum64(data + std::string(1, '\0')), reference)
+      << "appending NUL must change the digest";
+  EXPECT_NE(Checksum64(std::string_view(data).substr(0, data.size() - 1)),
+            reference);
+}
+
+TEST(BinaryIoTest, BinaryFilesRoundTripAndMissingFileIsNotFound) {
+  const std::string path = ::testing::TempDir() + "/smb_binary_io_test.bin";
+  std::string payload = "binary+payload\xFF with embedded zeros";
+  payload[6] = '\0';
+  ASSERT_TRUE(WriteBinaryFile(path, payload).ok());
+  auto back = ReadBinaryFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+
+  auto missing = ReadBinaryFile(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace smb::io

@@ -1,0 +1,125 @@
+#include "io/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/synonyms.h"
+#include "../testing/fixtures.h"
+
+namespace smb::io {
+namespace {
+
+const sim::SynonymTable& Builtin() {
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  return kTable;
+}
+
+TEST(FingerprintTest, FramingPreventsConcatenationCollisions) {
+  Fingerprinter a, b;
+  a.String("ab").String("c");
+  b.String("a").String("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(FingerprintTest, NameOptionsSensitiveToEveryKnob) {
+  sim::NameSimilarityOptions base;
+  base.synonyms = &Builtin();
+  const uint64_t reference = FingerprintNameOptions(base);
+
+  sim::NameSimilarityOptions changed = base;
+  changed.weight_levenshtein += 1e-9;
+  EXPECT_NE(FingerprintNameOptions(changed), reference);
+
+  changed = base;
+  changed.case_insensitive = false;
+  EXPECT_NE(FingerprintNameOptions(changed), reference);
+
+  changed = base;
+  changed.synonym_score = 0.9;
+  EXPECT_NE(FingerprintNameOptions(changed), reference);
+
+  changed = base;
+  changed.synonyms = nullptr;
+  EXPECT_NE(FingerprintNameOptions(changed), reference);
+
+  // Same content, different table object: equal fingerprints (content
+  // hashing, never pointer hashing).
+  sim::SynonymTable copy = sim::SynonymTable::Builtin();
+  changed = base;
+  changed.synonyms = &copy;
+  EXPECT_EQ(FingerprintNameOptions(changed), reference);
+
+  // Different content: different fingerprint.
+  sim::SynonymTable extended = sim::SynonymTable::Builtin();
+  extended.AddGroup({"warp", "ftl"});
+  changed.synonyms = &extended;
+  EXPECT_NE(FingerprintNameOptions(changed), reference);
+}
+
+TEST(FingerprintTest, MatchOptionsCoverObjectiveAndThresholds) {
+  match::MatchOptions base;
+  const uint64_t reference = FingerprintMatchOptions(base);
+
+  match::MatchOptions changed = base;
+  changed.delta_threshold += 0.01;
+  EXPECT_NE(FingerprintMatchOptions(changed), reference);
+
+  changed = base;
+  changed.injective = false;
+  EXPECT_NE(FingerprintMatchOptions(changed), reference);
+
+  changed = base;
+  changed.objective.type_mismatch_penalty += 0.01;
+  EXPECT_NE(FingerprintMatchOptions(changed), reference);
+
+  EXPECT_EQ(FingerprintMatchOptions(base), reference);  // stable
+}
+
+TEST(FingerprintTest, PreparedSchemaFoldsCasePerOptions) {
+  schema::Schema upper("q");
+  upper.AddRoot("Order").value();
+  schema::Schema lower("q");
+  lower.AddRoot("order").value();
+
+  sim::NameSimilarityOptions folding;  // case_insensitive = true
+  EXPECT_EQ(FingerprintPreparedSchema(upper, folding),
+            FingerprintPreparedSchema(lower, folding));
+
+  sim::NameSimilarityOptions exact;
+  exact.case_insensitive = false;
+  EXPECT_NE(FingerprintPreparedSchema(upper, exact),
+            FingerprintPreparedSchema(lower, exact));
+}
+
+TEST(FingerprintTest, PreparedSchemaSeesShapeNamesAndTypes) {
+  const sim::NameSimilarityOptions options;
+  schema::Schema base = testing::MakeQuery();
+  const uint64_t reference = FingerprintPreparedSchema(base, options);
+
+  schema::Schema renamed = testing::MakeQuery();
+  renamed.RenameNode(1, "orderNumber");
+  EXPECT_NE(FingerprintPreparedSchema(renamed, options), reference);
+
+  schema::Schema retyped = testing::MakeQuery();
+  retyped.SetNodeType(1, "integer");
+  EXPECT_NE(FingerprintPreparedSchema(retyped, options), reference);
+
+  schema::Schema reshaped("query");
+  auto root = reshaped.AddRoot("order").value();
+  auto id = reshaped.AddChild(root, "orderId", "string").value();
+  reshaped.AddChild(id, "customer").value();  // nested instead of sibling
+  EXPECT_NE(FingerprintPreparedSchema(reshaped, options), reference);
+}
+
+TEST(FingerprintTest, RepositoryFingerprintSeesEverySchema) {
+  schema::SchemaRepository a = testing::MakeRepo();
+  schema::SchemaRepository b = testing::MakeRepo();
+  EXPECT_EQ(FingerprintRepository(a), FingerprintRepository(b));
+
+  schema::Schema extra("extra");
+  extra.AddRoot("unrelated").value();
+  b.Add(std::move(extra)).value();
+  EXPECT_NE(FingerprintRepository(a), FingerprintRepository(b));
+}
+
+}  // namespace
+}  // namespace smb::io

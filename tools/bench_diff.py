@@ -27,24 +27,54 @@ import sys
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+class BenchDiffError(Exception):
+    """A data problem the user must fix; reported without a traceback."""
+
+
 def load_rows(path, name_filter, strip):
     """Returns {canonical_name: (time_ns, original_name)}."""
-    with open(path) as fh:
-        data = json.load(fh)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as err:
+        raise BenchDiffError(f"cannot read {path}: {err}") from err
+    except json.JSONDecodeError as err:
+        raise BenchDiffError(f"{path} is not valid JSON: {err}") from err
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise BenchDiffError(
+            f"{path} is not a Google Benchmark JSON file "
+            f"(missing the 'benchmarks' key)")
+    benchmarks = data["benchmarks"]
+    if not benchmarks:
+        raise BenchDiffError(f"{path} contains no benchmark rows")
     rows = {}
-    for bench in data.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
+    for bench in benchmarks:
+        try:
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            if name_filter and not re.search(name_filter, name):
+                continue
+            canonical = re.sub(strip, "", name) if strip else name
+            time_ns = (bench["real_time"] *
+                       _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0))
+        except (KeyError, TypeError, AttributeError) as err:
+            raise BenchDiffError(
+                f"{path}: malformed benchmark row {bench!r}") from err
+        if time_ns <= 0:
+            print(f"note: {path}: skipping {name!r} with non-positive time "
+                  f"{time_ns} ns", file=sys.stderr)
             continue
-        name = bench["name"]
-        if name_filter and not re.search(name_filter, name):
-            continue
-        canonical = re.sub(strip, "", name) if strip else name
-        time_ns = bench["real_time"] * _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
         if canonical in rows:
             print(f"warning: {path}: duplicate canonical name {canonical!r}; "
                   f"keeping the first", file=sys.stderr)
             continue
         rows[canonical] = (time_ns, name)
+    if not rows:
+        raise BenchDiffError(
+            f"{path}: no usable benchmark rows survived filtering "
+            f"(filter matched nothing, or every row was an aggregate or "
+            f"had a non-positive time)")
     return rows
 
 
@@ -70,11 +100,17 @@ def main():
                         help="exit 1 unless the geometric-mean speedup is >= N")
     args = parser.parse_args()
 
-    a_rows = load_rows(args.baseline, args.a_filter, args.strip)
-    b_rows = load_rows(args.new, args.b_filter, args.strip)
+    try:
+        a_rows = load_rows(args.baseline, args.a_filter, args.strip)
+        b_rows = load_rows(args.new, args.b_filter, args.strip)
+    except BenchDiffError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     common = sorted(set(a_rows) & set(b_rows))
     if not common:
-        print("error: no benchmarks in common after filtering", file=sys.stderr)
+        print("error: no benchmarks in common after filtering "
+              f"({len(a_rows)} baseline vs {len(b_rows)} comparison rows; "
+              "check --a-filter/--b-filter/--strip)", file=sys.stderr)
         return 2
 
     only_a = sorted(set(a_rows) - set(b_rows))

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Smoke tests for tools/bench_diff.py — exercised by ctest and CI.
+
+Covers the failure modes that used to crash or mislead: missing files,
+invalid or non-benchmark JSON, empty benchmark lists, disjoint name sets,
+and non-positive times, plus the happy path and the --require gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_diff.py")
+
+
+def bench_json(rows):
+    return {"context": {}, "benchmarks": rows}
+
+
+def row(name, time_ns, **extra):
+    base = {"name": name, "run_type": "iteration", "real_time": time_ns,
+            "time_unit": "ns"}
+    base.update(extra)
+    return base
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, filename, payload):
+        path = os.path.join(self.dir.name, filename)
+        with open(path, "w") as fh:
+            if isinstance(payload, str):
+                fh.write(payload)
+            else:
+                json.dump(payload, fh)
+        return path
+
+    def run_diff(self, *args):
+        return subprocess.run([sys.executable, SCRIPT, *args],
+                              capture_output=True, text=True)
+
+    def test_happy_path_reports_geomean(self):
+        a = self.write("a.json", bench_json([row("BM_X", 100), row("BM_Y", 400)]))
+        b = self.write("b.json", bench_json([row("BM_X", 50), row("BM_Y", 100)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("geomean", result.stdout)
+        self.assertIn("2.83x", result.stdout)  # sqrt(2 * 4)
+
+    def test_require_gate(self):
+        a = self.write("a.json", bench_json([row("BM_X", 100)]))
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        self.assertEqual(self.run_diff(a, b, "--require", "1.5").returncode, 0)
+        gated = self.run_diff(a, b, "--require", "3.0")
+        self.assertEqual(gated.returncode, 1)
+        self.assertIn("geomean speedup", gated.stderr)
+
+    def test_missing_file_is_clean_error(self):
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        result = self.run_diff(os.path.join(self.dir.name, "nope.json"), b)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("cannot read", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_invalid_json_is_clean_error(self):
+        a = self.write("a.json", "{not json")
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("not valid JSON", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_non_benchmark_json_is_clean_error(self):
+        a = self.write("a.json", {"some": "object"})
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("benchmarks", result.stderr)
+
+    def test_malformed_row_types_are_clean_errors(self):
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        for bad in (bench_json([{"name": "x", "real_time": "fast"}]),
+                    bench_json(["not-a-row"]),
+                    bench_json([{"real_time": 5}])):
+            a = self.write("a.json", bad)
+            result = self.run_diff(a, b)
+            self.assertEqual(result.returncode, 2, result.stderr)
+            self.assertIn("malformed benchmark row", result.stderr)
+            self.assertNotIn("Traceback", result.stderr)
+
+    def test_empty_side_is_clean_error(self):
+        a = self.write("a.json", bench_json([]))
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no benchmark rows", result.stderr)
+
+    def test_disjoint_names_is_clean_error(self):
+        a = self.write("a.json", bench_json([row("BM_A", 100)]))
+        b = self.write("b.json", bench_json([row("BM_B", 50)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no benchmarks in common", result.stderr)
+
+    def test_filter_matching_nothing_is_clean_error(self):
+        a = self.write("a.json", bench_json([row("BM_A", 100)]))
+        result = self.run_diff(a, a, "--a-filter", "NoSuchBench")
+        self.assertEqual(result.returncode, 2)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_zero_time_rows_are_skipped_not_crashed(self):
+        a = self.write("a.json",
+                       bench_json([row("BM_X", 0), row("BM_Y", 100)]))
+        b = self.write("b.json",
+                       bench_json([row("BM_X", 50), row("BM_Y", 50)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("non-positive time", result.stderr)
+        self.assertIn("2.00x", result.stdout)
+
+    def test_all_zero_times_is_clean_error(self):
+        a = self.write("a.json", bench_json([row("BM_X", 0)]))
+        b = self.write("b.json", bench_json([row("BM_X", 50)]))
+        result = self.run_diff(a, b)
+        self.assertEqual(result.returncode, 2)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_paired_variant_mode(self):
+        a = self.write("a.json", bench_json([
+            row("BM_ScoreLegacy", 300), row("BM_ScoreKernel", 100)]))
+        result = self.run_diff(a, a, "--a-filter", "Legacy$",
+                               "--b-filter", "Kernel$",
+                               "--strip", "(Legacy|Kernel)$")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("3.00x", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

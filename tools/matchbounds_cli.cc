@@ -22,19 +22,26 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <sstream>
 
 #include "bounds/bounds_report.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/timing.h"
 #include "engine/batch_match_engine.h"
+#include "engine/query_cache.h"
 #include "eval/pr_curve.h"
 #include "eval/workload.h"
+#include "index/snapshot.h"
 #include "io/answer_set_io.h"
 #include "io/curve_io.h"
 #include "io/csv.h"
+#include "io/fingerprint.h"
 #include "match/matcher_factory.h"
 #include "schema/text_format.h"
 #include "schema/xsd_reader.h"
@@ -77,6 +84,20 @@ commands:
             with --compare-dense, recall against the index-free run).
             --out-dir writes answers-NNNN.csv per query (and
             dense-NNNN.csv with --compare-dense) for the bounds pipeline
+            [--snapshot=FILE] load the prepared index from FILE when it
+            exists (build + save it there otherwise) and report load-time
+            vs build-time
+  serve     --repo=DIR [--snapshot=FILE] [--requests=FILE] [--matcher=...]
+            [--candidates=C] [--threads=N] [--delta=X] [--top=N]
+            [--cache-size=N] long-running mode: prepare (or load) the
+            repository index once, then answer match requests from stdin
+            (or FILE) until EOF/quit. Request lines:
+              match <query-file> [<answers-out.csv>]
+              stats
+              quit
+            Answers are served through an LRU result cache keyed by
+            (prepared query fingerprint, match options); every response
+            reports per-request latency and cache/engine stats
   curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
             measure the P/R curve of an answers file
   bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
@@ -364,15 +385,27 @@ int CmdWorkload(const CommandLine& cl) {
   wopts.num_threads = static_cast<size_t>(*threads);
   wopts.global_top_k = static_cast<size_t>(*top);
   wopts.compare_dense = cl.Has("compare-dense");
+  wopts.snapshot_path = cl.Get("snapshot");
 
   auto result = eval::RunIndexedWorkload(**matcher, problems, *repo, options,
                                          /*thresholds=*/{}, wopts);
   if (!result.ok()) return Fail(result.status());
 
   std::cout << result->system_name << " over " << problems.size()
-            << " queries, C = " << wopts.candidate_limit
-            << "; index built once in "
-            << FormatDouble(result->index_build_seconds * 1e3, 2) << " ms\n";
+            << " queries, C = " << wopts.candidate_limit << "; ";
+  if (result->loaded_from_snapshot) {
+    std::cout << "index loaded from snapshot in "
+              << FormatDouble(result->index_load_seconds * 1e3, 2) << " ms\n";
+  } else {
+    std::cout << "index built once in "
+              << FormatDouble(result->index_build_seconds * 1e3, 2) << " ms";
+    if (!wopts.snapshot_path.empty()) {
+      std::cout << ", snapshot saved in "
+                << FormatDouble(result->snapshot_save_seconds * 1e3, 2)
+                << " ms";
+    }
+    std::cout << "\n";
+  }
   std::vector<std::string> headers = {"query", "answers", "sparse ms",
                                       "complete%"};
   if (wopts.compare_dense) {
@@ -449,6 +482,229 @@ int CmdWorkload(const CommandLine& cl) {
               << " to " << out_dir << "\n";
   }
   return 0;
+}
+
+/// One `match` request of a serve session, answered through the cache or
+/// the engine.
+struct ServeContext {
+  const schema::SchemaRepository* repo = nullptr;
+  const match::Matcher* matcher = nullptr;
+  match::MatchOptions options;
+  engine::BatchMatchOptions engine_options;
+  /// Result-shaping engine knobs folded into the cache key (they change
+  /// answers; thread counts and shard sizes deliberately do not).
+  uint64_t options_fingerprint = 0;
+  engine::QueryResultCache* cache = nullptr;
+  uint64_t served = 0;
+};
+
+int ServeMatchRequest(ServeContext& ctx, const std::string& query_path,
+                      const std::string& out_path) {
+  SteadyClock::time_point start = SteadyClock::now();
+  auto query_text = io::ReadTextFile(query_path);
+  if (!query_text.ok()) {
+    std::cout << "err " << query_path << " " << query_text.status()
+              << std::endl;
+    return 1;
+  }
+  auto query = schema::ParseSchemaText(*query_text);
+  if (!query.ok()) {
+    std::cout << "err " << query_path << " " << query.status() << std::endl;
+    return 1;
+  }
+
+  engine::QueryCacheKey key;
+  key.query_fingerprint =
+      io::FingerprintPreparedSchema(*query, ctx.options.objective.name);
+  key.options_fingerprint = ctx.options_fingerprint;
+
+  const match::AnswerSet* answers = ctx.cache->Lookup(key);
+  const bool hit = answers != nullptr;
+  engine::BatchMatchStats stats;
+  match::AnswerSet computed;
+  if (!hit) {
+    engine::BatchMatchEngine batch(ctx.engine_options);
+    auto result =
+        batch.Run(*ctx.matcher, *query, *ctx.repo, ctx.options, &stats);
+    if (!result.ok()) {
+      std::cout << "err " << query_path << " " << result.status()
+                << std::endl;
+      return 1;
+    }
+    computed = *std::move(result);
+    answers = &computed;
+  }
+  const size_t answer_count = answers->size();
+  if (!out_path.empty()) {
+    if (Status st = io::WriteAnswerSetFile(out_path, *answers); !st.ok()) {
+      std::cout << "err " << query_path << " " << st << std::endl;
+      return 1;
+    }
+  }
+  // Cache last (moved, not copied); `answers` is dead past this point.
+  if (!hit) ctx.cache->Insert(key, std::move(computed));
+  ++ctx.served;
+  const double latency_ms = SecondsSince(start) * 1e3;
+  std::cout << "ok " << query_path << " answers=" << answer_count
+            << " cache=" << (hit ? "hit" : "miss")
+            << " latency_ms=" << FormatDouble(latency_ms, 3);
+  if (!hit) {
+    std::cout << " index_ms=" << FormatDouble(stats.index_seconds * 1e3, 3)
+              << " match_ms=" << FormatDouble(stats.match_seconds * 1e3, 3)
+              << " complete=" << FormatDouble(
+                     stats.provably_complete_fraction * 100.0, 1)
+              << "%";
+  }
+  std::cout << std::endl;
+  return 0;
+}
+
+int CmdServe(const CommandLine& cl) {
+  std::string repo_dir = cl.Get("repo");
+  if (repo_dir.empty()) {
+    return Fail(Status::InvalidArgument("--repo required"));
+  }
+  auto repo = LoadRepository(repo_dir);
+  if (!repo.ok()) return Fail(repo.status());
+
+  match::MatchOptions options;
+  auto delta = cl.GetDouble("delta", 0.25);
+  if (!delta.ok()) return Fail(delta.status());
+  options.delta_threshold = *delta;
+  options.objective.name.synonyms = &BuiltinSynonyms();
+
+  std::string kind = cl.Get("matcher", "exhaustive");
+  auto factory_options = ParseMatcherOptions(cl);
+  if (!factory_options.ok()) return Fail(factory_options.status());
+  auto matcher = match::MakeMatcher(kind, *repo, *factory_options);
+  if (!matcher.ok()) return Fail(matcher.status());
+
+  auto candidates = cl.GetUint("candidates", 16);
+  auto threads = cl.GetUint("threads", 1);
+  auto top = cl.GetUint("top", 0);
+  auto cache_size = cl.GetUint("cache-size", 64);
+  if (!candidates.ok()) return Fail(candidates.status());
+  if (!threads.ok()) return Fail(threads.status());
+  if (!top.ok()) return Fail(top.status());
+  if (!cache_size.ok()) return Fail(cache_size.status());
+
+  // Prepare once: load the snapshot when one exists, otherwise build and
+  // (with --snapshot) persist for the next start. A snapshot that exists
+  // but does not load cleanly is fatal — serving from a wrong index is the
+  // one failure mode this command must never have.
+  std::string snapshot_path = cl.Get("snapshot");
+  std::optional<index::PreparedRepository> prepared;
+  double load_seconds = 0.0, build_seconds = 0.0, save_seconds = 0.0;
+  bool loaded = false;
+  if (!snapshot_path.empty()) {
+    SteadyClock::time_point t0 = SteadyClock::now();
+    auto from_disk =
+        index::LoadSnapshot(snapshot_path, *repo, options.objective.name,
+                            static_cast<size_t>(*threads));
+    if (from_disk.ok()) {
+      load_seconds = SecondsSince(t0);
+      prepared = *std::move(from_disk);
+      loaded = true;
+    } else if (from_disk.status().code() != StatusCode::kNotFound) {
+      return Fail(from_disk.status());
+    }
+  }
+  if (!prepared.has_value()) {
+    SteadyClock::time_point t0 = SteadyClock::now();
+    auto built =
+        index::PreparedRepository::Build(*repo, options.objective.name);
+    if (!built.ok()) return Fail(built.status());
+    prepared = *std::move(built);
+    build_seconds = SecondsSince(t0);
+    if (!snapshot_path.empty()) {
+      SteadyClock::time_point t1 = SteadyClock::now();
+      if (Status st = index::SaveSnapshot(*prepared, snapshot_path);
+          !st.ok()) {
+        return Fail(st);
+      }
+      save_seconds = SecondsSince(t1);
+    }
+  }
+
+  ServeContext ctx;
+  ctx.repo = &*repo;
+  ctx.matcher = matcher->get();
+  ctx.options = options;
+  ctx.engine_options.num_threads = static_cast<size_t>(*threads);
+  ctx.engine_options.global_top_k = static_cast<size_t>(*top);
+  ctx.engine_options.candidate_limit = static_cast<size_t>(*candidates);
+  ctx.engine_options.prepared_repository = &*prepared;
+  ctx.options_fingerprint = io::Fingerprinter()
+                                .U64(io::FingerprintMatchOptions(options))
+                                .U64(*candidates)
+                                .U64(*top)
+                                .digest();
+  engine::QueryResultCache cache(static_cast<size_t>(*cache_size));
+  ctx.cache = &cache;
+
+  std::ifstream request_file;
+  std::istream* in = &std::cin;
+  std::string requests_path = cl.Get("requests");
+  if (!requests_path.empty()) {
+    request_file.open(requests_path);
+    if (!request_file) {
+      return Fail(Status::IOError("cannot open request file " +
+                                  requests_path));
+    }
+    in = &request_file;
+  }
+
+  std::cout << "ready " << kind << " repo=" << repo->schema_count()
+            << " schemas/" << repo->total_elements() << " elements"
+            << " C=" << *candidates << " cache=" << *cache_size << " index="
+            << (loaded ? "snapshot load_ms=" +
+                             FormatDouble(load_seconds * 1e3, 2)
+                       : "built build_ms=" +
+                             FormatDouble(build_seconds * 1e3, 2) +
+                             (snapshot_path.empty()
+                                  ? ""
+                                  : " save_ms=" +
+                                        FormatDouble(save_seconds * 1e3, 2)))
+            << std::endl;
+
+  std::string line;
+  int failed_requests = 0;
+  while (std::getline(*in, line)) {
+    std::istringstream fields(line);
+    std::string command;
+    fields >> command;
+    if (command.empty() || command[0] == '#') continue;
+    if (command == "quit") break;
+    if (command == "stats") {
+      const engine::QueryCacheStats& cs = cache.stats();
+      std::cout << "stats served=" << ctx.served << " cache_hits=" << cs.hits
+                << " cache_misses=" << cs.misses
+                << " cache_evictions=" << cs.evictions
+                << " cache_entries=" << cache.size() << "/"
+                << cache.capacity() << " index_source="
+                << (loaded ? "snapshot" : "built") << std::endl;
+      continue;
+    }
+    if (command == "match") {
+      std::string query_path, out_path;
+      fields >> query_path >> out_path;
+      if (query_path.empty()) {
+        std::cout << "err match needs a query file: match <query-file> "
+                     "[<answers-out.csv>]"
+                  << std::endl;
+        ++failed_requests;
+        continue;
+      }
+      failed_requests += ServeMatchRequest(ctx, query_path, out_path);
+      continue;
+    }
+    std::cout << "err unknown request '" << command
+              << "' (expected: match|stats|quit)" << std::endl;
+    ++failed_requests;
+  }
+  std::cout << "bye served=" << ctx.served << " failed=" << failed_requests
+            << std::endl;
+  return failed_requests == 0 ? 0 : 1;
 }
 
 int CmdCurve(const CommandLine& cl) {
@@ -551,6 +807,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(*cl);
   if (command == "match") return CmdMatch(*cl);
   if (command == "workload") return CmdWorkload(*cl);
+  if (command == "serve") return CmdServe(*cl);
   if (command == "curve") return CmdCurve(*cl);
   if (command == "bounds") return CmdBounds(*cl);
   if (command == "stats") return CmdStats(*cl);
