@@ -271,6 +271,44 @@ void BM_SnapshotLoad(benchmark::State& state) {
 BENCHMARK(BM_SnapshotLoad)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
+// Prices one sparse engine configuration against the dense run at the
+// same options: reports the answers produced, the candidate entries the
+// index generated ("candidates" — the budget), the certified completeness
+// ("bound") and the measured recall/top-1 retention of the dense answers.
+// Shared by the fixed-C and adaptive benchmarks.
+void ReportSparseCounters(benchmark::State& state, const Setup& setup,
+                          const match::MatchOptions& mopts,
+                          engine::BatchMatchEngine& batch,
+                          const match::Matcher& matcher) {
+  engine::BatchMatchEngine dense_engine;
+  auto dense = dense_engine.Run(matcher, setup.collection.query,
+                                setup.collection.repository, mopts);
+  engine::BatchMatchStats stats;
+  auto sparse = batch.Run(matcher, setup.collection.query,
+                          setup.collection.repository, mopts, &stats);
+  auto in_sparse = [&](const match::Mapping::Key& key) {
+    for (const match::Mapping& candidate : sparse->mappings()) {
+      if (candidate.key() == key) return true;
+    }
+    return false;
+  };
+  size_t retained = 0;
+  for (const match::Mapping& mapping : dense->mappings()) {
+    if (in_sparse(mapping.key())) ++retained;
+  }
+  state.counters["answers"] = static_cast<double>(sparse->size());
+  state.counters["candidates"] =
+      static_cast<double>(stats.match.candidates_generated);
+  state.counters["bound"] = stats.provably_complete_fraction;
+  state.counters["recall"] =
+      dense->empty() ? 1.0
+                     : static_cast<double>(retained) /
+                           static_cast<double>(dense->size());
+  state.counters["top1"] =
+      (dense->empty() || in_sparse(dense->mappings().front().key())) ? 1.0
+                                                                    : 0.0;
+}
+
 void BM_DensePerQuery(benchmark::State& state) {
   const Setup& setup = GetSetup(kIndexSchemas);
   auto matcher =
@@ -301,39 +339,81 @@ void BM_SparsePerQuery(benchmark::State& state) {
   bopts.prepared_repository = &prepared;
   engine::BatchMatchEngine batch(bopts);
 
-  engine::BatchMatchEngine dense_engine;
-  auto dense = dense_engine.Run(*matcher, setup.collection.query,
-                                setup.collection.repository, setup.mopts);
-  auto sparse = batch.Run(*matcher, setup.collection.query,
-                          setup.collection.repository, setup.mopts);
-  auto in_sparse = [&](const match::Mapping::Key& key) {
-    for (const match::Mapping& candidate : sparse->mappings()) {
-      if (candidate.key() == key) return true;
-    }
-    return false;
-  };
-  size_t retained = 0;
-  for (const match::Mapping& mapping : dense->mappings()) {
-    if (in_sparse(mapping.key())) ++retained;
-  }
-  bool top1 = dense->empty() || in_sparse(dense->mappings().front().key());
-
-  size_t answers = 0;
   for (auto _ : state) {
     auto result = batch.Run(*matcher, setup.collection.query,
                             setup.collection.repository, setup.mopts);
-    answers = result->size();
     benchmark::DoNotOptimize(result);
   }
-  state.counters["answers"] = static_cast<double>(answers);
-  state.counters["recall"] =
-      dense->empty() ? 1.0
-                     : static_cast<double>(retained) /
-                           static_cast<double>(dense->size());
-  state.counters["top1"] = top1 ? 1.0 : 0.0;
+  ReportSparseCounters(state, setup, setup.mopts, batch, *matcher);
 }
 BENCHMARK(BM_SparsePerQuery)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Bound-driven adaptive budgets vs a fixed candidate budget ----------
+//
+// The adaptive policy grows each (query element, schema) cell only until
+// the skip-bound certifies the target completeness, so easy cells stop at
+// C=4 while hard ones climb. Both variants run at a tight Δ threshold
+// (0.02 — the regime where the analytic bound tiers can certify cells
+// without full coverage; at loose thresholds certification degenerates to
+// full coverage and a fixed C is the right tool). Counters price the
+// comparison: "candidates" (entries generated — the budget), "bound" (the
+// certified completeness), "recall"/"top1" (measured against the dense run
+// at the same threshold). CI gates candidates(Fixed/64) /
+// candidates(Adaptive) ≥ 2 via tools/bench_diff.py --metric candidates.
+
+constexpr double kTightDelta = 0.02;
+
+match::MatchOptions TightDeltaOptions(const Setup& setup) {
+  match::MatchOptions mopts = setup.mopts;
+  mopts.delta_threshold = kTightDelta;
+  return mopts;
+}
+
+void BM_FixedPerQuery(benchmark::State& state) {
+  const Setup& setup = GetSetup(kIndexSchemas);
+  const match::MatchOptions mopts = TightDeltaOptions(setup);
+  auto matcher =
+      match::MakeMatcher("exhaustive", setup.collection.repository).value();
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository, mopts.objective.name)
+                      .value();
+  engine::BatchMatchOptions bopts;
+  bopts.candidate_limit = static_cast<size_t>(state.range(0));
+  bopts.prepared_repository = &prepared;
+  engine::BatchMatchEngine batch(bopts);
+  for (auto _ : state) {
+    auto result = batch.Run(*matcher, setup.collection.query,
+                            setup.collection.repository, mopts);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportSparseCounters(state, setup, mopts, batch, *matcher);
+}
+BENCHMARK(BM_FixedPerQuery)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_AdaptivePerQuery(benchmark::State& state) {
+  const Setup& setup = GetSetup(kIndexSchemas);
+  const match::MatchOptions mopts = TightDeltaOptions(setup);
+  auto matcher =
+      match::MakeMatcher("exhaustive", setup.collection.repository).value();
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository, mopts.objective.name)
+                      .value();
+  engine::BatchMatchOptions bopts;
+  index::AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 0.9;
+  bopts.adaptive = policy;
+  bopts.prepared_repository = &prepared;
+  engine::BatchMatchEngine batch(bopts);
+  for (auto _ : state) {
+    auto result = batch.Run(*matcher, setup.collection.query,
+                            setup.collection.repository, mopts);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportSparseCounters(state, setup, mopts, batch, *matcher);
+}
+BENCHMARK(BM_AdaptivePerQuery)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ClusteringBuild(benchmark::State& state) {
   const Setup& setup = GetSetup(static_cast<size_t>(state.range(0)));

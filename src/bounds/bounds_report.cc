@@ -1,5 +1,10 @@
 #include "bounds/bounds_report.h"
 
+/// \file bounds_report.cc
+/// \brief End-to-end bounds reports: measured-curve and literature inputs
+/// through the incremental algorithm (the practitioner entry points of
+/// §3; see bounds_report.h for the workflow).
+
 #include <algorithm>
 
 #include "common/strings.h"

@@ -1,0 +1,61 @@
+#include "bounds/budget_curve.h"
+
+#include <sstream>
+
+/// \file budget_curve.cc
+/// \brief Budget-sweep driver and CSV rendering for bound-vs-cost curves.
+
+namespace smb::bounds {
+
+size_t BudgetCurve::SmallestLimitAchieving(double target) const {
+  for (const BudgetCurvePoint& point : points) {
+    if (point.provably_complete_fraction + 1e-12 >= target) {
+      return point.candidate_limit;
+    }
+  }
+  return 0;
+}
+
+Result<BudgetCurve> SweepBudgetCurve(const std::vector<size_t>& limits,
+                                     const BudgetProbe& probe) {
+  if (limits.empty()) {
+    return Status::InvalidArgument("budget sweep needs at least one limit");
+  }
+  for (size_t i = 0; i < limits.size(); ++i) {
+    if (limits[i] == 0) {
+      return Status::InvalidArgument("budget limits must be positive");
+    }
+    if (i > 0 && limits[i] <= limits[i - 1]) {
+      return Status::InvalidArgument(
+          "budget limits must be strictly increasing");
+    }
+  }
+  if (probe == nullptr) {
+    return Status::InvalidArgument("budget sweep needs a probe");
+  }
+  BudgetCurve curve;
+  curve.points.reserve(limits.size());
+  for (size_t limit : limits) {
+    auto point = probe(limit);
+    if (!point.ok()) {
+      return point.status().WithContext("while probing candidate budget C=" +
+                                        std::to_string(limit));
+    }
+    point->candidate_limit = limit;
+    curve.points.push_back(*point);
+  }
+  return curve;
+}
+
+std::string FormatBudgetCurveCsv(const BudgetCurve& curve) {
+  std::ostringstream out;
+  out << "candidate_limit,candidates_generated,provably_complete_fraction,"
+         "seconds\n";
+  for (const BudgetCurvePoint& point : curve.points) {
+    out << point.candidate_limit << ',' << point.candidates_generated << ','
+        << point.provably_complete_fraction << ',' << point.seconds << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace smb::bounds

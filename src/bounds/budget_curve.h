@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file budget_curve.h
+/// \brief Bound-vs-cost curves over the candidate budget C.
+///
+/// The paper turns a non-exhaustive system's answer sizes into guaranteed
+/// effectiveness bounds; the candidate index turns its skip-bound into a
+/// *certified completeness* per budget C. This helper sweeps C and records
+/// the (cost, certified bound) curve — the report a capacity planner reads
+/// to pick the cheapest budget meeting a target, and the static
+/// counterpart of the adaptive policy
+/// (`index::AdaptiveCandidatePolicy`), which walks the same curve cell by
+/// cell at query time.
+///
+/// The sweep is deliberately decoupled from the index layer: the caller
+/// supplies a probe that evaluates one budget (typically: generate
+/// candidate lists for a query or a whole workload at that C and measure),
+/// so the helper works for single queries, pooled workloads and synthetic
+/// studies alike without dragging `src/index` into `src/bounds`.
+
+namespace smb::bounds {
+
+/// \brief One measured budget point of the curve.
+struct BudgetCurvePoint {
+  /// The candidate budget C this point was measured at.
+  size_t candidate_limit = 0;
+  /// Candidate entries generated at this budget (the cost axis).
+  uint64_t candidates_generated = 0;
+  /// Certified completeness achieved at this budget (the bound axis, in
+  /// [0, 1] — `index::QueryCandidates::ProvablyCompleteFraction` or a
+  /// workload mean of it).
+  double provably_complete_fraction = 0.0;
+  /// Optional wall-clock seconds the probe spent (0 when not measured).
+  double seconds = 0.0;
+};
+
+/// \brief A bound-vs-cost curve, ascending in `candidate_limit`.
+struct BudgetCurve {
+  std::vector<BudgetCurvePoint> points;
+
+  /// \brief The smallest swept budget whose certified bound reaches
+  /// `target` (within 1e-12), or 0 when no swept point does.
+  size_t SmallestLimitAchieving(double target) const;
+};
+
+/// \brief Evaluates one candidate budget; returns the measured point (its
+/// `candidate_limit` field is overwritten with the swept value).
+using BudgetProbe = std::function<Result<BudgetCurvePoint>(size_t limit)>;
+
+/// \brief Sweeps `limits` (must be non-empty, strictly increasing) through
+/// `probe` and assembles the curve. Fails on the first failing probe.
+Result<BudgetCurve> SweepBudgetCurve(const std::vector<size_t>& limits,
+                                     const BudgetProbe& probe);
+
+/// \brief Renders the curve as CSV
+/// (`candidate_limit,candidates_generated,provably_complete_fraction,seconds`)
+/// for reports and plotting.
+std::string FormatBudgetCurveCsv(const BudgetCurve& curve);
+
+}  // namespace smb::bounds

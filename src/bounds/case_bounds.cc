@@ -1,5 +1,9 @@
 #include "bounds/case_bounds.h"
 
+/// \file case_bounds.cc
+/// \brief Best-/worst-case effectiveness formulas of §3.1 (Equations 1-6),
+/// in both the mass form and the paper's (P1, R1, Â) ratio form.
+
 #include <algorithm>
 
 #include "common/strings.h"

@@ -1,5 +1,9 @@
 #include "bounds/increment.h"
 
+/// \file increment.cc
+/// \brief Increment algebra of §3.2 (Equations 7/8): P/R of the answers
+/// between two thresholds, computed on |H|-normalized mass pairs.
+
 #include "common/strings.h"
 
 namespace smb::bounds {

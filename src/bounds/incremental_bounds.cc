@@ -1,5 +1,9 @@
 #include "bounds/incremental_bounds.h"
 
+/// \file incremental_bounds.cc
+/// \brief The naive (per-threshold) and incremental (§3.2, 4-step) bounds
+/// algorithms plus the §3.4 random baseline over S1/S2 size observations.
+
 #include <algorithm>
 #include <cmath>
 

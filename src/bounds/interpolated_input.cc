@@ -1,5 +1,9 @@
 #include "bounds/interpolated_input.h"
 
+/// \file interpolated_input.cc
+/// \brief §4.1: reconstructing a measured-style curve (and bounds input)
+/// from an interpolated 11-point P/R curve via an |H| guess.
+
 #include <algorithm>
 
 #include "common/strings.h"

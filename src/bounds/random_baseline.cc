@@ -1,5 +1,9 @@
 #include "bounds/random_baseline.h"
 
+/// \file random_baseline.cc
+/// \brief §3.4 (Equations 9/10): the hypothetical random system that
+/// keeps, per increment, a random same-size subset of S1's answers.
+
 #include "common/strings.h"
 
 namespace smb::bounds {

@@ -1,5 +1,9 @@
 #include "bounds/sub_increment.h"
 
+/// \file sub_increment.cc
+/// \brief §4.2 (Figure 13): boxing the P/R point of an intermediate
+/// threshold between two measured thresholds of a rebuilt system.
+
 #include <algorithm>
 
 #include "common/strings.h"

@@ -1,5 +1,10 @@
 #include "cluster/agglomerative.h"
 
+/// \file agglomerative.cc
+/// \brief Bottom-up average/single/complete-linkage clustering used as the
+/// quadratic-but-deterministic alternative to k-means for small
+/// repositories.
+
 #include <algorithm>
 #include <limits>
 

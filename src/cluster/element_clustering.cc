@@ -1,5 +1,10 @@
 #include "cluster/element_clustering.h"
 
+/// \file element_clustering.cc
+/// \brief Repository-wide element clustering — the search-space
+/// restriction of the paper's companion non-exhaustive matcher [16]
+/// driving match::ClusterMatcher.
+
 #include <algorithm>
 #include <cmath>
 

@@ -1,5 +1,9 @@
 #include "cluster/feature.h"
 
+/// \file feature.cc
+/// \brief Character-trigram feature vectors (hashed, L2-normalized) that
+/// embed element names for clustering distance.
+
 #include <cmath>
 #include <cstdint>
 

@@ -1,5 +1,9 @@
 #include "cluster/kmeans.h"
 
+/// \file kmeans.cc
+/// \brief Lloyd's k-means with k-means++ seeding over feature vectors —
+/// the scalable clustering backend.
+
 #include <algorithm>
 #include <limits>
 

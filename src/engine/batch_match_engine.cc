@@ -120,11 +120,16 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
   BatchMatchStats local;
   local.shard_count = shards.size();
 
-  const bool sparse = options_.candidate_limit > 0 && !query.empty();
+  const bool adaptive = options_.adaptive.has_value();
+  const bool sparse =
+      (options_.candidate_limit > 0 || adaptive) && !query.empty();
 
   // Phase 1, sparse: query-independent repository index (reused when the
-  // caller prebuilt it) + per-query candidate generation. The dense pool is
-  // skipped entirely — only generated candidates are ever scored.
+  // caller prebuilt it) + per-query candidate generation — at the fixed
+  // `candidate_limit`, or bound-driven when `adaptive` is set (each cell
+  // grows until the skip-bound certifies the completeness target at this
+  // run's Δ threshold). The dense pool is skipped entirely — only
+  // generated candidates are ever scored.
   std::optional<index::PreparedRepository> owned_prepared;
   std::optional<index::QueryCandidates> candidates;
   if (sparse) {
@@ -141,12 +146,17 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
       prepared = &*owned_prepared;
     }
     index::CandidateGenerator generator(prepared, match_options.objective);
-    auto generated = generator.Generate(query, options_.candidate_limit);
+    Result<index::QueryCandidates> generated =
+        adaptive ? generator.GenerateAdaptive(query, *options_.adaptive,
+                                              match_options.delta_threshold,
+                                              &local.adaptive)
+                 : generator.Generate(query, options_.candidate_limit);
     if (!generated.ok()) {
       if (stats != nullptr) *stats = local;
       return generated.status();
     }
     candidates = std::move(generated).value();
+    local.adaptive_mode = adaptive;
     local.index_seconds = SecondsSince(start);
     local.match.candidates_generated = candidates->candidates_generated();
     local.match.candidates_skipped = candidates->candidates_skipped();
@@ -173,6 +183,24 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
 
   threads = std::min(threads, shards.size());
   local.threads_used = threads;
+
+  // Per-shard budget accounting: how many candidate entries the index
+  // handed to each shard (the adaptive mode's bound-driven spend, or the
+  // fixed C × cells otherwise).
+  if (candidates) {
+    local.shard_candidates_generated.assign(shards.size(), 0);
+    for (size_t i = 0; i < shards.size(); ++i) {
+      for (size_t pos = 0; pos < candidates->positions(); ++pos) {
+        for (size_t s = 0; s < shards[i].schema_count; ++s) {
+          local.shard_candidates_generated[i] +=
+              candidates
+                  ->CandidatesFor(pos, shards[i].first_schema +
+                                           static_cast<int32_t>(s))
+                  ->size();
+        }
+      }
+    }
+  }
 
   // Phase 2: workers claim shards off a shared counter. Every slot below is
   // written by exactly one worker, so no locking is needed.

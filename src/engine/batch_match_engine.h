@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "common/result.h"
 #include "engine/similarity_matrix_pool.h"
@@ -36,6 +39,15 @@
 ///    complete and the answers are again identical to the dense path;
 ///    smaller C trades certified-measurable recall for speed
 ///    (`index::QueryCandidates::SkipLowerBound`).
+///
+/// The sparse path has a third, *bound-driven* flavor (`adaptive` set):
+/// instead of one fixed C, every (query element, schema) cell grows its
+/// candidate list geometrically until the admissible skip-bound certifies
+/// the requested per-query completeness target at the run's Δ threshold —
+/// the paper's effectiveness bound acting as the scheduling signal rather
+/// than passive telemetry. Budget accounting (candidates scored,
+/// escalations, the achieved bound, per-shard candidate counts) is
+/// reported in `BatchMatchStats`.
 
 namespace smb::engine {
 
@@ -64,6 +76,15 @@ struct BatchMatchOptions {
   /// `candidate_limit > 0`, the engine builds one per Run — correct but
   /// wasteful for workloads; build once and share instead.
   const index::PreparedRepository* prepared_repository = nullptr;
+  /// Bound-driven adaptive sparse mode: when set, candidate lists come
+  /// from `index::CandidateGenerator::GenerateAdaptive` against the run's
+  /// `MatchOptions::delta_threshold` — each cell grows until its skip-bound
+  /// certifies `adaptive->min_provable_completeness` — and
+  /// `candidate_limit` is ignored (it may stay 0). With a target of 1.0
+  /// and an unbounded `max_limit` the answers are byte-identical to the
+  /// dense path for every matcher and thread count. Non-shardable matchers
+  /// fall back to a full dense run exactly as in fixed sparse mode.
+  std::optional<index::AdaptiveCandidatePolicy> adaptive;
 };
 
 /// \brief What a batch run did (timings in seconds, wall clock).
@@ -83,8 +104,23 @@ struct BatchMatchStats {
   double index_seconds = 0.0;
   /// Fraction of (query position, schema) cells whose skip-bound certifies
   /// that no answer within the run's Δ threshold was lost to the candidate
-  /// cutoff. 1.0 on dense runs (nothing is ever skipped).
+  /// cutoff — the run's *certified* effectiveness bound. The empty /
+  /// dense-run convention is **1.0** (nothing was skipped, so completeness
+  /// holds vacuously); every layer reporting this quantity
+  /// (`eval::QueryRunReport`, the CLI, the serve cache) shares that
+  /// convention.
   double provably_complete_fraction = 1.0;
+  /// True when this run generated candidates adaptively
+  /// (`BatchMatchOptions::adaptive`); `adaptive` below is only meaningful
+  /// then.
+  bool adaptive_mode = false;
+  /// Budget accounting of the adaptive generation: rounds, candidates
+  /// scored, escalated/capped cells and the achieved bound distribution.
+  index::AdaptiveGenerationStats adaptive;
+  /// Sparse runs: candidate entries handed to each shard (Σ over the
+  /// shard's (position, schema) cells) — the per-shard budget the index
+  /// spent. Empty on dense runs and on the single-run fallback.
+  std::vector<uint64_t> shard_candidates_generated;
 };
 
 /// \brief Runs a matcher over repository shards on a worker-thread pool.

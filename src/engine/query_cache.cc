@@ -2,7 +2,7 @@
 
 namespace smb::engine {
 
-const match::AnswerSet* QueryResultCache::Lookup(const QueryCacheKey& key) {
+const CachedAnswers* QueryResultCache::Lookup(const QueryCacheKey& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -13,16 +13,15 @@ const match::AnswerSet* QueryResultCache::Lookup(const QueryCacheKey& key) {
   return &it->second->second;
 }
 
-void QueryResultCache::Insert(const QueryCacheKey& key,
-                              match::AnswerSet answers) {
+void QueryResultCache::Insert(const QueryCacheKey& key, CachedAnswers entry) {
   if (capacity_ == 0) return;
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(answers);
+    it->second->second = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(answers));
+  lru_.emplace_front(key, std::move(entry));
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);

@@ -23,7 +23,12 @@
 ///    shape, so two spellings that fold identically share one entry;
 ///  * the *match options* fingerprint — Δ threshold, injectivity, the full
 ///    objective, plus whatever result-shaping knobs the caller mixes in
-///    (candidate limit, top-k).
+///    (candidate limit, adaptive target bound, top-k).
+///
+/// Entries carry the answers *and* the run's certified completeness
+/// (`provably_complete_fraction`), so a cache hit can report the same
+/// effectiveness bound the original run certified — a served answer is
+/// never silently stripped of its certificate.
 ///
 /// Entries are evicted least-recently-used once `capacity` is exceeded.
 /// The cache is deliberately single-threaded (the serve loop owns it); it
@@ -51,21 +56,31 @@ struct QueryCacheStats {
   uint64_t evictions = 0;
 };
 
+/// \brief What the cache stores per key: the finalized answers plus the
+/// effectiveness certificate of the run that produced them.
+struct CachedAnswers {
+  match::AnswerSet answers;
+  /// The producing run's certified completeness
+  /// (`engine::BatchMatchStats::provably_complete_fraction`; 1.0 for dense
+  /// runs — the shared empty/dense convention).
+  double provably_complete_fraction = 1.0;
+};
+
 /// \brief Fixed-capacity LRU map from `QueryCacheKey` to finalized answer
-/// sets.
+/// sets with their certified bound.
 class QueryResultCache {
  public:
   /// `capacity` = 0 disables caching (every Lookup misses, Insert drops).
   explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
 
-  /// \brief The cached answers for `key`, or nullptr on a miss. A hit
+  /// \brief The cached entry for `key`, or nullptr on a miss. A hit
   /// refreshes the entry's recency; the pointer stays valid until the
   /// entry is evicted.
-  const match::AnswerSet* Lookup(const QueryCacheKey& key);
+  const CachedAnswers* Lookup(const QueryCacheKey& key);
 
-  /// \brief Stores `answers` under `key` (replacing any previous entry) and
+  /// \brief Stores `entry` under `key` (replacing any previous entry) and
   /// evicts the least-recently-used entries down to capacity.
-  void Insert(const QueryCacheKey& key, match::AnswerSet answers);
+  void Insert(const QueryCacheKey& key, CachedAnswers entry);
 
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
@@ -81,7 +96,7 @@ class QueryResultCache {
     }
   };
 
-  using Entry = std::pair<QueryCacheKey, match::AnswerSet>;
+  using Entry = std::pair<QueryCacheKey, CachedAnswers>;
 
   size_t capacity_;
   /// Most-recently-used at the front.

@@ -56,8 +56,11 @@ Result<IndexedWorkloadResult> RunIndexedWorkload(
   if (problems.empty()) {
     return Status::InvalidArgument("workload has no matching problems");
   }
-  if (workload_options.candidate_limit == 0) {
-    return Status::InvalidArgument("candidate_limit must be positive");
+  if (!workload_options.adaptive.has_value() &&
+      workload_options.candidate_limit == 0) {
+    return Status::InvalidArgument(
+        "candidate_limit must be positive (or set `adaptive` for the "
+        "bound-driven mode)");
   }
 
   IndexedWorkloadResult result;
@@ -103,11 +106,13 @@ Result<IndexedWorkloadResult> RunIndexedWorkload(
   sparse_opts.shard_size = workload_options.shard_size;
   sparse_opts.global_top_k = workload_options.global_top_k;
   sparse_opts.candidate_limit = workload_options.candidate_limit;
+  sparse_opts.adaptive = workload_options.adaptive;
   sparse_opts.prepared_repository = &prepared;
   engine::BatchMatchEngine sparse_engine(sparse_opts);
 
   engine::BatchMatchOptions dense_opts = sparse_opts;
   dense_opts.candidate_limit = 0;
+  dense_opts.adaptive.reset();
   dense_opts.prepared_repository = nullptr;
   engine::BatchMatchEngine dense_engine(dense_opts);
 
@@ -132,6 +137,12 @@ Result<IndexedWorkloadResult> RunIndexedWorkload(
     report.index_seconds = sparse_stats.index_seconds;
     report.provably_complete_fraction =
         sparse_stats.provably_complete_fraction;
+    if (sparse_stats.adaptive_mode) {
+      report.budget_spent = sparse_stats.adaptive.budget_spent;
+      report.cells_escalated = sparse_stats.adaptive.cells_escalated;
+      report.adaptive_rounds = sparse_stats.adaptive.rounds;
+      result.total_budget_spent += report.budget_spent;
+    }
     result.stats += sparse_stats.match;
 
     if (workload_options.compare_dense) {
@@ -170,6 +181,12 @@ Result<IndexedWorkloadResult> RunIndexedWorkload(
       recall_sum / static_cast<double>(problems.size());
   result.top_answer_recall = static_cast<double>(top_retained) /
                              static_cast<double>(problems.size());
+  double completeness_sum = 0.0;
+  for (const QueryRunReport& report : result.reports) {
+    completeness_sum += report.provably_complete_fraction;
+  }
+  result.mean_provable_completeness =
+      completeness_sum / static_cast<double>(result.reports.size());
 
   // The pooled measured curve needs judged problems; workloads without
   // ground truth still get latency and recall-vs-dense.

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,7 +64,14 @@ std::vector<size_t> PooledSizes(const WorkloadResult& result,
 /// \brief Configuration of an indexed (prepare-once/serve-many) workload.
 struct IndexedWorkloadOptions {
   /// Candidates per (query element, schema) — the S2 selectivity knob C.
+  /// Ignored (and allowed to stay 0) when `adaptive` is set.
   size_t candidate_limit = 16;
+  /// Bound-driven mode: when set, every query's candidate lists grow per
+  /// cell until the skip-bound certifies
+  /// `adaptive->min_provable_completeness` at the run's Δ threshold (see
+  /// `index::AdaptiveCandidatePolicy`); per-query budget and achieved
+  /// bound are reported in `QueryRunReport`.
+  std::optional<index::AdaptiveCandidatePolicy> adaptive;
   /// Worker threads per query (0 ⇒ hardware concurrency).
   size_t num_threads = 1;
   /// Schemas per shard (0 = heuristic).
@@ -95,8 +104,17 @@ struct QueryRunReport {
   /// True iff the dense run's rank-1 answer is in the sparse answers.
   bool top_answer_retained = true;
   /// Fraction of (position, schema) cells the skip-bound certifies
-  /// complete at the run's Δ threshold.
-  double provably_complete_fraction = 0.0;
+  /// complete at the run's Δ threshold. The empty/dense convention is
+  /// **1.0** — "nothing was skipped" certifies completeness vacuously —
+  /// matching `engine::BatchMatchStats::provably_complete_fraction` (the
+  /// two used to disagree: 0.0 here vs 1.0 there; regression-tested in
+  /// tests/eval/indexed_workload_test.cc).
+  double provably_complete_fraction = 1.0;
+  /// Adaptive mode only: candidates scored for this query (including
+  /// escalation re-scoring), escalated cells, and escalation rounds.
+  uint64_t budget_spent = 0;
+  size_t cells_escalated = 0;
+  size_t adaptive_rounds = 0;
 };
 
 /// \brief Results of `RunIndexedWorkload`.
@@ -126,6 +144,11 @@ struct IndexedWorkloadResult {
   double mean_answer_recall = 1.0;
   /// Fraction of queries whose dense top-1 answer the sparse run retained.
   double top_answer_recall = 1.0;
+  /// Mean certified completeness over the queries — the workload-level
+  /// achieved bound.
+  double mean_provable_completeness = 1.0;
+  /// Adaptive mode: total candidates scored across all queries.
+  uint64_t total_budget_spent = 0;
   /// Micro-averaged measured sparse curve; only when some problem carries
   /// ground truth (see `has_curve`).
   PrCurve pooled_curve;

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "sim/prepared_kernel.h"
 #include "sim/synonyms.h"
+
+/// \file candidate_generator.cc
+/// \brief Fixed-C and bound-driven (adaptive) candidate generation.
+///
+/// Both entry points share one engine: a per-position *retrieval* pass
+/// (postings → retrieved elements with exact trigram Dice and
+/// strong-evidence flags) and a per-cell *scoring* pass (max-heap of the C
+/// cheapest exact node costs with threshold-aware pruning, emitting the
+/// admissible skip-bound). `Generate` runs retrieval + one scoring pass per
+/// cell; `GenerateAdaptive` keeps the retrieval state alive and re-scores
+/// only the cells whose bound has not yet certified the caller's
+/// completeness target, at geometrically growing limits.
 
 namespace smb::index {
 
@@ -14,7 +27,14 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// One retrieved element of the current (position, schema) cell.
+/// Certification margin in Δ units. Every matcher discards assignments
+/// whose accumulated cost exceeds `delta·normalizer + 1e-12` (and the
+/// unpruned exhaustive path filters emitted mappings at `Δ ≤ delta +
+/// 1e-12`), so a skipped element whose Δ-unit bound exceeds the threshold
+/// by this much strictly cannot contribute an answer.
+constexpr double kCertifyMargin = 1e-9;
+
+/// One retrieved element of the current query position.
 struct Retrieved {
   uint32_t ordinal = 0;
   /// Exact trigram Dice against the query name (0 for strong-only hits).
@@ -24,16 +44,337 @@ struct Retrieved {
   bool strong = false;
 };
 
+/// Retrieval results of one query position, valid for every schema and —
+/// in adaptive generation — every escalation round.
+struct PositionRetrieval {
+  /// Lookup-only preparation against the index's shared interner.
+  sim::PreparedName prepared;
+  /// Retrieved elements, ascending by ordinal (= grouped by schema).
+  std::vector<Retrieved> hits;
+  /// `hits` index range of schema `si` is
+  /// [hit_offsets[si], hit_offsets[si + 1]).
+  std::vector<uint32_t> hit_offsets;
+  const std::vector<uint32_t>* type_bucket = nullptr;
+};
+
+bool CellComplete(double skip_bound, double weight_name, double normalizer,
+                  double delta_threshold) {
+  return skip_bound == kInf ||
+         weight_name * skip_bound / normalizer >
+             delta_threshold + kCertifyMargin;
+}
+
+/// The shared generation machinery: retrieval scratch plus the max-heap /
+/// cutoff cell scorer. One instance per Generate/GenerateAdaptive call;
+/// not thread-safe (the scratch is reused across cells).
+class GenerationEngine {
+ public:
+  GenerationEngine(const PreparedRepository* prepared,
+                   const match::ObjectiveOptions* objective,
+                   double trigram_weight_share, bool cutoff_enabled)
+      : prepared_(prepared),
+        objective_(objective),
+        trigram_weight_share_(trigram_weight_share),
+        cutoff_enabled_(cutoff_enabled) {
+    const size_t element_count = prepared_->element_count();
+    shared_.assign(element_count, 0);
+    strong_.assign(element_count, 0);
+    size_t max_schema_size = 0;
+    for (const schema::Schema& s : prepared_->repo().schemas()) {
+      max_schema_size = std::max(max_schema_size, s.size());
+    }
+    in_list_.assign(max_schema_size, 0);
+  }
+
+  /// \brief Runs the retrieval pass for one query node: trigram postings
+  /// with multiplicities (exact Dice numerators), strong evidence (shared
+  /// tokens, token synonym groups, equal folded names, whole-name synonym
+  /// groups), grouped by schema.
+  void Retrieve(const schema::SchemaNode& qnode, PositionRetrieval* out) {
+    out->prepared = sim::PrepareName(qnode.name, objective_->name,
+                                     prepared_->token_table());
+    out->hits.clear();
+    out->type_bucket =
+        qnode.type.empty() ? nullptr : prepared_->TypeBucket(qnode.type);
+
+    touched_.clear();
+    auto touch = [&](uint32_t ordinal) {
+      if (shared_[ordinal] == 0 && strong_[ordinal] == 0) {
+        touched_.push_back(ordinal);
+      }
+    };
+
+    // Trigram evidence with multiplicities: Σ_g min(mult_q, mult_e) is the
+    // exact Dice numerator of every element sharing a gram. Gram ids are
+    // sorted, so runs of equal ids give the query-side multiplicity.
+    const auto& qgram_ids = out->prepared.gram_ids;
+    for (size_t g = 0; g < qgram_ids.size();) {
+      size_t end = g + 1;
+      while (end < qgram_ids.size() && qgram_ids[end] == qgram_ids[g]) ++end;
+      const auto query_mult = static_cast<uint32_t>(end - g);
+      for (const TrigramPosting& posting :
+           prepared_->TrigramPostings(qgram_ids[g])) {
+        touch(posting.ordinal);
+        shared_[posting.ordinal] +=
+            std::min(query_mult, static_cast<uint32_t>(posting.count));
+      }
+      g = end;
+    }
+
+    // Strong evidence: shared tokens, shared token synonym groups, equal
+    // folded names, whole-name synonym groups.
+    auto mark_strong = [&](std::span<const uint32_t> postings) {
+      for (uint32_t ordinal : postings) {
+        touch(ordinal);
+        strong_[ordinal] = 1;
+      }
+    };
+    auto mark_strong_bucket = [&](const std::vector<uint32_t>* postings) {
+      if (postings != nullptr) mark_strong(*postings);
+    };
+    // Token ids and synonym groups were already resolved by the
+    // lookup-only PrepareName above — the same dedup the index build posts
+    // under, so retrieval can never disagree with the postings. Unknown
+    // ids (tokens no repository element contains) post nothing, but their
+    // synonym group may still retrieve aliases.
+    AppendUniqueTokenGroupPairs(out->prepared, &query_tokens_);
+    for (const auto& [token_id, group] : query_tokens_) {
+      if (token_id != sim::kUnknownTokenId) {
+        mark_strong(prepared_->TokenPostings(token_id));
+      }
+      if (group >= 0) {
+        mark_strong_bucket(prepared_->TokenGroupPostings(group));
+      }
+    }
+    mark_strong_bucket(prepared_->NameBucket(out->prepared.folded));
+    if (out->prepared.name_group >= 0) {
+      mark_strong_bucket(prepared_->NameGroupBucket(out->prepared.name_group));
+    }
+
+    // Ordinals are (schema, node)-ordered, so one sorted walk groups the
+    // retrieved elements by schema.
+    std::sort(touched_.begin(), touched_.end());
+    const double qa = static_cast<double>(qgram_ids.size());
+    out->hits.reserve(touched_.size());
+    for (uint32_t ordinal : touched_) {
+      Retrieved hit;
+      hit.ordinal = ordinal;
+      hit.strong = strong_[ordinal] != 0;
+      const double denom =
+          qa + static_cast<double>(prepared_->element(ordinal).trigram_count);
+      hit.dice = denom > 0.0
+                     ? 2.0 * static_cast<double>(shared_[ordinal]) / denom
+                     : 0.0;
+      out->hits.push_back(hit);
+    }
+
+    const size_t schema_count = prepared_->repo().schema_count();
+    out->hit_offsets.assign(schema_count + 1, 0);
+    size_t ti = 0;
+    for (size_t si = 0; si < schema_count; ++si) {
+      out->hit_offsets[si] = static_cast<uint32_t>(ti);
+      const uint32_t end =
+          prepared_->first_ordinal(static_cast<int32_t>(si)) +
+          static_cast<uint32_t>(
+              prepared_->repo().schema(static_cast<int32_t>(si)).size());
+      while (ti < out->hits.size() && out->hits[ti].ordinal < end) ++ti;
+    }
+    out->hit_offsets[schema_count] = static_cast<uint32_t>(ti);
+
+    // Reset the per-element accumulators by walking only the touched list.
+    for (uint32_t ordinal : touched_) {
+      shared_[ordinal] = 0;
+      strong_[ordinal] = 0;
+    }
+  }
+
+  /// \brief Scores one (position, schema) cell at `limit` and writes its
+  /// entries and skip-bound. Idempotent and limit-monotone (a larger limit
+  /// keeps a superset of candidates with a no-smaller bound); re-invoked by
+  /// the adaptive path on escalation. Returns the number of candidates
+  /// scored — the budget this call spent.
+  size_t ScoreCell(const PositionRetrieval& retrieval,
+                   sim::BlockScorer& scorer, const schema::SchemaNode& qnode,
+                   int32_t schema_index, size_t limit,
+                   std::vector<match::CandidateEntry>* cell_entries,
+                   double* cell_skip_bound) {
+    const schema::Schema& schema = prepared_->repo().schema(schema_index);
+    const size_t schema_size = schema.size();
+    const uint32_t first = prepared_->first_ordinal(schema_index);
+    const uint32_t end = first + static_cast<uint32_t>(schema_size);
+    const auto si = static_cast<size_t>(schema_index);
+
+    cell_hits_.assign(
+        retrieval.hits.begin() + retrieval.hit_offsets[si],
+        retrieval.hits.begin() + retrieval.hit_offsets[si + 1]);
+
+    // Scoring set: every strong hit (required for admissibility of the
+    // synonym tiers, and they are the high-precision candidates anyway),
+    // then trigram-only hits by descending Dice until `limit` entries.
+    auto weak_begin =
+        std::stable_partition(cell_hits_.begin(), cell_hits_.end(),
+                              [](const Retrieved& r) { return r.strong; });
+    std::sort(weak_begin, cell_hits_.end(),
+              [](const Retrieved& a, const Retrieved& b) {
+                if (a.dice != b.dice) return a.dice > b.dice;
+                return a.ordinal < b.ordinal;
+              });
+    const size_t strong_count =
+        static_cast<size_t>(weak_begin - cell_hits_.begin());
+    const size_t weak_count = cell_hits_.size() - strong_count;
+    const size_t weak_scored =
+        strong_count >= limit ? 0 : std::min(weak_count, limit - strong_count);
+
+    scored_ordinals_.clear();
+    for (size_t i = 0; i < strong_count + weak_scored; ++i) {
+      scored_ordinals_.push_back(cell_hits_[i].ordinal);
+      in_list_[cell_hits_[i].ordinal - first] = 1;
+    }
+
+    // Pad to C with unretrieved elements: same declared type first, then
+    // node order — deterministic and query-independent.
+    if (scored_ordinals_.size() < limit && retrieval.type_bucket != nullptr) {
+      auto it = std::lower_bound(retrieval.type_bucket->begin(),
+                                 retrieval.type_bucket->end(), first);
+      for (; it != retrieval.type_bucket->end() && *it < end &&
+             scored_ordinals_.size() < limit;
+           ++it) {
+        if (in_list_[*it - first] == 0) {
+          scored_ordinals_.push_back(*it);
+          in_list_[*it - first] = 1;
+        }
+      }
+    }
+    for (uint32_t ordinal = first;
+         ordinal < end && scored_ordinals_.size() < limit; ++ordinal) {
+      if (in_list_[ordinal - first] == 0) {
+        scored_ordinals_.push_back(ordinal);
+        in_list_[ordinal - first] = 1;
+      }
+    }
+
+    // Exact scoring — the same ComputeNodeCost over prepared names the
+    // dense pool runs, so kept candidate costs are bit-identical to its.
+    // The loop maintains the C cheapest (cost, node) in a max-heap; once
+    // the list is full, the current C-th cost feeds the threshold-aware
+    // kernel, which drops provably-worse candidates after its cheap
+    // admissible bounds instead of scoring them in full. Dropped and
+    // pruned candidates both contribute to the truncation tier of the
+    // skip-bound: an exact cost when fully scored, an admissible lower
+    // bound (> the C-th cost) when pruned — so the bound stays
+    // admissible and, without pruning, bit-identical to sorting
+    // everything and reading the (C+1)-th cost.
+    entries_.clear();
+    double truncation_bound = kInf;
+    auto heap_before = [](const match::CandidateEntry& a,
+                          const match::CandidateEntry& b) {
+      if (a.cost != b.cost) return a.cost < b.cost;
+      return a.node < b.node;  // max-heap on (cost, node)
+    };
+    for (uint32_t ordinal : scored_ordinals_) {
+      const PreparedElement& element = prepared_->element(ordinal);
+      const schema::SchemaNode& tnode = schema.node(element.node);
+      if (entries_.size() < limit) {
+        match::CandidateEntry entry;
+        entry.node = element.node;
+        entry.cost = match::ComputeNodeCost(scorer, qnode, tnode,
+                                            element.name, *objective_);
+        entries_.push_back(entry);
+        std::push_heap(entries_.begin(), entries_.end(), heap_before);
+        continue;
+      }
+      const match::CandidateEntry& top = entries_.front();
+      double cost;
+      // Cost ties at 1.0 break on node order through the min(1, ·) cap,
+      // which the similarity-space cutoff cannot see — score those in
+      // full.
+      if (cutoff_enabled_ && top.cost < 1.0) {
+        match::NodeCostCutoff scored = match::ComputeNodeCostWithCutoff(
+            scorer, qnode, tnode, element.name, *objective_, top.cost);
+        if (!scored.exact) {  // provably > C-th cost: cannot enter
+          truncation_bound = std::min(truncation_bound, scored.cost);
+          continue;
+        }
+        cost = scored.cost;
+      } else {
+        cost = match::ComputeNodeCost(scorer, qnode, tnode, element.name,
+                                      *objective_);
+      }
+      if (cost < top.cost || (cost == top.cost && element.node < top.node)) {
+        truncation_bound = std::min(truncation_bound, top.cost);
+        std::pop_heap(entries_.begin(), entries_.end(), heap_before);
+        entries_.back().node = element.node;
+        entries_.back().cost = cost;
+        std::push_heap(entries_.begin(), entries_.end(), heap_before);
+      } else {
+        truncation_bound = std::min(truncation_bound, cost);
+      }
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const match::CandidateEntry& a,
+                 const match::CandidateEntry& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.node < b.node;
+              });
+
+    const size_t scored_total = scored_ordinals_.size();
+    double bound = truncation_bound;  // kInf when nothing was dropped
+    if (weak_scored < weak_count) {
+      // Retrieved but unscored: their exact Dice caps the trigram term.
+      bound = std::min(
+          bound, trigram_weight_share_ *
+                     (1.0 - cell_hits_[strong_count + weak_scored].dice));
+    }
+    if (scored_total + (weak_count - weak_scored) < schema_size) {
+      // Never-retrieved elements share no trigram with the query: D = 0.
+      bound = std::min(bound, trigram_weight_share_);
+    }
+    *cell_entries = entries_;
+    *cell_skip_bound = bound;
+    // in_list_ was set exactly for the scored ordinals — reset only those.
+    for (uint32_t ordinal : scored_ordinals_) {
+      in_list_[ordinal - first] = 0;
+    }
+    return scored_total;
+  }
+
+ private:
+  const PreparedRepository* prepared_;
+  const match::ObjectiveOptions* objective_;
+  double trigram_weight_share_;
+  bool cutoff_enabled_;
+
+  // Per-element evidence accumulators, reset between positions by walking
+  // the touched list (never the full arrays).
+  std::vector<uint32_t> shared_;
+  std::vector<uint8_t> strong_;
+  std::vector<uint32_t> touched_;
+  // Deduplicated (token id, synonym group) pairs of the current position.
+  std::vector<std::pair<uint32_t, int32_t>> query_tokens_;
+  // Per-cell scoring scratch.
+  std::vector<Retrieved> cell_hits_;
+  std::vector<uint8_t> in_list_;
+  std::vector<uint32_t> scored_ordinals_;
+  std::vector<match::CandidateEntry> entries_;
+};
+
 }  // namespace
+
+bool QueryCandidates::CellProvablyComplete(size_t pos, int32_t schema_index,
+                                           double delta_threshold) const {
+  const Cell& cell =
+      cells_[pos * schema_count_ + static_cast<size_t>(schema_index)];
+  return CellComplete(cell.skip_bound, weight_name_, normalizer_,
+                      delta_threshold);
+}
 
 double QueryCandidates::ProvablyCompleteFraction(
     double delta_threshold) const {
   if (cells_.empty()) return 1.0;
   size_t complete = 0;
   for (const Cell& cell : cells_) {
-    if (cell.skip_bound == kInf ||
-        weight_name_ * cell.skip_bound / normalizer_ >
-            delta_threshold + 1e-12) {
+    if (CellComplete(cell.skip_bound, weight_name_, normalizer_,
+                     delta_threshold)) {
       ++complete;
     }
   }
@@ -54,11 +395,7 @@ CandidateGenerator::CandidateGenerator(const PreparedRepository* prepared,
   trigram_weight_share_ = wsum > 0.0 ? wt / wsum : 0.0;
 }
 
-Result<QueryCandidates> CandidateGenerator::Generate(
-    const schema::Schema& query, size_t limit) const {
-  if (limit == 0) {
-    return Status::InvalidArgument("candidate limit must be positive");
-  }
+Status CandidateGenerator::ValidateQuery(const schema::Schema& query) const {
   if (query.empty()) {
     return Status::InvalidArgument("query schema is empty");
   }
@@ -70,279 +407,223 @@ Result<QueryCandidates> CandidateGenerator::Generate(
         "candidate generation requires the objective's name options "
         "(folding, synonyms) to match the ones the index was built with");
   }
+  return Status::OK();
+}
+
+void CandidateGenerator::FinalizeCounts(QueryCandidates* out) const {
+  const schema::SchemaRepository& repo = prepared_->repo();
+  out->generated_ = 0;
+  out->skipped_ = 0;
+  for (size_t pos = 0; pos < out->positions_; ++pos) {
+    for (size_t si = 0; si < out->schema_count_; ++si) {
+      const size_t listed =
+          out->cells_[pos * out->schema_count_ + si].entries.size();
+      out->generated_ += listed;
+      out->skipped_ += repo.schema(static_cast<int32_t>(si)).size() - listed;
+    }
+  }
+}
+
+void CandidateGenerator::InitOutput(const schema::Schema& query,
+                                    QueryCandidates* out) const {
+  const size_t m = query.PreOrder().size();
+  const size_t schema_count = prepared_->repo().schema_count();
+  out->cells_.clear();
+  out->cells_.resize(m * schema_count);
+  out->positions_ = m;
+  out->schema_count_ = schema_count;
+  out->weight_name_ = objective_.weight_name;
+  out->normalizer_ = objective_.weight_name * static_cast<double>(m);
+  if (m > 1) {
+    out->normalizer_ +=
+        objective_.weight_structure * static_cast<double>(m - 1);
+  }
+  if (out->normalizer_ <= 0.0) out->normalizer_ = 1.0;
+}
+
+Result<QueryCandidates> CandidateGenerator::Generate(
+    const schema::Schema& query, size_t limit) const {
+  if (limit == 0) {
+    return Status::InvalidArgument("candidate limit must be positive");
+  }
+  SMB_RETURN_IF_ERROR(ValidateQuery(query));
+
+  const std::vector<schema::NodeId> preorder = query.PreOrder();
+  const size_t m = preorder.size();
+  const size_t schema_count = prepared_->repo().schema_count();
+
+  QueryCandidates out;
+  InitOutput(query, &out);
+  out.limit_ = limit;
+
+  GenerationEngine engine(prepared_, &objective_, trigram_weight_share_,
+                          cutoff_enabled_);
+  PositionRetrieval retrieval;
+  for (size_t pos = 0; pos < m; ++pos) {
+    const schema::SchemaNode& qnode = query.node(preorder[pos]);
+    engine.Retrieve(qnode, &retrieval);
+    // One scorer per query position: query-side setup (weights, PEQ
+    // bitmask scatter) loads once and every candidate of every schema
+    // scores through it.
+    sim::BlockScorer scorer(retrieval.prepared, objective_.name);
+    for (size_t si = 0; si < schema_count; ++si) {
+      QueryCandidates::Cell& cell = out.cells_[pos * schema_count + si];
+      engine.ScoreCell(retrieval, scorer, qnode, static_cast<int32_t>(si),
+                       limit, &cell.entries, &cell.skip_bound);
+    }
+  }
+  FinalizeCounts(&out);
+  return out;
+}
+
+Result<QueryCandidates> CandidateGenerator::GenerateAdaptive(
+    const schema::Schema& query, const AdaptiveCandidatePolicy& policy,
+    double delta_threshold, AdaptiveGenerationStats* stats) const {
+  if (policy.min_provable_completeness < 0.0 ||
+      policy.min_provable_completeness > 1.0) {
+    return Status::InvalidArgument(
+        "min_provable_completeness must be in [0, 1]");
+  }
+  if (policy.initial_limit == 0) {
+    return Status::InvalidArgument("initial_limit must be positive");
+  }
+  if (policy.growth_factor < 2) {
+    return Status::InvalidArgument("growth_factor must be at least 2");
+  }
+  if (policy.max_limit != 0 && policy.max_limit < policy.initial_limit) {
+    return Status::InvalidArgument(
+        "max_limit must be 0 (unbounded) or at least initial_limit");
+  }
+  SMB_RETURN_IF_ERROR(ValidateQuery(query));
 
   const schema::SchemaRepository& repo = prepared_->repo();
   const std::vector<schema::NodeId> preorder = query.PreOrder();
   const size_t m = preorder.size();
   const size_t schema_count = repo.schema_count();
-  const size_t element_count = prepared_->element_count();
+  const size_t total_cells = m * schema_count;
 
   QueryCandidates out;
-  out.cells_.resize(m * schema_count);
-  out.positions_ = m;
-  out.schema_count_ = schema_count;
-  out.limit_ = limit;
-  out.weight_name_ = objective_.weight_name;
-  out.normalizer_ = objective_.weight_name * static_cast<double>(m);
-  if (m > 1) {
-    out.normalizer_ +=
-        objective_.weight_structure * static_cast<double>(m - 1);
-  }
-  if (out.normalizer_ <= 0.0) out.normalizer_ = 1.0;
+  InitOutput(query, &out);
 
-  // Per-element evidence accumulators, reset between uses by walking the
-  // touched/scored lists (never the full arrays).
-  std::vector<uint32_t> shared(element_count, 0);
-  std::vector<uint8_t> strong(element_count, 0);
-  std::vector<uint32_t> touched;
-  std::vector<Retrieved> cell_hits;
-  size_t max_schema_size = 0;
-  for (const schema::Schema& s : repo.schemas()) {
-    max_schema_size = std::max(max_schema_size, s.size());
+  AdaptiveGenerationStats local;
+  local.cells_total = total_cells;
+  if (total_cells == 0) {
+    out.limit_ = policy.initial_limit;
+    if (stats != nullptr) *stats = local;
+    return out;
   }
-  // Per-schema scratch, nodes already chosen for the current cell.
-  std::vector<uint8_t> in_list(max_schema_size, 0);
-  std::vector<uint32_t> scored_ordinals;
-  std::vector<match::CandidateEntry> entries;
-  // Deduplicated (token id, synonym group) pairs of the current position.
-  std::vector<std::pair<uint32_t, int32_t>> query_tokens;
 
+  // Growing a cell past its schema size is pointless: the list already
+  // covers every node (skip-bound +inf, always certified).
+  auto cap_for = [&](size_t si) {
+    const size_t schema_size = repo.schema(static_cast<int32_t>(si)).size();
+    return policy.max_limit > 0 ? std::min(policy.max_limit, schema_size)
+                                : schema_size;
+  };
+
+  GenerationEngine engine(prepared_, &objective_, trigram_weight_share_,
+                          cutoff_enabled_);
+
+  // Retrieval state is kept per position so escalation rounds only re-run
+  // the (cheap, cutoff-pruned) scoring of the cells that need more budget.
+  std::vector<PositionRetrieval> retrievals(m);
+  std::vector<size_t> limits(total_cells, 0);
+  std::vector<uint8_t> certified(total_cells, 0);
+  std::vector<uint8_t> escalated(total_cells, 0);
+
+  size_t certified_count = 0;
+  auto note_certified = [&](size_t cell_index) {
+    if (certified[cell_index] == 0 &&
+        CellComplete(out.cells_[cell_index].skip_bound, out.weight_name_,
+                     out.normalizer_, delta_threshold)) {
+      certified[cell_index] = 1;
+      ++certified_count;
+    }
+  };
+  auto target_met = [&] {
+    return static_cast<double>(certified_count) /
+                   static_cast<double>(total_cells) +
+               1e-12 >=
+           policy.min_provable_completeness;
+  };
+
+  // Round 0: every cell at the initial limit.
   for (size_t pos = 0; pos < m; ++pos) {
     const schema::SchemaNode& qnode = query.node(preorder[pos]);
-    // Lookup-only preparation against the index's shared interner: query
-    // token ids agree with element token ids, the index stays immutable.
-    const sim::PreparedName qp = sim::PrepareName(
-        qnode.name, objective_.name, prepared_->token_table());
-    // One scorer per query position: query-side setup (weights, PEQ
-    // bitmask scatter) loads once and every candidate of every schema
-    // scores through it.
-    sim::BlockScorer scorer(qp, objective_.name);
-    const auto& qgram_ids = qp.gram_ids;
-    const double qa = static_cast<double>(qgram_ids.size());
-
-    touched.clear();
-    auto touch = [&](uint32_t ordinal) {
-      if (shared[ordinal] == 0 && strong[ordinal] == 0) {
-        touched.push_back(ordinal);
-      }
-    };
-
-    // Trigram evidence with multiplicities: Σ_g min(mult_q, mult_e) is the
-    // exact Dice numerator of every element sharing a gram. Gram ids are
-    // sorted, so runs of equal ids give the query-side multiplicity.
-    for (size_t g = 0; g < qgram_ids.size();) {
-      size_t end = g + 1;
-      while (end < qgram_ids.size() && qgram_ids[end] == qgram_ids[g]) ++end;
-      const auto query_mult = static_cast<uint32_t>(end - g);
-      for (const TrigramPosting& posting :
-           prepared_->TrigramPostings(qgram_ids[g])) {
-        touch(posting.ordinal);
-        shared[posting.ordinal] +=
-            std::min(query_mult, static_cast<uint32_t>(posting.count));
-      }
-      g = end;
-    }
-
-    // Strong evidence: shared tokens, shared token synonym groups, equal
-    // folded names, whole-name synonym groups.
-    auto mark_strong = [&](std::span<const uint32_t> postings) {
-      for (uint32_t ordinal : postings) {
-        touch(ordinal);
-        strong[ordinal] = 1;
-      }
-    };
-    auto mark_strong_bucket = [&](const std::vector<uint32_t>* postings) {
-      if (postings != nullptr) mark_strong(*postings);
-    };
-    // Token ids and synonym groups were already resolved by the
-    // lookup-only PrepareName above — the same dedup the index build posts
-    // under, so retrieval can never disagree with the postings. Unknown
-    // ids (tokens no repository element contains) post nothing, but their
-    // synonym group may still retrieve aliases.
-    AppendUniqueTokenGroupPairs(qp, &query_tokens);
-    for (const auto& [token_id, group] : query_tokens) {
-      if (token_id != sim::kUnknownTokenId) {
-        mark_strong(prepared_->TokenPostings(token_id));
-      }
-      if (group >= 0) {
-        mark_strong_bucket(prepared_->TokenGroupPostings(group));
-      }
-    }
-    mark_strong_bucket(prepared_->NameBucket(qp.folded));
-    if (qp.name_group >= 0) {
-      mark_strong_bucket(prepared_->NameGroupBucket(qp.name_group));
-    }
-
-    // Ordinals are (schema, node)-ordered, so one sorted walk groups the
-    // retrieved elements by schema.
-    std::sort(touched.begin(), touched.end());
-
-    const std::vector<uint32_t>* type_bucket =
-        qnode.type.empty() ? nullptr : prepared_->TypeBucket(qnode.type);
-
-    size_t ti = 0;
+    engine.Retrieve(qnode, &retrievals[pos]);
+    sim::BlockScorer scorer(retrievals[pos].prepared, objective_.name);
     for (size_t si = 0; si < schema_count; ++si) {
-      const auto schema_index = static_cast<int32_t>(si);
-      const schema::Schema& schema = repo.schema(schema_index);
-      const size_t schema_size = schema.size();
-      const uint32_t first = prepared_->first_ordinal(schema_index);
-      const uint32_t end = first + static_cast<uint32_t>(schema_size);
-
-      cell_hits.clear();
-      for (; ti < touched.size() && touched[ti] < end; ++ti) {
-        const uint32_t ordinal = touched[ti];
-        Retrieved hit;
-        hit.ordinal = ordinal;
-        hit.strong = strong[ordinal] != 0;
-        const double denom =
-            qa + static_cast<double>(prepared_->element(ordinal)
-                                         .trigram_count);
-        hit.dice = denom > 0.0
-                       ? 2.0 * static_cast<double>(shared[ordinal]) / denom
-                       : 0.0;
-        cell_hits.push_back(hit);
-      }
-
-      // Scoring set: every strong hit (required for admissibility of the
-      // synonym tiers, and they are the high-precision candidates anyway),
-      // then trigram-only hits by descending Dice until `limit` entries.
-      auto weak_begin =
-          std::stable_partition(cell_hits.begin(), cell_hits.end(),
-                                [](const Retrieved& r) { return r.strong; });
-      std::sort(weak_begin, cell_hits.end(),
-                [](const Retrieved& a, const Retrieved& b) {
-                  if (a.dice != b.dice) return a.dice > b.dice;
-                  return a.ordinal < b.ordinal;
-                });
-      const size_t strong_count =
-          static_cast<size_t>(weak_begin - cell_hits.begin());
-      const size_t weak_count = cell_hits.size() - strong_count;
-      const size_t weak_scored =
-          strong_count >= limit ? 0
-                                : std::min(weak_count, limit - strong_count);
-
-      scored_ordinals.clear();
-      for (size_t i = 0; i < strong_count + weak_scored; ++i) {
-        scored_ordinals.push_back(cell_hits[i].ordinal);
-        in_list[cell_hits[i].ordinal - first] = 1;
-      }
-
-      // Pad to C with unretrieved elements: same declared type first, then
-      // node order — deterministic and query-independent.
-      if (scored_ordinals.size() < limit && type_bucket != nullptr) {
-        auto it = std::lower_bound(type_bucket->begin(), type_bucket->end(),
-                                   first);
-        for (; it != type_bucket->end() && *it < end &&
-               scored_ordinals.size() < limit;
-             ++it) {
-          if (in_list[*it - first] == 0) {
-            scored_ordinals.push_back(*it);
-            in_list[*it - first] = 1;
-          }
-        }
-      }
-      for (uint32_t ordinal = first;
-           ordinal < end && scored_ordinals.size() < limit; ++ordinal) {
-        if (in_list[ordinal - first] == 0) {
-          scored_ordinals.push_back(ordinal);
-          in_list[ordinal - first] = 1;
-        }
-      }
-
-      // Exact scoring — the same ComputeNodeCost over prepared names the
-      // dense pool runs, so kept candidate costs are bit-identical to its.
-      // The loop maintains the C cheapest (cost, node) in a max-heap; once
-      // the list is full, the current C-th cost feeds the threshold-aware
-      // kernel, which drops provably-worse candidates after its cheap
-      // admissible bounds instead of scoring them in full. Dropped and
-      // pruned candidates both contribute to the truncation tier of the
-      // skip-bound: an exact cost when fully scored, an admissible lower
-      // bound (> the C-th cost) when pruned — so the bound stays
-      // admissible and, without pruning, bit-identical to sorting
-      // everything and reading the (C+1)-th cost.
-      entries.clear();
-      double truncation_bound = kInf;
-      auto heap_before = [](const match::CandidateEntry& a,
-                            const match::CandidateEntry& b) {
-        if (a.cost != b.cost) return a.cost < b.cost;
-        return a.node < b.node;  // max-heap on (cost, node)
-      };
-      for (uint32_t ordinal : scored_ordinals) {
-        const PreparedElement& element = prepared_->element(ordinal);
-        const schema::SchemaNode& tnode = schema.node(element.node);
-        if (entries.size() < limit) {
-          match::CandidateEntry entry;
-          entry.node = element.node;
-          entry.cost = match::ComputeNodeCost(scorer, qnode, tnode,
-                                              element.name, objective_);
-          entries.push_back(entry);
-          std::push_heap(entries.begin(), entries.end(), heap_before);
-          continue;
-        }
-        const match::CandidateEntry& top = entries.front();
-        double cost;
-        // Cost ties at 1.0 break on node order through the min(1, ·) cap,
-        // which the similarity-space cutoff cannot see — score those in
-        // full.
-        if (cutoff_enabled_ && top.cost < 1.0) {
-          match::NodeCostCutoff scored = match::ComputeNodeCostWithCutoff(
-              scorer, qnode, tnode, element.name, objective_, top.cost);
-          if (!scored.exact) {  // provably > C-th cost: cannot enter
-            truncation_bound = std::min(truncation_bound, scored.cost);
-            continue;
-          }
-          cost = scored.cost;
-        } else {
-          cost = match::ComputeNodeCost(scorer, qnode, tnode, element.name,
-                                        objective_);
-        }
-        if (cost < top.cost || (cost == top.cost && element.node < top.node)) {
-          truncation_bound = std::min(truncation_bound, top.cost);
-          std::pop_heap(entries.begin(), entries.end(), heap_before);
-          entries.back().node = element.node;
-          entries.back().cost = cost;
-          std::push_heap(entries.begin(), entries.end(), heap_before);
-        } else {
-          truncation_bound = std::min(truncation_bound, cost);
-        }
-      }
-      std::sort(entries.begin(), entries.end(),
-                [](const match::CandidateEntry& a,
-                   const match::CandidateEntry& b) {
-                  if (a.cost != b.cost) return a.cost < b.cost;
-                  return a.node < b.node;
-                });
-
-      QueryCandidates::Cell& cell =
-          out.cells_[pos * schema_count + si];
-      const size_t scored_total = scored_ordinals.size();
-      double bound = truncation_bound;  // kInf when nothing was dropped
-      if (weak_scored < weak_count) {
-        // Retrieved but unscored: their exact Dice caps the trigram term.
-        bound = std::min(
-            bound, trigram_weight_share_ *
-                       (1.0 - cell_hits[strong_count + weak_scored].dice));
-      }
-      if (scored_total + (weak_count - weak_scored) < schema_size) {
-        // Never-retrieved elements share no trigram with the query: D = 0.
-        bound = std::min(bound, trigram_weight_share_);
-      }
-      cell.entries = entries;
-      cell.skip_bound = bound;
-      out.generated_ += cell.entries.size();
-      out.skipped_ += schema_size - cell.entries.size();
-      // in_list was set exactly for the scored ordinals — reset only those.
-      for (uint32_t ordinal : scored_ordinals) {
-        in_list[ordinal - first] = 0;
-      }
-    }
-
-    for (uint32_t ordinal : touched) {
-      shared[ordinal] = 0;
-      strong[ordinal] = 0;
+      const size_t cell_index = pos * schema_count + si;
+      limits[cell_index] = policy.initial_limit;
+      QueryCandidates::Cell& cell = out.cells_[cell_index];
+      local.budget_spent += engine.ScoreCell(
+          retrievals[pos], scorer, qnode, static_cast<int32_t>(si),
+          policy.initial_limit, &cell.entries, &cell.skip_bound);
+      note_certified(cell_index);
     }
   }
 
+  // Escalation rounds: regenerate every uncertified, still-growable cell
+  // at `growth_factor ×` its limit; stop as soon as the certified fraction
+  // reaches the target (deterministic (position, schema) order) or no cell
+  // can grow further. Terminates: every escalation strictly grows a limit
+  // toward its finite cap.
+  while (!target_met()) {
+    bool any_escalated = false;
+    for (size_t pos = 0; pos < m && !target_met(); ++pos) {
+      bool row_has_work = false;
+      for (size_t si = 0; si < schema_count; ++si) {
+        const size_t cell_index = pos * schema_count + si;
+        if (certified[cell_index] == 0 && limits[cell_index] < cap_for(si)) {
+          row_has_work = true;
+          break;
+        }
+      }
+      if (!row_has_work) continue;
+      const schema::SchemaNode& qnode = query.node(preorder[pos]);
+      sim::BlockScorer scorer(retrievals[pos].prepared, objective_.name);
+      for (size_t si = 0; si < schema_count && !target_met(); ++si) {
+        const size_t cell_index = pos * schema_count + si;
+        const size_t cap = cap_for(si);
+        if (certified[cell_index] != 0 || limits[cell_index] >= cap) {
+          continue;
+        }
+        const size_t next_limit =
+            std::min(cap, limits[cell_index] * policy.growth_factor);
+        QueryCandidates::Cell& cell = out.cells_[cell_index];
+        local.budget_spent += engine.ScoreCell(
+            retrievals[pos], scorer, qnode, static_cast<int32_t>(si),
+            next_limit, &cell.entries, &cell.skip_bound);
+        limits[cell_index] = next_limit;
+        escalated[cell_index] = 1;
+        any_escalated = true;
+        note_certified(cell_index);
+      }
+    }
+    if (!any_escalated) break;  // every uncertified cell is at its cap
+    ++local.rounds;
+  }
+
+  std::map<size_t, uint64_t> distribution;
+  size_t max_limit_used = 0;
+  for (size_t cell_index = 0; cell_index < total_cells; ++cell_index) {
+    max_limit_used = std::max(max_limit_used, limits[cell_index]);
+    ++distribution[limits[cell_index]];
+    if (escalated[cell_index] != 0) ++local.cells_escalated;
+    if (certified[cell_index] == 0 &&
+        limits[cell_index] >= cap_for(cell_index % schema_count)) {
+      ++local.cells_at_cap;
+    }
+  }
+  local.cells_certified = certified_count;
+  local.achieved_completeness = static_cast<double>(certified_count) /
+                                static_cast<double>(total_cells);
+  local.final_limit_distribution.assign(distribution.begin(),
+                                        distribution.end());
+
+  out.limit_ = max_limit_used;
+  FinalizeCounts(&out);
+  if (stats != nullptr) *stats = std::move(local);
   return out;
 }
 

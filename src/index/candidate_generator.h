@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -10,7 +11,9 @@
 
 /// \file candidate_generator.h
 /// \brief Sparse candidate generation: top-C targets per query element with
-/// an admissible cost bound for everything skipped.
+/// an admissible cost bound for everything skipped — at a fixed C, or
+/// adaptively grown per cell until the bound certifies a completeness
+/// target (`AdaptiveCandidatePolicy`).
 ///
 /// For each (query position, repository schema) cell the generator
 /// retrieves elements through the `PreparedRepository` postings (tokens,
@@ -28,6 +31,19 @@
 ///  * retrieved-but-unscored elements: `(w_t/Σw)·(1 − D)` from their exact
 ///    trigram Dice D;
 ///  * never-retrieved elements: `(w_t/Σw)` (their Dice is 0).
+///
+/// **Bound as controller.** The skip-bound is not only telemetry: a cell is
+/// *certified complete* at a Δ threshold when any mapping through one of
+/// its skipped elements provably exceeds the threshold
+/// (`QueryCandidates::CellProvablyComplete`). `GenerateAdaptive` uses that
+/// certificate to drive the budget — each cell starts small and grows
+/// geometrically only until it certifies (or a cap is hit), so easy cells
+/// stay cheap and the hard ones get the candidates. The certification
+/// margin is strictly wider than the matchers' pruning epsilon, so a
+/// certified cell can never change an answer (every matcher discards
+/// assignments whose cost exceeds `delta·normalizer + 1e-12`, and
+/// certification requires the skipped cost to exceed that by ≥ 1e-9 in
+/// normalized Δ units).
 
 namespace smb::index {
 
@@ -51,7 +67,8 @@ class QueryCandidates : public match::CandidateProvider {
   /// Query pre-order positions covered.
   size_t positions() const { return positions_; }
   size_t schema_count() const { return schema_count_; }
-  /// The cutoff C the lists were generated with.
+  /// The cutoff C the lists were generated with (for adaptive generation:
+  /// the largest per-cell limit any cell ended at).
   size_t limit() const { return limit_; }
 
   /// Σ list sizes — candidate entries the index produced.
@@ -59,10 +76,30 @@ class QueryCandidates : public match::CandidateProvider {
   /// Σ (|schema| − list size) — repository nodes never handed to matchers.
   uint64_t candidates_skipped() const { return skipped_; }
 
-  /// \brief Fraction of (position, schema) cells whose skip-bound proves
-  /// that no mapping with Δ ≤ `delta_threshold` passes through a skipped
-  /// element of that cell — the measurable completeness knob: at 1.0 the
-  /// sparse answers are certified identical to the dense ones.
+  /// \brief The cell's skip-bound translated to Δ units: an admissible
+  /// lower bound on the Δ of any mapping that assigns this query position
+  /// to a target *not* in the cell's candidate list
+  /// (`weight_name · skip_bound / normalizer`). +infinity when the list
+  /// covers the whole schema.
+  double CellDeltaBound(size_t pos, int32_t schema_index) const {
+    const Cell& cell =
+        cells_[pos * schema_count_ + static_cast<size_t>(schema_index)];
+    return weight_name_ * cell.skip_bound / normalizer_;
+  }
+
+  /// \brief True when the cell's skip-bound *certifies* that no mapping
+  /// with Δ ≤ `delta_threshold` passes through a skipped element of the
+  /// cell. The margin (1e-9 in Δ units) strictly dominates the matchers'
+  /// pruning epsilon (1e-12 on the un-normalized cost scale), so matching
+  /// over a certified cell is provably answer-identical to matching over
+  /// the full node set of that cell.
+  bool CellProvablyComplete(size_t pos, int32_t schema_index,
+                            double delta_threshold) const;
+
+  /// \brief Fraction of (position, schema) cells certified complete at
+  /// `delta_threshold` (`CellProvablyComplete`) — the measurable
+  /// completeness knob: at 1.0 the sparse answers are certified identical
+  /// to the dense ones.
   double ProvablyCompleteFraction(double delta_threshold) const;
 
  private:
@@ -81,10 +118,60 @@ class QueryCandidates : public match::CandidateProvider {
   size_t limit_ = 0;
   uint64_t generated_ = 0;
   uint64_t skipped_ = 0;
-  /// Objective shape for ProvablyCompleteFraction: Δ of a mapping through
-  /// a skipped node is at least `weight_name_ · skip_bound / normalizer_`.
+  /// Objective shape for the Δ-unit bound: Δ of a mapping through a
+  /// skipped node is at least `weight_name_ · skip_bound / normalizer_`.
   double weight_name_ = 0.0;
   double normalizer_ = 1.0;
+};
+
+/// \brief Bound-driven budget policy for `GenerateAdaptive`: grow each
+/// cell's candidate list geometrically until its skip-bound certifies
+/// completeness, stopping globally once the target fraction of cells is
+/// certified.
+struct AdaptiveCandidatePolicy {
+  /// Per-query completeness target in [0, 1]: escalation stops as soon as
+  /// `ProvablyCompleteFraction(delta) ≥` this. 1.0 demands every cell be
+  /// certified — with an unbounded cap the answers are then byte-identical
+  /// to the dense path for every matcher; 0.0 never escalates (every cell
+  /// stays at `initial_limit`, exactly `Generate(query, initial_limit)`).
+  double min_provable_completeness = 1.0;
+  /// Candidate list size every cell starts at (round 0).
+  size_t initial_limit = 4;
+  /// Per-escalation multiplier of a cell's limit (≥ 2).
+  size_t growth_factor = 2;
+  /// Hard per-cell cap on the limit; 0 = unbounded (a cell may grow until
+  /// it covers its whole schema, which always certifies). With a finite
+  /// cap the target may be unreachable — generation still succeeds and the
+  /// achieved fraction is reported in `AdaptiveGenerationStats`.
+  size_t max_limit = 0;
+};
+
+/// \brief What one `GenerateAdaptive` run spent and achieved — the
+/// bound-as-scheduler telemetry (budget, escalations, achieved bound
+/// distribution).
+struct AdaptiveGenerationStats {
+  /// Escalation rounds after the initial one (0 = round 0 already met the
+  /// target).
+  size_t rounds = 0;
+  size_t cells_total = 0;
+  /// Cells certified complete at the run's Δ threshold when generation
+  /// stopped.
+  size_t cells_certified = 0;
+  /// Cells whose list was regenerated at a larger limit at least once.
+  size_t cells_escalated = 0;
+  /// Cells that hit `max_limit` (or full schema coverage) without
+  /// certifying.
+  size_t cells_at_cap = 0;
+  /// Candidates *scored* across all rounds, including re-scoring on
+  /// escalation — the generation cost this policy actually paid.
+  uint64_t budget_spent = 0;
+  /// `ProvablyCompleteFraction(delta_threshold)` of the final lists — the
+  /// certified per-query bound.
+  double achieved_completeness = 1.0;
+  /// Achieved budget distribution: (final per-cell limit, cell count),
+  /// ascending by limit. Shows where the bound spent the budget — easy
+  /// cells stay at `initial_limit`, hard ones climb.
+  std::vector<std::pair<size_t, uint64_t>> final_limit_distribution;
 };
 
 /// \brief Turns a `PreparedRepository` into per-query candidate lists.
@@ -100,6 +187,20 @@ class CandidateGenerator {
   Result<QueryCandidates> Generate(const schema::Schema& query,
                                    size_t limit) const;
 
+  /// \brief Bound-driven generation: every cell starts at
+  /// `policy.initial_limit` and uncertified cells are regenerated at
+  /// geometrically growing limits until the fraction of cells certified
+  /// complete at `delta_threshold` reaches
+  /// `policy.min_provable_completeness`, or every uncertified cell has hit
+  /// its cap. Retrieval runs once per query position and is reused across
+  /// rounds; scoring reuses the same max-heap/cutoff machinery as
+  /// `Generate`, so kept candidate costs stay bit-identical to the dense
+  /// pool's. `stats`, when non-null, receives the spent budget and the
+  /// achieved bound.
+  Result<QueryCandidates> GenerateAdaptive(
+      const schema::Schema& query, const AdaptiveCandidatePolicy& policy,
+      double delta_threshold, AdaptiveGenerationStats* stats = nullptr) const;
+
   /// \brief Toggles threshold-aware scoring (on by default): once a cell's
   /// list is full, the current C-th cost feeds
   /// `match::ComputeNodeCostWithCutoff` so provably-worse candidates stop
@@ -110,6 +211,13 @@ class CandidateGenerator {
   void set_cutoff_enabled(bool enabled) { cutoff_enabled_ = enabled; }
 
  private:
+  Status ValidateQuery(const schema::Schema& query) const;
+  void InitOutput(const schema::Schema& query, QueryCandidates* out) const;
+  /// Recomputes generated/skipped totals from the final cells (the
+  /// adaptive path re-scores cells, so accumulating during generation
+  /// would double-count).
+  void FinalizeCounts(QueryCandidates* out) const;
+
   const PreparedRepository* prepared_;
   match::ObjectiveOptions objective_;
   /// w_t / Σw — the trigram share of the composite measure, the analytic

@@ -1,5 +1,11 @@
 #include "index/prepared_repository.h"
 
+/// \file prepared_repository.cc
+/// \brief One-pass index build: folds/tokenizes every element name into
+/// the kernel form, posts tokens, synonym groups and multiset trigrams,
+/// and freezes the postings into CSR arrays (see prepared_repository.h
+/// for the retrieval model and the admissibility argument).
+
 #include <algorithm>
 #include <utility>
 

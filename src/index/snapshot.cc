@@ -1,5 +1,10 @@
 #include "index/snapshot.h"
 
+/// \file snapshot.cc
+/// \brief Binary encode/decode of `PreparedRepository` — versioned
+/// little-endian layout, fingerprint + checksum verification (fail
+/// closed), chunked element payload decoded on a worker pool.
+
 #include <algorithm>
 #include <atomic>
 #include <bit>

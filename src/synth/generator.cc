@@ -1,5 +1,10 @@
 #include "synth/generator.h"
 
+/// \file generator.cc
+/// \brief Synthetic test-collection generation: plants perturbed copies of
+/// the query into host schemas so ground truth H is known by construction
+/// (replacing §2.2's human judges).
+
 #include <algorithm>
 
 namespace smb::synth {

@@ -1,5 +1,9 @@
 #include "synth/perturb.h"
 
+/// \file perturb.cc
+/// \brief Name/structure perturbation of planted schema copies: renames,
+/// synonym swaps, typos, drops and moves at a tunable strength.
+
 #include <algorithm>
 #include <cctype>
 

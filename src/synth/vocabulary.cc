@@ -1,5 +1,9 @@
 #include "synth/vocabulary.h"
 
+/// \file vocabulary.cc
+/// \brief Domain vocabularies (e-commerce, HR, library, ...) that supply
+/// realistic element names and type annotations to the generator.
+
 #include <cctype>
 
 namespace smb::synth {

@@ -1,0 +1,98 @@
+#include "bounds/budget_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "index/candidate_generator.h"
+#include "index/prepared_repository.h"
+#include "synth/generator.h"
+
+namespace smb::bounds {
+namespace {
+
+TEST(BudgetCurveTest, SweepValidatesInputs) {
+  BudgetProbe probe = [](size_t) -> Result<BudgetCurvePoint> {
+    return BudgetCurvePoint{};
+  };
+  EXPECT_FALSE(SweepBudgetCurve({}, probe).ok());
+  EXPECT_FALSE(SweepBudgetCurve({0, 4}, probe).ok());
+  EXPECT_FALSE(SweepBudgetCurve({4, 4}, probe).ok());
+  EXPECT_FALSE(SweepBudgetCurve({8, 4}, probe).ok());
+  EXPECT_FALSE(SweepBudgetCurve({4, 8}, nullptr).ok());
+  EXPECT_TRUE(SweepBudgetCurve({4, 8}, probe).ok());
+}
+
+TEST(BudgetCurveTest, SweepPropagatesProbeFailureWithContext) {
+  BudgetProbe probe = [](size_t limit) -> Result<BudgetCurvePoint> {
+    if (limit == 8) return Status::Internal("probe exploded");
+    return BudgetCurvePoint{};
+  };
+  auto curve = SweepBudgetCurve({4, 8}, probe);
+  ASSERT_FALSE(curve.ok());
+  EXPECT_NE(curve.status().ToString().find("C=8"), std::string::npos);
+}
+
+TEST(BudgetCurveTest, SmallestLimitAchieving) {
+  BudgetCurve curve;
+  curve.points = {{4, 100, 0.5, 0.0}, {8, 180, 0.9, 0.0},
+                  {16, 300, 1.0, 0.0}};
+  EXPECT_EQ(curve.SmallestLimitAchieving(0.4), 4u);
+  EXPECT_EQ(curve.SmallestLimitAchieving(0.9), 8u);
+  EXPECT_EQ(curve.SmallestLimitAchieving(0.95), 16u);
+  EXPECT_EQ(curve.SmallestLimitAchieving(1.0), 16u);
+  EXPECT_EQ(BudgetCurve{}.SmallestLimitAchieving(0.5), 0u);
+}
+
+TEST(BudgetCurveTest, CsvRendering) {
+  BudgetCurve curve;
+  curve.points = {{4, 100, 0.5, 0.25}};
+  const std::string csv = FormatBudgetCurveCsv(curve);
+  EXPECT_NE(csv.find("candidate_limit,candidates_generated,"
+                     "provably_complete_fraction,seconds"),
+            std::string::npos);
+  EXPECT_NE(csv.find("4,100,0.5,0.25"), std::string::npos);
+}
+
+TEST(BudgetCurveTest, IndexBackedSweepIsMonotoneInBoundAndCost) {
+  // End-to-end: probe a real candidate generator across budgets. The
+  // certified bound and the generated-candidate cost must both be
+  // non-decreasing in C (more budget never certifies less), and the
+  // adaptive policy's natural consumer — "smallest C meeting the target" —
+  // must find the knee.
+  Rng rng(7);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = 20;
+  auto collection = synth::GenerateProblem(4, sopts, &rng).value();
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  match::ObjectiveOptions objective;
+  objective.name.synonyms = &kTable;
+  const double delta = 0.02;
+
+  auto prepared =
+      index::PreparedRepository::Build(collection.repository, objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  index::CandidateGenerator generator(&*prepared, objective);
+  BudgetProbe probe = [&](size_t limit) -> Result<BudgetCurvePoint> {
+    SMB_ASSIGN_OR_RETURN(index::QueryCandidates candidates,
+                         generator.Generate(collection.query, limit));
+    BudgetCurvePoint point;
+    point.candidates_generated = candidates.candidates_generated();
+    point.provably_complete_fraction =
+        candidates.ProvablyCompleteFraction(delta);
+    return point;
+  };
+  auto curve = SweepBudgetCurve({2, 4, 8, 16, 64}, probe);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  ASSERT_EQ(curve->points.size(), 5u);
+  for (size_t i = 1; i < curve->points.size(); ++i) {
+    EXPECT_GE(curve->points[i].candidates_generated,
+              curve->points[i - 1].candidates_generated);
+    EXPECT_GE(curve->points[i].provably_complete_fraction,
+              curve->points[i - 1].provably_complete_fraction);
+  }
+  // C=64 covers every schema of this collection → fully certified.
+  EXPECT_EQ(curve->points.back().provably_complete_fraction, 1.0);
+  EXPECT_GT(curve->SmallestLimitAchieving(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace smb::bounds

@@ -5,7 +5,7 @@
 namespace smb::engine {
 namespace {
 
-match::AnswerSet MakeAnswers(double delta) {
+CachedAnswers MakeEntry(double delta, double certified = 1.0) {
   match::AnswerSet answers;
   match::Mapping mapping;
   mapping.schema_index = 0;
@@ -13,24 +13,39 @@ match::AnswerSet MakeAnswers(double delta) {
   mapping.delta = delta;
   answers.Add(std::move(mapping));
   answers.Finalize();
-  return answers;
+  CachedAnswers entry;
+  entry.answers = std::move(answers);
+  entry.provably_complete_fraction = certified;
+  return entry;
 }
 
 TEST(QueryResultCacheTest, MissThenHit) {
   QueryResultCache cache(4);
   QueryCacheKey key{11, 22};
   EXPECT_EQ(cache.Lookup(key), nullptr);
-  cache.Insert(key, MakeAnswers(0.125));
-  const match::AnswerSet* hit = cache.Lookup(key);
+  cache.Insert(key, MakeEntry(0.125));
+  const CachedAnswers* hit = cache.Lookup(key);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->mappings()[0].delta, 0.125);
+  EXPECT_EQ(hit->answers.mappings()[0].delta, 0.125);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
 }
 
+TEST(QueryResultCacheTest, HitReplaysTheStoredCertificate) {
+  QueryResultCache cache(4);
+  cache.Insert({5, 6}, MakeEntry(0.1, /*certified=*/0.75));
+  const CachedAnswers* hit = cache.Lookup({5, 6});
+  ASSERT_NE(hit, nullptr);
+  // The certified bound of the producing run survives the cache round
+  // trip — a hit is never silently stripped of its certificate.
+  EXPECT_EQ(hit->provably_complete_fraction, 0.75);
+  // The dense/empty convention default is 1.0.
+  EXPECT_EQ(CachedAnswers{}.provably_complete_fraction, 1.0);
+}
+
 TEST(QueryResultCacheTest, DistinguishesQueryAndOptionsFingerprints) {
   QueryResultCache cache(4);
-  cache.Insert({1, 1}, MakeAnswers(0.1));
+  cache.Insert({1, 1}, MakeEntry(0.1));
   EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
   EXPECT_EQ(cache.Lookup({2, 1}), nullptr);
   EXPECT_NE(cache.Lookup({1, 1}), nullptr);
@@ -38,11 +53,11 @@ TEST(QueryResultCacheTest, DistinguishesQueryAndOptionsFingerprints) {
 
 TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
   QueryResultCache cache(2);
-  cache.Insert({1, 0}, MakeAnswers(0.1));
-  cache.Insert({2, 0}, MakeAnswers(0.2));
+  cache.Insert({1, 0}, MakeEntry(0.1));
+  cache.Insert({2, 0}, MakeEntry(0.2));
   // Touch 1 so 2 becomes the eviction victim.
   EXPECT_NE(cache.Lookup({1, 0}), nullptr);
-  cache.Insert({3, 0}, MakeAnswers(0.3));
+  cache.Insert({3, 0}, MakeEntry(0.3));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.Lookup({2, 0}), nullptr);  // evicted
@@ -52,19 +67,20 @@ TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
 
 TEST(QueryResultCacheTest, ReinsertReplacesAndRefreshes) {
   QueryResultCache cache(2);
-  cache.Insert({1, 0}, MakeAnswers(0.1));
-  cache.Insert({2, 0}, MakeAnswers(0.2));
-  cache.Insert({1, 0}, MakeAnswers(0.9));  // replace + move to front
-  cache.Insert({3, 0}, MakeAnswers(0.3));  // evicts 2, not 1
-  const match::AnswerSet* one = cache.Lookup({1, 0});
+  cache.Insert({1, 0}, MakeEntry(0.1, 0.5));
+  cache.Insert({2, 0}, MakeEntry(0.2));
+  cache.Insert({1, 0}, MakeEntry(0.9, 0.9));  // replace + move to front
+  cache.Insert({3, 0}, MakeEntry(0.3));       // evicts 2, not 1
+  const CachedAnswers* one = cache.Lookup({1, 0});
   ASSERT_NE(one, nullptr);
-  EXPECT_EQ(one->mappings()[0].delta, 0.9);
+  EXPECT_EQ(one->answers.mappings()[0].delta, 0.9);
+  EXPECT_EQ(one->provably_complete_fraction, 0.9);
   EXPECT_EQ(cache.Lookup({2, 0}), nullptr);
 }
 
 TEST(QueryResultCacheTest, ZeroCapacityDisablesCaching) {
   QueryResultCache cache(0);
-  cache.Insert({1, 0}, MakeAnswers(0.1));
+  cache.Insert({1, 0}, MakeEntry(0.1));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
 }

@@ -195,6 +195,60 @@ TEST(IndexedWorkloadTest, RejectsEmptyWorkloadAndZeroLimit) {
   EXPECT_FALSE(RunIndexedWorkload(**matcher, setup.problems, setup.repo,
                                   setup.options, {}, wopts)
                    .ok());
+  // The zero limit is fine in the bound-driven mode: candidate_limit is
+  // not the budget there.
+  wopts.adaptive = index::AdaptiveCandidatePolicy{};
+  EXPECT_TRUE(RunIndexedWorkload(**matcher, setup.problems, setup.repo,
+                                 setup.options, {}, wopts)
+                  .ok());
+}
+
+TEST(IndexedWorkloadTest, AdaptiveModeReportsBudgetAndCertifiedBound) {
+  WorkloadSetup setup = MakeSetup();
+  setup.options.delta_threshold = 0.02;  // bound-bites regime
+  auto matcher = match::MakeMatcher("exhaustive", setup.repo);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  IndexedWorkloadOptions wopts;
+  wopts.candidate_limit = 0;
+  index::AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 0.9;
+  wopts.adaptive = policy;
+  wopts.compare_dense = true;
+  auto result = RunIndexedWorkload(**matcher, setup.problems, setup.repo,
+                                   setup.options, {}, wopts);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  uint64_t budget_sum = 0;
+  for (const QueryRunReport& report : result->reports) {
+    EXPECT_GE(report.provably_complete_fraction, 0.9) << report.name;
+    EXPECT_GT(report.budget_spent, 0u) << report.name;
+    budget_sum += report.budget_spent;
+  }
+  EXPECT_EQ(result->total_budget_spent, budget_sum);
+  EXPECT_GE(result->mean_provable_completeness, 0.9);
+  // The budget-driven run must skip nodes — it is a genuine sparse run.
+  EXPECT_GT(result->stats.candidates_skipped, 0u);
+}
+
+TEST(IndexedWorkloadTest, CompletenessConventionIsOneEverywhere) {
+  // Regression: QueryRunReport used to default provably_complete_fraction
+  // to 0.0 while engine::BatchMatchStats used 1.0. The unified convention
+  // is 1.0 — an empty / dense run skipped nothing, so completeness holds
+  // vacuously — in both structs and in what a dense engine run reports.
+  EXPECT_EQ(QueryRunReport{}.provably_complete_fraction, 1.0);
+  EXPECT_EQ(engine::BatchMatchStats{}.provably_complete_fraction, 1.0);
+
+  WorkloadSetup setup = MakeSetup();
+  auto matcher = match::MakeMatcher("exhaustive", setup.repo);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+  engine::BatchMatchEngine dense_engine;  // no candidate limit: dense
+  engine::BatchMatchStats stats;
+  stats.provably_complete_fraction = -7.0;  // must be overwritten
+  auto run = dense_engine.Run(**matcher, setup.problems[0].query, setup.repo,
+                              setup.options, &stats);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(stats.provably_complete_fraction, 1.0);
 }
 
 }  // namespace

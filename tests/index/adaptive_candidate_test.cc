@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "engine/batch_match_engine.h"
+#include "index/candidate_generator.h"
+#include "index/prepared_repository.h"
+#include "match/matcher_factory.h"
+#include "synth/generator.h"
+
+/// Bound-driven adaptive candidate generation
+/// (`index::AdaptiveCandidatePolicy` / `GenerateAdaptive`).
+///
+/// The two load-bearing properties:
+///  * **certificate admissibility** — a cell certified complete at Δ can
+///    never change an answer, so for every schema whose cells are *all*
+///    certified the sparse answers equal the dense answers exactly;
+///  * **target 1.0 ⇒ dense** — demanding every cell be certified (with an
+///    unbounded cap) reproduces the dense answers byte-identically for
+///    every matcher and thread count.
+/// Plus: target 0.0 degenerates to `Generate(initial_limit)` bit-exactly,
+/// budget accounting is consistent, and policy validation rejects
+/// malformed inputs.
+
+namespace smb::index {
+namespace {
+
+struct AdaptiveSetup {
+  schema::Schema query;
+  schema::SchemaRepository repo;
+  match::MatchOptions options;
+};
+
+AdaptiveSetup MakeSetup(size_t num_schemas, uint64_t seed,
+                        double delta = 0.25) {
+  Rng rng(seed);
+  synth::SynthOptions sopts;
+  sopts.num_schemas = num_schemas;
+  auto collection = synth::GenerateProblem(4, sopts, &rng).value();
+  AdaptiveSetup setup;
+  setup.query = std::move(collection.query);
+  setup.repo = std::move(collection.repository);
+  static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+  setup.options.delta_threshold = delta;
+  setup.options.objective.name.synonyms = &kTable;
+  return setup;
+}
+
+void ExpectIdentical(const match::AnswerSet& sparse,
+                     const match::AnswerSet& dense, const std::string& label) {
+  ASSERT_EQ(sparse.size(), dense.size()) << label;
+  for (size_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_EQ(sparse.mappings()[i].key(), dense.mappings()[i].key())
+        << label << " rank " << i;
+    EXPECT_EQ(sparse.mappings()[i].delta, dense.mappings()[i].delta)
+        << label << " rank " << i;
+  }
+}
+
+class AdaptiveEquivalenceTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(AdaptiveEquivalenceTest, TargetOneReproducesDenseAnyThreadCount) {
+  AdaptiveSetup setup = MakeSetup(25, 41);
+  auto matcher = match::MakeMatcher(GetParam(), setup.repo);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  auto dense = (*matcher)->Match(setup.query, setup.repo, setup.options);
+  ASSERT_TRUE(dense.ok()) << dense.status();
+
+  auto prepared =
+      PreparedRepository::Build(setup.repo, setup.options.objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  for (size_t threads : {1u, 3u}) {
+    engine::BatchMatchOptions bopts;
+    bopts.num_threads = threads;
+    bopts.prepared_repository = &*prepared;
+    AdaptiveCandidatePolicy policy;
+    policy.min_provable_completeness = 1.0;
+    bopts.adaptive = policy;
+    engine::BatchMatchEngine engine(bopts);
+    engine::BatchMatchStats stats;
+    auto sparse =
+        engine.Run(**matcher, setup.query, setup.repo, setup.options, &stats);
+    ASSERT_TRUE(sparse.ok()) << sparse.status();
+    ExpectIdentical(*sparse, *dense,
+                    std::string(GetParam()) + " threads=" +
+                        std::to_string(threads));
+    EXPECT_TRUE(stats.adaptive_mode);
+    EXPECT_EQ(stats.provably_complete_fraction, 1.0);
+    EXPECT_EQ(stats.adaptive.achieved_completeness, 1.0);
+    EXPECT_EQ(stats.adaptive.cells_certified, stats.adaptive.cells_total);
+    EXPECT_EQ(stats.adaptive.cells_at_cap, 0u);
+  }
+}
+
+TEST_P(AdaptiveEquivalenceTest, TargetOneTightDeltaReproducesDense) {
+  // The tight-Δ regime certifies most cells analytically (without full
+  // coverage) — the interesting case for byte-identity: certified-but-
+  // incomplete candidate lists must still never change an answer.
+  AdaptiveSetup setup = MakeSetup(20, 42, /*delta=*/0.02);
+  auto matcher = match::MakeMatcher(GetParam(), setup.repo);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  auto dense = (*matcher)->Match(setup.query, setup.repo, setup.options);
+  ASSERT_TRUE(dense.ok()) << dense.status();
+
+  engine::BatchMatchOptions bopts;
+  bopts.num_threads = 2;
+  AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 1.0;
+  bopts.adaptive = policy;
+  engine::BatchMatchEngine engine(bopts);
+  engine::BatchMatchStats stats;
+  auto sparse =
+      engine.Run(**matcher, setup.query, setup.repo, setup.options, &stats);
+  ASSERT_TRUE(sparse.ok()) << sparse.status();
+  ExpectIdentical(*sparse, *dense, GetParam());
+  // At Δ = 0.02 certification happens through the analytic bound tiers:
+  // the candidate lists must NOT all be complete, or this test degenerated
+  // into the full-coverage case.
+  EXPECT_GT(stats.match.candidates_skipped, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Matchers, AdaptiveEquivalenceTest,
+                         ::testing::Values("exhaustive", "beam", "topk"));
+
+TEST(AdaptiveCandidateTest, CertifiedSchemasKeepDenseAnswersExactly) {
+  // The admissibility property behind the certificate: for every schema
+  // whose every cell is certified at the run's Δ, the sparse answer set
+  // restricted to that schema must equal the dense one exactly — across
+  // seeds and thresholds, at a partial (0 < B < 1) target.
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    for (double delta : {0.02, 0.03}) {
+      AdaptiveSetup setup = MakeSetup(20, seed, delta);
+      auto matcher = match::MakeMatcher("exhaustive", setup.repo).value();
+      auto dense = matcher->Match(setup.query, setup.repo, setup.options);
+      ASSERT_TRUE(dense.ok()) << dense.status();
+
+      auto prepared =
+          PreparedRepository::Build(setup.repo, setup.options.objective.name);
+      ASSERT_TRUE(prepared.ok()) << prepared.status();
+      CandidateGenerator generator(&*prepared, setup.options.objective);
+      AdaptiveCandidatePolicy policy;
+      policy.min_provable_completeness = 0.8;
+      AdaptiveGenerationStats stats;
+      auto candidates =
+          generator.GenerateAdaptive(setup.query, policy, delta, &stats);
+      ASSERT_TRUE(candidates.ok()) << candidates.status();
+      EXPECT_GE(stats.achieved_completeness, 0.8);
+
+      match::MatchOptions sparse_options = setup.options;
+      sparse_options.candidates = &*candidates;
+      auto sparse = matcher->Match(setup.query, setup.repo, sparse_options);
+      ASSERT_TRUE(sparse.ok()) << sparse.status();
+
+      for (size_t si = 0; si < setup.repo.schema_count(); ++si) {
+        bool all_certified = true;
+        for (size_t pos = 0; pos < candidates->positions(); ++pos) {
+          if (!candidates->CellProvablyComplete(
+                  pos, static_cast<int32_t>(si), delta)) {
+            all_certified = false;
+            break;
+          }
+        }
+        if (!all_certified) continue;
+        match::AnswerSet dense_schema, sparse_schema;
+        for (const match::Mapping& m : dense->mappings()) {
+          if (m.schema_index == static_cast<int32_t>(si)) {
+            dense_schema.Add(m);
+          }
+        }
+        for (const match::Mapping& m : sparse->mappings()) {
+          if (m.schema_index == static_cast<int32_t>(si)) {
+            sparse_schema.Add(m);
+          }
+        }
+        dense_schema.Finalize();
+        sparse_schema.Finalize();
+        ExpectIdentical(sparse_schema, dense_schema,
+                        "seed " + std::to_string(seed) + " delta " +
+                            std::to_string(delta) + " schema " +
+                            std::to_string(si));
+      }
+    }
+  }
+}
+
+TEST(AdaptiveCandidateTest, TargetZeroMatchesFixedGenerateBitExactly) {
+  AdaptiveSetup setup = MakeSetup(15, 61);
+  auto prepared =
+      PreparedRepository::Build(setup.repo, setup.options.objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  CandidateGenerator generator(&*prepared, setup.options.objective);
+
+  AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 0.0;
+  policy.initial_limit = 4;
+  AdaptiveGenerationStats stats;
+  auto adaptive = generator.GenerateAdaptive(
+      setup.query, policy, setup.options.delta_threshold, &stats);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status();
+  auto fixed = generator.Generate(setup.query, 4);
+  ASSERT_TRUE(fixed.ok()) << fixed.status();
+
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.cells_escalated, 0u);
+  EXPECT_EQ(adaptive->candidates_generated(), fixed->candidates_generated());
+  EXPECT_EQ(adaptive->candidates_skipped(), fixed->candidates_skipped());
+  ASSERT_EQ(adaptive->positions(), fixed->positions());
+  ASSERT_EQ(adaptive->schema_count(), fixed->schema_count());
+  for (size_t pos = 0; pos < fixed->positions(); ++pos) {
+    for (size_t si = 0; si < fixed->schema_count(); ++si) {
+      const auto schema_index = static_cast<int32_t>(si);
+      EXPECT_EQ(adaptive->SkipLowerBound(pos, schema_index),
+                fixed->SkipLowerBound(pos, schema_index));
+      const auto* a = adaptive->CandidatesFor(pos, schema_index);
+      const auto* f = fixed->CandidatesFor(pos, schema_index);
+      ASSERT_EQ(a->size(), f->size());
+      for (size_t i = 0; i < f->size(); ++i) {
+        EXPECT_EQ((*a)[i].node, (*f)[i].node);
+        EXPECT_EQ((*a)[i].cost, (*f)[i].cost);
+      }
+    }
+  }
+}
+
+TEST(AdaptiveCandidateTest, BudgetAccountingIsConsistent) {
+  AdaptiveSetup setup = MakeSetup(20, 71, /*delta=*/0.02);
+  auto prepared =
+      PreparedRepository::Build(setup.repo, setup.options.objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  CandidateGenerator generator(&*prepared, setup.options.objective);
+
+  AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 1.0;
+  AdaptiveGenerationStats stats;
+  auto candidates = generator.GenerateAdaptive(setup.query, policy, 0.02,
+                                               &stats);
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+
+  EXPECT_EQ(stats.cells_total,
+            candidates->positions() * candidates->schema_count());
+  EXPECT_EQ(stats.achieved_completeness,
+            candidates->ProvablyCompleteFraction(0.02));
+  // Budget counts every scored candidate including escalation re-scoring,
+  // so it can never undercut the entries that ended up in the lists.
+  EXPECT_GE(stats.budget_spent, candidates->candidates_generated());
+  uint64_t distributed = 0;
+  for (const auto& [limit, count] : stats.final_limit_distribution) {
+    EXPECT_GE(limit, policy.initial_limit);
+    distributed += count;
+  }
+  EXPECT_EQ(distributed, stats.cells_total);
+
+  // A laxer target can only spend less (or equal) budget.
+  AdaptiveCandidatePolicy lax = policy;
+  lax.min_provable_completeness = 0.5;
+  AdaptiveGenerationStats lax_stats;
+  ASSERT_TRUE(
+      generator.GenerateAdaptive(setup.query, lax, 0.02, &lax_stats).ok());
+  EXPECT_LE(lax_stats.budget_spent, stats.budget_spent);
+}
+
+TEST(AdaptiveCandidateTest, CapLimitsGrowthAndIsReported) {
+  AdaptiveSetup setup = MakeSetup(20, 81);  // Δ=0.25: needs full coverage
+  auto prepared =
+      PreparedRepository::Build(setup.repo, setup.options.objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  CandidateGenerator generator(&*prepared, setup.options.objective);
+
+  AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 1.0;
+  policy.initial_limit = 2;
+  policy.max_limit = 4;  // far below every schema size
+  AdaptiveGenerationStats stats;
+  auto candidates = generator.GenerateAdaptive(
+      setup.query, policy, setup.options.delta_threshold, &stats);
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  // At Δ=0.25 certification needs full coverage, which the cap forbids:
+  // the target is unreachable, generation still succeeds and reports the
+  // capped cells honestly.
+  EXPECT_LT(stats.achieved_completeness, 1.0);
+  EXPECT_GT(stats.cells_at_cap, 0u);
+  EXPECT_LE(candidates->limit(), 4u);
+}
+
+TEST(AdaptiveCandidateTest, RejectsMalformedPolicies) {
+  AdaptiveSetup setup = MakeSetup(5, 91);
+  auto prepared =
+      PreparedRepository::Build(setup.repo, setup.options.objective.name);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  CandidateGenerator generator(&*prepared, setup.options.objective);
+
+  AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 1.5;
+  EXPECT_FALSE(generator.GenerateAdaptive(setup.query, policy, 0.25).ok());
+  policy.min_provable_completeness = -0.1;
+  EXPECT_FALSE(generator.GenerateAdaptive(setup.query, policy, 0.25).ok());
+  policy = AdaptiveCandidatePolicy{};
+  policy.initial_limit = 0;
+  EXPECT_FALSE(generator.GenerateAdaptive(setup.query, policy, 0.25).ok());
+  policy = AdaptiveCandidatePolicy{};
+  policy.growth_factor = 1;
+  EXPECT_FALSE(generator.GenerateAdaptive(setup.query, policy, 0.25).ok());
+  policy = AdaptiveCandidatePolicy{};
+  policy.initial_limit = 8;
+  policy.max_limit = 4;
+  EXPECT_FALSE(generator.GenerateAdaptive(setup.query, policy, 0.25).ok());
+}
+
+TEST(AdaptiveEngineTest, PerShardBudgetsSumToTotalAndStatsPropagate) {
+  AdaptiveSetup setup = MakeSetup(24, 101, /*delta=*/0.02);
+  auto matcher = match::MakeMatcher("exhaustive", setup.repo).value();
+  engine::BatchMatchOptions bopts;
+  bopts.num_threads = 2;
+  bopts.shard_size = 5;
+  AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = 0.9;
+  bopts.adaptive = policy;
+  engine::BatchMatchEngine engine(bopts);
+  engine::BatchMatchStats stats;
+  auto run =
+      engine.Run(*matcher, setup.query, setup.repo, setup.options, &stats);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_TRUE(stats.adaptive_mode);
+  EXPECT_GE(stats.provably_complete_fraction, 0.9);
+  EXPECT_EQ(stats.provably_complete_fraction,
+            stats.adaptive.achieved_completeness);
+  ASSERT_EQ(stats.shard_candidates_generated.size(), stats.shard_count);
+  uint64_t shard_sum = 0;
+  for (uint64_t c : stats.shard_candidates_generated) shard_sum += c;
+  EXPECT_EQ(shard_sum, stats.match.candidates_generated);
+}
+
+}  // namespace
+}  // namespace smb::index

@@ -15,6 +15,11 @@ Benchmarks are matched by canonical name: the rows of file A surviving
 (a regex removed from every name). Speedup is A_time / B_time on real_time,
 so > 1 means B (the "new" side) is faster. --require N exits non-zero when
 the geometric-mean speedup falls below N — usable as a CI regression gate.
+
+--metric NAME compares a user counter instead of real_time (e.g.
+`--metric candidates` gates how many candidates one variant generates
+against another); the ratio is still A / B, so > 1 means B is cheaper.
+Rows lacking the counter are skipped with a note.
 """
 
 import argparse
@@ -31,8 +36,12 @@ class BenchDiffError(Exception):
     """A data problem the user must fix; reported without a traceback."""
 
 
-def load_rows(path, name_filter, strip):
-    """Returns {canonical_name: (time_ns, original_name)}."""
+def load_rows(path, name_filter, strip, metric="real_time"):
+    """Returns {canonical_name: (value, original_name)}.
+
+    The value is real_time normalized to nanoseconds, or the raw counter
+    value when `metric` names a user counter.
+    """
     try:
         with open(path) as fh:
             data = json.load(fh)
@@ -56,14 +65,22 @@ def load_rows(path, name_filter, strip):
             if name_filter and not re.search(name_filter, name):
                 continue
             canonical = re.sub(strip, "", name) if strip else name
-            time_ns = (bench["real_time"] *
-                       _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0))
-        except (KeyError, TypeError, AttributeError) as err:
+            if metric == "real_time":
+                time_ns = (bench["real_time"] *
+                           _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0))
+            else:
+                if metric not in bench:
+                    print(f"note: {path}: skipping {name!r} without counter "
+                          f"{metric!r}", file=sys.stderr)
+                    continue
+                time_ns = float(bench[metric])
+        except (KeyError, TypeError, AttributeError, ValueError) as err:
             raise BenchDiffError(
                 f"{path}: malformed benchmark row {bench!r}") from err
         if time_ns <= 0:
-            print(f"note: {path}: skipping {name!r} with non-positive time "
-                  f"{time_ns} ns", file=sys.stderr)
+            what = "time" if metric == "real_time" else metric
+            print(f"note: {path}: skipping {name!r} with non-positive "
+                  f"{what} {time_ns}", file=sys.stderr)
             continue
         if canonical in rows:
             print(f"warning: {path}: duplicate canonical name {canonical!r}; "
@@ -98,11 +115,15 @@ def main():
                         help="regex removed from names before matching A to B")
     parser.add_argument("--require", type=float, default=None, metavar="N",
                         help="exit 1 unless the geometric-mean speedup is >= N")
+    parser.add_argument("--metric", default="real_time", metavar="NAME",
+                        help="compare this user counter instead of real_time "
+                             "(ratio stays A / B)")
     args = parser.parse_args()
 
     try:
-        a_rows = load_rows(args.baseline, args.a_filter, args.strip)
-        b_rows = load_rows(args.new, args.b_filter, args.strip)
+        a_rows = load_rows(args.baseline, args.a_filter, args.strip,
+                           args.metric)
+        b_rows = load_rows(args.new, args.b_filter, args.strip, args.metric)
     except BenchDiffError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -120,6 +141,7 @@ def main():
     for name in only_b:
         print(f"note: only in new:      {b_rows[name][1]}", file=sys.stderr)
 
+    fmt = fmt_time if args.metric == "real_time" else "{:.0f}".format
     width = max(len(n) for n in common)
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'new':>10}  {'speedup':>8}")
     log_sum = 0.0
@@ -128,7 +150,7 @@ def main():
         b_ns, _ = b_rows[name]
         speedup = a_ns / b_ns if b_ns > 0 else math.inf
         log_sum += math.log(speedup)
-        print(f"{name:<{width}}  {fmt_time(a_ns):>10}  {fmt_time(b_ns):>10}  "
+        print(f"{name:<{width}}  {fmt(a_ns):>10}  {fmt(b_ns):>10}  "
               f"{speedup:>7.2f}x")
     geomean = math.exp(log_sum / len(common))
     print(f"{'geomean':<{width}}  {'':>10}  {'':>10}  {geomean:>7.2f}x")

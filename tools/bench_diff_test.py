@@ -143,6 +143,31 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertIn("3.00x", result.stdout)
 
+    def test_counter_metric_mode(self):
+        # Compare the "candidates" counter instead of real_time: the fixed
+        # variant generates 4x the candidates of the adaptive one even
+        # though its real_time is faster — the --metric gate must see 4x.
+        a = self.write("a.json", bench_json([
+            row("BM_FixedPerQuery/64", 10, candidates=4000),
+            row("BM_AdaptivePerQuery", 90, candidates=1000)]))
+        result = self.run_diff(a, a, "--a-filter", "Fixed",
+                               "--b-filter", "Adaptive",
+                               "--strip", "(Fixed|Adaptive)PerQuery(/64)?",
+                               "--metric", "candidates",
+                               "--require", "2.0")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("4.00x", result.stdout)
+
+    def test_counter_metric_skips_rows_without_counter(self):
+        a = self.write("a.json", bench_json([
+            row("BM_X", 100, candidates=400), row("BM_Y", 100)]))
+        b = self.write("b.json", bench_json([
+            row("BM_X", 100, candidates=100), row("BM_Y", 100)]))
+        result = self.run_diff(a, b, "--metric", "candidates")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("without counter", result.stderr)
+        self.assertIn("4.00x", result.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

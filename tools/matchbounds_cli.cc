@@ -21,6 +21,8 @@
 //   matchbounds bounds --curve=/tmp/s1_curve.csv --s2=/tmp/s2.csv
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,6 +31,7 @@
 #include <sstream>
 
 #include "bounds/bounds_report.h"
+#include "bounds/budget_curve.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -75,29 +78,40 @@ commands:
             identical to a single-threaded run)
             [--shard-size=N] schemas per shard (engine runs only)
             [--top=N] keep only the globally best N answers
-            [--candidates=C] score only the top-C index candidates per
-            query element instead of every node (sparse S2 run)
+            [--candidates=C] sparse S2 run: matchers only see the index's
+            top-C candidates per (query element, schema) cell
+            [--target-bound=B] bound-driven sparse run: per-cell budgets
+            grow until a fraction B of cells is certified complete at the
+            Δ threshold (mutually exclusive with --candidates;
+            [--initial-candidates=N] [--max-candidates=N] tune the growth)
   workload  --repo=DIR --queries=DIR [--matcher=...] [--candidates=C]
-            [--threads=N] [--delta=X] [--top=N] [--compare-dense]
-            [--out-dir=DIR] build the repository index once, serve every
-            query*.txt in DIR through it; report per-query latency (and,
-            with --compare-dense, recall against the index-free run).
-            --out-dir writes answers-NNNN.csv per query (and
-            dense-NNNN.csv with --compare-dense) for the bounds pipeline
+            [--target-bound=B] [--threads=N] [--delta=X] [--top=N]
+            [--compare-dense] [--out-dir=DIR] build the repository index
+            once, serve every query*.txt in DIR through it; report
+            per-query latency (and, with --compare-dense, recall against
+            the index-free run). --out-dir writes answers-NNNN.csv per
+            query (and dense-NNNN.csv with --compare-dense) for the
+            bounds pipeline
             [--snapshot=FILE] load the prepared index from FILE when it
             exists (build + save it there otherwise) and report load-time
             vs build-time
+            [--budget-sweep=C1,C2,...] sweep fixed candidate budgets and
+            print the bound-vs-cost curve (certified completeness and
+            candidates generated per C) over the workload
   serve     --repo=DIR [--snapshot=FILE] [--requests=FILE] [--matcher=...]
-            [--candidates=C] [--threads=N] [--delta=X] [--top=N]
-            [--cache-size=N] long-running mode: prepare (or load) the
-            repository index once, then answer match requests from stdin
-            (or FILE) until EOF/quit. Request lines:
+            [--candidates=C] [--target-bound=B] [--threads=N] [--delta=X]
+            [--top=N] [--cache-size=N] long-running mode: prepare (or
+            load) the repository index once, then answer match requests
+            from stdin (or FILE) until EOF/quit. Request lines:
               match <query-file> [<answers-out.csv>]
               stats
               quit
             Answers are served through an LRU result cache keyed by
-            (prepared query fingerprint, match options); every response
-            reports per-request latency and cache/engine stats
+            (prepared query fingerprint, match options incl. the target
+            bound); every response reports per-request latency, the
+            certified completeness of its answers (cache hits replay the
+            certificate of the run that produced them) and cache/engine
+            stats
   curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
             measure the P/R curve of an answers file
   bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
@@ -218,6 +232,44 @@ Result<match::MatcherFactoryOptions> ParseMatcherOptions(
   return options;
 }
 
+/// Parses the bound-driven sparse-mode flags (`--target-bound`,
+/// `--initial-candidates`, `--max-candidates`) into an adaptive policy;
+/// empty when `--target-bound` was not given. An explicit `--candidates`
+/// is rejected alongside it — the two select different sparse modes.
+Result<std::optional<index::AdaptiveCandidatePolicy>> ParseAdaptivePolicy(
+    const CommandLine& cl) {
+  if (!cl.Has("target-bound")) {
+    if (cl.Has("initial-candidates") || cl.Has("max-candidates")) {
+      return Status::InvalidArgument(
+          "--initial-candidates/--max-candidates only apply to the "
+          "bound-driven mode; add --target-bound=B");
+    }
+    return std::optional<index::AdaptiveCandidatePolicy>();
+  }
+  if (cl.Has("candidates")) {
+    return Status::InvalidArgument(
+        "--candidates (fixed budget) and --target-bound (bound-driven "
+        "budget) are mutually exclusive");
+  }
+  SMB_ASSIGN_OR_RETURN(double target, cl.GetDouble("target-bound", 1.0));
+  SMB_ASSIGN_OR_RETURN(uint64_t initial, cl.GetUint("initial-candidates", 4));
+  SMB_ASSIGN_OR_RETURN(uint64_t max, cl.GetUint("max-candidates", 0));
+  index::AdaptiveCandidatePolicy policy;
+  policy.min_provable_completeness = target;
+  policy.initial_limit = static_cast<size_t>(initial);
+  policy.max_limit = static_cast<size_t>(max);
+  return std::optional<index::AdaptiveCandidatePolicy>(policy);
+}
+
+void PrintAdaptiveStats(const engine::BatchMatchStats& stats) {
+  std::cout << ", adaptive: bound "
+            << FormatDouble(stats.adaptive.achieved_completeness * 100.0, 1)
+            << "% certified in " << stats.adaptive.rounds
+            << " escalation round(s), " << stats.adaptive.budget_spent
+            << " candidates scored, " << stats.adaptive.cells_escalated
+            << " of " << stats.adaptive.cells_total << " cells escalated";
+}
+
 void PrintMatchStats(const match::MatchStats& stats) {
   std::cout << stats.states_explored << " states explored, "
             << stats.states_pruned << " pruned";
@@ -258,6 +310,8 @@ int CmdMatch(const CommandLine& cl) {
   if (!top.ok()) return Fail(top.status());
   auto candidates = cl.GetUint("candidates", 0);
   if (!candidates.ok()) return Fail(candidates.status());
+  auto adaptive = ParseAdaptivePolicy(cl);
+  if (!adaptive.ok()) return Fail(adaptive.status());
   if (cl.Has("shard-size") && !cl.Has("threads")) {
     return Fail(Status::InvalidArgument(
         "--shard-size only applies to engine runs; add --threads=N"));
@@ -265,10 +319,10 @@ int CmdMatch(const CommandLine& cl) {
 
   Result<match::AnswerSet> answers = Status::Internal("unreachable");
   match::MatchStats stats;
-  if (cl.Has("threads") || *candidates > 0) {
+  if (cl.Has("threads") || *candidates > 0 || adaptive->has_value()) {
     // Run through the batch engine: repository split across a worker pool;
-    // costs come from the shared dense pool, or — with --candidates — from
-    // the sparse repository index.
+    // costs come from the shared dense pool, or — with --candidates /
+    // --target-bound — from the sparse repository index.
     auto threads = cl.GetUint("threads", cl.Has("threads") ? 0 : 1);
     if (!threads.ok()) return Fail(threads.status());
     auto shard_size = cl.GetUint("shard-size", 0);
@@ -278,26 +332,28 @@ int CmdMatch(const CommandLine& cl) {
     bopts.shard_size = static_cast<size_t>(*shard_size);
     bopts.global_top_k = static_cast<size_t>(*top);
     bopts.candidate_limit = static_cast<size_t>(*candidates);
+    bopts.adaptive = *adaptive;
     engine::BatchMatchEngine batch(bopts);
     engine::BatchMatchStats bstats;
     answers = batch.Run(**matcher, *query, *repo, options, &bstats);
     stats = bstats.match;
     if (answers.ok()) {
+      const bool sparse = bopts.candidate_limit > 0 || bopts.adaptive;
       std::cout << "engine: " << bstats.shard_count << " shards on "
                 << bstats.threads_used << " threads";
       if (bstats.fell_back_to_single_run) {
-        // The fallback is a full dense run; --candidates, if given, was
-        // ignored — do not print index numbers that never happened.
+        // The fallback is a full dense run; the sparse flags, if given,
+        // were ignored — do not print index numbers that never happened.
         std::cout << " (matcher not shardable: single dense run"
-                  << (bopts.candidate_limit > 0 ? ", --candidates ignored"
-                                                : "")
+                  << (sparse ? ", --candidates/--target-bound ignored" : "")
                   << ")";
-      } else if (bopts.candidate_limit > 0) {
+      } else if (sparse) {
         std::cout << ", index+candidates " << bstats.index_seconds
                   << "s (provably complete cells: "
                   << FormatDouble(bstats.provably_complete_fraction * 100.0,
                                   1)
                   << "%)";
+        if (bstats.adaptive_mode) PrintAdaptiveStats(bstats);
       } else {
         std::cout << ", precompute " << bstats.precompute_seconds << "s";
       }
@@ -381,7 +437,10 @@ int CmdWorkload(const CommandLine& cl) {
   if (!threads.ok()) return Fail(threads.status());
   auto top = cl.GetUint("top", 0);
   if (!top.ok()) return Fail(top.status());
+  auto adaptive = ParseAdaptivePolicy(cl);
+  if (!adaptive.ok()) return Fail(adaptive.status());
   wopts.candidate_limit = static_cast<size_t>(*candidates);
+  wopts.adaptive = *adaptive;
   wopts.num_threads = static_cast<size_t>(*threads);
   wopts.global_top_k = static_cast<size_t>(*top);
   wopts.compare_dense = cl.Has("compare-dense");
@@ -392,7 +451,15 @@ int CmdWorkload(const CommandLine& cl) {
   if (!result.ok()) return Fail(result.status());
 
   std::cout << result->system_name << " over " << problems.size()
-            << " queries, C = " << wopts.candidate_limit << "; ";
+            << " queries, ";
+  if (wopts.adaptive.has_value()) {
+    std::cout << "target bound = "
+              << FormatDouble(wopts.adaptive->min_provable_completeness, 2)
+              << " (C grows from " << wopts.adaptive->initial_limit << ")";
+  } else {
+    std::cout << "C = " << wopts.candidate_limit;
+  }
+  std::cout << "; ";
   if (result->loaded_from_snapshot) {
     std::cout << "index loaded from snapshot in "
               << FormatDouble(result->index_load_seconds * 1e3, 2) << " ms\n";
@@ -408,6 +475,9 @@ int CmdWorkload(const CommandLine& cl) {
   }
   std::vector<std::string> headers = {"query", "answers", "sparse ms",
                                       "complete%"};
+  if (wopts.adaptive.has_value()) {
+    headers.insert(headers.end(), {"budget", "escalated", "rounds"});
+  }
   if (wopts.compare_dense) {
     headers.insert(headers.end(),
                    {"dense ms", "speedup", "recall", "top-1"});
@@ -421,6 +491,11 @@ int CmdWorkload(const CommandLine& cl) {
         report.name, std::to_string(report.sparse_answers),
         FormatDouble(report.sparse_seconds * 1e3, 2),
         FormatDouble(report.provably_complete_fraction * 100.0, 1)};
+    if (wopts.adaptive.has_value()) {
+      row.push_back(std::to_string(report.budget_spent));
+      row.push_back(std::to_string(report.cells_escalated));
+      row.push_back(std::to_string(report.adaptive_rounds));
+    }
     if (wopts.compare_dense) {
       row.push_back(FormatDouble(report.dense_seconds * 1e3, 2));
       row.push_back(report.sparse_seconds > 0.0
@@ -452,7 +527,93 @@ int CmdWorkload(const CommandLine& cl) {
   }
   std::cout << "\nworkload totals: ";
   PrintMatchStats(result->stats);
+  if (wopts.adaptive.has_value()) {
+    std::cout << "; mean certified bound "
+              << FormatDouble(result->mean_provable_completeness * 100.0, 1)
+              << "%, total budget " << result->total_budget_spent
+              << " candidates scored";
+  }
   std::cout << "\n";
+
+  // Bound-vs-cost report: sweep fixed candidate budgets over the same
+  // workload and print certified completeness against candidates
+  // generated — the static curve the adaptive policy walks per cell.
+  std::string sweep_arg = cl.Get("budget-sweep");
+  if (!sweep_arg.empty()) {
+    std::vector<size_t> limits;
+    for (const std::string& piece : Split(sweep_arg, ',')) {
+      const std::string trimmed(Trim(piece));
+      // Digits only: rejects signs (strtoull would silently wrap "-8")
+      // and empty fields; the length cap rejects values that overflow.
+      const bool digits =
+          !trimmed.empty() && trimmed.size() <= 9 &&
+          std::all_of(trimmed.begin(), trimmed.end(),
+                      [](unsigned char c) { return std::isdigit(c); });
+      if (!digits) {
+        return Fail(Status::InvalidArgument(
+            "--budget-sweep expects comma-separated positive integers "
+            "(at most 9 digits), got '" + piece + "'"));
+      }
+      limits.push_back(static_cast<size_t>(std::strtoull(
+          trimmed.c_str(), nullptr, 10)));
+    }
+    // Reuse the workload's prepared index when it was persisted: with
+    // --snapshot the index RunIndexedWorkload just used (or saved) is on
+    // disk, so the sweep must not pay a second from-scratch build.
+    Result<index::PreparedRepository> sweep_prepared =
+        Status::NotFound("no snapshot configured");
+    if (!wopts.snapshot_path.empty()) {
+      sweep_prepared =
+          index::LoadSnapshot(wopts.snapshot_path, *repo,
+                              options.objective.name, wopts.num_threads);
+    }
+    if (!sweep_prepared.ok()) {
+      if (!wopts.snapshot_path.empty() &&
+          sweep_prepared.status().code() != StatusCode::kNotFound) {
+        return Fail(sweep_prepared.status());
+      }
+      sweep_prepared =
+          index::PreparedRepository::Build(*repo, options.objective.name);
+      if (!sweep_prepared.ok()) return Fail(sweep_prepared.status());
+    }
+    index::CandidateGenerator generator(&*sweep_prepared,
+                                        options.objective);
+    auto probe = [&](size_t limit) -> Result<bounds::BudgetCurvePoint> {
+      bounds::BudgetCurvePoint point;
+      SteadyClock::time_point t0 = SteadyClock::now();
+      for (const eval::MatchingProblem& problem : problems) {
+        SMB_ASSIGN_OR_RETURN(index::QueryCandidates generated,
+                             generator.Generate(problem.query, limit));
+        point.candidates_generated += generated.candidates_generated();
+        point.provably_complete_fraction +=
+            generated.ProvablyCompleteFraction(options.delta_threshold);
+      }
+      point.provably_complete_fraction /=
+          static_cast<double>(problems.size());
+      point.seconds = SecondsSince(t0);
+      return point;
+    };
+    auto curve = bounds::SweepBudgetCurve(limits, probe);
+    if (!curve.ok()) return Fail(curve.status());
+    TextTable sweep_table({"C", "candidates", "certified%", "gen ms"});
+    for (const bounds::BudgetCurvePoint& point : curve->points) {
+      sweep_table.AddRow(
+          {std::to_string(point.candidate_limit),
+           std::to_string(point.candidates_generated),
+           FormatDouble(point.provably_complete_fraction * 100.0, 1),
+           FormatDouble(point.seconds * 1e3, 2)});
+    }
+    std::cout << "bound-vs-cost sweep (Δ ≤ " << *delta << "):\n";
+    sweep_table.Print(std::cout);
+    if (wopts.adaptive.has_value()) {
+      const size_t smallest = curve->SmallestLimitAchieving(
+          wopts.adaptive->min_provable_completeness);
+      std::cout << "smallest swept C meeting the target bound: "
+                << (smallest > 0 ? std::to_string(smallest)
+                                 : std::string("none"))
+                << "\n";
+    }
+  }
 
   std::string out_dir = cl.Get("out-dir");
   if (!out_dir.empty()) {
@@ -518,10 +679,10 @@ int ServeMatchRequest(ServeContext& ctx, const std::string& query_path,
       io::FingerprintPreparedSchema(*query, ctx.options.objective.name);
   key.options_fingerprint = ctx.options_fingerprint;
 
-  const match::AnswerSet* answers = ctx.cache->Lookup(key);
-  const bool hit = answers != nullptr;
+  const engine::CachedAnswers* cached = ctx.cache->Lookup(key);
+  const bool hit = cached != nullptr;
   engine::BatchMatchStats stats;
-  match::AnswerSet computed;
+  engine::CachedAnswers computed;
   if (!hit) {
     engine::BatchMatchEngine batch(ctx.engine_options);
     auto result =
@@ -531,29 +692,36 @@ int ServeMatchRequest(ServeContext& ctx, const std::string& query_path,
                 << std::endl;
       return 1;
     }
-    computed = *std::move(result);
-    answers = &computed;
+    computed.answers = *std::move(result);
+    computed.provably_complete_fraction = stats.provably_complete_fraction;
+    cached = &computed;
   }
-  const size_t answer_count = answers->size();
+  const size_t answer_count = cached->answers.size();
+  const double certified = cached->provably_complete_fraction;
   if (!out_path.empty()) {
-    if (Status st = io::WriteAnswerSetFile(out_path, *answers); !st.ok()) {
+    if (Status st = io::WriteAnswerSetFile(out_path, cached->answers);
+        !st.ok()) {
       std::cout << "err " << query_path << " " << st << std::endl;
       return 1;
     }
   }
-  // Cache last (moved, not copied); `answers` is dead past this point.
+  // Cache last (moved, not copied); `cached` is dead past this point.
   if (!hit) ctx.cache->Insert(key, std::move(computed));
   ++ctx.served;
   const double latency_ms = SecondsSince(start) * 1e3;
+  // Every response carries the certified bound of the run that produced
+  // its answers — on a hit, the certificate was stored with the entry.
   std::cout << "ok " << query_path << " answers=" << answer_count
             << " cache=" << (hit ? "hit" : "miss")
-            << " latency_ms=" << FormatDouble(latency_ms, 3);
+            << " latency_ms=" << FormatDouble(latency_ms, 3)
+            << " complete=" << FormatDouble(certified * 100.0, 1) << "%";
   if (!hit) {
     std::cout << " index_ms=" << FormatDouble(stats.index_seconds * 1e3, 3)
-              << " match_ms=" << FormatDouble(stats.match_seconds * 1e3, 3)
-              << " complete=" << FormatDouble(
-                     stats.provably_complete_fraction * 100.0, 1)
-              << "%";
+              << " match_ms=" << FormatDouble(stats.match_seconds * 1e3, 3);
+    if (stats.adaptive_mode) {
+      std::cout << " budget=" << stats.adaptive.budget_spent
+                << " rounds=" << stats.adaptive.rounds;
+    }
   }
   std::cout << std::endl;
   return 0;
@@ -583,10 +751,12 @@ int CmdServe(const CommandLine& cl) {
   auto threads = cl.GetUint("threads", 1);
   auto top = cl.GetUint("top", 0);
   auto cache_size = cl.GetUint("cache-size", 64);
+  auto adaptive = ParseAdaptivePolicy(cl);
   if (!candidates.ok()) return Fail(candidates.status());
   if (!threads.ok()) return Fail(threads.status());
   if (!top.ok()) return Fail(top.status());
   if (!cache_size.ok()) return Fail(cache_size.status());
+  if (!adaptive.ok()) return Fail(adaptive.status());
 
   // Prepare once: load the snapshot when one exists, otherwise build and
   // (with --snapshot) persist for the next start. A snapshot that exists
@@ -632,13 +802,25 @@ int CmdServe(const CommandLine& cl) {
   ctx.options = options;
   ctx.engine_options.num_threads = static_cast<size_t>(*threads);
   ctx.engine_options.global_top_k = static_cast<size_t>(*top);
-  ctx.engine_options.candidate_limit = static_cast<size_t>(*candidates);
+  ctx.engine_options.candidate_limit =
+      adaptive->has_value() ? 0 : static_cast<size_t>(*candidates);
+  ctx.engine_options.adaptive = *adaptive;
   ctx.engine_options.prepared_repository = &*prepared;
-  ctx.options_fingerprint = io::Fingerprinter()
-                                .U64(io::FingerprintMatchOptions(options))
-                                .U64(*candidates)
-                                .U64(*top)
-                                .digest();
+  // Everything that shapes answers goes into the cache key — including
+  // the bound-driven mode and its target: a 0.9-certified answer set must
+  // never be replayed for a request that asked for 0.99.
+  io::Fingerprinter options_fingerprint;
+  options_fingerprint.U64(io::FingerprintMatchOptions(options))
+      .U64(ctx.engine_options.candidate_limit)
+      .U64(*top)
+      .Bool(adaptive->has_value());
+  if (adaptive->has_value()) {
+    options_fingerprint.Double((*adaptive)->min_provable_completeness)
+        .U64((*adaptive)->initial_limit)
+        .U64((*adaptive)->growth_factor)
+        .U64((*adaptive)->max_limit);
+  }
+  ctx.options_fingerprint = options_fingerprint.digest();
   engine::QueryResultCache cache(static_cast<size_t>(*cache_size));
   ctx.cache = &cache;
 
@@ -656,7 +838,11 @@ int CmdServe(const CommandLine& cl) {
 
   std::cout << "ready " << kind << " repo=" << repo->schema_count()
             << " schemas/" << repo->total_elements() << " elements"
-            << " C=" << *candidates << " cache=" << *cache_size << " index="
+            << (adaptive->has_value()
+                    ? " target_bound=" + FormatDouble(
+                          (*adaptive)->min_provable_completeness, 2)
+                    : " C=" + std::to_string(*candidates))
+            << " cache=" << *cache_size << " index="
             << (loaded ? "snapshot load_ms=" +
                              FormatDouble(load_seconds * 1e3, 2)
                        : "built build_ms=" +
