@@ -6,6 +6,10 @@
 #include <thread>
 #include <vector>
 
+/// \file batch_match_engine.cc
+/// \brief Sharded batch matching: dense/sparse provider setup, worker
+/// pool, deterministic merge, adaptive budget escalation.
+
 #include "common/timing.h"
 
 namespace smb::engine {

@@ -1,33 +1,98 @@
 #include "engine/query_cache.h"
 
+/// \file query_cache.cc
+/// \brief Striped LRU implementation: per-stripe mutex, map + intrusive
+/// recency list, shared_ptr entries so hits survive concurrent eviction.
+
 namespace smb::engine {
 
-const CachedAnswers* QueryResultCache::Lookup(const QueryCacheKey& key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
+namespace {
+
+/// Largest power of two ≤ `value` (≥ 1).
+size_t FloorPow2(size_t value) {
+  size_t pow = 1;
+  while (pow * 2 <= value) pow *= 2;
+  return pow;
+}
+
+}  // namespace
+
+QueryResultCache::QueryResultCache(size_t capacity, size_t stripes)
+    : capacity_(capacity) {
+  // A stripe with capacity 0 would reject every insert, so never run more
+  // stripes than entries; a disabled cache (capacity 0) keeps one inert
+  // stripe so the fast paths stay branch-free.
+  size_t count = FloorPow2(stripes == 0 ? 1 : stripes);
+  if (capacity_ == 0) {
+    count = 1;
+  } else if (count > capacity_) {
+    count = FloorPow2(capacity_);
+  }
+  stripes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    // Split the capacity evenly; the first `capacity % count` stripes take
+    // the remainder so the per-stripe capacities sum to `capacity`.
+    stripe->capacity = capacity_ / count + (i < capacity_ % count ? 1 : 0);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+std::shared_ptr<const CachedAnswers> QueryResultCache::Lookup(
+    const QueryCacheKey& key) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
+    ++stripe.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, in place
-  return &it->second->second;
+  ++stripe.stats.hits;
+  // Refresh recency in place.
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  return it->second->second;
 }
 
 void QueryResultCache::Insert(const QueryCacheKey& key, CachedAnswers entry) {
-  if (capacity_ == 0) return;
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Insert(key, std::make_shared<const CachedAnswers>(std::move(entry)));
+}
+
+void QueryResultCache::Insert(const QueryCacheKey& key,
+                              std::shared_ptr<const CachedAnswers> entry) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.capacity == 0) return;
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
     it->second->second = std::move(entry);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(entry));
-  index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  stripe.lru.emplace_front(key, std::move(entry));
+  stripe.index.emplace(key, stripe.lru.begin());
+  while (stripe.lru.size() > stripe.capacity) {
+    stripe.index.erase(stripe.lru.back().first);
+    stripe.lru.pop_back();
+    ++stripe.stats.evictions;
   }
+}
+
+size_t QueryResultCache::size() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += stripe->lru.size();
+  }
+  return total;
+}
+
+QueryCacheStats QueryResultCache::stats() const {
+  QueryCacheStats total;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += stripe->stats;
+  }
+  return total;
 }
 
 }  // namespace smb::engine

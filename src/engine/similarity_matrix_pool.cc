@@ -6,6 +6,10 @@
 
 #include "sim/prepared_kernel.h"
 
+/// \file similarity_matrix_pool.cc
+/// \brief Dense query-by-schema cost matrices, precomputed once on a
+/// worker pool and shared read-only by every matcher thread.
+
 namespace smb::engine {
 
 Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(

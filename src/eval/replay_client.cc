@@ -1,0 +1,95 @@
+#include "eval/replay_client.h"
+
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+
+/// \file replay_client.cc
+/// \brief Round-robin fan-out of a request file over N connections.
+
+namespace smb::eval {
+
+namespace {
+
+/// One connection's share of the replay: the request indices it owns, the
+/// responses it collected, and how it ended.
+struct ConnectionTask {
+  std::vector<size_t> indices;
+  Status status = Status::OK();
+};
+
+/// Runs one connection synchronously: send a line, read its response,
+/// repeat. Writes responses straight into the shared, pre-sized response
+/// vector — each task owns disjoint indices, so no locking is needed.
+void RunConnection(const ReplayClientOptions& options,
+                   const std::vector<std::string>& request_lines,
+                   ConnectionTask* task,
+                   std::vector<std::string>* responses) {
+  auto socket = serve::ConnectTo(options.host, options.port);
+  if (!socket.ok()) {
+    task->status = socket.status();
+    return;
+  }
+  serve::LineReader reader(&*socket);
+  for (size_t index : task->indices) {
+    if (Status st = serve::WriteAll(*socket, request_lines[index] + "\n");
+        !st.ok()) {
+      task->status = st;
+      return;
+    }
+    std::string line;
+    Result<bool> more = reader.ReadLine(&line);
+    if (!more.ok()) {
+      task->status = more.status();
+      return;
+    }
+    if (!*more) {
+      task->status = Status::IOError(
+          "server closed the connection before responding to '" +
+          request_lines[index] + "'");
+      return;
+    }
+    (*responses)[index] = std::move(line);
+  }
+}
+
+}  // namespace
+
+Result<ReplayOutcome> ReplayRequests(
+    const ReplayClientOptions& options,
+    const std::vector<std::string>& request_lines) {
+  const size_t connections =
+      options.connections == 0 ? 1 : options.connections;
+  std::vector<ConnectionTask> tasks(connections);
+  for (size_t i = 0; i < request_lines.size(); ++i) {
+    tasks[i % connections].indices.push_back(i);
+  }
+  ReplayOutcome outcome;
+  outcome.responses.resize(request_lines.size());
+  std::vector<std::thread> threads;
+  threads.reserve(tasks.size());
+  for (ConnectionTask& task : tasks) {
+    threads.emplace_back([&options, &request_lines, &task, &outcome] {
+      RunConnection(options, request_lines, &task, &outcome.responses);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const ConnectionTask& task : tasks) {
+    if (!task.status.ok()) return task.status;
+  }
+  for (const std::string& line : outcome.responses) {
+    if (line.rfind("ok ", 0) == 0) {
+      ++outcome.ok_count;
+      Result<serve::MatchResponse> parsed = serve::ParseMatchResponse(line);
+      if (parsed.ok() && parsed->shed) ++outcome.shed_count;
+    } else if (line.rfind("err ", 0) == 0) {
+      ++outcome.err_count;
+    }
+    // stats/bye lines are neither served answers nor failures.
+  }
+  return outcome;
+}
+
+}  // namespace smb::eval

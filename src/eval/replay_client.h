@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file replay_client.h
+/// \brief Multi-connection replay client for the serve frontend: sends a
+/// canned request file over N concurrent TCP connections and collects the
+/// responses in request order.
+///
+/// This is the measurement/verification harness for the concurrent server:
+/// CI replays the same requests over several connections and byte-diffs
+/// the written answers against a single-threaded in-memory run, and the
+/// serve benchmark uses it to drive throughput. Requests are distributed
+/// round-robin across connections; each connection sends strictly
+/// request-by-request (write line, read response line), which matches the
+/// server's per-connection ordering guarantee.
+namespace smb::eval {
+
+/// \brief Where and how to replay.
+struct ReplayClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent connections (>= 1); requests are split round-robin.
+  size_t connections = 1;
+};
+
+/// \brief Everything a replay produced.
+struct ReplayOutcome {
+  /// One response line per request, in the original request order.
+  std::vector<std::string> responses;
+  /// Responses that started with `ok`.
+  uint64_t ok_count = 0;
+  /// Responses that did not (the server's `err` lines).
+  uint64_t err_count = 0;
+  /// `ok` responses flagged `shed=yes`.
+  uint64_t shed_count = 0;
+};
+
+/// \brief Replays `request_lines` (already filtered: no blanks/comments)
+/// against a running server. Returns an error Status on connection or
+/// transport failure; protocol-level `err` responses are counted, not
+/// errors.
+Result<ReplayOutcome> ReplayRequests(
+    const ReplayClientOptions& options,
+    const std::vector<std::string>& request_lines);
+
+}  // namespace smb::eval

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+/// \file bounded_queue.h
+/// \brief A blocking bounded MPMC queue: the admission buffer between the
+/// serve frontend's connection threads (producers) and its worker pool
+/// (consumers).
+///
+/// The queue's fill level is the server's primary load signal: producers
+/// sample `pressure()` (fill fraction in [0, 1]) at admission time and the
+/// load-shedding policy maps it to a degraded completeness target. `Close()`
+/// implements graceful drain — producers are refused, consumers keep
+/// popping until the queue is empty, then see `std::nullopt`.
+namespace smb::serve {
+
+/// \brief Bounded blocking queue, safe for any number of producer and
+/// consumer threads.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// \brief Blocks until there is room, then enqueues `item`. Returns false
+  /// (without enqueuing) once the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Blocks until an item is available and dequeues it. After
+  /// `Close()`, keeps returning the remaining items and then
+  /// `std::nullopt` — consumers drain, they never drop.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// \brief Refuses further pushes and wakes every blocked thread. Items
+  /// already queued remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// \brief Fill fraction in [0, 1] — the queue-side load signal.
+  double pressure() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<double>(items_.size()) /
+           static_cast<double>(capacity_);
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace smb::serve

@@ -1,0 +1,66 @@
+#include "serve/load_shed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+
+/// \file load_shed.cc
+/// \brief Pressure-to-target mapping for bound-driven load shedding.
+
+namespace smb::serve {
+
+Status ValidateLoadShedPolicy(const LoadShedPolicy& policy) {
+  if (policy.base_target <= 0.0 || policy.base_target > 1.0) {
+    return Status::InvalidArgument("base target must be in (0, 1], got " +
+                                   FormatDouble(policy.base_target));
+  }
+  if (policy.min_target <= 0.0 || policy.min_target > 1.0) {
+    return Status::InvalidArgument(
+        "min target bound must be in (0, 1], got " +
+        FormatDouble(policy.min_target));
+  }
+  if (policy.min_target > policy.base_target) {
+    return Status::InvalidArgument(
+        "min target bound (" + FormatDouble(policy.min_target) +
+        ") must not exceed the base target (" +
+        FormatDouble(policy.base_target) + ")");
+  }
+  if (policy.shed_start_pressure < 0.0 || policy.shed_start_pressure >= 1.0) {
+    return Status::InvalidArgument(
+        "shed start pressure must be in [0, 1), got " +
+        FormatDouble(policy.shed_start_pressure));
+  }
+  if (policy.target_step <= 0.0) {
+    return Status::InvalidArgument("target step must be positive, got " +
+                                   FormatDouble(policy.target_step));
+  }
+  return Status::OK();
+}
+
+double CombinedPressure(double queue_pressure, double deadline_consumed) {
+  const double clamped_queue = std::clamp(queue_pressure, 0.0, 1.0);
+  const double clamped_deadline = std::clamp(deadline_consumed, 0.0, 1.0);
+  return std::max(clamped_queue, clamped_deadline);
+}
+
+double EffectiveTarget(const LoadShedPolicy& policy, double pressure) {
+  const double clamped = std::clamp(pressure, 0.0, 1.0);
+  if (clamped <= policy.shed_start_pressure ||
+      policy.min_target >= policy.base_target) {
+    return policy.base_target;
+  }
+  // Linear ramp from base_target at shed_start_pressure down to min_target
+  // at pressure 1.
+  const double span = 1.0 - policy.shed_start_pressure;
+  const double frac = (clamped - policy.shed_start_pressure) / span;
+  const double ramped =
+      policy.base_target - frac * (policy.base_target - policy.min_target);
+  // Quantize downward so nearby pressures share a cache key; never below
+  // the floor, never above the base.
+  const double quantized =
+      std::floor(ramped / policy.target_step) * policy.target_step;
+  return std::clamp(quantized, policy.min_target, policy.base_target);
+}
+
+}  // namespace smb::serve

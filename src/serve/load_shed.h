@@ -1,0 +1,49 @@
+#pragma once
+
+#include "common/status.h"
+
+/// \file load_shed.h
+/// \brief Bound-driven load shedding: map server pressure to a degraded —
+/// but still certified — completeness target.
+///
+/// This is the serving-side use of the paper's effectiveness bounds.
+/// Instead of rejecting requests or returning silently-incomplete answers
+/// when the server saturates, the policy lowers the effective
+/// `AdaptiveCandidatePolicy` completeness target for the request, runs the
+/// normal bound-driven engine at that target, and reports the certified
+/// bound in the response. The certificate degrades; the protocol never
+/// errors and the answers stay provably characterized.
+namespace smb::serve {
+
+/// \brief Static shedding configuration for a server.
+struct LoadShedPolicy {
+  /// Target completeness bound when the server is unloaded (the
+  /// `--target-bound` the operator asked for).
+  double base_target = 1.0;
+  /// Floor the target never degrades below (`--min-target-bound`). Every
+  /// shed response still certifies at least this completeness.
+  double min_target = 1.0;
+  /// Pressure below which no shedding happens; from here the target ramps
+  /// linearly down to `min_target` at pressure 1.
+  double shed_start_pressure = 0.5;
+  /// Degraded targets are quantized down to multiples of this step so shed
+  /// requests collapse onto few distinct cache keys.
+  double target_step = 0.05;
+};
+
+/// \brief Validates a policy (targets in (0, 1], min <= base, pressure in
+/// [0, 1), positive step).
+Status ValidateLoadShedPolicy(const LoadShedPolicy& policy);
+
+/// \brief Combines the two load signals into one pressure value in [0, 1]:
+/// the queue fill fraction at admission and the fraction of the request's
+/// deadline already consumed (1 − headroom). The worse signal wins.
+double CombinedPressure(double queue_pressure, double deadline_consumed);
+
+/// \brief The effective completeness target at `pressure`: `base_target`
+/// up to `shed_start_pressure`, then a linear ramp down to `min_target` at
+/// pressure 1, quantized down to a multiple of `target_step` and floored
+/// at `min_target`. Monotone non-increasing in `pressure`.
+double EffectiveTarget(const LoadShedPolicy& policy, double pressure);
+
+}  // namespace smb::serve

@@ -1,0 +1,117 @@
+#include "serve/match_service.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/timing.h"
+#include "io/answer_set_io.h"
+#include "io/fingerprint.h"
+#include "io/csv.h"
+#include "schema/text_format.h"
+
+/// \file match_service.cc
+/// \brief Request execution: effective-target derivation, cache consult,
+/// engine run, answer write-out.
+
+namespace smb::serve {
+
+namespace {
+
+/// Fingerprints every result-shaping knob of `options` — the same scheme
+/// for every mode, so a shed request (adaptive target lowered) hashes
+/// exactly like a direct run configured at that target. Thread counts and
+/// shard sizes deliberately stay out: they never change answers.
+uint64_t FingerprintServiceOptions(const match::MatchOptions& match_options,
+                                   const engine::BatchMatchOptions& eopts) {
+  io::Fingerprinter fp;
+  fp.U64(io::FingerprintMatchOptions(match_options))
+      .U64(eopts.candidate_limit)
+      .U64(eopts.global_top_k)
+      .Bool(eopts.adaptive.has_value());
+  if (eopts.adaptive.has_value()) {
+    fp.Double(eopts.adaptive->min_provable_completeness)
+        .U64(eopts.adaptive->initial_limit)
+        .U64(eopts.adaptive->growth_factor)
+        .U64(eopts.adaptive->max_limit);
+  }
+  return fp.digest();
+}
+
+}  // namespace
+
+Result<MatchResponse> MatchService::Execute(const Request& request,
+                                            double pressure) {
+  const SteadyClock::time_point start = SteadyClock::now();
+  SMB_ASSIGN_OR_RETURN(std::string query_text,
+                       io::ReadTextFile(request.query_path));
+  SMB_ASSIGN_OR_RETURN(schema::Schema query,
+                       schema::ParseSchemaText(query_text));
+
+  // Derive this request's engine configuration. Under pressure the
+  // adaptive completeness target degrades (never below the floor); the
+  // degraded target is folded into the options fingerprint below, so the
+  // cache can never replay a weaker certificate for a stronger ask.
+  engine::BatchMatchOptions eopts = config_.engine_options;
+  bool shed = false;
+  if (eopts.adaptive.has_value()) {
+    const double effective = EffectiveTarget(config_.shed, pressure);
+    shed = effective < config_.shed.base_target;
+    eopts.adaptive->min_provable_completeness = effective;
+  }
+
+  engine::QueryCacheKey key;
+  key.query_fingerprint = io::FingerprintPreparedSchema(
+      query, config_.match_options.objective.name);
+  key.options_fingerprint =
+      FingerprintServiceOptions(config_.match_options, eopts);
+
+  std::shared_ptr<const engine::CachedAnswers> cached =
+      config_.cache->Lookup(key);
+  const bool hit = cached != nullptr;
+  engine::BatchMatchStats stats;
+  if (!hit) {
+    engine::BatchMatchEngine batch(eopts);
+    SMB_ASSIGN_OR_RETURN(
+        match::AnswerSet answers,
+        batch.Run(*config_.matcher, query, *config_.repo,
+                  config_.match_options, &stats));
+    auto computed = std::make_shared<engine::CachedAnswers>();
+    computed->answers = std::move(answers);
+    computed->provably_complete_fraction = stats.provably_complete_fraction;
+    cached = computed;
+  }
+  if (!request.out_path.empty()) {
+    SMB_RETURN_IF_ERROR(
+        io::WriteAnswerSetFile(request.out_path, cached->answers));
+  }
+  // Cache only after the write-out succeeded, so a response and its file
+  // never disagree about what was served.
+  if (!hit) config_.cache->Insert(key, cached);
+
+  MatchResponse response;
+  response.query_path = request.query_path;
+  response.answers = cached->answers.size();
+  response.cache_hit = hit;
+  // On a hit the certificate was stored with the entry; a served answer
+  // is never silently stripped of its bound.
+  response.certified = cached->provably_complete_fraction;
+  if (eopts.adaptive.has_value()) {
+    response.has_target = true;
+    response.target = eopts.adaptive->min_provable_completeness;
+    response.shed = shed;
+  }
+  response.latency_ms = SecondsSince(start) * 1e3;
+  if (!hit) {
+    response.has_engine_detail = true;
+    response.index_ms = stats.index_seconds * 1e3;
+    response.match_ms = stats.match_seconds * 1e3;
+    if (stats.adaptive_mode) {
+      response.has_adaptive_detail = true;
+      response.budget = stats.adaptive.budget_spent;
+      response.rounds = stats.adaptive.rounds;
+    }
+  }
+  return response;
+}
+
+}  // namespace smb::serve

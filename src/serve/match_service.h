@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+
+#include "engine/batch_match_engine.h"
+#include "engine/query_cache.h"
+#include "index/prepared_repository.h"
+#include "match/matcher.h"
+#include "schema/repository.h"
+#include "serve/load_shed.h"
+#include "serve/protocol.h"
+
+/// \file match_service.h
+/// \brief The request executor shared by the network server's worker pool
+/// and the offline `--requests` replay mode: one `match` request in, one
+/// `MatchResponse` (or error Status) out.
+///
+/// The service owns nothing heavy — it borrows the immutable prepared
+/// repository, matcher and the concurrent result cache — so any number of
+/// workers can execute requests through one service concurrently. Load
+/// shedding happens here: the caller passes the request's observed
+/// *pressure* and the service derives the effective completeness target,
+/// folds it into the cache key, and runs the engine at that target, so a
+/// shed request is byte-identical to a direct run at the degraded bound.
+namespace smb::serve {
+
+/// \brief Everything a MatchService borrows. All pointers must outlive the
+/// service; the pointed-to objects must stay unmodified while serving
+/// (the cache mutates internally but is thread-safe).
+struct MatchServiceConfig {
+  const schema::SchemaRepository* repo = nullptr;
+  const match::Matcher* matcher = nullptr;
+  match::MatchOptions match_options;
+  /// Engine configuration; `prepared_repository` should point at the
+  /// shared prepared index and `adaptive` selects bound-driven mode.
+  engine::BatchMatchOptions engine_options;
+  engine::QueryResultCache* cache = nullptr;
+  /// Shedding configuration; only consulted in bound-driven mode
+  /// (`engine_options.adaptive` set). `base_target` must equal the
+  /// adaptive policy's `min_provable_completeness`.
+  LoadShedPolicy shed;
+};
+
+/// \brief Stateless (per-request) executor over shared immutable state.
+/// Thread-safe: `Execute` may be called concurrently from any number of
+/// threads.
+class MatchService {
+ public:
+  explicit MatchService(MatchServiceConfig config)
+      : config_(std::move(config)) {}
+
+  /// \brief Executes one `match` request at the given pressure (in [0, 1];
+  /// pass 0 for an unloaded / offline run). Reads and parses the query
+  /// file, derives the effective target, consults the cache, runs the
+  /// engine on a miss, writes `request.out_path` when non-empty, and
+  /// returns the filled response line. I/O, parse and engine failures
+  /// surface as an error Status — the caller formats the `err` line; the
+  /// connection stays usable.
+  Result<MatchResponse> Execute(const Request& request, double pressure);
+
+  /// Whether requests run in bound-driven (adaptive) mode — the mode that
+  /// can shed.
+  bool adaptive() const { return config_.engine_options.adaptive.has_value(); }
+
+  const engine::QueryResultCache* cache() const { return config_.cache; }
+
+ private:
+  MatchServiceConfig config_;
+};
+
+}  // namespace smb::serve

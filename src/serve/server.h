@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timing.h"
+#include "serve/bounded_queue.h"
+#include "serve/match_service.h"
+#include "serve/protocol.h"
+#include "serve/server_stats.h"
+#include "serve/socket_io.h"
+
+/// \file server.h
+/// \brief The concurrent serve frontend: a TCP listener speaking the line
+/// protocol, one reader thread per connection, and a fixed worker pool
+/// executing admitted requests from a bounded queue against the shared
+/// MatchService.
+///
+/// Threading model:
+///  * the *accept* thread loops on `ListenSocket::Accept` and spawns one
+///    *connection* thread per client;
+///  * each connection thread reads request lines, answers `stats`
+///    immediately, and for `match` enqueues a PendingRequest (promise +
+///    admission timestamp + queue pressure sample) into the bounded queue,
+///    then blocks on the future and writes the response line — so each
+///    connection sees its requests answered in order;
+///  * `--workers` *worker* threads pop from the queue, derive the
+///    request's pressure (max of queue fill at admission and consumed
+///    deadline fraction), execute through the MatchService and fulfil the
+///    promise.
+///
+/// Graceful drain (`RequestDrain`, the SIGTERM path): the listener is shut
+/// down, every connection socket's read side is closed (blocked readers
+/// see end-of-stream while their write side stays usable), connection
+/// threads finish writing responses for requests already admitted, and
+/// only then is the queue closed so workers drain the remainder and exit.
+/// Admitted requests are therefore never dropped — `Wait()` returns with
+/// the in-flight gauge at zero.
+namespace smb::serve {
+
+/// \brief Network and capacity configuration of one server.
+struct MatchServerConfig {
+  /// IPv4 dotted quad or "localhost".
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by `MatchServer::port()`.
+  uint16_t port = 0;
+  /// Worker pool size (>= 1).
+  size_t workers = 2;
+  /// Bounded queue capacity (>= 1); the fill fraction is the shed signal.
+  size_t queue_depth = 16;
+  /// Default per-request deadline when a `match` line carries none;
+  /// 0 = no deadline.
+  double default_deadline_ms = 0.0;
+};
+
+/// \brief The multi-client serve frontend over one MatchService.
+class MatchServer {
+ public:
+  /// `service` must outlive the server.
+  MatchServer(MatchService* service, MatchServerConfig config);
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// \brief Opens the listener and spawns the accept and worker threads.
+  /// Returns once the server accepts connections.
+  Status Start();
+
+  /// The port the server listens on (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// \brief Begins graceful drain: refuse new connections and requests,
+  /// finish everything already admitted. Safe to call from any thread
+  /// (including a signal-wait thread); idempotent.
+  void RequestDrain();
+
+  /// \brief Blocks until the server fully drained: all connection threads
+  /// exited, the queue is empty and all workers joined. Call after
+  /// `RequestDrain` (or let a `quit`-less client hang — `Wait` alone does
+  /// not initiate shutdown).
+  void Wait();
+
+  /// A coherent snapshot of the operational counters.
+  ServerStatsSnapshot stats() const { return stats_.Snapshot(); }
+
+ private:
+  /// One admitted `match` request travelling from a connection thread to a
+  /// worker and back.
+  struct PendingRequest {
+    Request request;
+    /// Queue fill fraction sampled at admission.
+    double admission_pressure = 0.0;
+    SteadyClock::time_point admitted_at;
+    /// Resolved deadline (request override or server default); 0 = none.
+    double deadline_ms = 0.0;
+    std::promise<Result<MatchResponse>> promise;
+  };
+
+  /// One live client connection and its reader thread.
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* connection);
+  void WorkerLoop();
+  /// Formats the `stats` response line from the live counters.
+  std::string FormatStatsLine() const;
+
+  MatchService* service_;
+  MatchServerConfig config_;
+  uint16_t port_ = 0;
+  std::unique_ptr<ListenSocket> listener_;
+  BoundedQueue<std::unique_ptr<PendingRequest>> queue_;
+  ServerStats stats_;
+
+  std::atomic<bool> draining_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace smb::serve

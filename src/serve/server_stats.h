@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file server_stats.h
+/// \brief Thread-safe operational counters for the serve frontend: request
+/// outcomes, per-class shed counts, an in-flight gauge and a sliding-window
+/// latency recorder feeding the `stats` endpoint's p50/p95.
+namespace smb::serve {
+
+/// \brief Sliding window of recent latencies with percentile queries.
+/// Thread-compatible — callers (ServerStats) provide the locking.
+class LatencyRecorder {
+ public:
+  /// Keeps the most recent `window` samples.
+  explicit LatencyRecorder(size_t window = 1024);
+
+  void Record(double latency_ms);
+
+  /// \brief The `q`-quantile (q in [0, 1]) of the retained window via the
+  /// nearest-rank rule; 0 when no samples were recorded yet.
+  double Quantile(double q) const;
+
+  size_t count() const { return samples_.size(); }
+
+ private:
+  size_t window_;
+  size_t next_ = 0;
+  std::vector<double> samples_;
+};
+
+/// \brief One coherent copy of the server's counters, taken under the
+/// stats lock; the payload of a `stats` response line.
+struct ServerStatsSnapshot {
+  /// Requests answered with an `ok` line.
+  uint64_t served = 0;
+  /// Requests answered with an `err` line.
+  uint64_t failed = 0;
+  /// Served requests whose completeness target was degraded.
+  uint64_t shed = 0;
+  /// Shed counts keyed by request class.
+  std::map<std::string, uint64_t> shed_by_class;
+  /// Requests admitted but not yet answered (queued or executing).
+  uint64_t in_flight = 0;
+  /// Service-latency percentiles over the recent window (queue wait
+  /// excluded), in milliseconds.
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+/// \brief Thread-safe counter hub shared by all worker and connection
+/// threads of one server.
+class ServerStats {
+ public:
+  explicit ServerStats(size_t latency_window = 1024)
+      : latencies_(latency_window) {}
+
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
+  /// A request was admitted into the queue.
+  void OnAdmitted();
+  /// A previously admitted request finished with an `ok` response.
+  void OnServed(double latency_ms, bool shed,
+                const std::string& request_class);
+  /// A previously admitted request finished with an `err` response.
+  void OnFailed();
+  /// A request failed before admission (parse error, unreadable line) —
+  /// counts as failed without touching the in-flight gauge.
+  void OnRejected();
+
+  ServerStatsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t served_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t shed_ = 0;
+  std::map<std::string, uint64_t> shed_by_class_;
+  uint64_t in_flight_ = 0;
+  LatencyRecorder latencies_;
+};
+
+}  // namespace smb::serve

@@ -1,0 +1,148 @@
+#include "serve/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+/// \file socket_io.cc
+/// \brief POSIX implementation of the serve socket wrappers.
+
+namespace smb::serve {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Resolves the supported host forms to an IPv4 address struct.
+Result<sockaddr_in> ResolveHost(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "unsupported listen/connect host '" + host +
+        "' (use an IPv4 dotted quad or 'localhost')");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+Result<ListenSocket> ListenSocket::Open(const std::string& host,
+                                        uint16_t port) {
+  SMB_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveHost(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(socket.fd(), SOMAXCONN) != 0) return ErrnoStatus("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return ListenSocket(std::move(socket), ntohs(bound.sin_port));
+}
+
+Result<Socket> ListenSocket::Accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // After Shutdown() accept fails (EINVAL on Linux); report every
+    // post-shutdown failure uniformly as the listener being gone.
+    return Status::FailedPrecondition("listener closed");
+  }
+}
+
+void ListenSocket::Shutdown() {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
+}
+
+Result<Socket> ConnectTo(const std::string& host, uint16_t port) {
+  SMB_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveHost(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return ErrnoStatus("socket");
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+Status WriteAll(const Socket& socket, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n =
+        ::send(socket.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Result<bool> LineReader::ReadLine(std::string* line) {
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return false;
+      // Unterminated trailing line: hand it out, then EOF next call.
+      line->swap(buffer_);
+      buffer_.clear();
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace smb::serve

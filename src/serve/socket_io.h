@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file socket_io.h
+/// \brief Minimal POSIX TCP wrappers for the serve frontend: RAII sockets,
+/// a listener with an unblockable Accept, blocking connect, buffered line
+/// reads and full writes.
+///
+/// Scope is deliberately small — IPv4 only, numeric addresses (plus the
+/// literal "localhost"), blocking I/O — because the serve protocol is
+/// line-oriented request/response and the concurrency lives in the server's
+/// connection/worker threads, not in the socket layer. All functions are
+/// thread-compatible: one socket is owned by one thread at a time, except
+/// the documented cross-thread shutdowns (`Socket::ShutdownRead`,
+/// `ListenSocket::Shutdown`) which exist precisely to unblock a peer
+/// thread's blocking read/accept during graceful drain.
+namespace smb::serve {
+
+/// \brief RAII owner of one socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (−1 = empty).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// \brief Shuts down the read side only: a thread blocked reading this
+  /// socket sees end-of-stream, while responses already in flight can
+  /// still be written. This is the graceful-drain signal — safe to call
+  /// from another thread while a reader is blocked.
+  void ShutdownRead();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A bound, listening TCP socket.
+class ListenSocket {
+ public:
+  /// \brief Binds and listens on `host:port`. `port` 0 asks the kernel for
+  /// an ephemeral port; the actually bound port is reported by `port()`.
+  /// `host` must be an IPv4 dotted quad or "localhost".
+  static Result<ListenSocket> Open(const std::string& host, uint16_t port);
+
+  /// The port this listener is bound to.
+  uint16_t port() const { return port_; }
+
+  /// \brief Accepts one connection (blocking). After `Shutdown()` the
+  /// pending and all subsequent calls return `kFailedPrecondition`.
+  Result<Socket> Accept();
+
+  /// \brief Unblocks a pending `Accept` from another thread and refuses
+  /// further connections (the drain path).
+  void Shutdown();
+
+ private:
+  ListenSocket(Socket socket, uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+/// \brief Connects to `host:port` (blocking). `host` as in
+/// `ListenSocket::Open`.
+Result<Socket> ConnectTo(const std::string& host, uint16_t port);
+
+/// \brief Writes all of `data`, retrying short writes. SIGPIPE is
+/// suppressed (a vanished peer surfaces as a Status, not a signal).
+Status WriteAll(const Socket& socket, std::string_view data);
+
+/// \brief Buffered reader of '\\n'-terminated lines from one socket.
+class LineReader {
+ public:
+  /// `socket` must outlive the reader.
+  explicit LineReader(const Socket* socket) : socket_(socket) {}
+
+  /// \brief Reads the next line into `line` (terminator removed, trailing
+  /// CR stripped). Returns false on clean end-of-stream, an error Status
+  /// on socket failure. A final unterminated line before EOF is returned
+  /// as a line.
+  Result<bool> ReadLine(std::string* line);
+
+ private:
+  const Socket* socket_;
+  std::string buffer_;
+};
+
+}  // namespace smb::serve

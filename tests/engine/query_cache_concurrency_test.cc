@@ -1,0 +1,115 @@
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_cache.h"
+
+// Concurrency hammer for the striped QueryResultCache: many threads mix
+// lookups and inserts over a key space larger than the capacity, so hits,
+// misses, evictions and entry replacement all happen under contention.
+// Runs are sized to finish quickly under ASan/UBSan; the sanitizers are
+// the real assertion here, plus the counter-consistency checks below.
+namespace smb::engine {
+namespace {
+
+CachedAnswers MakeEntry(uint64_t key_id) {
+  match::AnswerSet answers;
+  match::Mapping mapping;
+  mapping.schema_index = static_cast<int32_t>(key_id % 7);
+  mapping.targets = {static_cast<schema::NodeId>(key_id % 11)};
+  // Encode the key in the payload so readers can verify they never see a
+  // torn or mismatched entry.
+  mapping.delta = static_cast<double>(key_id);
+  answers.Add(std::move(mapping));
+  answers.Finalize();
+  CachedAnswers entry;
+  entry.answers = std::move(answers);
+  entry.provably_complete_fraction =
+      1.0 / (1.0 + static_cast<double>(key_id));
+  return entry;
+}
+
+TEST(QueryResultCacheConcurrencyTest, HammerKeepsCountersAndPayloadsSane) {
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kKeys = 64;
+  constexpr uint64_t kOpsPerThread = 2000;
+  QueryResultCache cache(16, /*stripes=*/4);
+
+  std::atomic<uint64_t> observed_hits{0};
+  std::atomic<uint64_t> observed_misses{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &observed_hits, &observed_misses, t] {
+      // Deterministic per-thread LCG so the schedule differs per thread
+      // without any global random state.
+      uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (uint64_t op = 0; op < kOpsPerThread; ++op) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t key_id = (state >> 33) % kKeys;
+        const QueryCacheKey key{key_id, key_id * 977};
+        if (state & 1) {
+          cache.Insert(key, MakeEntry(key_id));
+        } else {
+          std::shared_ptr<const CachedAnswers> hit = cache.Lookup(key);
+          if (hit == nullptr) {
+            observed_misses.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+          // The entry a reader holds stays intact even if it is evicted
+          // or replaced concurrently.
+          ASSERT_EQ(hit->answers.size(), 1u);
+          ASSERT_EQ(hit->answers.mappings()[0].delta,
+                    static_cast<double>(key_id));
+          ASSERT_EQ(hit->provably_complete_fraction,
+                    1.0 / (1.0 + static_cast<double>(key_id)));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Counter consistency: the cache saw exactly the hits and misses the
+  // readers observed, no increments were lost to races.
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.misses, observed_misses.load());
+  EXPECT_LE(cache.size(), cache.capacity());
+
+  // Post-hammer, the cache still behaves: a fresh insert is retrievable.
+  const QueryCacheKey probe{kKeys + 1, 3};
+  cache.Insert(probe, MakeEntry(kKeys + 1));
+  std::shared_ptr<const CachedAnswers> hit = cache.Lookup(probe);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->answers.mappings()[0].delta,
+            static_cast<double>(kKeys + 1));
+}
+
+TEST(QueryResultCacheConcurrencyTest, ConcurrentInsertsRespectCapacity) {
+  constexpr size_t kThreads = 4;
+  QueryResultCache cache(8, /*stripes=*/8);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        const uint64_t key_id = t * 1000 + i;
+        cache.Insert({key_id, key_id * 977}, MakeEntry(key_id));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 8u);
+  // Every insert beyond the resident set must be accounted as an
+  // eviction: inserts (all distinct keys) = resident + evicted.
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions + cache.size(), kThreads * 500u);
+}
+
+}  // namespace
+}  // namespace smb::engine

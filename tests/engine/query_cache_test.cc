@@ -1,5 +1,7 @@
 #include "engine/query_cache.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 namespace smb::engine {
@@ -24,7 +26,7 @@ TEST(QueryResultCacheTest, MissThenHit) {
   QueryCacheKey key{11, 22};
   EXPECT_EQ(cache.Lookup(key), nullptr);
   cache.Insert(key, MakeEntry(0.125));
-  const CachedAnswers* hit = cache.Lookup(key);
+  std::shared_ptr<const CachedAnswers> hit = cache.Lookup(key);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->answers.mappings()[0].delta, 0.125);
   EXPECT_EQ(cache.stats().hits, 1u);
@@ -34,7 +36,7 @@ TEST(QueryResultCacheTest, MissThenHit) {
 TEST(QueryResultCacheTest, HitReplaysTheStoredCertificate) {
   QueryResultCache cache(4);
   cache.Insert({5, 6}, MakeEntry(0.1, /*certified=*/0.75));
-  const CachedAnswers* hit = cache.Lookup({5, 6});
+  std::shared_ptr<const CachedAnswers> hit = cache.Lookup({5, 6});
   ASSERT_NE(hit, nullptr);
   // The certified bound of the producing run survives the cache round
   // trip — a hit is never silently stripped of its certificate.
@@ -51,8 +53,10 @@ TEST(QueryResultCacheTest, DistinguishesQueryAndOptionsFingerprints) {
   EXPECT_NE(cache.Lookup({1, 1}), nullptr);
 }
 
+// Exact global LRU semantics need a single stripe; the striped default
+// only approximates them (eviction is per stripe).
 TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
-  QueryResultCache cache(2);
+  QueryResultCache cache(2, /*stripes=*/1);
   cache.Insert({1, 0}, MakeEntry(0.1));
   cache.Insert({2, 0}, MakeEntry(0.2));
   // Touch 1 so 2 becomes the eviction victim.
@@ -66,12 +70,12 @@ TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
 }
 
 TEST(QueryResultCacheTest, ReinsertReplacesAndRefreshes) {
-  QueryResultCache cache(2);
+  QueryResultCache cache(2, /*stripes=*/1);
   cache.Insert({1, 0}, MakeEntry(0.1, 0.5));
   cache.Insert({2, 0}, MakeEntry(0.2));
   cache.Insert({1, 0}, MakeEntry(0.9, 0.9));  // replace + move to front
   cache.Insert({3, 0}, MakeEntry(0.3));       // evicts 2, not 1
-  const CachedAnswers* one = cache.Lookup({1, 0});
+  std::shared_ptr<const CachedAnswers> one = cache.Lookup({1, 0});
   ASSERT_NE(one, nullptr);
   EXPECT_EQ(one->answers.mappings()[0].delta, 0.9);
   EXPECT_EQ(one->provably_complete_fraction, 0.9);
@@ -83,6 +87,40 @@ TEST(QueryResultCacheTest, ZeroCapacityDisablesCaching) {
   cache.Insert({1, 0}, MakeEntry(0.1));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
+}
+
+TEST(QueryResultCacheTest, StripeCountClampsToCapacityAndPowerOfTwo) {
+  // Requested stripes round down to a power of two and never exceed the
+  // capacity, so no stripe is created with zero entries of budget.
+  EXPECT_EQ(QueryResultCache(64, 8).stripe_count(), 8u);
+  EXPECT_EQ(QueryResultCache(64, 7).stripe_count(), 4u);
+  EXPECT_EQ(QueryResultCache(3, 8).stripe_count(), 2u);
+  EXPECT_EQ(QueryResultCache(1, 8).stripe_count(), 1u);
+  EXPECT_EQ(QueryResultCache(0, 8).stripe_count(), 1u);
+}
+
+TEST(QueryResultCacheTest, CapacityIsRespectedAcrossStripes) {
+  QueryResultCache cache(4, /*stripes=*/4);
+  for (uint64_t i = 0; i < 64; ++i) {
+    cache.Insert({i, i * 977}, MakeEntry(0.01 * static_cast<double>(i)));
+  }
+  // However keys landed on stripes, the resident total never exceeds the
+  // configured capacity and the overflow shows up as evictions.
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 64 - cache.size());
+}
+
+TEST(QueryResultCacheTest, HitSurvivesEviction) {
+  QueryResultCache cache(1, /*stripes=*/1);
+  cache.Insert({1, 0}, MakeEntry(0.25, 0.8));
+  std::shared_ptr<const CachedAnswers> held = cache.Lookup({1, 0});
+  ASSERT_NE(held, nullptr);
+  cache.Insert({2, 0}, MakeEntry(0.5));  // evicts key 1
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
+  // The handed-out entry outlives its eviction — the shared_ptr contract
+  // concurrent readers rely on.
+  EXPECT_EQ(held->answers.mappings()[0].delta, 0.25);
+  EXPECT_EQ(held->provably_complete_fraction, 0.8);
 }
 
 }  // namespace

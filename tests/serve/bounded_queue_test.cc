@@ -1,0 +1,126 @@
+#include "serve/bounded_queue.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smb::serve {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PressureIsFillFraction) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.pressure(), 0.0);
+  queue.Push(1);
+  EXPECT_EQ(queue.pressure(), 0.25);
+  queue.Push(2);
+  queue.Push(3);
+  queue.Push(4);
+  EXPECT_EQ(queue.pressure(), 1.0);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilRoomThenSucceeds) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread producer([&queue] { EXPECT_TRUE(queue.Push(2)); });
+  // The producer is blocked on the full queue until this pop.
+  EXPECT_EQ(queue.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilItemArrives) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> popped;
+  std::thread consumer([&queue, &popped] { popped = queue.Pop(); });
+  queue.Push(42);
+  consumer.join();
+  EXPECT_EQ(popped, 42);
+}
+
+TEST(BoundedQueueTest, CloseRefusesPushesButDrainsRemainder) {
+  BoundedQueue<int> queue(4);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));
+  // Consumers drain what was admitted, then see the end marker — items
+  // are never dropped by Close.
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> popped = 123;
+  std::thread consumer([&queue, &popped] { popped = queue.Pop(); });
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(popped, std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  bool push_result = true;
+  std::thread producer(
+      [&queue, &push_result] { push_result = queue.Push(2); });
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(push_result);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(static_cast<int>(p) * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::vector<int>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &received, c] {
+      while (std::optional<int> item = queue.Pop()) {
+        received[c].push_back(*item);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.Close();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  size_t total = 0;
+  for (const std::vector<int>& chunk : received) {
+    for (int item : chunk) {
+      ASSERT_FALSE(seen[static_cast<size_t>(item)]) << "duplicate " << item;
+      seen[static_cast<size_t>(item)] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace smb::serve

@@ -1,0 +1,103 @@
+#include "serve/load_shed.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smb::serve {
+namespace {
+
+LoadShedPolicy MakePolicy() {
+  LoadShedPolicy policy;
+  policy.base_target = 0.95;
+  policy.min_target = 0.6;
+  policy.shed_start_pressure = 0.5;
+  policy.target_step = 0.05;
+  return policy;
+}
+
+TEST(LoadShedTest, ValidatesPolicy) {
+  EXPECT_TRUE(ValidateLoadShedPolicy(MakePolicy()).ok());
+
+  LoadShedPolicy bad = MakePolicy();
+  bad.base_target = 0.0;
+  EXPECT_FALSE(ValidateLoadShedPolicy(bad).ok());
+
+  bad = MakePolicy();
+  bad.min_target = 1.5;
+  EXPECT_FALSE(ValidateLoadShedPolicy(bad).ok());
+
+  bad = MakePolicy();
+  bad.min_target = 0.99;  // above base_target
+  EXPECT_FALSE(ValidateLoadShedPolicy(bad).ok());
+
+  bad = MakePolicy();
+  bad.shed_start_pressure = 1.0;
+  EXPECT_FALSE(ValidateLoadShedPolicy(bad).ok());
+
+  bad = MakePolicy();
+  bad.target_step = 0.0;
+  EXPECT_FALSE(ValidateLoadShedPolicy(bad).ok());
+}
+
+TEST(LoadShedTest, NoSheddingBelowStartPressure) {
+  const LoadShedPolicy policy = MakePolicy();
+  EXPECT_EQ(EffectiveTarget(policy, 0.0), 0.95);
+  EXPECT_EQ(EffectiveTarget(policy, 0.25), 0.95);
+  EXPECT_EQ(EffectiveTarget(policy, 0.5), 0.95);
+}
+
+TEST(LoadShedTest, FullPressureDegradesToFloorExactly) {
+  const LoadShedPolicy policy = MakePolicy();
+  // The floor is the operator's hard promise: every shed response still
+  // certifies at least min_target.
+  EXPECT_EQ(EffectiveTarget(policy, 1.0), 0.6);
+  EXPECT_EQ(EffectiveTarget(policy, 2.5), 0.6);  // clamped
+}
+
+TEST(LoadShedTest, TargetIsMonotoneNonIncreasingInPressure) {
+  const LoadShedPolicy policy = MakePolicy();
+  double previous = 1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double pressure = static_cast<double>(i) / 100.0;
+    const double target = EffectiveTarget(policy, pressure);
+    EXPECT_LE(target, previous) << "pressure " << pressure;
+    EXPECT_GE(target, policy.min_target) << "pressure " << pressure;
+    EXPECT_LE(target, policy.base_target) << "pressure " << pressure;
+    previous = target;
+  }
+}
+
+TEST(LoadShedTest, TargetsAreQuantizedToFewDistinctValues) {
+  // Quantization is a cache-friendliness property: nearby pressures must
+  // collapse onto the same effective target (same cache key).
+  const LoadShedPolicy policy = MakePolicy();
+  const double a = EffectiveTarget(policy, 0.70);
+  const double b = EffectiveTarget(policy, 0.71);
+  EXPECT_EQ(a, b);
+  // And every degraded target sits on the step grid.
+  for (int i = 51; i <= 100; ++i) {
+    const double target =
+        EffectiveTarget(policy, static_cast<double>(i) / 100.0);
+    if (target == policy.min_target || target == policy.base_target) continue;
+    const double steps = target / policy.target_step;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9) << "target " << target;
+  }
+}
+
+TEST(LoadShedTest, DegeneratePolicyNeverSheds) {
+  LoadShedPolicy policy = MakePolicy();
+  policy.min_target = policy.base_target;  // no headroom to degrade into
+  EXPECT_EQ(EffectiveTarget(policy, 1.0), policy.base_target);
+}
+
+TEST(LoadShedTest, CombinedPressureTakesTheWorseSignal) {
+  EXPECT_EQ(CombinedPressure(0.3, 0.8), 0.8);
+  EXPECT_EQ(CombinedPressure(0.9, 0.1), 0.9);
+  EXPECT_EQ(CombinedPressure(0.0, 0.0), 0.0);
+  // Out-of-range inputs clamp instead of propagating.
+  EXPECT_EQ(CombinedPressure(-1.0, 3.0), 1.0);
+}
+
+}  // namespace
+}  // namespace smb::serve

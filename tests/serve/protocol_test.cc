@@ -1,0 +1,166 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace smb::serve {
+namespace {
+
+TEST(ProtocolTest, IgnoresBlankAndCommentLines) {
+  EXPECT_TRUE(IsIgnorableLine(""));
+  EXPECT_TRUE(IsIgnorableLine("   "));
+  EXPECT_TRUE(IsIgnorableLine("# a comment"));
+  EXPECT_TRUE(IsIgnorableLine("  # indented comment"));
+  EXPECT_FALSE(IsIgnorableLine("match q.txt"));
+}
+
+TEST(ProtocolTest, ParsesBareMatch) {
+  auto request = ParseRequestLine("match /tmp/q.txt");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->kind, RequestKind::kMatch);
+  EXPECT_EQ(request->query_path, "/tmp/q.txt");
+  EXPECT_EQ(request->out_path, "");
+  EXPECT_EQ(request->request_class, "default");
+  EXPECT_EQ(request->deadline_ms, 0.0);
+}
+
+TEST(ProtocolTest, ParsesMatchWithAllOperands) {
+  auto request = ParseRequestLine(
+      "match q.txt out.csv class=probe deadline_ms=125.5");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->query_path, "q.txt");
+  EXPECT_EQ(request->out_path, "out.csv");
+  EXPECT_EQ(request->request_class, "probe");
+  EXPECT_EQ(request->deadline_ms, 125.5);
+}
+
+TEST(ProtocolTest, OptionsMayPrecedePositionals) {
+  auto request = ParseRequestLine("match class=batch q.txt out.csv");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->query_path, "q.txt");
+  EXPECT_EQ(request->out_path, "out.csv");
+  EXPECT_EQ(request->request_class, "batch");
+}
+
+TEST(ProtocolTest, ParsesStatsAndQuit) {
+  auto stats = ParseRequestLine("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->kind, RequestKind::kStats);
+  auto quit = ParseRequestLine("quit");
+  ASSERT_TRUE(quit.ok());
+  EXPECT_EQ(quit->kind, RequestKind::kQuit);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("frobnicate q.txt").ok());
+  EXPECT_FALSE(ParseRequestLine("match").ok());
+  EXPECT_FALSE(ParseRequestLine("match a b c").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt class=").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt deadline_ms=abc").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt deadline_ms=-5").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt nonsense=1").ok());
+}
+
+TEST(ProtocolTest, MatchResponseRoundTripsAllFields) {
+  MatchResponse response;
+  response.query_path = "q.txt";
+  response.answers = 42;
+  response.cache_hit = false;
+  response.certified = 0.925;
+  response.has_target = true;
+  response.target = 0.9;
+  response.shed = true;
+  response.latency_ms = 12.5;
+  response.has_queue_ms = true;
+  response.queue_ms = 3.25;
+  response.has_engine_detail = true;
+  response.index_ms = 1.5;
+  response.match_ms = 9.75;
+  response.has_adaptive_detail = true;
+  response.budget = 640;
+  response.rounds = 3;
+
+  const std::string line = FormatMatchResponse(response);
+  // The certificate is the protocol-visible carrier of the paper's bound.
+  EXPECT_NE(line.find("complete=92.5%"), std::string::npos) << line;
+  EXPECT_NE(line.find("target=0.9"), std::string::npos) << line;
+  EXPECT_NE(line.find("shed=yes"), std::string::npos) << line;
+
+  auto parsed = ParseMatchResponse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query_path, "q.txt");
+  EXPECT_EQ(parsed->answers, 42u);
+  EXPECT_FALSE(parsed->cache_hit);
+  EXPECT_DOUBLE_EQ(parsed->certified, 0.925);
+  EXPECT_TRUE(parsed->has_target);
+  EXPECT_DOUBLE_EQ(parsed->target, 0.9);
+  EXPECT_TRUE(parsed->shed);
+  EXPECT_DOUBLE_EQ(parsed->latency_ms, 12.5);
+  EXPECT_TRUE(parsed->has_queue_ms);
+  EXPECT_DOUBLE_EQ(parsed->queue_ms, 3.25);
+  EXPECT_TRUE(parsed->has_engine_detail);
+  EXPECT_DOUBLE_EQ(parsed->index_ms, 1.5);
+  EXPECT_DOUBLE_EQ(parsed->match_ms, 9.75);
+  EXPECT_TRUE(parsed->has_adaptive_detail);
+  EXPECT_EQ(parsed->budget, 640u);
+  EXPECT_EQ(parsed->rounds, 3u);
+}
+
+TEST(ProtocolTest, MinimalResponseOmitsOptionalFields) {
+  MatchResponse response;
+  response.query_path = "q.txt";
+  response.answers = 7;
+  response.cache_hit = true;
+  response.certified = 1.0;
+  response.latency_ms = 0.5;
+  const std::string line = FormatMatchResponse(response);
+  EXPECT_NE(line.find("cache=hit"), std::string::npos) << line;
+  EXPECT_EQ(line.find("target="), std::string::npos) << line;
+  EXPECT_EQ(line.find("queue_ms="), std::string::npos) << line;
+  EXPECT_EQ(line.find("index_ms="), std::string::npos) << line;
+
+  auto parsed = ParseMatchResponse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->cache_hit);
+  EXPECT_DOUBLE_EQ(parsed->certified, 1.0);
+  EXPECT_FALSE(parsed->has_target);
+  EXPECT_FALSE(parsed->has_queue_ms);
+  EXPECT_FALSE(parsed->has_engine_detail);
+}
+
+TEST(ProtocolTest, ParserToleratesUnknownFields) {
+  auto parsed = ParseMatchResponse(
+      "ok q.txt answers=1 cache=miss complete=50% latency_ms=1 future=x");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->answers, 1u);
+  EXPECT_DOUBLE_EQ(parsed->certified, 0.5);
+}
+
+TEST(ProtocolTest, RejectsNonOkLines) {
+  EXPECT_FALSE(ParseMatchResponse("err q.txt NOT_FOUND: no file").ok());
+  EXPECT_FALSE(ParseMatchResponse("stats served=1").ok());
+  EXPECT_FALSE(ParseMatchResponse("ok").ok());
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesPathAndStatus) {
+  const std::string line =
+      FormatErrorResponse("q.txt", Status::NotFound("no such file"));
+  EXPECT_EQ(line.rfind("err q.txt ", 0), 0u) << line;
+  EXPECT_NE(line.find("no such file"), std::string::npos) << line;
+  // An empty path prints as '-' so the line always has three fields.
+  EXPECT_EQ(FormatErrorResponse("", Status::NotFound("x")).rfind("err - ", 0),
+            0u);
+}
+
+TEST(ProtocolTest, ParseResponseFieldsSplitsKeyValues) {
+  auto fields = ParseResponseFields(
+      "stats served=3 failed=1 p50_ms=0.5 shed_class_probe=2");
+  EXPECT_EQ(fields["served"], "3");
+  EXPECT_EQ(fields["failed"], "1");
+  EXPECT_EQ(fields["p50_ms"], "0.5");
+  EXPECT_EQ(fields["shed_class_probe"], "2");
+  EXPECT_EQ(fields.count("stats"), 0u);
+}
+
+}  // namespace
+}  // namespace smb::serve

@@ -1,0 +1,83 @@
+#include "serve/server_stats.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smb::serve {
+namespace {
+
+TEST(LatencyRecorderTest, QuantilesOfSmallWindow) {
+  LatencyRecorder recorder(16);
+  EXPECT_EQ(recorder.Quantile(0.5), 0.0);  // empty
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) recorder.Record(v);
+  EXPECT_EQ(recorder.count(), 5u);
+  EXPECT_EQ(recorder.Quantile(0.0), 1.0);
+  EXPECT_EQ(recorder.Quantile(0.5), 3.0);
+  EXPECT_EQ(recorder.Quantile(1.0), 5.0);
+}
+
+TEST(LatencyRecorderTest, WindowEvictsOldestSamples) {
+  LatencyRecorder recorder(4);
+  for (double v : {100.0, 100.0, 100.0, 100.0}) recorder.Record(v);
+  // Four fresh samples push the spikes out of the window entirely.
+  for (double v : {1.0, 1.0, 1.0, 1.0}) recorder.Record(v);
+  EXPECT_EQ(recorder.count(), 4u);
+  EXPECT_EQ(recorder.Quantile(0.95), 1.0);
+}
+
+TEST(ServerStatsTest, TracksOutcomesAndInFlight) {
+  ServerStats stats;
+  stats.OnAdmitted();
+  stats.OnAdmitted();
+  stats.OnAdmitted();
+  EXPECT_EQ(stats.Snapshot().in_flight, 3u);
+
+  stats.OnServed(10.0, /*shed=*/false, "default");
+  stats.OnServed(20.0, /*shed=*/true, "probe");
+  stats.OnFailed();
+  const ServerStatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.served, 2u);
+  EXPECT_EQ(snapshot.failed, 1u);
+  EXPECT_EQ(snapshot.shed, 1u);
+  EXPECT_EQ(snapshot.in_flight, 0u);
+  EXPECT_EQ(snapshot.shed_by_class.at("probe"), 1u);
+  EXPECT_EQ(snapshot.shed_by_class.count("default"), 0u);
+  EXPECT_GT(snapshot.p50_latency_ms, 0.0);
+}
+
+TEST(ServerStatsTest, RejectedCountsAsFailedWithoutInFlight) {
+  ServerStats stats;
+  stats.OnRejected();
+  const ServerStatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.failed, 1u);
+  EXPECT_EQ(snapshot.in_flight, 0u);
+}
+
+TEST(ServerStatsTest, ConcurrentUpdatesLoseNothing) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 1000;
+  ServerStats stats;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, t] {
+      const std::string request_class = "class-" + std::to_string(t % 2);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        stats.OnAdmitted();
+        stats.OnServed(1.0, /*shed=*/i % 4 == 0, request_class);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const ServerStatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.served, kThreads * kPerThread);
+  EXPECT_EQ(snapshot.in_flight, 0u);
+  EXPECT_EQ(snapshot.shed, kThreads * kPerThread / 4);
+  uint64_t by_class = 0;
+  for (const auto& [name, count] : snapshot.shed_by_class) by_class += count;
+  EXPECT_EQ(by_class, snapshot.shed);
+}
+
+}  // namespace
+}  // namespace smb::serve

@@ -1,0 +1,324 @@
+#include "serve/server.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_cache.h"
+#include "index/prepared_repository.h"
+#include "io/csv.h"
+#include "match/exhaustive_matcher.h"
+#include "schema/text_format.h"
+#include "serve/match_service.h"
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+#include "../testing/fixtures.h"
+
+// In-process integration tests of the concurrent serve frontend: real
+// sockets on an ephemeral loopback port, a real worker pool, the real
+// MatchService over the shared fixtures repository. Drain is requested
+// directly (the SIGTERM path in the CLI calls the same method).
+namespace smb::serve {
+namespace {
+
+using smb::testing::MakeQuery;
+using smb::testing::MakeRepo;
+
+/// One client connection speaking the line protocol synchronously.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    auto socket = ConnectTo("127.0.0.1", port);
+    EXPECT_TRUE(socket.ok()) << socket.status();
+    socket_ = std::make_unique<Socket>(*std::move(socket));
+    reader_ = std::make_unique<LineReader>(socket_.get());
+  }
+
+  /// Sends `line` and returns the single response line.
+  std::string RoundTrip(const std::string& line) {
+    Status write = WriteAll(*socket_, line + "\n");
+    EXPECT_TRUE(write.ok()) << write;
+    std::string response;
+    Result<bool> more = reader_->ReadLine(&response);
+    EXPECT_TRUE(more.ok()) << more.status();
+    EXPECT_TRUE(!more.ok() || *more) << "unexpected EOF";
+    return response;
+  }
+
+  /// True when the server closed the stream (clean EOF).
+  bool ReadEof() {
+    std::string line;
+    Result<bool> more = reader_->ReadLine(&line);
+    return more.ok() && !*more;
+  }
+
+  Socket& socket() { return *socket_; }
+
+ private:
+  std::unique_ptr<Socket> socket_;
+  std::unique_ptr<LineReader> reader_;
+};
+
+/// Everything one server needs, wired over the fixtures repository in
+/// bound-driven mode.
+class ServerFixture {
+ public:
+  explicit ServerFixture(double target_bound, double min_target,
+                         size_t workers = 2, size_t queue_depth = 8) {
+    repo_ = MakeRepo();
+    prepared_ =
+        *index::PreparedRepository::Build(repo_, sim::NameSimilarityOptions{});
+    cache_ = std::make_unique<engine::QueryResultCache>(16);
+
+    MatchServiceConfig config;
+    config.repo = &repo_;
+    config.matcher = &matcher_;
+    config.engine_options.num_threads = 1;
+    index::AdaptiveCandidatePolicy policy;
+    policy.min_provable_completeness = target_bound;
+    policy.initial_limit = 1;
+    config.engine_options.adaptive = policy;
+    config.engine_options.prepared_repository = &*prepared_;
+    config.cache = cache_.get();
+    config.shed.base_target = target_bound;
+    config.shed.min_target = min_target;
+    service_ = std::make_unique<MatchService>(std::move(config));
+
+    MatchServerConfig server_config;
+    server_config.workers = workers;
+    server_config.queue_depth = queue_depth;
+    server_ = std::make_unique<MatchServer>(service_.get(), server_config);
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started;
+
+    query_path_ = ::testing::TempDir() + "serve_query.txt";
+    Status wrote = io::WriteTextFile(
+        query_path_, schema::WriteSchemaText(MakeQuery()));
+    EXPECT_TRUE(wrote.ok()) << wrote;
+  }
+
+  MatchService& service() { return *service_; }
+  MatchServer& server() { return *server_; }
+  const std::string& query_path() const { return query_path_; }
+  uint16_t port() const { return server_->port(); }
+
+ private:
+  schema::SchemaRepository repo_;
+  match::ExhaustiveMatcher matcher_;
+  std::optional<index::PreparedRepository> prepared_;
+  std::unique_ptr<engine::QueryResultCache> cache_;
+  std::unique_ptr<MatchService> service_;
+  std::unique_ptr<MatchServer> server_;
+  std::string query_path_;
+};
+
+std::string ReadFileOrDie(const std::string& path) {
+  auto content = io::ReadTextFile(path);
+  EXPECT_TRUE(content.ok()) << content.status();
+  return content.ok() ? *content : "";
+}
+
+TEST(MatchServerTest, ConcurrentConnectionsMatchTheInMemoryPath) {
+  ServerFixture fixture(/*target_bound=*/0.9, /*min_target=*/0.9,
+                        /*workers=*/3);
+
+  // The reference: the same request through the service directly, as the
+  // single-threaded in-memory path would run it.
+  const std::string direct_out = ::testing::TempDir() + "serve_direct.csv";
+  Request direct;
+  direct.query_path = fixture.query_path();
+  direct.out_path = direct_out;
+  auto reference = fixture.service().Execute(direct, /*pressure=*/0.0);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const std::string reference_csv = ReadFileOrDie(direct_out);
+
+  // Four concurrent connections, each its own output file.
+  constexpr size_t kConnections = 4;
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (size_t i = 0; i < kConnections; ++i) {
+    clients.push_back(std::make_unique<TestClient>(fixture.port()));
+  }
+  std::vector<std::string> responses(kConnections);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kConnections; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string out = ::testing::TempDir() + "serve_conn_" +
+                              std::to_string(i) + ".csv";
+      responses[i] = clients[i]->RoundTrip("match " + fixture.query_path() +
+                                           " " + out);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t i = 0; i < kConnections; ++i) {
+    auto parsed = ParseMatchResponse(responses[i]);
+    ASSERT_TRUE(parsed.ok()) << responses[i];
+    // Same answers and the same certified bound as the in-memory run.
+    EXPECT_EQ(parsed->answers, reference->answers);
+    // The wire carries `complete=` at 0.1% resolution.
+    EXPECT_NEAR(parsed->certified, reference->certified, 0.001);
+    EXPECT_FALSE(parsed->shed);
+    const std::string csv = ReadFileOrDie(::testing::TempDir() +
+                                          "serve_conn_" + std::to_string(i) +
+                                          ".csv");
+    EXPECT_EQ(csv, reference_csv) << "connection " << i;
+  }
+
+  fixture.server().RequestDrain();
+  fixture.server().Wait();
+  EXPECT_EQ(fixture.server().stats().in_flight, 0u);
+}
+
+TEST(MatchServerTest, ShedRequestCarriesAdmissibleDegradedCertificate) {
+  const double kBase = 1.0;
+  const double kFloor = 0.25;
+  ServerFixture fixture(kBase, kFloor);
+
+  // Reference: a direct run at exactly the floor target — what the shed
+  // path must reproduce byte-for-byte. Pressure 1.0 degrades to the floor
+  // deterministically.
+  const std::string direct_out = ::testing::TempDir() + "shed_direct.csv";
+  Request direct;
+  direct.query_path = fixture.query_path();
+  direct.out_path = direct_out;
+  auto reference = fixture.service().Execute(direct, /*pressure=*/1.0);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference->shed);
+  ASSERT_DOUBLE_EQ(reference->target, kFloor);
+
+  // Over the wire: a vanishingly small deadline forces deadline pressure
+  // ~1 at dequeue regardless of scheduling, so the shed decision is
+  // deterministic.
+  TestClient client(fixture.port());
+  const std::string shed_out = ::testing::TempDir() + "shed_wire.csv";
+  const std::string response = client.RoundTrip(
+      "match " + fixture.query_path() + " " + shed_out +
+      " class=burst deadline_ms=0.000001");
+  auto parsed = ParseMatchResponse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+
+  // Shed, never errored; the certificate is degraded but admissible:
+  // at least the floor, and honestly reported.
+  EXPECT_TRUE(parsed->shed);
+  EXPECT_DOUBLE_EQ(parsed->target, kFloor);
+  EXPECT_GE(parsed->certified, kFloor - 0.001);
+  EXPECT_EQ(parsed->answers, reference->answers);
+  // The wire carries `complete=` at 0.1% resolution.
+  EXPECT_NEAR(parsed->certified, reference->certified, 0.001);
+  EXPECT_EQ(ReadFileOrDie(shed_out), ReadFileOrDie(direct_out));
+
+  // The shed run is a cache hit for a direct request at the degraded
+  // target (same cache key), not a separate universe.
+  auto replay = fixture.service().Execute(direct, /*pressure=*/1.0);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->cache_hit);
+
+  // Per-class accounting saw the burst.
+  const ServerStatsSnapshot stats = fixture.server().stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_by_class.at("burst"), 1u);
+}
+
+TEST(MatchServerTest, CacheHitReplaysTheExactCertificate) {
+  ServerFixture fixture(/*target_bound=*/0.8, /*min_target=*/0.8);
+  TestClient client(fixture.port());
+
+  const std::string first =
+      client.RoundTrip("match " + fixture.query_path());
+  const std::string second =
+      client.RoundTrip("match " + fixture.query_path());
+  auto a = ParseMatchResponse(first);
+  auto b = ParseMatchResponse(second);
+  ASSERT_TRUE(a.ok()) << first;
+  ASSERT_TRUE(b.ok()) << second;
+  EXPECT_FALSE(a->cache_hit);
+  EXPECT_TRUE(b->cache_hit);
+  EXPECT_EQ(b->answers, a->answers);
+  EXPECT_DOUBLE_EQ(b->certified, a->certified);
+}
+
+TEST(MatchServerTest, ErrorResponseKeepsTheConnectionUsable) {
+  ServerFixture fixture(/*target_bound=*/0.9, /*min_target=*/0.9);
+  TestClient client(fixture.port());
+
+  const std::string missing =
+      client.RoundTrip("match /nonexistent/query.txt");
+  EXPECT_EQ(missing.rfind("err ", 0), 0u) << missing;
+  const std::string bad = client.RoundTrip("frobnicate");
+  EXPECT_EQ(bad.rfind("err ", 0), 0u) << bad;
+
+  // The same connection still serves good requests afterwards.
+  const std::string good = client.RoundTrip("match " + fixture.query_path());
+  EXPECT_EQ(good.rfind("ok ", 0), 0u) << good;
+}
+
+TEST(MatchServerTest, StatsEndpointReportsTheOperationalCounters) {
+  ServerFixture fixture(/*target_bound=*/0.9, /*min_target=*/0.9);
+  TestClient client(fixture.port());
+  client.RoundTrip("match " + fixture.query_path());
+  client.RoundTrip("match " + fixture.query_path());
+
+  const std::string line = client.RoundTrip("stats");
+  EXPECT_EQ(line.rfind("stats ", 0), 0u) << line;
+  auto fields = ParseResponseFields(line);
+  EXPECT_EQ(fields["served"], "2");
+  EXPECT_EQ(fields["failed"], "0");
+  EXPECT_EQ(fields["cache_hits"], "1");
+  EXPECT_EQ(fields["cache_misses"], "1");
+  ASSERT_TRUE(fields.count("queue_depth"));
+  ASSERT_TRUE(fields.count("in_flight"));
+  ASSERT_TRUE(fields.count("p50_ms"));
+  ASSERT_TRUE(fields.count("p95_ms"));
+}
+
+TEST(MatchServerTest, QuitEndsTheConnectionNotTheServer) {
+  ServerFixture fixture(/*target_bound=*/0.9, /*min_target=*/0.9);
+  TestClient first(fixture.port());
+  const std::string bye = first.RoundTrip("quit");
+  EXPECT_EQ(bye.rfind("bye ", 0), 0u) << bye;
+  EXPECT_TRUE(first.ReadEof());
+
+  // The server still accepts and serves new connections.
+  TestClient second(fixture.port());
+  const std::string ok = second.RoundTrip("match " + fixture.query_path());
+  EXPECT_EQ(ok.rfind("ok ", 0), 0u) << ok;
+}
+
+TEST(MatchServerTest, GracefulDrainClosesIdleConnectionsAndDropsNothing) {
+  ServerFixture fixture(/*target_bound=*/0.9, /*min_target=*/0.9);
+
+  // One busy connection, one idle one that never sends a byte.
+  TestClient busy(fixture.port());
+  TestClient idle(fixture.port());
+  const std::string ok = busy.RoundTrip("match " + fixture.query_path());
+  EXPECT_EQ(ok.rfind("ok ", 0), 0u) << ok;
+
+  fixture.server().RequestDrain();
+  fixture.server().Wait();
+
+  // The idle reader was unblocked with a clean end-of-stream, every
+  // admitted request was answered, nothing in flight remains.
+  EXPECT_TRUE(idle.ReadEof());
+  const ServerStatsSnapshot stats = fixture.server().stats();
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.served, 1u);
+
+  // New connections are refused after drain.
+  auto refused = ConnectTo("127.0.0.1", fixture.port());
+  if (refused.ok()) {
+    LineReader reader(&*refused);
+    std::string line;
+    Status write = WriteAll(*refused, "match x\n");
+    Result<bool> more = reader.ReadLine(&line);
+    // Accept thread is gone: either the connect failed outright or the
+    // connection is never served and just sees EOF/reset.
+    EXPECT_TRUE(!write.ok() || !more.ok() || !*more);
+  }
+}
+
+}  // namespace
+}  // namespace smb::serve

@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -39,6 +40,7 @@
 #include "engine/batch_match_engine.h"
 #include "engine/query_cache.h"
 #include "eval/pr_curve.h"
+#include "eval/replay_client.h"
 #include "eval/workload.h"
 #include "index/snapshot.h"
 #include "io/answer_set_io.h"
@@ -48,6 +50,10 @@
 #include "match/matcher_factory.h"
 #include "schema/text_format.h"
 #include "schema/xsd_reader.h"
+#include "serve/load_shed.h"
+#include "serve/match_service.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "schema/stats.h"
 #include "schema/xsd_writer.h"
 #include "synth/generator.h"
@@ -98,20 +104,38 @@ commands:
             [--budget-sweep=C1,C2,...] sweep fixed candidate budgets and
             print the bound-vs-cost curve (certified completeness and
             candidates generated per C) over the workload
-  serve     --repo=DIR [--snapshot=FILE] [--requests=FILE] [--matcher=...]
-            [--candidates=C] [--target-bound=B] [--threads=N] [--delta=X]
-            [--top=N] [--cache-size=N] long-running mode: prepare (or
-            load) the repository index once, then answer match requests
-            from stdin (or FILE) until EOF/quit. Request lines:
-              match <query-file> [<answers-out.csv>]
+  serve     --repo=DIR [--snapshot=FILE] [--matcher=...] [--candidates=C]
+            [--target-bound=B] [--threads=N] [--delta=X] [--top=N]
+            [--cache-size=N] long-running mode: prepare (or load) the
+            repository index once, then answer match requests. Request
+            lines:
+              match <query-file> [<answers-out.csv>] [class=NAME]
+                    [deadline_ms=N]
               stats
               quit
-            Answers are served through an LRU result cache keyed by
-            (prepared query fingerprint, match options incl. the target
-            bound); every response reports per-request latency, the
-            certified completeness of its answers (cache hits replay the
-            certificate of the run that produced them) and cache/engine
-            stats
+            [--listen=HOST:PORT] network mode: accept any number of
+            concurrent client connections (PORT 0 picks an ephemeral
+            port, reported on the `listening=` line); a fixed worker
+            pool ([--workers=N]) executes requests from a bounded
+            admission queue ([--queue-depth=N]); under queue or deadline
+            pressure ([--deadline-ms=N] default per request) the
+            effective --target-bound degrades per request down to
+            [--min-target-bound=B] — responses stay certified
+            (`complete=`/`target=`/`shed=`), the protocol never errors;
+            SIGTERM/SIGINT drains gracefully (every admitted request is
+            answered, `drained ... dropped=0`)
+            [--requests=FILE] offline mode: replay request lines from
+            FILE (default: stdin) in-process until EOF/quit
+            Answers are served through a concurrent sharded LRU result
+            cache keyed by (prepared query fingerprint, match options
+            incl. the effective target bound); every response reports
+            per-request latency, the certified completeness of its
+            answers (cache hits replay the certificate of the run that
+            produced them) and cache/engine stats
+  client    --connect=HOST:PORT --requests=FILE [--connections=N]
+            replay a request file against a running `serve --listen`
+            server over N concurrent connections; prints every response
+            in request order plus an ok/err/shed summary
   curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
             measure the P/R curve of an answers file
   bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
@@ -645,85 +669,110 @@ int CmdWorkload(const CommandLine& cl) {
   return 0;
 }
 
-/// One `match` request of a serve session, answered through the cache or
-/// the engine.
-struct ServeContext {
-  const schema::SchemaRepository* repo = nullptr;
-  const match::Matcher* matcher = nullptr;
-  match::MatchOptions options;
-  engine::BatchMatchOptions engine_options;
-  /// Result-shaping engine knobs folded into the cache key (they change
-  /// answers; thread counts and shard sizes deliberately do not).
-  uint64_t options_fingerprint = 0;
-  engine::QueryResultCache* cache = nullptr;
+/// Parses a `--listen` spec: `HOST:PORT`, `:PORT` (any of the supported
+/// hosts defaults to 127.0.0.1) or a bare `PORT`.
+Result<std::pair<std::string, uint16_t>> ParseListenAddress(
+    const std::string& spec) {
+  std::string host = "127.0.0.1";
+  std::string port_text = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+    return Status::InvalidArgument("bad --listen port '" + port_text +
+                                   "' (expected HOST:PORT, :PORT or PORT)");
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+/// The stdin/file request loop (offline mode): one request line in, one
+/// response line out, all through the same MatchService the network server
+/// uses, always at pressure 0 (offline runs never shed).
+int RunOfflineServe(serve::MatchService& service,
+                    const engine::QueryResultCache& cache, std::istream& in,
+                    bool snapshot_loaded) {
+  std::string line;
   uint64_t served = 0;
-};
-
-int ServeMatchRequest(ServeContext& ctx, const std::string& query_path,
-                      const std::string& out_path) {
-  SteadyClock::time_point start = SteadyClock::now();
-  auto query_text = io::ReadTextFile(query_path);
-  if (!query_text.ok()) {
-    std::cout << "err " << query_path << " " << query_text.status()
-              << std::endl;
-    return 1;
-  }
-  auto query = schema::ParseSchemaText(*query_text);
-  if (!query.ok()) {
-    std::cout << "err " << query_path << " " << query.status() << std::endl;
-    return 1;
-  }
-
-  engine::QueryCacheKey key;
-  key.query_fingerprint =
-      io::FingerprintPreparedSchema(*query, ctx.options.objective.name);
-  key.options_fingerprint = ctx.options_fingerprint;
-
-  const engine::CachedAnswers* cached = ctx.cache->Lookup(key);
-  const bool hit = cached != nullptr;
-  engine::BatchMatchStats stats;
-  engine::CachedAnswers computed;
-  if (!hit) {
-    engine::BatchMatchEngine batch(ctx.engine_options);
-    auto result =
-        batch.Run(*ctx.matcher, *query, *ctx.repo, ctx.options, &stats);
-    if (!result.ok()) {
-      std::cout << "err " << query_path << " " << result.status()
+  uint64_t failed = 0;
+  while (std::getline(in, line)) {
+    if (serve::IsIgnorableLine(line)) continue;
+    auto request = serve::ParseRequestLine(line);
+    if (!request.ok()) {
+      std::cout << serve::FormatErrorResponse("-", request.status())
                 << std::endl;
-      return 1;
+      ++failed;
+      continue;
     }
-    computed.answers = *std::move(result);
-    computed.provably_complete_fraction = stats.provably_complete_fraction;
-    cached = &computed;
-  }
-  const size_t answer_count = cached->answers.size();
-  const double certified = cached->provably_complete_fraction;
-  if (!out_path.empty()) {
-    if (Status st = io::WriteAnswerSetFile(out_path, cached->answers);
-        !st.ok()) {
-      std::cout << "err " << query_path << " " << st << std::endl;
-      return 1;
+    if (request->kind == serve::RequestKind::kQuit) break;
+    if (request->kind == serve::RequestKind::kStats) {
+      const engine::QueryCacheStats cs = cache.stats();
+      std::cout << "stats served=" << served << " cache_hits=" << cs.hits
+                << " cache_misses=" << cs.misses
+                << " cache_evictions=" << cs.evictions
+                << " cache_entries=" << cache.size() << "/"
+                << cache.capacity() << " index_source="
+                << (snapshot_loaded ? "snapshot" : "built") << std::endl;
+      continue;
     }
-  }
-  // Cache last (moved, not copied); `cached` is dead past this point.
-  if (!hit) ctx.cache->Insert(key, std::move(computed));
-  ++ctx.served;
-  const double latency_ms = SecondsSince(start) * 1e3;
-  // Every response carries the certified bound of the run that produced
-  // its answers — on a hit, the certificate was stored with the entry.
-  std::cout << "ok " << query_path << " answers=" << answer_count
-            << " cache=" << (hit ? "hit" : "miss")
-            << " latency_ms=" << FormatDouble(latency_ms, 3)
-            << " complete=" << FormatDouble(certified * 100.0, 1) << "%";
-  if (!hit) {
-    std::cout << " index_ms=" << FormatDouble(stats.index_seconds * 1e3, 3)
-              << " match_ms=" << FormatDouble(stats.match_seconds * 1e3, 3);
-    if (stats.adaptive_mode) {
-      std::cout << " budget=" << stats.adaptive.budget_spent
-                << " rounds=" << stats.adaptive.rounds;
+    auto response = service.Execute(*request, /*pressure=*/0.0);
+    if (response.ok()) {
+      std::cout << serve::FormatMatchResponse(*response) << std::endl;
+      ++served;
+    } else {
+      std::cout << serve::FormatErrorResponse(request->query_path,
+                                              response.status())
+                << std::endl;
+      ++failed;
     }
   }
-  std::cout << std::endl;
+  std::cout << "bye served=" << served << " failed=" << failed << std::endl;
+  return failed == 0 ? 0 : 1;
+}
+
+/// The network mode: start the concurrent server, then block until
+/// SIGTERM/SIGINT and drain gracefully. Signals are blocked before the
+/// server spawns its threads, so only this thread's sigwait sees them.
+int RunNetworkServe(serve::MatchService& service,
+                    const std::string& listen_spec, size_t workers,
+                    size_t queue_depth, double deadline_ms) {
+  auto address = ParseListenAddress(listen_spec);
+  if (!address.ok()) return Fail(address.status());
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  serve::MatchServerConfig config;
+  config.host = address->first;
+  config.port = address->second;
+  config.workers = workers;
+  config.queue_depth = queue_depth;
+  config.default_deadline_ms = deadline_ms;
+  serve::MatchServer server(&service, config);
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::cout << "listening=" << config.host << ":" << server.port()
+            << " workers=" << workers << " queue=" << queue_depth
+            << std::endl;
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::cout << "draining signal="
+            << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+            << std::endl;
+  server.RequestDrain();
+  server.Wait();
+  const serve::ServerStatsSnapshot stats = server.stats();
+  // `dropped` counts admitted-but-unanswered requests; the drain protocol
+  // makes it 0 by construction, and CI asserts exactly that.
+  std::cout << "drained served=" << stats.served
+            << " failed=" << stats.failed << " shed=" << stats.shed
+            << " dropped=" << stats.in_flight << std::endl;
   return 0;
 }
 
@@ -757,6 +806,30 @@ int CmdServe(const CommandLine& cl) {
   if (!top.ok()) return Fail(top.status());
   if (!cache_size.ok()) return Fail(cache_size.status());
   if (!adaptive.ok()) return Fail(adaptive.status());
+
+  // Network-mode and shedding flags.
+  std::string listen_spec = cl.Get("listen");
+  auto workers = cl.GetUint("workers", 2);
+  auto queue_depth = cl.GetUint("queue-depth", 16);
+  auto deadline_ms = cl.GetDouble("deadline-ms", 0.0);
+  if (!workers.ok()) return Fail(workers.status());
+  if (!queue_depth.ok()) return Fail(queue_depth.status());
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  if (cl.Has("min-target-bound") && !adaptive->has_value()) {
+    return Fail(Status::InvalidArgument(
+        "--min-target-bound only applies to the bound-driven mode; add "
+        "--target-bound=B"));
+  }
+  serve::LoadShedPolicy shed;
+  shed.base_target = adaptive->has_value()
+                         ? (*adaptive)->min_provable_completeness
+                         : 1.0;
+  auto min_target = cl.GetDouble("min-target-bound", shed.base_target);
+  if (!min_target.ok()) return Fail(min_target.status());
+  shed.min_target = *min_target;
+  if (Status st = serve::ValidateLoadShedPolicy(shed); !st.ok()) {
+    return Fail(st);
+  }
 
   // Prepare once: load the snapshot when one exists, otherwise build and
   // (with --snapshot) persist for the next start. A snapshot that exists
@@ -796,38 +869,36 @@ int CmdServe(const CommandLine& cl) {
     }
   }
 
-  ServeContext ctx;
-  ctx.repo = &*repo;
-  ctx.matcher = matcher->get();
-  ctx.options = options;
-  ctx.engine_options.num_threads = static_cast<size_t>(*threads);
-  ctx.engine_options.global_top_k = static_cast<size_t>(*top);
-  ctx.engine_options.candidate_limit =
-      adaptive->has_value() ? 0 : static_cast<size_t>(*candidates);
-  ctx.engine_options.adaptive = *adaptive;
-  ctx.engine_options.prepared_repository = &*prepared;
-  // Everything that shapes answers goes into the cache key — including
-  // the bound-driven mode and its target: a 0.9-certified answer set must
-  // never be replayed for a request that asked for 0.99.
-  io::Fingerprinter options_fingerprint;
-  options_fingerprint.U64(io::FingerprintMatchOptions(options))
-      .U64(ctx.engine_options.candidate_limit)
-      .U64(*top)
-      .Bool(adaptive->has_value());
-  if (adaptive->has_value()) {
-    options_fingerprint.Double((*adaptive)->min_provable_completeness)
-        .U64((*adaptive)->initial_limit)
-        .U64((*adaptive)->growth_factor)
-        .U64((*adaptive)->max_limit);
-  }
-  ctx.options_fingerprint = options_fingerprint.digest();
+  // One service for either mode: the offline loop and every network
+  // worker execute requests through the same shared immutable state.
+  // The effective (possibly shed) target is folded into the cache key by
+  // the service — a 0.9-certified answer set is never replayed for a
+  // request that asked for 0.99.
   engine::QueryResultCache cache(static_cast<size_t>(*cache_size));
-  ctx.cache = &cache;
+  serve::MatchServiceConfig service_config;
+  service_config.repo = &*repo;
+  service_config.matcher = matcher->get();
+  service_config.match_options = options;
+  service_config.engine_options.num_threads = static_cast<size_t>(*threads);
+  service_config.engine_options.global_top_k = static_cast<size_t>(*top);
+  service_config.engine_options.candidate_limit =
+      adaptive->has_value() ? 0 : static_cast<size_t>(*candidates);
+  service_config.engine_options.adaptive = *adaptive;
+  service_config.engine_options.prepared_repository = &*prepared;
+  service_config.cache = &cache;
+  service_config.shed = shed;
+  serve::MatchService service(service_config);
 
   std::ifstream request_file;
   std::istream* in = &std::cin;
   std::string requests_path = cl.Get("requests");
   if (!requests_path.empty()) {
+    if (!listen_spec.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--requests (offline replay) and --listen (network mode) are "
+          "mutually exclusive; replay against a live server with "
+          "`matchbounds client`"));
+    }
     request_file.open(requests_path);
     if (!request_file) {
       return Fail(Status::IOError("cannot open request file " +
@@ -853,44 +924,49 @@ int CmdServe(const CommandLine& cl) {
                                         FormatDouble(save_seconds * 1e3, 2)))
             << std::endl;
 
-  std::string line;
-  int failed_requests = 0;
-  while (std::getline(*in, line)) {
-    std::istringstream fields(line);
-    std::string command;
-    fields >> command;
-    if (command.empty() || command[0] == '#') continue;
-    if (command == "quit") break;
-    if (command == "stats") {
-      const engine::QueryCacheStats& cs = cache.stats();
-      std::cout << "stats served=" << ctx.served << " cache_hits=" << cs.hits
-                << " cache_misses=" << cs.misses
-                << " cache_evictions=" << cs.evictions
-                << " cache_entries=" << cache.size() << "/"
-                << cache.capacity() << " index_source="
-                << (loaded ? "snapshot" : "built") << std::endl;
-      continue;
-    }
-    if (command == "match") {
-      std::string query_path, out_path;
-      fields >> query_path >> out_path;
-      if (query_path.empty()) {
-        std::cout << "err match needs a query file: match <query-file> "
-                     "[<answers-out.csv>]"
-                  << std::endl;
-        ++failed_requests;
-        continue;
-      }
-      failed_requests += ServeMatchRequest(ctx, query_path, out_path);
-      continue;
-    }
-    std::cout << "err unknown request '" << command
-              << "' (expected: match|stats|quit)" << std::endl;
-    ++failed_requests;
+  if (!listen_spec.empty()) {
+    return RunNetworkServe(service, listen_spec,
+                           static_cast<size_t>(*workers),
+                           static_cast<size_t>(*queue_depth), *deadline_ms);
   }
-  std::cout << "bye served=" << ctx.served << " failed=" << failed_requests
-            << std::endl;
-  return failed_requests == 0 ? 0 : 1;
+  return RunOfflineServe(service, cache, *in, loaded);
+}
+
+int CmdClient(const CommandLine& cl) {
+  std::string connect_spec = cl.Get("connect");
+  std::string requests_path = cl.Get("requests");
+  if (connect_spec.empty() || requests_path.empty()) {
+    return Fail(
+        Status::InvalidArgument("--connect and --requests required"));
+  }
+  auto address = ParseListenAddress(connect_spec);
+  if (!address.ok()) return Fail(address.status());
+  auto connections = cl.GetUint("connections", 1);
+  if (!connections.ok()) return Fail(connections.status());
+
+  auto requests_text = io::ReadTextFile(requests_path);
+  if (!requests_text.ok()) return Fail(requests_text.status());
+  std::vector<std::string> request_lines;
+  std::istringstream requests_stream(*requests_text);
+  std::string line;
+  while (std::getline(requests_stream, line)) {
+    if (!serve::IsIgnorableLine(line)) request_lines.push_back(line);
+  }
+
+  eval::ReplayClientOptions options;
+  options.host = address->first;
+  options.port = address->second;
+  options.connections = static_cast<size_t>(*connections);
+  auto outcome = eval::ReplayRequests(options, request_lines);
+  if (!outcome.ok()) return Fail(outcome.status());
+  for (const std::string& response : outcome->responses) {
+    std::cout << response << "\n";
+  }
+  std::cout << "replayed " << request_lines.size() << " request(s) on "
+            << options.connections << " connection(s): ok="
+            << outcome->ok_count << " err=" << outcome->err_count
+            << " shed=" << outcome->shed_count << std::endl;
+  return outcome->err_count == 0 ? 0 : 1;
 }
 
 int CmdCurve(const CommandLine& cl) {
@@ -994,6 +1070,7 @@ int main(int argc, char** argv) {
   if (command == "match") return CmdMatch(*cl);
   if (command == "workload") return CmdWorkload(*cl);
   if (command == "serve") return CmdServe(*cl);
+  if (command == "client") return CmdClient(*cl);
   if (command == "curve") return CmdCurve(*cl);
   if (command == "bounds") return CmdBounds(*cl);
   if (command == "stats") return CmdStats(*cl);
