@@ -1,0 +1,37 @@
+#include <benchmark/benchmark.h>
+
+#include "sim/simd_dispatch.h"
+
+/// \file bench_context.cc
+/// \brief Registers context that makes a benchmark JSON self-describing:
+///
+///  * `smb_build_type` — how *this repository's* code was compiled
+///    (optimized vs debug). Google Benchmark's own `library_build_type`
+///    describes the benchmark *library*, which distro packages often ship
+///    as a debug build even when our code is -O3, so it cannot be used to
+///    judge whether numbers are comparable. `tools/bench_diff.py` refuses
+///    debug inputs based on this field.
+///  * `smb_simd` — the SIMD tier the kernels dispatched to at load time
+///    (scalar / avx2 / neon, including any `SMB_SIMD` override), so two
+///    JSONs compared across machines or env configs carry the reason for
+///    a kernel-speed delta.
+///
+/// Linked into every perf_* target; registration runs before main() so
+/// the fields appear in every output format without per-bench code.
+
+namespace {
+
+bool RegisterBenchContext() {
+#if defined(__OPTIMIZE__) || (defined(NDEBUG) && !defined(_DEBUG))
+  benchmark::AddCustomContext("smb_build_type", "release");
+#else
+  benchmark::AddCustomContext("smb_build_type", "debug");
+#endif
+  benchmark::AddCustomContext(
+      "smb_simd", smb::sim::SimdTierName(smb::sim::ActiveSimdTier()));
+  return true;
+}
+
+const bool kRegistered = RegisterBenchContext();
+
+}  // namespace

@@ -349,6 +349,102 @@ void BM_SparsePerQuery(benchmark::State& state) {
 BENCHMARK(BM_SparsePerQuery)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- Block-max (WAND) vs classic postings traversal ---------------------
+//
+// Candidate generation alone (no matching), same prebuilt index and
+// limits: the only variable is the trigram traversal. The classic path
+// walks and scores every posting of every query gram; the block-max path
+// skips posting blocks that provably cannot enter the top-C, so it wins
+// exactly where postings are long and C is small. Selection is identical
+// by construction (tests/index/block_max_test.cc pins it).
+
+void BM_CandidateGenClassic(benchmark::State& state) {
+  const Setup& setup = GetSetup(kIndexSchemas);
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository,
+                      setup.mopts.objective.name)
+                      .value();
+  index::CandidateGenerator generator(&prepared, setup.mopts.objective);
+  generator.set_block_max_enabled(false);
+  const auto limit = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto candidates = generator.Generate(setup.collection.query, limit);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_CandidateGenClassic)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CandidateGenBlockMax(benchmark::State& state) {
+  const Setup& setup = GetSetup(kIndexSchemas);
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository,
+                      setup.mopts.objective.name)
+                      .value();
+  index::CandidateGenerator generator(&prepared, setup.mopts.objective);
+  const auto limit = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto candidates = generator.Generate(setup.collection.query, limit);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_CandidateGenBlockMax)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Wide variant: few schemas, each several hundred elements, so a cell's
+// posting ranges span many 64-posting blocks — the regime the block
+// metadata exists for. (The narrow collection above never leaves the
+// dense small-cell fast path; this one pivots and skips.)
+const Setup& GetWideSetup() {
+  static const Setup* setup = [] {
+    Rng rng(4321);
+    synth::SynthOptions sopts;
+    sopts.num_schemas = 12;
+    sopts.min_schema_elements = 400;
+    sopts.max_schema_elements = 600;
+    auto* s = new Setup;
+    s->collection = synth::GenerateProblem(4, sopts, &rng).value();
+    static const sim::SynonymTable kTable = sim::SynonymTable::Builtin();
+    s->mopts.delta_threshold = 0.25;
+    s->mopts.objective.name.synonyms = &kTable;
+    return s;
+  }();
+  return *setup;
+}
+
+void BM_CandidateGenClassicWide(benchmark::State& state) {
+  const Setup& setup = GetWideSetup();
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository,
+                      setup.mopts.objective.name)
+                      .value();
+  index::CandidateGenerator generator(&prepared, setup.mopts.objective);
+  generator.set_block_max_enabled(false);
+  const auto limit = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto candidates = generator.Generate(setup.collection.query, limit);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_CandidateGenClassicWide)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CandidateGenBlockMaxWide(benchmark::State& state) {
+  const Setup& setup = GetWideSetup();
+  auto prepared = index::PreparedRepository::Build(
+                      setup.collection.repository,
+                      setup.mopts.objective.name)
+                      .value();
+  index::CandidateGenerator generator(&prepared, setup.mopts.objective);
+  const auto limit = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto candidates = generator.Generate(setup.collection.query, limit);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_CandidateGenBlockMaxWide)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // --- Bound-driven adaptive budgets vs a fixed candidate budget ----------
 //
 // The adaptive policy grows each (query element, schema) cell only until

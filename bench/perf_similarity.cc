@@ -252,6 +252,31 @@ void BM_NameSimilarityBlockCutoff(benchmark::State& state) {
 }
 BENCHMARK(BM_NameSimilarityBlockCutoff);
 
+// The per-pair baseline for the vectorized block above: identical scores
+// and pruning decisions, but each target goes through the scalar
+// ScoreWithCutoff path one at a time. CI gates
+// BlockCutoffPairwise / BlockCutoff ≥ 2 via tools/bench_diff.py — the
+// SIMD batching must stay worth at least 2x on this workload.
+void BM_NameSimilarityBlockCutoffPairwise(benchmark::State& state) {
+  const auto& prepared = PreparedNames();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  std::vector<sim::CutoffScore> scores(prepared.size());
+  const double min_score = 0.7;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = prepared[i % prepared.size()];
+    for (size_t t = 0; t < prepared.size(); ++t) {
+      scores[t] = sim::ScoreWithCutoff(query, prepared[t], options,
+                                       min_score);
+    }
+    benchmark::DoNotOptimize(scores.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(prepared.size()));
+}
+BENCHMARK(BM_NameSimilarityBlockCutoffPairwise);
+
 // The bit-parallel Levenshtein against the two-row reference DP.
 void BM_LevenshteinKernel(benchmark::State& state) {
   const auto& names = Names();

@@ -150,6 +150,7 @@ Result<match::AnswerSet> BatchMatchEngine::Run(
       prepared = &*owned_prepared;
     }
     index::CandidateGenerator generator(prepared, match_options.objective);
+    generator.set_block_max_enabled(options_.block_max_postings);
     Result<index::QueryCandidates> generated =
         adaptive ? generator.GenerateAdaptive(query, *options_.adaptive,
                                               match_options.delta_threshold,

@@ -37,9 +37,10 @@ Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
   // written by exactly one thread, so no locking is needed. Every worker
   // folds/tokenizes/kernel-compiles the query once against its own token
   // interner (ids only need to be consistent *within* a worker — the
-  // scores they produce are id-independent), then fills each row through a
-  // BlockScorer so the query-side state (weights, PEQ bitmask table) loads
-  // once per row instead of once per pair. Values are bit-identical to
+  // scores they produce are id-independent), then fills each row through
+  // one batched `ScoreMany` call so the query-side state (weights, PEQ
+  // bitmask table) loads once per row and the row runs through the
+  // SoA/SIMD pipeline. Values are bit-identical to
   // `match::ComputeNodeCost` — the kernel is the same scorer.
   std::atomic<size_t> next_schema{0};
   auto fill = [&]() {
@@ -51,6 +52,8 @@ Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
           sim::PrepareName(query.node(id).name, options.name, &interner));
     }
     std::vector<sim::PreparedName> prepared_target;
+    std::vector<const sim::PreparedName*> target_ptrs;
+    std::vector<sim::CutoffScore> row;
     for (size_t si = next_schema.fetch_add(1); si < repo.schema_count();
          si = next_schema.fetch_add(1)) {
       const schema::Schema& s = repo.schema(static_cast<int32_t>(si));
@@ -64,12 +67,19 @@ Result<SimilarityMatrixPool> SimilarityMatrixPool::Build(
             sim::PrepareName(s.node(static_cast<schema::NodeId>(node)).name,
                              options.name, &interner));
       }
+      target_ptrs.clear();
+      target_ptrs.reserve(s.size());
+      for (const sim::PreparedName& t : prepared_target) {
+        target_ptrs.push_back(&t);
+      }
+      row.resize(s.size());
       for (size_t pos = 0; pos < preorder.size(); ++pos) {
         const schema::SchemaNode& q = query.node(preorder[pos]);
         sim::BlockScorer scorer(prepared_query[pos], options.name);
+        scorer.ScoreMany(target_ptrs, /*min_score=*/0.0, row.data());
         for (size_t node = 0; node < s.size(); ++node) {
           matrix[pos * s.size() + node] = match::ApplyTypePenalty(
-              1.0 - scorer.Score(prepared_target[node]), q,
+              1.0 - row[node].score, q,
               s.node(static_cast<schema::NodeId>(node)), options);
         }
       }

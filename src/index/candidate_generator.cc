@@ -44,17 +44,54 @@ struct Retrieved {
   bool strong = false;
 };
 
+/// One distinct query trigram for the block-max traversal: its posting
+/// list in the index plus the query-side multiplicity.
+struct WandTerm {
+  int32_t list = -1;
+  uint32_t qmult = 0;
+  /// Resume hint: where the previous cell's range ended in this term's
+  /// list. Cells are scored in ascending ordinal order within a position,
+  /// so the hint is usually exactly the next cell's lower bound; it is
+  /// validated in O(1) and falls back to a binary search when stale
+  /// (adaptive escalation rounds revisit cells out of order).
+  const TrigramPosting* hint = nullptr;
+};
+
 /// Retrieval results of one query position, valid for every schema and —
 /// in adaptive generation — every escalation round.
 struct PositionRetrieval {
   /// Lookup-only preparation against the index's shared interner.
   sim::PreparedName prepared;
-  /// Retrieved elements, ascending by ordinal (= grouped by schema).
+  /// Retrieved elements, ascending by ordinal (= grouped by schema). With
+  /// block-max traversal enabled these are the strong hits only — trigram
+  /// candidates are selected per cell by the WAND pass instead.
   std::vector<Retrieved> hits;
   /// `hits` index range of schema `si` is
   /// [hit_offsets[si], hit_offsets[si + 1]).
   std::vector<uint32_t> hit_offsets;
+  /// Distinct query grams present in the index (block-max mode only).
+  std::vector<WandTerm> wand_terms;
   const std::vector<uint32_t>* type_bucket = nullptr;
+};
+
+/// One posting-list cursor of the per-cell WAND traversal, restricted to
+/// the cell's ordinal range [first, end).
+struct WandCursor {
+  const TrigramPosting* pos = nullptr;       // current posting
+  const TrigramPosting* range_end = nullptr;  // end of the in-range span
+  const TrigramPosting* list_begin = nullptr;  // whole list, for block math
+  const uint32_t* block_last = nullptr;  // list-global block metadata
+  const uint16_t* block_max = nullptr;
+  uint32_t qmult = 0;
+  /// min(qmult, max posting count over the blocks overlapping the range):
+  /// the cursor's admissible cap on any element's Dice numerator.
+  double range_ub = 0.0;
+};
+
+/// Top-k heap entry of the WAND traversal.
+struct WandHit {
+  double dice = 0.0;
+  uint32_t ordinal = 0;
 };
 
 bool CellComplete(double skip_bound, double weight_name, double normalizer,
@@ -71,11 +108,13 @@ class GenerationEngine {
  public:
   GenerationEngine(const PreparedRepository* prepared,
                    const match::ObjectiveOptions* objective,
-                   double trigram_weight_share, bool cutoff_enabled)
+                   double trigram_weight_share, bool cutoff_enabled,
+                   bool block_max_enabled)
       : prepared_(prepared),
         objective_(objective),
         trigram_weight_share_(trigram_weight_share),
-        cutoff_enabled_(cutoff_enabled) {
+        cutoff_enabled_(cutoff_enabled),
+        block_max_(block_max_enabled) {
     const size_t element_count = prepared_->element_count();
     shared_.assign(element_count, 0);
     strong_.assign(element_count, 0);
@@ -106,17 +145,27 @@ class GenerationEngine {
 
     // Trigram evidence with multiplicities: Σ_g min(mult_q, mult_e) is the
     // exact Dice numerator of every element sharing a gram. Gram ids are
-    // sorted, so runs of equal ids give the query-side multiplicity.
+    // sorted, so runs of equal ids give the query-side multiplicity. With
+    // block-max traversal the full postings walk is skipped — this pass
+    // only resolves each distinct gram to its posting list, and the
+    // per-cell WAND pass (`SelectWandCandidates`) touches just the
+    // postings it cannot prove irrelevant.
+    out->wand_terms.clear();
     const auto& qgram_ids = out->prepared.gram_ids;
     for (size_t g = 0; g < qgram_ids.size();) {
       size_t end = g + 1;
       while (end < qgram_ids.size() && qgram_ids[end] == qgram_ids[g]) ++end;
       const auto query_mult = static_cast<uint32_t>(end - g);
-      for (const TrigramPosting& posting :
-           prepared_->TrigramPostings(qgram_ids[g])) {
-        touch(posting.ordinal);
-        shared_[posting.ordinal] +=
-            std::min(query_mult, static_cast<uint32_t>(posting.count));
+      if (block_max_) {
+        const int32_t list = prepared_->TrigramListIndex(qgram_ids[g]);
+        if (list >= 0) out->wand_terms.push_back({list, query_mult});
+      } else {
+        for (const TrigramPosting& posting :
+             prepared_->TrigramPostings(qgram_ids[g])) {
+          touch(posting.ordinal);
+          shared_[posting.ordinal] +=
+              std::min(query_mult, static_cast<uint32_t>(posting.count));
+        }
       }
       g = end;
     }
@@ -193,7 +242,7 @@ class GenerationEngine {
   /// keeps a superset of candidates with a no-smaller bound); re-invoked by
   /// the adaptive path on escalation. Returns the number of candidates
   /// scored — the budget this call spent.
-  size_t ScoreCell(const PositionRetrieval& retrieval,
+  size_t ScoreCell(PositionRetrieval& retrieval,
                    sim::BlockScorer& scorer, const schema::SchemaNode& qnode,
                    int32_t schema_index, size_t limit,
                    std::vector<match::CandidateEntry>* cell_entries,
@@ -229,6 +278,20 @@ class GenerationEngine {
     for (size_t i = 0; i < strong_count + weak_scored; ++i) {
       scored_ordinals_.push_back(cell_hits_[i].ordinal);
       in_list_[cell_hits_[i].ordinal - first] = 1;
+    }
+
+    // Block-max mode: retrieval never walked the trigram postings
+    // (weak_count is 0 above), so the weak candidates are selected here by
+    // the WAND traversal, which appends to scored_ordinals_/in_list_ and
+    // returns the admissible Dice cap of every trigram-sharing element it
+    // skipped. A skip implies the selection heap was full, so the cell is
+    // already at `limit` and the padding below never re-adds a skipped
+    // element.
+    double wand_dice_cap = 0.0;
+    if (block_max_) {
+      const size_t wand_target =
+          strong_count >= limit ? 0 : limit - strong_count;
+      wand_dice_cap = SelectWandCandidates(retrieval, first, end, wand_target);
     }
 
     // Pad to C with unretrieved elements: same declared type first, then
@@ -319,15 +382,29 @@ class GenerationEngine {
 
     const size_t scored_total = scored_ordinals_.size();
     double bound = truncation_bound;  // kInf when nothing was dropped
-    if (weak_scored < weak_count) {
-      // Retrieved but unscored: their exact Dice caps the trigram term.
-      bound = std::min(
-          bound, trigram_weight_share_ *
-                     (1.0 - cell_hits_[strong_count + weak_scored].dice));
-    }
-    if (scored_total + (weak_count - weak_scored) < schema_size) {
-      // Never-retrieved elements share no trigram with the query: D = 0.
-      bound = std::min(bound, trigram_weight_share_);
+    if (block_max_) {
+      // One tier covers every unscored element: the WAND traversal's
+      // skipped elements have Dice ≤ wand_dice_cap, and elements sharing
+      // no trigram with the query have Dice 0 ≤ wand_dice_cap. With cap 0
+      // (nothing skipped) this is exactly the classic never-retrieved
+      // tier. The classic tiers must NOT apply here — `bound = share`
+      // would be inadmissible for a skipped element whose Dice is
+      // positive.
+      if (scored_total < schema_size) {
+        bound =
+            std::min(bound, trigram_weight_share_ * (1.0 - wand_dice_cap));
+      }
+    } else {
+      if (weak_scored < weak_count) {
+        // Retrieved but unscored: their exact Dice caps the trigram term.
+        bound = std::min(
+            bound, trigram_weight_share_ *
+                       (1.0 - cell_hits_[strong_count + weak_scored].dice));
+      }
+      if (scored_total + (weak_count - weak_scored) < schema_size) {
+        // Never-retrieved elements share no trigram with the query: D = 0.
+        bound = std::min(bound, trigram_weight_share_);
+      }
     }
     *cell_entries = entries_;
     *cell_skip_bound = bound;
@@ -339,10 +416,314 @@ class GenerationEngine {
   }
 
  private:
+  /// Advances the cursor to the first in-range posting with ordinal ≥
+  /// `target`, skipping whole blocks through the per-block last-ordinal
+  /// fence (the point of the block metadata: a skipped block's postings
+  /// are never touched).
+  static void AdvanceCursor(WandCursor* c, uint32_t target) {
+    size_t block =
+        static_cast<size_t>(c->pos - c->list_begin) / kTrigramBlockSize;
+    while (c->block_last[block] < target) {
+      const TrigramPosting* next =
+          c->list_begin + (block + 1) * kTrigramBlockSize;
+      if (next >= c->range_end) {
+        c->pos = c->range_end;
+        return;
+      }
+      c->pos = next;
+      ++block;
+    }
+    while (c->pos != c->range_end && c->pos->ordinal < target) ++c->pos;
+  }
+
+  /// \brief Block-max WAND selection of one cell's trigram candidates.
+  ///
+  /// Walks the cell's posting ranges document-at-a-time, keeps the
+  /// `k_target` best exact Dice scores, and skips posting spans whose
+  /// upper bound provably cannot beat the current k-th best. Selected
+  /// ordinals are appended to `scored_ordinals_` (descending Dice,
+  /// ascending ordinal on ties — the classic weak order) and marked in
+  /// `in_list_`; elements already marked (strong hits) are evaluated but
+  /// never selected or counted as skipped, exactly like the classic weak
+  /// pool. Returns an admissible Dice cap for every trigram-sharing
+  /// element of the cell that was *not* selected (0 when none exists).
+  ///
+  /// Admissibility of the skip decisions: an element's Dice is
+  ///   2·num / (qa + tc),  num = Σ_g min(qmult_g, count_g) ≤ acc,
+  /// and tc ≥ num as well as tc ≥ the floor of any block containing one
+  /// of its postings, so
+  ///   Dice ≤ 2·acc / (qa + max(acc, tc_floor)) = dice_ub(acc),
+  /// which is monotone increasing in acc. Prefix sums of per-cursor caps
+  /// therefore bound whole cursor prefixes (pivoting), and per-block
+  /// maxima bound the aligned span up to the earliest block fence
+  /// (block-max skipping). Skips additionally require the bound to fall
+  /// short of the k-th best by 1e-12 — far coarser than the spacing of
+  /// the exact Dice quotients — so the selected set is identical to the
+  /// classic retrieve-everything top-k (tests compare the two paths
+  /// bit-for-bit).
+  double SelectWandCandidates(PositionRetrieval& retrieval, uint32_t first,
+                              uint32_t end, size_t k_target) {
+    auto below = [](const TrigramPosting& p, uint32_t ordinal) {
+      return p.ordinal < ordinal;
+    };
+    // Resolves the first in-range posting: the term's resume hint when it
+    // is exactly the lower bound of `first` (the common case — cells are
+    // visited in ascending ordinal order, so each list is swept linearly
+    // across a position's cells), else a binary search.
+    auto resolve_lo = [&](const WandTerm& term,
+                          const std::span<const TrigramPosting>& list) {
+      const TrigramPosting* const begin = list.data();
+      const TrigramPosting* const lend = begin + list.size();
+      const TrigramPosting* lo = term.hint;
+      if (lo == nullptr || (lo != lend && lo->ordinal < first) ||
+          (lo != begin && (lo - 1)->ordinal >= first)) {
+        lo = std::lower_bound(begin, lend, first, below);
+      }
+      return lo;
+    };
+    const double qa = static_cast<double>(retrieval.prepared.gram_ids.size());
+
+    // Worst-on-top heap ordering: lowest Dice, ties on *higher* ordinal.
+    // Insertion is strict (`dice > top`), and both selection paths visit
+    // ordinals ascending, so an equal-Dice later element never displaces
+    // an earlier one — reproducing the classic (Dice desc, ordinal asc)
+    // top-k exactly.
+    auto worse_on_top = [](const WandHit& a, const WandHit& b) {
+      if (a.dice != b.dice) return a.dice > b.dice;
+      return a.ordinal < b.ordinal;
+    };
+
+    // Dense fast path for small cells. Pivoting can only skip whole block
+    // spans, so a cell whose ordinal range fits within ~a block has
+    // nothing to skip and would pay the cursor-ordering machinery for
+    // free: evaluate every trigram-sharing element instead, exactly as
+    // the classic path would (same Dice expression, ascending-ordinal
+    // visit order, strict heap insertion), but still without the
+    // repository-wide postings walk or any block metadata.
+    if (k_target > 0 && end - first <= kTrigramBlockSize) {
+      const uint32_t width = end - first;
+      wand_dense_.assign(width, 0u);
+      for (WandTerm& term : retrieval.wand_terms) {
+        const std::span<const TrigramPosting> list =
+            prepared_->TrigramListPostings(term.list);
+        const TrigramPosting* const lend = list.data() + list.size();
+        const TrigramPosting* p = resolve_lo(term, list);
+        for (; p != lend && p->ordinal < end; ++p) {
+          wand_dense_[p->ordinal - first] +=
+              std::min(term.qmult, static_cast<uint32_t>(p->count));
+        }
+        term.hint = p;
+      }
+      wand_heap_.clear();
+      bool excluded_any = false;
+      for (uint32_t off = 0; off < width; ++off) {
+        const uint32_t num = wand_dense_[off];
+        if (num == 0) continue;        // shares no trigram with the query
+        if (in_list_[off] != 0) continue;  // already a strong hit
+        const uint32_t ordinal = first + off;
+        const double denom =
+            qa + static_cast<double>(prepared_->element(ordinal).trigram_count);
+        const double dice =
+            denom > 0.0 ? 2.0 * static_cast<double>(num) / denom : 0.0;
+        if (wand_heap_.size() < k_target) {
+          wand_heap_.push_back({dice, ordinal});
+          std::push_heap(wand_heap_.begin(), wand_heap_.end(), worse_on_top);
+        } else if (dice > wand_heap_.front().dice) {
+          excluded_any = true;
+          std::pop_heap(wand_heap_.begin(), wand_heap_.end(), worse_on_top);
+          wand_heap_.back() = {dice, ordinal};
+          std::push_heap(wand_heap_.begin(), wand_heap_.end(), worse_on_top);
+        } else {
+          excluded_any = true;
+        }
+      }
+      return EmitWandSelection(first, excluded_any);
+    }
+
+    wand_cursors_.clear();
+    uint32_t cell_tc_floor = std::numeric_limits<uint32_t>::max();
+    for (WandTerm& term : retrieval.wand_terms) {
+      const std::span<const TrigramPosting> list =
+          prepared_->TrigramListPostings(term.list);
+      const TrigramPosting* lo = resolve_lo(term, list);
+      const TrigramPosting* hi =
+          std::lower_bound(lo, list.data() + list.size(), end, below);
+      term.hint = hi;
+      if (lo == hi) continue;
+      const TrigramBlockSpans blocks = prepared_->TrigramBlocks(term.list);
+      WandCursor cursor;
+      cursor.pos = lo;
+      cursor.range_end = hi;
+      cursor.list_begin = list.data();
+      cursor.block_last = blocks.last_ordinals.data();
+      cursor.block_max = blocks.max_counts.data();
+      cursor.qmult = term.qmult;
+      uint16_t range_max = 0;
+      const size_t first_block =
+          static_cast<size_t>(lo - list.data()) / kTrigramBlockSize;
+      const size_t last_block =
+          static_cast<size_t>(hi - 1 - list.data()) / kTrigramBlockSize;
+      for (size_t b = first_block; b <= last_block; ++b) {
+        range_max = std::max(range_max, blocks.max_counts[b]);
+        cell_tc_floor = std::min(cell_tc_floor, blocks.tc_floors[b]);
+      }
+      cursor.range_ub = std::min<double>(term.qmult, range_max);
+      wand_cursors_.push_back(cursor);
+    }
+    if (wand_cursors_.empty()) return 0.0;
+
+    const double tc_floor = static_cast<double>(cell_tc_floor);
+    auto dice_ub = [&](double acc) {
+      return 2.0 * acc / (qa + std::max(acc, tc_floor));
+    };
+
+    if (k_target == 0) {
+      // Nothing to select (the strong hits already fill the cell): every
+      // trigram-sharing element is skipped; cap all of them at the
+      // range-level upper bound.
+      double acc = 0.0;
+      for (const WandCursor& c : wand_cursors_) acc += c.range_ub;
+      return std::min(1.0, dice_ub(acc));
+    }
+
+    constexpr double kSkipSlack = 1e-12;
+    wand_heap_.clear();
+    bool skipped_any = false;
+
+    wand_order_.clear();
+    for (size_t i = 0; i < wand_cursors_.size(); ++i) {
+      wand_order_.push_back(static_cast<uint32_t>(i));
+    }
+    while (!wand_order_.empty()) {
+      // Drop exhausted cursors and order the rest by current ordinal.
+      wand_order_.erase(
+          std::remove_if(wand_order_.begin(), wand_order_.end(),
+                         [&](uint32_t i) {
+                           return wand_cursors_[i].pos ==
+                                  wand_cursors_[i].range_end;
+                         }),
+          wand_order_.end());
+      if (wand_order_.empty()) break;
+      std::sort(wand_order_.begin(), wand_order_.end(),
+                [&](uint32_t a, uint32_t b) {
+                  return wand_cursors_[a].pos->ordinal <
+                         wand_cursors_[b].pos->ordinal;
+                });
+      const double theta =
+          wand_heap_.size() >= k_target ? wand_heap_.front().dice : -kInf;
+      // Pivot: the first cursor prefix whose combined range-level bound
+      // could still beat the k-th best. An element below the pivot's
+      // ordinal is covered only by cursors currently at or before it — a
+      // strict sub-prefix — so it is provably out.
+      double acc = 0.0;
+      size_t pivot = wand_order_.size();
+      for (size_t i = 0; i < wand_order_.size(); ++i) {
+        acc += wand_cursors_[wand_order_[i]].range_ub;
+        if (dice_ub(acc) > theta - kSkipSlack) {
+          pivot = i;
+          break;
+        }
+      }
+      if (pivot == wand_order_.size()) {
+        // Even all cursors combined cannot beat the k-th best: every
+        // remaining element is provably out.
+        skipped_any = true;
+        break;
+      }
+      const uint32_t pivot_ordinal =
+          wand_cursors_[wand_order_[pivot]].pos->ordinal;
+      if (wand_cursors_[wand_order_[0]].pos->ordinal != pivot_ordinal) {
+        // Skip the pre-pivot cursors forward to the pivot; the elements
+        // they pass over are provably out (see above).
+        for (size_t i = 0; i < pivot; ++i) {
+          AdvanceCursor(&wand_cursors_[wand_order_[i]], pivot_ordinal);
+        }
+        skipped_any = true;
+        continue;
+      }
+      // Every contributing cursor sits on the pivot. Refine with the
+      // metadata of the blocks actually containing it: if even the
+      // block-level bound cannot beat θ, the whole aligned span up to the
+      // earliest block fence (or the first non-aligned cursor) is out.
+      double block_acc = 0.0;
+      uint32_t span_last = end - 1;
+      size_t at_pivot = 0;
+      for (size_t i = 0; i < wand_order_.size(); ++i) {
+        const WandCursor& c = wand_cursors_[wand_order_[i]];
+        if (c.pos->ordinal != pivot_ordinal) {
+          // Sorted, so this first non-aligned cursor bounds the span: it
+          // could contribute from its current ordinal on.
+          span_last = std::min(span_last, c.pos->ordinal - 1);
+          break;
+        }
+        const size_t block =
+            static_cast<size_t>(c.pos - c.list_begin) / kTrigramBlockSize;
+        block_acc += std::min<double>(c.qmult, c.block_max[block]);
+        span_last = std::min(span_last, c.block_last[block]);
+        ++at_pivot;
+      }
+      if (dice_ub(block_acc) <= theta - kSkipSlack) {
+        for (size_t i = 0; i < at_pivot; ++i) {
+          AdvanceCursor(&wand_cursors_[wand_order_[i]], span_last + 1);
+        }
+        skipped_any = true;
+        continue;
+      }
+      // Evaluate the pivot element exactly — the same Dice expression the
+      // classic retrieval computes, bit for bit.
+      uint32_t num = 0;
+      for (size_t i = 0; i < at_pivot; ++i) {
+        WandCursor& c = wand_cursors_[wand_order_[i]];
+        num += std::min(c.qmult, static_cast<uint32_t>(c.pos->count));
+        ++c.pos;
+      }
+      if (in_list_[pivot_ordinal - first] != 0) {
+        continue;  // already selected as a strong hit — not a weak candidate
+      }
+      const double denom =
+          qa +
+          static_cast<double>(prepared_->element(pivot_ordinal).trigram_count);
+      const double dice =
+          denom > 0.0 ? 2.0 * static_cast<double>(num) / denom : 0.0;
+      if (wand_heap_.size() < k_target) {
+        wand_heap_.push_back({dice, pivot_ordinal});
+        std::push_heap(wand_heap_.begin(), wand_heap_.end(), worse_on_top);
+      } else if (dice > wand_heap_.front().dice) {
+        skipped_any = true;  // the evicted element ends up unselected
+        std::pop_heap(wand_heap_.begin(), wand_heap_.end(), worse_on_top);
+        wand_heap_.back() = {dice, pivot_ordinal};
+        std::push_heap(wand_heap_.begin(), wand_heap_.end(), worse_on_top);
+      } else {
+        skipped_any = true;
+      }
+    }
+
+    return EmitWandSelection(first, skipped_any);
+  }
+
+  /// Appends the heap's selection to `scored_ordinals_` in the classic
+  /// weak order and returns the skip-cap: 0 when nothing was excluded,
+  /// else the final k-th best Dice (skipping/eviction requires a full
+  /// heap, so it caps every excluded element's Dice).
+  double EmitWandSelection(uint32_t first, bool skipped_any) {
+    std::sort(wand_heap_.begin(), wand_heap_.end(),
+              [](const WandHit& a, const WandHit& b) {
+                if (a.dice != b.dice) return a.dice > b.dice;
+                return a.ordinal < b.ordinal;
+              });
+    for (const WandHit& hit : wand_heap_) {
+      scored_ordinals_.push_back(hit.ordinal);
+      in_list_[hit.ordinal - first] = 1;
+    }
+    if (!skipped_any) return 0.0;
+    return std::min(1.0, wand_heap_.back().dice);
+  }
+
   const PreparedRepository* prepared_;
   const match::ObjectiveOptions* objective_;
   double trigram_weight_share_;
   bool cutoff_enabled_;
+  bool block_max_;
 
   // Per-element evidence accumulators, reset between positions by walking
   // the touched list (never the full arrays).
@@ -356,6 +737,11 @@ class GenerationEngine {
   std::vector<uint8_t> in_list_;
   std::vector<uint32_t> scored_ordinals_;
   std::vector<match::CandidateEntry> entries_;
+  // Block-max WAND scratch.
+  std::vector<WandCursor> wand_cursors_;
+  std::vector<uint32_t> wand_order_;
+  std::vector<WandHit> wand_heap_;
+  std::vector<uint32_t> wand_dense_;
 };
 
 }  // namespace
@@ -457,7 +843,7 @@ Result<QueryCandidates> CandidateGenerator::Generate(
   out.limit_ = limit;
 
   GenerationEngine engine(prepared_, &objective_, trigram_weight_share_,
-                          cutoff_enabled_);
+                          cutoff_enabled_, block_max_enabled_);
   PositionRetrieval retrieval;
   for (size_t pos = 0; pos < m; ++pos) {
     const schema::SchemaNode& qnode = query.node(preorder[pos]);
@@ -522,7 +908,7 @@ Result<QueryCandidates> CandidateGenerator::GenerateAdaptive(
   };
 
   GenerationEngine engine(prepared_, &objective_, trigram_weight_share_,
-                          cutoff_enabled_);
+                          cutoff_enabled_, block_max_enabled_);
 
   // Retrieval state is kept per position so escalation rounds only re-run
   // the (cheap, cutoff-pruned) scoring of the cells that need more budget.

@@ -210,6 +210,17 @@ class CandidateGenerator {
   /// skip-bound's truncation tier.
   void set_cutoff_enabled(bool enabled) { cutoff_enabled_ = enabled; }
 
+  /// \brief Toggles block-max postings traversal (on by default). When
+  /// enabled, retrieval skips the full trigram postings walk and each cell
+  /// selects its trigram candidates with a WAND-style traversal over the
+  /// `PreparedRepository`'s per-block score upper bounds, skipping posting
+  /// blocks that provably cannot beat the cell's current C-th-best Dice.
+  /// The selected candidate set — and therefore every entry and its cost —
+  /// is identical to the classic retrieve-everything path (tests compare
+  /// the two); only the skip-bound may differ, downward, and it stays
+  /// admissible. Disable to use the classic path as the oracle.
+  void set_block_max_enabled(bool enabled) { block_max_enabled_ = enabled; }
+
  private:
   Status ValidateQuery(const schema::Schema& query) const;
   void InitOutput(const schema::Schema& query, QueryCandidates* out) const;
@@ -224,6 +235,7 @@ class CandidateGenerator {
   /// floor of the skip-bound.
   double trigram_weight_share_ = 0.0;
   bool cutoff_enabled_ = true;
+  bool block_max_enabled_ = true;
 };
 
 }  // namespace smb::index

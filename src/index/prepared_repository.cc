@@ -7,6 +7,7 @@
 /// for the retrieval model and the admissibility argument).
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "sim/ngram.h"
@@ -138,7 +139,39 @@ Result<PreparedRepository> PreparedRepository::Build(
   prepared.stats_.distinct_tokens = prepared.token_table_->size();
   prepared.stats_.distinct_trigrams = prepared.trigram_keys_.size();
   prepared.stats_.distinct_types = prepared.type_buckets_.size();
+  prepared.BuildTrigramBlocks();
   return prepared;
+}
+
+void PreparedRepository::BuildTrigramBlocks() {
+  const size_t list_count = trigram_keys_.size();
+  trigram_block_offsets_.clear();
+  trigram_block_last_ordinals_.clear();
+  trigram_block_max_counts_.clear();
+  trigram_block_tc_floors_.clear();
+  trigram_block_offsets_.reserve(list_count + 1);
+  trigram_block_offsets_.push_back(0);
+  for (size_t li = 0; li < list_count; ++li) {
+    const size_t begin = trigram_offsets_[li];
+    const size_t end = trigram_offsets_[li + 1];
+    for (size_t b = begin; b < end; b += kTrigramBlockSize) {
+      const size_t block_end = std::min(end, b + kTrigramBlockSize);
+      uint16_t max_count = 0;
+      uint32_t tc_floor = std::numeric_limits<uint32_t>::max();
+      for (size_t e = b; e < block_end; ++e) {
+        const TrigramPosting& posting = trigram_entries_[e];
+        max_count = std::max(max_count, posting.count);
+        tc_floor =
+            std::min(tc_floor, elements_[posting.ordinal].trigram_count);
+      }
+      trigram_block_last_ordinals_.push_back(
+          trigram_entries_[block_end - 1].ordinal);
+      trigram_block_max_counts_.push_back(max_count);
+      trigram_block_tc_floors_.push_back(tc_floor);
+    }
+    trigram_block_offsets_.push_back(
+        static_cast<uint32_t>(trigram_block_last_ordinals_.size()));
+  }
 }
 
 std::span<const uint32_t> PreparedRepository::TokenPostings(
@@ -168,12 +201,35 @@ std::span<const TrigramPosting> PreparedRepository::TrigramPostings(
 
 std::span<const TrigramPosting> PreparedRepository::TrigramPostings(
     uint32_t gram_id) const {
+  const int32_t slot = TrigramListIndex(gram_id);
+  return slot < 0 ? std::span<const TrigramPosting>{}
+                  : TrigramListPostings(slot);
+}
+
+int32_t PreparedRepository::TrigramListIndex(uint32_t gram_id) const {
   auto it =
       std::lower_bound(trigram_keys_.begin(), trigram_keys_.end(), gram_id);
-  if (it == trigram_keys_.end() || *it != gram_id) return {};
-  const size_t slot = static_cast<size_t>(it - trigram_keys_.begin());
+  if (it == trigram_keys_.end() || *it != gram_id) return -1;
+  return static_cast<int32_t>(it - trigram_keys_.begin());
+}
+
+std::span<const TrigramPosting> PreparedRepository::TrigramListPostings(
+    int32_t list_index) const {
+  const auto slot = static_cast<size_t>(list_index);
   return {trigram_entries_.data() + trigram_offsets_[slot],
           trigram_entries_.data() + trigram_offsets_[slot + 1]};
+}
+
+TrigramBlockSpans PreparedRepository::TrigramBlocks(
+    int32_t list_index) const {
+  const auto slot = static_cast<size_t>(list_index);
+  const size_t begin = trigram_block_offsets_[slot];
+  const size_t end = trigram_block_offsets_[slot + 1];
+  return {
+      std::span(trigram_block_last_ordinals_).subspan(begin, end - begin),
+      std::span(trigram_block_max_counts_).subspan(begin, end - begin),
+      std::span(trigram_block_tc_floors_).subspan(begin, end - begin),
+  };
 }
 
 const std::vector<uint32_t>* PreparedRepository::NameBucket(

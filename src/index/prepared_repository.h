@@ -89,6 +89,34 @@ struct TrigramPosting {
   uint16_t count = 0;
 };
 
+/// Postings per block of the block-max trigram metadata: each posting list
+/// is cut into runs of this many consecutive postings (the last run
+/// ragged), and every run carries score upper bounds a WAND-style
+/// traversal can skip against without touching the postings themselves.
+inline constexpr size_t kTrigramBlockSize = 64;
+
+/// \brief Block metadata of one trigram posting list, as three parallel
+/// spans (block `b` of the list covers postings
+/// `[b·kTrigramBlockSize, (b+1)·kTrigramBlockSize)` of the list).
+///
+/// The fields bound the trigram Dice of any element in the block: for a
+/// query gram with multiplicity `q`, the block's elements contribute at
+/// most `min(q, max_count)` to a Dice numerator, and every element's Dice
+/// denominator is at least `qa + tc_floor` — so
+/// `2·Σ min(q_i, max_count_i) / (qa + max(Σ…, min tc_floor))` is an
+/// admissible upper bound on the Dice of every element covered by the
+/// blocks (see candidate_generator.cc's block-max traversal).
+struct TrigramBlockSpans {
+  /// Ordinal of each block's last posting (ascending within the list).
+  std::span<const uint32_t> last_ordinals;
+  /// Max posting multiplicity within each block.
+  std::span<const uint16_t> max_counts;
+  /// Min `PreparedElement::trigram_count` over each block's elements.
+  std::span<const uint32_t> tc_floors;
+
+  size_t size() const { return last_ordinals.size(); }
+};
+
 /// \brief Size/shape of a built index (for reports and benches).
 struct PreparedRepositoryStats {
   size_t element_count = 0;
@@ -170,6 +198,20 @@ class PreparedRepository {
   /// `sim::PreparedName::gram_ids`).
   std::span<const TrigramPosting> TrigramPostings(uint32_t gram_id) const;
 
+  /// Index of `gram_id`'s posting list in the CSR trigram arrays, or -1
+  /// when no element name contains the gram. The returned index addresses
+  /// `TrigramListPostings` / `TrigramBlocks`.
+  int32_t TrigramListIndex(uint32_t gram_id) const;
+
+  /// Postings of trigram list `list_index` (from `TrigramListIndex`),
+  /// ascending by ordinal.
+  std::span<const TrigramPosting> TrigramListPostings(
+      int32_t list_index) const;
+
+  /// Block-max metadata of trigram list `list_index`: per-block score
+  /// upper bounds over runs of `kTrigramBlockSize` postings.
+  TrigramBlockSpans TrigramBlocks(int32_t list_index) const;
+
   /// Elements whose folded name equals `folded` (sorted ordinals).
   const std::vector<uint32_t>* NameBucket(std::string_view folded) const;
 
@@ -189,6 +231,11 @@ class PreparedRepository {
   /// rebuilds the private structures directly — it is the *only* other
   /// writer of this class, so the invariants stay in two audited places.
   friend struct SnapshotCodec;
+
+  /// Derives the block-max arrays from `trigram_offsets_` /
+  /// `trigram_entries_` / `elements_` (which must be final). Called by
+  /// `Build` and by the snapshot loader for pre-v2 files.
+  void BuildTrigramBlocks();
 
   template <typename Map>
   static const typename Map::mapped_type* Find(const Map& map,
@@ -222,6 +269,16 @@ class PreparedRepository {
   std::vector<uint32_t> trigram_keys_;
   std::vector<uint32_t> trigram_offsets_;
   std::vector<TrigramPosting> trigram_entries_;
+  /// Block-max metadata over `trigram_entries_`, CSR by list: the blocks
+  /// of list `i` are `[trigram_block_offsets_[i],
+  /// trigram_block_offsets_[i + 1])` into the three parallel arrays
+  /// (`ceil(list length / kTrigramBlockSize)` blocks per list). Stored in
+  /// snapshots from format v2; rebuilt by `BuildTrigramBlocks` for v1
+  /// files and fresh builds.
+  std::vector<uint32_t> trigram_block_offsets_;
+  std::vector<uint32_t> trigram_block_last_ordinals_;
+  std::vector<uint16_t> trigram_block_max_counts_;
+  std::vector<uint32_t> trigram_block_tc_floors_;
   std::unordered_map<std::string, std::vector<uint32_t>> name_buckets_;
   std::unordered_map<int, std::vector<uint32_t>> name_group_buckets_;
   std::unordered_map<std::string, std::vector<uint32_t>> type_buckets_;

@@ -5,6 +5,7 @@
 
 #include "common/table.h"
 #include "serve/load_shed.h"
+#include "sim/simd_dispatch.h"
 
 /// \file server.cc
 /// \brief Accept / connection / worker thread bodies and graceful drain.
@@ -202,7 +203,8 @@ std::string MatchServer::FormatStatsLine() const {
       << " cache_misses=" << cache_stats.misses
       << " cache_evictions=" << cache_stats.evictions
       << " cache_entries=" << service_->cache()->size() << "/"
-      << service_->cache()->capacity();
+      << service_->cache()->capacity()
+      << " simd=" << sim::SimdTierName(sim::ActiveSimdTier());
   for (const auto& [request_class, count] : snapshot.shed_by_class) {
     out << " shed_class_" << request_class << "=" << count;
   }

@@ -57,6 +57,7 @@ void CompileKernelFields(PreparedName& prepared,
                          const NameSimilarityOptions& options,
                          TokenTable* interner, const TokenTable* lookup) {
   GramTable::AppendPaddedGramIds(prepared.folded, &prepared.gram_ids);
+  CompileAugmentedGramKeys(&prepared);
 
   const TokenTable* table = interner != nullptr ? interner : lookup;
   if (table != nullptr) {

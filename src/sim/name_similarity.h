@@ -71,6 +71,14 @@ struct PreparedName {
   /// Sorted packed padded-trigram ids of `folded` (`GramTable::Pack`);
   /// the same multiset `ExtractNgrams(folded, 3)` yields.
   SmallVector<uint32_t, kInlineGrams> gram_ids;
+  /// Strictly increasing "augmented" gram keys — `(gram_id << 8) | k` for
+  /// the k-th occurrence of a gram in the sorted multiset above (packed
+  /// trigram ids use 24 bits, so the key fits a uint32). Turning the
+  /// multiset into a set lets the SIMD tiers intersect with plain
+  /// set-intersection kernels. Derived from `gram_ids` (never serialized);
+  /// left empty when any gram repeats ≥ 256 times, in which case the
+  /// kernel falls back to the scalar multiset merge.
+  SmallVector<uint32_t, kInlineGrams> gram_keys;
   /// Per-token interned id (parallel to `tokens`); `kUnknownTokenId` for
   /// tokens a lookup-only table did not know. Empty when prepared without
   /// a `TokenTable`.

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 
+#include "sim/simd_dispatch.h"
 #include "sim/token_similarity.h"
 
 namespace smb::sim {
@@ -32,6 +33,15 @@ struct Scratch {
   };
   std::vector<PairEntry> pairs;              // token best-first pairing
   std::vector<uint8_t> used_a, used_b;
+  // Structure-of-arrays view of one ScoreMany block: indices into the
+  // caller's target array (survivor-compacted between stages) plus the
+  // per-candidate columns the SIMD filters consume.
+  std::vector<uint32_t> soa_idx;
+  std::vector<double> soa_len, soa_grams, soa_bound, soa_dice;
+  std::vector<const uint32_t*> soa_tkeys;  // per-target gram-key spans for
+  std::vector<uint32_t> soa_tlens;         // the batched intersection
+  std::vector<uint32_t> soa_counts;
+  std::vector<uint32_t> soa_order;  // length-sorted Myers lane order
   uint64_t growths = 0;
   bool block_live = false;
 };
@@ -384,6 +394,25 @@ std::vector<uint32_t> GramTable::PaddedGramIds(std::string_view folded) {
   return ids;
 }
 
+void CompileAugmentedGramKeys(PreparedName* name) {
+  name->gram_keys.clear();
+  const auto& ids = name->gram_ids;
+  name->gram_keys.reserve(ids.size());
+  uint32_t occurrence = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    occurrence = (i > 0 && ids[i] == ids[i - 1]) ? occurrence + 1 : 0;
+    if (occurrence >= 256 || ids[i] >= 0xFFFFFFu) {
+      // A gram repeated ≥ 256 times overflows the 8 occurrence bits, and a
+      // gram id at/above 2^24-1 would overflow the id bits (and collide
+      // with the SIMD kernels' 0xFFFFFFFF padding sentinel); leave the
+      // keys empty (the scalar multiset merge handles it).
+      name->gram_keys.clear();
+      return;
+    }
+    name->gram_keys.push_back((ids[i] << 8) | occurrence);
+  }
+}
+
 uint32_t TokenTable::Intern(std::string_view token) {
   auto it = ids_.find(token);  // heterogeneous: no temporary when present
   if (it != ids_.end()) return it->second;
@@ -505,7 +534,6 @@ CutoffScore BlockScorer::ScoreWithCutoff(const PreparedName& target,
   }
   if (wsum_ <= 0.0) return {0.0, true};
 
-  Scratch& s = Tls();
   const bool cutoff = min_score > 0.0;
   const size_t la = q.folded.size();
   const size_t lb = target.folded.size();
@@ -531,13 +559,28 @@ CutoffScore BlockScorer::ScoreWithCutoff(const PreparedName& target,
     }
   }
 
+  return FinishFromDice(target, min_score, dice, /*have_dist=*/false, 0);
+}
+
+CutoffScore BlockScorer::FinishFromDice(const PreparedName& target,
+                                        double min_score, double dice,
+                                        bool have_dist, size_t dist_in) {
+  const PreparedName& q = *query_;
+  const SynonymTable* synonyms = options_->synonyms;
+  Scratch& s = Tls();
+  const bool cutoff = min_score > 0.0;
+  const size_t la = q.folded.size();
+  const size_t lb = target.folded.size();
+
   // Exact Levenshtein: bit-parallel when either side fits one word,
   // banded with an early-exit cutoff otherwise.
   double lev = 0.0;
   if (wl_ > 0.0) {
     size_t dist;
     const size_t longest = std::max(la, lb);
-    if (la == 0 || lb == 0) {
+    if (have_dist) {
+      dist = dist_in;  // the batch pipeline already ran Myers for this pair
+    } else if (la == 0 || lb == 0) {
       dist = la + lb;
     } else if (query_peq_loaded_) {
       dist = MyersDistance(s.peq_block, la, target.folded);
@@ -617,6 +660,275 @@ CutoffScore BlockScorer::ScoreWithCutoff(const PreparedName& target,
   return {std::min(sim, 0.999), true};
 }
 
+void BlockScorer::ScoreMany(std::span<const PreparedName* const> targets,
+                            double min_score, CutoffScore* out) {
+  const size_t n = targets.size();
+  if (n == 0) return;
+  const simd::Ops& ops = simd::OpsForTier(ActiveSimdTier());
+  const PreparedName& q = *query_;
+  const SynonymTable* synonyms = options_->synonyms;
+  Scratch& s = Tls();
+  const bool cutoff = min_score > 0.0;
+  const double prune_below = min_score - kCutoffMargin;
+  const double la = static_cast<double>(q.folded.size());
+  const double ga = static_cast<double>(q.gram_ids.size());
+
+  const size_t ca = q.gram_ids.size();
+  const bool qkeys_ok = ca > 0 && q.gram_keys.size() == ca;
+  // Pairs the batched intersection will need key spans for; filled in
+  // stage A while the target's cache lines are hot.
+  const bool want_keys = wt_ > 0.0 && ca > 0;
+  // Whether any live pair lacks a key span (empty side or overflowed keys)
+  // and needs the scalar prefill before the batched intersection. Stage B
+  // only removes pairs, so a stage-A false stays exact.
+  bool any_null_keys = false;
+
+  EnsureSize(s.soa_idx, n, s);
+  EnsureSize(s.soa_len, n, s);
+  EnsureSize(s.soa_grams, n, s);
+  EnsureSize(s.soa_bound, n, s);
+  EnsureSize(s.soa_dice, n, s);
+  EnsureSize(s.soa_tkeys, n, s);
+  EnsureSize(s.soa_tlens, n, s);
+  EnsureSize(s.soa_counts, n, s);
+
+  // Stage A — the per-pair short-circuits of ScoreWithCutoff, in its exact
+  // order; undecided pairs land in the SoA columns.
+  size_t live = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const PreparedName& t = *targets[i];
+    if (!q.kernel_ready || !t.kernel_ready) {
+      out[i] = {internal::ScoreFoldedReference(q.folded, t.folded, &q.tokens,
+                                               &t.tokens, *options_),
+                true};
+      continue;
+    }
+    if (q.folded == t.folded) {
+      out[i] = {1.0, true};
+      continue;
+    }
+    if (synonyms != nullptr) {
+      bool whole_name_synonyms;
+      if (groups_valid_ && t.synonyms == synonyms) {
+        whole_name_synonyms =
+            q.name_group >= 0 && q.name_group == t.name_group;
+      } else {
+        whole_name_synonyms = synonyms->AreSynonyms(q.folded, t.folded);
+      }
+      if (whole_name_synonyms) {
+        out[i] = {options_->synonym_score, true};
+        continue;
+      }
+    }
+    if (wsum_ <= 0.0) {
+      out[i] = {0.0, true};
+      continue;
+    }
+    s.soa_idx[live] = static_cast<uint32_t>(i);
+    s.soa_len[live] = static_cast<double>(t.folded.size());
+    const size_t cb = t.gram_ids.size();
+    s.soa_grams[live] = static_cast<double>(cb);
+    if (want_keys) {
+      // Null key pointer + nonzero length marks the rare scalar-merge
+      // fallback (a side whose augmented keys overflowed); null + zero
+      // length is an empty side (intersection 0 without any work).
+      const bool keys_valid = qkeys_ok && t.gram_keys.size() == cb;
+      if (keys_valid && cb > 0) {
+        s.soa_tkeys[live] = t.gram_keys.data();
+      } else {
+        s.soa_tkeys[live] = nullptr;
+        any_null_keys = true;
+      }
+      s.soa_tlens[live] = static_cast<uint32_t>(cb);
+    }
+    ++live;
+  }
+
+  // Stage B — lane-parallel admissible pre-filter (the length and
+  // gram-count bounds). The equality short-circuit above guarantees no
+  // both-empty pair reaches the general formulas, so they reproduce the
+  // per-pair special cases bit-for-bit.
+  if (cutoff && live > 0) {
+    ops.bound_filter(s.soa_len.data(), s.soa_grams.data(), live, la, ga,
+                     wl_, wj_, wt_, wk_, wsum_, s.soa_bound.data());
+    size_t kept = 0;
+    for (size_t k = 0; k < live; ++k) {
+      if (s.soa_bound[k] < prune_below) {
+        out[s.soa_idx[k]] = {s.soa_bound[k], false};
+      } else {
+        s.soa_idx[kept] = s.soa_idx[k];
+        s.soa_len[kept] = s.soa_len[k];
+        s.soa_grams[kept] = s.soa_grams[k];
+        if (want_keys) {
+          s.soa_tkeys[kept] = s.soa_tkeys[k];
+          s.soa_tlens[kept] = s.soa_tlens[k];
+        }
+        ++kept;
+      }
+    }
+    live = kept;
+  }
+
+  // Stage C — exact trigram Dice (SIMD set intersection over the augmented
+  // gram keys, the query side held resident across the block) plus the
+  // refreshed bound. The length bound is recomputed from the SoA doubles:
+  // lengths are exact small integers, so the double arithmetic reproduces
+  // the per-pair size_t-based expression bit-for-bit.
+  if (wt_ > 0.0 && live > 0 && ca > 0) {
+    // Pairs the SIMD kernel cannot take (a side whose augmented keys
+    // overflowed) are pre-filled from the scalar multiset merge and
+    // skipped by the kernel; empty target sides count zero outright.
+    if (any_null_keys) {
+      for (size_t k = 0; k < live; ++k) {
+        if (s.soa_tkeys[k] != nullptr) continue;
+        const uint32_t cb = s.soa_tlens[k];
+        s.soa_counts[k] =
+            cb == 0
+                ? 0u  // dice 2*0/(ca+0) == the per-pair 0.0
+                : static_cast<uint32_t>(SortedIdIntersection(
+                      {q.gram_ids.data(), ca},
+                      {targets[s.soa_idx[k]]->gram_ids.data(), cb}));
+      }
+    }
+    if (qkeys_ok) {
+      ops.intersect_many(q.gram_keys.data(), ca, s.soa_tkeys.data(),
+                         s.soa_tlens.data(), live, s.soa_counts.data());
+    }
+    // Exact dice plus the refreshed bound, lane-parallel; `ca + cb` as a
+    // double add of two exact small integers matches the per-pair
+    // size_t-sum-then-convert bit-for-bit.
+    ops.dice_refine(s.soa_len.data(), s.soa_grams.data(), s.soa_counts.data(),
+                    live, la, static_cast<double>(ca), wl_, wj_, wt_, wk_,
+                    wsum_, s.soa_dice.data(), s.soa_bound.data());
+    size_t kept = 0;
+    for (size_t k = 0; k < live; ++k) {
+      if (cutoff && s.soa_bound[k] < prune_below) {
+        out[s.soa_idx[k]] = {s.soa_bound[k], false};
+        continue;
+      }
+      s.soa_idx[kept] = s.soa_idx[k];
+      s.soa_len[kept] = s.soa_len[k];
+      s.soa_dice[kept] = s.soa_dice[k];
+      ++kept;
+    }
+    live = kept;
+  } else if (wt_ > 0.0 && live > 0) {
+    // ca == 0: dice is exactly 0.0 for every pair; only the refreshed
+    // bound remains (same expression as the per-pair path with dice 0).
+    size_t kept = 0;
+    for (size_t k = 0; k < live; ++k) {
+      if (cutoff) {
+        const double lb = s.soa_len[k];
+        const double longest = std::max(la, lb);
+        const double gap = la > lb ? la - lb : lb - la;
+        const double lev_ub = 1.0 - gap / longest;
+        const double u = (wl_ * lev_ub + wj_ + wt_ * 0.0 + wk_) / wsum_;
+        if (u < prune_below) {
+          out[s.soa_idx[k]] = {u, false};
+          continue;
+        }
+      }
+      s.soa_idx[kept] = s.soa_idx[k];
+      s.soa_len[kept] = s.soa_len[k];
+      s.soa_dice[kept] = 0.0;
+      ++kept;
+    }
+    live = kept;
+  } else {
+    std::fill_n(s.soa_dice.begin(), live, 0.0);
+  }
+
+  // Stages D+E — batched Myers fused with the scalar tail: survivors with
+  // the resident query pattern are grouped into SIMD lanes (the kernel
+  // reads each folded name in place — no packing); each lane's distance is
+  // the exact scalar recurrence, so downstream doubles are unchanged. With a
+  // cutoff, the per-pair path's post-Levenshtein bound is applied right on
+  // the batch output, so only pairs that can still reach `min_score` pay
+  // for the tail (Levenshtein fallbacks, Jaro-Winkler, token similarity,
+  // final combine).
+  if (wl_ > 0.0 && query_peq_loaded_ && ops.lanes > 1 && live > 0) {
+    const size_t lanes = ops.lanes;
+    uint64_t lens[8] = {0};
+    uint64_t dists[8] = {0};
+    uint32_t lane_k[8] = {0};
+    const uint8_t* texts[8] = {nullptr};
+    size_t filled = 0;
+    size_t maxlen = 0;
+    // Visit survivors in folded-length order (counting sort; lengths clamp
+    // into the last bucket): each batch runs max-length iterations across
+    // its lanes, so near-equal lanes waste the fewest frozen steps. Results
+    // are written per pair, so the visit order cannot change any score.
+    constexpr size_t kLenBuckets = 130;
+    uint32_t bucket[kLenBuckets] = {0};
+    for (size_t k = 0; k < live; ++k) {
+      ++bucket[std::min<size_t>(static_cast<size_t>(s.soa_len[k]),
+                                kLenBuckets - 1)];
+    }
+    size_t pos = 0;
+    for (size_t b = 0; b < kLenBuckets; ++b) {
+      const uint32_t c = bucket[b];
+      bucket[b] = static_cast<uint32_t>(pos);
+      pos += c;
+    }
+    EnsureSize(s.soa_order, live, s);
+    for (size_t k = 0; k < live; ++k) {
+      const size_t b = std::min<size_t>(static_cast<size_t>(s.soa_len[k]),
+                                        kLenBuckets - 1);
+      s.soa_order[bucket[b]++] = static_cast<uint32_t>(k);
+    }
+    auto flush = [&]() {
+      if (filled == 0) return;
+      for (size_t l = filled; l < lanes; ++l) lens[l] = 0;
+      ops.myers_batch(s.peq_block.data(), q.folded.size(), texts, lens,
+                      maxlen, dists);
+      for (size_t l = 0; l < filled; ++l) {
+        const size_t k = lane_k[l];
+        const uint32_t i = s.soa_idx[k];
+        if (cutoff) {
+          // The per-pair path's post-Levenshtein bound, verbatim:
+          // lev = 1 - dist/longest; u = (wl*lev + wj + wt*dice + wk)/wsum.
+          const double lb = s.soa_len[k];
+          const double longest = std::max(la, lb);
+          const double lev = 1.0 - static_cast<double>(dists[l]) / longest;
+          const double u =
+              (wl_ * lev + wj_ + wt_ * s.soa_dice[k] + wk_) / wsum_;
+          if (u < prune_below) {
+            out[i] = {u, false};
+            continue;
+          }
+        }
+        out[i] = FinishFromDice(*targets[i], min_score, s.soa_dice[k],
+                                /*have_dist=*/true, dists[l]);
+      }
+      filled = 0;
+      maxlen = 0;
+    };
+    for (size_t o = 0; o < live; ++o) {
+      const size_t k = s.soa_order[o];
+      const uint32_t i = s.soa_idx[k];
+      const std::string& f = targets[i]->folded;
+      const size_t lb = f.size();
+      if (lb == 0) {  // trivial dist = la + lb, handled by the tail
+        out[i] = FinishFromDice(*targets[i], min_score, s.soa_dice[k],
+                                /*have_dist=*/false, 0);
+        continue;
+      }
+      lane_k[filled] = static_cast<uint32_t>(k);
+      lens[filled] = lb;
+      texts[filled] = reinterpret_cast<const uint8_t*>(f.data());
+      maxlen = std::max(maxlen, lb);
+      if (++filled == lanes) flush();
+    }
+    flush();
+  } else {
+    for (size_t k = 0; k < live; ++k) {
+      const uint32_t i = s.soa_idx[k];
+      out[i] = FinishFromDice(*targets[i], min_score, s.soa_dice[k],
+                              /*have_dist=*/false, 0);
+    }
+  }
+}
+
 CutoffScore ScoreWithCutoff(const PreparedName& a, const PreparedName& b,
                             const NameSimilarityOptions& options,
                             double min_score) {
@@ -629,9 +941,7 @@ void ScoreBlock(const PreparedName& query,
                 const NameSimilarityOptions& options, double min_score,
                 CutoffScore* out) {
   BlockScorer scorer(query, options);
-  for (size_t i = 0; i < targets.size(); ++i) {
-    out[i] = scorer.ScoreWithCutoff(*targets[i], min_score);
-  }
+  scorer.ScoreMany(targets, min_score, out);
 }
 
 }  // namespace smb::sim

@@ -102,6 +102,12 @@ struct GramTable {
   static std::vector<uint32_t> PaddedGramIds(std::string_view folded);
 };
 
+/// \brief Fills `name->gram_keys` from the sorted `name->gram_ids` (see the
+/// field's docs for the augmented-key encoding). Called by `PrepareName`
+/// and the snapshot loader; leaves the keys empty when a gram repeats ≥ 256
+/// times so the kernel falls back to the scalar multiset merge.
+void CompileAugmentedGramKeys(PreparedName* name);
+
 /// \brief Id of a token a lookup-only `TokenTable` query did not know.
 /// Unknown ids never compare equal; the kernel falls back to a string
 /// compare for them, so lookup-only preparation stays exact.
@@ -193,7 +199,22 @@ class BlockScorer {
   /// otherwise a pruned admissible upper bound (see `CutoffScore`).
   CutoffScore ScoreWithCutoff(const PreparedName& target, double min_score);
 
+  /// Batched `ScoreWithCutoff` over a block of targets through the
+  /// structure-of-arrays pipeline: the cheap admissible filters run
+  /// lane-parallel via the active SIMD tier (simd_dispatch.h) and Myers
+  /// distances are batched across pairs. `out[i]` is bit-identical —
+  /// score and exact flag — to `ScoreWithCutoff(*targets[i], min_score)`
+  /// on every tier. `out` must have `targets.size()` capacity.
+  void ScoreMany(std::span<const PreparedName* const> targets,
+                 double min_score, CutoffScore* out);
+
  private:
+  /// The per-pair tail shared by `ScoreWithCutoff` and the batched
+  /// pipeline: exact Levenshtein (skipped when the batch already computed
+  /// `dist`), Jaro-Winkler, token similarity, final combine.
+  CutoffScore FinishFromDice(const PreparedName& target, double min_score,
+                             double dice, bool have_dist, size_t dist);
+
   const PreparedName* query_;
   const NameSimilarityOptions* options_;
   // Clamped weights, mirroring the reference scorer.
@@ -212,9 +233,10 @@ CutoffScore ScoreWithCutoff(const PreparedName& a, const PreparedName& b,
                             double min_score);
 
 /// \brief Batched scoring of `query` against `targets` (the dense-fill
-/// entry point): loads query-side state once, writes one `CutoffScore` per
-/// target into `out` (which must have `targets.size()` capacity). With
-/// `min_score <= 0` every result is exact.
+/// entry point): loads query-side state once and runs the SoA/SIMD pipeline
+/// (`BlockScorer::ScoreMany`), writing one `CutoffScore` per target into
+/// `out` (which must have `targets.size()` capacity). With `min_score <= 0`
+/// every result is exact.
 void ScoreBlock(const PreparedName& query,
                 std::span<const PreparedName* const> targets,
                 const NameSimilarityOptions& options, double min_score,

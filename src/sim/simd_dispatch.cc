@@ -1,0 +1,245 @@
+#include "sim/simd_dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+/// \file simd_dispatch.cc
+/// \brief Tier detection + the scalar reference kernels (see
+/// simd_dispatch.h for the dispatch contract).
+
+// Sanitizer builds pin the scalar tier: the sanitized suite must exercise
+// the portable code, and instrumented intrinsics add noise without value.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SMB_SIMD_FORCE_SCALAR 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SMB_SIMD_FORCE_SCALAR 1
+#endif
+#endif
+#ifndef SMB_SIMD_FORCE_SCALAR
+#define SMB_SIMD_FORCE_SCALAR 0
+#endif
+
+namespace smb::sim {
+
+namespace simd {
+
+void BoundFilterScalar(const double* len, const double* grams, size_t n,
+                       double la, double ga, double wl, double wj, double wt,
+                       double wk, double wsum, double* u) {
+  for (size_t i = 0; i < n; ++i) {
+    const double lb = len[i];
+    const double longest = std::max(la, lb);
+    const double gap = la > lb ? la - lb : lb - la;
+    const double lev_ub = 1.0 - gap / longest;
+    const double gb = grams[i];
+    const double dice_ub = 2.0 * std::min(ga, gb) / (ga + gb);
+    u[i] = (wl * lev_ub + wj + wt * dice_ub + wk) / wsum;
+  }
+}
+
+size_t IntersectScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+void IntersectManyScalar(const uint32_t* q, size_t nq,
+                         const uint32_t* const* tkeys, const uint32_t* tlens,
+                         size_t n, uint32_t* counts) {
+  for (size_t i = 0; i < n; ++i) {
+    if (tkeys[i] == nullptr) continue;
+    counts[i] =
+        static_cast<uint32_t>(IntersectScalar(q, nq, tkeys[i], tlens[i]));
+  }
+}
+
+void DiceRefineScalar(const double* len, const double* grams,
+                      const uint32_t* counts, size_t n, double la, double ca,
+                      double wl, double wj, double wt, double wk, double wsum,
+                      double* dice, double* u) {
+  for (size_t i = 0; i < n; ++i) {
+    const double d = 2.0 * static_cast<double>(counts[i]) / (ca + grams[i]);
+    dice[i] = d;
+    const double lb = len[i];
+    const double longest = std::max(la, lb);
+    const double gap = la > lb ? la - lb : lb - la;
+    const double lev_ub = 1.0 - gap / longest;
+    u[i] = (wl * lev_ub + wj + wt * d + wk) / wsum;
+  }
+}
+
+namespace {
+
+/// Single-lane Myers reading the text in place — the batch-API twin of
+/// prepared_kernel.cc's MyersDistance, byte-for-byte the same recurrence.
+void MyersBatchScalar(const uint64_t* peq, size_t m,
+                      const uint8_t* const* texts, const uint64_t* lens,
+                      size_t maxlen, uint64_t* out) {
+  (void)maxlen;
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  uint64_t score = m;
+  const uint64_t last = uint64_t{1} << (m - 1);
+  const uint8_t* bytes = texts[0];
+  const uint64_t n = lens[0];
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t eq = peq[bytes[i]];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) {
+      ++score;
+    } else if (mh & last) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  out[0] = score;
+}
+
+constexpr Ops kScalarOps = {
+    &BoundFilterScalar,
+    &IntersectScalar,
+    &IntersectManyScalar,
+    &DiceRefineScalar,
+    &MyersBatchScalar,
+    /*lanes=*/1,
+};
+
+}  // namespace
+
+const Ops& ScalarOps() { return kScalarOps; }
+
+}  // namespace simd
+
+namespace {
+
+bool CpuSupportsTier(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdTier::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Clamps a requested tier to something this process can actually run.
+SimdTier ClampTier(SimdTier tier) {
+  return SimdTierAvailable(tier) ? tier : SimdTier::kScalar;
+}
+
+SimdTier DetectTier() {
+  const char* env = std::getenv("SMB_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const std::string_view v(env);
+    if (v == "scalar") return SimdTier::kScalar;
+    if (v == "avx2") return ClampTier(SimdTier::kAvx2);
+    if (v == "neon") return ClampTier(SimdTier::kNeon);
+    if (v != "auto") {
+      std::fprintf(stderr,
+                   "matchbounds: unknown SMB_SIMD=%s "
+                   "(want scalar|avx2|neon|auto); auto-detecting\n",
+                   env);
+    }
+  }
+  if (SimdTierAvailable(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  if (SimdTierAvailable(SimdTier::kNeon)) return SimdTier::kNeon;
+  return SimdTier::kScalar;
+}
+
+/// -1 = no override; otherwise the (already clamped) forced tier.
+std::atomic<int> g_tier_override{-1};
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool SimdTierAvailable(SimdTier tier) {
+  if (tier == SimdTier::kScalar) return true;
+  if (SMB_SIMD_FORCE_SCALAR) return false;
+  const simd::Ops* ops = tier == SimdTier::kAvx2 ? simd::Avx2OpsOrNull()
+                                                 : simd::NeonOpsOrNull();
+  return ops != nullptr && CpuSupportsTier(tier);
+}
+
+SimdTier ActiveSimdTier() {
+  const int forced = g_tier_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdTier>(forced);
+  static const SimdTier detected = DetectTier();
+  return detected;
+}
+
+namespace simd {
+
+const Ops& OpsForTier(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      if (const Ops* ops = Avx2OpsOrNull()) return *ops;
+      break;
+    case SimdTier::kNeon:
+      if (const Ops* ops = NeonOpsOrNull()) return *ops;
+      break;
+    case SimdTier::kScalar:
+      break;
+  }
+  return ScalarOps();
+}
+
+}  // namespace simd
+
+namespace internal {
+
+void OverrideSimdTierForTest(SimdTier tier) {
+  g_tier_override.store(static_cast<int>(ClampTier(tier)),
+                        std::memory_order_relaxed);
+}
+
+void ClearSimdTierOverrideForTest() {
+  g_tier_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace smb::sim

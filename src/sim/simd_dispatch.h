@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file simd_dispatch.h
+/// \brief Runtime dispatch between scalar and SIMD (AVX2/NEON) scoring
+/// kernels.
+///
+/// The block scorer's structure-of-arrays pipeline (prepared_kernel.cc)
+/// funnels its lane-parallel inner loops through a small table of function
+/// pointers — `simd::Ops` — selected once per process by `ActiveSimdTier()`:
+///
+///  * **scalar** is always compiled and is the semantics reference: every
+///    SIMD kernel must produce results bit-identical to it (the admissible
+///    bound filter replicates the scalar floating-point expressions
+///    operation-by-operation with no FMA contraction, and the intersection /
+///    Myers kernels are exact integer algorithms).
+///  * **avx2** (`simd_kernels_avx2.cc`, compiled with `-mavx2` for x86-64
+///    targets) is used when the CPU reports AVX2 support.
+///  * **neon** (`simd_kernels_neon.cc`) is used on aarch64, where NEON is
+///    baseline. Its double-precision bound filter intentionally reuses the
+///    scalar implementation — aarch64 compilers contract `a*b+c` into fused
+///    multiply-adds, so hand-written non-fused vector math could disagree
+///    with the surrounding scalar code by an ulp; the integer kernels
+///    (intersection, batched Myers) carry the speedup instead.
+///
+/// Sanitizer builds (ASan/TSan/MSan) pin the scalar tier unconditionally so
+/// the sanitized test suite exercises the portable code, and CI additionally
+/// forces `SMB_SIMD=scalar` to cover the fallback on SIMD-capable hosts.
+/// The `SMB_SIMD` environment variable (`scalar`, `avx2`, `neon`, `auto`)
+/// overrides auto-detection; requesting a tier the binary or CPU cannot run
+/// falls back to scalar. Tests switch tiers mid-process through
+/// `internal::OverrideSimdTierForTest`.
+
+namespace smb::sim {
+
+/// Kernel implementation tiers, in detection-priority order.
+enum class SimdTier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Human-readable tier name ("scalar", "avx2", "neon") — logged by `serve`
+/// startup / `server_stats` / the `workload` banner so perf numbers are
+/// attributable to the dispatch path actually taken.
+const char* SimdTierName(SimdTier tier);
+
+/// True when this binary compiled the tier's kernels *and* the host CPU can
+/// execute them (and no sanitizer pins scalar).
+bool SimdTierAvailable(SimdTier tier);
+
+/// The tier the kernels dispatch to: a test override if set, else the
+/// process-wide detection result (environment override, then CPU probing),
+/// always clamped to available tiers.
+SimdTier ActiveSimdTier();
+
+namespace simd {
+
+/// Lane-parallel kernels behind the dispatch. All implementations are
+/// bit-identical to `ScalarOps()` on any input the block scorer produces.
+struct Ops {
+  /// Admissible pre-filter bound for `n` candidates of one query:
+  ///   lev_ub[i]  = 1 - |la - len[i]| / max(la, len[i])
+  ///   dice_ub[i] = 2*min(ga, grams[i]) / (ga + grams[i])
+  ///   u[i]       = (wl*lev_ub[i] + wj + wt*dice_ub[i] + wk) / wsum
+  /// with the exact operation order of the per-pair scalar path. `len` and
+  /// `grams` hold integer lengths/gram counts as doubles. Callers guarantee
+  /// max(la, len[i]) > 0 and ga + grams[i] > 0 (both-empty pairs are
+  /// resolved by the equality short-circuit before the filter runs).
+  void (*bound_filter)(const double* len, const double* grams, size_t n,
+                       double la, double ga, double wl, double wj, double wt,
+                       double wk, double wsum, double* u);
+
+  /// |A ∩ B| of two strictly increasing uint32 arrays (the augmented gram
+  /// keys of `PreparedName::gram_keys`).
+  size_t (*intersect)(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb);
+
+  /// Batched form of `intersect` with the query side held resident:
+  /// `counts[i] = |q ∩ tkeys[i]|` for every `i` with `tkeys[i] != nullptr`
+  /// (entries with a null key pointer are skipped and their `counts` slot is
+  /// left untouched — the caller pre-fills those from the scalar multiset
+  /// merge). Key arrays are strictly increasing and every key is below
+  /// 0xFFFFFFFF (CompileAugmentedGramKeys guarantees id < 2^24-1), which
+  /// lets implementations use ~0u as a never-matching padding sentinel.
+  void (*intersect_many)(const uint32_t* q, size_t nq,
+                         const uint32_t* const* tkeys, const uint32_t* tlens,
+                         size_t n, uint32_t* counts);
+
+  /// Exact-Dice refinement after the batched intersection:
+  ///   dice[i] = 2*counts[i] / (ca + grams[i])
+  ///   lev_ub  = 1 - |la - len[i]| / max(la, len[i])
+  ///   u[i]    = (wl*lev_ub + wj + wt*dice[i] + wk) / wsum
+  /// with the exact operation order of the per-pair scalar path (`counts`
+  /// are the intersection sizes; `ca`/`grams` the query/candidate gram
+  /// counts as doubles). Callers guarantee ca > 0 and max(la, len[i]) > 0.
+  void (*dice_refine)(const double* len, const double* grams,
+                      const uint32_t* counts, size_t n, double la, double ca,
+                      double wl, double wj, double wt, double wk, double wsum,
+                      double* dice, double* u);
+
+  /// Myers bit-parallel edit distances of up to `lanes` texts against one
+  /// resident pattern. `peq` is the 256-entry pattern mask table, `m` the
+  /// pattern length (1..64). `texts[lane]` points at text `lane`'s bytes
+  /// (read in place — no packing or copying), `lens[lane]` its length, and
+  /// `maxlen` is the largest active length. A zero length disables a lane
+  /// (its output is meaningless). Lanes must be packed densely from 0, so
+  /// `texts[0]`/`lens[0]` describe a real text whenever the call is made.
+  /// Implementations never read past a text's end: a lane's byte index is
+  /// clamped to `lens[lane] - 1` once the lane's recurrence is frozen, and
+  /// disabled lanes alias `texts[0]`. Writes the exact per-lane distance to
+  /// `out[lane]`.
+  void (*myers_batch)(const uint64_t* peq, size_t m,
+                      const uint8_t* const* texts, const uint64_t* lens,
+                      size_t maxlen, uint64_t* out);
+
+  /// Batch width of `myers_batch` (1 scalar, 2 NEON, 4 AVX2).
+  size_t lanes;
+};
+
+/// The table for `tier` (falls back to scalar if the tier is unavailable).
+const Ops& OpsForTier(SimdTier tier);
+
+/// The always-compiled scalar reference implementations.
+const Ops& ScalarOps();
+
+/// Per-tier tables, or nullptr when not compiled into this binary.
+const Ops* Avx2OpsOrNull();
+const Ops* NeonOpsOrNull();
+
+/// Scalar building blocks shared with the SIMD translation units (loop
+/// tails reuse them so tail lanes stay bit-identical to the scalar tier).
+void BoundFilterScalar(const double* len, const double* grams, size_t n,
+                       double la, double ga, double wl, double wj, double wt,
+                       double wk, double wsum, double* u);
+size_t IntersectScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb);
+void IntersectManyScalar(const uint32_t* q, size_t nq,
+                         const uint32_t* const* tkeys, const uint32_t* tlens,
+                         size_t n, uint32_t* counts);
+void DiceRefineScalar(const double* len, const double* grams,
+                      const uint32_t* counts, size_t n, double la, double ca,
+                      double wl, double wj, double wt, double wk, double wsum,
+                      double* dice, double* u);
+
+}  // namespace simd
+
+namespace internal {
+
+/// Test hooks: force `ActiveSimdTier()` to report `tier` (clamped to tiers
+/// this binary/CPU can actually run — under sanitizers that is always
+/// scalar). Not thread-safe against concurrent scoring; tests only.
+void OverrideSimdTierForTest(SimdTier tier);
+void ClearSimdTierOverrideForTest();
+
+}  // namespace internal
+
+}  // namespace smb::sim

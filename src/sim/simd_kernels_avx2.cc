@@ -1,0 +1,367 @@
+#include "sim/simd_dispatch.h"
+
+/// \file simd_kernels_avx2.cc
+/// \brief AVX2 implementations of the dispatch kernels (see
+/// simd_dispatch.h). Compiled with `-mavx2` on x86-64 targets; on other
+/// targets (or when the compiler lacks AVX2 support) the TU degrades to a
+/// nullptr registration and the dispatcher never offers the tier.
+///
+/// Bit-identity notes: the bound filter replicates the scalar expression
+/// tree with separate IEEE-754 multiplies and adds — `-mavx2` does not
+/// enable FMA, so the compiler cannot contract them, and per-lane AVX2
+/// double arithmetic is identical to scalar SSE2 arithmetic. The
+/// intersection and batched-Myers kernels are exact integer algorithms.
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace smb::sim::simd {
+namespace {
+
+void BoundFilterAvx2(const double* len, const double* grams, size_t n,
+                     double la, double ga, double wl, double wj, double wt,
+                     double wk, double wsum, double* u) {
+  const __m256d vla = _mm256_set1_pd(la);
+  const __m256d vga = _mm256_set1_pd(ga);
+  const __m256d vwl = _mm256_set1_pd(wl);
+  const __m256d vwj = _mm256_set1_pd(wj);
+  const __m256d vwt = _mm256_set1_pd(wt);
+  const __m256d vwk = _mm256_set1_pd(wk);
+  const __m256d vwsum = _mm256_set1_pd(wsum);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vlb = _mm256_loadu_pd(len + i);
+    const __m256d vgb = _mm256_loadu_pd(grams + i);
+    // 1 - |la - lb| / max(la, lb): lengths are exact small integers, so
+    // max/min/sub are exact and the division matches scalar bit-for-bit.
+    const __m256d lmax = _mm256_max_pd(vla, vlb);
+    const __m256d gap = _mm256_sub_pd(lmax, _mm256_min_pd(vla, vlb));
+    const __m256d lev_ub = _mm256_sub_pd(vone, _mm256_div_pd(gap, lmax));
+    // 2*min(ga, gb) / (ga + gb).
+    const __m256d gmin = _mm256_min_pd(vga, vgb);
+    const __m256d dice_ub = _mm256_div_pd(_mm256_mul_pd(vtwo, gmin),
+                                          _mm256_add_pd(vga, vgb));
+    // ((wl*lev_ub + wj) + wt*dice_ub + wk) / wsum — scalar operation order.
+    __m256d t = _mm256_mul_pd(vwl, lev_ub);
+    t = _mm256_add_pd(t, vwj);
+    t = _mm256_add_pd(t, _mm256_mul_pd(vwt, dice_ub));
+    t = _mm256_add_pd(t, vwk);
+    _mm256_storeu_pd(u + i, _mm256_div_pd(t, vwsum));
+  }
+  if (i < n) {
+    BoundFilterScalar(len + i, grams + i, n - i, la, ga, wl, wj, wt, wk,
+                      wsum, u + i);
+  }
+}
+
+void DiceRefineAvx2(const double* len, const double* grams,
+                    const uint32_t* counts, size_t n, double la, double ca,
+                    double wl, double wj, double wt, double wk, double wsum,
+                    double* dice, double* u) {
+  const __m256d vla = _mm256_set1_pd(la);
+  const __m256d vca = _mm256_set1_pd(ca);
+  const __m256d vwl = _mm256_set1_pd(wl);
+  const __m256d vwj = _mm256_set1_pd(wj);
+  const __m256d vwt = _mm256_set1_pd(wt);
+  const __m256d vwk = _mm256_set1_pd(wk);
+  const __m256d vwsum = _mm256_set1_pd(wsum);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // 2*counts / (ca + grams): the int32→double conversion and the double
+    // add of two exact small integers match the scalar path bit-for-bit.
+    const __m256d vcnt = _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + i)));
+    const __m256d vgb = _mm256_loadu_pd(grams + i);
+    const __m256d d = _mm256_div_pd(_mm256_mul_pd(vtwo, vcnt),
+                                    _mm256_add_pd(vca, vgb));
+    _mm256_storeu_pd(dice + i, d);
+    const __m256d vlb = _mm256_loadu_pd(len + i);
+    const __m256d lmax = _mm256_max_pd(vla, vlb);
+    const __m256d gap = _mm256_sub_pd(lmax, _mm256_min_pd(vla, vlb));
+    const __m256d lev_ub = _mm256_sub_pd(vone, _mm256_div_pd(gap, lmax));
+    __m256d t = _mm256_mul_pd(vwl, lev_ub);
+    t = _mm256_add_pd(t, vwj);
+    t = _mm256_add_pd(t, _mm256_mul_pd(vwt, d));
+    t = _mm256_add_pd(t, vwk);
+    _mm256_storeu_pd(u + i, _mm256_div_pd(t, vwsum));
+  }
+  if (i < n) {
+    DiceRefineScalar(len + i, grams + i, counts + i, n - i, la, ca, wl, wj,
+                     wt, wk, wsum, dice + i, u + i);
+  }
+}
+
+/// Block-pair intersection of strictly increasing uint32 arrays: compare an
+/// 8-lane block of `a` against every rotation of an 8-lane block of `b`
+/// (each element matches at most one partner, so OR-ing the compare masks
+/// and popcounting is an exact count), then advance the block(s) with the
+/// smaller maximum.
+size_t IntersectAvx2(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  // Typical identifier names produce ~10 gram keys, where the sorted merge
+  // is dominated by branch mispredicts. Branchless all-pairs compare: hold
+  // the (≤16-lane) shorter array in two registers and test every element
+  // of the other against both; each element matches at most one lane, so
+  // accumulating the compare masks counts the intersection exactly.
+  if (na <= 16 && nb <= 16) {
+    if (na > nb) {
+      std::swap(a, b);
+      std::swap(na, nb);
+    }
+    const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i vn0 = _mm256_set1_epi32(static_cast<int>(na));
+    const __m256i vn1 = _mm256_set1_epi32(static_cast<int>(na) - 8);
+    const __m256i mask0 = _mm256_cmpgt_epi32(vn0, idx);
+    const __m256i mask1 = _mm256_cmpgt_epi32(vn1, idx);
+    const __m256i a0 = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(a), mask0);
+    const __m256i a1 = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(a + 8), mask1);
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t j = 0; j < nb; ++j) {
+      const __m256i vb = _mm256_set1_epi32(static_cast<int>(b[j]));
+      // Masked lanes are zero-filled by maskload; AND with the validity
+      // mask so a genuine key 0 in `b` cannot count a padding lane.
+      acc = _mm256_sub_epi32(
+          acc, _mm256_and_si256(_mm256_cmpeq_epi32(a0, vb), mask0));
+      acc = _mm256_sub_epi32(
+          acc, _mm256_and_si256(_mm256_cmpeq_epi32(a1, vb), mask1));
+    }
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i sum = _mm_add_epi32(lo, hi);
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 0x4E));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 0xB1));
+    return static_cast<size_t>(static_cast<uint32_t>(_mm_cvtsi128_si32(sum)));
+  }
+  size_t i = 0, j = 0, count = 0;
+  if (na >= 8 && nb >= 8) {
+    const __m256i rotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    while (i + 8 <= na && j + 8 <= nb) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      __m256i eq = _mm256_cmpeq_epi32(va, vb);
+      for (int r = 0; r < 7; ++r) {
+        vb = _mm256_permutevar8x32_epi32(vb, rotate1);
+        eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+      }
+      count += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+      const uint32_t amax = a[i + 7];
+      const uint32_t bmax = b[j + 7];
+      if (amax <= bmax) i += 8;
+      if (bmax <= amax) j += 8;
+    }
+  }
+  return count + IntersectScalar(a + i, na - i, b + j, nb - j);
+}
+
+/// Query-resident batch intersection: the (≤16-key) query side is loaded
+/// into two registers once per block, with invalid lanes filled by the
+/// 0xFFFFFFFF sentinel (no real key reaches it — gram ids stop at 2^24-2),
+/// so the per-target loop is a pure broadcast/compare/accumulate chain with
+/// no per-call masking. Two accumulators keep the dependency chains one
+/// cycle deep.
+void IntersectManyAvx2(const uint32_t* q, size_t nq,
+                       const uint32_t* const* tkeys, const uint32_t* tlens,
+                       size_t n, uint32_t* counts) {
+  if (nq > 16) {
+    for (size_t i = 0; i < n; ++i) {
+      if (tkeys[i] == nullptr) continue;
+      counts[i] = static_cast<uint32_t>(IntersectAvx2(q, nq, tkeys[i],
+                                                      tlens[i]));
+    }
+    return;
+  }
+  const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i all_ones32 = _mm256_set1_epi32(-1);
+  const __m256i mask0 = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int>(nq)), idx);
+  const __m256i q0 = _mm256_or_si256(
+      _mm256_maskload_epi32(reinterpret_cast<const int*>(q), mask0),
+      _mm256_andnot_si256(mask0, all_ones32));
+  if (nq <= 8) {
+    // One-register query: a single compare per target key.
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t* b = tkeys[i];
+      if (b == nullptr) continue;
+      const size_t nb = tlens[i];
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      size_t j = 0;
+      for (; j + 2 <= nb; j += 2) {
+        acc0 = _mm256_sub_epi32(
+            acc0, _mm256_cmpeq_epi32(
+                      q0, _mm256_set1_epi32(static_cast<int>(b[j]))));
+        acc1 = _mm256_sub_epi32(
+            acc1, _mm256_cmpeq_epi32(
+                      q0, _mm256_set1_epi32(static_cast<int>(b[j + 1]))));
+      }
+      if (j < nb) {
+        acc0 = _mm256_sub_epi32(
+            acc0, _mm256_cmpeq_epi32(
+                      q0, _mm256_set1_epi32(static_cast<int>(b[j]))));
+      }
+      const __m256i acc = _mm256_add_epi32(acc0, acc1);
+      const __m128i lo = _mm256_castsi256_si128(acc);
+      const __m128i hi = _mm256_extracti128_si256(acc, 1);
+      __m128i sum = _mm_add_epi32(lo, hi);
+      sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 0x4E));
+      sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 0xB1));
+      counts[i] =
+          static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+    }
+    return;
+  }
+  const __m256i mask1 = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int>(nq) - 8), idx);
+  const __m256i q1 = _mm256_or_si256(
+      _mm256_maskload_epi32(reinterpret_cast<const int*>(q + 8), mask1),
+      _mm256_andnot_si256(mask1, all_ones32));
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* b = tkeys[i];
+    if (b == nullptr) continue;
+    const size_t nb = tlens[i];
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    size_t j = 0;
+    for (; j + 2 <= nb; j += 2) {
+      const __m256i vb0 = _mm256_set1_epi32(static_cast<int>(b[j]));
+      const __m256i vb1 = _mm256_set1_epi32(static_cast<int>(b[j + 1]));
+      acc0 = _mm256_sub_epi32(acc0, _mm256_cmpeq_epi32(q0, vb0));
+      acc1 = _mm256_sub_epi32(acc1, _mm256_cmpeq_epi32(q1, vb0));
+      acc2 = _mm256_sub_epi32(acc2, _mm256_cmpeq_epi32(q0, vb1));
+      acc3 = _mm256_sub_epi32(acc3, _mm256_cmpeq_epi32(q1, vb1));
+    }
+    if (j < nb) {
+      const __m256i vb = _mm256_set1_epi32(static_cast<int>(b[j]));
+      acc0 = _mm256_sub_epi32(acc0, _mm256_cmpeq_epi32(q0, vb));
+      acc1 = _mm256_sub_epi32(acc1, _mm256_cmpeq_epi32(q1, vb));
+    }
+    const __m256i acc = _mm256_add_epi32(_mm256_add_epi32(acc0, acc1),
+                                         _mm256_add_epi32(acc2, acc3));
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i sum = _mm_add_epi32(lo, hi);
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 0x4E));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 0xB1));
+    counts[i] = static_cast<uint32_t>(_mm_cvtsi128_si32(sum));
+  }
+}
+
+/// One Myers-recurrence step for the four 64-bit lanes of one ymm register.
+/// Lanes whose text ended are frozen by blending the old state back in, so
+/// every lane finishes with exactly the scalar algorithm's state sequence.
+struct MyersChainAvx2 {
+  __m256i pv, mv, score, vlens;
+
+  MyersChainAvx2(size_t m, const uint64_t* lens)
+      : pv(_mm256_set1_epi64x(-1)),
+        mv(_mm256_setzero_si256()),
+        score(_mm256_set1_epi64x(static_cast<long long>(m))),
+        vlens(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(lens))) {}
+
+  inline void Step(__m256i eq, __m256i last, __m256i all_ones, __m256i one,
+                   __m256i vi) {
+    const __m256i xv = _mm256_or_si256(eq, mv);
+    const __m256i eqpv = _mm256_and_si256(eq, pv);
+    const __m256i xh = _mm256_or_si256(
+        _mm256_xor_si256(_mm256_add_epi64(eqpv, pv), pv), eq);
+    __m256i ph = _mm256_or_si256(
+        mv, _mm256_andnot_si256(_mm256_or_si256(xh, pv), all_ones));
+    __m256i mh = _mm256_and_si256(pv, xh);
+    // score += (ph & last ? 1 : 0) - (mh & last ? 1 : 0); the horizontal
+    // bits are disjoint, so both corrections can apply unconditionally.
+    const __m256i inc = _mm256_cmpeq_epi64(_mm256_and_si256(ph, last), last);
+    const __m256i dec = _mm256_cmpeq_epi64(_mm256_and_si256(mh, last), last);
+    __m256i score_new = _mm256_sub_epi64(score, inc);
+    score_new = _mm256_add_epi64(score_new, dec);
+    ph = _mm256_or_si256(_mm256_slli_epi64(ph, 1), one);
+    mh = _mm256_slli_epi64(mh, 1);
+    const __m256i pv_new = _mm256_or_si256(
+        mh, _mm256_andnot_si256(_mm256_or_si256(xv, ph), all_ones));
+    const __m256i mv_new = _mm256_and_si256(ph, xv);
+    const __m256i active = _mm256_cmpgt_epi64(vlens, vi);
+    pv = _mm256_blendv_epi8(pv, pv_new, active);
+    mv = _mm256_blendv_epi8(mv, mv_new, active);
+    score = _mm256_blendv_epi8(score, score_new, active);
+  }
+};
+
+/// Eight Myers recurrences: two four-lane register chains advanced in
+/// lockstep. The recurrence is a long serial dependency chain, so two
+/// independent chains overlap in the pipeline and nearly double throughput.
+void MyersBatchAvx2(const uint64_t* peq, size_t m,
+                    const uint8_t* const* texts, const uint64_t* lens,
+                    size_t maxlen, uint64_t* out) {
+  // Texts are read in place. Disabled lanes (len 0) alias lane 0 and frozen
+  // lanes clamp their byte index to the last valid byte, so no lane ever
+  // reads past its own text; the fetched byte feeds a 256-entry table, so
+  // its value is irrelevant once the lane's state is frozen.
+  const uint8_t* t[8];
+  size_t c[8];
+  for (size_t l = 0; l < 8; ++l) {
+    t[l] = lens[l] ? texts[l] : texts[0];
+    c[l] = lens[l] ? lens[l] - 1 : 0;
+  }
+  const __m256i all_ones = _mm256_set1_epi64x(-1);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i last = _mm256_set1_epi64x(
+      static_cast<long long>(uint64_t{1} << (m - 1)));
+  MyersChainAvx2 lo(m, lens);
+  MyersChainAvx2 hi(m, lens + 4);
+  for (size_t i = 0; i < maxlen; ++i) {
+    // Scalar PEQ loads beat vpgatherqq here: the table rows are hot in L1
+    // and gather's fixed startup cost dominates on most cores.
+    const __m256i eq0 = _mm256_set_epi64x(
+        static_cast<long long>(peq[t[3][std::min(i, c[3])]]),
+        static_cast<long long>(peq[t[2][std::min(i, c[2])]]),
+        static_cast<long long>(peq[t[1][std::min(i, c[1])]]),
+        static_cast<long long>(peq[t[0][std::min(i, c[0])]]));
+    const __m256i eq1 = _mm256_set_epi64x(
+        static_cast<long long>(peq[t[7][std::min(i, c[7])]]),
+        static_cast<long long>(peq[t[6][std::min(i, c[6])]]),
+        static_cast<long long>(peq[t[5][std::min(i, c[5])]]),
+        static_cast<long long>(peq[t[4][std::min(i, c[4])]]));
+    const __m256i vi = _mm256_set1_epi64x(static_cast<long long>(i));
+    lo.Step(eq0, last, all_ones, one, vi);
+    hi.Step(eq1, last, all_ones, one, vi);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), lo.score);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), hi.score);
+}
+
+constexpr Ops kAvx2Ops = {
+    &BoundFilterAvx2,
+    &IntersectAvx2,
+    &IntersectManyAvx2,
+    &DiceRefineAvx2,
+    &MyersBatchAvx2,
+    /*lanes=*/8,
+};
+
+}  // namespace
+
+const Ops* Avx2OpsOrNull() { return &kAvx2Ops; }
+
+}  // namespace smb::sim::simd
+
+#else  // !(__AVX2__ && x86-64)
+
+namespace smb::sim::simd {
+const Ops* Avx2OpsOrNull() { return nullptr; }
+}  // namespace smb::sim::simd
+
+#endif

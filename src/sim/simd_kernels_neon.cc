@@ -1,0 +1,151 @@
+#include "sim/simd_dispatch.h"
+
+/// \file simd_kernels_neon.cc
+/// \brief NEON implementations of the dispatch kernels for aarch64 (see
+/// simd_dispatch.h). NEON is baseline on aarch64, so no special compile
+/// flags are needed; on other targets the TU degrades to a nullptr
+/// registration.
+///
+/// Only the integer kernels (intersection, 2-lane batched Myers) are
+/// vectorized. The double-precision bound filter reuses the scalar
+/// implementation: aarch64 has fused multiply-add in its baseline ISA and
+/// compilers contract `a*b + c` by default, so a hand-written non-fused
+/// NEON expression could differ from the surrounding scalar code by an ulp
+/// — routing through the one scalar function keeps every tier bit-identical.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace smb::sim::simd {
+namespace {
+
+/// 4x4 block intersection of strictly increasing uint32 arrays: compare a
+/// block of `a` against every rotation of a block of `b`.
+size_t IntersectNeon(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const uint32x4_t va = vld1q_u32(a + i);
+    const uint32x4_t vb = vld1q_u32(b + j);
+    uint32x4_t eq = vceqq_u32(va, vb);
+    eq = vorrq_u32(eq, vceqq_u32(va, vextq_u32(vb, vb, 1)));
+    eq = vorrq_u32(eq, vceqq_u32(va, vextq_u32(vb, vb, 2)));
+    eq = vorrq_u32(eq, vceqq_u32(va, vextq_u32(vb, vb, 3)));
+    count += vaddvq_u32(vshrq_n_u32(eq, 31));
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  return count + IntersectScalar(a + i, na - i, b + j, nb - j);
+}
+
+/// Two Myers recurrences in the two 64-bit lanes of one q register; lanes
+/// whose text ended are frozen with a bitwise select.
+void MyersBatchNeon(const uint64_t* peq, size_t m,
+                    const uint8_t* const* texts, const uint64_t* lens,
+                    size_t maxlen, uint64_t* out) {
+  const uint64x2_t all_ones = vdupq_n_u64(~uint64_t{0});
+  const uint64x2_t one = vdupq_n_u64(1);
+  uint64x2_t pv = all_ones;
+  uint64x2_t mv = vdupq_n_u64(0);
+  uint64x2_t score = vdupq_n_u64(m);
+  const uint64x2_t last = vdupq_n_u64(uint64_t{1} << (m - 1));
+  const uint64x2_t vlens = vld1q_u64(lens);
+  // Texts are read in place: a disabled lane aliases lane 0 and frozen
+  // lanes clamp their byte index to the last valid byte (the value is
+  // irrelevant once the lane's state stops updating).
+  const uint8_t* t0 = texts[0];
+  const uint8_t* t1 = lens[1] ? texts[1] : texts[0];
+  const size_t c0 = lens[0] - 1;
+  const size_t c1 = lens[1] ? lens[1] - 1 : 0;
+  for (size_t i = 0; i < maxlen; ++i) {
+    const uint64x2_t eq =
+        vcombine_u64(vcreate_u64(peq[t0[i < c0 ? i : c0]]),
+                     vcreate_u64(peq[t1[i < c1 ? i : c1]]));
+    const uint64x2_t xv = vorrq_u64(eq, mv);
+    const uint64x2_t eqpv = vandq_u64(eq, pv);
+    const uint64x2_t xh =
+        vorrq_u64(veorq_u64(vaddq_u64(eqpv, pv), pv), eq);
+    uint64x2_t ph =
+        vorrq_u64(mv, veorq_u64(vorrq_u64(xh, pv), all_ones));
+    uint64x2_t mh = vandq_u64(pv, xh);
+    // score += (ph & last ? 1 : 0) - (mh & last ? 1 : 0): the compare masks
+    // are all-ones (== -1 mod 2^64) when set, so subtract/add them.
+    const uint64x2_t inc = vceqq_u64(vandq_u64(ph, last), last);
+    const uint64x2_t dec = vceqq_u64(vandq_u64(mh, last), last);
+    uint64x2_t score_new = vsubq_u64(score, inc);
+    score_new = vaddq_u64(score_new, dec);
+    ph = vorrq_u64(vshlq_n_u64(ph, 1), one);
+    mh = vshlq_n_u64(mh, 1);
+    const uint64x2_t pv_new =
+        vorrq_u64(mh, veorq_u64(vorrq_u64(xv, ph), all_ones));
+    const uint64x2_t mv_new = vandq_u64(ph, xv);
+    const uint64x2_t active = vcgtq_u64(vlens, vdupq_n_u64(i));
+    pv = vbslq_u64(active, pv_new, pv);
+    mv = vbslq_u64(active, mv_new, mv);
+    score = vbslq_u64(active, score_new, score);
+  }
+  vst1q_u64(out, score);
+}
+
+/// Query-resident batch intersection: the (≤16-key) query side stays in
+/// four q registers with 0xFFFFFFFF sentinel padding (never a real key);
+/// each target key is broadcast and compared against all four.
+void IntersectManyNeon(const uint32_t* q, size_t nq,
+                       const uint32_t* const* tkeys, const uint32_t* tlens,
+                       size_t n, uint32_t* counts) {
+  if (nq > 16) {
+    for (size_t i = 0; i < n; ++i) {
+      if (tkeys[i] == nullptr) continue;
+      counts[i] = static_cast<uint32_t>(IntersectNeon(q, nq, tkeys[i],
+                                                      tlens[i]));
+    }
+    return;
+  }
+  uint32_t padded[16];
+  for (size_t i = 0; i < 16; ++i) padded[i] = i < nq ? q[i] : 0xFFFFFFFFu;
+  const uint32x4_t q0 = vld1q_u32(padded);
+  const uint32x4_t q1 = vld1q_u32(padded + 4);
+  const uint32x4_t q2 = vld1q_u32(padded + 8);
+  const uint32x4_t q3 = vld1q_u32(padded + 12);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* b = tkeys[i];
+    if (b == nullptr) continue;
+    const size_t nb = tlens[i];
+    uint32x4_t acc0 = vdupq_n_u32(0);
+    uint32x4_t acc1 = vdupq_n_u32(0);
+    for (size_t j = 0; j < nb; ++j) {
+      const uint32x4_t vb = vdupq_n_u32(b[j]);
+      acc0 = vsubq_u32(acc0, vceqq_u32(q0, vb));
+      acc0 = vsubq_u32(acc0, vceqq_u32(q1, vb));
+      acc1 = vsubq_u32(acc1, vceqq_u32(q2, vb));
+      acc1 = vsubq_u32(acc1, vceqq_u32(q3, vb));
+    }
+    counts[i] = vaddvq_u32(vaddq_u32(acc0, acc1));
+  }
+}
+
+constexpr Ops kNeonOps = {
+    &BoundFilterScalar,
+    &IntersectNeon,
+    &IntersectManyNeon,
+    &DiceRefineScalar,  // double math stays scalar: aarch64 FMA contraction
+    &MyersBatchNeon,
+    /*lanes=*/2,
+};
+
+}  // namespace
+
+const Ops* NeonOpsOrNull() { return &kNeonOps; }
+
+}  // namespace smb::sim::simd
+
+#else  // !__aarch64__
+
+namespace smb::sim::simd {
+const Ops* NeonOpsOrNull() { return nullptr; }
+}  // namespace smb::sim::simd
+
+#endif

@@ -360,6 +360,106 @@ TEST(SnapshotTest, RejectsBitFlipsViaChecksum) {
   }
 }
 
+// --- Format-version compatibility ----------------------------------------
+
+TEST(SnapshotTest, V1SnapshotLoadsAndRebuildsBlockMetadata) {
+  auto collection = MakeCollection(20);
+  match::ObjectiveOptions objective;
+  objective.name = SynonymOptions();
+  auto built = PreparedRepository::Build(collection.repository,
+                                         objective.name);
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  // A v1 writer knows nothing of the block-max arrays, so its output is
+  // strictly smaller than v2 of the same index.
+  auto v1_bytes = EncodeSnapshotForVersion(*built, 1);
+  ASSERT_TRUE(v1_bytes.ok()) << v1_bytes.status();
+  const std::string v2_bytes = EncodeSnapshot(*built);
+  EXPECT_LT(v1_bytes->size(), v2_bytes.size());
+
+  auto loaded =
+      DecodeSnapshot(*v1_bytes, collection.repository, objective.name);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectIndexesIdentical(*built, *loaded);
+
+  // The loader rebuilt the block metadata from the v1 postings — it must
+  // be bit-identical to what Build produced.
+  const size_t lists = built->stats().distinct_trigrams;
+  ASSERT_EQ(lists, loaded->stats().distinct_trigrams);
+  for (size_t li = 0; li < lists; ++li) {
+    const auto list_index = static_cast<int32_t>(li);
+    const TrigramBlockSpans a = built->TrigramBlocks(list_index);
+    const TrigramBlockSpans b = loaded->TrigramBlocks(list_index);
+    ASSERT_EQ(a.size(), b.size()) << "list " << li;
+    for (size_t blk = 0; blk < a.size(); ++blk) {
+      EXPECT_EQ(a.last_ordinals[blk], b.last_ordinals[blk]);
+      EXPECT_EQ(a.max_counts[blk], b.max_counts[blk]);
+      EXPECT_EQ(a.tc_floors[blk], b.tc_floors[blk]);
+    }
+  }
+
+  // And the block-max candidate path over the loaded index agrees with
+  // the freshly built one, bit for bit.
+  CandidateGenerator from_built(&*built, objective);
+  CandidateGenerator from_loaded(&*loaded, objective);
+  auto ca = from_built.Generate(collection.query, 5);
+  auto cb = from_loaded.Generate(collection.query, 5);
+  ASSERT_TRUE(ca.ok()) << ca.status();
+  ASSERT_TRUE(cb.ok()) << cb.status();
+  for (size_t pos = 0; pos < ca->positions(); ++pos) {
+    for (int32_t si = 0; si < static_cast<int32_t>(ca->schema_count());
+         ++si) {
+      const auto* la = ca->CandidatesFor(pos, si);
+      const auto* lb = cb->CandidatesFor(pos, si);
+      ASSERT_EQ(la->size(), lb->size());
+      for (size_t i = 0; i < la->size(); ++i) {
+        EXPECT_EQ((*la)[i].node, (*lb)[i].node);
+        EXPECT_EQ((*la)[i].cost, (*lb)[i].cost);
+      }
+      EXPECT_EQ(ca->SkipLowerBound(pos, si), cb->SkipLowerBound(pos, si));
+    }
+  }
+
+  // v1 round-trips through SaveSnapshot's current writer as v2.
+  auto reloaded =
+      DecodeSnapshot(EncodeSnapshot(*loaded), collection.repository,
+                     objective.name);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ExpectIndexesIdentical(*built, *reloaded);
+}
+
+TEST(SnapshotTest, RejectsFutureFormatVersionWithClearError) {
+  schema::SchemaRepository repo = MakeRepo();
+  sim::NameSimilarityOptions options = SynonymOptions();
+  auto built = PreparedRepository::Build(repo, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  // A file stamped with a future version must fail closed, naming the
+  // versions this binary reads. The version field sits right after the
+  // 8-byte magic and is validated before the body checksum, so patching
+  // it simulates a genuine future writer.
+  std::string future = EncodeSnapshot(*built);
+  future[8] = static_cast<char>(kSnapshotFormatVersion + 1);
+  auto result = DecodeSnapshot(future, repo, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+  EXPECT_NE(result.status().message().find("1..2"), std::string::npos)
+      << result.status().message();
+
+  // The writer refuses to fabricate versions it does not define.
+  EXPECT_FALSE(EncodeSnapshotForVersion(*built, 0).ok());
+  EXPECT_FALSE(
+      EncodeSnapshotForVersion(*built, kSnapshotFormatVersion + 1).ok());
+  // Every version in the supported range encodes and loads.
+  for (uint32_t v = kSnapshotMinFormatVersion; v <= kSnapshotFormatVersion;
+       ++v) {
+    auto bytes = EncodeSnapshotForVersion(*built, v);
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    EXPECT_TRUE(DecodeSnapshot(*bytes, repo, options).ok()) << "v" << v;
+  }
+}
+
 TEST(SnapshotTest, LargeCollectionTruncationSampling) {
   auto collection = MakeCollection(15);
   sim::NameSimilarityOptions options = SynonymOptions();

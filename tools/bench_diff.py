@@ -36,7 +36,38 @@ class BenchDiffError(Exception):
     """A data problem the user must fix; reported without a traceback."""
 
 
-def load_rows(path, name_filter, strip, metric="real_time"):
+def check_build_type(path, data, allow_debug):
+    """Refuses benchmark JSON produced by an unoptimized build.
+
+    Trusts the repo's own `smb_build_type` context (bench/common/
+    bench_context.cc reports how *our* code was compiled); falls back to
+    Google Benchmark's `library_build_type` for JSONs recorded before that
+    field existed. Distro libbenchmark packages are often debug builds even
+    under -O3, so the fallback can false-positive — the error says how to
+    override.
+    """
+    context = data.get("context", {})
+    if not isinstance(context, dict):
+        return
+    build_type = context.get("smb_build_type",
+                             context.get("library_build_type"))
+    if build_type is None or str(build_type).lower() != "debug":
+        return
+    if allow_debug:
+        print(f"warning: {path} was recorded from a debug build "
+              f"(--allow-debug given; numbers are not comparable to "
+              f"optimized runs)", file=sys.stderr)
+        return
+    raise BenchDiffError(
+        f"{path} was recorded from a debug build "
+        f"(context {'smb_build_type' if 'smb_build_type' in context else 'library_build_type'}"
+        f"={build_type!r}); debug timings are meaningless as baselines — "
+        f"re-record from a -DCMAKE_BUILD_TYPE=Release build, or pass "
+        f"--allow-debug to compare anyway")
+
+
+def load_rows(path, name_filter, strip, metric="real_time",
+              allow_debug=False):
     """Returns {canonical_name: (value, original_name)}.
 
     The value is real_time normalized to nanoseconds, or the raw counter
@@ -53,6 +84,7 @@ def load_rows(path, name_filter, strip, metric="real_time"):
         raise BenchDiffError(
             f"{path} is not a Google Benchmark JSON file "
             f"(missing the 'benchmarks' key)")
+    check_build_type(path, data, allow_debug)
     benchmarks = data["benchmarks"]
     if not benchmarks:
         raise BenchDiffError(f"{path} contains no benchmark rows")
@@ -118,12 +150,17 @@ def main():
     parser.add_argument("--metric", default="real_time", metavar="NAME",
                         help="compare this user counter instead of real_time "
                              "(ratio stays A / B)")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="accept JSON recorded from a debug build "
+                             "(normally refused: debug timings are "
+                             "meaningless as baselines)")
     args = parser.parse_args()
 
     try:
         a_rows = load_rows(args.baseline, args.a_filter, args.strip,
-                           args.metric)
-        b_rows = load_rows(args.new, args.b_filter, args.strip, args.metric)
+                           args.metric, args.allow_debug)
+        b_rows = load_rows(args.new, args.b_filter, args.strip, args.metric,
+                           args.allow_debug)
     except BenchDiffError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

@@ -17,8 +17,8 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "bench_diff.py")
 
 
-def bench_json(rows):
-    return {"context": {}, "benchmarks": rows}
+def bench_json(rows, context=None):
+    return {"context": context or {}, "benchmarks": rows}
 
 
 def row(name, time_ns, **extra):
@@ -157,6 +157,39 @@ class BenchDiffTest(unittest.TestCase):
                                "--require", "2.0")
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertIn("4.00x", result.stdout)
+
+    def test_debug_build_is_refused(self):
+        rows = [row("BM_X", 100)]
+        debug = self.write("debug.json",
+                           bench_json(rows, {"smb_build_type": "debug"}))
+        release = self.write("release.json",
+                             bench_json(rows, {"smb_build_type": "release"}))
+        for pair in ((debug, release), (release, debug)):
+            result = self.run_diff(*pair)
+            self.assertEqual(result.returncode, 2, result.stderr)
+            self.assertIn("debug build", result.stderr)
+            self.assertIn("--allow-debug", result.stderr)
+        # The escape hatch compares anyway, with a warning.
+        result = self.run_diff(debug, release, "--allow-debug")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("warning", result.stderr)
+
+    def test_smb_build_type_overrides_library_build_type(self):
+        # Distro libbenchmark packages are often debug builds; the repo's
+        # own context field must win over library_build_type.
+        rows = [row("BM_X", 100)]
+        ours_release = self.write("ours.json", bench_json(
+            rows, {"smb_build_type": "release",
+                   "library_build_type": "debug"}))
+        result = self.run_diff(ours_release, ours_release)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        # Without smb_build_type, library_build_type=debug is refused
+        # (pre-smb_build_type JSONs).
+        legacy_debug = self.write("legacy.json", bench_json(
+            rows, {"library_build_type": "debug"}))
+        result = self.run_diff(legacy_debug, legacy_debug)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("library_build_type", result.stderr)
 
     def test_counter_metric_skips_rows_without_counter(self):
         a = self.write("a.json", bench_json([

@@ -51,6 +51,7 @@
 #include "schema/text_format.h"
 #include "schema/xsd_reader.h"
 #include "serve/load_shed.h"
+#include "sim/simd_dispatch.h"
 #include "serve/match_service.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -475,7 +476,8 @@ int CmdWorkload(const CommandLine& cl) {
   if (!result.ok()) return Fail(result.status());
 
   std::cout << result->system_name << " over " << problems.size()
-            << " queries, ";
+            << " queries (simd="
+            << sim::SimdTierName(sim::ActiveSimdTier()) << "), ";
   if (wopts.adaptive.has_value()) {
     std::cout << "target bound = "
               << FormatDouble(wopts.adaptive->min_provable_completeness, 2)
@@ -715,7 +717,9 @@ int RunOfflineServe(serve::MatchService& service,
                 << " cache_evictions=" << cs.evictions
                 << " cache_entries=" << cache.size() << "/"
                 << cache.capacity() << " index_source="
-                << (snapshot_loaded ? "snapshot" : "built") << std::endl;
+                << (snapshot_loaded ? "snapshot" : "built")
+                << " simd=" << sim::SimdTierName(sim::ActiveSimdTier())
+                << std::endl;
       continue;
     }
     auto response = service.Execute(*request, /*pressure=*/0.0);
@@ -758,6 +762,7 @@ int RunNetworkServe(serve::MatchService& service,
   if (Status st = server.Start(); !st.ok()) return Fail(st);
   std::cout << "listening=" << config.host << ":" << server.port()
             << " workers=" << workers << " queue=" << queue_depth
+            << " simd=" << sim::SimdTierName(sim::ActiveSimdTier())
             << std::endl;
 
   int signal_number = 0;
@@ -909,6 +914,7 @@ int CmdServe(const CommandLine& cl) {
 
   std::cout << "ready " << kind << " repo=" << repo->schema_count()
             << " schemas/" << repo->total_elements() << " elements"
+            << " simd=" << sim::SimdTierName(sim::ActiveSimdTier())
             << (adaptive->has_value()
                     ? " target_bound=" + FormatDouble(
                           (*adaptive)->min_provable_completeness, 2)
