@@ -14,12 +14,11 @@
 
 #include "engine/query_cache.h"
 #include "eval/replay_client.h"
-#include "index/prepared_repository.h"
 #include "io/csv.h"
-#include "match/exhaustive_matcher.h"
 #include "schema/text_format.h"
 #include "serve/match_service.h"
 #include "serve/server.h"
+#include "serve/serving_index.h"
 #include "synth/generator.h"
 
 namespace {
@@ -30,8 +29,6 @@ using namespace smb;
 /// iterations of one benchmark run.
 struct ServeSetup {
   synth::SyntheticCollection collection;
-  match::ExhaustiveMatcher matcher;
-  std::optional<index::PreparedRepository> prepared;
   std::unique_ptr<engine::QueryResultCache> cache;
   std::unique_ptr<serve::MatchService> service;
   std::unique_ptr<serve::MatchServer> server;
@@ -53,21 +50,24 @@ ServeSetup* GetServeSetup(size_t num_schemas) {
   setup->cache = std::make_unique<engine::QueryResultCache>(64);
 
   serve::MatchServiceConfig config;
-  config.repo = &setup->collection.repository;
-  config.matcher = &setup->matcher;
   config.match_options.delta_threshold = 0.25;
   config.match_options.objective.name.synonyms = &kTable;
-  // The index must be built with the same name options the queries match
-  // with (folding and synonyms feed the candidate generator).
-  setup->prepared = index::PreparedRepository::Build(
-                        setup->collection.repository,
-                        config.match_options.objective.name)
-                        .value();
   config.engine_options.num_threads = 1;
   config.engine_options.candidate_limit = 8;
-  config.engine_options.prepared_repository = &*setup->prepared;
   config.cache = setup->cache.get();
-  setup->service = std::make_unique<serve::MatchService>(std::move(config));
+  // The index must be built with the same name options the queries match
+  // with (folding and synonyms feed the candidate generator).
+  serve::ServingIndexOptions index_options;
+  index_options.name_options = config.match_options.objective.name;
+  auto index = serve::BuildServingIndex(setup->collection.repository,
+                                        index_options, /*generation=*/1);
+  if (!index.ok()) {
+    std::fprintf(stderr, "serve bench: %s\n",
+                 index.status().ToString().c_str());
+    std::abort();
+  }
+  setup->service =
+      std::make_unique<serve::MatchService>(*index, std::move(config));
 
   serve::MatchServerConfig server_config;
   server_config.workers = 2;

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kIOError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   /// @}
 

@@ -1,5 +1,9 @@
 #include "eval/replay_client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <random>
 #include <thread>
 #include <utility>
 
@@ -7,7 +11,8 @@
 #include "serve/socket_io.h"
 
 /// \file replay_client.cc
-/// \brief Round-robin fan-out of a request file over N connections.
+/// \brief Round-robin fan-out of a request file over N connections, with
+/// bounded-backoff reconnect-and-resend on transport failures.
 
 namespace smb::eval {
 
@@ -18,40 +23,103 @@ namespace {
 struct ConnectionTask {
   std::vector<size_t> indices;
   Status status = Status::OK();
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+};
+
+/// Serial per-connection replay session with reconnect-and-resend.
+class ConnectionSession {
+ public:
+  ConnectionSession(const ReplayClientOptions& options, size_t connection_id)
+      : options_(options),
+        jitter_rng_(options.retry_jitter_seed + connection_id) {}
+
+  /// Sends `line` and reads its response, retrying transport failures up
+  /// to the per-request budget. `attempts_out` reports retries consumed.
+  Result<std::string> RoundTrip(const std::string& line,
+                                uint32_t* attempts_out, uint64_t* reconnects) {
+    *attempts_out = 0;
+    for (;;) {
+      Status attempt = TryOnce(line, reconnects);
+      if (attempt.ok()) return std::move(response_);
+      // The connection is suspect after any transport failure: throw it
+      // away so the retry starts from a fresh connect.
+      socket_ = serve::Socket();
+      reader_.reset();
+      if (*attempts_out >= options_.max_retries) {
+        return attempt.WithContext("request '" + line + "' failed after " +
+                                   std::to_string(*attempts_out) +
+                                   " retr" +
+                                   (*attempts_out == 1 ? "y" : "ies"));
+      }
+      Backoff(++*attempts_out);
+    }
+  }
+
+ private:
+  /// One send+receive over the current (or a fresh) connection.
+  Status TryOnce(const std::string& line, uint64_t* reconnects) {
+    if (!socket_.valid()) {
+      auto connected = serve::ConnectTo(options_.host, options_.port);
+      if (!connected.ok()) return connected.status();
+      socket_ = *std::move(connected);
+      reader_ = std::make_unique<serve::LineReader>(&socket_);
+      if (connected_before_) ++*reconnects;
+      connected_before_ = true;
+    }
+    SMB_RETURN_IF_ERROR(serve::WriteAll(socket_, line + "\n"));
+    std::string response;
+    SMB_ASSIGN_OR_RETURN(const bool more, reader_->ReadLine(&response));
+    if (!more) {
+      return Status::IOError(
+          "server closed the connection before responding");
+    }
+    response_ = std::move(response);
+    return Status::OK();
+  }
+
+  /// Bounded exponential backoff with deterministic ±50% jitter.
+  void Backoff(uint32_t attempt) {
+    double delay_ms = options_.retry_base_ms;
+    for (uint32_t i = 1; i < attempt; ++i) {
+      delay_ms *= 2.0;
+      if (delay_ms >= options_.retry_max_ms) break;
+    }
+    delay_ms = std::min(delay_ms, options_.retry_max_ms);
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    delay_ms *= jitter(jitter_rng_);
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+
+  const ReplayClientOptions& options_;
+  serve::Socket socket_;
+  std::unique_ptr<serve::LineReader> reader_;
+  std::string response_;
+  bool connected_before_ = false;
+  std::mt19937_64 jitter_rng_;
 };
 
 /// Runs one connection synchronously: send a line, read its response,
 /// repeat. Writes responses straight into the shared, pre-sized response
 /// vector — each task owns disjoint indices, so no locking is needed.
-void RunConnection(const ReplayClientOptions& options,
+void RunConnection(const ReplayClientOptions& options, size_t connection_id,
                    const std::vector<std::string>& request_lines,
-                   ConnectionTask* task,
-                   std::vector<std::string>* responses) {
-  auto socket = serve::ConnectTo(options.host, options.port);
-  if (!socket.ok()) {
-    task->status = socket.status();
-    return;
-  }
-  serve::LineReader reader(&*socket);
+                   ConnectionTask* task, ReplayOutcome* outcome) {
+  ConnectionSession session(options, connection_id);
   for (size_t index : task->indices) {
-    if (Status st = serve::WriteAll(*socket, request_lines[index] + "\n");
-        !st.ok()) {
-      task->status = st;
+    uint32_t attempts = 0;
+    Result<std::string> response = session.RoundTrip(
+        request_lines[index], &attempts, &task->reconnects);
+    task->retries += attempts;
+    outcome->retries_by_request[index] = attempts;
+    if (!response.ok()) {
+      task->status = response.status();
       return;
     }
-    std::string line;
-    Result<bool> more = reader.ReadLine(&line);
-    if (!more.ok()) {
-      task->status = more.status();
-      return;
-    }
-    if (!*more) {
-      task->status = Status::IOError(
-          "server closed the connection before responding to '" +
-          request_lines[index] + "'");
-      return;
-    }
-    (*responses)[index] = std::move(line);
+    outcome->responses[index] = *std::move(response);
   }
 }
 
@@ -68,15 +136,19 @@ Result<ReplayOutcome> ReplayRequests(
   }
   ReplayOutcome outcome;
   outcome.responses.resize(request_lines.size());
+  outcome.retries_by_request.assign(request_lines.size(), 0);
   std::vector<std::thread> threads;
   threads.reserve(tasks.size());
-  for (ConnectionTask& task : tasks) {
-    threads.emplace_back([&options, &request_lines, &task, &outcome] {
-      RunConnection(options, request_lines, &task, &outcome.responses);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    ConnectionTask& task = tasks[t];
+    threads.emplace_back([&options, &request_lines, &task, &outcome, t] {
+      RunConnection(options, t, request_lines, &task, &outcome);
     });
   }
   for (std::thread& thread : threads) thread.join();
   for (const ConnectionTask& task : tasks) {
+    outcome.retries += task.retries;
+    outcome.reconnects += task.reconnects;
     if (!task.status.ok()) return task.status;
   }
   for (const std::string& line : outcome.responses) {

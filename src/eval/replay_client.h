@@ -18,6 +18,15 @@
 /// round-robin across connections; each connection sends strictly
 /// request-by-request (write line, read response line), which matches the
 /// server's per-connection ordering guarantee.
+///
+/// **Retries.** With `max_retries > 0` a transport failure (connect
+/// refused, reset mid-request, connection closed before the response)
+/// does not abort the replay: the client reconnects after a bounded
+/// exponential backoff with deterministic jitter and re-sends the
+/// unanswered request. Re-sending is safe because responses are
+/// idempotent — the server's result cache is keyed by the query and
+/// options fingerprints, so a request that was executed but whose
+/// response line was lost replays from cache with identical bytes.
 namespace smb::eval {
 
 /// \brief Where and how to replay.
@@ -26,6 +35,15 @@ struct ReplayClientOptions {
   uint16_t port = 0;
   /// Concurrent connections (>= 1); requests are split round-robin.
   size_t connections = 1;
+  /// Transport-failure retries per request (0 = fail fast, the old
+  /// behaviour).
+  size_t max_retries = 0;
+  /// First backoff delay; doubles per consecutive failure of the same
+  /// request, capped at `retry_max_ms`.
+  double retry_base_ms = 10.0;
+  double retry_max_ms = 1000.0;
+  /// Seed of the deterministic backoff jitter (±50% of the delay).
+  uint64_t retry_jitter_seed = 1;
 };
 
 /// \brief Everything a replay produced.
@@ -38,12 +56,19 @@ struct ReplayOutcome {
   uint64_t err_count = 0;
   /// `ok` responses flagged `shed=yes`.
   uint64_t shed_count = 0;
+  /// Transport-failure retries performed across all requests.
+  uint64_t retries = 0;
+  /// Reconnects performed after a connection died mid-session.
+  uint64_t reconnects = 0;
+  /// Per-request retry counts, aligned with `responses` (all zero when
+  /// nothing was retried).
+  std::vector<uint32_t> retries_by_request;
 };
 
 /// \brief Replays `request_lines` (already filtered: no blanks/comments)
 /// against a running server. Returns an error Status on connection or
-/// transport failure; protocol-level `err` responses are counted, not
-/// errors.
+/// transport failure that survives the retry budget; protocol-level `err`
+/// responses are counted, not errors.
 Result<ReplayOutcome> ReplayRequests(
     const ReplayClientOptions& options,
     const std::vector<std::string>& request_lines);

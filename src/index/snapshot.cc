@@ -722,34 +722,60 @@ Result<PreparedRepository> DecodeSnapshot(
 
 Status SaveSnapshot(const PreparedRepository& prepared,
                     const std::string& path) {
-  // Write-then-rename: a crash mid-save must never leave a truncated file
-  // at `path` — the fail-closed loader would reject it forever instead of
-  // falling back to a rebuild (only a *missing* file does that).
-  const std::string temp_path = path + ".tmp";
-  SMB_RETURN_IF_ERROR(
-      io::WriteBinaryFile(temp_path, EncodeSnapshot(prepared))
-          .WithContext("while saving index snapshot"));
-  std::error_code ec;
-  std::filesystem::rename(temp_path, path, ec);
-  if (ec) {
-    std::filesystem::remove(temp_path, ec);
-    return Status::IOError("cannot move snapshot into place at " + path +
-                           ": " + ec.message());
-  }
-  return Status::OK();
+  // Temp + fsync + atomic rename: a crash mid-save must never leave a
+  // truncated file at `path` — the fail-closed loader would reject it
+  // forever instead of falling back to a rebuild (only a *missing* file
+  // does that). The previous snapshot survives as `path.bak` so even a
+  // crash between the two renames degrades to the backup, not an outage.
+  return io::WriteBinaryFileAtomic(path, EncodeSnapshot(prepared),
+                                   /*keep_backup=*/true)
+      .WithContext("while saving index snapshot");
 }
 
 Result<PreparedRepository> LoadSnapshot(
     const std::string& path, const schema::SchemaRepository& repo,
-    const sim::NameSimilarityOptions& name_options, size_t num_threads) {
-  SMB_ASSIGN_OR_RETURN(std::string bytes, io::ReadBinaryFile(path));
-  Result<PreparedRepository> loaded =
-      DecodeSnapshot(bytes, repo, name_options, num_threads);
-  if (!loaded.ok()) {
-    return loaded.status().WithContext("while loading index snapshot " +
-                                       path);
+    const sim::NameSimilarityOptions& name_options, size_t num_threads,
+    SnapshotLoadReport* report) {
+  if (report != nullptr) *report = SnapshotLoadReport{};
+  Status primary_error = Status::OK();
+  Result<std::string> bytes = io::ReadBinaryFile(path);
+  if (bytes.ok()) {
+    Result<PreparedRepository> loaded =
+        DecodeSnapshot(*bytes, repo, name_options, num_threads);
+    if (loaded.ok()) return loaded;
+    primary_error = loaded.status().WithContext(
+        "while loading index snapshot " + path);
+  } else if (bytes.status().code() == StatusCode::kNotFound) {
+    // Missing primary with a surviving backup is the crash window between
+    // SaveSnapshot's two renames (old → .bak, tmp → path) — fall through
+    // to the backup. With no backup either, kNotFound propagates: "safe
+    // to build instead".
+    primary_error = bytes.status();
+  } else {
+    primary_error =
+        bytes.status().WithContext("while loading index snapshot " + path);
   }
-  return loaded;
+
+  // Primary missing/unreadable/corrupt — try the sibling backup that
+  // SaveSnapshot leaves behind. Announce the degradation via `report`; the
+  // backup must decode cleanly (and fingerprint-match) or the primary's
+  // error stands.
+  const std::string backup_path = path + ".bak";
+  Result<std::string> backup_bytes = io::ReadBinaryFile(backup_path);
+  if (backup_bytes.ok()) {
+    Result<PreparedRepository> backup =
+        DecodeSnapshot(*backup_bytes, repo, name_options, num_threads);
+    if (backup.ok()) {
+      if (report != nullptr) {
+        report->used_backup = true;
+        report->warning = "primary snapshot unusable (" +
+                          primary_error.ToString() +
+                          "); loaded backup " + backup_path;
+      }
+      return backup;
+    }
+  }
+  return primary_error;
 }
 
 }  // namespace smb::index

@@ -84,16 +84,34 @@ Result<PreparedRepository> DecodeSnapshot(
     std::string_view bytes, const schema::SchemaRepository& repo,
     const sim::NameSimilarityOptions& name_options, size_t num_threads = 1);
 
-/// \brief `EncodeSnapshot` to a file (overwrite, atomic-enough: full buffer
-/// written in one stream).
+/// \brief `EncodeSnapshot` to a file, crash-safely: temp file + fsync +
+/// atomic rename (io::WriteBinaryFileAtomic). A previous snapshot at
+/// `path` is preserved as `path + ".bak"` — a crash or I/O failure at any
+/// point leaves either the old snapshot (at `path` or `path.bak`) or the
+/// complete new one visible, never a torn file.
 Status SaveSnapshot(const PreparedRepository& prepared,
                     const std::string& path);
 
-/// \brief `DecodeSnapshot` from a file. A missing file yields `kNotFound`
-/// (so callers can fall back to Build-then-Save); every other failure is a
-/// hard rejection.
+/// \brief What `LoadSnapshot` actually did, for callers that surface
+/// degraded-mode warnings (the serve CLI logs `report.warning`).
+struct SnapshotLoadReport {
+  /// True when `path` was missing/corrupt and `path + ".bak"` loaded.
+  bool used_backup = false;
+  /// Human-readable degradation note, empty on a clean primary load.
+  std::string warning;
+};
+
+/// \brief `DecodeSnapshot` from a file. A missing file (with no backup)
+/// yields `kNotFound` (so callers can fall back to Build-then-Save). When
+/// `path` is missing or fails to load (crash window between SaveSnapshot's
+/// renames, torn write, corruption, I/O error) and a sibling
+/// `path + ".bak"` loads cleanly, the backup is returned with
+/// `report->used_backup` set and the primary's error in `report->warning`
+/// — stale-but-valid data is never returned unannounced. With no usable
+/// backup every non-missing failure is a hard rejection.
 Result<PreparedRepository> LoadSnapshot(
     const std::string& path, const schema::SchemaRepository& repo,
-    const sim::NameSimilarityOptions& name_options, size_t num_threads = 1);
+    const sim::NameSimilarityOptions& name_options, size_t num_threads = 1,
+    SnapshotLoadReport* report = nullptr);
 
 }  // namespace smb::index

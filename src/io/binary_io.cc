@@ -1,10 +1,17 @@
 #include "io/binary_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+
+#include "io/fault_injection.h"
 
 namespace smb::io {
 
@@ -290,46 +297,237 @@ uint64_t Checksum64(std::string_view bytes) {
   return hash;
 }
 
-Status WriteBinaryFile(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open " + path + " for writing");
+namespace {
+
+/// Injected EINTRs honoured per call before the retry loop gives up with
+/// an IO error — keeps a `rate=1.0:eintr` rule from livelocking a loop.
+constexpr int kMaxInjectedEintr = 64;
+
+Status ErrnoStatus(const std::string& what, int error_number) {
+  return Status::IOError(what + ": " + std::strerror(error_number));
+}
+
+/// Close-on-scope-exit file descriptor.
+class ScopedFd {
+ public:
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ~ScopedFd() {
+    if (fd_ >= 0) ::close(fd_);
   }
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  out.close();
-  if (!out) {
-    return Status::IOError("cannot write " + std::to_string(content.size()) +
-                           " byte(s) to " + path);
+  int get() const { return fd_; }
+  /// Hands ownership to the caller (for an error-checked close).
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+Result<int> OpenForWrite(const std::string& path) {
+  if (const Fault fault = CheckFault("file.open.w")) {
+    return ErrnoStatus("cannot open " + path + " for writing (injected)",
+                       fault.error_number);
+  }
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return ErrnoStatus("cannot open " + path + " for writing", errno);
+  }
+  return fd;
+}
+
+Status WriteAllFd(int fd, std::string_view content, const std::string& path) {
+  size_t offset = 0;
+  int injected_eintr = 0;
+  while (offset < content.size()) {
+    size_t want = content.size() - offset;
+    if (const Fault fault = CheckFault("file.write")) {
+      if (fault.kind == FaultKind::kEintr) {
+        if (++injected_eintr <= kMaxInjectedEintr) continue;
+        return ErrnoStatus("cannot write to " + path + " (injected EINTR)",
+                           EINTR);
+      }
+      if (fault.kind == FaultKind::kShort) {
+        want = std::min(want, fault.max_bytes);
+      } else {
+        return ErrnoStatus("cannot write to " + path + " (injected)",
+                           fault.error_number);
+      }
+    }
+    const ssize_t written = ::write(fd, content.data() + offset, want);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("cannot write to " + path, errno);
+    }
+    offset += static_cast<size_t>(written);
   }
   return Status::OK();
 }
 
+Status FsyncFd(int fd, const std::string& path) {
+  int injected_eintr = 0;
+  for (;;) {
+    if (const Fault fault = CheckFault("file.fsync")) {
+      if (fault.kind == FaultKind::kEintr) {
+        if (++injected_eintr <= kMaxInjectedEintr) continue;
+        return ErrnoStatus("cannot fsync " + path + " (injected EINTR)",
+                           EINTR);
+      }
+      if (fault.kind != FaultKind::kShort) {
+        return ErrnoStatus("cannot fsync " + path + " (injected)",
+                           fault.error_number);
+      }
+    }
+    if (::fsync(fd) == 0) return Status::OK();
+    if (errno == EINTR) continue;
+    return ErrnoStatus("cannot fsync " + path, errno);
+  }
+}
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (const Fault fault = CheckFault("file.rename")) {
+    return ErrnoStatus("cannot rename " + from + " to " + to + " (injected)",
+                       fault.error_number);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("cannot rename " + from + " to " + to, errno);
+  }
+  return Status::OK();
+}
+
+/// Makes a rename in `path`'s directory durable. Failure here means the
+/// new file is visible but its directory entry may not survive a power
+/// loss — callers still get an error so they can retry the save.
+Status SyncParentDirectory(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return ErrnoStatus("cannot open directory " + dir, errno);
+  }
+  ScopedFd dir_fd(fd);
+  return FsyncFd(dir_fd.get(), dir);
+}
+
+}  // namespace
+
+Status WriteBinaryFile(const std::string& path, std::string_view content) {
+  SMB_ASSIGN_OR_RETURN(const int raw_fd, OpenForWrite(path));
+  ScopedFd fd(raw_fd);
+  SMB_RETURN_IF_ERROR(WriteAllFd(fd.get(), content, path));
+  if (::close(fd.Release()) != 0) {
+    return ErrnoStatus("cannot close " + path, errno);
+  }
+  return Status::OK();
+}
+
+Status WriteBinaryFileAtomic(const std::string& path,
+                             std::string_view content, bool keep_backup) {
+  const std::string tmp = path + ".tmp";
+  Status status = [&]() -> Status {
+    SMB_ASSIGN_OR_RETURN(const int raw_fd, OpenForWrite(tmp));
+    ScopedFd fd(raw_fd);
+    SMB_RETURN_IF_ERROR(WriteAllFd(fd.get(), content, tmp));
+    // fsync before rename: the new bytes must be on disk before the new
+    // name is, or a crash could expose an empty/torn file under `path`.
+    SMB_RETURN_IF_ERROR(FsyncFd(fd.get(), tmp));
+    if (::close(fd.Release()) != 0) {
+      return ErrnoStatus("cannot close " + tmp, errno);
+    }
+    return Status::OK();
+  }();
+  if (status.ok() && keep_backup) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec) && !ec) {
+      // If this rename lands but the next one fails, `path` is missing and
+      // `path.bak` holds the previous contents — readers with a `.bak`
+      // fallback (LoadSnapshot) keep working.
+      status = RenamePath(path, path + ".bak");
+    }
+  }
+  if (status.ok()) status = RenamePath(tmp, path);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status.WithContext("while atomically writing " + path);
+  }
+  return SyncParentDirectory(path);
+}
+
 Result<std::string> ReadBinaryFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
+  if (const Fault fault = CheckFault("file.open.r")) {
+    return ErrnoStatus("cannot open " + path + " (injected)",
+                       fault.error_number);
+  }
+  int raw_fd;
+  do {
+    raw_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (raw_fd < 0 && errno == EINTR);
+  if (raw_fd < 0) {
     // kNotFound is the "safe to build it instead" signal — only a file
     // that genuinely does not exist may produce it. An existing file that
     // cannot be opened (permissions, fd exhaustion) is an IO error, so
     // snapshot loaders fail hard instead of silently rebuilding over it.
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec) && !ec) {
+    if (errno == ENOENT) {
       return Status::NotFound("cannot open " + path + ": no such file");
     }
-    return Status::IOError("cannot open " + path);
+    return ErrnoStatus("cannot open " + path, errno);
   }
-  // One sized read instead of an istreambuf_iterator char loop — the
-  // snapshot loader reads megabytes and is benchmarked end to end.
-  const std::streamoff size = in.tellg();
-  if (size < 0) {
-    return Status::IOError("cannot determine size of " + path);
+  ScopedFd fd(raw_fd);
+  struct stat st {};
+  if (::fstat(fd.get(), &st) != 0) {
+    return ErrnoStatus("cannot stat " + path, errno);
   }
-  std::string content(static_cast<size_t>(size), '\0');
-  in.seekg(0);
-  in.read(content.data(), size);
-  if (!in || in.gcount() != size) {
-    return Status::IOError("cannot read " + std::to_string(size) +
-                           " byte(s) from " + path);
+  // Sized to st_size up front so the common case is one allocation and one
+  // read (the snapshot loader reads megabytes and is benchmarked end to
+  // end); the loop still handles short reads and concurrent growth.
+  std::string content;
+  content.resize(st.st_size > 0 ? static_cast<size_t>(st.st_size) : 4096);
+  size_t offset = 0;
+  int injected_eintr = 0;
+  for (;;) {
+    size_t want = content.size() - offset;
+    char probe[4096];
+    char* dest = content.data() + offset;
+    if (want == 0) {
+      // Buffer exactly full — probe for EOF without doubling the (possibly
+      // large) buffer; any extra bytes get appended below.
+      dest = probe;
+      want = sizeof(probe);
+    }
+    if (const Fault fault = CheckFault("file.read")) {
+      if (fault.kind == FaultKind::kEintr) {
+        if (++injected_eintr <= kMaxInjectedEintr) continue;
+        return ErrnoStatus("cannot read from " + path + " (injected EINTR)",
+                           EINTR);
+      }
+      if (fault.kind == FaultKind::kShort) {
+        want = std::min(want, fault.max_bytes);
+      } else {
+        return ErrnoStatus("cannot read from " + path + " (injected)",
+                           fault.error_number);
+      }
+    }
+    const ssize_t got = ::read(fd.get(), dest, want);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("cannot read from " + path, errno);
+    }
+    if (got == 0) break;
+    if (dest == probe) content.append(probe, static_cast<size_t>(got));
+    offset += static_cast<size_t>(got);
   }
+  content.resize(offset);
   return content;
 }
 

@@ -187,11 +187,26 @@ uint64_t Fnv1a64(std::string_view bytes,
 /// buffers — this is what the snapshot body uses. Not cryptographic.
 uint64_t Checksum64(std::string_view bytes);
 
-/// \brief Writes bytes to `path` (overwrite, binary mode).
+/// \brief Writes bytes to `path` (overwrite, binary mode). POSIX
+/// open/write with EINTR and short-write retry; fault-injection sites
+/// `file.open.w` / `file.write` (io/fault_injection.h).
 Status WriteBinaryFile(const std::string& path, std::string_view content);
 
+/// \brief Crash-safe whole-file replacement: writes `path + ".tmp"`,
+/// fsyncs it, optionally preserves an existing `path` as `path + ".bak"`,
+/// then renames the temp file into place and fsyncs the directory. A crash
+/// or injected fault at any point leaves either the old file, the old file
+/// as `.bak`, or the new file visible at `path` — never a torn file. On
+/// failure the temp file is removed and an error returned (sites:
+/// `file.open.w`, `file.write`, `file.fsync`, `file.rename`).
+Status WriteBinaryFileAtomic(const std::string& path,
+                             std::string_view content,
+                             bool keep_backup = false);
+
 /// \brief Reads a whole file as bytes. A missing file yields `kNotFound`
-/// (callers use this to distinguish "build it" from "reject it").
+/// (callers use this to distinguish "build it" from "reject it"). POSIX
+/// open/read with EINTR and short-read retry; fault-injection sites
+/// `file.open.r` / `file.read`.
 Result<std::string> ReadBinaryFile(const std::string& path);
 
 }  // namespace smb::io

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "io/binary_io.h"
 
 namespace smb::io {
 
@@ -135,19 +136,13 @@ Result<CsvDocument> ReadCsvFile(const std::string& path) {
 }
 
 Status WriteTextFile(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Shares the hardened POSIX path (and its fault-injection hooks) with
+  // the binary writer — text and binary files fail the same way.
+  return WriteBinaryFile(path, content);
 }
 
 Result<std::string> ReadTextFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  return ReadBinaryFile(path);
 }
 
 Result<double> ParseDouble(std::string_view field) {

@@ -1,0 +1,236 @@
+#include "io/fault_injection.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "common/strings.h"
+
+/// \file fault_injection.cc
+/// \brief Spec parsing and the mutex-serialized injection registry.
+
+namespace smb::io {
+
+namespace detail {
+std::atomic<bool> g_fault_injection_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One parsed rule: probabilistic (`rate` in (0,1], `scheduled_hit` 0) or a
+/// one-shot schedule (`scheduled_hit` >= 1, fires on exactly that hit).
+struct Rule {
+  double rate = 0.0;
+  uint64_t scheduled_hit = 0;
+  Fault fault;
+};
+
+/// Per-site state: rules in spec order plus hit/injection counters.
+struct Site {
+  std::vector<Rule> rules;
+  uint64_t hits = 0;
+  uint64_t injected = 0;
+};
+
+Result<Fault> ParseMode(std::string_view mode) {
+  Fault fault;
+  if (mode.empty() || mode == "error") {
+    fault.kind = FaultKind::kError;
+    fault.error_number = EIO;
+  } else if (mode == "enospc") {
+    fault.kind = FaultKind::kError;
+    fault.error_number = ENOSPC;
+  } else if (mode == "reset") {
+    fault.kind = FaultKind::kError;
+    fault.error_number = ECONNRESET;
+  } else if (mode == "eintr") {
+    fault.kind = FaultKind::kEintr;
+    fault.error_number = EINTR;
+  } else if (mode == "short") {
+    fault.kind = FaultKind::kShort;
+    fault.max_bytes = 1;
+  } else if (mode == "kill") {
+    fault.kind = FaultKind::kKill;
+  } else {
+    return Status::InvalidArgument(
+        "unknown fault mode '" + std::string(mode) +
+        "' (expected: error, enospc, eintr, reset, short, kill)");
+  }
+  return fault;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Site, std::less<>> sites;
+  std::mt19937_64 rng{1};
+  uint64_t total_injected = 0;
+};
+
+FaultInjector& FaultInjector::Instance() {
+  // Leaked on purpose: I/O can happen during static destruction and the
+  // registry must outlive every hook.
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+FaultInjector::Impl* FaultInjector::impl() {
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+Status FaultInjector::Configure(std::string_view spec) {
+  // Parse into a fresh table first, so a malformed spec cannot leave a
+  // half-installed configuration behind.
+  std::map<std::string, Site, std::less<>> sites;
+  uint64_t seed = 1;
+  bool any_rule = false;
+  for (const std::string& piece : Split(std::string(spec), ';')) {
+    for (const std::string& raw : Split(piece, ',')) {
+      const std::string entry(Trim(raw));
+      if (entry.empty()) continue;
+      // seed=N
+      if (entry.rfind("seed=", 0) == 0) {
+        const std::string value = entry.substr(5);
+        char* end = nullptr;
+        seed = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          return Status::InvalidArgument("bad fault seed '" + value + "'");
+        }
+        continue;
+      }
+      // <site>@<k>[:mode] or <site>=<rate>[:mode]
+      const size_t at = entry.find('@');
+      const size_t eq = entry.find('=');
+      const bool scheduled = at != std::string::npos &&
+                             (eq == std::string::npos || at < eq);
+      const size_t sep = scheduled ? at : eq;
+      if (sep == std::string::npos || sep == 0) {
+        return Status::InvalidArgument(
+            "bad fault rule '" + entry +
+            "' (expected <site>=<rate>[:mode] or <site>@<k>[:mode])");
+      }
+      const std::string site = entry.substr(0, sep);
+      std::string value = entry.substr(sep + 1);
+      std::string mode;
+      if (const size_t colon = value.find(':'); colon != std::string::npos) {
+        mode = value.substr(colon + 1);
+        value = value.substr(0, colon);
+      }
+      Result<Fault> fault = ParseMode(mode);
+      if (!fault.ok()) return fault.status();
+      Rule rule;
+      rule.fault = *fault;
+      char* end = nullptr;
+      if (scheduled) {
+        rule.scheduled_hit = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' ||
+            rule.scheduled_hit == 0) {
+          return Status::InvalidArgument(
+              "bad fault schedule '" + entry + "' (hit index must be >= 1)");
+        }
+      } else {
+        rule.rate = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || rule.rate < 0.0 ||
+            rule.rate > 1.0) {
+          return Status::InvalidArgument(
+              "bad fault rate '" + entry + "' (expected a number in [0,1])");
+        }
+      }
+      sites[site].rules.push_back(rule);
+      any_rule = true;
+    }
+  }
+
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  state->sites = std::move(sites);
+  state->rng.seed(seed);
+  state->total_injected = 0;
+  detail::g_fault_injection_enabled.store(any_rule,
+                                          std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("SMB_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return Configure(spec).WithContext("while parsing SMB_FAULTS");
+}
+
+void FaultInjector::Disable() {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  state->sites.clear();
+  state->total_injected = 0;
+  detail::g_fault_injection_enabled.store(false, std::memory_order_relaxed);
+}
+
+Fault FaultInjector::Check(std::string_view site) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->sites.find(site);
+  if (it == state->sites.end()) {
+    // Track hits even at unconfigured sites so tests can assert a hook is
+    // actually reached under a different site's configuration.
+    auto inserted = state->sites.emplace(std::string(site), Site{});
+    it = inserted.first;
+  }
+  Site& entry = it->second;
+  ++entry.hits;
+  for (const Rule& rule : entry.rules) {
+    const bool fires =
+        rule.scheduled_hit > 0
+            ? entry.hits == rule.scheduled_hit
+            : rule.rate > 0.0 &&
+                  std::uniform_real_distribution<double>(0.0, 1.0)(
+                      state->rng) < rule.rate;
+    if (fires) {
+      ++entry.injected;
+      ++state->total_injected;
+      if (rule.fault.kind == FaultKind::kKill) {
+        // A simulated crash: die exactly here, before the site's I/O call
+        // proceeds. SIGKILL cannot be caught, so no cleanup runs — the
+        // on-disk state is whatever the protocol left visible so far.
+        ::raise(SIGKILL);
+      }
+      return rule.fault;
+    }
+  }
+  return Fault{};
+}
+
+uint64_t FaultInjector::total_injected() const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->total_injected;
+}
+
+uint64_t FaultInjector::injected_at(std::string_view site) const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->sites.find(site);
+  return it == state->sites.end() ? 0 : it->second.injected;
+}
+
+uint64_t FaultInjector::hits_at(std::string_view site) const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->sites.find(site);
+  return it == state->sites.end() ? 0 : it->second.hits;
+}
+
+const std::vector<std::string>& FaultInjector::KnownSites() {
+  static const std::vector<std::string> kSites = {
+      "file.open.r",  "file.open.w",  "file.read",     "file.write",
+      "file.fsync",   "file.rename",  "socket.recv",   "socket.send",
+      "socket.accept", "socket.connect"};
+  return kSites;
+}
+
+}  // namespace smb::io

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file fault_injection.h
+/// \brief Deterministic process-wide I/O fault injection.
+///
+/// Every hardened I/O boundary (file ops in io/binary_io.cc, socket ops in
+/// serve/socket_io.cc) consults this registry before touching the kernel,
+/// so tests and the CI fault sweep can force short reads/writes, `EINTR`,
+/// `ENOSPC`, open/rename/fsync failures and mid-connection resets at any
+/// site — without root, LD_PRELOAD or a flaky filesystem.
+///
+/// **Zero cost when disabled.** Call sites guard with the inline
+/// `FaultsEnabled()` check of one relaxed atomic bool; with no
+/// configuration installed the only overhead per I/O call is that load.
+///
+/// **Deterministic.** All probabilistic decisions come from one seeded RNG
+/// behind the registry mutex; the same spec, seed and (single-threaded)
+/// call sequence produce the same fault sequence. Explicit `@N` schedules
+/// are exactly reproducible regardless of threading.
+///
+/// **Configuration.** Programmatic via `FaultInjector::Configure`, or from
+/// the `SMB_FAULTS` environment variable (the CLI installs it at startup;
+/// test binaries opt in explicitly). Spec grammar — rules separated by
+/// `,` or `;`:
+///
+/// \code
+///   seed=N                 RNG seed (default 1)
+///   <site>=<rate>[:mode]   each hit at <site> faults with probability
+///                          <rate> in [0,1]
+///   <site>@<k>[:mode]      the k-th hit (1-based) at <site> faults, once
+/// \endcode
+///
+/// Modes: `error` (EIO, the default), `enospc`, `eintr`, `reset`
+/// (ECONNRESET), `short` (truncate the I/O to 1 byte), `kill` (SIGKILL
+/// the process at the site — the crash-during-save tests place a real,
+/// un-catchable death between any two I/O steps with it). Example:
+///
+/// \code
+///   SMB_FAULTS='seed=7;socket.recv=0.02:reset;file.rename@1'
+/// \endcode
+///
+/// Sites currently hooked: `file.open.r`, `file.open.w`, `file.read`,
+/// `file.write`, `file.fsync`, `file.rename`, `socket.recv`,
+/// `socket.send`, `socket.accept`, `socket.connect`. Unknown site names
+/// are accepted (rules simply never fire) so specs survive hook renames;
+/// `FaultInjector::KnownSites()` lists the hooked ones for diagnostics.
+namespace smb::io {
+
+/// \brief What kind of fault a site should simulate.
+enum class FaultKind {
+  kNone = 0,
+  /// Fail the call with `error_number` as errno.
+  kError,
+  /// Fail one iteration with EINTR (a retry loop must recover).
+  kEintr,
+  /// Perform the I/O, but truncated to `max_bytes` bytes.
+  kShort,
+  /// Never returned to a call site: `Check` raises SIGKILL instead.
+  kKill,
+};
+
+/// \brief One injection decision handed to a call site.
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  /// errno to simulate (kError only).
+  int error_number = 0;
+  /// Byte clamp for short reads/writes (kShort only).
+  size_t max_bytes = 1;
+
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+namespace detail {
+/// The global enable flag `FaultsEnabled()` reads. Never written directly —
+/// `FaultInjector::Configure`/`Disable` own it.
+extern std::atomic<bool> g_fault_injection_enabled;
+}  // namespace detail
+
+/// \brief True when any fault configuration is installed. Inline relaxed
+/// atomic load — the entire disabled-path cost.
+inline bool FaultsEnabled() {
+  return detail::g_fault_injection_enabled.load(std::memory_order_relaxed);
+}
+
+/// \brief The process-wide injection registry.
+class FaultInjector {
+ public:
+  /// The singleton every hook consults.
+  static FaultInjector& Instance();
+
+  /// \brief Parses `spec` (grammar above) and installs it, replacing any
+  /// previous configuration and resetting all counters. An empty spec
+  /// disables injection. A malformed spec leaves injection disabled and
+  /// returns `kInvalidArgument`.
+  Status Configure(std::string_view spec);
+
+  /// \brief Installs the `SMB_FAULTS` environment variable's spec when set
+  /// (empty or unset leaves injection untouched). Returns the Configure
+  /// status.
+  Status ConfigureFromEnv();
+
+  /// Removes all rules and disables injection (counters reset).
+  void Disable();
+
+  /// \brief The injection decision for one hit at `site`. Call only behind
+  /// a `FaultsEnabled()` guard. Thread-safe; increments the site's hit
+  /// counter even when no fault fires.
+  Fault Check(std::string_view site);
+
+  /// Total faults injected since the last Configure/Disable.
+  uint64_t total_injected() const;
+
+  /// Faults injected at `site` since the last Configure/Disable.
+  uint64_t injected_at(std::string_view site) const;
+
+  /// Hits observed at `site` since the last Configure/Disable.
+  uint64_t hits_at(std::string_view site) const;
+
+  /// The site names the I/O layers currently hook, for diagnostics.
+  static const std::vector<std::string>& KnownSites();
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  /// Lazily constructed, never destroyed (no exit-order races).
+  static Impl* impl();
+};
+
+/// \brief Convenience hook: no fault when injection is disabled, otherwise
+/// the registry's decision for `site`.
+inline Fault CheckFault(std::string_view site) {
+  if (!FaultsEnabled()) return Fault{};
+  return FaultInjector::Instance().Check(site);
+}
+
+}  // namespace smb::io

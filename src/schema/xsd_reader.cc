@@ -1,6 +1,9 @@
 #include "schema/xsd_reader.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <map>
+#include <vector>
 
 #include "common/strings.h"
 #include "xml/xml_parser.h"
@@ -206,6 +209,34 @@ Result<Schema> ReadXsdFile(const std::string& path,
   SMB_RETURN_IF_ERROR(converter.Convert(doc.root, &schema));
   SMB_RETURN_IF_ERROR(schema.Validate());
   return schema;
+}
+
+Result<SchemaRepository> LoadRepositoryDir(const std::string& dir,
+                                           const XsdReadOptions& options) {
+  namespace fs = std::filesystem;
+  SchemaRepository repo;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".xsd") files.push_back(entry.path());
+  }
+  if (ec) {
+    return Status::IOError("cannot list directory " + dir + ": " +
+                           ec.message());
+  }
+  // Sorted load order + bare-filename schema names make the repository
+  // fingerprint a pure function of the directory contents.
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    SMB_ASSIGN_OR_RETURN(Schema schema,
+                         ReadXsdFile(file.string(), options));
+    schema.set_name(file.filename().string());
+    SMB_RETURN_IF_ERROR(repo.Add(std::move(schema)).status());
+  }
+  if (repo.schema_count() == 0) {
+    return Status::NotFound("no .xsd files in " + dir);
+  }
+  return repo;
 }
 
 }  // namespace smb::schema

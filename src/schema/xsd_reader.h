@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "schema/repository.h"
 #include "schema/schema.h"
 
 /// \file xsd_reader.h
@@ -42,5 +43,14 @@ Result<Schema> ReadXsd(std::string_view xsd_text, std::string document_name,
 /// Reads an `.xsd` file; the document name defaults to the file path.
 Result<Schema> ReadXsdFile(const std::string& path,
                            const XsdReadOptions& options = {});
+
+/// \brief Loads every `.xsd` file in `dir` (sorted by path, schema names
+/// set to the bare file names) into a repository. `kNotFound` when the
+/// directory holds no `.xsd` files. This is the canonical on-disk →
+/// repository path shared by the CLI and the serving reload logic, so
+/// both always agree on ordering and naming (and therefore on the
+/// repository fingerprint).
+Result<SchemaRepository> LoadRepositoryDir(
+    const std::string& dir, const XsdReadOptions& options = {});
 
 }  // namespace smb::schema

@@ -5,26 +5,30 @@
 
 #include "common/timing.h"
 #include "io/answer_set_io.h"
-#include "io/fingerprint.h"
 #include "io/csv.h"
+#include "io/fingerprint.h"
 #include "schema/text_format.h"
 
 /// \file match_service.cc
 /// \brief Request execution: effective-target derivation, cache consult,
-/// engine run, answer write-out.
+/// engine run, answer write-out, generation reload.
 
 namespace smb::serve {
 
 namespace {
 
-/// Fingerprints every result-shaping knob of `options` — the same scheme
-/// for every mode, so a shed request (adaptive target lowered) hashes
-/// exactly like a direct run configured at that target. Thread counts and
+/// Fingerprints every result-shaping knob of `options` plus the serving
+/// generation's repository — the same scheme for every mode, so a shed
+/// request (adaptive target lowered) hashes exactly like a direct run
+/// configured at that target, and a cache entry computed against one
+/// repository generation can never answer for another. Thread counts and
 /// shard sizes deliberately stay out: they never change answers.
 uint64_t FingerprintServiceOptions(const match::MatchOptions& match_options,
-                                   const engine::BatchMatchOptions& eopts) {
+                                   const engine::BatchMatchOptions& eopts,
+                                   uint64_t repo_fingerprint) {
   io::Fingerprinter fp;
   fp.U64(io::FingerprintMatchOptions(match_options))
+      .U64(repo_fingerprint)
       .U64(eopts.candidate_limit)
       .U64(eopts.global_top_k)
       .Bool(eopts.adaptive.has_value());
@@ -42,6 +46,9 @@ uint64_t FingerprintServiceOptions(const match::MatchOptions& match_options,
 Result<MatchResponse> MatchService::Execute(const Request& request,
                                             double pressure) {
   const SteadyClock::time_point start = SteadyClock::now();
+  // Pin this request's generation once: a concurrent reload swaps the
+  // service's pointer but cannot touch the generation we hold.
+  const std::shared_ptr<const ServingIndex> index = this->index();
   SMB_ASSIGN_OR_RETURN(std::string query_text,
                        io::ReadTextFile(request.query_path));
   SMB_ASSIGN_OR_RETURN(schema::Schema query,
@@ -52,6 +59,8 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
   // degraded target is folded into the options fingerprint below, so the
   // cache can never replay a weaker certificate for a stronger ask.
   engine::BatchMatchOptions eopts = config_.engine_options;
+  eopts.prepared_repository =
+      index->prepared.has_value() ? &*index->prepared : nullptr;
   bool shed = false;
   if (eopts.adaptive.has_value()) {
     const double effective = EffectiveTarget(config_.shed, pressure);
@@ -62,8 +71,8 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
   engine::QueryCacheKey key;
   key.query_fingerprint = io::FingerprintPreparedSchema(
       query, config_.match_options.objective.name);
-  key.options_fingerprint =
-      FingerprintServiceOptions(config_.match_options, eopts);
+  key.options_fingerprint = FingerprintServiceOptions(
+      config_.match_options, eopts, index->repo_fingerprint);
 
   std::shared_ptr<const engine::CachedAnswers> cached =
       config_.cache->Lookup(key);
@@ -73,7 +82,7 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
     engine::BatchMatchEngine batch(eopts);
     SMB_ASSIGN_OR_RETURN(
         match::AnswerSet answers,
-        batch.Run(*config_.matcher, query, *config_.repo,
+        batch.Run(*index->matcher, query, index->repo,
                   config_.match_options, &stats));
     auto computed = std::make_shared<engine::CachedAnswers>();
     computed->answers = std::move(answers);
@@ -112,6 +121,38 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
     }
   }
   return response;
+}
+
+Result<std::shared_ptr<const ServingIndex>> MatchService::Reload(
+    const std::string& snapshot_path, const std::string& repo_dir) {
+  // One reload at a time; Execute is never blocked (it only takes
+  // index_mutex_ for the pointer read, and the expensive open happens
+  // before the swap).
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  const std::string dir =
+      repo_dir.empty() ? config_.default_repo_dir : repo_dir;
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "reload needs a repository directory (server started without one)");
+  }
+  if (snapshot_path.empty()) {
+    return Status::InvalidArgument("reload needs a snapshot file");
+  }
+  ServingIndexOptions options = config_.index_options;
+  // A reload must swap in exactly the named snapshot: a missing or
+  // corrupt file is an error (the old generation keeps serving), never a
+  // silent rebuild.
+  options.build_if_missing = false;
+  options.save_after_build = false;
+  const uint64_t next_generation = index()->generation + 1;
+  SMB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ServingIndex> next,
+      OpenServingIndex(dir, snapshot_path, options, next_generation));
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    index_ = next;
+  }
+  return next;
 }
 
 }  // namespace smb::serve

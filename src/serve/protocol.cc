@@ -62,9 +62,20 @@ Result<Request> ParseRequestLine(const std::string& line) {
     request.kind = RequestKind::kQuit;
     return request;
   }
+  if (tokens[0] == "reload") {
+    request.kind = RequestKind::kReload;
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      return Status::InvalidArgument(
+          "reload needs a snapshot file: reload <snapshot-file> "
+          "[<repo-dir>]");
+    }
+    request.snapshot_path = tokens[1];
+    if (tokens.size() == 3) request.repo_dir = tokens[2];
+    return request;
+  }
   if (tokens[0] != "match") {
     return Status::InvalidArgument("unknown request '" + tokens[0] +
-                                   "' (expected: match|stats|quit)");
+                                   "' (expected: match|stats|reload|quit)");
   }
   request.kind = RequestKind::kMatch;
   // Positional operands first (query path, optional out path), then

@@ -17,8 +17,16 @@
 /// \code
 ///   match <query-file> [<answers-out.csv>] [class=<name>] [deadline_ms=<ms>]
 ///   stats
+///   reload <snapshot-file> [<repo-dir>]
 ///   quit
 /// \endcode
+///
+/// `reload` is the admin verb: the server re-reads the repository
+/// directory (its startup `--repo` when the operand is omitted), loads the
+/// snapshot against it, and atomically swaps the serving index to a new
+/// generation. In-flight requests finish on the old generation; a
+/// snapshot that is missing, corrupt or fingerprint-mismatched is
+/// rejected with `err` and the old index keeps serving.
 ///
 /// Response grammar (one line per request, `key=value` fields after the
 /// echoed query path; field order is fixed, parsers must tolerate unknown
@@ -29,6 +37,7 @@
 ///      [index_ms=<ms> match_ms=<ms> budget=<n> rounds=<n>]
 ///   err <query-file> <message>
 ///   stats <key>=<value> ...
+///   reloaded generation=<n> <key>=<value> ...
 ///   bye served=<n> failed=<n>
 /// \endcode
 ///
@@ -40,7 +49,7 @@
 namespace smb::serve {
 
 /// \brief Kinds of request line.
-enum class RequestKind { kMatch, kStats, kQuit };
+enum class RequestKind { kMatch, kStats, kReload, kQuit };
 
 /// \brief One parsed request line.
 struct Request {
@@ -53,12 +62,17 @@ struct Request {
   std::string request_class = "default";
   /// Per-request deadline in milliseconds; 0 = use the server default.
   double deadline_ms = 0.0;
+  /// `reload` only: server-side snapshot file to swap in.
+  std::string snapshot_path;
+  /// `reload` only: repository directory override (empty = the server's
+  /// startup repository directory).
+  std::string repo_dir;
 };
 
 /// \brief True for lines the protocol ignores (blank, `#` comments).
 bool IsIgnorableLine(const std::string& line);
 
-/// \brief Parses one request line (`match`/`stats`/`quit`).
+/// \brief Parses one request line (`match`/`stats`/`reload`/`quit`).
 Result<Request> ParseRequestLine(const std::string& line);
 
 /// \brief One `ok` response, structured.

@@ -73,7 +73,16 @@ void MatchServer::Wait() {
 void MatchServer::AcceptLoop() {
   for (;;) {
     Result<Socket> accepted = listener_->Accept();
-    if (!accepted.ok()) return;  // Listener shut down: drain started.
+    if (!accepted.ok()) {
+      // Transient accept failures (fd exhaustion, aborted handshakes,
+      // injected faults) must not kill the server; only the listener
+      // being gone (drain) ends the loop.
+      if (accepted.status().code() == StatusCode::kIOError &&
+          !draining_.load()) {
+        continue;
+      }
+      return;  // Listener shut down: drain started.
+    }
     auto connection = std::make_unique<Connection>();
     connection->socket = *std::move(accepted);
     Connection* raw = connection.get();
@@ -90,13 +99,29 @@ void MatchServer::AcceptLoop() {
 }
 
 void MatchServer::ConnectionLoop(Connection* connection) {
-  LineReader reader(&connection->socket);
+  LineReader reader(&connection->socket, config_.max_line_bytes);
   uint64_t served = 0;
   uint64_t failed = 0;
   std::string line;
   for (;;) {
     Result<bool> more = reader.ReadLine(&line);
-    if (!more.ok() || !*more) break;
+    if (!more.ok()) {
+      // An oversized line is a protocol error, not a connection error:
+      // answer `err` and keep reading (the reader already discarded
+      // through the newline).
+      if (more.status().code() == StatusCode::kResourceExhausted) {
+        stats_.OnRejected();
+        ++failed;
+        if (!WriteAll(connection->socket,
+                      FormatErrorResponse("-", more.status()) + "\n")
+                 .ok()) {
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    if (!*more) break;
     if (IsIgnorableLine(line)) continue;
     Result<Request> request = ParseRequestLine(line);
     if (!request.ok()) {
@@ -119,6 +144,31 @@ void MatchServer::ConnectionLoop(Connection* connection) {
       if (!WriteAll(connection->socket, FormatStatsLine() + "\n").ok()) {
         break;
       }
+      continue;
+    }
+    if (request->kind == RequestKind::kReload) {
+      // Admin path: runs on the connection thread (reloads serialize in
+      // the service), workers keep serving the old generation until the
+      // swap. Failure is an `err` line — the old index stays live.
+      Result<std::shared_ptr<const ServingIndex>> swapped =
+          service_->Reload(request->snapshot_path, request->repo_dir);
+      std::string reply;
+      if (swapped.ok()) {
+        const ServingIndex& index = **swapped;
+        std::ostringstream out;
+        out << "reloaded generation=" << index.generation
+            << " source=" << index.source
+            << " schemas=" << index.repo.schema_count()
+            << " load_ms=" << FormatDouble(index.load_seconds * 1e3, 2);
+        if (index.used_backup) out << " backup=yes";
+        reply = out.str();
+      } else {
+        ++failed;
+        stats_.OnRejected();
+        reply = FormatErrorResponse(request->snapshot_path,
+                                    swapped.status());
+      }
+      if (!WriteAll(connection->socket, reply + "\n").ok()) break;
       continue;
     }
     // match: admit into the bounded queue and wait for the worker.
@@ -192,8 +242,11 @@ void MatchServer::WorkerLoop() {
 std::string MatchServer::FormatStatsLine() const {
   const ServerStatsSnapshot snapshot = stats_.Snapshot();
   const engine::QueryCacheStats cache_stats = service_->cache()->stats();
+  const std::shared_ptr<const ServingIndex> index = service_->index();
   std::ostringstream out;
-  out << "stats served=" << snapshot.served << " failed=" << snapshot.failed
+  out << "stats generation=" << index->generation
+      << " index_source=" << index->source
+      << " served=" << snapshot.served << " failed=" << snapshot.failed
       << " shed=" << snapshot.shed << " in_flight=" << snapshot.in_flight
       << " queue_depth=" << queue_.size() << "/" << queue_.capacity()
       << " workers=" << config_.workers

@@ -57,6 +57,9 @@ struct MatchServerConfig {
   /// Default per-request deadline when a `match` line carries none;
   /// 0 = no deadline.
   double default_deadline_ms = 0.0;
+  /// Per-connection request-line length bound; an oversized line gets a
+  /// clean `err` and the connection stays usable.
+  size_t max_line_bytes = kDefaultMaxLineBytes;
 };
 
 /// \brief The multi-client serve frontend over one MatchService.

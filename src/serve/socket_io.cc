@@ -3,11 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "io/fault_injection.h"
 
 /// \file socket_io.cc
 /// \brief POSIX implementation of the serve socket wrappers.
@@ -16,8 +20,21 @@ namespace smb::serve {
 
 namespace {
 
+using io::CheckFault;
+using io::Fault;
+using io::FaultKind;
+
+/// Injected EINTRs honoured per call before the retry loop gives up —
+/// keeps a `rate=1.0:eintr` injection rule from livelocking a loop.
+constexpr int kMaxInjectedEintr = 64;
+
 Status ErrnoStatus(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status InjectedStatus(const std::string& what, int error_number) {
+  return Status::IOError(what + " (injected): " +
+                         std::strerror(error_number));
 }
 
 /// Resolves the supported host forms to an IPv4 address struct.
@@ -78,10 +95,23 @@ Result<ListenSocket> ListenSocket::Open(const std::string& host,
 }
 
 Result<Socket> ListenSocket::Accept() {
+  int injected_eintr = 0;
   for (;;) {
+    if (const Fault fault = CheckFault("socket.accept")) {
+      if (fault.kind == FaultKind::kEintr) {
+        if (++injected_eintr <= kMaxInjectedEintr) continue;
+        return InjectedStatus("accept", EINTR);
+      }
+      if (fault.kind != FaultKind::kShort) {
+        // An injected accept failure is transient (like ECONNABORTED or
+        // EMFILE in production) — surface it as IOError so the accept
+        // loop logs and keeps accepting instead of shutting down.
+        return InjectedStatus("accept", fault.error_number);
+      }
+    }
     const int fd = ::accept(socket_.fd(), nullptr, nullptr);
     if (fd >= 0) return Socket(fd);
-    if (errno == EINTR) continue;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
     // After Shutdown() accept fails (EINVAL on Linux); report every
     // post-shutdown failure uniformly as the listener being gone.
     return Status::FailedPrecondition("listener closed");
@@ -94,11 +124,39 @@ void ListenSocket::Shutdown() {
 
 Result<Socket> ConnectTo(const std::string& host, uint16_t port) {
   SMB_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveHost(host, port));
+  const std::string peer = host + ":" + std::to_string(port);
+  if (const Fault fault = CheckFault("socket.connect")) {
+    if (fault.kind == FaultKind::kError) {
+      return InjectedStatus("connect " + peer, fault.error_number);
+    }
+    // kEintr/kShort: fall through — the real connect below exercises the
+    // EINTR completion path naturally under signal load; a simulated one
+    // cannot (the kernel has no half-open attempt to finish).
+  }
   Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket.valid()) return ErrnoStatus("socket");
   if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    return ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    if (errno != EINTR) return ErrnoStatus("connect " + peer);
+    // EINTR does NOT abort a connect — the attempt continues in the
+    // kernel, and calling connect() again would race it. Wait for
+    // writability, then read the attempt's outcome from SO_ERROR.
+    pollfd pfd{socket.fd(), POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, -1);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return ErrnoStatus("poll during connect " + peer);
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) !=
+        0) {
+      return ErrnoStatus("getsockopt during connect " + peer);
+    }
+    if (so_error != 0) {
+      return Status::IOError("connect " + peer + ": " +
+                             std::strerror(so_error));
+    }
   }
   const int one = 1;
   ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -106,9 +164,22 @@ Result<Socket> ConnectTo(const std::string& host, uint16_t port) {
 }
 
 Status WriteAll(const Socket& socket, std::string_view data) {
+  int injected_eintr = 0;
   while (!data.empty()) {
+    size_t want = data.size();
+    if (const Fault fault = CheckFault("socket.send")) {
+      if (fault.kind == FaultKind::kEintr) {
+        if (++injected_eintr <= kMaxInjectedEintr) continue;
+        return InjectedStatus("send", EINTR);
+      }
+      if (fault.kind == FaultKind::kShort) {
+        want = std::min(want, fault.max_bytes);
+      } else {
+        return InjectedStatus("send", fault.error_number);
+      }
+    }
     const ssize_t n =
-        ::send(socket.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+        ::send(socket.fd(), data.data(), want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("send");
@@ -119,27 +190,67 @@ Status WriteAll(const Socket& socket, std::string_view data) {
 }
 
 Result<bool> LineReader::ReadLine(std::string* line) {
+  int injected_eintr = 0;
   for (;;) {
-    const size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      line->assign(buffer_, 0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!line->empty() && line->back() == '\r') line->pop_back();
-      return true;
+    if (!discarding_) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      if (buffer_.size() > max_line_bytes_) {
+        // Over budget with no terminator in sight — drop what we have and
+        // switch to discard mode so the buffer stays bounded no matter
+        // how much the peer sends.
+        buffer_.clear();
+        discarding_ = true;
+      }
     }
     char chunk[4096];
-    const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
+    size_t want = sizeof(chunk);
+    if (const Fault fault = CheckFault("socket.recv")) {
+      if (fault.kind == FaultKind::kEintr) {
+        if (++injected_eintr <= kMaxInjectedEintr) continue;
+        return InjectedStatus("recv", EINTR);
+      }
+      if (fault.kind == FaultKind::kShort) {
+        want = std::min(want, fault.max_bytes);
+      } else {
+        return InjectedStatus("recv", fault.error_number);
+      }
+    }
+    const ssize_t n = ::recv(socket_->fd(), chunk, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("recv");
     }
     if (n == 0) {
+      if (discarding_) {
+        discarding_ = false;
+        return Status::ResourceExhausted(
+            "line exceeds " + std::to_string(max_line_bytes_) +
+            " bytes (connection closed mid-line)");
+      }
       if (buffer_.empty()) return false;
       // Unterminated trailing line: hand it out, then EOF next call.
       line->swap(buffer_);
       buffer_.clear();
       if (!line->empty() && line->back() == '\r') line->pop_back();
       return true;
+    }
+    if (discarding_) {
+      // Scan the fresh chunk directly: the oversized line ends at its
+      // first newline. Everything after it is the start of the next line.
+      const char* end = chunk + n;
+      const char* nl = static_cast<const char*>(
+          std::memchr(chunk, '\n', static_cast<size_t>(n)));
+      if (nl == nullptr) continue;  // still inside the oversized line
+      buffer_.assign(nl + 1, static_cast<size_t>(end - (nl + 1)));
+      discarding_ = false;
+      return Status::ResourceExhausted(
+          "line exceeds " + std::to_string(max_line_bytes_) + " bytes");
     }
     buffer_.append(chunk, static_cast<size_t>(n));
   }

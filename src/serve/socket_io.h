@@ -76,28 +76,45 @@ class ListenSocket {
 };
 
 /// \brief Connects to `host:port` (blocking). `host` as in
-/// `ListenSocket::Open`.
+/// `ListenSocket::Open`. An `EINTR` during connect is completed via
+/// poll-for-writability + `SO_ERROR` (the kernel keeps connecting after
+/// the interrupted call; a second `connect` would race it).
 Result<Socket> ConnectTo(const std::string& host, uint16_t port);
 
-/// \brief Writes all of `data`, retrying short writes. SIGPIPE is
-/// suppressed (a vanished peer surfaces as a Status, not a signal).
+/// \brief Writes all of `data`, retrying short writes and `EINTR`. SIGPIPE
+/// is suppressed (a vanished peer surfaces as a Status, not a signal).
 Status WriteAll(const Socket& socket, std::string_view data);
 
+/// \brief Default `LineReader` line-length bound (1 MiB).
+inline constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
 /// \brief Buffered reader of '\\n'-terminated lines from one socket.
+///
+/// Line length is bounded: once more than `max_line_bytes` accumulate
+/// without a terminator, the oversized line is discarded through its
+/// newline and `ReadLine` returns `kResourceExhausted` — the connection
+/// stays usable and the next call reads the following line. A broken or
+/// malicious client therefore cannot grow server memory without bound.
 class LineReader {
  public:
   /// `socket` must outlive the reader.
-  explicit LineReader(const Socket* socket) : socket_(socket) {}
+  explicit LineReader(const Socket* socket,
+                      size_t max_line_bytes = kDefaultMaxLineBytes)
+      : socket_(socket), max_line_bytes_(max_line_bytes) {}
 
   /// \brief Reads the next line into `line` (terminator removed, trailing
   /// CR stripped). Returns false on clean end-of-stream, an error Status
-  /// on socket failure. A final unterminated line before EOF is returned
-  /// as a line.
+  /// on socket failure, `kResourceExhausted` for an over-long line (the
+  /// reader stays usable). A final unterminated line before EOF is
+  /// returned as a line.
   Result<bool> ReadLine(std::string* line);
 
  private:
   const Socket* socket_;
+  size_t max_line_bytes_;
   std::string buffer_;
+  /// True while skipping the remainder of an oversized line.
+  bool discarding_ = false;
 };
 
 }  // namespace smb::serve

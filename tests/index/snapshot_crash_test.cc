@@ -1,0 +1,227 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "index/snapshot.h"
+#include "io/binary_io.h"
+#include "io/fault_injection.h"
+#include "../testing/fixtures.h"
+
+/// \file snapshot_crash_test.cc
+/// \brief Crash-safety of SaveSnapshot/LoadSnapshot: a save killed (or
+/// failing) at ANY point must leave a loadable index visible — either the
+/// complete new snapshot or the previous one (possibly via `.bak`) —
+/// never a torn file that loads wrong.
+
+namespace smb::index {
+namespace {
+
+namespace fs = std::filesystem;
+using smb::testing::MakeRepo;
+
+struct CrashFixture : ::testing::Test {
+  void SetUp() override {
+    io::FaultInjector::Instance().Disable();
+    repo = MakeRepo();
+    prepared = *PreparedRepository::Build(repo, name_options);
+    dir = fs::path(::testing::TempDir()) /
+          ("snapshot_crash_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir);
+    path = (dir / "index.snap").string();
+  }
+
+  void TearDown() override {
+    io::FaultInjector::Instance().Disable();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  /// The visible state must be usable: either `path` or its `.bak` loads
+  /// and round-trips to the canonical encoding.
+  void ExpectLoadableSnapshot(bool expect_backup_allowed = true) {
+    SnapshotLoadReport report;
+    auto loaded = LoadSnapshot(path, repo, name_options, /*num_threads=*/1,
+                               &report);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(EncodeSnapshot(*loaded), EncodeSnapshot(*prepared));
+    if (!expect_backup_allowed) {
+      EXPECT_FALSE(report.used_backup);
+    }
+  }
+
+  schema::SchemaRepository repo;
+  sim::NameSimilarityOptions name_options;
+  Result<PreparedRepository> prepared = Status::Internal("unset");
+  fs::path dir;
+  std::string path;
+};
+
+TEST_F(CrashFixture, SaveIsAtomicAndKeepsABackup) {
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+  ExpectLoadableSnapshot(/*expect_backup_allowed=*/false);
+  EXPECT_FALSE(fs::exists(path + ".bak")) << "no previous snapshot existed";
+
+  // A second save preserves the previous file as `.bak`.
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+  EXPECT_TRUE(fs::exists(path + ".bak"));
+  ExpectLoadableSnapshot(/*expect_backup_allowed=*/false);
+}
+
+TEST_F(CrashFixture, KillDuringSaveNeverLeavesABadVisibleSnapshot) {
+  // Seed a valid previous snapshot so every crash point has something to
+  // preserve.
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+
+  // Re-run the save in a forked child that SIGKILLs itself (the injector's
+  // `kill` mode) at the k-th hit of each write-path site — that places a
+  // real, un-catchable death before every I/O step of the atomic save
+  // protocol (open, each write chunk, fsync, both renames, the directory
+  // sync). After every crash the visible state must still load and match
+  // the canonical snapshot bytes.
+  size_t crash_points = 0;
+  for (const char* site :
+       {"file.open.w", "file.write", "file.fsync", "file.rename"}) {
+    for (int k = 1; k <= 8; ++k) {
+      const pid_t child = ::fork();
+      ASSERT_GE(child, 0);
+      if (child == 0) {
+        const std::string spec =
+            std::string(site) + "@" + std::to_string(k) + ":kill";
+        if (!io::FaultInjector::Instance().Configure(spec).ok()) {
+          ::_exit(3);
+        }
+        Status saved = SaveSnapshot(*prepared, path);
+        // Reaching here means hit k never happened (the protocol has
+        // fewer than k hits at this site): report "no more crash points".
+        ::_exit(saved.ok() ? 2 : 4);
+      }
+      int wait_status = 0;
+      ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+      if (WIFSIGNALED(wait_status)) {
+        ASSERT_EQ(WTERMSIG(wait_status), SIGKILL);
+        ++crash_points;
+        ExpectLoadableSnapshot();
+        // Repair the visible state for the next crash point so each
+        // iteration starts from a valid primary.
+        io::FaultInjector::Instance().Disable();
+        ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+      } else {
+        ASSERT_TRUE(WIFEXITED(wait_status));
+        ASSERT_EQ(WEXITSTATUS(wait_status), 2)
+            << site << "@" << k << " child failed";
+        break;  // fewer than k hits at this site: next site.
+      }
+    }
+  }
+  // Sanity: the sweep actually exercised the protocol's crash windows.
+  EXPECT_GE(crash_points, 5u);
+}
+
+TEST_F(CrashFixture, FailureAtEveryIoStepLeavesALoadableSnapshot) {
+  // The deterministic version of the kill test: fail (not kill) the k-th
+  // hit of each write-path site in turn; the save must return an error
+  // and the visible state must still load.
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+  for (const char* site :
+       {"file.open.w", "file.write", "file.fsync", "file.rename"}) {
+    for (int k = 1; k <= 4; ++k) {
+      auto& injector = io::FaultInjector::Instance();
+      ASSERT_TRUE(injector
+                      .Configure(std::string(site) + "@" +
+                                 std::to_string(k))
+                      .ok());
+      Status saved = SaveSnapshot(*prepared, path);
+      const bool fired = injector.total_injected() > 0;
+      injector.Disable();
+      if (fired) {
+        EXPECT_FALSE(saved.ok())
+            << site << "@" << k << " fired but the save claimed success";
+      } else {
+        EXPECT_TRUE(saved.ok()) << saved;
+      }
+      ExpectLoadableSnapshot();
+    }
+  }
+}
+
+TEST_F(CrashFixture, EnospcFailsTheSaveAndPreservesTheOldSnapshot) {
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+  ASSERT_TRUE(
+      io::FaultInjector::Instance().Configure("file.write=1.0:enospc").ok());
+  Status saved = SaveSnapshot(*prepared, path);
+  io::FaultInjector::Instance().Disable();
+  ASSERT_FALSE(saved.ok());
+  EXPECT_NE(saved.ToString().find("No space"), std::string::npos) << saved;
+  ExpectLoadableSnapshot();
+  // The failed attempt's temp file was cleaned up.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_LE(entries, 2u) << "temp files leaked into " << dir;
+}
+
+TEST_F(CrashFixture, BackupFallbackLoadsWhenPrimaryIsCorrupt) {
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());  // creates .bak
+  // Corrupt the primary in place (flip a body byte past the header).
+  auto bytes = io::ReadBinaryFile(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_GT(bytes->size(), 64u);
+  (*bytes)[bytes->size() - 1] ^= 0x5A;
+  ASSERT_TRUE(io::WriteBinaryFile(path, *bytes).ok());
+
+  SnapshotLoadReport report;
+  auto loaded =
+      LoadSnapshot(path, repo, name_options, /*num_threads=*/1, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(report.used_backup);
+  EXPECT_NE(report.warning.find(".bak"), std::string::npos)
+      << report.warning;
+  EXPECT_EQ(EncodeSnapshot(*loaded), EncodeSnapshot(*prepared));
+}
+
+TEST_F(CrashFixture, MissingPrimaryWithValidBackupLoads) {
+  // The SaveSnapshot crash window: primary renamed away, new file not yet
+  // renamed in.
+  ASSERT_TRUE(SaveSnapshot(*prepared, path).ok());
+  fs::rename(path, path + ".bak");
+  SnapshotLoadReport report;
+  auto loaded =
+      LoadSnapshot(path, repo, name_options, /*num_threads=*/1, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(report.used_backup);
+}
+
+TEST_F(CrashFixture, MissingEverythingIsNotFound) {
+  SnapshotLoadReport report;
+  auto loaded =
+      LoadSnapshot(path, repo, name_options, /*num_threads=*/1, &report);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound)
+      << loaded.status();
+  EXPECT_FALSE(report.used_backup);
+}
+
+TEST_F(CrashFixture, CorruptPrimaryWithoutBackupIsAHardRejection) {
+  ASSERT_TRUE(io::WriteBinaryFile(path, "not a snapshot at all").ok());
+  auto loaded = LoadSnapshot(path, repo, name_options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().code(), StatusCode::kNotFound)
+      << "corruption must not masquerade as 'safe to rebuild': "
+      << loaded.status();
+}
+
+}  // namespace
+}  // namespace smb::index

@@ -79,10 +79,12 @@ TEST(CsvTest, FileRoundTrip) {
   EXPECT_EQ(read->rows, doc.rows);
 }
 
-TEST(CsvTest, MissingFileIsIOError) {
+TEST(CsvTest, MissingFileIsNotFound) {
+  // kNotFound (not a generic I/O error) so callers can distinguish "build
+  // it instead" from a real read failure.
   auto read = ReadCsvFile("/no/such/file.csv");
   ASSERT_FALSE(read.ok());
-  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
 }
 
 TEST(CsvTest, ParseDouble) {

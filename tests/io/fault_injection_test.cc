@@ -1,0 +1,231 @@
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/binary_io.h"
+
+/// \file fault_injection_test.cc
+/// \brief Unit tests of the deterministic fault-injection registry: spec
+/// parsing, schedule semantics, determinism, counters, and the reach of
+/// the file-I/O hooks in binary_io.
+
+namespace smb::io {
+namespace {
+
+/// Disables injection on scope exit so a failing test cannot poison the
+/// rest of the binary.
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string& spec) {
+    status = FaultInjector::Instance().Configure(spec);
+  }
+  ~ScopedFaults() { FaultInjector::Instance().Disable(); }
+  Status status;
+};
+
+TEST(FaultInjectionTest, DisabledByDefaultAndZeroCostPathReportsDisabled) {
+  FaultInjector::Instance().Disable();
+  EXPECT_FALSE(FaultsEnabled());
+  // The convenience hook returns no fault without touching the registry.
+  EXPECT_FALSE(CheckFault("file.read"));
+}
+
+TEST(FaultInjectionTest, EmptySpecDisables) {
+  ScopedFaults faults("");
+  EXPECT_TRUE(faults.status.ok()) << faults.status;
+  EXPECT_FALSE(FaultsEnabled());
+}
+
+TEST(FaultInjectionTest, MalformedSpecsAreRejectedAndLeaveInjectionOff) {
+  for (const char* bad :
+       {"file.read", "file.read=", "file.read=2.0", "file.read=-0.1",
+        "file.read=0.5:nonsense", "file.read@0", "file.read@x",
+        "seed=", "seed=abc", "=0.5"}) {
+    ScopedFaults faults(bad);
+    EXPECT_FALSE(faults.status.ok()) << "spec '" << bad << "' was accepted";
+    EXPECT_FALSE(FaultsEnabled()) << "spec '" << bad << "' armed injection";
+  }
+}
+
+TEST(FaultInjectionTest, OneShotScheduleFiresExactlyOnTheKthHit) {
+  ScopedFaults faults("file.fsync@3");
+  ASSERT_TRUE(faults.status.ok()) << faults.status;
+  ASSERT_TRUE(FaultsEnabled());
+  auto& injector = FaultInjector::Instance();
+  EXPECT_FALSE(injector.Check("file.fsync"));
+  EXPECT_FALSE(injector.Check("file.fsync"));
+  Fault third = injector.Check("file.fsync");
+  ASSERT_TRUE(third);
+  EXPECT_EQ(third.kind, FaultKind::kError);
+  EXPECT_EQ(third.error_number, EIO);
+  // One-shot: the schedule never fires again.
+  EXPECT_FALSE(injector.Check("file.fsync"));
+  EXPECT_EQ(injector.hits_at("file.fsync"), 4u);
+  EXPECT_EQ(injector.injected_at("file.fsync"), 1u);
+  EXPECT_EQ(injector.total_injected(), 1u);
+}
+
+TEST(FaultInjectionTest, ModesMapToTheRightFaults) {
+  ScopedFaults faults(
+      "a@1:error;b@1:enospc;c@1:eintr;d@1:reset;e@1:short");
+  ASSERT_TRUE(faults.status.ok()) << faults.status;
+  auto& injector = FaultInjector::Instance();
+  Fault a = injector.Check("a");
+  EXPECT_EQ(a.kind, FaultKind::kError);
+  EXPECT_EQ(a.error_number, EIO);
+  Fault b = injector.Check("b");
+  EXPECT_EQ(b.kind, FaultKind::kError);
+  EXPECT_EQ(b.error_number, ENOSPC);
+  Fault c = injector.Check("c");
+  EXPECT_EQ(c.kind, FaultKind::kEintr);
+  Fault d = injector.Check("d");
+  EXPECT_EQ(d.kind, FaultKind::kError);
+  EXPECT_EQ(d.error_number, ECONNRESET);
+  Fault e = injector.Check("e");
+  EXPECT_EQ(e.kind, FaultKind::kShort);
+  EXPECT_EQ(e.max_bytes, 1u);
+}
+
+TEST(FaultInjectionTest, ProbabilisticRulesAreDeterministicPerSeed) {
+  auto sequence = [](const std::string& spec) {
+    ScopedFaults faults(spec);
+    EXPECT_TRUE(faults.status.ok()) << faults.status;
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits += FaultInjector::Instance().Check("socket.recv") ? '1' : '0';
+    }
+    return bits;
+  };
+  const std::string a = sequence("seed=7,socket.recv=0.5:reset");
+  const std::string b = sequence("seed=7,socket.recv=0.5:reset");
+  const std::string c = sequence("seed=8,socket.recv=0.5:reset");
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fault sequence";
+  EXPECT_NE(a, c) << "different seeds should diverge (64 draws)";
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST(FaultInjectionTest, RateZeroNeverFiresRateOneAlwaysFires) {
+  {
+    ScopedFaults faults("x=0.0");
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_FALSE(FaultInjector::Instance().Check("x"));
+    }
+  }
+  {
+    ScopedFaults faults("x=1.0:eintr");
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(FaultInjector::Instance().Check("x").kind,
+                FaultKind::kEintr);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, UnknownSitesParseButNeverFire) {
+  ScopedFaults faults("no.such.site=1.0");
+  ASSERT_TRUE(faults.status.ok()) << faults.status;
+  // The rule exists and fires for its own name...
+  EXPECT_TRUE(FaultInjector::Instance().Check("no.such.site"));
+  // ...but a real hook site is untouched.
+  EXPECT_FALSE(FaultInjector::Instance().Check("file.read"));
+}
+
+TEST(FaultInjectionTest, KnownSitesCoverTheHookedBoundaries) {
+  const auto& sites = FaultInjector::KnownSites();
+  for (const char* site :
+       {"file.open.r", "file.open.w", "file.read", "file.write",
+        "file.fsync", "file.rename", "socket.recv", "socket.send",
+        "socket.accept", "socket.connect"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site << " missing from KnownSites()";
+  }
+}
+
+TEST(FaultInjectionTest, ConfigureReplacesRulesAndResetsCounters) {
+  ScopedFaults first("x@1");
+  ASSERT_TRUE(FaultInjector::Instance().Check("x"));
+  EXPECT_EQ(FaultInjector::Instance().total_injected(), 1u);
+  ASSERT_TRUE(FaultInjector::Instance().Configure("y@1").ok());
+  EXPECT_EQ(FaultInjector::Instance().total_injected(), 0u);
+  EXPECT_EQ(FaultInjector::Instance().hits_at("x"), 0u);
+  // The old rule is gone, the new one armed.
+  EXPECT_FALSE(FaultInjector::Instance().Check("x"));
+  EXPECT_TRUE(FaultInjector::Instance().Check("y"));
+}
+
+// --- Hook reach: the binary_io boundaries actually consult the registry.
+
+TEST(FaultInjectionTest, WriteBinaryFileFailsUnderInjectedOpenFault) {
+  ScopedFaults faults("file.open.w=1.0");
+  const std::string path = ::testing::TempDir() + "fi_open_w.bin";
+  Status st = WriteBinaryFile(path, "payload");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st;
+  EXPECT_GE(FaultInjector::Instance().injected_at("file.open.w"), 1u);
+}
+
+TEST(FaultInjectionTest, WriteSurvivesEintrAndShortWrites) {
+  // Every write iteration is interrupted once in a while and truncated the
+  // rest of the time; the retry loop must still land the full payload.
+  const std::string path = ::testing::TempDir() + "fi_short_write.bin";
+  const std::string payload(8192, 'x');
+  {
+    ScopedFaults faults("seed=3,file.write=0.3:eintr");
+    ASSERT_TRUE(WriteBinaryFile(path, payload).ok());
+  }
+  {
+    ScopedFaults faults("seed=3,file.write=0.5:short");
+    ASSERT_TRUE(WriteBinaryFile(path, payload).ok());
+  }
+  FaultInjector::Instance().Disable();
+  auto read_back = ReadBinaryFile(path);
+  ASSERT_TRUE(read_back.ok()) << read_back.status();
+  EXPECT_EQ(*read_back, payload);
+}
+
+TEST(FaultInjectionTest, ReadSurvivesEintrAndShortReads) {
+  const std::string path = ::testing::TempDir() + "fi_short_read.bin";
+  const std::string payload(8192, 'y');
+  FaultInjector::Instance().Disable();
+  ASSERT_TRUE(WriteBinaryFile(path, payload).ok());
+  {
+    ScopedFaults faults("seed=5,file.read=0.4:eintr");
+    auto content = ReadBinaryFile(path);
+    ASSERT_TRUE(content.ok()) << content.status();
+    EXPECT_EQ(*content, payload);
+  }
+  {
+    ScopedFaults faults("seed=5,file.read=0.6:short");
+    auto content = ReadBinaryFile(path);
+    ASSERT_TRUE(content.ok()) << content.status();
+    EXPECT_EQ(*content, payload);
+  }
+}
+
+TEST(FaultInjectionTest, ReadFailsCleanlyUnderInjectedReadError) {
+  const std::string path = ::testing::TempDir() + "fi_read_err.bin";
+  FaultInjector::Instance().Disable();
+  ASSERT_TRUE(WriteBinaryFile(path, "data").ok());
+  ScopedFaults faults("file.read=1.0:error");
+  auto content = ReadBinaryFile(path);
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kIOError);
+}
+
+TEST(FaultInjectionTest, CappedEintrInjectionCannotLivelockIo) {
+  // Rate 1.0 EINTR would retry forever without the per-call cap; the call
+  // must fail cleanly instead of hanging.
+  const std::string path = ::testing::TempDir() + "fi_eintr_cap.bin";
+  FaultInjector::Instance().Disable();
+  ASSERT_TRUE(WriteBinaryFile(path, "data").ok());
+  ScopedFaults faults("file.read=1.0:eintr");
+  auto content = ReadBinaryFile(path);
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace smb::io

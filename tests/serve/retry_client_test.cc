@@ -1,0 +1,169 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_cache.h"
+#include "eval/replay_client.h"
+#include "io/csv.h"
+#include "io/fault_injection.h"
+#include "schema/text_format.h"
+#include "serve/match_service.h"
+#include "serve/server.h"
+#include "serve/serving_index.h"
+#include "../testing/fixtures.h"
+
+/// \file retry_client_test.cc
+/// \brief The retrying replay client against a live server under injected
+/// socket faults: EINTR transparency (a regression test for the
+/// consistent-EINTR satellite), reconnect-and-resend after resets, retry
+/// accounting, and fail-fast without a retry budget.
+
+namespace smb::serve {
+namespace {
+
+using smb::testing::MakeQuery;
+using smb::testing::MakeRepo;
+
+class RetryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    io::FaultInjector::Instance().Disable();
+    auto index = BuildServingIndex(MakeRepo(), ServingIndexOptions{},
+                                   /*generation=*/1);
+    ASSERT_TRUE(index.ok()) << index.status();
+    cache_ = std::make_unique<engine::QueryResultCache>(16);
+    MatchServiceConfig config;
+    config.engine_options.num_threads = 1;
+    config.cache = cache_.get();
+    service_ = std::make_unique<MatchService>(*index, std::move(config));
+    server_ = std::make_unique<MatchServer>(service_.get(),
+                                            MatchServerConfig{});
+    ASSERT_TRUE(server_->Start().ok());
+
+    query_path_ = ::testing::TempDir() + "retry_query.txt";
+    ASSERT_TRUE(io::WriteTextFile(query_path_,
+                                  schema::WriteSchemaText(MakeQuery()))
+                    .ok());
+  }
+
+  void TearDown() override {
+    io::FaultInjector::Instance().Disable();
+    server_->RequestDrain();
+    server_->Wait();
+  }
+
+  eval::ReplayClientOptions Options(size_t max_retries) const {
+    eval::ReplayClientOptions options;
+    options.port = server_->port();
+    options.max_retries = max_retries;
+    options.retry_base_ms = 1.0;  // keep the test fast
+    options.retry_max_ms = 10.0;
+    return options;
+  }
+
+  std::vector<std::string> Requests(size_t n) const {
+    return std::vector<std::string>(n, "match " + query_path_);
+  }
+
+  std::unique_ptr<engine::QueryResultCache> cache_;
+  std::unique_ptr<MatchService> service_;
+  std::unique_ptr<MatchServer> server_;
+  std::string query_path_;
+};
+
+TEST_F(RetryFixture, CleanReplayNeedsNoRetries) {
+  auto outcome = eval::ReplayRequests(Options(3), Requests(4));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->ok_count, 4u);
+  EXPECT_EQ(outcome->retries, 0u);
+  EXPECT_EQ(outcome->reconnects, 0u);
+}
+
+TEST_F(RetryFixture, InjectedEintrIsAbsorbedBelowTheClient) {
+  // Regression test for consistent EINTR handling: every socket site gets
+  // interrupted ~30% of the time; the retry loops inside socket_io must
+  // absorb all of it — the replay client never even sees a failure.
+  ASSERT_TRUE(io::FaultInjector::Instance()
+                  .Configure("seed=11,socket.recv=0.3:eintr,"
+                             "socket.send=0.3:eintr,"
+                             "socket.accept=0.3:eintr")
+                  .ok());
+  auto outcome = eval::ReplayRequests(Options(0), Requests(8));
+  const uint64_t injected =
+      io::FaultInjector::Instance().total_injected();
+  io::FaultInjector::Instance().Disable();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->ok_count, 8u);
+  EXPECT_EQ(outcome->retries, 0u)
+      << "EINTR must be invisible above the I/O layer";
+  EXPECT_GT(injected, 0u) << "the sweep never actually interrupted a call";
+}
+
+TEST_F(RetryFixture, ResetMidSessionIsRetriedAndTheReplayCompletes) {
+  // One injected ECONNRESET on an early recv (server- or client-side —
+  // either way the response line is lost and the client must reconnect
+  // and re-send).
+  ASSERT_TRUE(
+      io::FaultInjector::Instance().Configure("socket.recv@2:reset").ok());
+  auto outcome = eval::ReplayRequests(Options(4), Requests(6));
+  io::FaultInjector::Instance().Disable();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->ok_count, 6u);
+  EXPECT_EQ(outcome->err_count, 0u);
+  EXPECT_GE(outcome->retries, 1u);
+  EXPECT_GE(outcome->reconnects, 1u);
+  // Accounting lines up: per-request counts sum to the total.
+  uint64_t sum = 0;
+  for (uint32_t r : outcome->retries_by_request) sum += r;
+  EXPECT_EQ(sum, outcome->retries);
+}
+
+TEST_F(RetryFixture, RepeatedResetsAreSurvivedWithinTheBudget) {
+  ASSERT_TRUE(io::FaultInjector::Instance()
+                  .Configure("seed=3,socket.recv=0.08:reset")
+                  .ok());
+  auto outcome = eval::ReplayRequests(Options(8), Requests(24));
+  io::FaultInjector::Instance().Disable();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->ok_count + outcome->err_count, 24u);
+  EXPECT_EQ(outcome->err_count, 0u)
+      << "resets are transport failures, never protocol errors";
+}
+
+TEST_F(RetryFixture, WithoutARetryBudgetATransportFailureIsFatal) {
+  ASSERT_TRUE(
+      io::FaultInjector::Instance().Configure("socket.recv@2:reset").ok());
+  auto outcome = eval::ReplayRequests(Options(0), Requests(6));
+  io::FaultInjector::Instance().Disable();
+  EXPECT_FALSE(outcome.ok())
+      << "max_retries=0 must preserve the old fail-fast behaviour";
+}
+
+TEST_F(RetryFixture, RetriedResponsesMatchTheUnfaultedRun) {
+  // The idempotency claim, end to end: answers under injected resets are
+  // byte-identical to a clean replay (cache or no cache).
+  auto clean = eval::ReplayRequests(Options(0), Requests(5));
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(io::FaultInjector::Instance()
+                  .Configure("seed=9,socket.recv=0.1:reset")
+                  .ok());
+  auto faulted = eval::ReplayRequests(Options(8), Requests(5));
+  io::FaultInjector::Instance().Disable();
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  ASSERT_EQ(faulted->responses.size(), clean->responses.size());
+  for (size_t i = 0; i < clean->responses.size(); ++i) {
+    // Latency and cache fields vary run to run; the certified answer
+    // payload must not. Compare through the parsed answer set.
+    auto a = ParseMatchResponse(clean->responses[i]);
+    auto b = ParseMatchResponse(faulted->responses[i]);
+    ASSERT_TRUE(a.ok()) << clean->responses[i];
+    ASSERT_TRUE(b.ok()) << faulted->responses[i];
+    EXPECT_EQ(a->answers, b->answers) << "request " << i;
+    EXPECT_NEAR(a->certified, b->certified, 1e-9) << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace smb::serve

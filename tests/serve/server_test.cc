@@ -9,12 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "engine/query_cache.h"
-#include "index/prepared_repository.h"
 #include "io/csv.h"
-#include "match/exhaustive_matcher.h"
 #include "schema/text_format.h"
 #include "serve/match_service.h"
 #include "serve/protocol.h"
+#include "serve/serving_index.h"
 #include "serve/socket_io.h"
 #include "../testing/fixtures.h"
 
@@ -69,24 +68,21 @@ class ServerFixture {
  public:
   explicit ServerFixture(double target_bound, double min_target,
                          size_t workers = 2, size_t queue_depth = 8) {
-    repo_ = MakeRepo();
-    prepared_ =
-        *index::PreparedRepository::Build(repo_, sim::NameSimilarityOptions{});
+    auto index = BuildServingIndex(MakeRepo(), ServingIndexOptions{},
+                                   /*generation=*/1);
+    EXPECT_TRUE(index.ok()) << index.status();
     cache_ = std::make_unique<engine::QueryResultCache>(16);
 
     MatchServiceConfig config;
-    config.repo = &repo_;
-    config.matcher = &matcher_;
     config.engine_options.num_threads = 1;
     index::AdaptiveCandidatePolicy policy;
     policy.min_provable_completeness = target_bound;
     policy.initial_limit = 1;
     config.engine_options.adaptive = policy;
-    config.engine_options.prepared_repository = &*prepared_;
     config.cache = cache_.get();
     config.shed.base_target = target_bound;
     config.shed.min_target = min_target;
-    service_ = std::make_unique<MatchService>(std::move(config));
+    service_ = std::make_unique<MatchService>(*index, std::move(config));
 
     MatchServerConfig server_config;
     server_config.workers = workers;
@@ -107,9 +103,6 @@ class ServerFixture {
   uint16_t port() const { return server_->port(); }
 
  private:
-  schema::SchemaRepository repo_;
-  match::ExhaustiveMatcher matcher_;
-  std::optional<index::PreparedRepository> prepared_;
   std::unique_ptr<engine::QueryResultCache> cache_;
   std::unique_ptr<MatchService> service_;
   std::unique_ptr<MatchServer> server_;

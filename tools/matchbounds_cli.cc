@@ -46,6 +46,7 @@
 #include "io/answer_set_io.h"
 #include "io/curve_io.h"
 #include "io/csv.h"
+#include "io/fault_injection.h"
 #include "io/fingerprint.h"
 #include "match/matcher_factory.h"
 #include "schema/text_format.h"
@@ -55,6 +56,7 @@
 #include "serve/match_service.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/serving_index.h"
 #include "schema/stats.h"
 #include "schema/xsd_writer.h"
 #include "synth/generator.h"
@@ -113,7 +115,16 @@ commands:
               match <query-file> [<answers-out.csv>] [class=NAME]
                     [deadline_ms=N]
               stats
+              reload <snapshot-file> [<repo-dir>]
               quit
+            snapshots save atomically (tmp + fsync + rename, keeping a
+            `.bak` of the previous snapshot) and loads fall back to the
+            `.bak` with a warning when the primary is unusable; `reload`
+            re-reads the repository directory (default: startup --repo),
+            swaps the index atomically when the snapshot matches it, and
+            keeps serving the old generation on any failure
+            [--max-line-bytes=N] reject request lines longer than N
+            bytes with a clean `err` (the connection stays usable)
             [--listen=HOST:PORT] network mode: accept any number of
             concurrent client connections (PORT 0 picks an ephemeral
             port, reported on the `listening=` line); a fixed worker
@@ -136,38 +147,30 @@ commands:
   client    --connect=HOST:PORT --requests=FILE [--connections=N]
             replay a request file against a running `serve --listen`
             server over N concurrent connections; prints every response
-            in request order plus an ok/err/shed summary
+            in request order plus an ok/err/shed/retries summary
+            [--retries=N] retry each request up to N times on transport
+            failures (reconnect + re-send; responses are idempotent via
+            the server cache), with bounded exponential backoff
+            [--retry-base-ms=X] [--retry-max-ms=X] and deterministic
+            jitter [--retry-seed=N]
   curve     --answers=FILE --truth=FILE --out=FILE [--max=X] [--step=X]
             measure the P/R curve of an answers file
   bounds    --curve=FILE (--s2=FILE | --input=FILE) [--precision=X]
             compute best/worst/random effectiveness bounds for S2
   stats     --repo=DIR
             print shape statistics of a schema repository
+
+environment:
+  SMB_FAULTS=<spec>  arm deterministic I/O fault injection for testing,
+            e.g. "seed=7,socket.recv=0.05:reset,file.fsync@3"; see
+            docs/serving.md for the full site list and grammar
 )";
 }
 
 Result<schema::SchemaRepository> LoadRepository(const std::string& dir) {
-  schema::SchemaRepository repo;
-  std::vector<fs::path> files;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.path().extension() == ".xsd") files.push_back(entry.path());
-  }
-  if (ec) {
-    return Status::IOError("cannot list directory " + dir + ": " +
-                           ec.message());
-  }
-  std::sort(files.begin(), files.end());
-  for (const auto& file : files) {
-    SMB_ASSIGN_OR_RETURN(schema::Schema schema,
-                         schema::ReadXsdFile(file.string()));
-    schema.set_name(file.filename().string());
-    SMB_RETURN_IF_ERROR(repo.Add(std::move(schema)).status());
-  }
-  if (repo.schema_count() == 0) {
-    return Status::NotFound("no .xsd files in " + dir);
-  }
-  return repo;
+  // Shared with the serve reload path (serving_index.cc), so a reloaded
+  // repository fingerprints identically to a startup load.
+  return schema::LoadRepositoryDir(dir);
 }
 
 int CmdGenerate(const CommandLine& cl) {
@@ -695,8 +698,8 @@ Result<std::pair<std::string, uint16_t>> ParseListenAddress(
 /// response line out, all through the same MatchService the network server
 /// uses, always at pressure 0 (offline runs never shed).
 int RunOfflineServe(serve::MatchService& service,
-                    const engine::QueryResultCache& cache, std::istream& in,
-                    bool snapshot_loaded) {
+                    const engine::QueryResultCache& cache,
+                    std::istream& in) {
   std::string line;
   uint64_t served = 0;
   uint64_t failed = 0;
@@ -712,14 +715,32 @@ int RunOfflineServe(serve::MatchService& service,
     if (request->kind == serve::RequestKind::kQuit) break;
     if (request->kind == serve::RequestKind::kStats) {
       const engine::QueryCacheStats cs = cache.stats();
-      std::cout << "stats served=" << served << " cache_hits=" << cs.hits
+      const auto index = service.index();
+      std::cout << "stats generation=" << index->generation
+                << " served=" << served << " cache_hits=" << cs.hits
                 << " cache_misses=" << cs.misses
                 << " cache_evictions=" << cs.evictions
                 << " cache_entries=" << cache.size() << "/"
-                << cache.capacity() << " index_source="
-                << (snapshot_loaded ? "snapshot" : "built")
+                << cache.capacity() << " index_source=" << index->source
                 << " simd=" << sim::SimdTierName(sim::ActiveSimdTier())
                 << std::endl;
+      continue;
+    }
+    if (request->kind == serve::RequestKind::kReload) {
+      auto swapped = service.Reload(request->snapshot_path,
+                                    request->repo_dir);
+      if (swapped.ok()) {
+        std::cout << "reloaded generation=" << (*swapped)->generation
+                  << " source=" << (*swapped)->source
+                  << " schemas=" << (*swapped)->repo.schema_count()
+                  << ((*swapped)->used_backup ? " backup=yes" : "")
+                  << std::endl;
+      } else {
+        std::cout << serve::FormatErrorResponse(request->snapshot_path,
+                                                swapped.status())
+                  << std::endl;
+        ++failed;
+      }
       continue;
     }
     auto response = service.Execute(*request, /*pressure=*/0.0);
@@ -742,7 +763,8 @@ int RunOfflineServe(serve::MatchService& service,
 /// server spawns its threads, so only this thread's sigwait sees them.
 int RunNetworkServe(serve::MatchService& service,
                     const std::string& listen_spec, size_t workers,
-                    size_t queue_depth, double deadline_ms) {
+                    size_t queue_depth, double deadline_ms,
+                    size_t max_line_bytes) {
   auto address = ParseListenAddress(listen_spec);
   if (!address.ok()) return Fail(address.status());
 
@@ -758,6 +780,7 @@ int RunNetworkServe(serve::MatchService& service,
   config.workers = workers;
   config.queue_depth = queue_depth;
   config.default_deadline_ms = deadline_ms;
+  config.max_line_bytes = max_line_bytes;
   serve::MatchServer server(&service, config);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
   std::cout << "listening=" << config.host << ":" << server.port()
@@ -786,8 +809,6 @@ int CmdServe(const CommandLine& cl) {
   if (repo_dir.empty()) {
     return Fail(Status::InvalidArgument("--repo required"));
   }
-  auto repo = LoadRepository(repo_dir);
-  if (!repo.ok()) return Fail(repo.status());
 
   match::MatchOptions options;
   auto delta = cl.GetDouble("delta", 0.25);
@@ -798,8 +819,6 @@ int CmdServe(const CommandLine& cl) {
   std::string kind = cl.Get("matcher", "exhaustive");
   auto factory_options = ParseMatcherOptions(cl);
   if (!factory_options.ok()) return Fail(factory_options.status());
-  auto matcher = match::MakeMatcher(kind, *repo, *factory_options);
-  if (!matcher.ok()) return Fail(matcher.status());
 
   auto candidates = cl.GetUint("candidates", 16);
   auto threads = cl.GetUint("threads", 1);
@@ -817,9 +836,12 @@ int CmdServe(const CommandLine& cl) {
   auto workers = cl.GetUint("workers", 2);
   auto queue_depth = cl.GetUint("queue-depth", 16);
   auto deadline_ms = cl.GetDouble("deadline-ms", 0.0);
+  auto max_line_bytes =
+      cl.GetUint("max-line-bytes", serve::kDefaultMaxLineBytes);
   if (!workers.ok()) return Fail(workers.status());
   if (!queue_depth.ok()) return Fail(queue_depth.status());
   if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  if (!max_line_bytes.ok()) return Fail(max_line_bytes.status());
   if (cl.Has("min-target-bound") && !adaptive->has_value()) {
     return Fail(Status::InvalidArgument(
         "--min-target-bound only applies to the bound-driven mode; add "
@@ -836,63 +858,46 @@ int CmdServe(const CommandLine& cl) {
     return Fail(st);
   }
 
-  // Prepare once: load the snapshot when one exists, otherwise build and
-  // (with --snapshot) persist for the next start. A snapshot that exists
-  // but does not load cleanly is fatal — serving from a wrong index is the
-  // one failure mode this command must never have.
+  // Open generation 1: load the snapshot when one exists (with the `.bak`
+  // fallback), otherwise build and (with --snapshot) persist for the next
+  // start. A snapshot that exists but does not load cleanly from either
+  // file is fatal — serving from a wrong index is the one failure mode
+  // this command must never have. The same options are reused verbatim by
+  // every `reload`.
   std::string snapshot_path = cl.Get("snapshot");
-  std::optional<index::PreparedRepository> prepared;
-  double load_seconds = 0.0, build_seconds = 0.0, save_seconds = 0.0;
-  bool loaded = false;
-  if (!snapshot_path.empty()) {
-    SteadyClock::time_point t0 = SteadyClock::now();
-    auto from_disk =
-        index::LoadSnapshot(snapshot_path, *repo, options.objective.name,
-                            static_cast<size_t>(*threads));
-    if (from_disk.ok()) {
-      load_seconds = SecondsSince(t0);
-      prepared = *std::move(from_disk);
-      loaded = true;
-    } else if (from_disk.status().code() != StatusCode::kNotFound) {
-      return Fail(from_disk.status());
-    }
-  }
-  if (!prepared.has_value()) {
-    SteadyClock::time_point t0 = SteadyClock::now();
-    auto built =
-        index::PreparedRepository::Build(*repo, options.objective.name);
-    if (!built.ok()) return Fail(built.status());
-    prepared = *std::move(built);
-    build_seconds = SecondsSince(t0);
-    if (!snapshot_path.empty()) {
-      SteadyClock::time_point t1 = SteadyClock::now();
-      if (Status st = index::SaveSnapshot(*prepared, snapshot_path);
-          !st.ok()) {
-        return Fail(st);
-      }
-      save_seconds = SecondsSince(t1);
-    }
+  serve::ServingIndexOptions index_options;
+  index_options.matcher_kind = kind;
+  index_options.factory_options = *factory_options;
+  index_options.name_options = options.objective.name;
+  index_options.num_threads = static_cast<size_t>(*threads);
+  index_options.build_if_missing = true;
+  index_options.save_after_build = true;
+  auto index = serve::OpenServingIndex(repo_dir, snapshot_path,
+                                       index_options, /*generation=*/1);
+  if (!index.ok()) return Fail(index.status());
+  if (!(*index)->warning.empty()) {
+    std::cout << "warning " << (*index)->warning << std::endl;
   }
 
   // One service for either mode: the offline loop and every network
-  // worker execute requests through the same shared immutable state.
+  // worker execute requests through the same shared generation.
   // The effective (possibly shed) target is folded into the cache key by
   // the service — a 0.9-certified answer set is never replayed for a
-  // request that asked for 0.99.
+  // request that asked for 0.99 — and so is the generation's repository
+  // fingerprint, so a reload can never replay stale answers.
   engine::QueryResultCache cache(static_cast<size_t>(*cache_size));
   serve::MatchServiceConfig service_config;
-  service_config.repo = &*repo;
-  service_config.matcher = matcher->get();
   service_config.match_options = options;
   service_config.engine_options.num_threads = static_cast<size_t>(*threads);
   service_config.engine_options.global_top_k = static_cast<size_t>(*top);
   service_config.engine_options.candidate_limit =
       adaptive->has_value() ? 0 : static_cast<size_t>(*candidates);
   service_config.engine_options.adaptive = *adaptive;
-  service_config.engine_options.prepared_repository = &*prepared;
   service_config.cache = &cache;
   service_config.shed = shed;
-  serve::MatchService service(service_config);
+  service_config.index_options = index_options;
+  service_config.default_repo_dir = repo_dir;
+  serve::MatchService service(*index, service_config);
 
   std::ifstream request_file;
   std::istream* in = &std::cin;
@@ -912,8 +917,9 @@ int CmdServe(const CommandLine& cl) {
     in = &request_file;
   }
 
-  std::cout << "ready " << kind << " repo=" << repo->schema_count()
-            << " schemas/" << repo->total_elements() << " elements"
+  const bool loaded = (*index)->source == "snapshot";
+  std::cout << "ready " << kind << " repo=" << (*index)->repo.schema_count()
+            << " schemas/" << (*index)->repo.total_elements() << " elements"
             << " simd=" << sim::SimdTierName(sim::ActiveSimdTier())
             << (adaptive->has_value()
                     ? " target_bound=" + FormatDouble(
@@ -921,21 +927,24 @@ int CmdServe(const CommandLine& cl) {
                     : " C=" + std::to_string(*candidates))
             << " cache=" << *cache_size << " index="
             << (loaded ? "snapshot load_ms=" +
-                             FormatDouble(load_seconds * 1e3, 2)
+                             FormatDouble((*index)->load_seconds * 1e3, 2)
                        : "built build_ms=" +
-                             FormatDouble(build_seconds * 1e3, 2) +
+                             FormatDouble((*index)->build_seconds * 1e3, 2) +
                              (snapshot_path.empty()
                                   ? ""
                                   : " save_ms=" +
-                                        FormatDouble(save_seconds * 1e3, 2)))
+                                        FormatDouble(
+                                            (*index)->save_seconds * 1e3,
+                                            2)))
             << std::endl;
 
   if (!listen_spec.empty()) {
     return RunNetworkServe(service, listen_spec,
                            static_cast<size_t>(*workers),
-                           static_cast<size_t>(*queue_depth), *deadline_ms);
+                           static_cast<size_t>(*queue_depth), *deadline_ms,
+                           static_cast<size_t>(*max_line_bytes));
   }
-  return RunOfflineServe(service, cache, *in, loaded);
+  return RunOfflineServe(service, cache, *in);
 }
 
 int CmdClient(const CommandLine& cl) {
@@ -948,7 +957,15 @@ int CmdClient(const CommandLine& cl) {
   auto address = ParseListenAddress(connect_spec);
   if (!address.ok()) return Fail(address.status());
   auto connections = cl.GetUint("connections", 1);
+  auto retries = cl.GetUint("retries", 0);
+  auto retry_base_ms = cl.GetDouble("retry-base-ms", 10.0);
+  auto retry_max_ms = cl.GetDouble("retry-max-ms", 1000.0);
+  auto retry_seed = cl.GetUint("retry-seed", 1);
   if (!connections.ok()) return Fail(connections.status());
+  if (!retries.ok()) return Fail(retries.status());
+  if (!retry_base_ms.ok()) return Fail(retry_base_ms.status());
+  if (!retry_max_ms.ok()) return Fail(retry_max_ms.status());
+  if (!retry_seed.ok()) return Fail(retry_seed.status());
 
   auto requests_text = io::ReadTextFile(requests_path);
   if (!requests_text.ok()) return Fail(requests_text.status());
@@ -963,6 +980,10 @@ int CmdClient(const CommandLine& cl) {
   options.host = address->first;
   options.port = address->second;
   options.connections = static_cast<size_t>(*connections);
+  options.max_retries = static_cast<size_t>(*retries);
+  options.retry_base_ms = *retry_base_ms;
+  options.retry_max_ms = *retry_max_ms;
+  options.retry_jitter_seed = *retry_seed;
   auto outcome = eval::ReplayRequests(options, request_lines);
   if (!outcome.ok()) return Fail(outcome.status());
   for (const std::string& response : outcome->responses) {
@@ -971,7 +992,9 @@ int CmdClient(const CommandLine& cl) {
   std::cout << "replayed " << request_lines.size() << " request(s) on "
             << options.connections << " connection(s): ok="
             << outcome->ok_count << " err=" << outcome->err_count
-            << " shed=" << outcome->shed_count << std::endl;
+            << " shed=" << outcome->shed_count
+            << " retries=" << outcome->retries
+            << " reconnects=" << outcome->reconnects << std::endl;
   return outcome->err_count == 0 ? 0 : 1;
 }
 
@@ -1069,6 +1092,12 @@ int CmdStats(const CommandLine& cl) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // SMB_FAULTS=<spec> arms the deterministic fault-injection registry for
+  // the whole process (see io/fault_injection.h); unset = zero cost.
+  if (Status st = smb::io::FaultInjector::Instance().ConfigureFromEnv();
+      !st.ok()) {
+    return Fail(st);
+  }
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok()) return Fail(cl.status());
   const std::string& command = cl->command();
