@@ -13,7 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "engine/query_cache.h"
-#include "eval/replay_client.h"
+#include "serve/replay_client.h"
 #include "io/csv.h"
 #include "schema/text_format.h"
 #include "serve/match_service.h"
@@ -100,12 +100,12 @@ void BM_ServeThroughput(benchmark::State& state) {
   std::vector<std::string> requests(connections * kRequestsPerConnection,
                                     "match " + setup->query_path);
 
-  eval::ReplayClientOptions options;
+  serve::ReplayClientOptions options;
   options.port = setup->server->port();
   options.connections = connections;
   uint64_t served = 0;
   for (auto _ : state) {
-    auto outcome = eval::ReplayRequests(options, requests);
+    auto outcome = serve::ReplayRequests(options, requests);
     if (!outcome.ok() || outcome->err_count > 0) {
       if (!outcome.ok()) {
         std::fprintf(stderr, "serve bench: %s\n",

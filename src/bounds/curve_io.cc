@@ -1,12 +1,15 @@
-#include "io/curve_io.h"
+#include "bounds/curve_io.h"
 
 #include "common/strings.h"
 #include "io/csv.h"
 
-namespace smb::io {
+/// \file curve_io.cc
+/// \brief CSV reader/writer for recall curves and bounds-input rows.
+
+namespace smb::bounds {
 
 std::string WritePrCurveCsv(const eval::PrCurve& curve) {
-  CsvDocument doc;
+  io::CsvDocument doc;
   doc.metadata.emplace_back("matchbounds", "pr_curve");
   doc.metadata.emplace_back("total_correct",
                             std::to_string(curve.total_correct()));
@@ -19,17 +22,17 @@ std::string WritePrCurveCsv(const eval::PrCurve& curve) {
                         StrFormat("%.17g", p.precision),
                         StrFormat("%.17g", p.recall)});
   }
-  return WriteCsv(doc);
+  return io::WriteCsv(doc);
 }
 
 Result<eval::PrCurve> ReadPrCurveCsv(std::string_view text) {
-  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  SMB_ASSIGN_OR_RETURN(io::CsvDocument doc, io::ParseCsv(text));
   if (doc.GetMeta("matchbounds") != "pr_curve") {
     return Status::InvalidArgument(
         "not a P/R curve file (missing '#matchbounds=pr_curve')");
   }
   SMB_ASSIGN_OR_RETURN(uint64_t total_correct,
-                       ParseUint(doc.GetMeta("total_correct")));
+                       io::ParseUint(doc.GetMeta("total_correct")));
   int t_col = doc.ColumnIndex("threshold");
   int a_col = doc.ColumnIndex("answers");
   int tp_col = doc.ColumnIndex("true_positives");
@@ -42,17 +45,17 @@ Result<eval::PrCurve> ReadPrCurveCsv(std::string_view text) {
   for (const auto& row : doc.rows) {
     eval::PrPoint point;
     SMB_ASSIGN_OR_RETURN(point.threshold,
-                         ParseDouble(row[static_cast<size_t>(t_col)]));
+                         io::ParseDouble(row[static_cast<size_t>(t_col)]));
     SMB_ASSIGN_OR_RETURN(uint64_t answers,
-                         ParseUint(row[static_cast<size_t>(a_col)]));
+                         io::ParseUint(row[static_cast<size_t>(a_col)]));
     SMB_ASSIGN_OR_RETURN(uint64_t tp,
-                         ParseUint(row[static_cast<size_t>(tp_col)]));
+                         io::ParseUint(row[static_cast<size_t>(tp_col)]));
     point.answers = static_cast<size_t>(answers);
     point.true_positives = static_cast<size_t>(tp);
     SMB_ASSIGN_OR_RETURN(point.precision,
-                         ParseDouble(row[static_cast<size_t>(p_col)]));
+                         io::ParseDouble(row[static_cast<size_t>(p_col)]));
     SMB_ASSIGN_OR_RETURN(point.recall,
-                         ParseDouble(row[static_cast<size_t>(r_col)]));
+                         io::ParseDouble(row[static_cast<size_t>(r_col)]));
     points.push_back(point);
   }
   return eval::PrCurve::FromPoints(std::move(points),
@@ -60,7 +63,7 @@ Result<eval::PrCurve> ReadPrCurveCsv(std::string_view text) {
 }
 
 std::string WriteBoundsInputCsv(const bounds::BoundsInput& input) {
-  CsvDocument doc;
+  io::CsvDocument doc;
   doc.metadata.emplace_back("matchbounds", "bounds_input");
   doc.metadata.emplace_back("total_correct",
                             StrFormat("%.17g", input.total_correct));
@@ -71,18 +74,18 @@ std::string WriteBoundsInputCsv(const bounds::BoundsInput& input) {
                         StrFormat("%.17g", input.s1_correct[i]),
                         StrFormat("%.17g", input.s2_answers[i])});
   }
-  return WriteCsv(doc);
+  return io::WriteCsv(doc);
 }
 
 Result<bounds::BoundsInput> ReadBoundsInputCsv(std::string_view text) {
-  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  SMB_ASSIGN_OR_RETURN(io::CsvDocument doc, io::ParseCsv(text));
   if (doc.GetMeta("matchbounds") != "bounds_input") {
     return Status::InvalidArgument(
         "not a bounds input file (missing '#matchbounds=bounds_input')");
   }
   bounds::BoundsInput input;
   SMB_ASSIGN_OR_RETURN(input.total_correct,
-                       ParseDouble(doc.GetMeta("total_correct")));
+                       io::ParseDouble(doc.GetMeta("total_correct")));
   int t_col = doc.ColumnIndex("threshold");
   int a1_col = doc.ColumnIndex("s1_answers");
   int t1_col = doc.ColumnIndex("s1_correct");
@@ -93,10 +96,10 @@ Result<bounds::BoundsInput> ReadBoundsInputCsv(std::string_view text) {
   for (const auto& row : doc.rows) {
     double threshold, a1, t1, a2;
     SMB_ASSIGN_OR_RETURN(threshold,
-                         ParseDouble(row[static_cast<size_t>(t_col)]));
-    SMB_ASSIGN_OR_RETURN(a1, ParseDouble(row[static_cast<size_t>(a1_col)]));
-    SMB_ASSIGN_OR_RETURN(t1, ParseDouble(row[static_cast<size_t>(t1_col)]));
-    SMB_ASSIGN_OR_RETURN(a2, ParseDouble(row[static_cast<size_t>(a2_col)]));
+                         io::ParseDouble(row[static_cast<size_t>(t_col)]));
+    SMB_ASSIGN_OR_RETURN(a1, io::ParseDouble(row[static_cast<size_t>(a1_col)]));
+    SMB_ASSIGN_OR_RETURN(t1, io::ParseDouble(row[static_cast<size_t>(t1_col)]));
+    SMB_ASSIGN_OR_RETURN(a2, io::ParseDouble(row[static_cast<size_t>(a2_col)]));
     input.thresholds.push_back(threshold);
     input.s1_answers.push_back(a1);
     input.s1_correct.push_back(t1);
@@ -107,11 +110,11 @@ Result<bounds::BoundsInput> ReadBoundsInputCsv(std::string_view text) {
 }
 
 Status WritePrCurveFile(const std::string& path, const eval::PrCurve& curve) {
-  return WriteTextFile(path, WritePrCurveCsv(curve));
+  return io::WriteTextFile(path, WritePrCurveCsv(curve));
 }
 
 Result<eval::PrCurve> ReadPrCurveFile(const std::string& path) {
-  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  SMB_ASSIGN_OR_RETURN(std::string content, io::ReadTextFile(path));
   auto result = ReadPrCurveCsv(content);
   if (!result.ok()) return result.status().WithContext("in " + path);
   return result;
@@ -119,14 +122,14 @@ Result<eval::PrCurve> ReadPrCurveFile(const std::string& path) {
 
 Status WriteBoundsInputFile(const std::string& path,
                             const bounds::BoundsInput& input) {
-  return WriteTextFile(path, WriteBoundsInputCsv(input));
+  return io::WriteTextFile(path, WriteBoundsInputCsv(input));
 }
 
 Result<bounds::BoundsInput> ReadBoundsInputFile(const std::string& path) {
-  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  SMB_ASSIGN_OR_RETURN(std::string content, io::ReadTextFile(path));
   auto result = ReadBoundsInputCsv(content);
   if (!result.ok()) return result.status().WithContext("in " + path);
   return result;
 }
 
-}  // namespace smb::io
+}  // namespace smb::bounds

@@ -20,7 +20,7 @@
 /// threshold,s1_answers,s1_correct,s2_answers
 /// \endcode
 
-namespace smb::io {
+namespace smb::bounds {
 
 /// Serializes a measured P/R curve.
 std::string WritePrCurveCsv(const eval::PrCurve& curve);
@@ -43,4 +43,4 @@ Status WriteBoundsInputFile(const std::string& path,
 Result<bounds::BoundsInput> ReadBoundsInputFile(const std::string& path);
 /// @}
 
-}  // namespace smb::io
+}  // namespace smb::bounds

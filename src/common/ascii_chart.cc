@@ -5,6 +5,9 @@
 
 #include "common/table.h"
 
+/// \file ascii_chart.cc
+/// \brief Terminal scatter/line chart rendering for the CLI figures.
+
 namespace smb {
 
 void RenderChart(const std::vector<ChartSeries>& series,

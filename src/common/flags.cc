@@ -4,6 +4,9 @@
 
 #include "common/strings.h"
 
+/// \file flags.cc
+/// \brief Minimal --key=value command-line flag parsing.
+
 namespace smb {
 
 Result<CommandLine> CommandLine::Parse(int argc, const char* const* argv) {

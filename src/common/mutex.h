@@ -1,0 +1,90 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+/// \file mutex.h
+/// \brief Annotated mutex primitives for Clang Thread Safety Analysis.
+///
+/// `std::mutex` under libstdc++ carries no capability attributes, so
+/// `SMB_GUARDED_BY(some_std_mutex)` would be rejected by the analysis.
+/// Every mutex-protected class in the codebase therefore uses these thin
+/// zero-overhead wrappers instead:
+///
+///  * `smb::Mutex` — a `std::mutex` marked as a lockable capability;
+///  * `smb::MutexLock` — the scoped lock (`std::lock_guard` shape), also
+///    usable as the Lockable handed to `CondVar::Wait`;
+///  * `smb::CondVar` — a condition variable that waits on a `MutexLock`.
+///
+/// Waiting convention: the predicate-taking `std::condition_variable::wait`
+/// overload hides the guarded reads inside an unannotated lambda, so
+/// annotated classes use explicit `while (!pred) cv.Wait(lock);` loops —
+/// the analysis then sees every guarded access under the capability.
+namespace smb {
+
+/// \brief A `std::mutex` annotated as a thread-safety capability.
+class SMB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SMB_ACQUIRE() { mutex_.lock(); }
+  void unlock() SMB_RELEASE() { mutex_.unlock(); }
+  bool try_lock() SMB_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// \brief Scoped lock over `smb::Mutex` (the annotated `std::lock_guard`).
+///
+/// Also satisfies *BasicLockable*, so `CondVar::Wait(lock)` can release
+/// and reacquire it around a sleep; the analysis tracks those transitions
+/// through the annotated `lock()`/`unlock()` members.
+class SMB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SMB_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SMB_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// \name BasicLockable (for CondVar::Wait; the wait always returns with
+  /// the lock re-held, matching the destructor's unconditional release).
+  /// @{
+  void lock() SMB_ACQUIRE() { mutex_.lock(); }
+  void unlock() SMB_RELEASE() { mutex_.unlock(); }
+  /// @}
+
+ private:
+  Mutex& mutex_;
+};
+
+/// \brief Condition variable paired with `smb::Mutex`.
+///
+/// `std::condition_variable` insists on `std::unique_lock<std::mutex>`;
+/// `std::condition_variable_any` accepts any BasicLockable, which lets the
+/// annotated `MutexLock` flow through and keeps the capability bookkeeping
+/// visible to the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `lock`; returns with it re-held.
+  void Wait(MutexLock& lock) { cv_.wait(lock); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace smb

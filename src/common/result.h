@@ -22,7 +22,7 @@ namespace smb {
 ///   Schema s = std::move(r).value();
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result (implicit by design, mirrors
   /// absl::StatusOr).

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+/// \file rng.cc
+/// \brief Deterministic splitmix64-seeded PRNG helpers.
+
 namespace smb {
 
 namespace {

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+/// \file status.cc
+/// \brief Status code names and message formatting.
+
 namespace smb {
 
 const char* StatusCodeToString(StatusCode code) {

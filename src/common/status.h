@@ -34,7 +34,7 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A `Status` is cheap to copy when OK (no allocation) and carries a
 /// code plus a diagnostic message otherwise.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -4,6 +4,9 @@
 #include <cstdarg>
 #include <cstdio>
 
+/// \file strings.cc
+/// \brief ASCII case folding, trimming, splitting and number parsing.
+
 namespace smb {
 
 std::string ToLower(std::string_view s) {

@@ -5,6 +5,9 @@
 
 #include "common/strings.h"
 
+/// \file table.cc
+/// \brief Fixed-width text table layout for CLI reports.
+
 namespace smb {
 
 TextTable::TextTable(std::vector<std::string> headers)

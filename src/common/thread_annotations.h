@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// \brief Clang Thread Safety Analysis attribute macros.
+///
+/// These macros turn the codebase's locking conventions into *compiler-
+/// checked contracts*: a member annotated `SMB_GUARDED_BY(mutex_)` cannot
+/// be read or written without `mutex_` held, a function annotated
+/// `SMB_REQUIRES(mutex_)` cannot be called without it, and a forgotten
+/// unlock path fails the build. The analysis runs under Clang with
+/// `-Wthread-safety` (the CMake build enables it, with
+/// `-Werror=thread-safety`, whenever the compiler is Clang); on other
+/// compilers every macro expands to nothing, so annotated headers stay
+/// portable.
+///
+/// The annotated capability types live in common/mutex.h (`smb::Mutex`,
+/// `smb::MutexLock`) — `std::mutex` itself carries no capability
+/// attributes under libstdc++, so mutex-protected classes use the wrapper.
+/// Conventions (enforced by the docs chapter in docs/architecture.md):
+///  * every mutex-protected member is `SMB_GUARDED_BY` its mutex;
+///  * private helpers called with a lock held are `SMB_REQUIRES`;
+///  * public entry points that take the lock themselves are
+///    `SMB_EXCLUDES` when mis-nesting is plausible;
+///  * `SMB_NO_THREAD_SAFETY_ANALYSIS` is a last resort and must carry a
+///    justifying comment.
+
+#if defined(__clang__)
+#define SMB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMB_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability (argument names it in
+/// diagnostics, e.g. `SMB_CAPABILITY("mutex")`).
+#define SMB_CAPABILITY(x) SMB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability.
+#define SMB_SCOPED_CAPABILITY SMB_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member may only be accessed with the given capability held.
+#define SMB_GUARDED_BY(x) SMB_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee may only be accessed with the given capability held.
+#define SMB_PT_GUARDED_BY(x) SMB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define SMB_ACQUIRED_BEFORE(...) \
+  SMB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SMB_ACQUIRED_AFTER(...) \
+  SMB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function may only be called with the given capabilities held.
+#define SMB_REQUIRES(...) \
+  SMB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SMB_REQUIRES_SHARED(...) \
+  SMB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the given capabilities.
+#define SMB_ACQUIRE(...) SMB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SMB_ACQUIRE_SHARED(...) \
+  SMB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SMB_RELEASE(...) SMB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SMB_RELEASE_SHARED(...) \
+  SMB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define SMB_TRY_ACQUIRE(...) \
+  SMB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called *without* the given capabilities held
+/// (it acquires them itself — prevents self-deadlock).
+#define SMB_EXCLUDES(...) SMB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the
+/// analysis).
+#define SMB_ASSERT_CAPABILITY(x) SMB_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define SMB_RETURN_CAPABILITY(x) SMB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis. Last resort; every use must carry
+/// a comment explaining why the analysis cannot model the code.
+#define SMB_NO_THREAD_SAFETY_ANALYSIS \
+  SMB_THREAD_ANNOTATION(no_thread_safety_analysis)

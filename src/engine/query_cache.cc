@@ -30,18 +30,17 @@ QueryResultCache::QueryResultCache(size_t capacity, size_t stripes)
   }
   stripes_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    auto stripe = std::make_unique<Stripe>();
     // Split the capacity evenly; the first `capacity % count` stripes take
     // the remainder so the per-stripe capacities sum to `capacity`.
-    stripe->capacity = capacity_ / count + (i < capacity_ % count ? 1 : 0);
-    stripes_.push_back(std::move(stripe));
+    stripes_.push_back(std::make_unique<Stripe>(
+        capacity_ / count + (i < capacity_ % count ? 1 : 0)));
   }
 }
 
 std::shared_ptr<const CachedAnswers> QueryResultCache::Lookup(
     const QueryCacheKey& key) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  MutexLock lock(stripe.mutex);
   auto it = stripe.index.find(key);
   if (it == stripe.index.end()) {
     ++stripe.stats.misses;
@@ -60,7 +59,7 @@ void QueryResultCache::Insert(const QueryCacheKey& key, CachedAnswers entry) {
 void QueryResultCache::Insert(const QueryCacheKey& key,
                               std::shared_ptr<const CachedAnswers> entry) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  MutexLock lock(stripe.mutex);
   if (stripe.capacity == 0) return;
   auto it = stripe.index.find(key);
   if (it != stripe.index.end()) {
@@ -80,7 +79,7 @@ void QueryResultCache::Insert(const QueryCacheKey& key,
 size_t QueryResultCache::size() const {
   size_t total = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
+    MutexLock lock(stripe->mutex);
     total += stripe->lru.size();
   }
   return total;
@@ -89,7 +88,7 @@ size_t QueryResultCache::size() const {
 QueryCacheStats QueryResultCache::stats() const {
   QueryCacheStats total;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
+    MutexLock lock(stripe->mutex);
     total += stripe->stats;
   }
   return total;

@@ -3,11 +3,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "match/answer_set.h"
 
 /// \file query_cache.h
@@ -21,7 +22,7 @@
 /// `match::AnswerSet` can be replayed from memory instead of re-running the
 /// engine.
 ///
-/// The key is a pair of content fingerprints (io/fingerprint.h):
+/// The key is a pair of content fingerprints (match/fingerprint.h):
 ///  * the *prepared query* fingerprint — folded names, types and tree
 ///    shape, so two spellings that fold identically share one entry;
 ///  * the *match options* fingerprint — Δ threshold, injectivity, the full
@@ -138,14 +139,19 @@ class QueryResultCache {
       std::pair<QueryCacheKey, std::shared_ptr<const CachedAnswers>>;
 
   /// One lock's worth of the cache: an independent LRU map over its share
-  /// of the key space.
+  /// of the key space. Everything mutable is guarded by the stripe's own
+  /// mutex — the annotations make an unlocked touch a compile error.
   struct Stripe {
-    mutable std::mutex mutex;
-    size_t capacity = 0;
+    explicit Stripe(size_t capacity) : capacity(capacity) {}
+
+    mutable Mutex mutex;
+    /// Immutable after construction (set before the cache is shared).
+    const size_t capacity;
     /// Most-recently-used at the front.
-    std::list<Entry> lru;
-    std::unordered_map<QueryCacheKey, std::list<Entry>::iterator, Hash> index;
-    QueryCacheStats stats;
+    std::list<Entry> lru SMB_GUARDED_BY(mutex);
+    std::unordered_map<QueryCacheKey, std::list<Entry>::iterator, Hash> index
+        SMB_GUARDED_BY(mutex);
+    QueryCacheStats stats SMB_GUARDED_BY(mutex);
   };
 
   Stripe& StripeFor(const QueryCacheKey& key) {

@@ -1,9 +1,12 @@
-#include "io/answer_set_io.h"
+#include "eval/answer_set_io.h"
 
 #include "common/strings.h"
 #include "io/csv.h"
 
-namespace smb::io {
+/// \file answer_set_io.cc
+/// \brief CSV reader/writer for answer sets and ground-truth judgments.
+
+namespace smb::eval {
 
 namespace {
 
@@ -19,7 +22,7 @@ std::string TargetsToField(const std::vector<schema::NodeId>& targets) {
 Result<std::vector<schema::NodeId>> FieldToTargets(std::string_view field) {
   std::vector<schema::NodeId> targets;
   for (const std::string& part : Split(field, ';')) {
-    SMB_ASSIGN_OR_RETURN(uint64_t value, ParseUint(part));
+    SMB_ASSIGN_OR_RETURN(uint64_t value, io::ParseUint(part));
     if (value > static_cast<uint64_t>(INT32_MAX)) {
       return Status::ParseError("target id out of range: " + part);
     }
@@ -34,7 +37,7 @@ Result<std::vector<schema::NodeId>> FieldToTargets(std::string_view field) {
 }  // namespace
 
 std::string WriteAnswerSetCsv(const match::AnswerSet& answers) {
-  CsvDocument doc;
+  io::CsvDocument doc;
   doc.metadata.emplace_back("matchbounds", "answer_set");
   doc.metadata.emplace_back("count", std::to_string(answers.size()));
   doc.header = {"schema_index", "targets", "delta"};
@@ -43,11 +46,11 @@ std::string WriteAnswerSetCsv(const match::AnswerSet& answers) {
                         TargetsToField(m.targets),
                         StrFormat("%.17g", m.delta)});
   }
-  return WriteCsv(doc);
+  return io::WriteCsv(doc);
 }
 
 Result<match::AnswerSet> ReadAnswerSetCsv(std::string_view text) {
-  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  SMB_ASSIGN_OR_RETURN(io::CsvDocument doc, io::ParseCsv(text));
   if (doc.GetMeta("matchbounds") != "answer_set") {
     return Status::InvalidArgument(
         "not an answer set file (missing '#matchbounds=answer_set')");
@@ -65,12 +68,12 @@ Result<match::AnswerSet> ReadAnswerSetCsv(std::string_view text) {
     match::Mapping m;
     SMB_ASSIGN_OR_RETURN(
         uint64_t schema_index,
-        ParseUint(row[static_cast<size_t>(schema_col)]));
+        io::ParseUint(row[static_cast<size_t>(schema_col)]));
     m.schema_index = static_cast<int32_t>(schema_index);
     SMB_ASSIGN_OR_RETURN(m.targets,
                          FieldToTargets(row[static_cast<size_t>(targets_col)]));
     SMB_ASSIGN_OR_RETURN(m.delta,
-                         ParseDouble(row[static_cast<size_t>(delta_col)]));
+                         io::ParseDouble(row[static_cast<size_t>(delta_col)]));
     if (m.delta < 0.0) {
       return Status::ParseError(StrFormat("row %zu: negative delta", r + 1));
     }
@@ -82,7 +85,7 @@ Result<match::AnswerSet> ReadAnswerSetCsv(std::string_view text) {
 
 std::string WriteGroundTruthCsv(const eval::GroundTruth& truth,
                                 const std::vector<match::Mapping::Key>& keys) {
-  CsvDocument doc;
+  io::CsvDocument doc;
   doc.metadata.emplace_back("matchbounds", "ground_truth");
   doc.metadata.emplace_back("count", std::to_string(truth.size()));
   doc.header = {"schema_index", "targets"};
@@ -91,11 +94,11 @@ std::string WriteGroundTruthCsv(const eval::GroundTruth& truth,
     doc.rows.push_back(
         {std::to_string(key.schema_index), TargetsToField(key.targets)});
   }
-  return WriteCsv(doc);
+  return io::WriteCsv(doc);
 }
 
 Result<eval::GroundTruth> ReadGroundTruthCsv(std::string_view text) {
-  SMB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  SMB_ASSIGN_OR_RETURN(io::CsvDocument doc, io::ParseCsv(text));
   if (doc.GetMeta("matchbounds") != "ground_truth") {
     return Status::InvalidArgument(
         "not a ground truth file (missing '#matchbounds=ground_truth')");
@@ -111,7 +114,7 @@ Result<eval::GroundTruth> ReadGroundTruthCsv(std::string_view text) {
     match::Mapping::Key key;
     SMB_ASSIGN_OR_RETURN(
         uint64_t schema_index,
-        ParseUint(row[static_cast<size_t>(schema_col)]));
+        io::ParseUint(row[static_cast<size_t>(schema_col)]));
     key.schema_index = static_cast<int32_t>(schema_index);
     SMB_ASSIGN_OR_RETURN(key.targets,
                          FieldToTargets(row[static_cast<size_t>(targets_col)]));
@@ -122,14 +125,14 @@ Result<eval::GroundTruth> ReadGroundTruthCsv(std::string_view text) {
 
 Status WriteAnswerSetFile(const std::string& path,
                           const match::AnswerSet& answers) {
-  return WriteTextFile(path, WriteAnswerSetCsv(answers));
+  return io::WriteTextFile(path, WriteAnswerSetCsv(answers));
 }
 
 Result<match::AnswerSet> ReadAnswerSetFile(const std::string& path) {
-  SMB_ASSIGN_OR_RETURN(std::string content, ReadTextFile(path));
+  SMB_ASSIGN_OR_RETURN(std::string content, io::ReadTextFile(path));
   auto result = ReadAnswerSetCsv(content);
   if (!result.ok()) return result.status().WithContext("in " + path);
   return result;
 }
 
-}  // namespace smb::io
+}  // namespace smb::eval

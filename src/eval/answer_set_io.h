@@ -23,7 +23,7 @@
 /// Ground truth format: the same without the delta column
 /// (`#matchbounds=ground_truth`).
 
-namespace smb::io {
+namespace smb::eval {
 
 /// Serializes a finalized answer set.
 std::string WriteAnswerSetCsv(const match::AnswerSet& answers);
@@ -45,4 +45,4 @@ Status WriteAnswerSetFile(const std::string& path,
 Result<match::AnswerSet> ReadAnswerSetFile(const std::string& path);
 /// @}
 
-}  // namespace smb::io
+}  // namespace smb::eval

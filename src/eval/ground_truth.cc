@@ -1,5 +1,8 @@
 #include "eval/ground_truth.h"
 
+/// \file ground_truth.cc
+/// \brief Ground-truth table: judged pairs, relevance lookup.
+
 namespace smb::eval {
 
 void GroundTruth::AddCorrect(match::Mapping::Key key) {

@@ -1,5 +1,8 @@
 #include "eval/interpolation.h"
 
+/// \file interpolation.cc
+/// \brief Monotone interpolation of recall curves (§3.2 step shapes).
+
 namespace smb::eval {
 
 double ElevenPointCurve::MeanPrecision() const {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+/// \file ir_metrics.cc
+/// \brief Precision/recall/F at k over judged answer lists.
+
 namespace smb::eval {
 
 double AveragePrecision(const match::AnswerSet& answers,

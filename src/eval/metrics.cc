@@ -1,5 +1,8 @@
 #include "eval/metrics.h"
 
+/// \file metrics.cc
+/// \brief Effectiveness metric aggregation across query workloads.
+
 namespace smb::eval {
 
 double Precision(const ConfusionCounts& counts) {

@@ -2,6 +2,10 @@
 
 #include <set>
 
+/// \file pooling.cc
+/// \brief TREC-style pooling implementation: pooled judgments from system
+/// runs.
+
 namespace smb::eval {
 
 namespace {

@@ -4,6 +4,10 @@
 
 #include "common/strings.h"
 
+/// \file pr_curve.cc
+/// \brief Precision-recall curve construction and interpolation entry
+/// points.
+
 namespace smb::eval {
 
 namespace {

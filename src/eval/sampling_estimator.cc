@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+/// \file sampling_estimator.cc
+/// \brief Sampled-precision estimator with confidence intervals.
+
 namespace smb::eval {
 
 namespace {

@@ -8,6 +8,10 @@
 #include "index/prepared_repository.h"
 #include "index/snapshot.h"
 
+/// \file workload.cc
+/// \brief Workload runner: repository + query batch through a matcher to
+/// answer sets.
+
 namespace smb::eval {
 
 namespace {

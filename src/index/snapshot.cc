@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "io/binary_io.h"
-#include "io/fingerprint.h"
+#include "match/fingerprint.h"
 
 namespace smb::index {
 
@@ -625,8 +625,8 @@ std::string EncodeSnapshotAt(const PreparedRepository& prepared,
   io::BinaryWriter out;
   out.WriteBytes(kSnapshotMagic);
   out.WriteU32(version);
-  out.WriteU64(io::FingerprintNameOptions(prepared.name_options()));
-  out.WriteU64(io::FingerprintRepository(prepared.repo()));
+  out.WriteU64(match::FingerprintNameOptions(prepared.name_options()));
+  out.WriteU64(match::FingerprintRepository(prepared.repo()));
   out.WriteU64(body.buffer().size());
   out.WriteU64(io::Checksum64(body.buffer()));
   out.WriteBytes(body.buffer());
@@ -703,13 +703,13 @@ Result<PreparedRepository> DecodeSnapshot(
   // Content checks only after integrity checks, so a bit flip inside a
   // fingerprint field reads as corruption, not as a misleading "different
   // options" claim.
-  if (options_fp != io::FingerprintNameOptions(name_options)) {
+  if (options_fp != match::FingerprintNameOptions(name_options)) {
     return Status::FailedPrecondition(
         "snapshot was built with different scorer options (weights, case "
         "folding, synonym table or synonym score differ) — rebuild the "
         "snapshot with the current options");
   }
-  if (repo_fp != io::FingerprintRepository(repo)) {
+  if (repo_fp != match::FingerprintRepository(repo)) {
     return Status::FailedPrecondition(
         "snapshot was built over a different repository (schema names, "
         "types or structure differ) — rebuild the snapshot from the "

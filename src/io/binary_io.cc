@@ -13,6 +13,9 @@
 
 #include "io/fault_injection.h"
 
+/// \file binary_io.cc
+/// \brief Little-endian encode/decode and checksummed block I/O.
+
 namespace smb::io {
 
 namespace {

@@ -7,6 +7,9 @@
 #include "common/strings.h"
 #include "io/binary_io.h"
 
+/// \file csv.cc
+/// \brief CSV document parsing, escaping and row access.
+
 namespace smb::io {
 
 std::string CsvDocument::GetMeta(std::string_view key) const {

@@ -4,11 +4,12 @@
 #include <csignal>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <random>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 
 /// \file fault_injection.cc
 /// \brief Spec parsing and the mutex-serialized injection registry.
@@ -66,10 +67,10 @@ Result<Fault> ParseMode(std::string_view mode) {
 }  // namespace
 
 struct FaultInjector::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, Site, std::less<>> sites;
-  std::mt19937_64 rng{1};
-  uint64_t total_injected = 0;
+  mutable Mutex mutex;
+  std::map<std::string, Site, std::less<>> sites SMB_GUARDED_BY(mutex);
+  std::mt19937_64 rng SMB_GUARDED_BY(mutex){1};
+  uint64_t total_injected SMB_GUARDED_BY(mutex) = 0;
 };
 
 FaultInjector& FaultInjector::Instance() {
@@ -148,7 +149,7 @@ Status FaultInjector::Configure(std::string_view spec) {
   }
 
   Impl* state = impl();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   state->sites = std::move(sites);
   state->rng.seed(seed);
   state->total_injected = 0;
@@ -165,7 +166,7 @@ Status FaultInjector::ConfigureFromEnv() {
 
 void FaultInjector::Disable() {
   Impl* state = impl();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   state->sites.clear();
   state->total_injected = 0;
   detail::g_fault_injection_enabled.store(false, std::memory_order_relaxed);
@@ -173,7 +174,7 @@ void FaultInjector::Disable() {
 
 Fault FaultInjector::Check(std::string_view site) {
   Impl* state = impl();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   auto it = state->sites.find(site);
   if (it == state->sites.end()) {
     // Track hits even at unconfigured sites so tests can assert a hook is
@@ -207,20 +208,20 @@ Fault FaultInjector::Check(std::string_view site) {
 
 uint64_t FaultInjector::total_injected() const {
   Impl* state = impl();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   return state->total_injected;
 }
 
 uint64_t FaultInjector::injected_at(std::string_view site) const {
   Impl* state = impl();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   auto it = state->sites.find(site);
   return it == state->sites.end() ? 0 : it->second.injected;
 }
 
 uint64_t FaultInjector::hits_at(std::string_view site) const {
   Impl* state = impl();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   auto it = state->sites.find(site);
   return it == state->sites.end() ? 0 : it->second.hits;
 }

@@ -6,6 +6,9 @@
 
 #include "common/strings.h"
 
+/// \file answer_set.cc
+/// \brief Ranked answer-set accumulation, merging and CSV-facing accessors.
+
 namespace smb::match {
 
 void AnswerSet::Add(Mapping mapping) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+/// \file beam_matcher.cc
+/// \brief S2-two implementation: beam search over partial mappings.
+
 namespace smb::match {
 
 namespace {

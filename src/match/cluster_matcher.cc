@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+/// \file cluster_matcher.cc
+/// \brief S2-one implementation: cluster-restricted candidate matching.
+
 namespace smb::match {
 
 Result<ClusterMatcher> ClusterMatcher::Create(

@@ -2,6 +2,9 @@
 
 #include <vector>
 
+/// \file exhaustive_matcher.cc
+/// \brief S1 implementation: exhaustive pairwise matching.
+
 namespace smb::match {
 
 Status Matcher::ValidateInputs(const schema::Schema& query,

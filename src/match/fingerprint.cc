@@ -1,11 +1,15 @@
-#include "io/fingerprint.h"
+#include "match/fingerprint.h"
 
 #include <bit>
 
 #include "common/strings.h"
 #include "sim/synonyms.h"
 
-namespace smb::io {
+/// \file fingerprint.cc
+/// \brief Content fingerprints (FNV-1a over folded names, options, trees)
+/// for cache keys and snapshot validation.
+
+namespace smb::match {
 
 Fingerprinter& Fingerprinter::Bytes(const void* data, size_t size) {
   // FNV-1a folded over little-endian 8-byte words (with a length-framed
@@ -134,4 +138,4 @@ uint64_t FingerprintRepository(const schema::SchemaRepository& repo) {
   return fp.digest();
 }
 
-}  // namespace smb::io
+}  // namespace smb::match

@@ -28,7 +28,7 @@
 /// platforms (FNV-1a over a defined byte sequence), but are not
 /// cryptographic — collisions are astronomically unlikely, not impossible.
 
-namespace smb::io {
+namespace smb::match {
 
 /// \brief Incremental FNV-1a 64 hasher with typed, length-framed appends
 /// (so concatenation ambiguities — "ab" + "c" vs "a" + "bc" — cannot
@@ -77,4 +77,4 @@ uint64_t FingerprintPreparedSchema(const schema::Schema& schema,
 /// the same repository it was built over.
 uint64_t FingerprintRepository(const schema::SchemaRepository& repo);
 
-}  // namespace smb::io
+}  // namespace smb::match

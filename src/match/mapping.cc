@@ -2,6 +2,9 @@
 
 #include "common/strings.h"
 
+/// \file mapping.cc
+/// \brief Element-mapping construction and score bookkeeping.
+
 namespace smb::match {
 
 std::string Mapping::ToString() const {

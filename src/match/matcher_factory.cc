@@ -6,6 +6,9 @@
 #include "match/exhaustive_matcher.h"
 #include "match/topk_matcher.h"
 
+/// \file matcher_factory.cc
+/// \brief Name-to-matcher construction with per-matcher option plumbing.
+
 namespace smb::match {
 
 const std::vector<std::string>& KnownMatchers() {

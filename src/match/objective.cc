@@ -5,6 +5,9 @@
 
 #include "sim/prepared_kernel.h"
 
+/// \file objective.cc
+/// \brief The match objective: weighted name/type/structure scoring.
+
 namespace smb::match {
 
 double ApplyTypePenalty(double cost, const schema::SchemaNode& q,

@@ -4,6 +4,9 @@
 
 #include "common/strings.h"
 
+/// \file random_prune.cc
+/// \brief S_random implementation: seeded pruning to a target fraction.
+
 namespace smb::match {
 
 Result<AnswerSet> RandomPrunePerIncrement(

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <queue>
 
+/// \file topk_matcher.cc
+/// \brief Batch top-k matcher over prepared repositories (sharded,
+/// cutoff-aware).
+
 namespace smb::match {
 
 namespace {

@@ -1,5 +1,9 @@
 #include "schema/repository.h"
 
+/// \file repository.cc
+/// \brief Repository loading: directory scan, per-file parse dispatch, id
+/// assignment.
+
 namespace smb::schema {
 
 Result<int32_t> SchemaRepository::Add(Schema schema) {

@@ -1,5 +1,8 @@
 #include "schema/schema.h"
 
+/// \file schema.cc
+/// \brief Schema tree construction, traversal helpers and path rendering.
+
 namespace smb::schema {
 
 Result<NodeId> Schema::AddRoot(std::string element_name, std::string type) {

@@ -5,6 +5,10 @@
 
 #include "common/strings.h"
 
+/// \file stats.cc
+/// \brief Collection statistics (element/depth histograms) over a
+/// repository.
+
 namespace smb::schema {
 
 RepositoryStats ComputeStats(const SchemaRepository& repo) {

@@ -4,6 +4,9 @@
 
 #include "common/strings.h"
 
+/// \file text_format.cc
+/// \brief Parser and writer for the indented text schema format.
+
 namespace smb::schema {
 
 Result<Schema> ParseSchemaText(std::string_view text) {

@@ -8,6 +8,9 @@
 #include "common/strings.h"
 #include "xml/xml_parser.h"
 
+/// \file xsd_reader.cc
+/// \brief XSD subset reader: XML events to schema trees, refs and nesting.
+
 namespace smb::schema {
 
 namespace {

@@ -4,6 +4,9 @@
 #include "xml/xml_node.h"
 #include "xml/xml_writer.h"
 
+/// \file xsd_writer.cc
+/// \brief Schema-tree to XSD serialization (round-trips the reader subset).
+
 namespace smb::schema {
 
 namespace {

@@ -1,10 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// \file bounded_queue.h
 /// \brief A blocking bounded MPMC queue: the admission buffer between the
@@ -16,6 +17,10 @@
 /// load-shedding policy maps it to a degraded completeness target. `Close()`
 /// implements graceful drain — producers are refused, consumers keep
 /// popping until the queue is empty, then see `std::nullopt`.
+///
+/// Every queue member is `SMB_GUARDED_BY(mutex_)`; the wait loops are
+/// written as explicit `while` + `CondVar::Wait` so Clang's thread-safety
+/// analysis verifies each guarded access (see common/mutex.h).
 namespace smb::serve {
 
 /// \brief Bounded blocking queue, safe for any number of producer and
@@ -32,68 +37,65 @@ class BoundedQueue {
 
   /// \brief Blocks until there is room, then enqueues `item`. Returns false
   /// (without enqueuing) once the queue is closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) SMB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// \brief Blocks until an item is available and dequeues it. After
   /// `Close()`, keeps returning the remaining items and then
   /// `std::nullopt` — consumers drain, they never drop.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() SMB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// \brief Refuses further pushes and wakes every blocked thread. Items
   /// already queued remain poppable. Idempotent.
-  void Close() {
+  void Close() SMB_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const SMB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   /// \brief Fill fraction in [0, 1] — the queue-side load signal.
-  double pressure() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  double pressure() const SMB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return static_cast<double>(items_.size()) /
            static_cast<double>(capacity_);
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const SMB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ SMB_GUARDED_BY(mutex_);
+  bool closed_ SMB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace smb::serve

@@ -4,9 +4,9 @@
 #include <utility>
 
 #include "common/timing.h"
-#include "io/answer_set_io.h"
+#include "eval/answer_set_io.h"
 #include "io/csv.h"
-#include "io/fingerprint.h"
+#include "match/fingerprint.h"
 #include "schema/text_format.h"
 
 /// \file match_service.cc
@@ -26,8 +26,8 @@ namespace {
 uint64_t FingerprintServiceOptions(const match::MatchOptions& match_options,
                                    const engine::BatchMatchOptions& eopts,
                                    uint64_t repo_fingerprint) {
-  io::Fingerprinter fp;
-  fp.U64(io::FingerprintMatchOptions(match_options))
+  match::Fingerprinter fp;
+  fp.U64(match::FingerprintMatchOptions(match_options))
       .U64(repo_fingerprint)
       .U64(eopts.candidate_limit)
       .U64(eopts.global_top_k)
@@ -69,7 +69,7 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
   }
 
   engine::QueryCacheKey key;
-  key.query_fingerprint = io::FingerprintPreparedSchema(
+  key.query_fingerprint = match::FingerprintPreparedSchema(
       query, config_.match_options.objective.name);
   key.options_fingerprint = FingerprintServiceOptions(
       config_.match_options, eopts, index->repo_fingerprint);
@@ -91,7 +91,7 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
   }
   if (!request.out_path.empty()) {
     SMB_RETURN_IF_ERROR(
-        io::WriteAnswerSetFile(request.out_path, cached->answers));
+        eval::WriteAnswerSetFile(request.out_path, cached->answers));
   }
   // Cache only after the write-out succeeded, so a response and its file
   // never disagree about what was served.
@@ -128,7 +128,7 @@ Result<std::shared_ptr<const ServingIndex>> MatchService::Reload(
   // One reload at a time; Execute is never blocked (it only takes
   // index_mutex_ for the pointer read, and the expensive open happens
   // before the swap).
-  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  MutexLock reload_lock(reload_mutex_);
   const std::string dir =
       repo_dir.empty() ? config_.default_repo_dir : repo_dir;
   if (dir.empty()) {
@@ -149,7 +149,7 @@ Result<std::shared_ptr<const ServingIndex>> MatchService::Reload(
       std::shared_ptr<const ServingIndex> next,
       OpenServingIndex(dir, snapshot_path, options, next_generation));
   {
-    std::lock_guard<std::mutex> lock(index_mutex_);
+    MutexLock lock(index_mutex_);
     index_ = next;
   }
   return next;

@@ -1,9 +1,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/batch_match_engine.h"
 #include "engine/query_cache.h"
 #include "match/matcher.h"
@@ -79,12 +80,14 @@ class MatchService {
   /// the error is returned. Returns the new generation. Reloads serialize
   /// among themselves but never block `Execute`.
   Result<std::shared_ptr<const ServingIndex>> Reload(
-      const std::string& snapshot_path, const std::string& repo_dir);
+      const std::string& snapshot_path, const std::string& repo_dir)
+      SMB_EXCLUDES(reload_mutex_, index_mutex_);
 
   /// The current generation (a stable snapshot — callers hold it by
   /// shared_ptr, so a concurrent reload cannot invalidate it).
-  std::shared_ptr<const ServingIndex> index() const {
-    std::lock_guard<std::mutex> lock(index_mutex_);
+  std::shared_ptr<const ServingIndex> index() const
+      SMB_EXCLUDES(index_mutex_) {
+    MutexLock lock(index_mutex_);
     return index_;
   }
 
@@ -95,10 +98,11 @@ class MatchService {
   const engine::QueryResultCache* cache() const { return config_.cache; }
 
  private:
-  mutable std::mutex index_mutex_;
-  std::shared_ptr<const ServingIndex> index_;
+  mutable Mutex index_mutex_;
+  std::shared_ptr<const ServingIndex> index_ SMB_GUARDED_BY(index_mutex_);
   /// Serializes reloads (generation numbering + swap), not execution.
-  std::mutex reload_mutex_;
+  /// Lock order: `reload_mutex_` is always taken before `index_mutex_`.
+  Mutex reload_mutex_ SMB_ACQUIRED_BEFORE(index_mutex_);
   MatchServiceConfig config_;
 };
 

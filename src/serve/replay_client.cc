@@ -1,4 +1,4 @@
-#include "eval/replay_client.h"
+#include "serve/replay_client.h"
 
 #include <algorithm>
 #include <chrono>
@@ -14,7 +14,7 @@
 /// \brief Round-robin fan-out of a request file over N connections, with
 /// bounded-backoff reconnect-and-resend on transport failures.
 
-namespace smb::eval {
+namespace smb::serve {
 
 namespace {
 
@@ -164,4 +164,4 @@ Result<ReplayOutcome> ReplayRequests(
   return outcome;
 }
 
-}  // namespace smb::eval
+}  // namespace smb::serve

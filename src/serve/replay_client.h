@@ -27,7 +27,7 @@
 /// idempotent — the server's result cache is keyed by the query and
 /// options fingerprints, so a request that was executed but whose
 /// response line was lost replays from cache with identical bytes.
-namespace smb::eval {
+namespace smb::serve {
 
 /// \brief Where and how to replay.
 struct ReplayClientOptions {
@@ -73,4 +73,4 @@ Result<ReplayOutcome> ReplayRequests(
     const ReplayClientOptions& options,
     const std::vector<std::string>& request_lines);
 
-}  // namespace smb::eval
+}  // namespace smb::serve

@@ -42,7 +42,7 @@ void MatchServer::RequestDrain() {
   if (listener_) listener_->Shutdown();
   // End-of-stream for every blocked connection reader; their write sides
   // stay open so responses for already-admitted requests still go out.
-  std::lock_guard<std::mutex> lock(connections_mutex_);
+  MutexLock lock(connections_mutex_);
   for (auto& connection : connections_) connection->socket.ShutdownRead();
 }
 
@@ -54,7 +54,7 @@ void MatchServer::Wait() {
   for (;;) {
     std::unique_ptr<Connection> connection;
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       if (connections_.empty()) break;
       connection = std::move(connections_.back());
       connections_.pop_back();
@@ -90,7 +90,7 @@ void MatchServer::AcceptLoop() {
       // Registration and the drain sweep serialize on this mutex: either
       // the connection lands in the list (and drain will ShutdownRead it)
       // or drain already started and the socket closes unused here.
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       if (draining_.load()) return;
       connections_.push_back(std::move(connection));
       raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
@@ -137,7 +137,9 @@ void MatchServer::ConnectionLoop(Connection* connection) {
     if (request->kind == RequestKind::kQuit) {
       std::ostringstream bye;
       bye << "bye served=" << served << " failed=" << failed << "\n";
-      WriteAll(connection->socket, bye.str()).ok();
+      // Best-effort farewell: the connection is closing either way, and a
+      // peer that already hung up must not fail the drain.
+      (void)WriteAll(connection->socket, bye.str());
       break;
     }
     if (request->kind == RequestKind::kStats) {
@@ -187,12 +189,13 @@ void MatchServer::ConnectionLoop(Connection* connection) {
       // Refused at the door during drain — an err response, not a drop.
       stats_.OnFailed();
       ++failed;
-      WriteAll(connection->socket,
-               FormatErrorResponse(
-                   query_path,
-                   Status::FailedPrecondition("server draining")) +
-                   "\n")
-          .ok();
+      // Best-effort refusal notice: the connection thread exits next
+      // either way; a send failure must not mask the drain path.
+      (void)WriteAll(connection->socket,
+                     FormatErrorResponse(
+                         query_path,
+                         Status::FailedPrecondition("server draining")) +
+                         "\n");
       break;
     }
     Result<MatchResponse> response = future.get();
@@ -209,7 +212,7 @@ void MatchServer::ConnectionLoop(Connection* connection) {
   // Close now (not at Wait-time teardown) so the peer sees end-of-stream
   // as soon as its session ends. Serialized against the drain sweep's
   // ShutdownRead by the connections mutex.
-  std::lock_guard<std::mutex> lock(connections_mutex_);
+  MutexLock lock(connections_mutex_);
   connection->socket.Close();
 }
 

@@ -3,12 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timing.h"
 #include "serve/bounded_queue.h"
 #include "serve/match_service.h"
@@ -82,13 +83,13 @@ class MatchServer {
   /// \brief Begins graceful drain: refuse new connections and requests,
   /// finish everything already admitted. Safe to call from any thread
   /// (including a signal-wait thread); idempotent.
-  void RequestDrain();
+  void RequestDrain() SMB_EXCLUDES(connections_mutex_);
 
   /// \brief Blocks until the server fully drained: all connection threads
   /// exited, the queue is empty and all workers joined. Call after
   /// `RequestDrain` (or let a `quit`-less client hang — `Wait` alone does
   /// not initiate shutdown).
-  void Wait();
+  void Wait() SMB_EXCLUDES(connections_mutex_);
 
   /// A coherent snapshot of the operational counters.
   ServerStatsSnapshot stats() const { return stats_.Snapshot(); }
@@ -112,8 +113,9 @@ class MatchServer {
     std::thread thread;
   };
 
-  void AcceptLoop();
-  void ConnectionLoop(Connection* connection);
+  void AcceptLoop() SMB_EXCLUDES(connections_mutex_);
+  void ConnectionLoop(Connection* connection)
+      SMB_EXCLUDES(connections_mutex_);
   void WorkerLoop();
   /// Formats the `stats` response line from the live counters.
   std::string FormatStatsLine() const;
@@ -128,8 +130,9 @@ class MatchServer {
   std::atomic<bool> draining_{false};
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      SMB_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace smb::serve

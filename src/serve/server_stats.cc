@@ -35,13 +35,13 @@ double LatencyRecorder::Quantile(double q) const {
 }
 
 void ServerStats::OnAdmitted() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++in_flight_;
 }
 
 void ServerStats::OnServed(double latency_ms, bool shed,
                            const std::string& request_class) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++served_;
   if (in_flight_ > 0) --in_flight_;
   if (shed) {
@@ -52,18 +52,18 @@ void ServerStats::OnServed(double latency_ms, bool shed,
 }
 
 void ServerStats::OnFailed() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++failed_;
   if (in_flight_ > 0) --in_flight_;
 }
 
 void ServerStats::OnRejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++failed_;
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ServerStatsSnapshot snapshot;
   snapshot.served = served_;
   snapshot.failed = failed_;

@@ -3,14 +3,18 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// \file server_stats.h
 /// \brief Thread-safe operational counters for the serve frontend: request
 /// outcomes, per-class shed counts, an in-flight gauge and a sliding-window
-/// latency recorder feeding the `stats` endpoint's p50/p95.
+/// latency recorder feeding the `stats` endpoint's p50/p95. Every counter
+/// is capability-annotated (`SMB_GUARDED_BY`), so an unlocked access is a
+/// compile error under Clang's thread-safety analysis.
 namespace smb::serve {
 
 /// \brief Sliding window of recent latencies with percentile queries.
@@ -64,26 +68,28 @@ class ServerStats {
   ServerStats& operator=(const ServerStats&) = delete;
 
   /// A request was admitted into the queue.
-  void OnAdmitted();
+  void OnAdmitted() SMB_EXCLUDES(mutex_);
   /// A previously admitted request finished with an `ok` response.
   void OnServed(double latency_ms, bool shed,
-                const std::string& request_class);
+                const std::string& request_class) SMB_EXCLUDES(mutex_);
   /// A previously admitted request finished with an `err` response.
-  void OnFailed();
+  void OnFailed() SMB_EXCLUDES(mutex_);
   /// A request failed before admission (parse error, unreadable line) —
   /// counts as failed without touching the in-flight gauge.
-  void OnRejected();
+  void OnRejected() SMB_EXCLUDES(mutex_);
 
-  ServerStatsSnapshot Snapshot() const;
+  ServerStatsSnapshot Snapshot() const SMB_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  uint64_t served_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t shed_ = 0;
-  std::map<std::string, uint64_t> shed_by_class_;
-  uint64_t in_flight_ = 0;
-  LatencyRecorder latencies_;
+  mutable Mutex mutex_;
+  uint64_t served_ SMB_GUARDED_BY(mutex_) = 0;
+  uint64_t failed_ SMB_GUARDED_BY(mutex_) = 0;
+  uint64_t shed_ SMB_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, uint64_t> shed_by_class_ SMB_GUARDED_BY(mutex_);
+  uint64_t in_flight_ SMB_GUARDED_BY(mutex_) = 0;
+  /// LatencyRecorder is thread-compatible; this instance is only touched
+  /// under `mutex_`.
+  LatencyRecorder latencies_ SMB_GUARDED_BY(mutex_);
 };
 
 }  // namespace smb::serve

@@ -4,7 +4,7 @@
 
 #include "common/timing.h"
 #include "index/snapshot.h"
-#include "io/fingerprint.h"
+#include "match/fingerprint.h"
 #include "schema/xsd_reader.h"
 
 /// \file serving_index.cc
@@ -20,7 +20,7 @@ namespace {
 Status PopulateIndex(std::shared_ptr<ServingIndex>& index,
                      const std::string& snapshot_path,
                      const ServingIndexOptions& options) {
-  index->repo_fingerprint = io::FingerprintRepository(index->repo);
+  index->repo_fingerprint = match::FingerprintRepository(index->repo);
   SMB_ASSIGN_OR_RETURN(
       index->matcher,
       match::MakeMatcher(options.matcher_kind, index->repo,

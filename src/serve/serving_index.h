@@ -54,7 +54,7 @@ struct ServingIndex {
   /// Monotone generation number (startup = 1, each reload +1).
   uint64_t generation = 0;
   schema::SchemaRepository repo;
-  /// `io::FingerprintRepository(repo)` — the cache-key ingredient.
+  /// `match::FingerprintRepository(repo)` — the cache-key ingredient.
   uint64_t repo_fingerprint = 0;
   std::unique_ptr<match::Matcher> matcher;
   std::optional<index::PreparedRepository> prepared;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+/// \file edit_distance.cc
+/// \brief Banded Levenshtein distance with early cutoff.
+
 namespace smb::sim {
 
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+/// \file jaro_winkler.cc
+/// \brief Jaro and Jaro-Winkler similarity kernels.
+
 namespace smb::sim {
 
 double JaroSimilarity(std::string_view a, std::string_view b) {

@@ -8,6 +8,10 @@
 #include "sim/ngram.h"
 #include "sim/prepared_kernel.h"
 
+/// \file name_similarity.cc
+/// \brief Composite name similarity: tokenization, synonyms, kernel
+/// dispatch.
+
 namespace smb::sim {
 
 namespace internal {

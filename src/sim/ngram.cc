@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+/// \file ngram.cc
+/// \brief Character n-gram profile construction and cosine overlap.
+
 namespace smb::sim {
 
 std::vector<std::string> ExtractNgrams(std::string_view s, size_t n) {

@@ -7,6 +7,10 @@
 #include "sim/simd_dispatch.h"
 #include "sim/token_similarity.h"
 
+/// \file prepared_kernel.cc
+/// \brief The allocation-free threshold-aware kernel over prepared names
+/// (SIMD tiers behind runtime dispatch).
+
 namespace smb::sim {
 
 namespace {

@@ -2,6 +2,9 @@
 
 #include "common/strings.h"
 
+/// \file synonyms.cc
+/// \brief Synonym table lookup and abbreviation expansion.
+
 namespace smb::sim {
 
 void SynonymTable::AddGroup(const std::vector<std::string>& words) {

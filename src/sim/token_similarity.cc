@@ -5,6 +5,9 @@
 #include "common/strings.h"
 #include "sim/jaro_winkler.h"
 
+/// \file token_similarity.cc
+/// \brief Token-set similarity with greedy best-pair alignment.
+
 namespace smb::sim {
 
 namespace {

@@ -1,10 +1,10 @@
-#include "io/curve_io.h"
+#include "bounds/curve_io.h"
 
 #include <gtest/gtest.h>
 
 #include "common/strings.h"
 
-namespace smb::io {
+namespace smb::bounds {
 namespace {
 
 eval::PrCurve MakeCurve() {
@@ -97,4 +97,4 @@ TEST(BoundsInputIoTest, FileRoundTrip) {
 }
 
 }  // namespace
-}  // namespace smb::io
+}  // namespace smb::bounds

@@ -1,8 +1,8 @@
-#include "io/answer_set_io.h"
+#include "eval/answer_set_io.h"
 
 #include <gtest/gtest.h>
 
-namespace smb::io {
+namespace smb::eval {
 namespace {
 
 match::AnswerSet MakeAnswers() {
@@ -101,4 +101,4 @@ TEST(GroundTruthIoTest, RejectsWrongKind) {
 }
 
 }  // namespace
-}  // namespace smb::io
+}  // namespace smb::eval

@@ -7,9 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
-#include "io/answer_set_io.h"
+#include "eval/answer_set_io.h"
 #include "io/csv.h"
-#include "io/curve_io.h"
+#include "bounds/curve_io.h"
 #include "schema/text_format.h"
 
 namespace smb {
@@ -57,9 +57,9 @@ TEST_P(FormatRobustnessTest, AnswerSetCsvNeverCrashes) {
   answers.Add(match::Mapping{1, {2, 3}, 0.5});
   answers.Add(match::Mapping{0, {7}, 0.25});
   answers.Finalize();
-  const std::string valid = io::WriteAnswerSetCsv(answers);
+  const std::string valid = eval::WriteAnswerSetCsv(answers);
   for (int trial = 0; trial < 300; ++trial) {
-    auto result = io::ReadAnswerSetCsv(Mutate(valid, &rng));
+    auto result = eval::ReadAnswerSetCsv(Mutate(valid, &rng));
     if (result.ok()) {
       EXPECT_TRUE(result->finalized());
     }
@@ -74,9 +74,9 @@ TEST_P(FormatRobustnessTest, BoundsInputCsvNeverCrashes) {
   input.s1_correct = {5, 8};
   input.s2_answers = {8, 15};
   input.total_correct = 30;
-  const std::string valid = io::WriteBoundsInputCsv(input);
+  const std::string valid = bounds::WriteBoundsInputCsv(input);
   for (int trial = 0; trial < 300; ++trial) {
-    auto result = io::ReadBoundsInputCsv(Mutate(valid, &rng));
+    auto result = bounds::ReadBoundsInputCsv(Mutate(valid, &rng));
     if (result.ok()) {
       // Anything that parses must satisfy the containment invariants —
       // Validate ran on load.
@@ -94,10 +94,10 @@ TEST_P(FormatRobustnessTest, GarbageCsvNeverCrashes) {
       garbage += static_cast<char>(rng.UniformInt(1, 127));
     }
     (void)io::ParseCsv(garbage);
-    (void)io::ReadAnswerSetCsv(garbage);
-    (void)io::ReadGroundTruthCsv(garbage);
-    (void)io::ReadPrCurveCsv(garbage);
-    (void)io::ReadBoundsInputCsv(garbage);
+    (void)eval::ReadAnswerSetCsv(garbage);
+    (void)eval::ReadGroundTruthCsv(garbage);
+    (void)bounds::ReadPrCurveCsv(garbage);
+    (void)bounds::ReadBoundsInputCsv(garbage);
   }
 }
 

@@ -1,11 +1,11 @@
-#include "io/fingerprint.h"
+#include "match/fingerprint.h"
 
 #include <gtest/gtest.h>
 
 #include "sim/synonyms.h"
 #include "../testing/fixtures.h"
 
-namespace smb::io {
+namespace smb::match {
 namespace {
 
 const sim::SynonymTable& Builtin() {
@@ -122,4 +122,4 @@ TEST(FingerprintTest, RepositoryFingerprintSeesEverySchema) {
 }
 
 }  // namespace
-}  // namespace smb::io
+}  // namespace smb::match

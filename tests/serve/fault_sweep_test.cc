@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/query_cache.h"
-#include "eval/replay_client.h"
+#include "serve/replay_client.h"
 #include "io/csv.h"
 #include "io/fault_injection.h"
 #include "schema/text_format.h"
@@ -75,14 +75,14 @@ TEST(FaultSweepTest, EveryRequestEndsOkOrErrUnderInjectedFaults) {
     ASSERT_TRUE(server.Start().ok());
 
     ASSERT_TRUE(io::FaultInjector::Instance().Configure(spec).ok());
-    eval::ReplayClientOptions options;
+    serve::ReplayClientOptions options;
     options.port = server.port();
     options.connections = 3;
     options.max_retries = 16;
     options.retry_base_ms = 1.0;
     options.retry_max_ms = 20.0;
     const std::vector<std::string> requests(30, "match " + query_path);
-    auto outcome = eval::ReplayRequests(options, requests);
+    auto outcome = serve::ReplayRequests(options, requests);
     const uint64_t injected =
         io::FaultInjector::Instance().total_injected();
     io::FaultInjector::Instance().Disable();

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/query_cache.h"
-#include "eval/replay_client.h"
+#include "serve/replay_client.h"
 #include "io/csv.h"
 #include "io/fault_injection.h"
 #include "schema/text_format.h"
@@ -54,8 +54,8 @@ class RetryFixture : public ::testing::Test {
     server_->Wait();
   }
 
-  eval::ReplayClientOptions Options(size_t max_retries) const {
-    eval::ReplayClientOptions options;
+  serve::ReplayClientOptions Options(size_t max_retries) const {
+    serve::ReplayClientOptions options;
     options.port = server_->port();
     options.max_retries = max_retries;
     options.retry_base_ms = 1.0;  // keep the test fast
@@ -74,7 +74,7 @@ class RetryFixture : public ::testing::Test {
 };
 
 TEST_F(RetryFixture, CleanReplayNeedsNoRetries) {
-  auto outcome = eval::ReplayRequests(Options(3), Requests(4));
+  auto outcome = serve::ReplayRequests(Options(3), Requests(4));
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   EXPECT_EQ(outcome->ok_count, 4u);
   EXPECT_EQ(outcome->retries, 0u);
@@ -90,7 +90,7 @@ TEST_F(RetryFixture, InjectedEintrIsAbsorbedBelowTheClient) {
                              "socket.send=0.3:eintr,"
                              "socket.accept=0.3:eintr")
                   .ok());
-  auto outcome = eval::ReplayRequests(Options(0), Requests(8));
+  auto outcome = serve::ReplayRequests(Options(0), Requests(8));
   const uint64_t injected =
       io::FaultInjector::Instance().total_injected();
   io::FaultInjector::Instance().Disable();
@@ -107,7 +107,7 @@ TEST_F(RetryFixture, ResetMidSessionIsRetriedAndTheReplayCompletes) {
   // and re-send).
   ASSERT_TRUE(
       io::FaultInjector::Instance().Configure("socket.recv@2:reset").ok());
-  auto outcome = eval::ReplayRequests(Options(4), Requests(6));
+  auto outcome = serve::ReplayRequests(Options(4), Requests(6));
   io::FaultInjector::Instance().Disable();
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   EXPECT_EQ(outcome->ok_count, 6u);
@@ -124,7 +124,7 @@ TEST_F(RetryFixture, RepeatedResetsAreSurvivedWithinTheBudget) {
   ASSERT_TRUE(io::FaultInjector::Instance()
                   .Configure("seed=3,socket.recv=0.08:reset")
                   .ok());
-  auto outcome = eval::ReplayRequests(Options(8), Requests(24));
+  auto outcome = serve::ReplayRequests(Options(8), Requests(24));
   io::FaultInjector::Instance().Disable();
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   EXPECT_EQ(outcome->ok_count + outcome->err_count, 24u);
@@ -135,7 +135,7 @@ TEST_F(RetryFixture, RepeatedResetsAreSurvivedWithinTheBudget) {
 TEST_F(RetryFixture, WithoutARetryBudgetATransportFailureIsFatal) {
   ASSERT_TRUE(
       io::FaultInjector::Instance().Configure("socket.recv@2:reset").ok());
-  auto outcome = eval::ReplayRequests(Options(0), Requests(6));
+  auto outcome = serve::ReplayRequests(Options(0), Requests(6));
   io::FaultInjector::Instance().Disable();
   EXPECT_FALSE(outcome.ok())
       << "max_retries=0 must preserve the old fail-fast behaviour";
@@ -144,12 +144,12 @@ TEST_F(RetryFixture, WithoutARetryBudgetATransportFailureIsFatal) {
 TEST_F(RetryFixture, RetriedResponsesMatchTheUnfaultedRun) {
   // The idempotency claim, end to end: answers under injected resets are
   // byte-identical to a clean replay (cache or no cache).
-  auto clean = eval::ReplayRequests(Options(0), Requests(5));
+  auto clean = serve::ReplayRequests(Options(0), Requests(5));
   ASSERT_TRUE(clean.ok()) << clean.status();
   ASSERT_TRUE(io::FaultInjector::Instance()
                   .Configure("seed=9,socket.recv=0.1:reset")
                   .ok());
-  auto faulted = eval::ReplayRequests(Options(8), Requests(5));
+  auto faulted = serve::ReplayRequests(Options(8), Requests(5));
   io::FaultInjector::Instance().Disable();
   ASSERT_TRUE(faulted.ok()) << faulted.status();
   ASSERT_EQ(faulted->responses.size(), clean->responses.size());

@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Include-layering linter for the MatchBounds source tree.
+
+Parses every ``#include "..."`` edge under ``src/`` and enforces the
+subsystem dependency DAG documented in ``docs/architecture.md``
+("Static analysis & concurrency contracts"). Each subsystem is one
+directory directly under ``src/``; an include of ``"foo/bar.h"`` from a
+file in ``src/baz/`` is an edge ``baz -> foo`` and must appear in the
+rules table below.
+
+The table is the machine-readable source of truth: docs/architecture.md
+renders the same rules prose-side, and any edit here must update the
+chapter (check_docs.py keeps the file list honest, this linter keeps the
+graph honest).
+
+Usage:
+  tools/check_layering.py [--root DIR] [--self-test]
+
+Exit status 0 when the tree conforms, 1 with one ``file:line:`` diagnostic
+per offending include otherwise. ``--self-test`` builds a synthetic tree
+containing known violations and asserts each is caught (and that a
+conforming tree passes); it is registered in ctest and CI so the linter
+cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Machine-readable rules table: subsystem -> subsystems it may include.
+# An absent pair is a violation. The table must stay a DAG (checked below
+# at startup, so a rules edit cannot reintroduce a cycle) and `bounds`
+# must stay index-free: the effectiveness-bound math consumes recall
+# curves and answer sets, never index internals — that separation is what
+# lets the paper-figure pipeline run without building an index.
+ALLOWED_DEPS = {
+    "common": set(),
+    "xml": {"common"},
+    "io": {"common"},
+    "sim": {"common"},
+    "schema": {"common", "xml"},
+    "cluster": {"common", "schema"},
+    "match": {"common", "schema", "sim", "cluster"},
+    "index": {"common", "io", "schema", "sim", "match"},
+    "engine": {"common", "schema", "sim", "match", "index"},
+    "eval": {"common", "io", "schema", "sim", "match", "index", "engine"},
+    "bounds": {"common", "io", "match", "eval"},
+    "synth": {"common", "schema", "sim", "eval"},
+    "serve": {"common", "io", "schema", "sim", "match", "index", "engine",
+              "eval"},
+}
+
+# Subsystems whose files must never *transitively* include a header of
+# another subsystem, even through an allowed intermediary (bounds may use
+# eval's answer-set types, but only via eval headers that do not pull the
+# index in). Checked on the actual file-level include closure, so an eval
+# header growing an index include breaks the build script, not just taste.
+FORBIDDEN_TRANSITIVE = {
+    "bounds": {"index"},
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+
+def check_rules_table_is_dag() -> None:
+    """Refuses to run with a cyclic rules table (a rules edit gone wrong)."""
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(node: str, stack: list[str]) -> None:
+        if state.get(node) == 1:
+            return
+        if state.get(node) == 0:
+            cycle = " -> ".join(stack[stack.index(node):] + [node])
+            raise SystemExit(f"rules table is cyclic: {cycle}")
+        state[node] = 0
+        for dep in sorted(ALLOWED_DEPS.get(node, ())):
+            visit(dep, stack + [node])
+        state[node] = 1
+
+    for subsystem in ALLOWED_DEPS:
+        visit(subsystem, [])
+
+
+def build_file_include_graph(src_root: str) -> dict[str, list[str]]:
+    """src-relative path -> list of src-relative quoted includes."""
+    graph: dict[str, list[str]] = {}
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, src_root)
+        deps = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                match = INCLUDE_RE.match(line)
+                if match and os.path.exists(
+                        os.path.join(src_root, match.group(1))):
+                    deps.append(match.group(1))
+        graph[rel] = deps
+    return graph
+
+
+def check_forbidden_transitive(src_root: str) -> list[str]:
+    """Walks the real file-level include closure of each restricted
+    subsystem and reports any path that reaches a banned one."""
+    graph = build_file_include_graph(src_root)
+    errors = []
+    for subsystem, banned in sorted(FORBIDDEN_TRANSITIVE.items()):
+        for start in sorted(graph):
+            if start.split(os.sep)[0] != subsystem:
+                continue
+            # BFS keeping the first path found, for a readable diagnostic.
+            parents: dict[str, str] = {}
+            frontier = [start]
+            seen = {start}
+            while frontier:
+                node = frontier.pop(0)
+                for dep in graph.get(node, ()):
+                    if dep in seen:
+                        continue
+                    seen.add(dep)
+                    parents[dep] = node
+                    frontier.append(dep)
+            for target in sorted(seen):
+                if target.split(os.sep)[0] in banned:
+                    chain = [target]
+                    while chain[-1] in parents:
+                        chain.append(parents[chain[-1]])
+                    errors.append(
+                        f"src/{start}: transitively includes src/{target}"
+                        f" ({' <- '.join('src/' + c for c in chain)});"
+                        f" {subsystem} must stay"
+                        f" {target.split(os.sep)[0]}-free")
+    return errors
+
+
+def iter_source_files(src_root: str):
+    for root, dirs, files in os.walk(src_root):
+        dirs.sort()
+        for name in sorted(files):
+            if name.endswith(SOURCE_EXTENSIONS):
+                yield os.path.join(root, name)
+
+
+def check_tree(repo_root: str) -> list[str]:
+    """Returns one diagnostic string per violation in repo_root/src."""
+    src_root = os.path.join(repo_root, "src")
+    if not os.path.isdir(src_root):
+        return [f"{src_root}: not a directory"]
+
+    subsystems = {
+        entry for entry in os.listdir(src_root)
+        if os.path.isdir(os.path.join(src_root, entry))
+    }
+    errors = []
+    for subsystem in sorted(subsystems):
+        if subsystem not in ALLOWED_DEPS:
+            errors.append(
+                f"src/{subsystem}: subsystem missing from the rules table in"
+                f" tools/check_layering.py (add it with its allowed deps)")
+
+    errors.extend(check_forbidden_transitive(src_root))
+
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, repo_root)
+        subsystem = os.path.relpath(path, src_root).split(os.sep)[0]
+        allowed = ALLOWED_DEPS.get(subsystem, set())
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                match = INCLUDE_RE.match(line)
+                if not match:
+                    continue
+                target = match.group(1)
+                if "/" not in target:
+                    continue  # same-directory or generated header
+                dep = target.split("/")[0]
+                if dep == subsystem or dep not in subsystems:
+                    continue  # self-edge or non-subsystem path
+                if dep not in allowed:
+                    errors.append(
+                        f"{rel}:{lineno}: {subsystem} may not include"
+                        f" {dep} (\"{target}\"); allowed:"
+                        f" {', '.join(sorted(allowed)) or '(none)'}")
+    return errors
+
+
+def self_test() -> int:
+    """Synthesizes trees with known violations; asserts each is caught."""
+    failures = []
+
+    def make_tree(files: dict[str, str]) -> str:
+        root = tempfile.mkdtemp(prefix="check_layering_selftest_")
+        for rel, content in files.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+        return root
+
+    # A conforming tree must pass.
+    clean = make_tree({
+        "src/common/status.h": "#pragma once\n",
+        "src/io/csv.h": '#include "common/status.h"\n',
+        "src/bounds/curve.h": '#include "common/status.h"\n'
+                              '#include "io/csv.h"\n',
+    })
+    errors = check_tree(clean)
+    if errors:
+        failures.append(f"clean tree flagged: {errors}")
+
+    # An upward edge (io -> engine) must fail with file:line.
+    upward = make_tree({
+        "src/engine/engine.h": "#pragma once\n",
+        "src/io/bad.cc": '// comment\n#include "engine/engine.h"\n',
+    })
+    errors = check_tree(upward)
+    if not any("src/io/bad.cc:2:" in e and "engine" in e for e in errors):
+        failures.append(f"upward edge io->engine not caught: {errors}")
+
+    # bounds including index must fail (the documented index-free rule).
+    bounds_index = make_tree({
+        "src/index/posting.h": "#pragma once\n",
+        "src/bounds/bad.h": '#include "index/posting.h"\n',
+    })
+    errors = check_tree(bounds_index)
+    if not any("src/bounds/bad.h:1:" in e and "index" in e for e in errors):
+        failures.append(f"bounds->index not caught: {errors}")
+
+    # bounds reaching index *through* an allowed eval header must fail.
+    bounds_transitive = make_tree({
+        "src/index/posting.h": "#pragma once\n",
+        "src/eval/metrics.h": '#include "index/posting.h"\n',
+        "src/bounds/sneaky.h": '#include "eval/metrics.h"\n',
+    })
+    errors = check_tree(bounds_transitive)
+    if not any("src/bounds/sneaky.h" in e and "index-free" in e
+               for e in errors):
+        failures.append(f"transitive bounds->eval->index not caught: {errors}")
+
+    # A subsystem absent from the rules table must be reported.
+    unknown = make_tree({
+        "src/mystery/thing.h": "#pragma once\n",
+    })
+    errors = check_tree(unknown)
+    if not any("missing from the rules table" in e for e in errors):
+        failures.append(f"unknown subsystem not reported: {errors}")
+
+    # System and same-directory includes are never edges.
+    benign = make_tree({
+        "src/common/a.h": '#include <vector>\n#include "b.h"\n',
+        "src/common/b.h": "#pragma once\n",
+    })
+    errors = check_tree(benign)
+    if errors:
+        failures.append(f"benign includes flagged: {errors}")
+
+    if failures:
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("check_layering self-test: OK (6 scenarios)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's ../)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic-violation self-test and exit")
+    args = parser.parse_args()
+
+    check_rules_table_is_dag()
+
+    if args.self_test:
+        return self_test()
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    errors = check_tree(repo_root)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_layering: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"check_layering: OK ({len(ALLOWED_DEPS)} subsystems conform)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

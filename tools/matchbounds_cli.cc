@@ -40,14 +40,14 @@
 #include "engine/batch_match_engine.h"
 #include "engine/query_cache.h"
 #include "eval/pr_curve.h"
-#include "eval/replay_client.h"
+#include "serve/replay_client.h"
 #include "eval/workload.h"
 #include "index/snapshot.h"
-#include "io/answer_set_io.h"
-#include "io/curve_io.h"
+#include "eval/answer_set_io.h"
+#include "bounds/curve_io.h"
 #include "io/csv.h"
 #include "io/fault_injection.h"
-#include "io/fingerprint.h"
+#include "match/fingerprint.h"
 #include "match/matcher_factory.h"
 #include "schema/text_format.h"
 #include "schema/xsd_reader.h"
@@ -229,7 +229,7 @@ int CmdGenerate(const CommandLine& cl) {
   }
   if (Status st = io::WriteTextFile(
           out_dir + "/truth.csv",
-          io::WriteGroundTruthCsv(canonical_truth, canonical_keys));
+          eval::WriteGroundTruthCsv(canonical_truth, canonical_keys));
       !st.ok()) {
     return Fail(st);
   }
@@ -394,7 +394,7 @@ int CmdMatch(const CommandLine& cl) {
     }
   }
   if (!answers.ok()) return Fail(answers.status());
-  if (Status st = io::WriteAnswerSetFile(out_path, *answers); !st.ok()) {
+  if (Status st = eval::WriteAnswerSetFile(out_path, *answers); !st.ok()) {
     return Fail(st);
   }
   std::cout << kind << " matcher: " << answers->size() << " answers (Δ ≤ "
@@ -654,14 +654,14 @@ int CmdWorkload(const CommandLine& cl) {
     for (size_t i = 0; i < result->answers.size(); ++i) {
       std::string path =
           out_dir + "/answers-" + StrFormat("%04zu", i) + ".csv";
-      if (Status st = io::WriteAnswerSetFile(path, result->answers[i]);
+      if (Status st = eval::WriteAnswerSetFile(path, result->answers[i]);
           !st.ok()) {
         return Fail(st);
       }
       if (wopts.compare_dense) {
         path = out_dir + "/dense-" + StrFormat("%04zu", i) + ".csv";
         if (Status st =
-                io::WriteAnswerSetFile(path, result->dense_answers[i]);
+                eval::WriteAnswerSetFile(path, result->dense_answers[i]);
             !st.ok()) {
           return Fail(st);
         }
@@ -976,7 +976,7 @@ int CmdClient(const CommandLine& cl) {
     if (!serve::IsIgnorableLine(line)) request_lines.push_back(line);
   }
 
-  eval::ReplayClientOptions options;
+  serve::ReplayClientOptions options;
   options.host = address->first;
   options.port = address->second;
   options.connections = static_cast<size_t>(*connections);
@@ -984,7 +984,7 @@ int CmdClient(const CommandLine& cl) {
   options.retry_base_ms = *retry_base_ms;
   options.retry_max_ms = *retry_max_ms;
   options.retry_jitter_seed = *retry_seed;
-  auto outcome = eval::ReplayRequests(options, request_lines);
+  auto outcome = serve::ReplayRequests(options, request_lines);
   if (!outcome.ok()) return Fail(outcome.status());
   for (const std::string& response : outcome->responses) {
     std::cout << response << "\n";
@@ -1006,11 +1006,11 @@ int CmdCurve(const CommandLine& cl) {
     return Fail(
         Status::InvalidArgument("--answers, --truth and --out required"));
   }
-  auto answers = io::ReadAnswerSetFile(answers_path);
+  auto answers = eval::ReadAnswerSetFile(answers_path);
   if (!answers.ok()) return Fail(answers.status());
   auto truth_text = io::ReadTextFile(truth_path);
   if (!truth_text.ok()) return Fail(truth_text.status());
-  auto truth = io::ReadGroundTruthCsv(*truth_text);
+  auto truth = eval::ReadGroundTruthCsv(*truth_text);
   if (!truth.ok()) return Fail(truth.status());
 
   auto max = cl.GetDouble("max", 0.25);
@@ -1020,7 +1020,7 @@ int CmdCurve(const CommandLine& cl) {
   auto curve = eval::PrCurve::Measure(*answers, *truth,
                                       eval::UniformThresholds(*max, *step));
   if (!curve.ok()) return Fail(curve.status());
-  if (Status st = io::WritePrCurveFile(out_path, *curve); !st.ok()) {
+  if (Status st = bounds::WritePrCurveFile(out_path, *curve); !st.ok()) {
     return Fail(st);
   }
   std::cout << "measured " << curve->size() << " curve points (|H| = "
@@ -1031,7 +1031,7 @@ int CmdCurve(const CommandLine& cl) {
 int CmdBounds(const CommandLine& cl) {
   Result<bounds::BoundsInput> input = Status::Internal("unreachable");
   if (cl.Has("input")) {
-    input = io::ReadBoundsInputFile(cl.Get("input"));
+    input = bounds::ReadBoundsInputFile(cl.Get("input"));
   } else {
     std::string curve_path = cl.Get("curve");
     std::string s2_path = cl.Get("s2");
@@ -1039,9 +1039,9 @@ int CmdBounds(const CommandLine& cl) {
       return Fail(Status::InvalidArgument(
           "--curve and --s2 (or --input) required"));
     }
-    auto curve = io::ReadPrCurveFile(curve_path);
+    auto curve = bounds::ReadPrCurveFile(curve_path);
     if (!curve.ok()) return Fail(curve.status());
-    auto s2 = io::ReadAnswerSetFile(s2_path);
+    auto s2 = eval::ReadAnswerSetFile(s2_path);
     if (!s2.ok()) return Fail(s2.status());
     std::vector<double> thresholds;
     for (const auto& p : curve->points()) thresholds.push_back(p.threshold);
