@@ -1,0 +1,81 @@
+#include "common/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+/// \file percentile.cc
+/// \brief Nearest-rank quantile math and the sliding-window ring buffer.
+
+namespace smb {
+
+double NearestRankQuantileInPlace(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: ceil(q * n) converted to a 0-based index.
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(samples->size())));
+  if (rank > 0) --rank;
+  std::nth_element(samples->begin(), samples->begin() + rank, samples->end());
+  return (*samples)[rank];
+}
+
+double NearestRankQuantile(std::vector<double> samples, double q) {
+  return NearestRankQuantileInPlace(&samples, q);
+}
+
+PercentileSummary SummarizePercentiles(std::vector<double> samples) {
+  PercentileSummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  summary.min = samples.front();
+  summary.max = samples.back();
+  summary.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                 static_cast<double>(samples.size());
+  // The samples are fully sorted, so each quantile is a direct index.
+  const auto at = [&samples](double q) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank > 0) --rank;
+    return samples[rank];
+  };
+  summary.p50 = at(0.50);
+  summary.p95 = at(0.95);
+  summary.p99 = at(0.99);
+  return summary;
+}
+
+SlidingWindowRecorder::SlidingWindowRecorder(size_t window)
+    : window_(window) {
+  samples_.reserve(window_);
+}
+
+void SlidingWindowRecorder::Record(double sample) {
+  if (window_ == 0) return;  // Disabled: retain nothing.
+  const size_t slot = static_cast<size_t>(total_ % window_);
+  if (slot < samples_.size()) {
+    samples_[slot] = sample;
+  } else {
+    samples_.push_back(sample);
+  }
+  ++total_;
+}
+
+double SlidingWindowRecorder::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> scratch = samples_;
+  return NearestRankQuantileInPlace(&scratch, q);
+}
+
+void SlidingWindowRecorder::SeedTotalForTest(uint64_t total) {
+  // Align the seeded counter so the next slot continues the fill phase:
+  // the ring invariant is `slot == total_ % window_` for every retained
+  // sample, which a fresh recorder establishes by filling slot 0 first.
+  total_ = total;
+  if (window_ != 0 && total_ % window_ != samples_.size()) {
+    total_ += window_ - (total_ % window_) + samples_.size();
+  }
+}
+
+}  // namespace smb

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file percentile.h
+/// \brief Nearest-rank quantiles and a sliding-window sample recorder.
+///
+/// One tested implementation shared by the serve frontend's `stats`
+/// endpoint (`serve::ServerStats`) and the trace-replay load harness
+/// (`eval::ReplayTrace`), so both report percentiles computed by the same
+/// rule: the *nearest-rank* quantile, `ceil(q * n)` converted to a 0-based
+/// index into the sorted samples. Nearest-rank always returns an observed
+/// sample (no interpolation), which keeps small-sample p99 honest: with
+/// n < 100 the p99 is simply the maximum.
+
+namespace smb {
+
+/// \brief The `q`-quantile (q clamped to [0, 1]) of `samples` by the
+/// nearest-rank rule, reordering `samples` in place (nth_element).
+/// Returns 0 for an empty sample set.
+double NearestRankQuantileInPlace(std::vector<double>* samples, double q);
+
+/// \brief Copying convenience over `NearestRankQuantileInPlace`.
+double NearestRankQuantile(std::vector<double> samples, double q);
+
+/// \brief p50/p95/p99 plus min/max/mean of one sample set, computed with a
+/// single sort. The summary every latency report in the system prints.
+struct PercentileSummary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// \brief Summarizes `samples` (consumed; sorted internally). All fields
+/// zero when `samples` is empty.
+PercentileSummary SummarizePercentiles(std::vector<double> samples);
+
+/// \brief Sliding window over the most recent `window` samples with
+/// nearest-rank quantile queries.
+///
+/// Thread-compatible — callers provide locking (`serve::ServerStats` wraps
+/// one instance under its mutex). The ring index derives from a `uint64_t`
+/// total-count so the recorder survives counter wrap-around that a 32-bit
+/// counter would hit after ~4.3 billion requests: with a window that does
+/// not divide 2^32, a `uint32_t` counter wrapping to 0 would silently jump
+/// the ring position and reorder the retained window.
+class SlidingWindowRecorder {
+ public:
+  /// Keeps the most recent `window` samples. A window of 0 disables the
+  /// recorder entirely: `Record` is a no-op and every quantile is 0.
+  explicit SlidingWindowRecorder(size_t window = 1024);
+
+  void Record(double sample);
+
+  /// \brief Nearest-rank `q`-quantile of the retained window; 0 when no
+  /// samples were recorded yet (or the window is disabled).
+  double Quantile(double q) const;
+
+  /// Samples currently retained (min(total recorded, window)).
+  size_t count() const { return samples_.size(); }
+
+  /// Total samples ever recorded (monotone, 64-bit).
+  uint64_t total() const { return total_; }
+
+  /// \brief Test hook: pre-positions the monotone counter (e.g. just below
+  /// `UINT32_MAX`) to exercise wrap-around behaviour without recording four
+  /// billion samples. Only meaningful on a freshly constructed recorder.
+  void SeedTotalForTest(uint64_t total);
+
+ private:
+  size_t window_;
+  uint64_t total_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace smb

@@ -1,0 +1,36 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+/// \file zipf.cc
+/// \brief CDF construction and binary-search sampling.
+
+namespace smb {
+
+ZipfSampler::ZipfSampler(size_t n, double exponent)
+    : exponent_(exponent < 0.0 ? 0.0 : exponent) {
+  if (n == 0) n = 1;
+  cdf_.reserve(n);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cumulative += std::pow(static_cast<double>(i + 1), -exponent_);
+    cdf_.push_back(cumulative);
+  }
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double draw = rng->UniformDouble() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), draw);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  const double weight =
+      std::pow(static_cast<double>(rank + 1), -exponent_);
+  return weight / cdf_.back();
+}
+
+}  // namespace smb

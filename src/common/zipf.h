@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+/// \file zipf.h
+/// \brief Zipfian rank sampling for skewed synthetic distributions.
+///
+/// Both realism knobs of the load harness draw from this one sampler:
+/// vocabulary skew in the 100k-schema synthetic repository (a few hot
+/// element names dominate, mirroring real-world schema corpora) and query
+/// repetition in workload traces (a few hot queries dominate the stream,
+/// which is what makes the serve-side result cache earn its hit rate).
+
+namespace smb {
+
+/// \brief Samples ranks `0..n-1` with probability proportional to
+/// `(rank + 1)^-exponent` via a precomputed CDF and binary search.
+///
+/// Exponent 0 degenerates to the uniform distribution; exponent ~1 is the
+/// classic Zipf shape. Immutable after construction and therefore safe to
+/// share across threads (each caller brings its own Rng).
+class ZipfSampler {
+ public:
+  /// `n` must be > 0; `exponent` must be >= 0.
+  ZipfSampler(size_t n, double exponent);
+
+  /// One rank draw in `[0, size())`.
+  size_t Sample(Rng* rng) const;
+
+  /// The exact probability of drawing `rank` (for distribution tests).
+  double Probability(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  /// cdf_[i] = unnormalized cumulative weight of ranks 0..i.
+  std::vector<double> cdf_;
+};
+
+}  // namespace smb

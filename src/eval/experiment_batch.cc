@@ -1,0 +1,128 @@
+#include "eval/experiment_batch.h"
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+#include "io/csv.h"
+
+/// \file experiment_batch.cc
+/// \brief Batch-grammar parsing and typed parameter access.
+
+namespace smb::eval {
+
+namespace {
+
+Result<std::pair<std::string, std::string>> SplitPair(
+    const std::string& token, size_t line_number) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::ParseError(
+        "batch line " + std::to_string(line_number) + ": token '" + token +
+        "' is not key=value");
+  }
+  return std::make_pair(token.substr(0, eq), token.substr(eq + 1));
+}
+
+}  // namespace
+
+Result<ExperimentBatch> ParseExperimentBatch(std::string_view text) {
+  ExperimentBatch batch;
+  std::map<std::string, std::string> defaults;
+  std::set<std::string> names;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> tokens = SplitWhitespace(trimmed);
+    if (tokens[0] == "set") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        SMB_ASSIGN_OR_RETURN(auto pair, SplitPair(tokens[i], line_number));
+        defaults[pair.first] = pair.second;
+      }
+      continue;
+    }
+    if (tokens[0] == "experiment") {
+      ExperimentSpec spec;
+      spec.params = defaults;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        SMB_ASSIGN_OR_RETURN(auto pair, SplitPair(tokens[i], line_number));
+        if (pair.first == "name") {
+          spec.name = pair.second;
+        } else {
+          spec.params[pair.first] = std::move(pair.second);
+        }
+      }
+      if (spec.name.empty()) {
+        return Status::ParseError("batch line " +
+                                  std::to_string(line_number) +
+                                  ": experiment needs name=<id>");
+      }
+      if (!names.insert(spec.name).second) {
+        return Status::ParseError("batch line " +
+                                  std::to_string(line_number) +
+                                  ": duplicate experiment name '" +
+                                  spec.name + "'");
+      }
+      batch.experiments.push_back(std::move(spec));
+      continue;
+    }
+    return Status::ParseError("batch line " + std::to_string(line_number) +
+                              ": unknown directive '" + tokens[0] +
+                              "' (expected: set|experiment)");
+  }
+  if (batch.experiments.empty()) {
+    return Status::InvalidArgument(
+        "batch file declares no experiments (needs at least one "
+        "'experiment name=...' line)");
+  }
+  return batch;
+}
+
+Result<ExperimentBatch> LoadExperimentBatch(const std::string& path) {
+  SMB_ASSIGN_OR_RETURN(std::string text, io::ReadTextFile(path));
+  return ParseExperimentBatch(text);
+}
+
+std::string GetParam(const ExperimentSpec& spec, const std::string& key,
+                     std::string default_value) {
+  const auto it = spec.params.find(key);
+  return it == spec.params.end() ? std::move(default_value) : it->second;
+}
+
+Result<double> GetParamDouble(const ExperimentSpec& spec,
+                              const std::string& key,
+                              double default_value) {
+  const auto it = spec.params.find(key);
+  if (it == spec.params.end()) return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::ParseError("experiment '" + spec.name + "': " + key +
+                              "=" + it->second + " is not a number");
+  }
+  return parsed;
+}
+
+Result<uint64_t> GetParamUint(const ExperimentSpec& spec,
+                              const std::string& key,
+                              uint64_t default_value) {
+  const auto it = spec.params.find(key);
+  if (it == spec.params.end()) return default_value;
+  char* end = nullptr;
+  const unsigned long long parsed =
+      std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::ParseError("experiment '" + spec.name + "': " + key +
+                              "=" + it->second +
+                              " is not a non-negative integer");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace smb::eval

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file experiment_batch.h
+/// \brief Declarative experiment-batch files for load-harness sweeps.
+///
+/// One text file enumerates a whole repository-size × matcher × policy
+/// sweep and a single driver executes it (the DNNsim batch.proto /
+/// StatsWriter idea, line-based instead of protobuf so it needs no new
+/// dependency). Grammar, one directive per line, `#` comments:
+/// \code
+///   set <key>=<value> ...          # defaults for all later experiments
+///   experiment name=<id> [<key>=<value> ...]
+/// \endcode
+/// `set` lines apply to the experiments *after* them; each `experiment`
+/// line snapshots the current defaults and overrides them with its own
+/// pairs. Keys are free-form here — the batch *runner*
+/// (harness/batch_runner.h) defines which keys it understands and
+/// rejects unknown ones, so typos fail loudly at run start, not silently
+/// mid-sweep.
+
+namespace smb::eval {
+
+/// \brief One experiment: a name and its resolved key=value parameters.
+struct ExperimentSpec {
+  std::string name;
+  std::map<std::string, std::string> params;
+};
+
+/// \brief A parsed batch file.
+struct ExperimentBatch {
+  std::vector<ExperimentSpec> experiments;
+};
+
+/// \brief Parses the batch grammar; fails on malformed lines, missing or
+/// duplicate experiment names.
+Result<ExperimentBatch> ParseExperimentBatch(std::string_view text);
+
+/// \brief Reads and parses a batch file.
+Result<ExperimentBatch> LoadExperimentBatch(const std::string& path);
+
+/// \name Typed parameter accessors (missing key yields the default;
+/// malformed values are errors naming the experiment and key).
+/// @{
+std::string GetParam(const ExperimentSpec& spec, const std::string& key,
+                     std::string default_value);
+Result<double> GetParamDouble(const ExperimentSpec& spec,
+                              const std::string& key, double default_value);
+Result<uint64_t> GetParamUint(const ExperimentSpec& spec,
+                              const std::string& key,
+                              uint64_t default_value);
+/// @}
+
+}  // namespace smb::eval

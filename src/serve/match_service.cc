@@ -1,5 +1,6 @@
 #include "serve/match_service.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -63,9 +64,21 @@ Result<MatchResponse> MatchService::Execute(const Request& request,
       index->prepared.has_value() ? &*index->prepared : nullptr;
   bool shed = false;
   if (eopts.adaptive.has_value()) {
-    const double effective = EffectiveTarget(config_.shed, pressure);
-    shed = effective < config_.shed.base_target;
+    // A per-request `target=` ask replaces the configured base target but
+    // stays inside the operator's envelope: clamped to the shed floor,
+    // and still subject to the pressure ramp below it.
+    LoadShedPolicy policy = config_.shed;
+    if (request.target_bound > 0.0) {
+      policy.base_target = std::clamp(request.target_bound,
+                                      policy.min_target, 1.0);
+    }
+    const double effective = EffectiveTarget(policy, pressure);
+    shed = effective < policy.base_target;
     eopts.adaptive->min_provable_completeness = effective;
+  } else if (request.target_bound > 0.0) {
+    return Status::FailedPrecondition(
+        "per-request target= needs a bound-driven server (start serve "
+        "with --target-bound)");
   }
 
   engine::QueryCacheKey key;

@@ -95,10 +95,16 @@ Result<Request> ParseRequestLine(const std::string& line) {
         if (request.deadline_ms < 0.0) {
           return Status::InvalidArgument("deadline_ms must be >= 0");
         }
+      } else if (key == "target") {
+        SMB_ASSIGN_OR_RETURN(request.target_bound,
+                             ParseDoubleField(key, value));
+        if (request.target_bound <= 0.0 || request.target_bound > 1.0) {
+          return Status::InvalidArgument("target must be in (0, 1]");
+        }
       } else {
         return Status::InvalidArgument(
             "unknown match option '" + key +
-            "=' (expected: class=, deadline_ms=)");
+            "=' (expected: class=, deadline_ms=, target=)");
       }
     } else if (positional == 0) {
       request.query_path = tokens[i];
@@ -109,13 +115,13 @@ Result<Request> ParseRequestLine(const std::string& line) {
     } else {
       return Status::InvalidArgument(
           "too many positional operands: match <query-file> "
-          "[<answers-out.csv>] [class=NAME] [deadline_ms=N]");
+          "[<answers-out.csv>] [class=NAME] [deadline_ms=N] [target=B]");
     }
   }
   if (request.query_path.empty()) {
     return Status::InvalidArgument(
         "match needs a query file: match <query-file> [<answers-out.csv>] "
-        "[class=NAME] [deadline_ms=N]");
+        "[class=NAME] [deadline_ms=N] [target=B]");
   }
   return request;
 }

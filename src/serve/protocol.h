@@ -16,6 +16,7 @@
 /// ignored):
 /// \code
 ///   match <query-file> [<answers-out.csv>] [class=<name>] [deadline_ms=<ms>]
+///         [target=<bound>]
 ///   stats
 ///   reload <snapshot-file> [<repo-dir>]
 ///   quit
@@ -62,6 +63,11 @@ struct Request {
   std::string request_class = "default";
   /// Per-request deadline in milliseconds; 0 = use the server default.
   double deadline_ms = 0.0;
+  /// Per-request completeness-target ask in (0, 1]; 0 = the server's
+  /// configured target. Only meaningful (and only accepted) when the
+  /// server runs bound-driven; the ask is still subject to the shed ramp
+  /// and the `--min-target-bound` floor.
+  double target_bound = 0.0;
   /// `reload` only: server-side snapshot file to swap in.
   std::string snapshot_path;
   /// `reload` only: repository directory override (empty = the server's

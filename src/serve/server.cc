@@ -255,6 +255,7 @@ std::string MatchServer::FormatStatsLine() const {
       << " workers=" << config_.workers
       << " p50_ms=" << FormatDouble(snapshot.p50_latency_ms, 3)
       << " p95_ms=" << FormatDouble(snapshot.p95_latency_ms, 3)
+      << " p99_ms=" << FormatDouble(snapshot.p99_latency_ms, 3)
       << " cache_hits=" << cache_stats.hits
       << " cache_misses=" << cache_stats.misses
       << " cache_evictions=" << cache_stats.evictions

@@ -1,38 +1,9 @@
 #include "serve/server_stats.h"
 
-#include <algorithm>
-#include <cmath>
-
 /// \file server_stats.cc
-/// \brief Sliding-window latency quantiles and counter bookkeeping.
+/// \brief Counter bookkeeping over the shared sliding-window recorder.
 
 namespace smb::serve {
-
-LatencyRecorder::LatencyRecorder(size_t window)
-    : window_(window == 0 ? 1 : window) {
-  samples_.reserve(window_);
-}
-
-void LatencyRecorder::Record(double latency_ms) {
-  if (samples_.size() < window_) {
-    samples_.push_back(latency_ms);
-  } else {
-    samples_[next_] = latency_ms;
-  }
-  next_ = (next_ + 1) % window_;
-}
-
-double LatencyRecorder::Quantile(double q) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  const double clamped = std::clamp(q, 0.0, 1.0);
-  // Nearest-rank: ceil(q * n) converted to a 0-based index.
-  size_t rank = static_cast<size_t>(
-      std::ceil(clamped * static_cast<double>(sorted.size())));
-  if (rank > 0) --rank;
-  std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.end());
-  return sorted[rank];
-}
 
 void ServerStats::OnAdmitted() {
   MutexLock lock(mutex_);
@@ -72,6 +43,7 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   snapshot.in_flight = in_flight_;
   snapshot.p50_latency_ms = latencies_.Quantile(0.50);
   snapshot.p95_latency_ms = latencies_.Quantile(0.95);
+  snapshot.p99_latency_ms = latencies_.Quantile(0.99);
   return snapshot;
 }
 

@@ -1,42 +1,22 @@
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "common/mutex.h"
+#include "common/percentile.h"
 #include "common/thread_annotations.h"
 
 /// \file server_stats.h
 /// \brief Thread-safe operational counters for the serve frontend: request
 /// outcomes, per-class shed counts, an in-flight gauge and a sliding-window
-/// latency recorder feeding the `stats` endpoint's p50/p95. Every counter
-/// is capability-annotated (`SMB_GUARDED_BY`), so an unlocked access is a
-/// compile error under Clang's thread-safety analysis.
+/// latency recorder feeding the `stats` endpoint's p50/p95/p99. Every
+/// counter is capability-annotated (`SMB_GUARDED_BY`), so an unlocked
+/// access is a compile error under Clang's thread-safety analysis.
+/// Percentile math lives in `common/percentile.h`, shared with the
+/// trace-replay load harness so both report by the same nearest-rank rule.
 namespace smb::serve {
-
-/// \brief Sliding window of recent latencies with percentile queries.
-/// Thread-compatible — callers (ServerStats) provide the locking.
-class LatencyRecorder {
- public:
-  /// Keeps the most recent `window` samples.
-  explicit LatencyRecorder(size_t window = 1024);
-
-  void Record(double latency_ms);
-
-  /// \brief The `q`-quantile (q in [0, 1]) of the retained window via the
-  /// nearest-rank rule; 0 when no samples were recorded yet.
-  double Quantile(double q) const;
-
-  size_t count() const { return samples_.size(); }
-
- private:
-  size_t window_;
-  size_t next_ = 0;
-  std::vector<double> samples_;
-};
 
 /// \brief One coherent copy of the server's counters, taken under the
 /// stats lock; the payload of a `stats` response line.
@@ -55,6 +35,7 @@ struct ServerStatsSnapshot {
   /// excluded), in milliseconds.
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
 };
 
 /// \brief Thread-safe counter hub shared by all worker and connection
@@ -87,9 +68,9 @@ class ServerStats {
   uint64_t shed_ SMB_GUARDED_BY(mutex_) = 0;
   std::map<std::string, uint64_t> shed_by_class_ SMB_GUARDED_BY(mutex_);
   uint64_t in_flight_ SMB_GUARDED_BY(mutex_) = 0;
-  /// LatencyRecorder is thread-compatible; this instance is only touched
-  /// under `mutex_`.
-  LatencyRecorder latencies_ SMB_GUARDED_BY(mutex_);
+  /// SlidingWindowRecorder is thread-compatible; this instance is only
+  /// touched under `mutex_`.
+  SlidingWindowRecorder latencies_ SMB_GUARDED_BY(mutex_);
 };
 
 }  // namespace smb::serve

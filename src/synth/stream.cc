@@ -1,0 +1,179 @@
+#include "synth/stream.h"
+
+#include <utility>
+
+/// \file stream.cc
+/// \brief Vocabulary construction and per-index schema synthesis.
+
+namespace smb::synth {
+
+namespace {
+
+/// Decorrelates per-schema RNG streams: schema `index` draws from a
+/// generator seeded by a splitmix-style mix of (seed, index), so two
+/// indices never share a stream and `Generate(i)` needs no state from
+/// `Generate(j)`.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::string Capitalize(const std::string& word) {
+  std::string out = word;
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+/// Builds `size` distinct words: bare domain stems first (the hottest
+/// Zipf ranks), then camelCase stem pairs, then numbered stems once the
+/// pair space is exhausted. Deterministic — no RNG.
+std::vector<std::string> BuildVocabulary(Domain domain, size_t size) {
+  const Vocabulary base = Vocabulary::ForDomain(domain);
+  const std::vector<std::string>& stems = base.words();
+  std::vector<std::string> words;
+  words.reserve(size);
+  for (const std::string& stem : stems) {
+    if (words.size() >= size) return words;
+    words.push_back(stem);
+  }
+  for (size_t i = 0; i < stems.size(); ++i) {
+    for (size_t j = 0; j < stems.size(); ++j) {
+      if (i == j) continue;
+      if (words.size() >= size) return words;
+      words.push_back(stems[i] + Capitalize(stems[j]));
+    }
+  }
+  for (uint64_t n = 2; words.size() < size; ++n) {
+    for (const std::string& stem : stems) {
+      if (words.size() >= size) break;
+      words.push_back(stem + std::to_string(n));
+    }
+  }
+  return words;
+}
+
+/// Nodes of depth <= `max_depth`, the candidate attach points (same shape
+/// the materializing generator uses, re-derived per call so the stream
+/// keeps no per-schema scratch state).
+std::vector<schema::NodeId> ShallowNodes(const schema::Schema& s,
+                                         int max_depth) {
+  std::vector<schema::NodeId> out;
+  for (schema::NodeId id = 0; id < static_cast<schema::NodeId>(s.size());
+       ++id) {
+    if (s.node(id).depth <= max_depth) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ValidateStreamOptions(const StreamOptions& options) {
+  if (options.num_schemas == 0) {
+    return Status::InvalidArgument("stream needs num_schemas > 0");
+  }
+  if (options.min_schema_elements == 0 ||
+      options.min_schema_elements > options.max_schema_elements) {
+    return Status::InvalidArgument(
+        "stream needs 0 < min_schema_elements <= max_schema_elements");
+  }
+  if (options.vocabulary_size == 0) {
+    return Status::InvalidArgument("stream needs vocabulary_size > 0");
+  }
+  if (options.zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  if (options.compound_probability < 0.0 ||
+      options.compound_probability > 1.0 ||
+      options.typed_leaf_fraction < 0.0 ||
+      options.typed_leaf_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "compound_probability and typed_leaf_fraction must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+SchemaStream::SchemaStream(StreamOptions options,
+                           std::vector<std::string> vocabulary)
+    : options_(std::move(options)),
+      vocabulary_(std::move(vocabulary)),
+      name_sampler_(vocabulary_.size(), options_.zipf_exponent) {}
+
+Result<SchemaStream> SchemaStream::Create(const StreamOptions& options) {
+  SMB_RETURN_IF_ERROR(ValidateStreamOptions(options));
+  std::vector<std::string> vocabulary =
+      BuildVocabulary(options.domain, options.vocabulary_size);
+  return SchemaStream(options, std::move(vocabulary));
+}
+
+std::string SchemaStream::SampleName(Rng* rng) const {
+  const std::string& first = vocabulary_[name_sampler_.Sample(rng)];
+  if (!rng->Bernoulli(options_.compound_probability)) return first;
+  const std::string& second = vocabulary_[name_sampler_.Sample(rng)];
+  std::string out = first;
+  if (!second.empty()) {
+    out.push_back(static_cast<char>(
+        second[0] >= 'a' && second[0] <= 'z' ? second[0] - 'a' + 'A'
+                                             : second[0]));
+    out.append(second, 1, std::string::npos);
+  }
+  return out;
+}
+
+schema::Schema SchemaStream::Generate(uint64_t index) const {
+  Rng rng(MixSeed(options_.seed, index));
+  const size_t elements =
+      options_.min_schema_elements +
+      rng.UniformIndex(options_.max_schema_elements -
+                       options_.min_schema_elements + 1);
+  schema::Schema s("stream-" + std::to_string(index));
+  // AddRoot/AddChild cannot fail here: the root is added exactly once and
+  // parents always come from the live node set.
+  (void)s.AddRoot(SampleName(&rng));
+  while (s.size() < elements) {
+    const std::vector<schema::NodeId> parents =
+        ShallowNodes(s, /*max_depth=*/3);
+    const schema::NodeId parent = parents[rng.UniformIndex(parents.size())];
+    std::string type;
+    if (rng.Bernoulli(options_.typed_leaf_fraction)) {
+      type = Vocabulary::RandomType(&rng);
+    }
+    (void)s.AddChild(parent, SampleName(&rng), type);
+  }
+  schema::ClearInternalTypes(&s);
+  return s;
+}
+
+Result<schema::Schema> SchemaStream::GenerateQuery(size_t num_elements,
+                                                   Rng* rng) const {
+  if (num_elements == 0) {
+    return Status::InvalidArgument("query must have at least one element");
+  }
+  schema::Schema query("stream-query");
+  SMB_RETURN_IF_ERROR(query.AddRoot(SampleName(rng)).status());
+  while (query.size() < num_elements) {
+    const std::vector<schema::NodeId> parents =
+        ShallowNodes(query, /*max_depth=*/2);
+    const schema::NodeId parent = parents[rng->UniformIndex(parents.size())];
+    std::string type;
+    if (rng->Bernoulli(0.5)) type = Vocabulary::RandomType(rng);
+    SMB_RETURN_IF_ERROR(
+        query.AddChild(parent, SampleName(rng), type).status());
+  }
+  schema::ClearInternalTypes(&query);
+  return query;
+}
+
+Result<schema::SchemaRepository> BuildStreamRepository(
+    const SchemaStream& stream) {
+  schema::SchemaRepository repo;
+  for (uint64_t i = 0; i < stream.size(); ++i) {
+    SMB_RETURN_IF_ERROR(repo.Add(stream.Generate(i)).status());
+  }
+  return repo;
+}
+
+}  // namespace smb::synth

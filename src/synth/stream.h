@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "schema/repository.h"
+#include "schema/schema.h"
+#include "synth/vocabulary.h"
+
+/// \file stream.h
+/// \brief Streaming synthetic repository generation at 100k+ schema scale.
+///
+/// The planted-ground-truth generator (`generator.h`) materializes the
+/// whole collection to register plants; that is the right tool for P/R
+/// evaluation but caps out around a few thousand schemas. The load
+/// harness needs repositories two orders of magnitude larger and does not
+/// need ground truth — it measures latency percentiles, throughput and
+/// certified-bound behaviour, not recall against H.
+///
+/// `SchemaStream` therefore generates schema `i` as a pure function of
+/// `(seed, i)`: each schema gets its own forked RNG, so generation is
+/// **O(1) memory per schema** (no cross-schema state), deterministic per
+/// seed, and randomly accessible — `Generate(i)` yields the identical
+/// schema whether or not any other index was generated before it. Schemas
+/// draw element names from a shared rank-ordered vocabulary through a
+/// Zipfian sampler, so a few hot names dominate the corpus the way they do
+/// in real-world schema collections; the shared skewed vocabulary is also
+/// what keeps matching non-trivial at scale (every query word occurs in
+/// thousands of distractor schemas).
+
+namespace smb::synth {
+
+/// \brief Parameters of a streamed synthetic repository.
+struct StreamOptions {
+  /// Number of repository schemas the stream yields.
+  uint64_t num_schemas = 100000;
+  /// Per-schema element-count range (uniform).
+  size_t min_schema_elements = 8;
+  size_t max_schema_elements = 20;
+  /// Vocabulary: number of distinct element-name words, built from the
+  /// domain's stems (bare stems occupy the hottest Zipf ranks, camelCase
+  /// stem compounds and numbered variants fill the tail).
+  size_t vocabulary_size = 2048;
+  /// Zipf exponent of the name distribution (0 = uniform).
+  double zipf_exponent = 1.1;
+  /// Probability an element name is a two-word camelCase compound of
+  /// vocabulary draws (the name-distribution knob).
+  double compound_probability = 0.25;
+  /// Fraction of leaf elements that get a declared simple type (the
+  /// type-distribution knob).
+  double typed_leaf_fraction = 0.6;
+  /// Domain supplying the word stems.
+  Domain domain = Domain::kECommerce;
+  /// Master seed; all randomness derives from (seed, schema index).
+  uint64_t seed = 1;
+};
+
+/// \brief Validates ranges (counts > 0, exponent >= 0, fractions in
+/// [0, 1], element range ordered).
+Status ValidateStreamOptions(const StreamOptions& options);
+
+/// \brief Deterministic random-access schema source over a shared Zipfian
+/// vocabulary. Immutable after construction; safe to share across threads.
+class SchemaStream {
+ public:
+  /// Validates `options` and builds the rank-ordered vocabulary.
+  static Result<SchemaStream> Create(const StreamOptions& options);
+
+  /// Number of schemas in the stream.
+  uint64_t size() const { return options_.num_schemas; }
+
+  const StreamOptions& options() const { return options_; }
+
+  /// The rank-ordered vocabulary (rank 0 = hottest).
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+  /// \brief Generates schema `index` (must be < `size()`). Pure function
+  /// of `(options().seed, index)` — no state is read or written, so
+  /// concurrent calls and out-of-order calls yield identical schemas.
+  schema::Schema Generate(uint64_t index) const;
+
+  /// \brief One Zipf-distributed element name drawn with `rng` (exposed
+  /// for query generation against the same vocabulary).
+  std::string SampleName(Rng* rng) const;
+
+  /// \brief Generates a query schema of `num_elements` elements over the
+  /// stream's vocabulary, biased toward hot ranks like the repository
+  /// itself. Deterministic in `rng`.
+  Result<schema::Schema> GenerateQuery(size_t num_elements, Rng* rng) const;
+
+ private:
+  SchemaStream(StreamOptions options, std::vector<std::string> vocabulary);
+
+  StreamOptions options_;
+  std::vector<std::string> vocabulary_;
+  ZipfSampler name_sampler_;
+};
+
+/// \brief Streams every schema of `stream` into a repository, one at a
+/// time — the collection is never materialized as a separate vector
+/// before indexing. Fails on the first invalid schema (none, by
+/// construction).
+Result<schema::SchemaRepository> BuildStreamRepository(
+    const SchemaStream& stream);
+
+}  // namespace smb::synth

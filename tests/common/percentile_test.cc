@@ -1,0 +1,118 @@
+#include "common/percentile.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(NearestRankQuantileTest, EmptyIsZero) {
+  EXPECT_EQ(NearestRankQuantile({}, 0.5), 0.0);
+}
+
+TEST(NearestRankQuantileTest, SmallWindowQuantiles) {
+  const std::vector<double> samples = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(NearestRankQuantile(samples, 0.0), 1.0);
+  EXPECT_EQ(NearestRankQuantile(samples, 0.5), 3.0);
+  EXPECT_EQ(NearestRankQuantile(samples, 1.0), 5.0);
+}
+
+TEST(NearestRankQuantileTest, OutOfRangeQuantileClamps) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0};
+  EXPECT_EQ(NearestRankQuantile(samples, -1.0), 1.0);
+  EXPECT_EQ(NearestRankQuantile(samples, 2.0), 3.0);
+}
+
+// Nearest-rank p99 on small samples: for n < 100 the rank ceil(0.99 * n)
+// equals n, so p99 is the maximum; at exactly n = 100 it is the 99th
+// sorted sample, and crossing to n = 101 it stays the 100th.
+TEST(NearestRankQuantileTest, ExactBoundaryP99OnSmallSamples) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 99; ++i) samples.push_back(static_cast<double>(i));
+  EXPECT_EQ(NearestRankQuantile(samples, 0.99), 99.0);  // ceil(98.01)=99
+  samples.push_back(100.0);
+  EXPECT_EQ(NearestRankQuantile(samples, 0.99), 99.0);  // ceil(99)=99
+  samples.push_back(101.0);
+  EXPECT_EQ(NearestRankQuantile(samples, 0.99), 100.0);  // ceil(99.99)=100
+  EXPECT_EQ(NearestRankQuantile({42.0}, 0.99), 42.0);
+  EXPECT_EQ(NearestRankQuantile({1.0, 2.0}, 0.99), 2.0);
+}
+
+TEST(SummarizePercentilesTest, EmptyIsAllZero) {
+  const PercentileSummary summary = SummarizePercentiles({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.p50, 0.0);
+  EXPECT_EQ(summary.p99, 0.0);
+}
+
+TEST(SummarizePercentilesTest, MatchesNearestRank) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 200; ++i) samples.push_back(static_cast<double>(i));
+  const PercentileSummary summary = SummarizePercentiles(samples);
+  EXPECT_EQ(summary.count, 200u);
+  EXPECT_EQ(summary.min, 1.0);
+  EXPECT_EQ(summary.max, 200.0);
+  EXPECT_EQ(summary.mean, 100.5);
+  EXPECT_EQ(summary.p50, NearestRankQuantile(samples, 0.50));
+  EXPECT_EQ(summary.p95, NearestRankQuantile(samples, 0.95));
+  EXPECT_EQ(summary.p99, NearestRankQuantile(samples, 0.99));
+}
+
+TEST(SlidingWindowRecorderTest, WindowZeroIsDisabled) {
+  SlidingWindowRecorder recorder(0);
+  recorder.Record(1.0);
+  recorder.Record(2.0);
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.Quantile(0.5), 0.0);
+  EXPECT_EQ(recorder.Quantile(0.99), 0.0);
+}
+
+TEST(SlidingWindowRecorderTest, WindowOneKeepsOnlyTheLastSample) {
+  SlidingWindowRecorder recorder(1);
+  EXPECT_EQ(recorder.Quantile(0.5), 0.0);  // empty
+  recorder.Record(7.0);
+  EXPECT_EQ(recorder.count(), 1u);
+  EXPECT_EQ(recorder.Quantile(0.0), 7.0);
+  EXPECT_EQ(recorder.Quantile(0.99), 7.0);
+  recorder.Record(3.0);
+  EXPECT_EQ(recorder.count(), 1u);
+  EXPECT_EQ(recorder.Quantile(0.5), 3.0);
+}
+
+TEST(SlidingWindowRecorderTest, WindowEvictsOldestSamples) {
+  SlidingWindowRecorder recorder(4);
+  for (double v : {100.0, 100.0, 100.0, 100.0}) recorder.Record(v);
+  // Four fresh samples push the spikes out of the window entirely.
+  for (double v : {1.0, 1.0, 1.0, 1.0}) recorder.Record(v);
+  EXPECT_EQ(recorder.count(), 4u);
+  EXPECT_EQ(recorder.total(), 8u);
+  EXPECT_EQ(recorder.Quantile(0.95), 1.0);
+}
+
+// The monotone total counter is 64-bit: a window that does not divide
+// 2^32 must keep evicting oldest-first across the uint32 boundary. A
+// 32-bit counter wrapping to zero mid-window would jump the ring slot and
+// retain a stale mix; recording a full window past the boundary must leave
+// exactly the last `window` samples.
+TEST(SlidingWindowRecorderTest, SurvivesUint32CounterBoundary) {
+  constexpr uint64_t kU32Max = std::numeric_limits<uint32_t>::max();
+  SlidingWindowRecorder recorder(3);  // 3 does not divide 2^32.
+  recorder.SeedTotalForTest(kU32Max - 2);
+  ASSERT_GE(recorder.total(), kU32Max - 2);
+  // Record seven samples straddling the boundary; only the last three
+  // must remain.
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0, 1.0, 2.0}) {
+    recorder.Record(v);
+  }
+  EXPECT_GT(recorder.total(), kU32Max);  // Counter really crossed 2^32.
+  EXPECT_EQ(recorder.count(), 3u);
+  EXPECT_EQ(recorder.Quantile(0.0), 1.0);
+  EXPECT_EQ(recorder.Quantile(0.5), 2.0);
+  EXPECT_EQ(recorder.Quantile(1.0), 50.0);
+}
+
+}  // namespace
+}  // namespace smb

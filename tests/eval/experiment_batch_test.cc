@@ -1,0 +1,85 @@
+#include "eval/experiment_batch.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+// Batch-grammar tests: `set` defaults flowing into later experiments,
+// per-experiment overrides, and loud failures for every malformed input.
+namespace smb::eval {
+namespace {
+
+TEST(ExperimentBatchTest, ParsesDefaultsOverridesAndComments) {
+  auto batch = ParseExperimentBatch(R"(# sweep over repo size
+set repo_schemas=2000 policy=target target_bound=0.9
+
+experiment name=small
+experiment name=large repo_schemas=100000 target_bound=0.95
+set policy=fixed
+experiment name=fixed-after-set
+)");
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->experiments.size(), 3u);
+
+  const ExperimentSpec& small = batch->experiments[0];
+  EXPECT_EQ(small.name, "small");
+  EXPECT_EQ(GetParam(small, "repo_schemas", ""), "2000");
+  EXPECT_EQ(GetParam(small, "policy", ""), "target");
+
+  const ExperimentSpec& large = batch->experiments[1];
+  EXPECT_EQ(GetParam(large, "repo_schemas", ""), "100000");
+  EXPECT_EQ(GetParam(large, "target_bound", ""), "0.95");
+  EXPECT_EQ(GetParam(large, "policy", ""), "target");  // default kept
+
+  // `set` lines only affect experiments after them.
+  EXPECT_EQ(GetParam(batch->experiments[2], "policy", ""), "fixed");
+  EXPECT_EQ(GetParam(small, "policy", ""), "target");
+}
+
+TEST(ExperimentBatchTest, RejectsMalformedInput) {
+  // No experiments at all.
+  EXPECT_FALSE(ParseExperimentBatch("set a=1\n").ok());
+  EXPECT_FALSE(ParseExperimentBatch("").ok());
+  // Experiment without a name.
+  EXPECT_FALSE(ParseExperimentBatch("experiment repo_schemas=5\n").ok());
+  // Duplicate names.
+  EXPECT_FALSE(
+      ParseExperimentBatch("experiment name=a\nexperiment name=a\n").ok());
+  // Unknown directive.
+  EXPECT_FALSE(ParseExperimentBatch("run name=a\n").ok());
+  // Token without '='.
+  EXPECT_FALSE(ParseExperimentBatch("experiment name=a nonsense\n").ok());
+  EXPECT_FALSE(ParseExperimentBatch("set =5\nexperiment name=a\n").ok());
+  // Errors carry the line number for fixing the file.
+  auto bad = ParseExperimentBatch("set a=1\nbogus b=2\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 2"), std::string::npos);
+}
+
+TEST(ExperimentBatchTest, TypedAccessorsParseAndReject) {
+  auto batch = ParseExperimentBatch(
+      "experiment name=t requests=500 rate=12.5 label=abc\n");
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  const ExperimentSpec& spec = batch->experiments[0];
+
+  auto requests = GetParamUint(spec, "requests", 0);
+  ASSERT_TRUE(requests.ok());
+  EXPECT_EQ(*requests, 500u);
+  auto rate = GetParamDouble(spec, "rate", 0.0);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_EQ(*rate, 12.5);
+  // Missing keys fall back to the given default.
+  EXPECT_EQ(*GetParamUint(spec, "absent", 7), 7u);
+  EXPECT_EQ(*GetParamDouble(spec, "absent", 2.5), 2.5);
+  EXPECT_EQ(GetParam(spec, "absent", "dflt"), "dflt");
+  // Non-numeric values for typed accessors are loud errors naming the
+  // experiment and key.
+  auto bad = GetParamUint(spec, "label", 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("'t'"), std::string::npos);
+  EXPECT_NE(bad.status().ToString().find("label"), std::string::npos);
+  EXPECT_FALSE(GetParamDouble(spec, "label", 0.0).ok());
+}
+
+}  // namespace
+}  // namespace smb::eval

@@ -1,0 +1,213 @@
+#include "eval/trace.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// Round-trip and generation-property tests for workload traces: the codec
+// must reproduce every field bit-exactly, and generated traces must carry
+// the three realism properties the harness depends on (Zipf repetition,
+// Poisson arrivals, mixed per-request demand).
+namespace smb::eval {
+namespace {
+
+WorkloadTrace MakeTrace() {
+  WorkloadTrace trace;
+  trace.seed = 99;
+  trace.query_files = {"q0.txt", "q1.txt", "q2.txt"};
+  trace.classes = {"default", "interactive"};
+  TraceRequest a;
+  a.query_index = 2;
+  a.arrival_us = 100;
+  a.class_index = 1;
+  a.target_bound = 0.875;
+  a.deadline_ms = 50.0;
+  TraceRequest b;
+  b.query_index = 0;
+  b.arrival_us = 100;  // equal arrivals are legal (non-decreasing)
+  TraceRequest c;
+  c.query_index = 1;
+  c.arrival_us = 2500;
+  c.target_bound = 1.0;
+  trace.requests = {a, b, c};
+  return trace;
+}
+
+TEST(TraceCodecTest, RoundTripsEveryField) {
+  const WorkloadTrace trace = MakeTrace();
+  auto encoded = EncodeTrace(trace);
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  auto decoded = DecodeTrace(*encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->seed, trace.seed);
+  EXPECT_EQ(decoded->query_files, trace.query_files);
+  EXPECT_EQ(decoded->classes, trace.classes);
+  ASSERT_EQ(decoded->requests.size(), trace.requests.size());
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(decoded->requests[i].query_index,
+              trace.requests[i].query_index);
+    EXPECT_EQ(decoded->requests[i].arrival_us, trace.requests[i].arrival_us);
+    EXPECT_EQ(decoded->requests[i].class_index,
+              trace.requests[i].class_index);
+    // Doubles travel as raw bits, so equality is exact.
+    EXPECT_EQ(decoded->requests[i].target_bound,
+              trace.requests[i].target_bound);
+    EXPECT_EQ(decoded->requests[i].deadline_ms,
+              trace.requests[i].deadline_ms);
+  }
+}
+
+TEST(TraceCodecTest, SaveLoadRoundTripsThroughDisk) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "roundtrip.smbtrace")
+          .string();
+  const WorkloadTrace trace = MakeTrace();
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->requests.size(), trace.requests.size());
+  EXPECT_EQ(loaded->query_files, trace.query_files);
+}
+
+TEST(TraceValidateTest, RejectsStructurallyBrokenTraces) {
+  WorkloadTrace trace = MakeTrace();
+  trace.query_files.clear();
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  trace = MakeTrace();
+  trace.classes.clear();
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  trace = MakeTrace();
+  trace.requests[0].query_index = 3;  // out of range
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  trace = MakeTrace();
+  trace.requests[0].class_index = 2;  // out of range
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  trace = MakeTrace();
+  trace.requests[2].arrival_us = 0;  // arrives before its predecessor
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  trace = MakeTrace();
+  trace.requests[1].target_bound = 1.5;
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  trace = MakeTrace();
+  trace.requests[1].deadline_ms = -1.0;
+  EXPECT_FALSE(ValidateTrace(trace).ok());
+
+  // Encode refuses what Validate refuses — a broken trace never reaches
+  // disk in the first place.
+  trace = MakeTrace();
+  trace.requests[0].query_index = 99;
+  EXPECT_FALSE(EncodeTrace(trace).ok());
+}
+
+TEST(TraceGenerateTest, ValidatesItsOptions) {
+  TraceGenOptions options;
+  EXPECT_FALSE(GenerateTrace({}, options).ok());  // no query files
+  options.num_requests = 0;
+  EXPECT_FALSE(GenerateTrace({"q.txt"}, options).ok());
+  options = TraceGenOptions();
+  options.arrival_rate_qps = 0.0;
+  EXPECT_FALSE(GenerateTrace({"q.txt"}, options).ok());
+  options = TraceGenOptions();
+  options.target_mix = {1.2};
+  EXPECT_FALSE(GenerateTrace({"q.txt"}, options).ok());
+  options = TraceGenOptions();
+  options.classes.push_back({"zero-weight", 0.0, 0.0});
+  EXPECT_FALSE(GenerateTrace({"q.txt"}, options).ok());
+}
+
+TEST(TraceGenerateTest, DeterministicPerSeedAndValid) {
+  TraceGenOptions options;
+  options.num_requests = 500;
+  options.seed = 7;
+  auto a = GenerateTrace({"a", "b", "c", "d"}, options);
+  auto b = GenerateTrace({"a", "b", "c", "d"}, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(ValidateTrace(*a).ok());
+  ASSERT_EQ(a->requests.size(), 500u);
+  for (size_t i = 0; i < a->requests.size(); ++i) {
+    EXPECT_EQ(a->requests[i].query_index, b->requests[i].query_index);
+    EXPECT_EQ(a->requests[i].arrival_us, b->requests[i].arrival_us);
+  }
+  EXPECT_EQ(a->seed, 7u);
+  EXPECT_EQ(a->classes, std::vector<std::string>{"default"});
+}
+
+TEST(TraceGenerateTest, ArrivalsApproximateThePoissonRate) {
+  TraceGenOptions options;
+  options.num_requests = 4000;
+  options.arrival_rate_qps = 1000.0;
+  options.seed = 11;
+  auto trace = GenerateTrace({"q"}, options);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  uint64_t previous = 0;
+  for (const TraceRequest& request : trace->requests) {
+    EXPECT_GE(request.arrival_us, previous);
+    previous = request.arrival_us;
+  }
+  // 4000 requests at 1000 qps span ~4s; the sample mean of 4000
+  // exponential gaps is within a few percent of 1/rate w.h.p.
+  const double span_seconds = trace->requests.back().arrival_us / 1e6;
+  EXPECT_GT(span_seconds, 3.5);
+  EXPECT_LT(span_seconds, 4.5);
+}
+
+TEST(TraceGenerateTest, QueryPopularityIsZipfSkewed) {
+  TraceGenOptions options;
+  options.num_requests = 5000;
+  options.zipf_exponent = 1.0;
+  options.seed = 13;
+  std::vector<std::string> files;
+  for (int i = 0; i < 32; ++i) files.push_back("q" + std::to_string(i));
+  auto trace = GenerateTrace(files, options);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  std::vector<uint64_t> counts(files.size(), 0);
+  for (const TraceRequest& request : trace->requests) {
+    ++counts[request.query_index];
+  }
+  // Under s=1 the head file draws ~1/H(32) ~ 24.6% of requests; a uniform
+  // distribution would give 3.1%. Anything over 4x uniform proves skew.
+  EXPECT_GT(counts[0], 5000u / 32 * 4)
+      << "query repetition is not Zipf-skewed";
+  EXPECT_GT(counts[0], counts[20]) << "popularity not ordered by rank";
+}
+
+TEST(TraceGenerateTest, ClassAndTargetMixesCoverTheirTables) {
+  TraceGenOptions options;
+  options.num_requests = 2000;
+  options.seed = 17;
+  options.classes = {{"interactive", 3.0, 50.0}, {"batch", 1.0, 0.0}};
+  options.target_mix = {0.0, 0.85, 0.95};
+  auto trace = GenerateTrace({"q0", "q1"}, options);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  ASSERT_EQ(trace->classes.size(), 2u);
+
+  std::map<uint16_t, uint64_t> class_counts;
+  std::map<double, uint64_t> target_counts;
+  for (const TraceRequest& request : trace->requests) {
+    ++class_counts[request.class_index];
+    ++target_counts[request.target_bound];
+    // Class deadlines propagate onto each request of the class.
+    EXPECT_EQ(request.deadline_ms, request.class_index == 0 ? 50.0 : 0.0);
+  }
+  // 3:1 weights: interactive gets ~1500 of 2000; allow wide slack.
+  EXPECT_GT(class_counts[0], 1200u);
+  EXPECT_GT(class_counts[1], 250u);
+  // All three mix entries appear, roughly uniformly; nothing else does.
+  ASSERT_EQ(target_counts.size(), 3u);
+  for (const auto& [bound, count] : target_counts) {
+    EXPECT_GT(count, 400u) << "target bound " << bound << " under-drawn";
+  }
+}
+
+}  // namespace
+}  // namespace smb::eval

@@ -1,0 +1,95 @@
+#include "harness/batch_runner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// The bench-JSON emitted next to BENCH_*.json must carry the
+// budget-vs-bound curve, not just the per-experiment aggregates: one
+// `loadtest/<name>/target=<B>` row per distinct per-request target bound,
+// so `tools/bench_diff.py --metric` can gate curve points between runs.
+namespace smb::harness {
+namespace {
+
+ExperimentResult MakeResult() {
+  ExperimentResult result;
+  result.name = "exp";
+  result.repo_schemas = 100;
+  result.policy = "target";
+  result.build_seconds = 0.5;
+  eval::LoadReplayReport& r = result.report;
+  r.requests = 10;
+  r.ok = 10;
+  r.cache_hits = 4;
+  r.wall_seconds = 2.0;
+  r.throughput_rps = 5.0;
+  r.cache_hit_rate = 0.4;
+  r.latency_ms.count = 10;
+  r.latency_ms.mean = 3.0;
+  r.latency_ms.p50 = 2.0;
+  r.latency_ms.p95 = 7.0;
+  r.latency_ms.p99 = 9.0;
+
+  eval::TargetMixStats def;
+  def.target_bound = 0.0;
+  def.requests = 6;
+  def.ok = 6;
+  def.mean_certified = 0.91;
+  def.latency_ms.p50 = 2.0;
+  eval::TargetMixStats high;
+  high.target_bound = 0.95;
+  high.requests = 4;
+  high.ok = 4;
+  high.shed = 1;
+  high.mean_certified = 0.93;
+  high.mean_budget = 128.0;
+  high.budget_samples = 3;
+  high.latency_ms.mean = 4.0;
+  high.latency_ms.p50 = 3.0;
+  high.latency_ms.p95 = 8.0;
+  high.latency_ms.p99 = 9.5;
+  r.per_target = {def, high};
+  return result;
+}
+
+TEST(FormatBatchBenchJsonTest, EmitsAggregateAndPerTargetCurveRows) {
+  const std::string json = FormatBatchBenchJson({MakeResult()});
+  // The aggregate row and one curve row per distinct target bound.
+  EXPECT_NE(json.find("\"name\": \"loadtest/exp\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"loadtest/exp/target=0\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"loadtest/exp/target=0.95\""),
+            std::string::npos)
+      << json;
+  // Curve rows carry the per-mix certificate and budget counters.
+  EXPECT_NE(json.find("\"mean_certified\": 0.93"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean_budget\": 128"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"budget_samples\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"target_bound\": 0.95"), std::string::npos) << json;
+  // Aggregate counters stay on the experiment row.
+  EXPECT_NE(json.find("\"cache_hit_rate\": 0.4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"throughput_rps\": 5"), std::string::npos) << json;
+}
+
+TEST(FormatBatchBenchJsonTest, RowsAreCommaSeparatedValidJson) {
+  const std::string json = FormatBatchBenchJson({MakeResult(), MakeResult()});
+  // Every row but the last must be followed by a comma: count row-object
+  // closers; with 2 experiments x (1 aggregate + 2 curve rows) there are
+  // 6 rows, so 5 separators.
+  // (row closers are indented 4 spaces; the context block's closer is
+  // indented 2, so it does not match).
+  size_t separators = 0;
+  for (size_t pos = json.find("    },\n"); pos != std::string::npos;
+       pos = json.find("    },\n", pos + 1)) {
+    ++separators;
+  }
+  EXPECT_EQ(separators, 5u) << json;
+  // The final row closes without a trailing comma before the array end.
+  EXPECT_NE(json.find("}\n  ]\n}\n"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace smb::harness

@@ -1,0 +1,90 @@
+#include "harness/trace_executor.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/trace.h"
+#include "serve/protocol.h"
+
+// Binding resolution and protocol-line formatting: the live executor's
+// request lines must parse back through the server's own parser into
+// exactly the demand the trace recorded — that equivalence is what lets
+// offline and live replays of one trace answer identically.
+namespace smb::harness {
+namespace {
+
+eval::WorkloadTrace MakeTrace() {
+  eval::WorkloadTrace trace;
+  trace.seed = 1;
+  trace.query_files = {"q0.txt", "/abs/q1.txt"};
+  trace.classes = {"default", "interactive"};
+  eval::TraceRequest plain;
+  eval::TraceRequest demanding;
+  demanding.query_index = 1;
+  demanding.class_index = 1;
+  demanding.target_bound = 0.85;
+  demanding.deadline_ms = 40.0;
+  trace.requests = {plain, demanding};
+  return trace;
+}
+
+TEST(ResolveTraceBindingsTest, JoinsRelativeKeepsAbsolute) {
+  const eval::WorkloadTrace trace = MakeTrace();
+  TraceBindings bindings = ResolveTraceBindings(trace, "/base", "/answers");
+  ASSERT_EQ(bindings.query_paths.size(), 2u);
+  EXPECT_EQ(bindings.query_paths[0], "/base/q0.txt");
+  EXPECT_EQ(bindings.query_paths[1], "/abs/q1.txt");
+  EXPECT_EQ(bindings.classes, trace.classes);
+  EXPECT_EQ(bindings.answers_dir, "/answers");
+
+  // Empty base: paths pass through as stored.
+  TraceBindings as_stored = ResolveTraceBindings(trace, "", "");
+  EXPECT_EQ(as_stored.query_paths[0], "q0.txt");
+  EXPECT_EQ(as_stored.answers_dir, "");
+}
+
+TEST(FormatTraceRequestLineTest, MinimalRequestIsJustMatchAndQuery) {
+  const eval::WorkloadTrace trace = MakeTrace();
+  const TraceBindings bindings = ResolveTraceBindings(trace, "/base", "");
+  EXPECT_EQ(FormatTraceRequestLine(bindings, 0, trace.requests[0]),
+            "match /base/q0.txt");
+}
+
+TEST(FormatTraceRequestLineTest, FullDemandRoundTripsThroughTheParser) {
+  const eval::WorkloadTrace trace = MakeTrace();
+  const TraceBindings bindings =
+      ResolveTraceBindings(trace, "/base", "/answers");
+  const std::string line =
+      FormatTraceRequestLine(bindings, 17, trace.requests[1]);
+  EXPECT_EQ(line,
+            "match /abs/q1.txt /answers/req-17.csv class=interactive "
+            "deadline_ms=40 target=0.85");
+
+  auto parsed = serve::ParseRequestLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, serve::RequestKind::kMatch);
+  EXPECT_EQ(parsed->query_path, "/abs/q1.txt");
+  EXPECT_EQ(parsed->out_path, "/answers/req-17.csv");
+  EXPECT_EQ(parsed->request_class, "interactive");
+  EXPECT_EQ(parsed->deadline_ms, 40.0);
+  EXPECT_EQ(parsed->target_bound, 0.85);
+}
+
+TEST(FormatTraceRequestLineTest, DefaultClassAndZeroTargetAreOmitted) {
+  const eval::WorkloadTrace trace = MakeTrace();
+  const TraceBindings bindings =
+      ResolveTraceBindings(trace, "", "/answers");
+  const std::string line =
+      FormatTraceRequestLine(bindings, 3, trace.requests[0]);
+  EXPECT_EQ(line, "match q0.txt /answers/req-3.csv");
+  auto parsed = serve::ParseRequestLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  // Parsed defaults match the trace's "server default" semantics.
+  EXPECT_EQ(parsed->request_class, "default");
+  EXPECT_EQ(parsed->target_bound, 0.0);
+  EXPECT_EQ(parsed->deadline_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace smb::harness

@@ -41,6 +41,41 @@ TEST(ProtocolTest, OptionsMayPrecedePositionals) {
   EXPECT_EQ(request->request_class, "batch");
 }
 
+TEST(ProtocolTest, ParsesPerRequestTargetBound) {
+  auto request = ParseRequestLine("match q.txt target=0.85");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->target_bound, 0.85);
+  // Absent means 0: "use the server's configured target".
+  auto plain = ParseRequestLine("match q.txt");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->target_bound, 0.0);
+  // 1.0 (full completeness demanded) is the inclusive top of the range.
+  auto full = ParseRequestLine("match q.txt target=1");
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(full->target_bound, 1.0);
+  // target= composes with every other option.
+  auto all = ParseRequestLine(
+      "match q.txt out.csv class=probe deadline_ms=10 target=0.5");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->target_bound, 0.5);
+  EXPECT_EQ(all->request_class, "probe");
+}
+
+TEST(ProtocolTest, RejectsOutOfRangeTargetBounds) {
+  // The ask must be a bound in (0, 1]: zero, negative, >1 and junk all
+  // fail at parse time, before a request object exists.
+  EXPECT_FALSE(ParseRequestLine("match q.txt target=0").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt target=-0.5").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt target=1.01").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt target=abc").ok());
+  EXPECT_FALSE(ParseRequestLine("match q.txt target=").ok());
+  // The unknown-option diagnostic advertises target= as a valid option.
+  auto unknown = ParseRequestLine("match q.txt bogus=1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("target="), std::string::npos)
+      << unknown.status();
+}
+
 TEST(ProtocolTest, ParsesStatsAndQuit) {
   auto stats = ParseRequestLine("stats");
   ASSERT_TRUE(stats.ok());

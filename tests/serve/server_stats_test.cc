@@ -8,23 +8,16 @@
 namespace smb::serve {
 namespace {
 
-TEST(LatencyRecorderTest, QuantilesOfSmallWindow) {
-  LatencyRecorder recorder(16);
-  EXPECT_EQ(recorder.Quantile(0.5), 0.0);  // empty
-  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) recorder.Record(v);
-  EXPECT_EQ(recorder.count(), 5u);
-  EXPECT_EQ(recorder.Quantile(0.0), 1.0);
-  EXPECT_EQ(recorder.Quantile(0.5), 3.0);
-  EXPECT_EQ(recorder.Quantile(1.0), 5.0);
-}
-
-TEST(LatencyRecorderTest, WindowEvictsOldestSamples) {
-  LatencyRecorder recorder(4);
-  for (double v : {100.0, 100.0, 100.0, 100.0}) recorder.Record(v);
-  // Four fresh samples push the spikes out of the window entirely.
-  for (double v : {1.0, 1.0, 1.0, 1.0}) recorder.Record(v);
-  EXPECT_EQ(recorder.count(), 4u);
-  EXPECT_EQ(recorder.Quantile(0.95), 1.0);
+TEST(ServerStatsTest, SnapshotCarriesAllThreePercentiles) {
+  ServerStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.OnAdmitted();
+    stats.OnServed(static_cast<double>(i), /*shed=*/false, "default");
+  }
+  const ServerStatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.p50_latency_ms, 50.0);
+  EXPECT_EQ(snapshot.p95_latency_ms, 95.0);
+  EXPECT_EQ(snapshot.p99_latency_ms, 99.0);
 }
 
 TEST(ServerStatsTest, TracksOutcomesAndInFlight) {

@@ -1,0 +1,190 @@
+#include "synth/stream.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "schema/text_format.h"
+
+// Property tests of the streaming generator at (scaled-down) load-harness
+// settings: determinism per seed, random access equivalence (the O(1)
+// memory-per-schema property), and the Zipfian name skew it promises.
+namespace smb::synth {
+namespace {
+
+StreamOptions SmallOptions() {
+  StreamOptions options;
+  options.num_schemas = 200;
+  options.min_schema_elements = 6;
+  options.max_schema_elements = 12;
+  options.vocabulary_size = 64;
+  options.seed = 42;
+  return options;
+}
+
+TEST(SchemaStreamTest, ValidatesOptions) {
+  StreamOptions bad = SmallOptions();
+  bad.num_schemas = 0;
+  EXPECT_FALSE(SchemaStream::Create(bad).ok());
+  bad = SmallOptions();
+  bad.min_schema_elements = 10;
+  bad.max_schema_elements = 5;
+  EXPECT_FALSE(SchemaStream::Create(bad).ok());
+  bad = SmallOptions();
+  bad.vocabulary_size = 0;
+  EXPECT_FALSE(SchemaStream::Create(bad).ok());
+  bad = SmallOptions();
+  bad.zipf_exponent = -0.5;
+  EXPECT_FALSE(SchemaStream::Create(bad).ok());
+  bad = SmallOptions();
+  bad.typed_leaf_fraction = 1.5;
+  EXPECT_FALSE(SchemaStream::Create(bad).ok());
+}
+
+TEST(SchemaStreamTest, DeterministicPerSeed) {
+  auto a = SchemaStream::Create(SmallOptions());
+  auto b = SchemaStream::Create(SmallOptions());
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  for (uint64_t i = 0; i < a->size(); i += 17) {
+    EXPECT_EQ(schema::WriteSchemaText(a->Generate(i)),
+              schema::WriteSchemaText(b->Generate(i)))
+        << "schema " << i << " differs between identically-seeded streams";
+  }
+
+  StreamOptions other = SmallOptions();
+  other.seed = 43;
+  auto c = SchemaStream::Create(other);
+  ASSERT_TRUE(c.ok()) << c.status();
+  size_t differing = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    if (schema::WriteSchemaText(a->Generate(i)) !=
+        schema::WriteSchemaText(c->Generate(i))) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 15u) << "changing the seed barely changed the stream";
+}
+
+// Random access must equal sequential generation: schema i is a pure
+// function of (seed, i). This is the observable form of the O(1)-memory
+// streaming contract — generating a schema reads no state produced by any
+// other schema, so the harness can stream 100k schemas without ever
+// materializing the collection.
+TEST(SchemaStreamTest, RandomAccessMatchesSequentialGeneration) {
+  auto stream = SchemaStream::Create(SmallOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  std::vector<std::string> sequential;
+  for (uint64_t i = 0; i < 50; ++i) {
+    sequential.push_back(schema::WriteSchemaText(stream->Generate(i)));
+  }
+  // Revisit out of order, interleaved and repeated.
+  const uint64_t order[] = {49, 3, 3, 17, 0, 42, 17, 49, 1};
+  for (uint64_t i : order) {
+    EXPECT_EQ(schema::WriteSchemaText(stream->Generate(i)), sequential[i])
+        << "out-of-order Generate(" << i << ") diverged";
+  }
+}
+
+TEST(SchemaStreamTest, SchemasRespectElementRangeAndVocabulary) {
+  auto stream = SchemaStream::Create(SmallOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  for (uint64_t i = 0; i < 50; ++i) {
+    const schema::Schema s = stream->Generate(i);
+    EXPECT_GE(s.size(), SmallOptions().min_schema_elements);
+    EXPECT_LE(s.size(), SmallOptions().max_schema_elements);
+  }
+}
+
+// Chi-square-style check of the name distribution: draw many names with
+// compounds disabled, compare per-rank counts against the sampler's own
+// probabilities. The normalized statistic over the head ranks must stay
+// within a generous band — catching an off-by-one in rank order, a broken
+// CDF, or a sampler that quietly went uniform.
+TEST(SchemaStreamTest, NameFrequenciesFollowTheZipfExponent) {
+  StreamOptions options = SmallOptions();
+  options.num_schemas = 1500;
+  options.compound_probability = 0.0;
+  options.zipf_exponent = 1.1;
+  auto stream = SchemaStream::Create(options);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  std::map<std::string, size_t> rank_of;
+  for (size_t r = 0; r < stream->vocabulary().size(); ++r) {
+    rank_of[stream->vocabulary()[r]] = r;
+  }
+  std::vector<uint64_t> counts(stream->vocabulary().size(), 0);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < stream->size(); ++i) {
+    const schema::Schema s = stream->Generate(i);
+    for (schema::NodeId id = 0;
+         id < static_cast<schema::NodeId>(s.size()); ++id) {
+      auto it = rank_of.find(s.node(id).name);
+      ASSERT_NE(it, rank_of.end())
+          << "element name '" << s.node(id).name
+          << "' is not a vocabulary word (compounds were disabled)";
+      ++counts[it->second];
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 5000u);
+
+  const ZipfSampler reference(stream->vocabulary().size(),
+                              options.zipf_exponent);
+  double chi_square = 0.0;
+  size_t cells = 0;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    const double expected = reference.Probability(r) * total;
+    if (expected < 5.0) continue;  // standard chi-square cell floor
+    const double diff = counts[r] - expected;
+    chi_square += diff * diff / expected;
+    ++cells;
+  }
+  ASSERT_GT(cells, 10u);
+  // 99.9th percentile of chi-square with ~40 dof is ~73; triple it so only
+  // a genuinely wrong distribution fails, never sampling noise.
+  EXPECT_LT(chi_square, 3.0 * (cells + 40.0))
+      << "name frequencies do not match the configured Zipf exponent";
+
+  // The skew itself: the hottest rank must dominate a mid-tail rank by a
+  // factor close to the Zipf ratio (rank 20 under s=1.1 is ~27x rarer).
+  EXPECT_GT(counts[0], counts[20] * 5)
+      << "head rank barely more frequent than tail rank — skew missing";
+}
+
+TEST(SchemaStreamTest, QueriesDrawFromTheSameVocabulary) {
+  auto stream = SchemaStream::Create(SmallOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  Rng rng(7);
+  auto query = stream->GenerateQuery(5, &rng);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->size(), 5u);
+  EXPECT_FALSE(stream->GenerateQuery(0, &rng).ok());
+
+  // Determinism in the rng: same seed, same query.
+  Rng rng_a(11), rng_b(11);
+  auto qa = stream->GenerateQuery(6, &rng_a);
+  auto qb = stream->GenerateQuery(6, &rng_b);
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  EXPECT_EQ(schema::WriteSchemaText(*qa), schema::WriteSchemaText(*qb));
+}
+
+TEST(SchemaStreamTest, BuildStreamRepositoryHoldsEverySchema) {
+  StreamOptions options = SmallOptions();
+  options.num_schemas = 40;
+  auto stream = SchemaStream::Create(options);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto repo = BuildStreamRepository(*stream);
+  ASSERT_TRUE(repo.ok()) << repo.status();
+  EXPECT_EQ(repo->schema_count(), 40u);
+  EXPECT_EQ(repo->schema(0).name(), "stream-0");
+  EXPECT_EQ(repo->schema(39).name(), "stream-39");
+}
+
+}  // namespace
+}  // namespace smb::synth

@@ -52,6 +52,11 @@ ALLOWED_DEPS = {
     "synth": {"common", "schema", "sim", "eval"},
     "serve": {"common", "io", "schema", "sim", "match", "index", "engine",
               "eval"},
+    # The load-harness tier sits above everything: it binds the eval
+    # replay driver to real executors (in-process service, live socket)
+    # and synthesizes its repositories, so it may see serve and synth.
+    "harness": {"common", "io", "schema", "sim", "match", "index", "engine",
+                "eval", "synth", "serve"},
 }
 
 # Subsystems whose files must never *transitively* include a header of

@@ -6,6 +6,9 @@
 //   curve      measure a P/R curve from answers + ground truth
 //   bounds     compute effectiveness bounds from a curve + an answers file
 //              (or a prebuilt bounds-input CSV)
+//   trace      generate a Zipf-repetition/Poisson-arrival workload trace
+//   loadtest   replay a trace (in-process, live server, or batch sweep)
+//              and report p50/p95/p99, throughput, cache and shed rates
 //
 // Every artifact is a CSV (see src/io/) so the steps can run on different
 // machines — the decoupled workflow the paper's technique enables.
@@ -39,7 +42,12 @@
 #include "common/timing.h"
 #include "engine/batch_match_engine.h"
 #include "engine/query_cache.h"
+#include "eval/experiment_batch.h"
+#include "eval/load_harness.h"
 #include "eval/pr_curve.h"
+#include "eval/trace.h"
+#include "harness/batch_runner.h"
+#include "harness/trace_executor.h"
 #include "serve/replay_client.h"
 #include "eval/workload.h"
 #include "index/snapshot.h"
@@ -60,6 +68,7 @@
 #include "schema/stats.h"
 #include "schema/xsd_writer.h"
 #include "synth/generator.h"
+#include "synth/stream.h"
 
 namespace {
 
@@ -113,7 +122,8 @@ commands:
             repository index once, then answer match requests. Request
             lines:
               match <query-file> [<answers-out.csv>] [class=NAME]
-                    [deadline_ms=N]
+                    [deadline_ms=N] [target=B]   (target= asks for a
+                    per-request completeness bound; bound-driven mode only)
               stats
               reload <snapshot-file> [<repo-dir>]
               quit
@@ -159,6 +169,35 @@ commands:
             compute best/worst/random effectiveness bounds for S2
   stats     --repo=DIR
             print shape statistics of a schema repository
+  trace     --out=DIR [--queries=N] [--query-elements=N] [--requests=N]
+            [--zipf-query=X] [--rate-qps=X] [--target-mix=B1,B2,...]
+            [--classes=NAME:WEIGHT:DEADLINE_MS,...] [--seed=N]
+            generate DIR/q*.txt query schemas (over the same Zipfian
+            synthetic vocabulary `loadtest` streams its repository from:
+            [--vocab=N] [--zipf-name=X] [--min-elements=N]
+            [--max-elements=N] [--typed-fraction=X]) plus
+            DIR/trace.smbtrace — a versioned binary workload trace with
+            Zipf-skewed query repetition, Poisson arrival timestamps and
+            per-request deadline classes / target bounds; see
+            docs/loadtest.md for the format
+  loadtest  replay a workload trace and report client-observed
+            p50/p95/p99 latency, throughput, cache hit rate, shed
+            fraction and the budget-vs-bound curve. Three modes:
+            --work-dir=DIR [--schemas=N] [--requests=N] [--label=NAME]
+            [--target-bound=B [--min-target-bound=B] [--target-mix=...]]
+            [--matcher=...] [--candidates=C] [--threads=N] [--seed=N]
+            [--csv=FILE] [--json=FILE] synthesize a streamed repository
+            (100k+ schemas, O(1) memory per schema), derive queries and
+            a trace, replay through an in-process service; --json writes
+            benchmark-shaped JSON for tools/bench_diff.py --metric
+            --batch=FILE --work-dir=DIR [--csv=FILE] [--json=FILE]
+            run a declarative experiment sweep (docs/loadtest.md)
+            --trace=FILE (--repo=DIR [--snapshot=FILE] [serve flags] |
+            --connect=HOST:PORT) [--trace-dir=DIR] [--answers-dir=DIR]
+            [--replay-threads=N] [--open-loop] [--speed=X] replay an
+            existing trace against a local repository (in-process) or a
+            running `serve --listen` endpoint; identical traces +
+            bindings produce byte-identical answer files either way
 
 environment:
   SMB_FAULTS=<spec>  arm deterministic I/O fault injection for testing,
@@ -1089,6 +1128,352 @@ int CmdStats(const CommandLine& cl) {
   return 0;
 }
 
+/// Stream-vocabulary knobs shared by `trace` (query derivation) and the
+/// synth mode of `loadtest` (repository + queries). The two commands must
+/// agree on these (and --seed) for a standalone trace's queries to hit the
+/// loadtest repository's vocabulary.
+Result<synth::StreamOptions> ParseStreamFlags(const CommandLine& cl,
+                                              uint64_t default_schemas) {
+  synth::StreamOptions options;
+  SMB_ASSIGN_OR_RETURN(options.num_schemas,
+                       cl.GetUint("schemas", default_schemas));
+  SMB_ASSIGN_OR_RETURN(uint64_t vocab, cl.GetUint("vocab", 512));
+  SMB_ASSIGN_OR_RETURN(uint64_t min_elems, cl.GetUint("min-elements", 6));
+  SMB_ASSIGN_OR_RETURN(uint64_t max_elems, cl.GetUint("max-elements", 14));
+  SMB_ASSIGN_OR_RETURN(options.zipf_exponent,
+                       cl.GetDouble("zipf-name", 1.1));
+  SMB_ASSIGN_OR_RETURN(options.typed_leaf_fraction,
+                       cl.GetDouble("typed-fraction", 0.6));
+  SMB_ASSIGN_OR_RETURN(options.seed, cl.GetUint("seed", 1));
+  options.vocabulary_size = static_cast<size_t>(vocab);
+  options.min_schema_elements = static_cast<size_t>(min_elems);
+  options.max_schema_elements = static_cast<size_t>(max_elems);
+  return options;
+}
+
+/// Parses `--target-mix=0.8,0.9,1.0` (empty flag = empty mix).
+Result<std::vector<double>> ParseTargetMixFlag(const CommandLine& cl) {
+  std::vector<double> mix;
+  const std::string raw = cl.Get("target-mix");
+  if (raw.empty()) return mix;
+  for (const std::string& piece : Split(raw, ',')) {
+    char* end = nullptr;
+    const double bound = std::strtod(piece.c_str(), &end);
+    if (end == piece.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad --target-mix entry '" + piece +
+                                     "'");
+    }
+    mix.push_back(bound);
+  }
+  return mix;
+}
+
+/// Parses `--classes=interactive:3:50,batch:1:0` (name:weight:deadline_ms).
+Result<std::vector<eval::TraceClassSpec>> ParseClassesFlag(
+    const CommandLine& cl) {
+  std::vector<eval::TraceClassSpec> classes;
+  const std::string raw = cl.Get("classes");
+  if (raw.empty()) return classes;
+  for (const std::string& piece : Split(raw, ',')) {
+    const std::vector<std::string> fields = Split(piece, ':');
+    if (fields.size() != 3 || fields[0].empty()) {
+      return Status::InvalidArgument(
+          "bad --classes entry '" + piece +
+          "' (expected NAME:WEIGHT:DEADLINE_MS)");
+    }
+    eval::TraceClassSpec cls;
+    cls.name = fields[0];
+    char* end = nullptr;
+    cls.weight = std::strtod(fields[1].c_str(), &end);
+    if (end == fields[1].c_str() || *end != '\0' || cls.weight <= 0.0) {
+      return Status::InvalidArgument("bad class weight '" + fields[1] + "'");
+    }
+    cls.deadline_ms = std::strtod(fields[2].c_str(), &end);
+    if (end == fields[2].c_str() || *end != '\0' || cls.deadline_ms < 0.0) {
+      return Status::InvalidArgument("bad class deadline '" + fields[2] +
+                                     "'");
+    }
+    classes.push_back(std::move(cls));
+  }
+  return classes;
+}
+
+int CmdTrace(const CommandLine& cl) {
+  std::string out_dir = cl.Get("out");
+  if (out_dir.empty()) return Fail(Status::InvalidArgument("--out required"));
+  // The repository itself is not generated here — only its vocabulary, so
+  // the derived queries are realistic for a loadtest run with the same
+  // stream flags and seed.
+  auto stream_options = ParseStreamFlags(cl, /*default_schemas=*/2000);
+  if (!stream_options.ok()) return Fail(stream_options.status());
+  auto num_queries = cl.GetUint("queries", 16);
+  auto query_elements = cl.GetUint("query-elements", 5);
+  if (!num_queries.ok()) return Fail(num_queries.status());
+  if (!query_elements.ok()) return Fail(query_elements.status());
+  if (*num_queries == 0) {
+    return Fail(Status::InvalidArgument("--queries must be > 0"));
+  }
+
+  eval::TraceGenOptions trace_options;
+  auto requests = cl.GetUint("requests", 1000);
+  auto zipf_query = cl.GetDouble("zipf-query", 1.0);
+  auto rate_qps = cl.GetDouble("rate-qps", 200.0);
+  auto classes = ParseClassesFlag(cl);
+  auto target_mix = ParseTargetMixFlag(cl);
+  if (!requests.ok()) return Fail(requests.status());
+  if (!zipf_query.ok()) return Fail(zipf_query.status());
+  if (!rate_qps.ok()) return Fail(rate_qps.status());
+  if (!classes.ok()) return Fail(classes.status());
+  if (!target_mix.ok()) return Fail(target_mix.status());
+  trace_options.num_requests = *requests;
+  trace_options.zipf_exponent = *zipf_query;
+  trace_options.arrival_rate_qps = *rate_qps;
+  trace_options.classes = *classes;
+  trace_options.target_mix = *target_mix;
+  trace_options.seed = stream_options->seed;
+
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    return Fail(Status::IOError("cannot create " + out_dir + ": " +
+                                ec.message()));
+  }
+  auto stream = synth::SchemaStream::Create(*stream_options);
+  if (!stream.ok()) return Fail(stream.status());
+  std::vector<std::string> query_files;
+  Rng query_rng(stream_options->seed ^ 0x632BE59BD9B4E019ULL);
+  for (uint64_t q = 0; q < *num_queries; ++q) {
+    auto query = stream->GenerateQuery(
+        static_cast<size_t>(*query_elements), &query_rng);
+    if (!query.ok()) return Fail(query.status());
+    const std::string file = "q" + std::to_string(q) + ".txt";
+    if (Status st = io::WriteTextFile(out_dir + "/" + file,
+                                      schema::WriteSchemaText(*query));
+        !st.ok()) {
+      return Fail(st);
+    }
+    query_files.push_back(file);
+  }
+  auto trace = eval::GenerateTrace(query_files, trace_options);
+  if (!trace.ok()) return Fail(trace.status());
+  const std::string trace_path = out_dir + "/trace.smbtrace";
+  if (Status st = eval::SaveTrace(trace_path, *trace); !st.ok()) {
+    return Fail(st);
+  }
+  const eval::TraceRequest& last = trace->requests.back();
+  std::cout << "wrote " << query_files.size() << " query files and "
+            << trace->requests.size() << " requests over "
+            << FormatDouble(last.arrival_us / 1e6, 2) << "s ("
+            << trace->classes.size() << " class(es), "
+            << (trace_options.target_mix.empty()
+                    ? std::string("server-default targets")
+                    : std::to_string(trace_options.target_mix.size()) +
+                          " target bound(s)")
+            << ") to " << trace_path << "\n";
+  return 0;
+}
+
+/// The `--flag` -> batch-runner key translation of `loadtest` synth mode:
+/// flags present on the command line become experiment parameters; absent
+/// ones use the runner's defaults (harness/batch_runner.h).
+eval::ExperimentSpec BuildLoadtestSpec(const CommandLine& cl) {
+  eval::ExperimentSpec spec;
+  spec.name = cl.Get("label", "loadtest");
+  static constexpr struct {
+    const char* flag;
+    const char* key;
+  } kFlagKeys[] = {
+      {"schemas", "repo_schemas"},     {"vocab", "vocab_size"},
+      {"zipf-name", "zipf_name"},      {"min-elements", "min_elements"},
+      {"max-elements", "max_elements"},
+      {"typed-fraction", "typed_leaf_fraction"},
+      {"queries", "queries"},          {"query-elements", "query_elements"},
+      {"requests", "requests"},        {"zipf-query", "zipf_query"},
+      {"rate-qps", "rate_qps"},        {"deadline-ms", "deadline_ms"},
+      {"target-mix", "target_mix"},    {"speed", "speed"},
+      {"replay-threads", "threads"},   {"candidates", "candidates"},
+      {"target-bound", "target_bound"},
+      {"min-target-bound", "min_target"},
+      {"matcher", "matcher"},          {"top", "top_k"},
+      {"cache-size", "cache_capacity"},
+      {"threads", "engine_threads"},   {"delta", "delta"},
+      {"seed", "seed"},
+  };
+  for (const auto& entry : kFlagKeys) {
+    if (cl.Has(entry.flag)) spec.params[entry.key] = cl.Get(entry.flag);
+  }
+  if (cl.Has("target-bound")) spec.params["policy"] = "target";
+  if (cl.Has("open-loop")) spec.params["open_loop"] = "1";
+  return spec;
+}
+
+/// Shared tail of the trace-replay modes: replay, print, optional CSV/JSON.
+int FinishReplay(const CommandLine& cl, const eval::WorkloadTrace& trace,
+                 eval::TraceExecutor* executor, const std::string& policy) {
+  eval::ReplayOptions replay_options;
+  auto replay_threads = cl.GetUint("replay-threads", 4);
+  auto speed = cl.GetDouble("speed", 1.0);
+  if (!replay_threads.ok()) return Fail(replay_threads.status());
+  if (!speed.ok()) return Fail(speed.status());
+  replay_options.num_threads = static_cast<size_t>(*replay_threads);
+  replay_options.speed = *speed;
+  replay_options.open_loop = cl.Has("open-loop");
+  auto report = eval::ReplayTrace(trace, executor, replay_options);
+  if (!report.ok()) return Fail(report.status());
+  eval::PrintReplayReport(std::cout, *report);
+  const std::string csv_path = cl.Get("csv");
+  if (!csv_path.empty()) {
+    std::ostringstream csv;
+    eval::WriteBudgetBoundCsv(csv, *report);
+    if (Status st = io::WriteTextFile(csv_path, csv.str()); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  const std::string json_path = cl.Get("json");
+  if (!json_path.empty()) {
+    harness::ExperimentResult result;
+    result.name = cl.Get("label", "replay");
+    result.policy = policy;
+    result.report = *std::move(report);
+    if (Status st = io::WriteTextFile(
+            json_path, harness::FormatBatchBenchJson({std::move(result)}));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  return 0;
+}
+
+int CmdLoadtest(const CommandLine& cl) {
+  // Mode 1: declarative sweep / synth single run through the batch runner.
+  const std::string batch_path = cl.Get("batch");
+  const std::string trace_path = cl.Get("trace");
+  if (trace_path.empty()) {
+    const std::string work_dir = cl.Get("work-dir");
+    if (work_dir.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--work-dir required (scratch for generated queries/traces)"));
+    }
+    eval::ExperimentBatch batch;
+    if (!batch_path.empty()) {
+      auto loaded = eval::LoadExperimentBatch(batch_path);
+      if (!loaded.ok()) return Fail(loaded.status());
+      batch = *std::move(loaded);
+    } else {
+      batch.experiments.push_back(BuildLoadtestSpec(cl));
+    }
+    harness::BatchRunOptions run_options;
+    run_options.work_dir = work_dir;
+    run_options.csv_path = cl.Get("csv");
+    run_options.json_path = cl.Get("json");
+    run_options.keep_answers = cl.Has("keep-answers");
+    run_options.log = &std::cout;
+    auto results = harness::RunExperimentBatch(batch, run_options);
+    if (!results.ok()) return Fail(results.status());
+    std::cout << "ran " << results->size() << " experiment(s)";
+    if (!run_options.csv_path.empty()) {
+      std::cout << ", csv=" << run_options.csv_path;
+    }
+    if (!run_options.json_path.empty()) {
+      std::cout << ", json=" << run_options.json_path;
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  // Modes 2/3: replay an existing trace file, offline or live.
+  if (!batch_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--batch and --trace are mutually exclusive"));
+  }
+  auto trace = eval::LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  std::string trace_dir = cl.Get("trace-dir");
+  if (trace_dir.empty()) {
+    trace_dir = fs::path(trace_path).parent_path().string();
+    if (trace_dir.empty()) trace_dir = ".";
+  }
+  const std::string answers_dir = cl.Get("answers-dir");
+  if (!answers_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(answers_dir, ec);
+    if (ec) {
+      return Fail(Status::IOError("cannot create --answers-dir " +
+                                  answers_dir + ": " + ec.message()));
+    }
+  }
+  harness::TraceBindings bindings =
+      harness::ResolveTraceBindings(*trace, trace_dir, answers_dir);
+
+  const std::string connect_spec = cl.Get("connect");
+  if (!connect_spec.empty()) {
+    auto address = ParseListenAddress(connect_spec);
+    if (!address.ok()) return Fail(address.status());
+    harness::LiveTraceExecutor executor(address->first, address->second,
+                                        std::move(bindings));
+    return FinishReplay(cl, *trace, &executor, "live");
+  }
+
+  const std::string repo_dir = cl.Get("repo");
+  if (repo_dir.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--trace replay needs --repo=DIR (in-process) or "
+        "--connect=HOST:PORT (live)"));
+  }
+  // Assemble the in-process service exactly like `matchbounds serve`.
+  match::MatchOptions options;
+  auto delta = cl.GetDouble("delta", 0.25);
+  if (!delta.ok()) return Fail(delta.status());
+  options.delta_threshold = *delta;
+  options.objective.name.synonyms = &BuiltinSynonyms();
+  auto factory_options = ParseMatcherOptions(cl);
+  if (!factory_options.ok()) return Fail(factory_options.status());
+  auto candidates = cl.GetUint("candidates", 16);
+  auto threads = cl.GetUint("threads", 1);
+  auto top = cl.GetUint("top", 0);
+  auto cache_size = cl.GetUint("cache-size", 64);
+  auto adaptive = ParseAdaptivePolicy(cl);
+  if (!candidates.ok()) return Fail(candidates.status());
+  if (!threads.ok()) return Fail(threads.status());
+  if (!top.ok()) return Fail(top.status());
+  if (!cache_size.ok()) return Fail(cache_size.status());
+  if (!adaptive.ok()) return Fail(adaptive.status());
+  serve::LoadShedPolicy shed;
+  shed.base_target = adaptive->has_value()
+                         ? (*adaptive)->min_provable_completeness
+                         : 1.0;
+  auto min_target = cl.GetDouble("min-target-bound", shed.base_target);
+  if (!min_target.ok()) return Fail(min_target.status());
+  shed.min_target = *min_target;
+  if (Status st = serve::ValidateLoadShedPolicy(shed); !st.ok()) {
+    return Fail(st);
+  }
+  serve::ServingIndexOptions index_options;
+  index_options.matcher_kind = cl.Get("matcher", "exhaustive");
+  index_options.factory_options = *factory_options;
+  index_options.name_options = options.objective.name;
+  index_options.num_threads = static_cast<size_t>(*threads);
+  auto index = serve::OpenServingIndex(repo_dir, cl.Get("snapshot"),
+                                       index_options, /*generation=*/1);
+  if (!index.ok()) return Fail(index.status());
+  engine::QueryResultCache cache(static_cast<size_t>(*cache_size));
+  serve::MatchServiceConfig service_config;
+  service_config.match_options = options;
+  service_config.engine_options.num_threads = static_cast<size_t>(*threads);
+  service_config.engine_options.global_top_k = static_cast<size_t>(*top);
+  service_config.engine_options.candidate_limit =
+      adaptive->has_value() ? 0 : static_cast<size_t>(*candidates);
+  service_config.engine_options.adaptive = *adaptive;
+  service_config.cache = &cache;
+  service_config.shed = shed;
+  service_config.index_options = index_options;
+  service_config.default_repo_dir = repo_dir;
+  serve::MatchService service(*index, service_config);
+  harness::InProcessTraceExecutor executor(&service, std::move(bindings));
+  return FinishReplay(cl, *trace, &executor,
+                      adaptive->has_value() ? "target" : "fixed");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1109,6 +1494,8 @@ int main(int argc, char** argv) {
   if (command == "curve") return CmdCurve(*cl);
   if (command == "bounds") return CmdBounds(*cl);
   if (command == "stats") return CmdStats(*cl);
+  if (command == "trace") return CmdTrace(*cl);
+  if (command == "loadtest") return CmdLoadtest(*cl);
   PrintUsage();
   return command.empty() || command == "help" ? 0 : 1;
 }
